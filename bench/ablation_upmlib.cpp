@@ -1,0 +1,189 @@
+// UPMlib ablations: the design choices DESIGN.md calls out.
+//
+//  (a) competitive threshold sweep (paper Section 3.3's `thr`);
+//  (b) critical-page cap sweep for record--replay (the paper's n = 20);
+//  (c) ping-pong freezing on/off;
+//  (d) run-length amortization: the same engine on MG with 4 (paper)
+//      vs. more iterations -- the one place our scaled-down runs cannot
+//      amortize the one-time migration cost that the paper's longer
+//      wall-times absorbed.
+//
+// Usage: ablation_upmlib [--fast]
+#include <iostream>
+#include <string>
+
+#include "repro/common/env.hpp"
+#include "repro/common/stats.hpp"
+#include "repro/common/table.hpp"
+#include "repro/harness/figures.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/omp/schedule.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+using namespace repro;
+using namespace repro::harness;
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      Env::global().set("REPRO_FAST", "1");
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return 1;
+    }
+  }
+
+  {
+    // (a) threshold sweep on SP under random placement.
+    std::cout << "(a) competitive threshold sweep (SP, random "
+                 "placement)\n";
+    TextTable table({"thr", "time (s)", "migrations", "remote frac"});
+    for (const double thr : {1.2, 2.0, 4.0, 16.0}) {
+      RunConfig config = base_config("SP", options);
+      config.placement = "rand";
+      config.upm_mode = nas::UpmMode::kDistribution;
+      config.upm.threshold = thr;
+      const RunResult r = run_benchmark(config);
+      table.add_row({fmt_double(thr, 1), fmt_double(r.seconds(), 3),
+                     std::to_string(r.upm_stats.distribution_migrations),
+                     fmt_double(r.memory_totals.remote_fraction(), 3)});
+    }
+    table.print(std::cout);
+    std::cout << "Too high a threshold leaves misplaced pages in place; "
+                 "too low risks moving shared pages.\n\n";
+  }
+
+  {
+    // (b) critical-page cap sweep for record-replay on BT.
+    std::cout << "(b) record-replay critical-page cap (BT, first touch, "
+                 "compute scale 2)\n";
+    TextTable table({"n", "time (s)", "z_solve (s)", "recrep cost (s)"});
+    for (const std::size_t cap : {5ul, 20ul, 80ul, 320ul}) {
+      RunConfig config = base_config("BT", options);
+      config.upm_mode = nas::UpmMode::kRecordReplay;
+      config.upm.max_critical_pages = cap;
+      config.compute_scale = 2;
+      const RunResult r = run_benchmark(config);
+      table.add_row({std::to_string(cap), fmt_double(r.seconds(), 3),
+                     fmt_double(ns_to_seconds(r.phase_time("z_solve")), 3),
+                     fmt_double(ns_to_seconds(r.upm_stats.recrep_cost), 3)});
+    }
+    table.print(std::cout);
+    std::cout << "The paper caps n to limit the on-critical-path cost; "
+                 "past the set of genuinely critical pages, extra "
+                 "migrations only add overhead.\n\n";
+  }
+
+  {
+    // (c) freezing on/off on FT under first touch + distribution mode.
+    std::cout << "(c) ping-pong freezing (FT, random placement)\n";
+    TextTable table({"freeze", "time (s)", "migrations", "frozen pages"});
+    for (const bool freeze : {true, false}) {
+      RunConfig config = base_config("FT", options);
+      config.placement = "rand";
+      config.upm_mode = nas::UpmMode::kDistribution;
+      config.upm.freeze_bouncing_pages = freeze;
+      const RunResult r = run_benchmark(config);
+      table.add_row({freeze ? "on" : "off", fmt_double(r.seconds(), 3),
+                     std::to_string(r.upm_stats.distribution_migrations),
+                     std::to_string(r.upm_stats.frozen_pages)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+
+  {
+    // (e) replication (paper Section 1.2 extension). None of the NAS
+    // codes has read-only multi-reader hot data (CG's gather vector is
+    // rewritten every iteration, so the policy correctly declines it);
+    // a synthetic lookup-table workload shows the win: every thread
+    // gathers a shared read-only table each iteration.
+    std::cout << "(e) read-only page replication (synthetic lookup "
+                 "table, 16 threads)\n";
+    TextTable table({"replication", "time (s)", "replications",
+                     "remote frac"});
+    for (const bool replicate : {false, true}) {
+      auto machine = omp::Machine::create(memsys::MachineConfig{});
+      machine->set_placement("ft");
+      omp::Runtime& rt = machine->runtime();
+      const std::uint32_t lines = machine->config().lines_per_page();
+      const auto lut =
+          machine->address_space().allocate("lut", 4 * kMiB);
+      const auto priv =
+          machine->address_space().allocate("work", 160 * kMiB);
+      upm::UpmConfig upm_config;
+      upm_config.enable_replication = replicate;
+      upm_config.replication_min_nodes = 4;
+      upm_config.replication_min_count = 64;
+      upm_config.max_replicas = 15;
+      upm::Upmlib upmlib(machine->mmci(), rt, upm_config);
+      upmlib.memrefcnt(lut);
+      const auto sweep = [&] {
+        sim::RegionBuilder region = rt.make_region();
+        for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+          const auto block =
+              omp::static_block(ThreadId(t), rt.num_threads(), priv.count);
+          for (std::uint64_t p = 0; p < lut.count; ++p) {
+            region.access(ThreadId(t), lut.page(p), lines, false,
+                          lines * 60);
+          }
+          for (std::uint64_t p = block.begin; p < block.end; ++p) {
+            region.access(ThreadId(t), priv.page(p), lines, true,
+                          lines * 60, /*stream=*/true);
+          }
+        }
+        rt.run("lookup", std::move(region));
+      };
+      sweep();  // cold start
+      upmlib.reset_hot_counters();
+      machine->memory().reset_stats();
+      const Ns t0 = rt.now();
+      std::size_t migrations = 1;
+      for (int step = 1; step <= 12; ++step) {
+        sweep();
+        if (step == 1 || migrations > 0) {
+          migrations = upmlib.migrate_memory();
+        }
+      }
+      table.add_row(
+          {replicate ? "on" : "off",
+           fmt_double(ns_to_seconds(rt.now() - t0), 3),
+           std::to_string(upmlib.stats().replications),
+           fmt_double(machine->memory().total_stats().remote_fraction(),
+                      3)});
+    }
+    table.print(std::cout);
+    std::cout << "With replication every node gains a local copy of the "
+                 "table; without it the competitive criterion correctly "
+                 "refuses to migrate an all-readers page anywhere.\n\n";
+  }
+
+  {
+    // (d) amortization: MG with its paper-faithful 4 iterations vs more.
+    std::cout << "(d) run-length amortization (MG, round-robin "
+                 "placement)\n";
+    TextTable table({"iterations", "rr-IRIX (s)", "rr-upmlib (s)",
+                     "upmlib vs plain"});
+    for (const std::uint32_t iters : {4u, 12u, 40u}) {
+      RunConfig plain = base_config("MG", options);
+      plain.placement = "rr";
+      plain.iterations = iters;
+      const RunResult base = run_benchmark(plain);
+      RunConfig upm = plain;
+      upm.upm_mode = nas::UpmMode::kDistribution;
+      const RunResult with = run_benchmark(upm);
+      table.add_row({std::to_string(iters), fmt_double(base.seconds(), 3),
+                     fmt_double(with.seconds(), 3),
+                     fmt_percent(slowdown(with.seconds(),
+                                          base.seconds()))});
+    }
+    table.print(std::cout);
+    std::cout << "At the paper's 4 iterations our scaled-down MG cannot "
+                 "amortize the one-time migration batch; with more "
+                 "iterations UPMlib wins, converging to the paper's "
+                 "behaviour (see EXPERIMENTS.md).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 4: performance of the UPMlib page-migration runtime with
+// different page placement schemes.
+//
+// Extends Figure 1's matrix with the {ft,rr,rand,wc}-upmlib bars: the
+// iterative distribution mechanism (Section 3.2) reads the hardware
+// counters after the first iteration and migrates every page that
+// satisfies the competitive criterion, self-deactivating when done.
+//
+// Paper claims being reproduced:
+//  * with UPMlib the slowdown vs. first-touch drops to ~5% (rr),
+//    ~6% (rand) and ~14% (wc) on average;
+//  * with first-touch itself UPMlib gains 6%-22% on all codes but CG
+//    (first-touch is already optimal for CG).
+//
+// Usage: fig4_upmlib [--fast] [--iterations=N] [--benchmark=NAME]
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "repro/common/env.hpp"
+#include "repro/common/stats.hpp"
+#include "repro/common/table.hpp"
+#include "repro/harness/figures.hpp"
+
+using namespace repro;
+using namespace repro::harness;
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  std::string csv_path;
+  std::vector<std::string> benchmarks = nas::workload_names();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      Env::global().set("REPRO_FAST", "1");
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      options.iterations_override =
+          static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
+    } else if (arg.rfind("--benchmark=", 0) == 0) {
+      benchmarks = {arg.substr(12)};
+    } else if (arg.rfind("--csv=", 0) == 0) {
+      csv_path = arg.substr(6);
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return 1;
+    }
+  }
+
+  std::cout << "Figure 4: UPMlib distribution mode under the four page "
+               "placement schemes (simulated 16-proc Origin2000)\n\n";
+
+  std::vector<std::vector<RunResult>> all;
+  for (const std::string& bench : benchmarks) {
+    std::vector<RunResult> results = run_placement_matrix(bench, options);
+    std::vector<RunResult> upm = run_upmlib_row(bench, options);
+    // Interleave paper-style: ft-IRIX, ft-IRIXmig, ft-upmlib, rr-IRIX, ...
+    std::vector<RunResult> merged;
+    for (std::size_t p = 0; p < 4; ++p) {
+      merged.push_back(results[2 * p]);
+      merged.push_back(results[2 * p + 1]);
+      merged.push_back(upm[p]);
+    }
+    print_figure(std::cout,
+                 "NAS " + bench + ", Class A (scaled), 16 processors",
+                 merged);
+    results_table(merged).print(std::cout);
+    std::cout << '\n';
+    if (!csv_path.empty()) {
+      append_csv(csv_path, bench, merged);
+    }
+    all.push_back(std::move(merged));
+  }
+
+  if (benchmarks.size() > 1) {
+    TextTable summary({"scheme", "mean slowdown vs ft-IRIX", "paper"});
+    summary.add_row({"ft-upmlib",
+                     fmt_percent(mean_slowdown(all, "ft-upmlib", "ft-IRIX")),
+                     "-6% .. -22% (except CG ~0)"});
+    summary.add_row({"rr-upmlib",
+                     fmt_percent(mean_slowdown(all, "rr-upmlib", "ft-IRIX")),
+                     "~+5%"});
+    summary.add_row(
+        {"rand-upmlib",
+         fmt_percent(mean_slowdown(all, "rand-upmlib", "ft-IRIX")), "~+6%"});
+    summary.add_row({"wc-upmlib",
+                     fmt_percent(mean_slowdown(all, "wc-upmlib", "ft-IRIX")),
+                     "~+14%"});
+    std::cout << "Average across benchmarks:\n";
+    summary.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Figure 5: performance of the record--replay mechanism in NAS BT and
+// SP with first-touch placement.
+//
+// Four bars per benchmark: ft-IRIX, ft-IRIXmig, ft-upmlib (distribution
+// only) and ft-recrep (distribution + record--replay around z_solve,
+// with the critical-page cap set to the paper's n = 20). The striped
+// segment of the ft-recrep bar is the non-overlapped migration overhead
+// of replay() + undo().
+//
+// Paper claims: record--replay speeds the useful computation (up to 10%
+// for BT's z_solve, marginal for SP) but its per-iteration migration
+// overhead roughly cancels the gain at the benchmarks' natural phase
+// granularity.
+//
+// Usage: fig5_recrep [--fast] [--iterations=N]
+#include <iostream>
+#include <string>
+
+#include "repro/common/env.hpp"
+#include "repro/common/table.hpp"
+#include "repro/harness/figures.hpp"
+
+using namespace repro;
+using namespace repro::harness;
+
+int main(int argc, char** argv) {
+  FigureOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fast") {
+      Env::global().set("REPRO_FAST", "1");
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      options.iterations_override =
+          static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
+    } else {
+      std::cerr << "unknown argument: " << arg << '\n';
+      return 1;
+    }
+  }
+
+  std::cout << "Figure 5: record-replay in NAS BT and SP (first-touch "
+               "placement, n = 20 critical pages)\n\n";
+
+  for (const std::string bench : {"BT", "SP"}) {
+    std::vector<RunResult> results;
+    for (int variant = 0; variant < 4; ++variant) {
+      RunConfig config = base_config(bench, options);
+      config.kernel_migration = variant == 1;
+      if (variant == 2) {
+        config.upm_mode = nas::UpmMode::kDistribution;
+      } else if (variant == 3) {
+        config.upm_mode = nas::UpmMode::kRecordReplay;
+        config.upm.max_critical_pages = 20;
+      }
+      results.push_back(run_benchmark(config));
+    }
+    print_figure(std::cout,
+                 "NAS " + bench + ", Class A (scaled), 16 processors",
+                 results);
+
+    TextTable table({"scheme", "time (s)", "z_solve (s)",
+                     "recrep overhead (s)", "replay+undo migrations"});
+    for (const RunResult& r : results) {
+      table.add_row(
+          {r.label, fmt_double(r.seconds(), 3),
+           fmt_double(ns_to_seconds(r.phase_time("z_solve")), 3),
+           fmt_double(ns_to_seconds(r.upm_stats.recrep_cost), 3),
+           std::to_string(r.upm_stats.replay_migrations +
+                          r.upm_stats.undo_migrations)});
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

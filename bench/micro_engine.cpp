@@ -1,0 +1,160 @@
+// Google-benchmark microbenchmarks for the building blocks: cache
+// touches, directory transitions, counter updates, the memory-system
+// access path, page migration, UPMlib scan/migrate passes and whole
+// simulated iterations. These measure *host* performance of the
+// simulator (how fast the reproduction runs), not simulated time.
+#include <benchmark/benchmark.h>
+
+#include "repro/memsys/memory_system.hpp"
+#include "repro/nas/workload.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/topology/topology.hpp"
+#include "repro/upmlib/upmlib.hpp"
+#include "repro/vm/counters.hpp"
+
+namespace {
+
+using namespace repro;
+
+void BM_PageCacheTouch(benchmark::State& state) {
+  memsys::PageCache cache(256);
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.touch(VPage(page)));
+    page = (page + 1) % 512;  // always-miss cyclic sweep
+  }
+}
+BENCHMARK(BM_PageCacheTouch);
+
+void BM_DirectoryWrite(benchmark::State& state) {
+  memsys::Directory dir(16);
+  std::uint32_t proc = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dir.on_write(ProcId(proc), VPage(7)));
+    proc = (proc + 1) % 16;
+  }
+}
+BENCHMARK(BM_DirectoryWrite);
+
+void BM_CounterIncrement(benchmark::State& state) {
+  vm::RefCounters counters(1024, 16, 11);
+  std::uint64_t frame = 0;
+  for (auto _ : state) {
+    counters.increment(FrameId(frame), NodeId(3), 16);
+    frame = (frame + 1) % 1024;
+  }
+}
+BENCHMARK(BM_CounterIncrement);
+
+void BM_TopologyHops(benchmark::State& state) {
+  const topo::FatHypercube topology(64);
+  std::uint32_t a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topology.hops(NodeId(a), NodeId(63 - a)));
+    a = (a + 1) % 64;
+  }
+}
+BENCHMARK(BM_TopologyHops);
+
+void BM_MemoryAccess(benchmark::State& state) {
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  Ns now = 0;
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    const auto r = machine->memory().access(
+        now, {ProcId(0), VPage(page), 128, false});
+    now += r.elapsed;
+    page = (page + 1) % 1024;  // thrash: all misses
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MemoryAccess);
+
+void BM_PageMigration(benchmark::State& state) {
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  for (std::uint64_t p = 0; p < 4096; ++p) {
+    machine->memory().access(0, {ProcId(0), VPage(p), 1, true});
+  }
+  std::uint64_t page = 0;
+  std::uint32_t target = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        machine->kernel().migrate_page(VPage(page), NodeId(target)));
+    page = (page + 1) % 4096;
+    target = 1 + (target + 1) % 15;
+  }
+}
+BENCHMARK(BM_PageMigration);
+
+void BM_UpmlibScanPass(benchmark::State& state) {
+  // A full migrate_memory() scan over `range` hot pages where nothing
+  // qualifies: the steady-state cost of the engine.
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  const auto hot = machine->address_space().allocate_pages(
+      "hot", static_cast<std::uint64_t>(state.range(0)));
+  upm::UpmConfig config;
+  config.freeze_bouncing_pages = false;
+  for (std::uint64_t p = 0; p < hot.count; ++p) {
+    machine->memory().access(0, {ProcId(0), hot.page(p), 1, true});
+  }
+  for (auto _ : state) {
+    // A fresh engine per pass (the real one deactivates after the first
+    // empty pass).
+    upm::Upmlib upmlib(machine->mmci(), machine->runtime(), config);
+    upmlib.memrefcnt(hot);
+    benchmark::DoNotOptimize(upmlib.migrate_memory());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_UpmlibScanPass)->Arg(1024)->Arg(8192);
+
+void BM_TlbLookup(benchmark::State& state) {
+  memsys::MachineConfig config;
+  config.tlb_entries = 128;
+  auto machine = omp::Machine::create(config);
+  Ns now = 0;
+  std::uint64_t page = 0;
+  for (auto _ : state) {
+    const auto r = machine->memory().access(
+        now, {ProcId(0), VPage(page), 1, false});
+    now += r.elapsed;
+    page = (page + 1) % 256;  // 2x TLB reach: every lookup misses
+  }
+}
+BENCHMARK(BM_TlbLookup);
+
+void BM_Replication(benchmark::State& state) {
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  for (std::uint64_t p = 0; p < 8192; ++p) {
+    machine->memory().access(0, {ProcId(0), VPage(p), 1, true});
+  }
+  std::uint64_t page = 0;
+  std::uint32_t node = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        machine->kernel().replicate_page(VPage(page), NodeId(node)));
+    machine->kernel().collapse_replicas(VPage(page));
+    page = (page + 1) % 8192;
+    node = 1 + (node + 1) % 15;
+  }
+}
+BENCHMARK(BM_Replication);
+
+void BM_NasIteration(benchmark::State& state) {
+  // Host cost of simulating one full BT iteration (~26k events).
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  machine->set_placement("ft");
+  nas::WorkloadParams params;
+  auto workload = nas::make_workload("BT", params);
+  workload->setup(*machine);
+  workload->cold_start(*machine);
+  std::uint32_t step = 1;
+  for (auto _ : state) {
+    workload->iteration(*machine, nas::IterationContext{}, step++);
+  }
+}
+BENCHMARK(BM_NasIteration)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Table 1: access latency to the different levels of the Origin2000
+// memory hierarchy, measured on the simulated machine with a pointer-
+// chase-style probe (single-line accesses against cold or warm caches).
+//
+// Paper reference values (16-node Origin2000, contented latency, ns):
+//   L1 cache 5.5 | L2 cache 56.9 | local 329 | 1 hop 564 | 2 hops 759 |
+//   3 hops 862.
+#include <iostream>
+
+#include "repro/common/table.hpp"
+#include "repro/omp/machine.hpp"
+
+namespace {
+
+using namespace repro;
+
+/// Measures the average elapsed time of single-line accesses from
+/// processor 0 to pages homed on `target`, with caches flushed before
+/// every access (a cold-miss probe).
+double probe_memory(omp::Machine& machine, NodeId target,
+                    std::uint64_t base_page, Ns& now) {
+  constexpr int kProbes = 64;
+  memsys::MemorySystem& memory = machine.memory();
+  // Fault the pages onto the target node via an explicit placement.
+  for (int i = 0; i < kProbes; ++i) {
+    const VPage page(base_page + static_cast<std::uint64_t>(i));
+    now += memory.access(now, {ProcId(0), page, 1, true}).elapsed;
+    if (machine.kernel().home_of(page) != target) {
+      machine.kernel().migrate_page(page, target);
+    }
+  }
+  Ns total = 0;
+  for (int i = 0; i < kProbes; ++i) {
+    const VPage page(base_page + static_cast<std::uint64_t>(i));
+    memory.flush_page(page);
+    const auto r = memory.access(now, {ProcId(0), page, 1, false});
+    now += r.elapsed;
+    total += r.elapsed;
+  }
+  return static_cast<double>(total) / kProbes;
+}
+
+}  // namespace
+
+int main() {
+  memsys::MachineConfig config;  // 16-node Origin2000 defaults
+  auto machine = omp::Machine::create(config);
+  // Pin placement so the probe's first touch is local to processor 0.
+  machine->set_placement("ft");
+
+  const topo::Topology& topology = machine->topology();
+  const NodeId origin(0);
+
+  TextTable table({"Level", "Distance in hops", "Paper (ns)",
+                   "Simulated (ns)"});
+  table.add_row({"L1 cache", "0", "5.5",
+                 fmt_double(config.l1_latency_ns, 1)});
+  table.add_row({"L2 cache", "0", "56.9",
+                 fmt_double(config.l2_latency_ns, 1)});
+
+  const char* paper[] = {"329", "564", "759", "862"};
+  std::uint64_t base_page = 0;
+  Ns now = 0;
+  for (unsigned hops = 0; hops <= topology.max_hops(); ++hops) {
+    // Find a node at this distance from node 0.
+    NodeId target = origin;
+    bool found = false;
+    for (std::uint32_t n = 0; n < config.num_nodes; ++n) {
+      if (topology.hops(origin, NodeId(n)) == hops) {
+        target = NodeId(n);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      continue;
+    }
+    const double measured = probe_memory(*machine, target, base_page, now);
+    base_page += 1024;
+    const std::string level =
+        hops == 0 ? "local memory" : "remote memory";
+    table.add_row({level, std::to_string(hops),
+                   hops < 4 ? paper[hops] : "-",
+                   fmt_double(measured, 1)});
+  }
+
+  std::cout << "Table 1: Access latency to the levels of the simulated "
+               "Origin2000 memory hierarchy\n";
+  table.print(std::cout);
+  std::cout << "\nremote:local ratio at max distance = "
+            << fmt_double(machine->memory()
+                              .latency()
+                              .worst_remote_to_local_ratio(),
+                          2)
+            << " (paper: between 2:1 and 3:1)\n";
+  return 0;
+}

@@ -1,0 +1,112 @@
+// CLI for exploring any benchmark under any placement/engine
+// combination on a configurable machine.
+//
+//   $ placement_explorer --benchmark=MG --placement=wc --kernel-mig
+//   $ placement_explorer --benchmark=BT --placement=rand --upmlib
+//         --iterations=40 --nodes=32
+//   $ placement_explorer --benchmark=SP --placement=ft --recrep
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "repro/common/table.hpp"
+#include "repro/harness/run.hpp"
+
+using namespace repro;
+using namespace repro::harness;
+
+namespace {
+
+void usage() {
+  std::cout <<
+      R"(placement_explorer -- run one experiment configuration
+
+options:
+  --benchmark=NAME    BT | SP | CG | MG | FT            (default BT)
+  --placement=NAME    ft | rr | rand | wc               (default ft)
+  --kernel-mig        enable the IRIX-style kernel daemon
+  --upmlib            enable UPMlib distribution mode
+  --recrep            enable UPMlib record-replay (BT/SP only)
+  --iterations=N      override the benchmark's iteration count
+  --nodes=N           machine size (power of two, default 16)
+  --topology=NAME     fat-hypercube | ring | crossbar
+  --class=C           problem class W | A | B (presets for --scale)
+  --scale=X           problem-size multiplier
+  --seed=N            placement seed (random placement)
+)";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RunConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](std::size_t prefix) {
+      return arg.substr(prefix);
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (arg.rfind("--benchmark=", 0) == 0) {
+      config.benchmark = value(12);
+    } else if (arg.rfind("--placement=", 0) == 0) {
+      config.placement = value(12);
+    } else if (arg == "--kernel-mig") {
+      config.kernel_migration = true;
+    } else if (arg == "--upmlib") {
+      config.upm_mode = nas::UpmMode::kDistribution;
+    } else if (arg == "--recrep") {
+      config.upm_mode = nas::UpmMode::kRecordReplay;
+      config.upm.max_critical_pages = 20;
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      config.iterations =
+          static_cast<std::uint32_t>(std::stoul(value(13)));
+    } else if (arg.rfind("--nodes=", 0) == 0) {
+      config.machine.num_nodes = std::stoul(value(8));
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      config.machine.topology = value(11);
+    } else if (arg.rfind("--class=", 0) == 0) {
+      config.workload = nas::params_for_class(value(8).at(0));
+    } else if (arg.rfind("--scale=", 0) == 0) {
+      config.workload.size_scale = std::stod(value(8));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::stoull(value(7));
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      usage();
+      return 1;
+    }
+  }
+
+  const RunResult result = run_benchmark(config);
+
+  std::cout << "NAS " << result.benchmark << ", " << result.label << ", "
+            << config.machine.num_nodes << " nodes ("
+            << config.machine.topology << ")\n\n";
+  TextTable table({"metric", "value"});
+  table.add_row({"execution time (s)", fmt_double(result.seconds(), 3)});
+  table.add_row({"iterations",
+                 std::to_string(result.iteration_times.size())});
+  table.add_row(
+      {"mean iteration, last 75% (ms)",
+       fmt_double(ns_to_ms(result.mean_iteration_last(0.75)), 2)});
+  table.add_row({"remote miss fraction",
+                 fmt_double(result.memory_totals.remote_fraction(), 3)});
+  table.add_row({"queue wait total (ms)",
+                 fmt_double(ns_to_ms(result.memory_totals.queue_wait), 1)});
+  table.add_row({"kernel daemon migrations",
+                 std::to_string(result.daemon_stats.migrations)});
+  table.add_row({"upmlib distribution migrations",
+                 std::to_string(result.upm_stats.distribution_migrations)});
+  table.add_row({"upmlib replay+undo migrations",
+                 std::to_string(result.upm_stats.replay_migrations +
+                                result.upm_stats.undo_migrations)});
+  table.add_row(
+      {"upmlib cost (ms)",
+       fmt_double(ns_to_ms(result.upm_stats.distribution_cost +
+                           result.upm_stats.recrep_cost),
+                  2)});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: build the simulated ccNUMA machine, run a simple
+// OpenMP-style parallel loop under a bad page placement, and let UPMlib
+// fix the placement after the first iteration -- the paper's core idea
+// in ~80 lines.
+//
+//   $ quickstart
+//
+// The program allocates one shared array, runs 8 iterations of a
+// block-partitioned sweep with round-robin page placement, and prints
+// the per-iteration times with and without the user-level migration
+// engine.
+#include <iostream>
+
+#include "repro/common/table.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/omp/schedule.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+using namespace repro;
+
+namespace {
+
+/// One parallel sweep: every thread reads and writes its block of the
+/// array (the canonical OpenMP PARALLEL DO).
+void run_sweep(omp::Machine& machine, const vm::PageRange& data) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lines = machine.config().lines_per_page();
+  rt.parallel_for(
+      "sweep", data.count, omp::Schedule::make_static(),
+      [&](ThreadId t, omp::ChunkRange chunk, sim::RegionBuilder& region) {
+        for (std::uint64_t p = chunk.begin; p < chunk.end; ++p) {
+          region.access(t, data.page(p), lines, /*write=*/true,
+                        /*compute=*/lines * 200);
+        }
+      });
+}
+
+std::vector<double> run_once(bool with_upmlib) {
+  // A 16-node Origin2000-like machine with round-robin page placement
+  // (DSM_PLACEMENT=ROUNDROBIN): pages land all over the machine.
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  machine->set_placement("rr");
+
+  // One shared array of 144 MiB (9216 pages): each thread's block
+  // exceeds its 4 MiB L2, so every sweep goes to memory.
+  const vm::PageRange data =
+      machine->address_space().allocate("data", 144 * kMiB);
+
+  upm::Upmlib upmlib(machine->mmci(), machine->runtime(),
+                     upm::UpmConfig::from_env());
+  upmlib.memrefcnt(data);  // upmlib_memrefcnt(data, size)
+
+  std::vector<double> iteration_ms;
+  std::size_t migrations = 1;
+  for (int step = 1; step <= 8; ++step) {
+    const Ns before = machine->runtime().now();
+    run_sweep(*machine, data);
+    if (with_upmlib && (step == 1 || migrations > 0)) {
+      migrations = upmlib.migrate_memory();  // upmlib_migrate_memory()
+    }
+    iteration_ms.push_back(ns_to_ms(machine->runtime().now() - before));
+  }
+  if (with_upmlib) {
+    std::cout << "UPMlib migrated " << upmlib.stats().distribution_migrations
+              << " pages ("
+              << fmt_double(upmlib.stats().first_invocation_fraction() * 100,
+                            0)
+              << "% in the first pass)\n";
+  }
+  return iteration_ms;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "Quickstart: round-robin placement, 16 simulated "
+               "processors\n\n";
+  const std::vector<double> plain = run_once(false);
+  const std::vector<double> with_upm = run_once(true);
+
+  TextTable table({"iteration", "rr (ms)", "rr + UPMlib (ms)"});
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    table.add_row({std::to_string(i + 1), fmt_double(plain[i], 2),
+                   fmt_double(with_upm[i], 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\nAfter the first iteration UPMlib has relocated every "
+               "poorly placed page;\nsteady-state iterations run at "
+               "first-touch speed without any data-distribution\n"
+               "directives in the program.\n";
+  return 0;
+}

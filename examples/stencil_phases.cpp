@@ -1,0 +1,134 @@
+// A custom iterative application with a phase change, instrumented with
+// UPMlib's record--replay mechanism (paper Section 3.3, Fig. 3).
+//
+// The app alternates two sweeps over a 2-D grid of pages every
+// iteration: a row-partitioned relaxation and a column-partitioned
+// transport step. No static placement satisfies both phases; the
+// record--replay engine learns the column phase's reference trace in
+// iteration 2 and thereafter migrates the most critical pages before
+// each transport step, undoing the moves afterwards.
+//
+//   $ stencil_phases [critical_pages]
+#include <cstdlib>
+#include <iostream>
+
+#include "repro/common/table.hpp"
+#include "repro/nas/pattern.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/omp/schedule.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+using namespace repro;
+
+namespace {
+
+struct App {
+  explicit App(std::size_t critical_pages) {
+    machine = omp::Machine::create(memsys::MachineConfig{});
+    machine->set_placement("ft");
+    grid = nas::alloc_plane_array(machine->address_space(), "grid",
+                                  /*planes=*/128, /*pages_per_plane=*/16);
+    upm::UpmConfig config;
+    config.max_critical_pages = critical_pages;
+    upmlib = std::make_unique<upm::Upmlib>(machine->mmci(),
+                                           machine->runtime(), config);
+    upmlib->memrefcnt(grid.range);
+  }
+
+  void relax_rows(std::uint32_t repeats = 3) {
+    omp::Runtime& rt = machine->runtime();
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+      const nas::Emit e{region, ThreadId(t),
+                        machine->config().lines_per_page()};
+      const auto block =
+          omp::static_block(ThreadId(t), rt.num_threads(), grid.planes);
+      for (std::uint32_t r = 0; r < repeats; ++r) {
+        e.sweep_planes(grid, block.begin, block.end, /*write=*/true,
+                       /*compute=*/300.0);
+      }
+    }
+    rt.run("relax_rows", std::move(region));
+  }
+
+  void transport_columns() {
+    omp::Runtime& rt = machine->runtime();
+    const std::uint32_t lines = machine->config().lines_per_page();
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+      const nas::Emit e{region, ThreadId(t), lines};
+      const auto slice = omp::static_block(
+          ThreadId(t), rt.num_threads(), grid.lines_per_plane(lines));
+      e.sweep_columns(grid, slice.begin, slice.end, /*write=*/true,
+                      /*compute=*/300.0);
+    }
+    rt.run("transport_columns", std::move(region));
+  }
+
+  /// One iteration with the paper's Fig. 3 instrumentation.
+  void iteration(std::uint32_t step, bool use_recrep) {
+    relax_rows();
+    if (use_recrep) {
+      if (step == 2) {
+        upmlib->record();
+      } else if (step > 2) {
+        upmlib->replay();
+      }
+    }
+    transport_columns();
+    if (use_recrep) {
+      if (step == 1) {
+        upmlib->migrate_memory();
+      } else if (step == 2) {
+        upmlib->record();
+        upmlib->compare_counters();
+      } else {
+        upmlib->undo();
+      }
+    }
+  }
+
+  std::unique_ptr<omp::Machine> machine;
+  nas::PlaneArray grid;
+  std::unique_ptr<upm::Upmlib> upmlib;
+};
+
+double run(std::size_t critical, bool use_recrep, Ns* transport_time) {
+  App app(critical);
+  // Cold start establishes first-touch placement for the row phase.
+  app.iteration(0, false);
+  app.machine->runtime().clear_records();
+  const Ns t0 = app.machine->runtime().now();
+  for (std::uint32_t step = 1; step <= 12; ++step) {
+    app.iteration(step, use_recrep);
+  }
+  *transport_time =
+      app.machine->runtime().total_time("transport_columns");
+  return ns_to_ms(app.machine->runtime().now() - t0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t critical =
+      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  std::cout << "Phase-changing stencil, 12 iterations, critical pages = "
+            << critical << "\n\n";
+
+  Ns transport_plain = 0;
+  Ns transport_recrep = 0;
+  const double plain = run(critical, false, &transport_plain);
+  const double recrep = run(critical, true, &transport_recrep);
+
+  TextTable table({"configuration", "total (ms)", "transport phase (ms)"});
+  table.add_row({"first-touch only", fmt_double(plain, 1),
+                 fmt_double(ns_to_ms(transport_plain), 1)});
+  table.add_row({"with record-replay", fmt_double(recrep, 1),
+                 fmt_double(ns_to_ms(transport_recrep), 1)});
+  table.print(std::cout);
+  std::cout << "\nThe transport phase itself accelerates (its pages are "
+               "migrated to the\ncolumn owners just in time); whether "
+               "the total wins depends on how the\nmigration overhead "
+               "amortizes -- exactly the paper's Fig. 5/6 trade-off.\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+#include "repro/common/env.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "repro/common/assert.hpp"
+
+namespace repro {
+
+Env& Env::global() {
+  static Env instance;
+  return instance;
+}
+
+void Env::set(const std::string& key, std::string value) {
+  overrides_[key] = std::move(value);
+}
+
+void Env::unset(const std::string& key) { overrides_.erase(key); }
+
+std::optional<std::string> Env::get(const std::string& key) const {
+  if (auto it = overrides_.find(key); it != overrides_.end()) {
+    return it->second;
+  }
+  if (const char* v = std::getenv(key.c_str())) {
+    return std::string(v);
+  }
+  return std::nullopt;
+}
+
+std::int64_t Env::get_int(const std::string& key, std::int64_t def) const {
+  const auto v = get(key);
+  if (!v) {
+    return def;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v->c_str(), &end, 10);
+  REPRO_REQUIRE_MSG(errno == 0 && end != v->c_str() && *end == '\0',
+                    "malformed integer tunable");
+  return parsed;
+}
+
+double Env::get_double(const std::string& key, double def) const {
+  const auto v = get(key);
+  if (!v) {
+    return def;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  REPRO_REQUIRE_MSG(errno == 0 && end != v->c_str() && *end == '\0',
+                    "malformed double tunable");
+  return parsed;
+}
+
+bool Env::get_bool(const std::string& key, bool def) const {
+  const auto v = get(key);
+  if (!v) {
+    return def;
+  }
+  if (*v == "1" || *v == "true" || *v == "on" || *v == "yes") {
+    return true;
+  }
+  if (*v == "0" || *v == "false" || *v == "off" || *v == "no") {
+    return false;
+  }
+  REPRO_UNREACHABLE("malformed boolean tunable");
+}
+
+std::string Env::get_string(const std::string& key, std::string def) const {
+  return get(key).value_or(std::move(def));
+}
+
+ScopedEnv::ScopedEnv(std::string key, std::string value)
+    : key_(std::move(key)) {
+  previous_ = Env::global().get(key_);
+  Env::global().set(key_, std::move(value));
+}
+
+ScopedEnv::~ScopedEnv() {
+  if (previous_) {
+    Env::global().set(key_, *previous_);
+  } else {
+    Env::global().unset(key_);
+  }
+}
+
+}  // namespace repro

@@ -1,0 +1,63 @@
+// Contract-checking macros used throughout the library.
+//
+// REPRO_REQUIRE  -- precondition on a public API (always checked).
+// REPRO_ASSERT   -- internal invariant (checked unless NDEBUG).
+// REPRO_UNREACHABLE -- marks a control-flow path that must never execute.
+//
+// Violations throw repro::ContractViolation so tests can assert on them;
+// aborting would make property tests on failure paths impossible.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repro {
+
+/// Thrown when a REPRO_REQUIRE / REPRO_ASSERT contract is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + expr + " at " +
+                          file + ":" + std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace repro
+
+#define REPRO_REQUIRE(expr)                                               \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::repro::detail::contract_fail("precondition", #expr, __FILE__,     \
+                                     __LINE__);                           \
+    }                                                                     \
+  } while (false)
+
+#define REPRO_REQUIRE_MSG(expr, msg)                                      \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::repro::detail::contract_fail("precondition", msg, __FILE__,       \
+                                     __LINE__);                           \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define REPRO_ASSERT(expr) \
+  do {                     \
+  } while (false)
+#else
+#define REPRO_ASSERT(expr)                                                \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::repro::detail::contract_fail("invariant", #expr, __FILE__,        \
+                                     __LINE__);                           \
+    }                                                                     \
+  } while (false)
+#endif
+
+#define REPRO_UNREACHABLE(msg) \
+  ::repro::detail::contract_fail("unreachable", msg, __FILE__, __LINE__)

@@ -1,0 +1,58 @@
+// Runtime tunables in the style of the IRIX environment variables the
+// paper uses (DSM_PLACEMENT, DSM_MIGRATION, and UPMlib's critical-page
+// knob). Values come from real process environment variables but can be
+// overridden programmatically, which is what the tests and the
+// experiment harness do.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace repro {
+
+/// Key/value tunable store with environment-variable fallback.
+class Env {
+ public:
+  /// Process-wide instance (reads the real environment on lookup miss).
+  static Env& global();
+
+  /// Programmatic override; takes precedence over the process env.
+  void set(const std::string& key, std::string value);
+
+  /// Removes a programmatic override (the process env becomes visible
+  /// again).
+  void unset(const std::string& key);
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) const;
+
+  /// Typed accessors with defaults. Malformed values throw
+  /// ContractViolation (a silently ignored tunable is worse than a
+  /// crash).
+  [[nodiscard]] std::int64_t get_int(const std::string& key,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& key, double def) const;
+  [[nodiscard]] bool get_bool(const std::string& key, bool def) const;
+  [[nodiscard]] std::string get_string(const std::string& key,
+                                       std::string def) const;
+
+ private:
+  std::unordered_map<std::string, std::string> overrides_;
+};
+
+/// RAII guard that sets an override for the duration of a scope.
+class ScopedEnv {
+ public:
+  ScopedEnv(std::string key, std::string value);
+  ~ScopedEnv();
+
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string key_;
+  std::optional<std::string> previous_;
+};
+
+}  // namespace repro

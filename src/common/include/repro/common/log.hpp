@@ -1,0 +1,43 @@
+// Minimal leveled logging. Off by default; the REPRO_LOG environment
+// variable (or Env override) selects the level: error, warn, info, debug.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace repro {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Current log level (cached from Env on first use; refresh() re-reads).
+[[nodiscard]] LogLevel log_level();
+
+/// Re-reads the level from the environment (tests use this after
+/// overriding REPRO_LOG).
+void refresh_log_level();
+
+/// Emits one line to stderr if `level` is enabled.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+std::string concat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << std::forward<Args>(args));
+  return os.str();
+}
+}  // namespace detail
+
+}  // namespace repro
+
+#define REPRO_LOG(level, ...)                                        \
+  do {                                                               \
+    if (static_cast<int>(level) <=                                   \
+        static_cast<int>(::repro::log_level())) {                    \
+      ::repro::log_line(level, ::repro::detail::concat(__VA_ARGS__)); \
+    }                                                                \
+  } while (false)
+
+#define REPRO_LOG_INFO(...) REPRO_LOG(::repro::LogLevel::kInfo, __VA_ARGS__)
+#define REPRO_LOG_WARN(...) REPRO_LOG(::repro::LogLevel::kWarn, __VA_ARGS__)
+#define REPRO_LOG_DEBUG(...) REPRO_LOG(::repro::LogLevel::kDebug, __VA_ARGS__)

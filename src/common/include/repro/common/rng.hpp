@@ -1,0 +1,53 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be bit-reproducible across runs: random page
+// placement, synthetic access jitter and workload shuffles all derive
+// from an explicitly seeded xoshiro256** stream. std::mt19937 is avoided
+// because its distributions are not specified portably.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace repro {
+
+/// SplitMix64 -- used to expand a single 64-bit seed into xoshiro state.
+class SplitMix64 {
+ public:
+  constexpr explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Fast, high-quality, tiny state.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). Requires bound > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Fork an independent stream (for per-thread determinism regardless of
+  /// interleaving). The child is seeded from this stream's output.
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+};
+
+}  // namespace repro

@@ -1,0 +1,43 @@
+// Small statistics helpers used by the experiment harness.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace repro {
+
+/// Online mean / variance (Welford) plus min and max.
+class RunningStat {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile with linear interpolation over a copy of the samples.
+/// `q` in [0, 1]. Returns 0 for an empty sample set.
+[[nodiscard]] double percentile(std::vector<double> samples, double q);
+
+/// Relative slowdown of `t` versus baseline `base`, as a fraction
+/// (0.25 == 25% slower). Negative values mean `t` is faster.
+[[nodiscard]] double slowdown(double t, double base);
+
+/// Geometric mean; returns 0 for an empty input. Requires all positive.
+[[nodiscard]] double geomean(const std::vector<double>& xs);
+
+}  // namespace repro

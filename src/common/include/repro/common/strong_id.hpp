@@ -1,0 +1,102 @@
+// Strongly-typed integer identifiers.
+//
+// The simulator juggles several integer id spaces (nodes, processors,
+// virtual pages, physical frames, threads). Mixing them up is the classic
+// silent bug in machine simulators, so each id space gets its own type.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace repro {
+
+/// A transparent wrapper around an integer that participates only in its
+/// own id space. Distinct `Tag` types produce incompatible ids.
+template <typename Tag, typename Rep = std::uint32_t>
+class StrongId {
+ public:
+  using rep_type = Rep;
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  /// Pre-increment, for iterating over dense id ranges.
+  constexpr StrongId& operator++() {
+    ++value_;
+    return *this;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value();
+  }
+
+ private:
+  Rep value_ = 0;
+};
+
+struct NodeTag {};
+struct ProcTag {};
+struct VPageTag {};
+struct FrameTag {};
+struct ThreadTag {};
+
+/// A NUMA node (memory + directory + router port).
+using NodeId = StrongId<NodeTag>;
+/// A processor (each node hosts `procs_per_node` of them).
+using ProcId = StrongId<ProcTag>;
+/// A virtual page number within the simulated address space.
+using VPage = StrongId<VPageTag, std::uint64_t>;
+/// A physical frame number (dense across all nodes).
+using FrameId = StrongId<FrameTag, std::uint64_t>;
+/// A simulated OpenMP thread.
+using ThreadId = StrongId<ThreadTag>;
+
+/// Iterate a dense id range: `for (auto n : id_range<NodeId>(count))`.
+template <typename Id>
+class IdRange {
+ public:
+  class iterator {
+   public:
+    constexpr explicit iterator(typename Id::rep_type v) : v_(v) {}
+    constexpr Id operator*() const { return Id(v_); }
+    constexpr iterator& operator++() {
+      ++v_;
+      return *this;
+    }
+    constexpr bool operator!=(const iterator& o) const { return v_ != o.v_; }
+
+   private:
+    typename Id::rep_type v_;
+  };
+
+  constexpr explicit IdRange(std::size_t count)
+      : count_(static_cast<typename Id::rep_type>(count)) {}
+  [[nodiscard]] constexpr iterator begin() const { return iterator(0); }
+  [[nodiscard]] constexpr iterator end() const { return iterator(count_); }
+
+ private:
+  typename Id::rep_type count_;
+};
+
+template <typename Id>
+[[nodiscard]] constexpr IdRange<Id> id_range(std::size_t count) {
+  return IdRange<Id>(count);
+}
+
+}  // namespace repro
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<repro::StrongId<Tag, Rep>> {
+  size_t operator()(repro::StrongId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,73 @@
+// ASCII table and horizontal bar-chart rendering for the experiment
+// harness. The bench binaries print the paper's tables and figures in a
+// terminal-friendly form; CSV output feeds external plotting.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace repro {
+
+/// A simple left/right-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header separator and column padding.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders the table as CSV (no quoting of separators; cells must not
+  /// contain commas or newlines).
+  [[nodiscard]] std::string to_csv() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A labelled horizontal bar chart, mirroring the paper's per-benchmark
+/// execution-time figures. An optional "overhead" segment is rendered as
+/// a striped suffix (the paper's Fig. 5 striped bars).
+class BarChart {
+ public:
+  struct Bar {
+    std::string label;
+    double value = 0.0;
+    double overhead = 0.0;  ///< extra striped segment appended to the bar
+  };
+
+  explicit BarChart(std::string title, std::string unit = "s");
+
+  void add(std::string label, double value, double overhead = 0.0);
+
+  /// Draws a horizontal reference line value (the paper's first-touch
+  /// baseline line) as a marker column in every bar.
+  void set_baseline(double value);
+
+  void print(std::ostream& os, std::size_t width = 60) const;
+
+  [[nodiscard]] std::string to_string(std::size_t width = 60) const;
+
+ private:
+  std::string title_;
+  std::string unit_;
+  std::vector<Bar> bars_;
+  double baseline_ = -1.0;
+};
+
+/// Formats a double with `digits` decimal places.
+[[nodiscard]] std::string fmt_double(double v, int digits = 2);
+
+/// Formats a fraction as a signed percentage, e.g. 0.248 -> "+24.8%".
+[[nodiscard]] std::string fmt_percent(double frac, int digits = 1);
+
+}  // namespace repro

@@ -1,0 +1,36 @@
+// Time and size units used by the machine model.
+//
+// All simulated time is kept in nanoseconds as unsigned 64-bit integers;
+// a 64-bit nanosecond clock wraps after ~584 years of simulated time,
+// which is unreachable for these workloads.
+#pragma once
+
+#include <cstdint>
+
+namespace repro {
+
+/// Simulated time in nanoseconds.
+using Ns = std::uint64_t;
+
+/// Memory sizes in bytes.
+using Bytes = std::uint64_t;
+
+constexpr Ns kNsPerUs = 1'000;
+constexpr Ns kNsPerMs = 1'000'000;
+constexpr Ns kNsPerSec = 1'000'000'000;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Convert a nanosecond count to floating-point seconds (for reporting).
+[[nodiscard]] constexpr double ns_to_seconds(Ns ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNsPerSec);
+}
+
+/// Convert a nanosecond count to floating-point milliseconds.
+[[nodiscard]] constexpr double ns_to_ms(Ns ns) {
+  return static_cast<double>(ns) / static_cast<double>(kNsPerMs);
+}
+
+}  // namespace repro

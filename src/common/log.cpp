@@ -1,0 +1,56 @@
+#include "repro/common/log.hpp"
+
+#include <iostream>
+
+#include "repro/common/env.hpp"
+
+namespace repro {
+
+namespace {
+
+LogLevel parse_level(const std::string& s) {
+  if (s == "debug") {
+    return LogLevel::kDebug;
+  }
+  if (s == "info") {
+    return LogLevel::kInfo;
+  }
+  if (s == "warn") {
+    return LogLevel::kWarn;
+  }
+  return LogLevel::kError;
+}
+
+LogLevel& cached_level() {
+  static LogLevel level =
+      parse_level(Env::global().get_string("REPRO_LOG", "error"));
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() { return cached_level(); }
+
+void refresh_log_level() {
+  cached_level() = parse_level(Env::global().get_string("REPRO_LOG", "error"));
+}
+
+void log_line(LogLevel level, const std::string& msg) {
+  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+}
+
+}  // namespace repro

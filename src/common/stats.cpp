@@ -1,0 +1,65 @@
+#include "repro/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/common/assert.hpp"
+
+namespace repro {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStat::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::min() const { return min_; }
+double RunningStat::max() const { return max_; }
+
+double percentile(std::vector<double> samples, double q) {
+  REPRO_REQUIRE(q >= 0.0 && q <= 1.0);
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
+}
+
+double slowdown(double t, double base) {
+  REPRO_REQUIRE(base > 0.0);
+  return (t - base) / base;
+}
+
+double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) {
+    return 0.0;
+  }
+  double log_sum = 0.0;
+  for (double x : xs) {
+    REPRO_REQUIRE(x > 0.0);
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+}  // namespace repro

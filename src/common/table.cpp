@@ -1,0 +1,149 @@
+#include "repro/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "repro/common/assert.hpp"
+
+namespace repro {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  REPRO_REQUIRE(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  REPRO_REQUIRE(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << row[c] << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  out << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << '|';
+  }
+  out << '\n';
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) {
+        out << ',';
+      }
+      out << row[c];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+BarChart::BarChart(std::string title, std::string unit)
+    : title_(std::move(title)), unit_(std::move(unit)) {}
+
+void BarChart::add(std::string label, double value, double overhead) {
+  REPRO_REQUIRE(value >= 0.0 && overhead >= 0.0);
+  bars_.push_back(Bar{std::move(label), value, overhead});
+}
+
+void BarChart::set_baseline(double value) {
+  REPRO_REQUIRE(value >= 0.0);
+  baseline_ = value;
+}
+
+void BarChart::print(std::ostream& os, std::size_t width) const {
+  os << to_string(width);
+}
+
+std::string BarChart::to_string(std::size_t width) const {
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  if (bars_.empty()) {
+    return out.str();
+  }
+  double max_total = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& bar : bars_) {
+    max_total = std::max(max_total, bar.value + bar.overhead);
+    label_w = std::max(label_w, bar.label.size());
+  }
+  max_total = std::max(max_total, baseline_);
+  if (max_total <= 0.0) {
+    max_total = 1.0;
+  }
+  const auto scale = [&](double v) {
+    return static_cast<std::size_t>(v / max_total *
+                                    static_cast<double>(width));
+  };
+  const std::size_t baseline_col =
+      baseline_ >= 0.0 ? scale(baseline_) : width + 2;
+  for (const auto& bar : bars_) {
+    out << "  " << bar.label
+        << std::string(label_w - bar.label.size(), ' ') << " |";
+    const std::size_t solid = scale(bar.value);
+    const std::size_t striped = scale(bar.value + bar.overhead) - solid;
+    std::string line(width + 1, ' ');
+    for (std::size_t i = 0; i < solid; ++i) {
+      line[i] = '#';
+    }
+    for (std::size_t i = solid; i < solid + striped; ++i) {
+      line[i] = '/';
+    }
+    if (baseline_col <= width) {
+      line[baseline_col] = line[baseline_col] == ' ' ? '!' : '+';
+    }
+    out << line << ' ' << fmt_double(bar.value, 3);
+    if (bar.overhead > 0.0) {
+      out << " (+" << fmt_double(bar.overhead, 3) << " ovh)";
+    }
+    out << ' ' << unit_ << '\n';
+  }
+  if (baseline_ >= 0.0) {
+    out << "  ('!' marks baseline " << fmt_double(baseline_, 3) << ' '
+        << unit_ << ")\n";
+  }
+  return out.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_percent(double frac, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f%%", digits, frac * 100.0);
+  return buf;
+}
+
+}  // namespace repro

@@ -1,0 +1,71 @@
+// Shared plumbing for the bench binaries that regenerate the paper's
+// figures and tables: run matrices, slowdown computation and the
+// paper-style chart/table rendering.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "repro/common/table.hpp"
+#include "repro/harness/run.hpp"
+
+namespace repro::harness {
+
+struct FigureOptions {
+  /// 0 = the paper's iteration counts (BT 200, SP 15, CG 400, MG 4,
+  /// FT 6); the REPRO_FAST environment variable trims the two long
+  /// benchmarks for quick runs.
+  std::uint32_t iterations_override = 0;
+  std::uint64_t seed = 12345;
+  memsys::MachineConfig machine;
+};
+
+/// Iterations to run for `benchmark` under `options` (honours
+/// REPRO_FAST).
+[[nodiscard]] std::uint32_t effective_iterations(
+    const std::string& benchmark, const FigureOptions& options);
+
+/// Builds the RunConfig shared by all figure benches.
+[[nodiscard]] RunConfig base_config(const std::string& benchmark,
+                                    const FigureOptions& options);
+
+/// Figure 1 row for one benchmark: {ft,rr,rand,wc} x {-, IRIXmig}.
+[[nodiscard]] std::vector<RunResult> run_placement_matrix(
+    const std::string& benchmark, const FigureOptions& options);
+
+/// Figure 4 additions: {ft,rr,rand,wc}-upmlib.
+[[nodiscard]] std::vector<RunResult> run_upmlib_row(
+    const std::string& benchmark, const FigureOptions& options);
+
+/// Renders one benchmark's results as a paper-style horizontal bar
+/// chart; the bar whose label equals `baseline_label` becomes the
+/// baseline line.
+void print_figure(std::ostream& os, const std::string& title,
+                  const std::vector<RunResult>& results,
+                  const std::string& baseline_label = "ft-IRIX");
+
+/// Summary table: label, execution time, slowdown vs. baseline, remote
+/// miss fraction.
+[[nodiscard]] TextTable results_table(const std::vector<RunResult>& results,
+                                      const std::string& baseline_label =
+                                          "ft-IRIX");
+
+/// Finds a result by label; throws if absent.
+[[nodiscard]] const RunResult& find_result(
+    const std::vector<RunResult>& results, const std::string& label);
+
+/// Appends one benchmark's results to a CSV file (creating it with a
+/// header on first use). Columns: benchmark, scheme, seconds, slowdown
+/// vs baseline, remote fraction, migrations.
+void append_csv(const std::string& path, const std::string& benchmark,
+                const std::vector<RunResult>& results,
+                const std::string& baseline_label = "ft-IRIX");
+
+/// Mean slowdown (fraction) of the labelled scheme vs. baseline across
+/// several benchmarks' result vectors.
+[[nodiscard]] double mean_slowdown(
+    const std::vector<std::vector<RunResult>>& per_benchmark,
+    const std::string& label, const std::string& baseline_label);
+
+}  // namespace repro::harness

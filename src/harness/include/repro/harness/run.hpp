@@ -1,0 +1,69 @@
+// Experiment driver: builds a machine, instantiates a workload, runs
+// the cold-start plus timed iterations under a given placement scheme
+// and migration engine, and collects everything the paper's tables and
+// figures need.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repro/memsys/config.hpp"
+#include "repro/memsys/memory_system.hpp"
+#include "repro/nas/workload.hpp"
+#include "repro/omp/runtime.hpp"
+#include "repro/os/daemon.hpp"
+#include "repro/os/kernel.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+namespace repro::harness {
+
+struct RunConfig {
+  std::string benchmark = "BT";
+  /// "ft" | "rr" | "rand" | "wc" (paper Section 2).
+  std::string placement = "ft";
+  /// DSM_MIGRATION: the IRIX kernel migration daemon.
+  bool kernel_migration = false;
+  /// UPMlib mode (off / distribution / record-replay).
+  nas::UpmMode upm_mode = nas::UpmMode::kOff;
+  /// 0 = the benchmark's paper-default iteration count.
+  std::uint32_t iterations = 0;
+  /// Fig. 6 synthetic phase scaling.
+  std::uint32_t compute_scale = 1;
+  std::uint64_t seed = 12345;
+
+  memsys::MachineConfig machine;
+  os::DaemonConfig daemon;
+  upm::UpmConfig upm;
+  nas::WorkloadParams workload;
+
+  /// Paper-style label, e.g. "rr-IRIXmig", "wc-upmlib", "ft-recrep".
+  [[nodiscard]] std::string label() const;
+};
+
+struct RunResult {
+  std::string label;
+  std::string benchmark;
+  /// Total simulated time of the timed iterations (cold start excluded).
+  Ns total = 0;
+  std::vector<Ns> iteration_times;
+  std::vector<omp::RegionRecord> records;
+  upm::UpmStats upm_stats;
+  os::KernelStats kernel_stats;
+  os::DaemonStats daemon_stats;
+  memsys::ProcStats memory_totals;
+
+  [[nodiscard]] double seconds() const { return ns_to_seconds(total); }
+
+  /// Mean time of the last `fraction` of the iterations (paper Table 2
+  /// reports slowdown over the last 75%).
+  [[nodiscard]] Ns mean_iteration_last(double fraction) const;
+
+  /// Sum of the durations of all regions whose name ends with `suffix`.
+  [[nodiscard]] Ns phase_time(const std::string& suffix) const;
+};
+
+/// Runs one experiment configuration end to end.
+[[nodiscard]] RunResult run_benchmark(const RunConfig& config);
+
+}  // namespace repro::harness

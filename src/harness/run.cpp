@@ -1,0 +1,125 @@
+#include "repro/harness/run.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/common/log.hpp"
+#include "repro/omp/machine.hpp"
+
+namespace repro::harness {
+
+std::string RunConfig::label() const {
+  std::string engine = "IRIX";
+  if (upm_mode == nas::UpmMode::kDistribution) {
+    engine = "upmlib";
+  } else if (upm_mode == nas::UpmMode::kRecordReplay) {
+    engine = "recrep";
+  } else if (kernel_migration) {
+    engine = "IRIXmig";
+  }
+  return placement + "-" + engine;
+}
+
+Ns RunResult::mean_iteration_last(double fraction) const {
+  REPRO_REQUIRE(fraction > 0.0 && fraction <= 1.0);
+  if (iteration_times.empty()) {
+    return 0;
+  }
+  const auto count = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             static_cast<double>(iteration_times.size()) * fraction));
+  const std::size_t first = iteration_times.size() - count;
+  Ns sum = 0;
+  for (std::size_t i = first; i < iteration_times.size(); ++i) {
+    sum += iteration_times[i];
+  }
+  return sum / count;
+}
+
+Ns RunResult::phase_time(const std::string& suffix) const {
+  Ns total_time = 0;
+  for (const omp::RegionRecord& r : records) {
+    if (r.name.size() >= suffix.size() &&
+        r.name.compare(r.name.size() - suffix.size(), suffix.size(),
+                       suffix) == 0) {
+      total_time += r.duration();
+    }
+  }
+  return total_time;
+}
+
+RunResult run_benchmark(const RunConfig& config) {
+  REPRO_REQUIRE(config.upm_mode == nas::UpmMode::kOff ||
+                !config.kernel_migration);
+
+  auto machine = omp::Machine::create(config.machine);
+  machine->set_placement(config.placement, config.seed);
+  if (config.kernel_migration) {
+    machine->enable_kernel_daemon(config.daemon);
+  }
+
+  nas::WorkloadParams wparams = config.workload;
+  wparams.compute_scale = config.compute_scale;
+  auto workload = nas::make_workload(config.benchmark, wparams);
+  workload->setup(*machine);
+
+  std::unique_ptr<upm::Upmlib> upmlib;
+  nas::IterationContext ctx;
+  ctx.mode = config.upm_mode;
+  if (config.upm_mode != nas::UpmMode::kOff) {
+    REPRO_REQUIRE_MSG(config.upm_mode != nas::UpmMode::kRecordReplay ||
+                          workload->supports_record_replay(),
+                      "benchmark has no record-replay instrumentation");
+    upmlib = std::make_unique<upm::Upmlib>(machine->mmci(),
+                                           machine->runtime(), config.upm);
+    workload->register_hot(*upmlib);
+    ctx.upm = upmlib.get();
+  }
+
+  // Cold-start iteration: establishes first-touch placement; results
+  // and statistics are discarded.
+  workload->cold_start(*machine);
+  if (upmlib != nullptr) {
+    upmlib->reset_hot_counters();
+  }
+  machine->memory().reset_stats();
+  machine->runtime().clear_records();
+
+  const std::uint32_t iterations = config.iterations != 0
+                                       ? config.iterations
+                                       : workload->default_iterations();
+  RunResult result;
+  result.label = config.label();
+  result.benchmark = config.benchmark;
+  result.iteration_times.reserve(iterations);
+
+  omp::Runtime& rt = machine->runtime();
+  const Ns t0 = rt.now();
+  std::size_t last_migrations = 0;
+  for (std::uint32_t step = 1; step <= iterations; ++step) {
+    const Ns iter_start = rt.now();
+    workload->iteration(*machine, ctx, step);
+    if (config.upm_mode == nas::UpmMode::kDistribution &&
+        (step == 1 || last_migrations > 0)) {
+      // Paper Fig. 2: invoke the engine after the first iteration and
+      // keep invoking it while it still finds pages to move.
+      last_migrations = upmlib->migrate_memory();
+    }
+    result.iteration_times.push_back(rt.now() - iter_start);
+  }
+  result.total = rt.now() - t0;
+  result.records = rt.records();
+  if (upmlib != nullptr) {
+    result.upm_stats = upmlib->stats();
+  }
+  result.kernel_stats = machine->kernel().stats();
+  if (machine->kernel().daemon() != nullptr) {
+    result.daemon_stats = machine->kernel().daemon()->stats();
+  }
+  result.memory_totals = machine->memory().total_stats();
+  REPRO_LOG_INFO(config.benchmark, " ", result.label, ": ",
+                 ns_to_seconds(result.total), " s, remote fraction ",
+                 result.memory_totals.remote_fraction());
+  return result;
+}
+
+}  // namespace repro::harness

@@ -1,0 +1,35 @@
+#include "repro/memsys/config.hpp"
+
+#include <bit>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::memsys {
+
+void MachineConfig::validate() const {
+  REPRO_REQUIRE(num_nodes >= 2);
+  REPRO_REQUIRE(procs_per_node >= 1);
+  REPRO_REQUIRE(num_procs() <= 64);  // sharer bitmasks are 64-bit
+  REPRO_REQUIRE(std::has_single_bit(page_size));
+  REPRO_REQUIRE(std::has_single_bit(cache_line));
+  REPRO_REQUIRE(cache_line <= page_size);
+  REPRO_REQUIRE(l2_size >= page_size);
+  REPRO_REQUIRE(frames_per_node >= 1);
+  REPRO_REQUIRE(!mem_latency_ns.empty());
+  REPRO_REQUIRE(l1_latency_ns > 0.0 && l2_latency_ns > l1_latency_ns);
+  REPRO_REQUIRE(mem_latency_ns.front() > l2_latency_ns);
+  for (std::size_t i = 1; i < mem_latency_ns.size(); ++i) {
+    REPRO_REQUIRE_MSG(mem_latency_ns[i] >= mem_latency_ns[i - 1],
+                      "latency ladder must be non-decreasing");
+  }
+  REPRO_REQUIRE(cache_hit_ns > 0.0);
+  REPRO_REQUIRE(mem_occupancy_ns >= 0.0);
+  REPRO_REQUIRE(stream_hide_factor >= 1.0);
+  REPRO_REQUIRE(invalidation_ns >= 0.0);
+  REPRO_REQUIRE(page_copy_ns >= 0.0 && tlb_shootdown_ns >= 0.0);
+  REPRO_REQUIRE(tlb_local_flush_ns >= 0.0);
+  REPRO_REQUIRE(counter_bits >= 1 && counter_bits <= 31);
+  REPRO_REQUIRE(tlb_refill_ns >= 0.0);
+}
+
+}  // namespace repro::memsys

@@ -1,0 +1,71 @@
+#include "repro/memsys/directory.hpp"
+
+#include <bit>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::memsys {
+
+Directory::Directory(std::size_t num_procs) : num_procs_(num_procs) {
+  REPRO_REQUIRE(num_procs >= 1 && num_procs <= 64);
+}
+
+unsigned Directory::AccessOutcome::invalidations() const {
+  return static_cast<unsigned>(std::popcount(invalidate_mask));
+}
+
+Directory::AccessOutcome Directory::on_read(ProcId proc, VPage page) {
+  REPRO_REQUIRE(proc.value() < num_procs_);
+  Entry& e = entries_[page];
+  e.sharers |= 1ULL << proc.value();
+  if (e.has_owner && e.owner != proc.value()) {
+    // A reader joins: the writer loses exclusivity but keeps its copy.
+    e.has_owner = false;
+  }
+  return {};
+}
+
+Directory::AccessOutcome Directory::on_write(ProcId proc, VPage page) {
+  REPRO_REQUIRE(proc.value() < num_procs_);
+  Entry& e = entries_[page];
+  const std::uint64_t self = 1ULL << proc.value();
+  AccessOutcome out;
+  out.invalidate_mask = e.sharers & ~self;
+  e.sharers = self;
+  e.owner = proc.value();
+  e.has_owner = true;
+  return out;
+}
+
+void Directory::on_evict(ProcId proc, VPage page) {
+  REPRO_REQUIRE(proc.value() < num_procs_);
+  auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    return;
+  }
+  Entry& e = it->second;
+  e.sharers &= ~(1ULL << proc.value());
+  if (e.has_owner && e.owner == proc.value()) {
+    e.has_owner = false;
+  }
+  if (e.sharers == 0) {
+    entries_.erase(it);
+  }
+}
+
+std::uint64_t Directory::sharers(VPage page) const {
+  auto it = entries_.find(page);
+  return it == entries_.end() ? 0 : it->second.sharers;
+}
+
+bool Directory::is_exclusive(ProcId proc, VPage page) const {
+  auto it = entries_.find(page);
+  if (it == entries_.end()) {
+    return false;
+  }
+  const Entry& e = it->second;
+  return e.has_owner && e.owner == proc.value() &&
+         e.sharers == (1ULL << proc.value());
+}
+
+}  // namespace repro::memsys

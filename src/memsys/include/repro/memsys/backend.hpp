@@ -1,0 +1,58 @@
+// The boundary between the memory system and the OS/VM layer.
+//
+// The memory system knows about caches, queues and latencies; it asks
+// the backend (implemented by the OS layer) where a virtual page lives.
+// Resolution is allowed to have side effects: an unmapped page is
+// faulted in by the active placement policy (this is where first-touch
+// happens), and every miss batch feeds the per-frame reference counters
+// and the kernel's migration daemon.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+
+namespace repro::memsys {
+
+struct HomeInfo {
+  NodeId node;
+  FrameId frame;
+};
+
+/// Lets the OS reach into the processors' TLBs: a page migration must
+/// invalidate every live translation of the page (the shootdown whose
+/// cost the kernel charges).
+class TlbInvalidator {
+ public:
+  virtual ~TlbInvalidator() = default;
+  virtual void invalidate_tlb_entries(VPage page) = 0;
+};
+
+class MemoryBackend {
+ public:
+  virtual ~MemoryBackend() = default;
+
+  /// Resolves a virtual page to its home, faulting it in if unmapped.
+  virtual HomeInfo resolve(ProcId accessor, VPage page, bool write) = 0;
+
+  /// Reports a batch of `lines` L2 misses by `accessor` against `page`
+  /// (currently homed as `home`) at simulated time `now`. The return
+  /// value is an extra delay charged to the accessor -- the kernel
+  /// migration daemon runs in the threshold-interrupt handler on the
+  /// faulting processor, so its migration cost lands here.
+  virtual Ns on_miss(ProcId accessor, VPage page, const HomeInfo& home,
+                     std::uint32_t lines, Ns now) = 0;
+
+  /// Reports a write that hit in the processor's cache. The OS needs
+  /// this for page-grain coherence bookkeeping that is independent of
+  /// misses (dirty tracking, collapsing read-only replicas). Returns an
+  /// extra delay charged to the writer. Default: nothing to do.
+  virtual Ns on_write_hit(ProcId accessor, VPage page) {
+    (void)accessor;
+    (void)page;
+    return 0;
+  }
+};
+
+}  // namespace repro::memsys

@@ -1,0 +1,62 @@
+// Page-grain coherence directory.
+//
+// Tracks, for every virtual page with at least one cached copy, the set
+// of processors caching it and whether one of them holds it exclusively
+// (has written it). The memory system consults the directory on every
+// access to decide which remote copies a write must invalidate; this is
+// what makes page-level false sharing (the paper's FT observation)
+// emerge from access patterns instead of being hard-coded.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+
+namespace repro::memsys {
+
+class Directory {
+ public:
+  /// `num_procs` bounds the sharer bitmask width (<= 64).
+  explicit Directory(std::size_t num_procs);
+
+  struct AccessOutcome {
+    /// Processors whose cached copy must be invalidated (excludes the
+    /// accessor).
+    std::uint64_t invalidate_mask = 0;
+    [[nodiscard]] unsigned invalidations() const;
+  };
+
+  /// Registers a read by `proc`; never invalidates, but a previous
+  /// exclusive holder is downgraded to sharer.
+  AccessOutcome on_read(ProcId proc, VPage page);
+
+  /// Registers a write by `proc`; all other sharers must invalidate.
+  AccessOutcome on_write(ProcId proc, VPage page);
+
+  /// Removes `proc` from the sharer set (its cache evicted the page).
+  void on_evict(ProcId proc, VPage page);
+
+  /// Current sharers of a page (bitmask by processor id).
+  [[nodiscard]] std::uint64_t sharers(VPage page) const;
+
+  /// True if `proc` holds the page exclusively (last writer, no other
+  /// sharers since).
+  [[nodiscard]] bool is_exclusive(ProcId proc, VPage page) const;
+
+  [[nodiscard]] std::size_t tracked_pages() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t sharers = 0;
+    /// Valid only when `has_owner`; identifies the exclusive writer.
+    std::uint32_t owner = 0;
+    bool has_owner = false;
+  };
+
+  std::size_t num_procs_;
+  std::unordered_map<VPage, Entry> entries_;
+};
+
+}  // namespace repro::memsys

@@ -1,0 +1,38 @@
+// Latency model: maps a hop distance to a memory access latency using
+// the paper's Table 1 ladder, extrapolating beyond the measured range.
+#pragma once
+
+#include "repro/common/strong_id.hpp"
+#include "repro/memsys/config.hpp"
+#include "repro/topology/topology.hpp"
+
+namespace repro::memsys {
+
+class LatencyModel {
+ public:
+  LatencyModel(const MachineConfig& config, const topo::Topology& topology);
+
+  /// Uncontended memory latency (ns) for an access from `from` to memory
+  /// on `to`.
+  [[nodiscard]] double memory_latency(NodeId from, NodeId to) const;
+
+  /// Latency for a given hop count (ns).
+  [[nodiscard]] double latency_for_hops(unsigned hops) const;
+
+  [[nodiscard]] double l1_latency() const { return l1_; }
+  [[nodiscard]] double l2_latency() const { return l2_; }
+
+  /// Remote-to-local latency ratio at the machine's maximum hop distance.
+  /// The paper's central architectural argument is that this ratio is
+  /// only ~2:1 on a 16-node Origin2000.
+  [[nodiscard]] double worst_remote_to_local_ratio() const;
+
+ private:
+  const topo::Topology* topology_;
+  std::vector<double> ladder_;
+  double extra_hop_;
+  double l1_;
+  double l2_;
+};
+
+}  // namespace repro::memsys

@@ -1,0 +1,47 @@
+// Per-node memory-module queue.
+//
+// Each NUMA node's memory serves misses at a fixed per-line occupancy.
+// When the aggregate miss rate directed at one node exceeds its service
+// rate the queue backs up and accesses see growing waits -- this is the
+// contention effect that makes the paper's worst-case (single-node/buddy)
+// placement so much worse than its (n-1)/n remote-access fraction alone
+// would predict.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/common/units.hpp"
+
+namespace repro::memsys {
+
+class MemQueue {
+ public:
+  /// `occupancy_ns` is the service time per line transfer.
+  explicit MemQueue(double occupancy_ns);
+
+  struct Service {
+    Ns wait = 0;  ///< queueing delay experienced by this batch
+  };
+
+  /// Enqueues a batch of `lines` misses arriving at time `now` and
+  /// returns the wait the issuing processor experiences.
+  Service serve(Ns now, std::uint32_t lines);
+
+  /// Time at which the module becomes idle again.
+  [[nodiscard]] Ns busy_until() const { return busy_until_; }
+
+  /// Total lines served and cumulative wait (for utilization reports).
+  [[nodiscard]] std::uint64_t lines_served() const { return lines_served_; }
+  [[nodiscard]] Ns total_wait() const { return total_wait_; }
+
+  void reset();
+
+ private:
+  double occupancy_ns_;
+  double busy_frac_ = 0.0;  ///< sub-ns carry so occupancy is not truncated
+  Ns busy_until_ = 0;
+  std::uint64_t lines_served_ = 0;
+  Ns total_wait_ = 0;
+};
+
+}  // namespace repro::memsys

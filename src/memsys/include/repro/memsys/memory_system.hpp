@@ -1,0 +1,107 @@
+// The memory system: per-processor page-grain caches, a page-grain
+// coherence directory, per-node memory queues and the Table-1 latency
+// ladder, glued together behind a single `access` entry point used by
+// the simulated threads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/memsys/backend.hpp"
+#include "repro/memsys/config.hpp"
+#include "repro/memsys/directory.hpp"
+#include "repro/memsys/latency.hpp"
+#include "repro/memsys/mem_queue.hpp"
+#include "repro/memsys/page_cache.hpp"
+#include "repro/topology/topology.hpp"
+
+namespace repro::memsys {
+
+/// Per-processor access statistics (cumulative until reset).
+struct ProcStats {
+  std::uint64_t hit_lines = 0;
+  std::uint64_t local_miss_lines = 0;
+  std::uint64_t remote_miss_lines = 0;
+  Ns queue_wait = 0;
+  std::uint64_t invalidations_sent = 0;
+  std::uint64_t tlb_misses = 0;
+
+  [[nodiscard]] std::uint64_t miss_lines() const {
+    return local_miss_lines + remote_miss_lines;
+  }
+  /// Fraction of miss lines served from remote memory; 0 if no misses.
+  [[nodiscard]] double remote_fraction() const;
+};
+
+class MemorySystem final : public TlbInvalidator {
+ public:
+  /// `backend` must outlive the memory system; `config` is copied.
+  MemorySystem(const MachineConfig& config, const topo::Topology& topology,
+               MemoryBackend& backend);
+
+  struct Access {
+    ProcId proc;
+    VPage page;
+    std::uint32_t lines = 1;
+    bool write = false;
+    /// Streaming (prefetchable unit-stride) access: the processor
+    /// overlaps successive line fetches, so a miss batch pays the hop
+    /// latency once plus the memory module's per-line service rate --
+    /// remote *latency* is hidden but *contention* is not.
+    bool stream = false;
+  };
+
+  struct AccessResult {
+    Ns elapsed = 0;           ///< time the issuing processor is blocked
+    std::uint32_t misses = 0; ///< L2 miss lines (0 on a cache hit)
+    Ns queue_wait = 0;
+    unsigned invalidations = 0;
+    bool remote = false;
+    NodeId home;              ///< valid only when misses > 0
+  };
+
+  /// Performs one page-grain access at simulated time `now`.
+  /// `lines` is the number of distinct cache lines touched within the
+  /// page and must be in [1, lines_per_page].
+  AccessResult access(Ns now, const Access& a);
+
+  /// TlbInvalidator: drops the page's translation from every TLB (page
+  /// migration shootdown). No-op when TLB modelling is disabled.
+  void invalidate_tlb_entries(VPage page) override;
+
+  /// Drops a page from every cache (page migration does NOT require
+  /// this -- Origin caches are physical and keep their data -- but the
+  /// tests and the Table-1 probe use it to force cold misses).
+  void flush_page(VPage page);
+
+  /// Drops all cached state (between experiment repetitions).
+  void flush_all();
+
+  [[nodiscard]] const ProcStats& stats(ProcId proc) const;
+  [[nodiscard]] ProcStats total_stats() const;
+  void reset_stats();
+
+  [[nodiscard]] const MachineConfig& config() const { return config_; }
+  [[nodiscard]] const LatencyModel& latency() const { return latency_; }
+  [[nodiscard]] NodeId node_of(ProcId proc) const;
+
+  /// Cumulative queueing wait observed at a node's memory module.
+  [[nodiscard]] const MemQueue& queue(NodeId node) const;
+
+ private:
+  MachineConfig config_;
+  const topo::Topology* topology_;
+  MemoryBackend* backend_;
+  LatencyModel latency_;
+  std::vector<PageCache> caches_;   // by processor
+  std::vector<PageCache> tlbs_;     // by processor (empty when disabled)
+  Directory directory_;
+  std::vector<MemQueue> queues_;    // by node
+  std::vector<ProcStats> stats_;    // by processor
+  double elapsed_frac_ = 0.0;       // sub-ns carry for latency charges
+};
+
+}  // namespace repro::memsys

@@ -1,0 +1,60 @@
+// Page-grain processor cache model.
+//
+// The simulator models caching at the granularity of whole pages rather
+// than individual lines: a page is either resident in a processor's L2
+// or not, and residency is managed with true LRU. This is the standard
+// coarsening for page-placement studies -- what the experiments need is
+// the *rate of L2 misses per page per node*, which drives both the
+// latency charged to threads and the per-frame reference counters. The
+// line-level structure inside a page only scales the number of misses
+// (lines touched), which callers pass explicitly.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "repro/common/strong_id.hpp"
+
+namespace repro::memsys {
+
+class PageCache {
+ public:
+  /// `capacity_pages` == L2 size / page size; must be >= 1.
+  explicit PageCache(std::size_t capacity_pages);
+
+  struct TouchResult {
+    bool hit = false;
+    /// Set when inserting required evicting the LRU page; the caller
+    /// must notify the coherence directory.
+    std::optional<VPage> evicted;
+  };
+
+  /// True if the page is currently resident (does not touch LRU order).
+  [[nodiscard]] bool contains(VPage page) const;
+
+  /// Makes the page most-recently-used, inserting it if absent.
+  TouchResult touch(VPage page);
+
+  /// Drops a page (coherence invalidation). Returns true if it was
+  /// resident.
+  bool invalidate(VPage page);
+
+  /// Drops everything (used when a simulated thread is migrated).
+  void clear();
+
+  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Identity of the page that would be evicted next (LRU); only valid
+  /// when size() > 0. Exposed for tests.
+  [[nodiscard]] VPage lru_page() const;
+
+ private:
+  std::size_t capacity_;
+  std::list<VPage> lru_;  // front = most recent
+  std::unordered_map<VPage, std::list<VPage>::iterator> map_;
+};
+
+}  // namespace repro::memsys

@@ -1,0 +1,33 @@
+#include "repro/memsys/latency.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::memsys {
+
+LatencyModel::LatencyModel(const MachineConfig& config,
+                           const topo::Topology& topology)
+    : topology_(&topology),
+      ladder_(config.mem_latency_ns),
+      extra_hop_(config.extra_hop_latency_ns),
+      l1_(config.l1_latency_ns),
+      l2_(config.l2_latency_ns) {
+  REPRO_REQUIRE(!ladder_.empty());
+}
+
+double LatencyModel::latency_for_hops(unsigned hops) const {
+  if (hops < ladder_.size()) {
+    return ladder_[hops];
+  }
+  const auto extra = static_cast<double>(hops - (ladder_.size() - 1));
+  return ladder_.back() + extra * extra_hop_;
+}
+
+double LatencyModel::memory_latency(NodeId from, NodeId to) const {
+  return latency_for_hops(topology_->hops(from, to));
+}
+
+double LatencyModel::worst_remote_to_local_ratio() const {
+  return latency_for_hops(topology_->max_hops()) / ladder_.front();
+}
+
+}  // namespace repro::memsys

@@ -1,0 +1,36 @@
+#include "repro/memsys/mem_queue.hpp"
+
+#include <cmath>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::memsys {
+
+MemQueue::MemQueue(double occupancy_ns) : occupancy_ns_(occupancy_ns) {
+  REPRO_REQUIRE(occupancy_ns >= 0.0);
+}
+
+MemQueue::Service MemQueue::serve(Ns now, std::uint32_t lines) {
+  Service out;
+  if (busy_until_ > now) {
+    out.wait = busy_until_ - now;
+  }
+  const Ns start = busy_until_ > now ? busy_until_ : now;
+  const double busy =
+      occupancy_ns_ * static_cast<double>(lines) + busy_frac_;
+  const auto whole = static_cast<Ns>(busy);
+  busy_frac_ = busy - static_cast<double>(whole);
+  busy_until_ = start + whole;
+  lines_served_ += lines;
+  total_wait_ += out.wait;
+  return out;
+}
+
+void MemQueue::reset() {
+  busy_until_ = 0;
+  busy_frac_ = 0.0;
+  lines_served_ = 0;
+  total_wait_ = 0;
+}
+
+}  // namespace repro::memsys

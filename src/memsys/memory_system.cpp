@@ -1,0 +1,186 @@
+#include "repro/memsys/memory_system.hpp"
+
+#include <cmath>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::memsys {
+
+double ProcStats::remote_fraction() const {
+  const std::uint64_t total = miss_lines();
+  return total == 0
+             ? 0.0
+             : static_cast<double>(remote_miss_lines) /
+                   static_cast<double>(total);
+}
+
+MemorySystem::MemorySystem(const MachineConfig& config,
+                           const topo::Topology& topology,
+                           MemoryBackend& backend)
+    : config_(config),
+      topology_(&topology),
+      backend_(&backend),
+      latency_(config_, topology),
+      directory_(config_.num_procs()) {
+  config_.validate();
+  REPRO_REQUIRE(topology.num_nodes() == config_.num_nodes);
+  caches_.reserve(config_.num_procs());
+  for (std::size_t p = 0; p < config_.num_procs(); ++p) {
+    caches_.emplace_back(config_.cache_capacity_pages());
+  }
+  if (config_.tlb_entries > 0) {
+    tlbs_.reserve(config_.num_procs());
+    for (std::size_t p = 0; p < config_.num_procs(); ++p) {
+      tlbs_.emplace_back(config_.tlb_entries);
+    }
+  }
+  queues_.reserve(config_.num_nodes);
+  for (std::size_t n = 0; n < config_.num_nodes; ++n) {
+    queues_.emplace_back(config_.mem_occupancy_ns);
+  }
+  stats_.resize(config_.num_procs());
+}
+
+NodeId MemorySystem::node_of(ProcId proc) const {
+  REPRO_REQUIRE(proc.value() < config_.num_procs());
+  return NodeId(proc.value() / static_cast<std::uint32_t>(
+                                   config_.procs_per_node));
+}
+
+MemorySystem::AccessResult MemorySystem::access(Ns now, const Access& a) {
+  REPRO_REQUIRE(a.proc.value() < config_.num_procs());
+  REPRO_REQUIRE(a.lines >= 1 && a.lines <= config_.lines_per_page());
+
+  AccessResult out;
+  double tlb_penalty = 0.0;
+  if (!tlbs_.empty() && !tlbs_[a.proc.value()].touch(a.page).hit) {
+    tlb_penalty = config_.tlb_refill_ns;
+    ++stats_[a.proc.value()].tlb_misses;
+  }
+  PageCache& cache = caches_[a.proc.value()];
+  const auto touch = cache.touch(a.page);
+  if (touch.evicted) {
+    directory_.on_evict(a.proc, *touch.evicted);
+  }
+
+  // Coherence bookkeeping; a write invalidates every other cached copy
+  // (page-grain upgrade), which is how page-level false sharing shows up.
+  const Directory::AccessOutcome coherence =
+      a.write ? directory_.on_write(a.proc, a.page)
+              : directory_.on_read(a.proc, a.page);
+  if (coherence.invalidate_mask != 0) {
+    for (std::uint32_t p = 0; p < config_.num_procs(); ++p) {
+      if ((coherence.invalidate_mask >> p) & 1u) {
+        caches_[p].invalidate(VPage(a.page));
+      }
+    }
+    out.invalidations = coherence.invalidations();
+    stats_[a.proc.value()].invalidations_sent += out.invalidations;
+  }
+
+  double elapsed = tlb_penalty + static_cast<double>(out.invalidations) *
+                                     config_.invalidation_ns;
+  if (touch.hit) {
+    elapsed += static_cast<double>(a.lines) * config_.cache_hit_ns;
+    stats_[a.proc.value()].hit_lines += a.lines;
+    if (a.write) {
+      elapsed += static_cast<double>(backend_->on_write_hit(a.proc, a.page));
+    }
+  } else {
+    out.misses = a.lines;
+    const HomeInfo home = backend_->resolve(a.proc, a.page, a.write);
+    out.home = home.node;
+    const NodeId from = node_of(a.proc);
+    out.remote = from != home.node;
+
+    const MemQueue::Service svc =
+        queues_[home.node.value()].serve(now, a.lines);
+    out.queue_wait = svc.wait;
+    const double lat = latency_.memory_latency(from, home.node);
+    if (a.stream) {
+      // Pipelined fetch: one full-latency line, the rest at a rate
+      // limited by the memory module locally and additionally by the
+      // network when remote (prefetching hides most, not all, of the
+      // extra hop latency).
+      const double extra =
+          (lat - latency_.latency_for_hops(0)) / config_.stream_hide_factor;
+      elapsed += static_cast<double>(svc.wait) + lat +
+                 static_cast<double>(a.lines - 1) *
+                     (config_.mem_occupancy_ns + extra);
+    } else {
+      elapsed += static_cast<double>(svc.wait) +
+                 static_cast<double>(a.lines) * lat;
+    }
+
+    ProcStats& st = stats_[a.proc.value()];
+    st.queue_wait += svc.wait;
+    if (out.remote) {
+      st.remote_miss_lines += a.lines;
+    } else {
+      st.local_miss_lines += a.lines;
+    }
+    const Ns penalty = backend_->on_miss(a.proc, a.page, home, a.lines, now);
+    elapsed += static_cast<double>(penalty);
+  }
+
+  elapsed += elapsed_frac_;
+  const auto whole = static_cast<Ns>(elapsed);
+  elapsed_frac_ = elapsed - static_cast<double>(whole);
+  out.elapsed = whole;
+  return out;
+}
+
+void MemorySystem::invalidate_tlb_entries(VPage page) {
+  for (PageCache& tlb : tlbs_) {
+    tlb.invalidate(page);
+  }
+}
+
+void MemorySystem::flush_page(VPage page) {
+  for (std::uint32_t p = 0; p < config_.num_procs(); ++p) {
+    if (caches_[p].invalidate(page)) {
+      directory_.on_evict(ProcId(p), page);
+    }
+  }
+}
+
+void MemorySystem::flush_all() {
+  for (std::uint32_t p = 0; p < config_.num_procs(); ++p) {
+    caches_[p].clear();
+  }
+  directory_ = Directory(config_.num_procs());
+}
+
+const ProcStats& MemorySystem::stats(ProcId proc) const {
+  REPRO_REQUIRE(proc.value() < config_.num_procs());
+  return stats_[proc.value()];
+}
+
+ProcStats MemorySystem::total_stats() const {
+  ProcStats total;
+  for (const ProcStats& st : stats_) {
+    total.hit_lines += st.hit_lines;
+    total.local_miss_lines += st.local_miss_lines;
+    total.remote_miss_lines += st.remote_miss_lines;
+    total.queue_wait += st.queue_wait;
+    total.invalidations_sent += st.invalidations_sent;
+    total.tlb_misses += st.tlb_misses;
+  }
+  return total;
+}
+
+void MemorySystem::reset_stats() {
+  for (ProcStats& st : stats_) {
+    st = ProcStats{};
+  }
+  for (MemQueue& q : queues_) {
+    q.reset();
+  }
+}
+
+const MemQueue& MemorySystem::queue(NodeId node) const {
+  REPRO_REQUIRE(node.value() < config_.num_nodes);
+  return queues_[node.value()];
+}
+
+}  // namespace repro::memsys

@@ -1,0 +1,51 @@
+#include "repro/memsys/page_cache.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::memsys {
+
+PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {
+  REPRO_REQUIRE(capacity_pages >= 1);
+}
+
+bool PageCache::contains(VPage page) const { return map_.contains(page); }
+
+PageCache::TouchResult PageCache::touch(VPage page) {
+  TouchResult out;
+  if (auto it = map_.find(page); it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    out.hit = true;
+    return out;
+  }
+  if (map_.size() == capacity_) {
+    const VPage victim = lru_.back();
+    lru_.pop_back();
+    map_.erase(victim);
+    out.evicted = victim;
+  }
+  lru_.push_front(page);
+  map_.emplace(page, lru_.begin());
+  return out;
+}
+
+bool PageCache::invalidate(VPage page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) {
+    return false;
+  }
+  lru_.erase(it->second);
+  map_.erase(it);
+  return true;
+}
+
+void PageCache::clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+VPage PageCache::lru_page() const {
+  REPRO_REQUIRE(!lru_.empty());
+  return lru_.back();
+}
+
+}  // namespace repro::memsys

@@ -1,0 +1,251 @@
+#include "repro/nas/adi.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/schedule.hpp"
+
+namespace repro::nas {
+
+namespace {
+
+/// Plane block owned by thread t (k-loop parallelization).
+omp::ChunkRange plane_block(ThreadId t, std::size_t threads,
+                            std::uint64_t planes) {
+  return omp::static_block(t, threads, planes);
+}
+
+}  // namespace
+
+AdiParams bt_params() {
+  AdiParams p;
+  p.name = "BT";
+  p.default_iterations = 200;
+  p.rhs_ns_per_line = 240.0;
+  p.solve_ns_per_line = 5200.0;
+  p.add_ns_per_line = 120.0;
+  p.forcing_lines = 96;
+  return p;
+}
+
+AdiParams sp_params() {
+  AdiParams p;
+  p.name = "SP";
+  p.default_iterations = 400;
+  p.rhs_ns_per_line = 150.0;
+  p.solve_ns_per_line = 2000.0;
+  p.forcing_lines = 48;
+  p.add_ns_per_line = 60.0;
+  p.bc_passes_xy = 12;
+  p.bc_passes_z = 18;
+  return p;
+}
+
+AdiSolverWorkload::AdiSolverWorkload(AdiParams adi,
+                                     const WorkloadParams& params)
+    : adi_(std::move(adi)), params_(params) {
+  if (params_.size_scale != 1.0) {
+    adi_.planes = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(adi_.planes) *
+                                      params_.size_scale));
+  }
+  if (params_.serial_init_fraction >= 0.0) {
+    adi_.serial_init_u = params_.serial_init_fraction;
+    adi_.serial_init_forcing = params_.serial_init_fraction;
+  }
+}
+
+void AdiSolverWorkload::setup(omp::Machine& machine) {
+  vm::AddressSpace& space = machine.address_space();
+  u_ = alloc_plane_array(space, adi_.name + ".u", adi_.planes,
+                         adi_.pages_per_plane);
+  rhs_ = alloc_plane_array(space, adi_.name + ".rhs", adi_.planes,
+                           adi_.pages_per_plane);
+  forcing_ = alloc_plane_array(space, adi_.name + ".forcing", adi_.planes,
+                               adi_.pages_per_plane);
+  const std::size_t threads = machine.runtime().num_threads();
+  bc_ = space.allocate_pages(adi_.name + ".bc",
+                             adi_.bc_pages_per_thread * threads);
+}
+
+void AdiSolverWorkload::register_hot(upm::Upmlib& upm) const {
+  // The compiler identifies u, rhs and forcing as hot memory areas
+  // (paper Fig. 2); the interface-plane array is read and written in
+  // disjoint parallel constructs too.
+  upm.memrefcnt(u_.range);
+  upm.memrefcnt(rhs_.range);
+  upm.memrefcnt(forcing_.range);
+  upm.memrefcnt(bc_);
+}
+
+std::uint64_t AdiSolverWorkload::hot_page_count() const {
+  return u_.total_pages() + rhs_.total_pages() + forcing_.total_pages() +
+         bc_.count;
+}
+
+omp::ChunkRange AdiSolverWorkload::bc_block_xy(ThreadId t,
+                                               std::size_t /*threads*/) const {
+  const std::uint64_t bpt = adi_.bc_pages_per_thread;
+  const std::uint64_t begin = t.value() * bpt;
+  return {begin, begin + bpt};
+}
+
+omp::ChunkRange AdiSolverWorkload::bc_block_z(ThreadId t,
+                                              std::size_t threads) const {
+  const std::uint64_t bpt = adi_.bc_pages_per_thread;
+  const std::uint64_t owner = (t.value() + 1) % threads;
+  const std::uint64_t begin = owner * bpt;
+  return {begin, begin + bpt};
+}
+
+void AdiSolverWorkload::cold_start(omp::Machine& machine) {
+  // Serial initialization sections touch a scattered subset of the
+  // arrays first (under first-touch those pages land on the master's
+  // node, making the cold-start placement slightly suboptimal -- as in
+  // the real codes).
+  master_fault_scattered(machine, u_.range, adi_.serial_init_u);
+  master_fault_scattered(machine, forcing_.range, adi_.serial_init_forcing);
+  // One discarded iteration of the complete parallel computation (no
+  // UPMlib instrumentation).
+  iteration(machine, IterationContext{}, 0);
+}
+
+void AdiSolverWorkload::phase_rhs(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto block = plane_block(ThreadId(t), rt.num_threads(),
+                                     adi_.planes);
+      e.sweep_planes(u_, block.begin, block.end, /*write=*/false,
+                     adi_.rhs_ns_per_line, /*stream=*/true);
+      e.sweep_planes(forcing_, block.begin, block.end, /*write=*/false,
+                     adi_.rhs_ns_per_line * 0.3, /*stream=*/true,
+                     adi_.forcing_lines);
+      e.sweep_planes(rhs_, block.begin, block.end, /*write=*/true,
+                     adi_.rhs_ns_per_line * 0.5, /*stream=*/true);
+    }
+    rt.run(adi_.name + ".compute_rhs", std::move(region));
+  }
+}
+
+void AdiSolverWorkload::phase_xy_solve(omp::Machine& machine,
+                                       const std::string& name) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto block = plane_block(ThreadId(t), threads, adi_.planes);
+      const auto bc = bc_block_xy(ThreadId(t), threads);
+      // The line solves interleave substitution passes over the
+      // interface planes with the main sweep: split the plane block
+      // into bc_passes_xy segments and revisit the bc pages after each
+      // (the revisits miss again because the phase working set exceeds
+      // the L2 capacity).
+      const std::uint32_t passes = std::max(1u, adi_.bc_passes_xy);
+      const std::uint64_t span = block.end - block.begin;
+      for (std::uint32_t s = 0; s < passes; ++s) {
+        const std::uint64_t seg_b = block.begin + span * s / passes;
+        const std::uint64_t seg_e = block.begin + span * (s + 1) / passes;
+        e.sweep_planes(u_, seg_b, seg_e, /*write=*/false,
+                       adi_.solve_ns_per_line * 0.4, /*stream=*/true);
+        e.sweep_planes(rhs_, seg_b, seg_e, /*write=*/true,
+                       adi_.solve_ns_per_line * 0.6, /*stream=*/true);
+        e.sweep_range(bc_, bc.begin, bc.end, /*write=*/true,
+                      adi_.bc_ns_per_line);
+      }
+    }
+    rt.run(adi_.name + "." + name, std::move(region));
+  }
+}
+
+void AdiSolverWorkload::phase_z_solve(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  const std::uint64_t plane_lines = u_.lines_per_plane(lpp);
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      // z_solve parallelizes the j loop: thread t owns a j-slice of
+      // every plane (transposed pattern; page-aligned for BT/SP), and
+      // its interface-plane block is the *rotated* one: ownership of
+      // the bc pages flips at this phase.
+      const auto slice =
+          omp::static_block(ThreadId(t), threads, plane_lines);
+      const auto bc = bc_block_z(ThreadId(t), threads);
+      const std::uint32_t passes = std::max(1u, adi_.bc_passes_z);
+      const std::uint64_t span = slice.end - slice.begin;
+      for (std::uint32_t s = 0; s < passes; ++s) {
+        const std::uint64_t seg_b = slice.begin + span * s / passes;
+        const std::uint64_t seg_e = slice.begin + span * (s + 1) / passes;
+        e.sweep_columns(u_, seg_b, seg_e, /*write=*/false,
+                        adi_.solve_ns_per_line * 0.4);
+        e.sweep_columns(rhs_, seg_b, seg_e, /*write=*/true,
+                        adi_.solve_ns_per_line * 0.6);
+        e.sweep_range(bc_, bc.begin, bc.end, /*write=*/true,
+                      adi_.bc_ns_per_line);
+      }
+    }
+    rt.run(adi_.name + ".z_solve", std::move(region));
+  }
+}
+
+void AdiSolverWorkload::phase_add(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto block = plane_block(ThreadId(t), rt.num_threads(),
+                                     adi_.planes);
+      e.sweep_planes(rhs_, block.begin, block.end, /*write=*/false,
+                     adi_.add_ns_per_line, /*stream=*/true);
+      e.sweep_planes(u_, block.begin, block.end, /*write=*/true,
+                     adi_.add_ns_per_line, /*stream=*/true);
+    }
+    rt.run(adi_.name + ".add", std::move(region));
+  }
+}
+
+void AdiSolverWorkload::iteration(omp::Machine& machine,
+                                  const IterationContext& ctx,
+                                  std::uint32_t step) {
+  const bool recrep = ctx.mode == UpmMode::kRecordReplay && ctx.upm != nullptr;
+
+  phase_rhs(machine);
+  phase_xy_solve(machine, "x_solve");
+  phase_xy_solve(machine, "y_solve");
+
+  // Paper Fig. 3: record the counters immediately before z_solve in the
+  // recording iteration; replay the phase migrations in later ones.
+  if (recrep) {
+    if (step == 2) {
+      ctx.upm->record();
+    } else if (step > 2) {
+      ctx.upm->replay();
+    }
+  }
+
+  phase_z_solve(machine);
+
+  if (recrep) {
+    if (step == 1) {
+      ctx.upm->migrate_memory();
+    } else if (step == 2) {
+      ctx.upm->record();
+      ctx.upm->compare_counters();
+    } else if (step > 2) {
+      ctx.upm->undo();
+    }
+  }
+
+  phase_add(machine);
+}
+
+}  // namespace repro::nas

@@ -1,0 +1,138 @@
+#include "repro/nas/cg.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/schedule.hpp"
+
+namespace repro::nas {
+
+CgWorkload::CgWorkload(CgParams cg, const WorkloadParams& params)
+    : cg_(cg), params_(params) {
+  if (params_.size_scale != 1.0) {
+    cg_.a_pages = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(static_cast<double>(cg_.a_pages) *
+                                       params_.size_scale));
+  }
+  if (params_.serial_init_fraction >= 0.0) {
+    cg_.serial_init_fraction = params_.serial_init_fraction;
+  }
+}
+
+void CgWorkload::setup(omp::Machine& machine) {
+  vm::AddressSpace& space = machine.address_space();
+  a_ = space.allocate_pages("CG.a", cg_.a_pages);
+  p_ = space.allocate_pages("CG.p", cg_.vec_pages);
+  q_ = space.allocate_pages("CG.q", cg_.vec_pages);
+  r_ = space.allocate_pages("CG.r", cg_.vec_pages);
+  x_ = space.allocate_pages("CG.x", cg_.vec_pages);
+}
+
+void CgWorkload::register_hot(upm::Upmlib& upm) const {
+  upm.memrefcnt(a_);
+  upm.memrefcnt(p_);
+  upm.memrefcnt(q_);
+  upm.memrefcnt(r_);
+  upm.memrefcnt(x_);
+}
+
+std::uint64_t CgWorkload::hot_page_count() const {
+  return a_.count + 4 * cg_.vec_pages;
+}
+
+void CgWorkload::cold_start(omp::Machine& machine) {
+  master_fault_scattered(machine, a_, cg_.serial_init_fraction);
+  // The vectors are initialized by a parallel loop with the same block
+  // partition the solver uses (as in the real code), so first-touch
+  // distributes them before the gather in the first matvec can fault
+  // them onto whichever thread reads first.
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  sim::RegionBuilder region = rt.make_region();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const Emit e{region, ThreadId(t), lpp};
+    const auto slice = omp::static_block(ThreadId(t), threads, p_.count);
+    for (const vm::PageRange* vec : {&p_, &q_, &r_, &x_}) {
+      e.sweep_range(*vec, slice.begin, slice.end, /*write=*/true,
+                    cg_.vec_ns_per_line);
+    }
+  }
+  rt.run("CG.init", std::move(region));
+  iteration(machine, IterationContext{}, 0);
+}
+
+void CgWorkload::phase_matvec(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto rows = omp::static_block(ThreadId(t), threads, a_.count);
+      const auto slice = omp::static_block(ThreadId(t), threads, q_.count);
+      // Stream the row block of A; gather p from everywhere; write the
+      // owned slice of q.
+      e.sweep_range(a_, rows.begin, rows.end, /*write=*/false,
+                    cg_.matvec_ns_per_line, /*stream=*/true);
+      e.gather(p_, cg_.gather_lines, /*write=*/false,
+               cg_.matvec_ns_per_line * 0.5);
+      e.sweep_range(q_, slice.begin, slice.end, /*write=*/true,
+                    cg_.vec_ns_per_line, /*stream=*/true);
+    }
+    rt.run("CG.matvec", std::move(region));
+  }
+}
+
+void CgWorkload::phase_vector_ops(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto slice = omp::static_block(ThreadId(t), threads, q_.count);
+      // alpha = rho / (p,q); x += alpha p; r -= alpha q; rho' = (r,r).
+      e.sweep_range(q_, slice.begin, slice.end, /*write=*/false,
+                    cg_.vec_ns_per_line);
+      e.sweep_range(x_, slice.begin, slice.end, /*write=*/true,
+                    cg_.vec_ns_per_line);
+      e.sweep_range(r_, slice.begin, slice.end, /*write=*/true,
+                    cg_.vec_ns_per_line);
+    }
+    rt.run("CG.vector_ops", std::move(region));
+    // The dot products (p,q) and (r,r) end in OpenMP reductions.
+    rt.advance(2 * 4 * 200);  // two log-tree combines over 16 threads
+  }
+}
+
+void CgWorkload::phase_p_update(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto slice = omp::static_block(ThreadId(t), threads, p_.count);
+      // p = r + beta p: the owner writes its p slice every iteration,
+      // which keeps each p page's local count ahead of the remote
+      // gather counts (p stays put under the competitive criterion).
+      e.sweep_range(r_, slice.begin, slice.end, /*write=*/false,
+                    cg_.vec_ns_per_line);
+      e.sweep_range(p_, slice.begin, slice.end, /*write=*/true,
+                    cg_.vec_ns_per_line);
+    }
+    rt.run("CG.p_update", std::move(region));
+  }
+}
+
+void CgWorkload::iteration(omp::Machine& machine,
+                           const IterationContext& /*ctx*/,
+                           std::uint32_t /*step*/) {
+  phase_matvec(machine);
+  phase_vector_ops(machine);
+  phase_p_update(machine);
+}
+
+}  // namespace repro::nas

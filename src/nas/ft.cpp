@@ -1,0 +1,146 @@
+#include "repro/nas/ft.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/schedule.hpp"
+
+namespace repro::nas {
+
+FtWorkload::FtWorkload(FtParams ft, const WorkloadParams& params)
+    : ft_(ft), params_(params) {
+  if (params_.size_scale != 1.0) {
+    ft_.planes = std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(static_cast<double>(ft_.planes) *
+                                      params_.size_scale));
+  }
+  if (params_.serial_init_fraction >= 0.0) {
+    ft_.serial_init_fraction = params_.serial_init_fraction;
+  }
+}
+
+void FtWorkload::setup(omp::Machine& machine) {
+  vm::AddressSpace& space = machine.address_space();
+  u0_ = alloc_plane_array(space, "FT.u0", ft_.planes, ft_.pages_per_plane);
+  u1_ = alloc_plane_array(space, "FT.u1", ft_.planes, ft_.pages_per_plane);
+}
+
+void FtWorkload::register_hot(upm::Upmlib& upm) const {
+  upm.memrefcnt(u0_.range);
+  upm.memrefcnt(u1_.range);
+}
+
+std::uint64_t FtWorkload::hot_page_count() const {
+  return u0_.total_pages() + u1_.total_pages();
+}
+
+void FtWorkload::cold_start(omp::Machine& machine) {
+  master_fault_scattered(machine, u0_.range, ft_.serial_init_fraction);
+  iteration(machine, IterationContext{}, 0);
+}
+
+void FtWorkload::phase_evolve(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto block =
+          omp::static_block(ThreadId(t), threads, u0_.planes);
+      e.sweep_planes(u0_, block.begin, block.end, /*write=*/true,
+                     ft_.evolve_ns_per_line, /*stream=*/true);
+    }
+    rt.run("FT.evolve", std::move(region));
+  }
+}
+
+void FtWorkload::phase_fft_xy(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto block =
+          omp::static_block(ThreadId(t), threads, u0_.planes);
+      for (std::uint32_t pass = 0; pass < ft_.fft_passes; ++pass) {
+        e.sweep_planes(u0_, block.begin, block.end, /*write=*/true,
+                       ft_.fft_ns_per_line, /*stream=*/true);
+      }
+    }
+    rt.run("FT.fft_xy", std::move(region));
+  }
+}
+
+void FtWorkload::phase_transpose(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  const std::uint64_t plane_lines = u1_.lines_per_plane(lpp);
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      // Read own planes of u0, write own column slice of every plane
+      // of u1 (the all-to-all). The slice is not page aligned.
+      const auto src = omp::static_block(ThreadId(t), threads, u0_.planes);
+      const auto dst =
+          omp::static_block(ThreadId(t), threads, plane_lines);
+      e.sweep_planes(u0_, src.begin, src.end, /*write=*/false,
+                     ft_.transpose_ns_per_line);
+      e.sweep_columns(u1_, dst.begin, dst.end, /*write=*/true,
+                      ft_.transpose_ns_per_line);
+    }
+    rt.run("FT.transpose", std::move(region));
+  }
+}
+
+void FtWorkload::phase_fft_z(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  const std::uint64_t plane_lines = u1_.lines_per_plane(lpp);
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto slice =
+          omp::static_block(ThreadId(t), threads, plane_lines);
+      for (std::uint32_t pass = 0; pass < ft_.fft_passes; ++pass) {
+        e.sweep_columns(u1_, slice.begin, slice.end, /*write=*/true,
+                        ft_.fft_ns_per_line);
+      }
+    }
+    rt.run("FT.fft_z", std::move(region));
+  }
+}
+
+void FtWorkload::phase_checksum(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto block =
+          omp::static_block(ThreadId(t), threads, u1_.planes);
+      e.sweep_planes(u1_, block.begin, block.end, /*write=*/false,
+                     ft_.checksum_ns_per_line, /*stream=*/true);
+    }
+    rt.run("FT.checksum", std::move(region));
+  }
+}
+
+void FtWorkload::iteration(omp::Machine& machine,
+                           const IterationContext& /*ctx*/,
+                           std::uint32_t /*step*/) {
+  phase_evolve(machine);
+  phase_fft_xy(machine);
+  phase_transpose(machine);
+  phase_fft_z(machine);
+  phase_checksum(machine);
+}
+
+}  // namespace repro::nas

@@ -1,0 +1,111 @@
+// BT and SP: simulated-CFD ADI solvers.
+//
+// Both codes factor the 3-D Navier-Stokes system and sweep the grid
+// along each dimension per time step:
+//
+//   compute_rhs  -> x_solve -> y_solve -> [phase change] z_solve -> add
+//
+// compute_rhs, x_solve, y_solve and add parallelize the k (z) loop:
+// thread t owns a contiguous block of k-planes of u, rhs and forcing.
+// z_solve parallelizes the j (y) loop: thread t owns a j-slice of every
+// plane -- the transposed access pattern that motivates the paper's
+// record--replay redistribution. The arrays are aligned so one j-slice
+// is a whole number of pages (the paper notes BT/SP arrays are aligned
+// in memory to improve x/y locality).
+//
+// BT and SP differ in the factorization (block-tridiagonal 5x5 systems
+// vs scalar pentadiagonal): BT does much more computation per grid
+// point, which is why the paper finds BT the least sensitive benchmark
+// to page placement. The model expresses this as per-line compute costs.
+#pragma once
+
+#include <array>
+
+#include "repro/nas/pattern.hpp"
+#include "repro/nas/workload.hpp"
+
+namespace repro::nas {
+
+struct AdiParams {
+  std::string name = "BT";
+  std::uint64_t planes = 128;
+  std::uint64_t pages_per_plane = 16;
+  std::uint32_t default_iterations = 200;
+  double rhs_ns_per_line = 60.0;
+  /// Lines of each forcing page read per iteration (the solver only
+  /// interpolates the forcing terms; 0 = whole page).
+  std::uint32_t forcing_lines = 0;
+  double solve_ns_per_line = 1100.0;
+  double add_ns_per_line = 30.0;
+  /// Fractions of each array first-touched by the master thread during
+  /// serial initialization. `forcing` is the cold array (read once per
+  /// iteration): its misplacement is invisible to the kernel daemon's
+  /// windowed counter view but plainly visible to UPMlib's per-iteration
+  /// traces -- the source of the paper's ft-upmlib gains.
+  double serial_init_u = 0.0;
+  double serial_init_forcing = 0.6;
+
+  // Interface-plane working array ("bc"): holds the per-direction
+  // interface fluxes the line solves recompute on every substitution
+  // pass. In x/y solves it is partitioned like the grid (by k); in
+  // z_solve it is partitioned by j -- its pages are the ones whose
+  // dominant accessor genuinely flips at the phase change, i.e. the
+  // paper's "most critical pages" for record--replay.
+  /// One interface page per thread: the paper's critical-page cap
+  /// (n = 20) must cover every thread's flip pages for the replay gain
+  /// to move the join barrier.
+  std::uint64_t bc_pages_per_thread = 1;
+  /// Interleaved passes over the bc pages per x/y solve (each).
+  std::uint32_t bc_passes_xy = 16;
+  /// Interleaved passes over the (re-partitioned) bc pages in z_solve.
+  std::uint32_t bc_passes_z = 24;
+  double bc_ns_per_line = 40.0;
+};
+
+[[nodiscard]] AdiParams bt_params();
+[[nodiscard]] AdiParams sp_params();
+
+class AdiSolverWorkload final : public Workload {
+ public:
+  AdiSolverWorkload(AdiParams adi, const WorkloadParams& params);
+
+  [[nodiscard]] std::string name() const override { return adi_.name; }
+  [[nodiscard]] std::uint32_t default_iterations() const override {
+    return adi_.default_iterations;
+  }
+  void setup(omp::Machine& machine) override;
+  void register_hot(upm::Upmlib& upm) const override;
+  void cold_start(omp::Machine& machine) override;
+  void iteration(omp::Machine& machine, const IterationContext& ctx,
+                 std::uint32_t step) override;
+  [[nodiscard]] bool supports_record_replay() const override { return true; }
+  [[nodiscard]] std::uint64_t hot_page_count() const override;
+
+  [[nodiscard]] const PlaneArray& u() const { return u_; }
+  [[nodiscard]] const PlaneArray& rhs() const { return rhs_; }
+  [[nodiscard]] const PlaneArray& forcing() const { return forcing_; }
+  [[nodiscard]] const vm::PageRange& bc() const { return bc_; }
+
+ private:
+  AdiParams adi_;
+  WorkloadParams params_;
+  PlaneArray u_;
+  PlaneArray rhs_;
+  PlaneArray forcing_;
+  vm::PageRange bc_;
+
+  /// bc pages owned by thread t under the x/y (k) partition.
+  [[nodiscard]] omp::ChunkRange bc_block_xy(ThreadId t,
+                                            std::size_t threads) const;
+  /// bc pages owned by thread t under the z (j) partition: the x/y
+  /// assignment rotated by one thread, so ownership flips at z_solve.
+  [[nodiscard]] omp::ChunkRange bc_block_z(ThreadId t,
+                                           std::size_t threads) const;
+
+  void phase_rhs(omp::Machine& machine);
+  void phase_xy_solve(omp::Machine& machine, const std::string& name);
+  void phase_z_solve(omp::Machine& machine);
+  void phase_add(omp::Machine& machine);
+};
+
+}  // namespace repro::nas

@@ -1,0 +1,66 @@
+// CG: conjugate-gradient kernel (smallest eigenvalue of a large sparse
+// matrix via inverse power iteration).
+//
+// Per iteration the dominant work is the sparse matrix-vector product
+// q = A*p: thread t streams its block of A's rows (huge, no reuse) and
+// gathers entries of p from everywhere (the irregular access of the
+// sparse structure). The vectors are block-partitioned for the axpy /
+// dot-product phases.
+//
+// CG's pattern is why the paper sees it as the extremes on both sides:
+// it is the most memory-bound code (worst-case placement of A is
+// catastrophic), and its cold-start iteration touches A exactly like
+// the main loop does, so first-touch is already optimal and UPMlib has
+// nothing to gain under ft.
+#pragma once
+
+#include "repro/nas/pattern.hpp"
+#include "repro/nas/workload.hpp"
+
+namespace repro::nas {
+
+struct CgParams {
+  std::uint64_t a_pages = 5120;
+  std::uint64_t vec_pages = 160;
+  /// Lines of each p page gathered per thread during the matvec.
+  std::uint32_t gather_lines = 32;
+  std::uint32_t default_iterations = 400;
+  double matvec_ns_per_line = 320.0;
+  double vec_ns_per_line = 40.0;
+  /// CG has no serial init sections: first-touch is optimal.
+  double serial_init_fraction = 0.0;
+};
+
+class CgWorkload final : public Workload {
+ public:
+  CgWorkload(CgParams cg, const WorkloadParams& params);
+
+  [[nodiscard]] std::string name() const override { return "CG"; }
+  [[nodiscard]] std::uint32_t default_iterations() const override {
+    return cg_.default_iterations;
+  }
+  void setup(omp::Machine& machine) override;
+  void register_hot(upm::Upmlib& upm) const override;
+  void cold_start(omp::Machine& machine) override;
+  void iteration(omp::Machine& machine, const IterationContext& ctx,
+                 std::uint32_t step) override;
+  [[nodiscard]] std::uint64_t hot_page_count() const override;
+
+  [[nodiscard]] const vm::PageRange& a() const { return a_; }
+  [[nodiscard]] const vm::PageRange& p() const { return p_; }
+
+ private:
+  CgParams cg_;
+  WorkloadParams params_;
+  vm::PageRange a_;
+  vm::PageRange p_;
+  vm::PageRange q_;
+  vm::PageRange r_;
+  vm::PageRange x_;
+
+  void phase_matvec(omp::Machine& machine);
+  void phase_vector_ops(omp::Machine& machine);
+  void phase_p_update(omp::Machine& machine);
+};
+
+}  // namespace repro::nas

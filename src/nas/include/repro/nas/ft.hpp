@@ -1,0 +1,70 @@
+// FT: 3-D Fast Fourier Transform kernel.
+//
+// Each iteration evolves the spectral array and runs a 3-D FFT: the x/y
+// butterfly passes work on whole planes (k partition), then the data is
+// transposed into a second array so the z passes can work unit-stride
+// (j/column partition), followed by a checksum reduction over planes.
+//
+// Two properties matter for the paper's results:
+//  * the transpose is an all-to-all: every thread writes a slice of
+//    every plane of u1, so placement quality strongly affects FT (the
+//    paper's worst random-placement slowdown, 45%, is FT's);
+//  * the per-thread column slice of u1 is NOT page aligned
+//    (pages_per_plane is not divisible by the thread count), so the
+//    slice-boundary pages are written by two threads every iteration --
+//    page-level false sharing, which is why the paper finds the IRIX
+//    kernel migration engine *harmful* for FT and why UPMlib freezes
+//    bouncing pages.
+#pragma once
+
+#include "repro/nas/pattern.hpp"
+#include "repro/nas/workload.hpp"
+
+namespace repro::nas {
+
+struct FtParams {
+  std::uint64_t planes = 128;
+  /// Deliberately not divisible by 16 threads: column-slice boundary
+  /// pages are false-shared.
+  std::uint64_t pages_per_plane = 40;
+  std::uint32_t default_iterations = 6;
+  std::uint32_t fft_passes = 8;
+  double fft_ns_per_line = 520.0;
+  double transpose_ns_per_line = 60.0;
+  double evolve_ns_per_line = 80.0;
+  double checksum_ns_per_line = 40.0;
+  double serial_init_fraction = 0.0;
+};
+
+class FtWorkload final : public Workload {
+ public:
+  FtWorkload(FtParams ft, const WorkloadParams& params);
+
+  [[nodiscard]] std::string name() const override { return "FT"; }
+  [[nodiscard]] std::uint32_t default_iterations() const override {
+    return ft_.default_iterations;
+  }
+  void setup(omp::Machine& machine) override;
+  void register_hot(upm::Upmlib& upm) const override;
+  void cold_start(omp::Machine& machine) override;
+  void iteration(omp::Machine& machine, const IterationContext& ctx,
+                 std::uint32_t step) override;
+  [[nodiscard]] std::uint64_t hot_page_count() const override;
+
+  [[nodiscard]] const PlaneArray& u0() const { return u0_; }
+  [[nodiscard]] const PlaneArray& u1() const { return u1_; }
+
+ private:
+  FtParams ft_;
+  WorkloadParams params_;
+  PlaneArray u0_;
+  PlaneArray u1_;
+
+  void phase_evolve(omp::Machine& machine);
+  void phase_fft_xy(omp::Machine& machine);
+  void phase_transpose(omp::Machine& machine);
+  void phase_fft_z(omp::Machine& machine);
+  void phase_checksum(omp::Machine& machine);
+};
+
+}  // namespace repro::nas

@@ -1,0 +1,70 @@
+// MG: V-cycle multigrid solver for a 3-D Poisson equation.
+//
+// Each iteration runs one V-cycle over a hierarchy of grids: residual
+// and restriction sweeps going down, the coarse solve, prolongation and
+// smoothing going up. Every level is plane-partitioned; the stencils
+// read one neighbouring boundary plane on each side (nearest-neighbour
+// communication). Coarse levels have fewer planes than threads, so part
+// of the team idles there and the coarse arrays are shared among few
+// pages -- MG's placement sensitivity comes mostly from the huge finest
+// level.
+#pragma once
+
+#include <vector>
+
+#include "repro/nas/pattern.hpp"
+#include "repro/nas/workload.hpp"
+
+namespace repro::nas {
+
+struct MgParams {
+  std::uint64_t finest_planes = 256;
+  std::uint64_t finest_pages_per_plane = 32;
+  std::uint32_t num_levels = 5;
+  std::uint32_t default_iterations = 4;
+  /// Smoothing sweeps per level on the way up the V-cycle.
+  std::uint32_t smooth_passes = 3;
+  double smooth_ns_per_line = 380.0;
+  double transfer_ns_per_line = 200.0;
+  /// Lines read from each boundary-plane page of the neighbouring
+  /// partition (ghost exchange).
+  std::uint32_t boundary_lines = 32;
+  double serial_init_fraction = 0.05;
+};
+
+class MgWorkload final : public Workload {
+ public:
+  MgWorkload(MgParams mg, const WorkloadParams& params);
+
+  [[nodiscard]] std::string name() const override { return "MG"; }
+  [[nodiscard]] std::uint32_t default_iterations() const override {
+    return mg_.default_iterations;
+  }
+  void setup(omp::Machine& machine) override;
+  void register_hot(upm::Upmlib& upm) const override;
+  void cold_start(omp::Machine& machine) override;
+  void iteration(omp::Machine& machine, const IterationContext& ctx,
+                 std::uint32_t step) override;
+  [[nodiscard]] std::uint64_t hot_page_count() const override;
+
+  [[nodiscard]] std::size_t levels() const { return u_.size(); }
+  [[nodiscard]] const PlaneArray& u_level(std::size_t l) const;
+  [[nodiscard]] const PlaneArray& r_level(std::size_t l) const;
+
+ private:
+  MgParams mg_;
+  WorkloadParams params_;
+  std::vector<PlaneArray> u_;
+  std::vector<PlaneArray> r_;
+
+  /// Stencil sweep over one level: main block plane sweep plus the two
+  /// ghost boundary planes.
+  void stencil_sweep(omp::Machine& machine, const std::string& name,
+                     const PlaneArray& read, const PlaneArray* write,
+                     double ns_per_line);
+  /// Grid transfer between adjacent levels (restrict / prolongate).
+  void transfer(omp::Machine& machine, const std::string& name,
+                const PlaneArray& from, const PlaneArray& to);
+};
+
+}  // namespace repro::nas

@@ -1,0 +1,93 @@
+// Access-pattern building blocks for the NAS workload models.
+//
+// The models describe each benchmark's per-phase page-level access
+// pattern, derived from the published algorithm structure. The central
+// abstraction is a PlaneArray: a 3-D array laid out plane-major (the
+// Fortran layout of u(5,i,j,k) pages out as: pages_per_plane pages for
+// k=0, then k=1, ...). Two partitions matter:
+//
+//  * plane partition: thread t owns a contiguous k-range -- the pattern
+//    of compute_rhs / x_solve / y_solve (k-loop parallelization);
+//  * column partition: thread t owns a contiguous slice of every plane's
+//    line space (j-loop parallelization) -- the pattern of z_solve and
+//    FFT transposes. When the per-thread slice is not page-aligned, the
+//    boundary pages are genuinely written by two threads: page-level
+//    false sharing.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/sim/region.hpp"
+#include "repro/vm/address_space.hpp"
+
+namespace repro::nas {
+
+/// A shared 3-D array as a plane-major page grid.
+struct PlaneArray {
+  vm::PageRange range;
+  std::uint64_t planes = 0;
+  std::uint64_t pages_per_plane = 0;
+
+  [[nodiscard]] VPage page_at(std::uint64_t plane, std::uint64_t index) const;
+  [[nodiscard]] std::uint64_t total_pages() const {
+    return planes * pages_per_plane;
+  }
+  /// Lines in one plane's line space.
+  [[nodiscard]] std::uint64_t lines_per_plane(
+      std::uint32_t lines_per_page) const {
+    return pages_per_plane * lines_per_page;
+  }
+};
+
+/// Allocates a plane array in the address space under `name`.
+[[nodiscard]] PlaneArray alloc_plane_array(vm::AddressSpace& space,
+                                           const std::string& name,
+                                           std::uint64_t planes,
+                                           std::uint64_t pages_per_plane);
+
+/// Emission context: the region being built, the emitting thread and
+/// the machine's line geometry.
+struct Emit {
+  sim::RegionBuilder& region;
+  ThreadId thread;
+  std::uint32_t lines_per_page;
+
+  /// Full-page accesses to every page of planes [begin, end), with
+  /// `compute_ns_per_line` of attached work. `stream` marks the sweep
+  /// as unit-stride/prefetchable.
+  /// `lines` overrides the lines touched per page (0 = whole page).
+  void sweep_planes(const PlaneArray& a, std::uint64_t begin,
+                    std::uint64_t end, bool write,
+                    double compute_ns_per_line, bool stream = false,
+                    std::uint32_t lines = 0) const;
+
+  /// Column sweep: for every plane, touches the pages covering lines
+  /// [line_begin, line_end) of the plane's line space (partial pages at
+  /// the slice boundaries get partial-line accesses).
+  void sweep_columns(const PlaneArray& a, std::uint64_t line_begin,
+                     std::uint64_t line_end, bool write,
+                     double compute_ns_per_line) const;  // never streams
+
+  /// Gather: touches `lines_per_page_touched` lines of every page of
+  /// `range` (the CG p-vector / irregular read pattern).
+  void gather(const vm::PageRange& range, std::uint32_t lines_per_page_touched,
+              bool write, double compute_ns_per_line) const;
+
+  /// Full sweep over an unstructured page range.
+  void sweep_range(const vm::PageRange& range, std::uint64_t page_begin,
+                   std::uint64_t page_end, bool write,
+                   double compute_ns_per_line, bool stream = false) const;
+
+  /// Touches the first line of pages [begin, end) of `range` -- used by
+  /// cold-start code to fault pages in without charging a full sweep.
+  void fault_pages(const vm::PageRange& range, std::uint64_t begin,
+                   std::uint64_t end) const;
+
+ private:
+  void one(VPage page, std::uint32_t lines, bool write,
+           double compute_ns_per_line, bool stream = false) const;
+};
+
+}  // namespace repro::nas

@@ -1,0 +1,181 @@
+#include "repro/nas/mg.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/schedule.hpp"
+
+namespace repro::nas {
+
+MgWorkload::MgWorkload(MgParams mg, const WorkloadParams& params)
+    : mg_(mg), params_(params) {
+  REPRO_REQUIRE(mg_.num_levels >= 2);
+  if (params_.size_scale != 1.0) {
+    mg_.finest_planes = std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(
+               static_cast<double>(mg_.finest_planes) * params_.size_scale));
+  }
+  if (params_.serial_init_fraction >= 0.0) {
+    mg_.serial_init_fraction = params_.serial_init_fraction;
+  }
+}
+
+void MgWorkload::setup(omp::Machine& machine) {
+  vm::AddressSpace& space = machine.address_space();
+  std::uint64_t planes = mg_.finest_planes;
+  std::uint64_t ppp = mg_.finest_pages_per_plane;
+  for (std::uint32_t l = 0; l < mg_.num_levels; ++l) {
+    u_.push_back(alloc_plane_array(space, "MG.u" + std::to_string(l),
+                                   planes, ppp));
+    r_.push_back(alloc_plane_array(space, "MG.r" + std::to_string(l),
+                                   planes, ppp));
+    // Each coarser level halves every dimension: planes halve, pages
+    // per plane drop by 4x (down to one page).
+    planes = std::max<std::uint64_t>(1, planes / 2);
+    ppp = std::max<std::uint64_t>(1, ppp / 4);
+  }
+}
+
+const PlaneArray& MgWorkload::u_level(std::size_t l) const {
+  REPRO_REQUIRE(l < u_.size());
+  return u_[l];
+}
+
+const PlaneArray& MgWorkload::r_level(std::size_t l) const {
+  REPRO_REQUIRE(l < r_.size());
+  return r_[l];
+}
+
+void MgWorkload::register_hot(upm::Upmlib& upm) const {
+  for (const PlaneArray& a : u_) {
+    upm.memrefcnt(a.range);
+  }
+  for (const PlaneArray& a : r_) {
+    upm.memrefcnt(a.range);
+  }
+}
+
+std::uint64_t MgWorkload::hot_page_count() const {
+  std::uint64_t total = 0;
+  for (const PlaneArray& a : u_) {
+    total += a.total_pages();
+  }
+  for (const PlaneArray& a : r_) {
+    total += a.total_pages();
+  }
+  return total;
+}
+
+void MgWorkload::cold_start(omp::Machine& machine) {
+  master_fault_scattered(machine, u_[0].range, mg_.serial_init_fraction);
+  master_fault_scattered(machine, r_[0].range, mg_.serial_init_fraction);
+  iteration(machine, IterationContext{}, 0);
+}
+
+void MgWorkload::stencil_sweep(omp::Machine& machine,
+                               const std::string& name,
+                               const PlaneArray& read,
+                               const PlaneArray* write,
+                               double ns_per_line) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      const auto block =
+          omp::static_block(ThreadId(t), threads, read.planes);
+      if (block.size() == 0) {
+        continue;  // coarse level with fewer planes than threads
+      }
+      e.sweep_planes(read, block.begin, block.end, /*write=*/false,
+                     ns_per_line, /*stream=*/true);
+      if (write != nullptr) {
+        e.sweep_planes(*write, block.begin, block.end, /*write=*/true,
+                       ns_per_line * 0.5, /*stream=*/true);
+      }
+      // Ghost planes: read a fraction of the neighbouring partitions'
+      // boundary planes. Emitted after the main sweep (the stencil
+      // reaches the partition boundary last), which also means the
+      // owner -- whose sweep starts earlier -- faults its own boundary
+      // planes first under first-touch.
+      if (block.begin > 0) {
+        for (std::uint64_t i = 0; i < read.pages_per_plane; ++i) {
+          region.access(ThreadId(t), read.page_at(block.begin - 1, i),
+                        mg_.boundary_lines, /*write=*/false);
+        }
+      }
+      if (block.end < read.planes) {
+        for (std::uint64_t i = 0; i < read.pages_per_plane; ++i) {
+          region.access(ThreadId(t), read.page_at(block.end, i),
+                        mg_.boundary_lines, /*write=*/false);
+        }
+      }
+    }
+    rt.run(name, std::move(region));
+  }
+}
+
+void MgWorkload::transfer(omp::Machine& machine, const std::string& name,
+                          const PlaneArray& from, const PlaneArray& to) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    sim::RegionBuilder region = rt.make_region();
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      const Emit e{region, ThreadId(t), lpp};
+      // Partition on the *destination* grid; each destination plane
+      // reads the corresponding source planes.
+      const auto dst = omp::static_block(ThreadId(t), threads, to.planes);
+      if (dst.size() == 0) {
+        continue;
+      }
+      // Map destination planes to source planes in either direction:
+      // restriction reads `ratio` source planes per destination plane,
+      // prolongation reads one source plane per `ratio` destinations.
+      std::uint64_t src_b = 0;
+      std::uint64_t src_e = 0;
+      if (from.planes >= to.planes) {
+        const std::uint64_t ratio = from.planes / to.planes;
+        src_b = std::min(dst.begin * ratio, from.planes);
+        src_e = std::min(dst.end * ratio, from.planes);
+      } else {
+        const std::uint64_t ratio = to.planes / from.planes;
+        src_b = std::min(dst.begin / ratio, from.planes);
+        src_e = std::min((dst.end + ratio - 1) / ratio, from.planes);
+      }
+      e.sweep_planes(from, src_b, src_e, /*write=*/false,
+                     mg_.transfer_ns_per_line, /*stream=*/true);
+      e.sweep_planes(to, dst.begin, dst.end, /*write=*/true,
+                     mg_.transfer_ns_per_line, /*stream=*/true);
+    }
+    rt.run(name, std::move(region));
+  }
+}
+
+void MgWorkload::iteration(omp::Machine& machine,
+                           const IterationContext& /*ctx*/,
+                           std::uint32_t /*step*/) {
+  const std::size_t levels = u_.size();
+  // Down sweep: residual + restriction.
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    const std::string suffix = std::to_string(l);
+    stencil_sweep(machine, "MG.residual" + suffix, u_[l], &r_[l],
+                  mg_.smooth_ns_per_line);
+    transfer(machine, "MG.restrict" + suffix, r_[l], r_[l + 1]);
+  }
+  // Coarse solve.
+  stencil_sweep(machine, "MG.coarse", r_[levels - 1], &u_[levels - 1],
+                mg_.smooth_ns_per_line);
+  // Up sweep: prolongation + smoothing.
+  for (std::size_t l = levels - 1; l-- > 0;) {
+    const std::string suffix = std::to_string(l);
+    transfer(machine, "MG.prolong" + suffix, u_[l + 1], u_[l]);
+    for (std::uint32_t s = 0; s < mg_.smooth_passes; ++s) {
+      stencil_sweep(machine, "MG.smooth" + suffix, r_[l], &u_[l],
+                    mg_.smooth_ns_per_line);
+    }
+  }
+}
+
+}  // namespace repro::nas

@@ -1,0 +1,94 @@
+#include "repro/nas/pattern.hpp"
+
+#include <cmath>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::nas {
+
+VPage PlaneArray::page_at(std::uint64_t plane, std::uint64_t index) const {
+  REPRO_REQUIRE(plane < planes);
+  REPRO_REQUIRE(index < pages_per_plane);
+  return VPage(range.first.value() + plane * pages_per_plane + index);
+}
+
+PlaneArray alloc_plane_array(vm::AddressSpace& space, const std::string& name,
+                             std::uint64_t planes,
+                             std::uint64_t pages_per_plane) {
+  REPRO_REQUIRE(planes >= 1 && pages_per_plane >= 1);
+  PlaneArray a;
+  a.range = space.allocate_pages(name, planes * pages_per_plane);
+  a.planes = planes;
+  a.pages_per_plane = pages_per_plane;
+  return a;
+}
+
+void Emit::one(VPage page, std::uint32_t lines, bool write,
+               double compute_ns_per_line, bool stream) const {
+  const auto compute = static_cast<Ns>(
+      std::llround(compute_ns_per_line * static_cast<double>(lines)));
+  region.access(thread, page, lines, write, compute, stream);
+}
+
+void Emit::sweep_planes(const PlaneArray& a, std::uint64_t begin,
+                        std::uint64_t end, bool write,
+                        double compute_ns_per_line, bool stream,
+                        std::uint32_t lines) const {
+  REPRO_REQUIRE(begin <= end && end <= a.planes);
+  const std::uint32_t n = lines == 0 ? lines_per_page : lines;
+  for (std::uint64_t p = begin; p < end; ++p) {
+    for (std::uint64_t i = 0; i < a.pages_per_plane; ++i) {
+      one(a.page_at(p, i), n, write, compute_ns_per_line, stream);
+    }
+  }
+}
+
+void Emit::sweep_columns(const PlaneArray& a, std::uint64_t line_begin,
+                         std::uint64_t line_end, bool write,
+                         double compute_ns_per_line) const {
+  REPRO_REQUIRE(line_begin <= line_end);
+  REPRO_REQUIRE(line_end <= a.lines_per_plane(lines_per_page));
+  if (line_begin == line_end) {
+    return;
+  }
+  const std::uint64_t first_page = line_begin / lines_per_page;
+  const std::uint64_t last_page = (line_end - 1) / lines_per_page;
+  for (std::uint64_t p = 0; p < a.planes; ++p) {
+    for (std::uint64_t i = first_page; i <= last_page; ++i) {
+      const std::uint64_t page_lo = i * lines_per_page;
+      const std::uint64_t page_hi = page_lo + lines_per_page;
+      const std::uint64_t lo = std::max<std::uint64_t>(line_begin, page_lo);
+      const std::uint64_t hi = std::min<std::uint64_t>(line_end, page_hi);
+      one(a.page_at(p, i), static_cast<std::uint32_t>(hi - lo), write,
+          compute_ns_per_line);
+    }
+  }
+}
+
+void Emit::gather(const vm::PageRange& range,
+                  std::uint32_t lines_per_page_touched, bool write,
+                  double compute_ns_per_line) const {
+  REPRO_REQUIRE(lines_per_page_touched >= 1);
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    one(range.page(i), lines_per_page_touched, write, compute_ns_per_line);
+  }
+}
+
+void Emit::sweep_range(const vm::PageRange& range, std::uint64_t page_begin,
+                       std::uint64_t page_end, bool write,
+                       double compute_ns_per_line, bool stream) const {
+  REPRO_REQUIRE(page_begin <= page_end && page_end <= range.count);
+  for (std::uint64_t i = page_begin; i < page_end; ++i) {
+    one(range.page(i), lines_per_page, write, compute_ns_per_line, stream);
+  }
+}
+
+void Emit::fault_pages(const vm::PageRange& range, std::uint64_t begin,
+                       std::uint64_t end) const {
+  REPRO_REQUIRE(begin <= end && end <= range.count);
+  for (std::uint64_t i = begin; i < end; ++i) {
+    one(range.page(i), 1, /*write=*/true, 0.0);
+  }
+}
+
+}  // namespace repro::nas

@@ -1,0 +1,78 @@
+#include "repro/nas/workload.hpp"
+
+#include <cmath>
+
+#include "repro/common/assert.hpp"
+#include "repro/nas/adi.hpp"
+#include "repro/nas/cg.hpp"
+#include "repro/nas/ft.hpp"
+#include "repro/nas/mg.hpp"
+#include "repro/nas/pattern.hpp"
+
+namespace repro::nas {
+
+void Workload::master_fault_scattered(omp::Machine& machine,
+                                      const vm::PageRange& range,
+                                      double fraction) {
+  if (fraction <= 0.0) {
+    return;
+  }
+  REPRO_REQUIRE(fraction <= 1.0);
+  const auto stride = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::llround(1.0 / fraction)));
+  omp::Runtime& rt = machine.runtime();
+  sim::RegionBuilder region = rt.make_region();
+  for (std::uint64_t i = 0; i < range.count; i += stride) {
+    region.access(ThreadId(0), range.page(i), 1, /*write=*/true);
+  }
+  rt.run("serial_init", std::move(region));
+}
+
+WorkloadParams params_for_class(char problem_class) {
+  WorkloadParams params;
+  switch (problem_class) {
+    case 'W':
+    case 'w':
+      params.size_scale = 0.5;
+      break;
+    case 'A':
+    case 'a':
+      params.size_scale = 1.0;
+      break;
+    case 'B':
+    case 'b':
+      params.size_scale = 2.0;
+      break;
+    default:
+      REPRO_UNREACHABLE("unknown problem class (use W, A or B)");
+  }
+  return params;
+}
+
+const std::vector<std::string>& workload_names() {
+  static const std::vector<std::string> names = {"BT", "SP", "CG", "MG",
+                                                 "FT"};
+  return names;
+}
+
+std::unique_ptr<Workload> make_workload(const std::string& name,
+                                        const WorkloadParams& params) {
+  if (name == "BT") {
+    return std::make_unique<AdiSolverWorkload>(bt_params(), params);
+  }
+  if (name == "SP") {
+    return std::make_unique<AdiSolverWorkload>(sp_params(), params);
+  }
+  if (name == "CG") {
+    return std::make_unique<CgWorkload>(CgParams{}, params);
+  }
+  if (name == "MG") {
+    return std::make_unique<MgWorkload>(MgParams{}, params);
+  }
+  if (name == "FT") {
+    return std::make_unique<FtWorkload>(FtParams{}, params);
+  }
+  REPRO_UNREACHABLE("unknown benchmark name");
+}
+
+}  // namespace repro::nas

@@ -1,0 +1,66 @@
+// One-stop assembly of the simulated machine: topology, kernel, memory
+// system, MMCI, simulation engine and OpenMP runtime, wired together
+// with consistent lifetimes. This is the entry point of the public API:
+//
+//   auto machine = repro::omp::Machine::create({});       // 16-node O2K
+//   machine->set_placement("rr", /*seed=*/42);
+//   machine->enable_kernel_daemon({});                    // DSM_MIGRATION
+//   auto& rt = machine->runtime();
+//   ... build and run parallel regions ...
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "repro/memsys/config.hpp"
+#include "repro/memsys/memory_system.hpp"
+#include "repro/omp/runtime.hpp"
+#include "repro/os/daemon.hpp"
+#include "repro/os/kernel.hpp"
+#include "repro/os/mmci.hpp"
+#include "repro/sim/engine.hpp"
+#include "repro/topology/topology.hpp"
+#include "repro/vm/address_space.hpp"
+
+namespace repro::omp {
+
+class Machine {
+ public:
+  /// Builds a machine from `config` (validated). The OpenMP team size
+  /// defaults to one thread per processor.
+  [[nodiscard]] static std::unique_ptr<Machine> create(
+      const memsys::MachineConfig& config);
+
+  /// Selects the page placement policy by paper name
+  /// ("ft" | "rr" | "rand" | "wc"); the DSM_PLACEMENT equivalent.
+  void set_placement(const std::string& name, std::uint64_t seed = 0);
+
+  /// Enables the IRIX-style kernel migration daemon (DSM_MIGRATION).
+  void enable_kernel_daemon(const os::DaemonConfig& config);
+
+  [[nodiscard]] const memsys::MachineConfig& config() const {
+    return config_;
+  }
+  [[nodiscard]] topo::Topology& topology() { return *topology_; }
+  [[nodiscard]] os::Kernel& kernel() { return *kernel_; }
+  [[nodiscard]] memsys::MemorySystem& memory() { return *memory_; }
+  [[nodiscard]] os::MemoryControlInterface& mmci() { return *mmci_; }
+  [[nodiscard]] sim::Engine& engine() { return *engine_; }
+  [[nodiscard]] Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] vm::AddressSpace& address_space() { return *address_space_; }
+
+ private:
+  Machine() = default;
+
+  memsys::MachineConfig config_;
+  std::unique_ptr<topo::Topology> topology_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<memsys::MemorySystem> memory_;
+  std::unique_ptr<os::MemoryControlInterface> mmci_;
+  std::unique_ptr<sim::Engine> engine_;
+  std::unique_ptr<Runtime> runtime_;
+  std::unique_ptr<vm::AddressSpace> address_space_;
+};
+
+}  // namespace repro::omp

@@ -1,0 +1,104 @@
+// The OpenMP-like runtime: fork/join parallel regions over the
+// simulated machine, with named-region timing used by the experiment
+// harness (phase durations drive the record-replay evaluation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/omp/schedule.hpp"
+#include "repro/sim/engine.hpp"
+#include "repro/sim/region.hpp"
+
+namespace repro::omp {
+
+/// Record of one executed parallel region.
+struct RegionRecord {
+  std::string name;
+  Ns start = 0;
+  Ns end = 0;
+  double imbalance = 1.0;
+
+  [[nodiscard]] Ns duration() const { return end - start; }
+};
+
+class Runtime {
+ public:
+  /// One simulated OpenMP thread per processor, bound 1:1.
+  Runtime(sim::Engine& engine, std::size_t num_threads);
+
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
+  [[nodiscard]] Ns now() const { return now_; }
+
+  /// Creates an empty region builder sized for this team.
+  [[nodiscard]] sim::RegionBuilder make_region() const;
+
+  /// Fork/join: runs the region at the current time and advances the
+  /// clock past the join barrier.
+  sim::RegionResult run(const std::string& name, sim::RegionBuilder&& region);
+
+  /// PARALLEL DO: `emit(t, chunk, region)` is called for every chunk of
+  /// [0, n) assigned to thread t by `schedule`, then the region runs.
+  using ChunkEmitter =
+      std::function<void(ThreadId, ChunkRange, sim::RegionBuilder&)>;
+  sim::RegionResult parallel_for(const std::string& name, std::uint64_t n,
+                                 const Schedule& schedule,
+                                 const ChunkEmitter& emit);
+
+  /// PARALLEL DO with a REDUCTION clause: like parallel_for, plus the
+  /// cost of the log-tree combine across the team charged after the
+  /// join barrier.
+  sim::RegionResult parallel_reduce(const std::string& name,
+                                    std::uint64_t n,
+                                    const Schedule& schedule,
+                                    const ChunkEmitter& emit);
+
+  /// Per-level cost of the reduction combine tree (default 200 ns per
+  /// level: one cache-to-cache transfer plus the add).
+  void set_reduction_step(Ns step) { reduction_step_ = step; }
+
+  /// SECTIONS worksharing: each section is an independent block of
+  /// code assigned to one thread; sections are dealt round-robin when
+  /// there are more sections than threads.
+  using SectionBody = std::function<void(ThreadId, sim::RegionBuilder&)>;
+  sim::RegionResult sections(const std::string& name,
+                             const std::vector<SectionBody>& bodies);
+
+  /// Advances time in the sequential (master-only) part of the program;
+  /// used to charge UPMlib invocation costs, which execute between
+  /// parallel regions on the master thread.
+  void advance(Ns duration) { now_ += duration; }
+
+  /// Thread-to-processor binding. Threads start bound 1:1 (thread t on
+  /// processor t); the OS scheduler may rebind them (the case the
+  /// paper's footnote 3 defers to its companion work on
+  /// multiprogrammed systems).
+  [[nodiscard]] ProcId proc_of(ThreadId thread) const;
+  void rebind(ThreadId thread, ProcId proc);
+  /// Swaps two threads' processors (a scheduler exchanging them).
+  void swap_binding(ThreadId a, ThreadId b);
+
+  /// Timing log of all executed regions, in order.
+  [[nodiscard]] const std::vector<RegionRecord>& records() const {
+    return records_;
+  }
+
+  /// Sum of durations of all records whose name matches exactly.
+  [[nodiscard]] Ns total_time(const std::string& name) const;
+
+  void clear_records() { records_.clear(); }
+
+ private:
+  sim::Engine* engine_;
+  std::size_t num_threads_;
+  Ns now_ = 0;
+  std::vector<ProcId> binding_;
+  Ns reduction_step_ = 200;
+  std::vector<RegionRecord> records_;
+};
+
+}  // namespace repro::omp

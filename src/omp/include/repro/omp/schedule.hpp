@@ -1,0 +1,63 @@
+// OpenMP loop schedules (the SCHEDULE clause of the DO directive).
+//
+// Schedules partition an iteration space [0, n) among threads. The
+// simulator only needs the *mapping* of iterations to threads; dynamic
+// scheduling is modelled as interleaved chunks in round-robin order,
+// which matches its steady-state distribution for the regular loops in
+// these benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+
+namespace repro::omp {
+
+struct ChunkRange {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  // exclusive
+
+  [[nodiscard]] std::uint64_t size() const { return end - begin; }
+  bool operator==(const ChunkRange&) const = default;
+};
+
+class Schedule {
+ public:
+  enum class Kind : std::uint8_t { kStatic, kStaticChunk, kDynamic };
+
+  /// schedule(static): one contiguous block per thread.
+  [[nodiscard]] static Schedule make_static();
+  /// schedule(static, chunk): chunks dealt round-robin.
+  [[nodiscard]] static Schedule make_static_chunk(std::uint64_t chunk);
+  /// schedule(dynamic, chunk): modelled as round-robin chunks.
+  [[nodiscard]] static Schedule make_dynamic(std::uint64_t chunk);
+
+  /// The chunks of [0, n) assigned to thread `t` out of `num_threads`,
+  /// in execution order.
+  [[nodiscard]] std::vector<ChunkRange> chunks_for(ThreadId t,
+                                                   std::size_t num_threads,
+                                                   std::uint64_t n) const;
+
+  /// Thread owning iteration `i` of [0, n). For kStatic this is the
+  /// block owner; for chunked schedules the round-robin owner.
+  [[nodiscard]] ThreadId owner_of(std::uint64_t i, std::size_t num_threads,
+                                  std::uint64_t n) const;
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] std::uint64_t chunk() const { return chunk_; }
+
+ private:
+  Schedule(Kind kind, std::uint64_t chunk) : kind_(kind), chunk_(chunk) {}
+
+  Kind kind_;
+  std::uint64_t chunk_;
+};
+
+/// Contiguous block of iteration space [0,n) owned by thread t under
+/// schedule(static): the canonical OpenMP block partition (first
+/// n % num_threads threads get one extra iteration).
+[[nodiscard]] ChunkRange static_block(ThreadId t, std::size_t num_threads,
+                                      std::uint64_t n);
+
+}  // namespace repro::omp

@@ -1,0 +1,39 @@
+#include "repro/omp/machine.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/vm/placement.hpp"
+
+namespace repro::omp {
+
+std::unique_ptr<Machine> Machine::create(
+    const memsys::MachineConfig& config) {
+  config.validate();
+  // make_unique cannot reach the private constructor.
+  auto machine = std::unique_ptr<Machine>(new Machine());
+  machine->config_ = config;
+  machine->topology_ = topo::make_topology(config.topology, config.num_nodes);
+  machine->kernel_ =
+      std::make_unique<os::Kernel>(config, *machine->topology_);
+  machine->memory_ = std::make_unique<memsys::MemorySystem>(
+      config, *machine->topology_, *machine->kernel_);
+  machine->kernel_->set_tlb_invalidator(machine->memory_.get());
+  machine->mmci_ =
+      std::make_unique<os::MemoryControlInterface>(*machine->kernel_);
+  machine->engine_ = std::make_unique<sim::Engine>(*machine->memory_);
+  machine->runtime_ =
+      std::make_unique<Runtime>(*machine->engine_, config.num_procs());
+  machine->address_space_ =
+      std::make_unique<vm::AddressSpace>(config.page_size);
+  return machine;
+}
+
+void Machine::set_placement(const std::string& name, std::uint64_t seed) {
+  kernel_->set_policy(vm::make_placement(name, config_.num_nodes,
+                                         config_.procs_per_node, seed));
+}
+
+void Machine::enable_kernel_daemon(const os::DaemonConfig& config) {
+  kernel_->set_daemon(std::make_unique<os::KernelMigrationDaemon>(config));
+}
+
+}  // namespace repro::omp

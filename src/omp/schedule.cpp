@@ -1,0 +1,82 @@
+#include "repro/omp/schedule.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::omp {
+
+Schedule Schedule::make_static() { return Schedule(Kind::kStatic, 0); }
+
+Schedule Schedule::make_static_chunk(std::uint64_t chunk) {
+  REPRO_REQUIRE(chunk >= 1);
+  return Schedule(Kind::kStaticChunk, chunk);
+}
+
+Schedule Schedule::make_dynamic(std::uint64_t chunk) {
+  REPRO_REQUIRE(chunk >= 1);
+  return Schedule(Kind::kDynamic, chunk);
+}
+
+ChunkRange static_block(ThreadId t, std::size_t num_threads,
+                        std::uint64_t n) {
+  REPRO_REQUIRE(num_threads >= 1);
+  REPRO_REQUIRE(t.value() < num_threads);
+  const std::uint64_t threads = num_threads;
+  const std::uint64_t base = n / threads;
+  const std::uint64_t extra = n % threads;
+  const std::uint64_t tid = t.value();
+  const std::uint64_t begin =
+      tid * base + (tid < extra ? tid : extra);
+  const std::uint64_t size = base + (tid < extra ? 1 : 0);
+  return {begin, begin + size};
+}
+
+std::vector<ChunkRange> Schedule::chunks_for(ThreadId t,
+                                             std::size_t num_threads,
+                                             std::uint64_t n) const {
+  REPRO_REQUIRE(num_threads >= 1);
+  REPRO_REQUIRE(t.value() < num_threads);
+  std::vector<ChunkRange> out;
+  if (n == 0) {
+    return out;
+  }
+  if (kind_ == Kind::kStatic) {
+    const ChunkRange block = static_block(t, num_threads, n);
+    if (block.size() > 0) {
+      out.push_back(block);
+    }
+    return out;
+  }
+  // Chunked: chunk c covers [c*chunk, min(n, (c+1)*chunk)) and belongs
+  // to thread c % num_threads.
+  const std::uint64_t num_chunks = (n + chunk_ - 1) / chunk_;
+  for (std::uint64_t c = t.value(); c < num_chunks; c += num_threads) {
+    const std::uint64_t begin = c * chunk_;
+    const std::uint64_t end = std::min(n, begin + chunk_);
+    out.push_back({begin, end});
+  }
+  return out;
+}
+
+ThreadId Schedule::owner_of(std::uint64_t i, std::size_t num_threads,
+                            std::uint64_t n) const {
+  REPRO_REQUIRE(i < n);
+  REPRO_REQUIRE(num_threads >= 1);
+  if (kind_ == Kind::kStatic) {
+    // Invert the block partition.
+    const std::uint64_t threads = num_threads;
+    const std::uint64_t base = n / threads;
+    const std::uint64_t extra = n % threads;
+    const std::uint64_t big = (base + 1) * extra;  // iterations in big blocks
+    if (base == 0) {
+      // Fewer iterations than threads: iteration i belongs to thread i.
+      return ThreadId(static_cast<std::uint32_t>(i));
+    }
+    if (i < big) {
+      return ThreadId(static_cast<std::uint32_t>(i / (base + 1)));
+    }
+    return ThreadId(static_cast<std::uint32_t>(extra + (i - big) / base));
+  }
+  return ThreadId(static_cast<std::uint32_t>((i / chunk_) % num_threads));
+}
+
+}  // namespace repro::omp

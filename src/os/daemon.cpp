@@ -1,0 +1,76 @@
+#include "repro/os/daemon.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/os/kernel.hpp"
+
+namespace repro::os {
+
+KernelMigrationDaemon::KernelMigrationDaemon(DaemonConfig config)
+    : config_(config) {
+  REPRO_REQUIRE(config.threshold >= 1);
+  REPRO_REQUIRE(config.window_ns >= 1);
+}
+
+Ns KernelMigrationDaemon::on_miss(Kernel& kernel, ProcId accessor,
+                                  VPage page, NodeId home, Ns now) {
+  PageState& st = pages_[page];
+
+  // Counter aging: the kernel evaluates reference counters over fixed
+  // windows; a page first touched after its window expired gets a fresh
+  // window (counters reset). This is what makes the daemon blind to
+  // pages with modest per-window remote traffic.
+  if (!st.window_open || now - st.window_start > config_.window_ns) {
+    kernel.reset_counters(page);
+    st.window_start = now;
+    st.window_open = true;
+    ++stats_.window_resets;
+    return 0;
+  }
+
+  const NodeId accessor_node = kernel.node_of(accessor);
+  if (accessor_node == home) {
+    return 0;
+  }
+  const auto counts = kernel.read_counters(page);
+  const std::uint32_t remote = counts[accessor_node.value()];
+  const std::uint32_t local = counts[home.value()];
+  if (remote <= local || remote - local <= config_.threshold) {
+    return 0;
+  }
+
+  // The comparator hardware raises the threshold interrupt; from here on
+  // everything is the handler's migration policy.
+  ++stats_.interrupts;
+  if (st.frozen) {
+    ++stats_.suppressed_frozen;
+    return 0;
+  }
+  if (st.migrations > 0 &&
+      now - st.last_migration < config_.page_cooloff_ns) {
+    ++stats_.suppressed_cooloff;
+    return 0;
+  }
+  if (any_migration_yet_ &&
+      now - last_any_migration_ < config_.global_min_interval_ns) {
+    ++stats_.suppressed_global;
+    return 0;
+  }
+
+  const MigrationResult res = kernel.migrate_page(page, accessor_node);
+  if (!res.migrated) {
+    return 0;
+  }
+  st.last_migration = now;
+  st.window_open = false;  // fresh window on the new frame
+  ++st.migrations;
+  if (st.migrations >= config_.max_migrations_per_page) {
+    st.frozen = true;
+  }
+  last_any_migration_ = now;
+  any_migration_yet_ = true;
+  ++stats_.migrations;
+  stats_.cost += res.cost;
+  return res.cost;
+}
+
+}  // namespace repro::os

@@ -1,0 +1,86 @@
+// Kernel-level competitive page-migration daemon.
+//
+// Models the IRIX engine, which follows the Stanford FLASH scheme
+// (Verghese et al., ASPLOS'96): per-frame hardware counters compare the
+// access count of each remote node against the home node's count; when
+// the difference crosses a threshold the hardware raises an interrupt
+// and the handler runs a migration policy subject to resource
+// constraints, dampening and per-page freezing.
+//
+// Two deliberate weaknesses distinguish it from UPMlib (this is the
+// paper's point):
+//  * it is not iteration-aware: it evaluates counters over fixed time
+//    windows (the kernel periodically resets a page's counters to age
+//    its view), so pages whose remote traffic is modest *per window* --
+//    however persistent across a long run -- never trip the threshold;
+//  * its migrations run mid-computation in the interrupt handler, are
+//    rate-limited globally and per page, and pages that keep migrating
+//    are frozen.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+
+namespace repro::os {
+
+class Kernel;
+
+struct DaemonConfig {
+  /// Counter difference (remote - home) within one window that raises
+  /// the interrupt.
+  std::uint32_t threshold = 200;
+  /// Counter-aging window: a page's counters are reset when first
+  /// accessed after this much time has passed since its window opened.
+  Ns window_ns = 500 * kNsPerMs;
+  /// Minimum simulated time between two migrations of the same page.
+  Ns page_cooloff_ns = 5 * kNsPerMs;
+  /// A page that migrates more than this many times is frozen for the
+  /// rest of the run (IRIX bounce control).
+  std::uint32_t max_migrations_per_page = 4;
+  /// Global dampening: minimum time between any two daemon migrations.
+  Ns global_min_interval_ns = 300 * kNsPerUs;
+};
+
+struct DaemonStats {
+  std::uint64_t interrupts = 0;
+  std::uint64_t migrations = 0;
+  std::uint64_t window_resets = 0;
+  std::uint64_t suppressed_cooloff = 0;
+  std::uint64_t suppressed_frozen = 0;
+  std::uint64_t suppressed_global = 0;
+  Ns cost = 0;
+};
+
+class KernelMigrationDaemon {
+ public:
+  explicit KernelMigrationDaemon(DaemonConfig config);
+
+  /// Called by the kernel on every miss batch, after the counters were
+  /// incremented. Returns the interrupt-handler cost to charge to the
+  /// faulting processor (0 when nothing fires).
+  Ns on_miss(Kernel& kernel, ProcId accessor, VPage page, NodeId home,
+             Ns now);
+
+  [[nodiscard]] const DaemonStats& stats() const { return stats_; }
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+
+ private:
+  struct PageState {
+    Ns window_start = 0;
+    bool window_open = false;
+    Ns last_migration = 0;
+    std::uint32_t migrations = 0;
+    bool frozen = false;
+  };
+
+  DaemonConfig config_;
+  DaemonStats stats_;
+  std::unordered_map<VPage, PageState> pages_;
+  Ns last_any_migration_ = 0;
+  bool any_migration_yet_ = false;
+};
+
+}  // namespace repro::os

@@ -1,0 +1,86 @@
+// User-level Memory Management Control Interface (IRIX "mmci").
+//
+// This is the *entire* OS surface available to UPMlib; keeping it as a
+// separate narrow class enforces the paper's claim that the migration
+// engine is implementable purely at user level with "only a few
+// operating system services":
+//   - Memory Locality Domains (MLDs): a user namespace for node memory,
+//     used as handles for placing/migrating virtual address ranges;
+//   - the /proc interface to the per-frame hardware reference counters;
+//   - a counter-reset service.
+// Migrations through this interface are subject to the kernel's
+// resource-management constraints (best-effort redirection when the
+// target node is full), exactly as the paper describes.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/os/kernel.hpp"
+
+namespace repro::os {
+
+struct MldTag {};
+/// Handle to a Memory Locality Domain created by the user process.
+using MldHandle = StrongId<MldTag>;
+
+class MemoryControlInterface {
+ public:
+  /// `kernel` must outlive the interface.
+  explicit MemoryControlInterface(Kernel& kernel);
+
+  // --- MLD namespace -------------------------------------------------------
+  /// Creates an MLD and associates it with a node's physical memory.
+  [[nodiscard]] MldHandle create_mld(NodeId node);
+  [[nodiscard]] NodeId mld_node(MldHandle mld) const;
+  [[nodiscard]] std::size_t num_mlds() const { return mlds_.size(); }
+
+  /// Convenience: one MLD per node, in node order.
+  [[nodiscard]] std::vector<MldHandle> create_mld_per_node();
+
+  // --- page operations -------------------------------------------------------
+  struct MigrateOutcome {
+    bool migrated = false;
+    NodeId actual;  ///< where the page ended up
+    Ns cost = 0;    ///< charged to the calling thread by the runtime
+  };
+
+  /// Requests migration of `page` into `target`'s node. May be redirected
+  /// or rejected by the kernel.
+  MigrateOutcome migrate(VPage page, MldHandle target);
+
+  struct ReplicateOutcome {
+    bool replicated = false;
+    Ns cost = 0;
+  };
+
+  /// Requests a read-only replica of `page` on `target`'s node
+  /// (best-effort; the kernel declines full nodes and duplicates).
+  ReplicateOutcome replicate(VPage page, MldHandle target);
+
+  /// True if the page was written since the last clear_dirty().
+  [[nodiscard]] bool is_dirty(VPage page) const;
+  void clear_dirty(VPage page);
+  [[nodiscard]] std::size_t replica_count(VPage page) const;
+
+  /// Reads the page's hardware reference counters via /proc (one value
+  /// per node).
+  [[nodiscard]] std::span<const std::uint32_t> read_counters(VPage page) const;
+
+  /// Zeroes the page's counters.
+  void reset_counters(VPage page);
+
+  [[nodiscard]] NodeId home_of(VPage page) const;
+  [[nodiscard]] bool is_mapped(VPage page) const;
+  [[nodiscard]] NodeId node_of_proc(ProcId proc) const;
+  [[nodiscard]] std::size_t num_nodes() const;
+
+ private:
+  Kernel* kernel_;
+  std::vector<NodeId> mlds_;
+};
+
+}  // namespace repro::os

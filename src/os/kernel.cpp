@@ -1,0 +1,232 @@
+#include "repro/os/kernel.hpp"
+
+#include <cmath>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/log.hpp"
+#include "repro/os/daemon.hpp"
+
+namespace repro::os {
+
+Kernel::Kernel(const memsys::MachineConfig& config,
+               const topo::Topology& topology)
+    : config_(config),
+      topology_(&topology),
+      phys_(config.num_nodes, config.frames_per_node, topology),
+      counters_(config.total_frames(), config.num_nodes,
+                config.counter_bits),
+      policy_(std::make_unique<vm::FirstTouchPlacement>(
+          config.num_nodes, config.procs_per_node)) {
+  config_.validate();
+}
+
+Kernel::~Kernel() = default;
+
+void Kernel::set_policy(std::unique_ptr<vm::PlacementPolicy> policy) {
+  REPRO_REQUIRE(policy != nullptr);
+  policy_ = std::move(policy);
+}
+
+void Kernel::set_daemon(std::unique_ptr<KernelMigrationDaemon> daemon) {
+  daemon_ = std::move(daemon);
+}
+
+vm::PlacementPolicy& Kernel::policy() { return *policy_; }
+
+NodeId Kernel::node_of(ProcId proc) const {
+  REPRO_REQUIRE(proc.value() < config_.num_procs());
+  return NodeId(proc.value() /
+                static_cast<std::uint32_t>(config_.procs_per_node));
+}
+
+memsys::HomeInfo Kernel::resolve(ProcId accessor, VPage page, bool write) {
+  if (const auto frame = table_.lookup(page)) {
+    table_.note_mapper(page, accessor);
+    if (write) {
+      table_.mark_dirty(page);
+      if (!table_.entry(page).replicas.empty()) {
+        // Writing a replicated page collapses every replica (the
+        // page-grain coherence action); the cost lands on the writer.
+        pending_penalty_ += collapse_replicas(page);
+      }
+      return {phys_.node_of(*frame), *frame};
+    }
+    // Reads are served from the closest copy; the reference counters
+    // stay aggregated on the primary frame.
+    const vm::PageTable::Entry& entry = table_.entry(page);
+    NodeId best = phys_.node_of(*frame);
+    unsigned best_hops = topology_->hops(node_of(accessor), best);
+    for (const FrameId replica : entry.replicas) {
+      const NodeId node = phys_.node_of(replica);
+      const unsigned h = topology_->hops(node_of(accessor), node);
+      if (h < best_hops) {
+        best_hops = h;
+        best = node;
+      }
+    }
+    return {best, *frame};
+  }
+  // Page fault: the active placement policy chooses the home node.
+  ++stats_.page_faults;
+  const NodeId preferred = policy_->place(page, accessor);
+  const auto frame = phys_.allocate(preferred);
+  REPRO_REQUIRE_MSG(frame.has_value(), "machine out of physical memory");
+  table_.map(page, *frame);
+  table_.note_mapper(page, accessor);
+  if (write) {
+    table_.mark_dirty(page);
+  }
+  return {phys_.node_of(*frame), *frame};
+}
+
+Ns Kernel::on_miss(ProcId accessor, VPage page, const memsys::HomeInfo& home,
+                   std::uint32_t lines, Ns now) {
+  counters_.increment(home.frame, node_of(accessor), lines);
+  Ns penalty = pending_penalty_;
+  pending_penalty_ = 0;
+  if (daemon_ != nullptr) {
+    penalty += daemon_->on_miss(*this, accessor, page, home.node, now);
+  }
+  return penalty;
+}
+
+Ns Kernel::migration_cost_for(VPage page) const {
+  const unsigned mappers = table_.mapper_count(page);
+  double cost = config_.page_copy_ns + config_.tlb_local_flush_ns;
+  // One directed interprocessor interrupt per processor holding a live
+  // mapping of the page.
+  cost += static_cast<double>(mappers) * config_.tlb_shootdown_ns;
+  return static_cast<Ns>(std::llround(cost));
+}
+
+MigrationResult Kernel::migrate_page(VPage page, NodeId target) {
+  REPRO_REQUIRE(target.value() < config_.num_nodes);
+  REPRO_REQUIRE_MSG(table_.is_mapped(page), "migrating an unmapped page");
+
+  MigrationResult out;
+  // A replicated page must be coherent before it can move.
+  out.cost += collapse_replicas(page);
+  const FrameId old_frame = *table_.lookup(page);
+  const NodeId old_node = phys_.node_of(old_frame);
+  if (old_node == target) {
+    out.actual = old_node;
+    return out;
+  }
+
+  // The source node is excluded from best-effort redirection: landing
+  // "back home" would be a pointless copy.
+  auto new_frame = phys_.allocate(target, old_node);
+  if (!new_frame) {
+    ++stats_.rejected_migrations;
+    out.actual = old_node;
+    return out;
+  }
+  const NodeId actual = phys_.node_of(*new_frame);
+  if (actual != target) {
+    ++stats_.redirected_migrations;
+  }
+
+  out.cost += migration_cost_for(page);
+  if (tlb_invalidator_ != nullptr) {
+    tlb_invalidator_->invalidate_tlb_entries(page);
+  }
+  table_.remap(page, *new_frame);
+  phys_.free(old_frame);
+  // Hardware counters belong to the physical frame; the new frame
+  // starts clean (and the old frame's counters are stale garbage for
+  // its next tenant, so clear them on free).
+  counters_.reset(old_frame);
+  counters_.reset(*new_frame);
+
+  out.migrated = true;
+  out.actual = actual;
+  ++stats_.migrations;
+  stats_.migration_cost += out.cost;
+  REPRO_LOG_DEBUG("migrated page ", page.value(), " node ",
+                  old_node.value(), " -> ", actual.value(), " cost ",
+                  out.cost, "ns");
+  return out;
+}
+
+Ns Kernel::on_write_hit(ProcId /*accessor*/, VPage page) {
+  if (!table_.is_mapped(page)) {
+    return 0;
+  }
+  table_.mark_dirty(page);
+  if (table_.entry(page).replicas.empty()) {
+    return 0;
+  }
+  return collapse_replicas(page);
+}
+
+ReplicationResult Kernel::replicate_page(VPage page, NodeId target) {
+  REPRO_REQUIRE(target.value() < config_.num_nodes);
+  REPRO_REQUIRE_MSG(table_.is_mapped(page), "replicating an unmapped page");
+  ReplicationResult out;
+  // Refuse when a copy already lives on the target node.
+  if (home_of(page) == target) {
+    return out;
+  }
+  for (const FrameId replica : table_.entry(page).replicas) {
+    if (phys_.node_of(replica) == target) {
+      return out;
+    }
+  }
+  const auto frame = phys_.allocate_strict(target);
+  if (!frame) {
+    return out;  // replication is best-effort: a full node just declines
+  }
+  table_.add_replica(page, *frame);
+  out.replicated = true;
+  out.cost = static_cast<Ns>(std::llround(config_.page_copy_ns));
+  ++stats_.replications;
+  return out;
+}
+
+Ns Kernel::collapse_replicas(VPage page) {
+  const std::vector<FrameId> replicas = table_.take_replicas(page);
+  if (replicas.empty()) {
+    return 0;
+  }
+  for (const FrameId frame : replicas) {
+    counters_.reset(frame);
+    phys_.free(frame);
+  }
+  ++stats_.replica_collapses;
+  // Every processor that may hold a stale replica translation takes a
+  // shootdown, like a migration.
+  if (tlb_invalidator_ != nullptr) {
+    tlb_invalidator_->invalidate_tlb_entries(page);
+  }
+  return migration_cost_for(page);
+}
+
+std::size_t Kernel::replica_count(VPage page) const {
+  return table_.entry(page).replicas.size();
+}
+
+bool Kernel::is_dirty(VPage page) const { return table_.is_dirty(page); }
+
+void Kernel::clear_dirty(VPage page) { table_.clear_dirty(page); }
+
+NodeId Kernel::home_of(VPage page) const {
+  const auto frame = table_.lookup(page);
+  REPRO_REQUIRE_MSG(frame.has_value(), "page not mapped");
+  return phys_.node_of(*frame);
+}
+
+bool Kernel::is_mapped(VPage page) const { return table_.is_mapped(page); }
+
+std::span<const std::uint32_t> Kernel::read_counters(VPage page) const {
+  const auto frame = table_.lookup(page);
+  REPRO_REQUIRE_MSG(frame.has_value(), "page not mapped");
+  return counters_.read(*frame);
+}
+
+void Kernel::reset_counters(VPage page) {
+  const auto frame = table_.lookup(page);
+  REPRO_REQUIRE_MSG(frame.has_value(), "page not mapped");
+  counters_.reset(*frame);
+}
+
+}  // namespace repro::os

@@ -1,0 +1,80 @@
+#include "repro/os/mmci.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::os {
+
+MemoryControlInterface::MemoryControlInterface(Kernel& kernel)
+    : kernel_(&kernel) {}
+
+MldHandle MemoryControlInterface::create_mld(NodeId node) {
+  REPRO_REQUIRE(node.value() < kernel_->config().num_nodes);
+  mlds_.push_back(node);
+  return MldHandle(static_cast<std::uint32_t>(mlds_.size() - 1));
+}
+
+NodeId MemoryControlInterface::mld_node(MldHandle mld) const {
+  REPRO_REQUIRE(mld.value() < mlds_.size());
+  return mlds_[mld.value()];
+}
+
+std::vector<MldHandle> MemoryControlInterface::create_mld_per_node() {
+  std::vector<MldHandle> handles;
+  handles.reserve(kernel_->config().num_nodes);
+  for (std::uint32_t n = 0; n < kernel_->config().num_nodes; ++n) {
+    handles.push_back(create_mld(NodeId(n)));
+  }
+  return handles;
+}
+
+MemoryControlInterface::MigrateOutcome MemoryControlInterface::migrate(
+    VPage page, MldHandle target) {
+  const MigrationResult res = kernel_->migrate_page(page, mld_node(target));
+  return {res.migrated, res.actual, res.cost};
+}
+
+MemoryControlInterface::ReplicateOutcome MemoryControlInterface::replicate(
+    VPage page, MldHandle target) {
+  const ReplicationResult res =
+      kernel_->replicate_page(page, mld_node(target));
+  return {res.replicated, res.cost};
+}
+
+bool MemoryControlInterface::is_dirty(VPage page) const {
+  return kernel_->is_dirty(page);
+}
+
+void MemoryControlInterface::clear_dirty(VPage page) {
+  kernel_->clear_dirty(page);
+}
+
+std::size_t MemoryControlInterface::replica_count(VPage page) const {
+  return kernel_->replica_count(page);
+}
+
+std::span<const std::uint32_t> MemoryControlInterface::read_counters(
+    VPage page) const {
+  return kernel_->read_counters(page);
+}
+
+void MemoryControlInterface::reset_counters(VPage page) {
+  kernel_->reset_counters(page);
+}
+
+NodeId MemoryControlInterface::home_of(VPage page) const {
+  return kernel_->home_of(page);
+}
+
+bool MemoryControlInterface::is_mapped(VPage page) const {
+  return kernel_->is_mapped(page);
+}
+
+NodeId MemoryControlInterface::node_of_proc(ProcId proc) const {
+  return kernel_->node_of(proc);
+}
+
+std::size_t MemoryControlInterface::num_nodes() const {
+  return kernel_->config().num_nodes;
+}
+
+}  // namespace repro::os

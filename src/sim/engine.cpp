@@ -1,0 +1,87 @@
+#include "repro/sim/engine.hpp"
+
+#include <queue>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::sim {
+
+double RegionResult::imbalance() const {
+  if (thread_end.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  Ns max_busy = 0;
+  for (Ns t : thread_end) {
+    const Ns busy = t - start;
+    sum += static_cast<double>(busy);
+    max_busy = std::max(max_busy, busy);
+  }
+  const double avg = sum / static_cast<double>(thread_end.size());
+  return avg <= 0.0 ? 1.0 : static_cast<double>(max_busy) / avg;
+}
+
+Engine::Engine(memsys::MemorySystem& memory) : memory_(&memory) {}
+
+RegionResult Engine::run(Ns start,
+                         const std::vector<ThreadProgram>& programs,
+                         std::span<const ProcId> binding) {
+  REPRO_REQUIRE(!programs.empty());
+  REPRO_REQUIRE(programs.size() <= memory_->config().num_procs());
+  REPRO_REQUIRE(binding.empty() || binding.size() >= programs.size());
+
+  struct Pending {
+    Ns clock;
+    std::uint32_t thread;
+    bool operator>(const Pending& o) const {
+      // Tie-break on thread id for determinism.
+      return clock != o.clock ? clock > o.clock : thread > o.thread;
+    }
+  };
+
+  RegionResult result;
+  result.start = start;
+  result.end = start;
+  result.thread_end.assign(programs.size(), start);
+
+  std::vector<std::size_t> cursor(programs.size(), 0);
+  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+  for (std::uint32_t t = 0; t < programs.size(); ++t) {
+    if (!programs[t].empty()) {
+      queue.push({start, t});
+    }
+  }
+
+  while (!queue.empty()) {
+    const Pending cur = queue.top();
+    queue.pop();
+    const ThreadProgram& prog = programs[cur.thread];
+    const Op& op = prog[cursor[cur.thread]++];
+    Ns clock = cur.clock;
+
+    switch (op.kind) {
+      case Op::Kind::kCompute:
+        clock += op.compute;
+        break;
+      case Op::Kind::kAccess: {
+        const ProcId proc =
+            binding.empty() ? ProcId(cur.thread) : binding[cur.thread];
+        const memsys::MemorySystem::AccessResult r = memory_->access(
+            clock, {proc, op.page, op.lines, op.write, op.stream});
+        clock += r.elapsed + op.compute;
+        break;
+      }
+    }
+    ++ops_executed_;
+
+    if (cursor[cur.thread] < prog.size()) {
+      queue.push({clock, cur.thread});
+    } else {
+      result.thread_end[cur.thread] = clock;
+      result.end = std::max(result.end, clock);
+    }
+  }
+  return result;
+}
+
+}  // namespace repro::sim

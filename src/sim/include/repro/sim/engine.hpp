@@ -1,0 +1,53 @@
+// Discrete-event execution of parallel regions.
+//
+// All threads of a region start together (fork), the engine interleaves
+// their operations in virtual-time order (so contention at the memory
+// nodes is resolved causally), and the region ends when the slowest
+// thread finishes (join barrier).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/memsys/memory_system.hpp"
+#include "repro/sim/region.hpp"
+
+namespace repro::sim {
+
+struct RegionResult {
+  Ns start = 0;
+  Ns end = 0;  ///< max over thread completion times
+  std::vector<Ns> thread_end;
+
+  [[nodiscard]] Ns duration() const { return end - start; }
+  /// Load imbalance: slowest / average busy time (1.0 = perfectly
+  /// balanced).
+  [[nodiscard]] double imbalance() const;
+};
+
+class Engine {
+ public:
+  /// `memory` must outlive the engine.
+  explicit Engine(memsys::MemorySystem& memory);
+
+  /// Executes the region's programs starting at `start`. Programs with
+  /// fewer threads than processors leave the remaining processors idle.
+  /// `binding` maps thread index to processor; empty = identity (thread
+  /// t runs on processor t). Bindings must be distinct.
+  RegionResult run(Ns start, const std::vector<ThreadProgram>& programs,
+                   std::span<const ProcId> binding = {});
+
+  [[nodiscard]] memsys::MemorySystem& memory() { return *memory_; }
+
+  /// Ops executed since construction (sanity / perf reporting).
+  [[nodiscard]] std::uint64_t ops_executed() const { return ops_executed_; }
+
+ private:
+  memsys::MemorySystem* memory_;
+  std::uint64_t ops_executed_ = 0;
+};
+
+}  // namespace repro::sim

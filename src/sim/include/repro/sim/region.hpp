@@ -1,0 +1,72 @@
+// Parallel-region programs.
+//
+// A simulated thread's work inside one parallel region is a sequence of
+// operations: page-grain memory accesses and pure-compute intervals.
+// Workload models build these per-thread programs declaratively; the
+// engine interleaves them in virtual time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+
+namespace repro::sim {
+
+struct Op {
+  enum class Kind : std::uint8_t { kAccess, kCompute };
+
+  Kind kind = Kind::kCompute;
+  bool write = false;
+  /// Streaming (unit-stride, prefetchable) access: misses pay the hop
+  /// latency once plus a pipelined per-line service rate instead of the
+  /// full latency per line. Streams are what makes balanced placements
+  /// cheap while single-node contention stays expensive.
+  bool stream = false;
+  std::uint32_t lines = 0;  ///< distinct cache lines touched (kAccess)
+  VPage page;               ///< target page (kAccess)
+  /// kCompute: interval duration. kAccess: additional computation
+  /// attached to the access (the work done on the touched lines).
+  Ns compute = 0;
+
+  [[nodiscard]] static Op access(VPage page, std::uint32_t lines, bool write,
+                                 Ns compute = 0, bool stream = false);
+  [[nodiscard]] static Op compute_for(Ns duration);
+};
+
+using ThreadProgram = std::vector<Op>;
+
+/// Builds the per-thread programs of one parallel region.
+class RegionBuilder {
+ public:
+  explicit RegionBuilder(std::size_t num_threads);
+
+  [[nodiscard]] std::size_t num_threads() const { return programs_.size(); }
+
+  /// Appends a memory access to thread `t`'s program, optionally with
+  /// attached compute time.
+  void access(ThreadId t, VPage page, std::uint32_t lines, bool write,
+              Ns compute = 0, bool stream = false);
+
+  /// Appends a pure-compute interval to thread `t`'s program.
+  void compute(ThreadId t, Ns duration);
+
+  /// Appends an access to `count` consecutive pages starting at `first`,
+  /// each touching `lines_per_page` lines.
+  void access_pages(ThreadId t, VPage first, std::uint64_t count,
+                    std::uint32_t lines_per_page, bool write);
+
+  [[nodiscard]] const ThreadProgram& program(ThreadId t) const;
+  [[nodiscard]] std::vector<ThreadProgram> take() &&;
+
+  /// Total op count across all threads (sizing / test assertions).
+  [[nodiscard]] std::size_t total_ops() const;
+
+ private:
+  std::vector<ThreadProgram> programs_;
+
+  ThreadProgram& prog(ThreadId t);
+};
+
+}  // namespace repro::sim

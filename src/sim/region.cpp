@@ -1,0 +1,76 @@
+#include "repro/sim/region.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::sim {
+
+Op Op::access(VPage page, std::uint32_t lines, bool write, Ns compute,
+               bool stream) {
+  REPRO_REQUIRE(lines >= 1);
+  Op op;
+  op.kind = Kind::kAccess;
+  op.page = page;
+  op.lines = lines;
+  op.write = write;
+  op.compute = compute;
+  op.stream = stream;
+  return op;
+}
+
+Op Op::compute_for(Ns duration) {
+  Op op;
+  op.kind = Kind::kCompute;
+  op.compute = duration;
+  return op;
+}
+
+RegionBuilder::RegionBuilder(std::size_t num_threads)
+    : programs_(num_threads) {
+  REPRO_REQUIRE(num_threads >= 1);
+}
+
+ThreadProgram& RegionBuilder::prog(ThreadId t) {
+  REPRO_REQUIRE(t.value() < programs_.size());
+  return programs_[t.value()];
+}
+
+void RegionBuilder::access(ThreadId t, VPage page, std::uint32_t lines,
+                           bool write, Ns compute, bool stream) {
+  prog(t).push_back(Op::access(page, lines, write, compute, stream));
+}
+
+void RegionBuilder::compute(ThreadId t, Ns duration) {
+  if (duration == 0) {
+    return;
+  }
+  prog(t).push_back(Op::compute_for(duration));
+}
+
+void RegionBuilder::access_pages(ThreadId t, VPage first,
+                                 std::uint64_t count,
+                                 std::uint32_t lines_per_page, bool write) {
+  ThreadProgram& p = prog(t);
+  p.reserve(p.size() + count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    p.push_back(Op::access(VPage(first.value() + i), lines_per_page, write));
+  }
+}
+
+const ThreadProgram& RegionBuilder::program(ThreadId t) const {
+  REPRO_REQUIRE(t.value() < programs_.size());
+  return programs_[t.value()];
+}
+
+std::vector<ThreadProgram> RegionBuilder::take() && {
+  return std::move(programs_);
+}
+
+std::size_t RegionBuilder::total_ops() const {
+  std::size_t total = 0;
+  for (const auto& p : programs_) {
+    total += p.size();
+  }
+  return total;
+}
+
+}  // namespace repro::sim

@@ -1,0 +1,97 @@
+// Interconnect topologies.
+//
+// The paper's machine is an SGI Origin2000: nodes are attached in pairs
+// to routers, and the routers form a (fat) hypercube. What the memory
+// model needs from the topology is only the *hop distance* between the
+// node issuing a memory access and the node homing the page, because the
+// latency ladder (paper Table 1) is indexed by hops. Ring and crossbar
+// variants exist for the ablation benches.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "repro/common/strong_id.hpp"
+
+namespace repro::topo {
+
+/// Abstract interconnect. Implementations must be pure functions of the
+/// node pair (no internal state), so they are safe to share.
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  [[nodiscard]] virtual std::size_t num_nodes() const = 0;
+
+  /// Network hops between two nodes; 0 iff `a == b`.
+  [[nodiscard]] virtual unsigned hops(NodeId a, NodeId b) const = 0;
+
+  /// Largest value `hops` can return for this instance.
+  [[nodiscard]] virtual unsigned max_hops() const = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Origin2000-style fat hypercube: two nodes per router; routers form a
+/// binary hypercube. The hop count between distinct nodes is
+/// max(1, hamming(router_a, router_b)), which reproduces the 1..3 hop
+/// range of the paper's 16-node system (8 routers, dimension 3).
+class FatHypercube final : public Topology {
+ public:
+  /// `num_nodes` must be a power of two and at least 2.
+  explicit FatHypercube(std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return num_nodes_; }
+  [[nodiscard]] unsigned hops(NodeId a, NodeId b) const override;
+  [[nodiscard]] unsigned max_hops() const override;
+  [[nodiscard]] std::string name() const override { return "fat-hypercube"; }
+
+  /// Router hosting a node (two nodes per router).
+  [[nodiscard]] std::uint32_t router_of(NodeId n) const;
+
+  /// Hypercube dimension of the router network.
+  [[nodiscard]] unsigned dimension() const { return dimension_; }
+
+ private:
+  std::size_t num_nodes_;
+  unsigned dimension_;
+};
+
+/// Bidirectional ring; hop count is the shorter way around. Used by the
+/// topology ablation (rings have much larger diameters, magnifying the
+/// cost of bad placement).
+class Ring final : public Topology {
+ public:
+  explicit Ring(std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return num_nodes_; }
+  [[nodiscard]] unsigned hops(NodeId a, NodeId b) const override;
+  [[nodiscard]] unsigned max_hops() const override;
+  [[nodiscard]] std::string name() const override { return "ring"; }
+
+ private:
+  std::size_t num_nodes_;
+};
+
+/// Full crossbar: every remote access is exactly one hop (a dance-hall
+/// UMA-like network). Used to ablate the distance component out of the
+/// latency model while keeping the local/remote split.
+class Crossbar final : public Topology {
+ public:
+  explicit Crossbar(std::size_t num_nodes);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return num_nodes_; }
+  [[nodiscard]] unsigned hops(NodeId a, NodeId b) const override;
+  [[nodiscard]] unsigned max_hops() const override { return 1; }
+  [[nodiscard]] std::string name() const override { return "crossbar"; }
+
+ private:
+  std::size_t num_nodes_;
+};
+
+/// Factory by name ("fat-hypercube", "ring", "crossbar").
+[[nodiscard]] std::unique_ptr<Topology> make_topology(const std::string& name,
+                                                      std::size_t num_nodes);
+
+}  // namespace repro::topo

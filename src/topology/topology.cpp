@@ -1,0 +1,90 @@
+#include "repro/topology/topology.hpp"
+
+#include <bit>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::topo {
+
+namespace {
+
+void check_node(const Topology& t, NodeId n) {
+  REPRO_REQUIRE(n.value() < t.num_nodes());
+}
+
+}  // namespace
+
+FatHypercube::FatHypercube(std::size_t num_nodes) : num_nodes_(num_nodes) {
+  REPRO_REQUIRE(num_nodes >= 2);
+  REPRO_REQUIRE_MSG(std::has_single_bit(num_nodes),
+                    "fat hypercube size must be a power of two");
+  const std::size_t routers = num_nodes_ / 2;
+  dimension_ = routers <= 1
+                   ? 0
+                   : static_cast<unsigned>(std::bit_width(routers - 1));
+}
+
+std::uint32_t FatHypercube::router_of(NodeId n) const {
+  check_node(*this, n);
+  return n.value() / 2;
+}
+
+unsigned FatHypercube::hops(NodeId a, NodeId b) const {
+  check_node(*this, a);
+  check_node(*this, b);
+  if (a == b) {
+    return 0;
+  }
+  const std::uint32_t ra = router_of(a);
+  const std::uint32_t rb = router_of(b);
+  const auto hamming = static_cast<unsigned>(std::popcount(ra ^ rb));
+  // Two nodes behind the same router are still one router traversal
+  // apart; otherwise each differing hypercube dimension is one link.
+  return hamming == 0 ? 1 : hamming;
+}
+
+unsigned FatHypercube::max_hops() const {
+  return dimension_ == 0 ? 1 : dimension_;
+}
+
+Ring::Ring(std::size_t num_nodes) : num_nodes_(num_nodes) {
+  REPRO_REQUIRE(num_nodes >= 2);
+}
+
+unsigned Ring::hops(NodeId a, NodeId b) const {
+  check_node(*this, a);
+  check_node(*this, b);
+  const auto d = static_cast<std::size_t>(
+      a.value() > b.value() ? a.value() - b.value() : b.value() - a.value());
+  return static_cast<unsigned>(std::min(d, num_nodes_ - d));
+}
+
+unsigned Ring::max_hops() const {
+  return static_cast<unsigned>(num_nodes_ / 2);
+}
+
+Crossbar::Crossbar(std::size_t num_nodes) : num_nodes_(num_nodes) {
+  REPRO_REQUIRE(num_nodes >= 2);
+}
+
+unsigned Crossbar::hops(NodeId a, NodeId b) const {
+  check_node(*this, a);
+  check_node(*this, b);
+  return a == b ? 0 : 1;
+}
+
+std::unique_ptr<Topology> make_topology(const std::string& name,
+                                        std::size_t num_nodes) {
+  if (name == "fat-hypercube") {
+    return std::make_unique<FatHypercube>(num_nodes);
+  }
+  if (name == "ring") {
+    return std::make_unique<Ring>(num_nodes);
+  }
+  if (name == "crossbar") {
+    return std::make_unique<Crossbar>(num_nodes);
+  }
+  REPRO_UNREACHABLE("unknown topology name");
+}
+
+}  // namespace repro::topo

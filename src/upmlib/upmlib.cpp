@@ -1,0 +1,345 @@
+#include "repro/upmlib/upmlib.hpp"
+
+#include <algorithm>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/common/log.hpp"
+
+namespace repro::upm {
+
+UpmConfig UpmConfig::from_env() { return from_env(UpmConfig{}); }
+
+UpmConfig UpmConfig::from_env(UpmConfig defaults) {
+  const Env& env = Env::global();
+  defaults.threshold = env.get_double("UPM_THRESHOLD", defaults.threshold);
+  defaults.max_critical_pages = static_cast<std::size_t>(env.get_int(
+      "UPM_CRITICAL_PAGES",
+      static_cast<std::int64_t>(defaults.max_critical_pages)));
+  defaults.freeze_bouncing_pages =
+      env.get_bool("UPM_FREEZE", defaults.freeze_bouncing_pages);
+  defaults.enable_replication =
+      env.get_bool("UPM_REPLICATE", defaults.enable_replication);
+  return defaults;
+}
+
+double UpmStats::first_invocation_fraction() const {
+  if (distribution_migrations == 0 || migrations_per_invocation.empty()) {
+    return 1.0;
+  }
+  return static_cast<double>(migrations_per_invocation.front()) /
+         static_cast<double>(distribution_migrations);
+}
+
+Upmlib::Upmlib(os::MemoryControlInterface& mmci, omp::Runtime& runtime,
+               UpmConfig config)
+    : mmci_(&mmci), runtime_(&runtime), config_(config) {
+  REPRO_REQUIRE(config.threshold > 0.0);
+}
+
+void Upmlib::memrefcnt(const vm::PageRange& range) {
+  REPRO_REQUIRE(range.count >= 1);
+  hot_ranges_.push_back(range);
+  stats_.migrations_per_range.push_back(0);
+  hot_pages_.reserve(hot_pages_.size() + range.count);
+  for (std::uint64_t i = 0; i < range.count; ++i) {
+    hot_pages_.push_back(range.page(i));
+  }
+}
+
+void Upmlib::reset_hot_counters() {
+  for (VPage page : hot_pages_) {
+    if (mmci_->is_mapped(page)) {
+      mmci_->reset_counters(page);
+      if (config_.enable_replication) {
+        mmci_->clear_dirty(page);
+      }
+    }
+  }
+}
+
+bool Upmlib::try_replicate(VPage page, Ns* cost) {
+  if (mmci_->is_dirty(page) || mmci_->replica_count(page) > 0) {
+    return false;
+  }
+  const auto counts = mmci_->read_counters(page);
+  const NodeId home = mmci_->home_of(page);
+  // Rank remote reader nodes by reference count.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> readers;  // (count, node)
+  for (std::uint32_t n = 0; n < counts.size(); ++n) {
+    if (n != home.value() && counts[n] >= config_.replication_min_count) {
+      readers.emplace_back(counts[n], n);
+    }
+  }
+  if (readers.size() < config_.replication_min_nodes) {
+    return false;
+  }
+  std::sort(readers.rbegin(), readers.rend());
+  ensure_mlds();
+  std::uint32_t made = 0;
+  for (const auto& [count, node] : readers) {
+    if (made == config_.max_replicas) {
+      break;
+    }
+    const auto outcome = mmci_->replicate(page, mlds_[node]);
+    if (outcome.replicated) {
+      *cost += outcome.cost;
+      ++made;
+    }
+  }
+  stats_.replications += made;
+  return made > 0;
+}
+
+void Upmlib::ensure_mlds() {
+  if (mlds_.empty()) {
+    mlds_.reserve(mmci_->num_nodes());
+    for (std::uint32_t n = 0; n < mmci_->num_nodes(); ++n) {
+      mlds_.push_back(mmci_->create_mld(NodeId(n)));
+    }
+  }
+}
+
+std::optional<Upmlib::Candidate> Upmlib::evaluate(
+    VPage page, NodeId home, std::span<const std::uint32_t> counts,
+    double threshold) {
+  const std::uint32_t lacc = counts[home.value()];
+  std::uint32_t racc_max = 0;
+  std::uint32_t arg = 0;
+  for (std::uint32_t n = 0; n < counts.size(); ++n) {
+    if (n != home.value() && counts[n] > racc_max) {
+      racc_max = counts[n];
+      arg = n;
+    }
+  }
+  if (racc_max == 0) {
+    return std::nullopt;
+  }
+  // A page never referenced locally is maximally eligible; avoid the
+  // division by zero by treating lacc as 1 in that case.
+  const double ratio = static_cast<double>(racc_max) /
+                       static_cast<double>(std::max(lacc, 1u));
+  if (ratio <= threshold) {
+    return std::nullopt;
+  }
+  return Candidate{page, NodeId(arg), ratio};
+}
+
+Ns Upmlib::do_migrate(VPage page, NodeId target, bool* migrated) {
+  ensure_mlds();
+  const auto outcome = mmci_->migrate(page, mlds_[target.value()]);
+  *migrated = outcome.migrated;
+  return outcome.cost;
+}
+
+std::size_t Upmlib::migrate_memory() {
+  if (!active_) {
+    return 0;
+  }
+  ++invocation_;
+
+  Ns replication_cost = 0;
+  std::vector<Candidate> candidates;
+  for (VPage page : hot_pages_) {
+    if (!mmci_->is_mapped(page)) {
+      continue;
+    }
+    if (config_.enable_replication && try_replicate(page,
+                                                    &replication_cost)) {
+      continue;  // replicated pages are not migration candidates
+    }
+    const NodeId home = mmci_->home_of(page);
+    if (auto cand =
+            evaluate(page, home, mmci_->read_counters(page),
+                     config_.threshold)) {
+      candidates.push_back(*cand);
+    }
+  }
+  stats_.replication_cost += replication_cost;
+  runtime_->advance(replication_cost);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.ratio != b.ratio ? a.ratio > b.ratio
+                                        : a.page < b.page;
+            });
+
+  std::size_t migrations = 0;
+  Ns cost = 0;
+  for (const Candidate& cand : candidates) {
+    PageHistory& hist = history_[cand.page];
+    if (hist.frozen) {
+      continue;
+    }
+    if (config_.freeze_bouncing_pages && hist.has_prior &&
+        hist.prior_home == cand.target &&
+        hist.last_invocation + 1 == invocation_) {
+      // The page wants to go back where it came from one invocation
+      // ago: page-level false sharing. Freeze it in place.
+      hist.frozen = true;
+      ++stats_.frozen_pages;
+      continue;
+    }
+    const NodeId old_home = mmci_->home_of(cand.page);
+    bool migrated = false;
+    cost += do_migrate(cand.page, cand.target, &migrated);
+    if (migrated) {
+      hist.prior_home = old_home;
+      hist.has_prior = true;
+      hist.last_invocation = invocation_;
+      ++migrations;
+      for (std::size_t i = 0; i < hot_ranges_.size(); ++i) {
+        if (hot_ranges_[i].contains(cand.page)) {
+          ++stats_.migrations_per_range[i];
+          break;
+        }
+      }
+    }
+  }
+
+  // Counters are reset after every pass so the next invocation sees a
+  // clean per-iteration reference trace (and dirty bits restart, so a
+  // page must stay clean for a whole iteration to replicate).
+  reset_hot_counters();
+
+  stats_.migrations_per_invocation.push_back(migrations);
+  stats_.distribution_migrations += migrations;
+  stats_.distribution_cost += cost;
+  runtime_->advance(cost);
+
+  if (migrations == 0) {
+    active_ = false;
+  }
+  REPRO_LOG_INFO("upmlib migrate_memory: invocation ", invocation_, ", ",
+                 migrations, " migrations, cost ", cost, " ns");
+  return migrations;
+}
+
+void Upmlib::notify_thread_rebinding() {
+  active_ = true;
+  history_.clear();
+  stats_.frozen_pages = 0;
+  // Stale per-phase plans would replay migrations toward the wrong
+  // processors; drop them (the program must re-record).
+  snapshots_.clear();
+  replay_lists_.clear();
+  undo_log_.clear();
+  replay_cursor_ = 0;
+  reset_hot_counters();
+}
+
+void Upmlib::record() {
+  std::vector<std::vector<std::uint32_t>> snap;
+  snap.reserve(hot_pages_.size());
+  for (VPage page : hot_pages_) {
+    if (mmci_->is_mapped(page)) {
+      const auto counts = mmci_->read_counters(page);
+      snap.emplace_back(counts.begin(), counts.end());
+    } else {
+      snap.emplace_back(mmci_->num_nodes(), 0u);
+    }
+  }
+  snapshots_.push_back(std::move(snap));
+}
+
+void Upmlib::compare_counters() {
+  REPRO_REQUIRE_MSG(snapshots_.size() >= 2,
+                    "compare_counters needs at least two record() calls");
+  replay_lists_.clear();
+  replay_lists_.resize(snapshots_.size() - 1);
+  std::vector<std::uint32_t> diff(mmci_->num_nodes(), 0u);
+
+  for (std::size_t j = 1; j < snapshots_.size(); ++j) {
+    std::vector<Candidate> candidates;
+    for (std::size_t i = 0; i < hot_pages_.size(); ++i) {
+      const VPage page = hot_pages_[i];
+      if (!mmci_->is_mapped(page)) {
+        continue;
+      }
+      const auto& before = snapshots_[j - 1][i];
+      const auto& after = snapshots_[j][i];
+      for (std::size_t n = 0; n < diff.size(); ++n) {
+        // Saturated counters clamp the difference at zero.
+        diff[n] = after[n] >= before[n] ? after[n] - before[n] : 0u;
+      }
+      const NodeId home = mmci_->home_of(page);
+      if (auto cand = evaluate(page, home, diff, config_.threshold)) {
+        candidates.push_back(*cand);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.ratio != b.ratio ? a.ratio > b.ratio
+                                          : a.page < b.page;
+              });
+    if (config_.max_critical_pages > 0 &&
+        candidates.size() > config_.max_critical_pages) {
+      candidates.resize(config_.max_critical_pages);
+    }
+    auto& list = replay_lists_[j - 1];
+    list.reserve(candidates.size());
+    for (const Candidate& cand : candidates) {
+      list.push_back(PlannedMigration{cand.page, cand.target, cand.ratio});
+    }
+  }
+  REPRO_LOG_INFO("upmlib compare_counters: ", replay_lists_.size(),
+                 " transition(s) planned");
+}
+
+const std::vector<Upmlib::PlannedMigration>& Upmlib::replay_list(
+    std::size_t transition) const {
+  REPRO_REQUIRE(transition < replay_lists_.size());
+  return replay_lists_[transition];
+}
+
+void Upmlib::replay() {
+  if (replay_lists_.empty()) {
+    return;
+  }
+  const auto& list = replay_lists_[replay_cursor_];
+  replay_cursor_ = (replay_cursor_ + 1) % replay_lists_.size();
+
+  Ns cost = 0;
+  std::size_t migrations = 0;
+  for (const PlannedMigration& pm : list) {
+    const NodeId home = mmci_->home_of(pm.page);
+    if (home == pm.target) {
+      continue;
+    }
+    const bool already_logged =
+        std::any_of(undo_log_.begin(), undo_log_.end(),
+                    [&](const auto& e) { return e.first == pm.page; });
+    bool migrated = false;
+    cost += do_migrate(pm.page, pm.target, &migrated);
+    if (migrated) {
+      if (!already_logged) {
+        undo_log_.emplace_back(pm.page, home);
+      }
+      ++migrations;
+    }
+  }
+  stats_.replay_migrations += migrations;
+  stats_.recrep_cost += cost;
+  runtime_->advance(cost);
+}
+
+void Upmlib::undo() {
+  Ns cost = 0;
+  std::size_t migrations = 0;
+  for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
+    if (mmci_->home_of(it->first) == it->second) {
+      continue;
+    }
+    bool migrated = false;
+    cost += do_migrate(it->first, it->second, &migrated);
+    if (migrated) {
+      ++migrations;
+    }
+  }
+  undo_log_.clear();
+  replay_cursor_ = 0;
+  stats_.undo_migrations += migrations;
+  stats_.recrep_cost += cost;
+  runtime_->advance(cost);
+}
+
+}  // namespace repro::upm

@@ -1,0 +1,52 @@
+#include "repro/vm/address_space.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::vm {
+
+VPage PageRange::page(std::uint64_t i) const {
+  REPRO_REQUIRE(i < count);
+  return VPage(first.value() + i);
+}
+
+bool PageRange::contains(VPage p) const {
+  return p.value() >= first.value() && p.value() < first.value() + count;
+}
+
+AddressSpace::AddressSpace(Bytes page_size) : page_size_(page_size) {
+  REPRO_REQUIRE(page_size >= 1);
+}
+
+PageRange AddressSpace::allocate(const std::string& name, Bytes bytes) {
+  REPRO_REQUIRE(bytes >= 1);
+  const std::uint64_t pages = (bytes + page_size_ - 1) / page_size_;
+  return allocate_pages(name, pages);
+}
+
+PageRange AddressSpace::allocate_pages(const std::string& name,
+                                       std::uint64_t pages) {
+  REPRO_REQUIRE(pages >= 1);
+  REPRO_REQUIRE_MSG(!by_name_.contains(name), "duplicate array name");
+  // Skip one guard page before every allocation (page 0 is the null
+  // guard). Besides catching overruns, the guards keep array bases off
+  // multiples of small powers of two, so systematic placements like
+  // round-robin do not accidentally align with page-aligned partitions.
+  next_page_ += 1;
+  const PageRange range{VPage(next_page_), pages};
+  next_page_ += pages;
+  by_name_.emplace(name, range);
+  order_.emplace_back(name, range);
+  return range;
+}
+
+const PageRange& AddressSpace::range(const std::string& name) const {
+  auto it = by_name_.find(name);
+  REPRO_REQUIRE_MSG(it != by_name_.end(), "unknown array name");
+  return it->second;
+}
+
+bool AddressSpace::has(const std::string& name) const {
+  return by_name_.contains(name);
+}
+
+}  // namespace repro::vm

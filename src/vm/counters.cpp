@@ -1,0 +1,59 @@
+#include "repro/vm/counters.hpp"
+
+#include <algorithm>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::vm {
+
+RefCounters::RefCounters(std::size_t num_frames, std::size_t num_nodes,
+                         unsigned counter_bits)
+    : num_frames_(num_frames),
+      num_nodes_(num_nodes),
+      max_((1u << counter_bits) - 1u),
+      values_(num_frames * num_nodes, 0) {
+  REPRO_REQUIRE(num_frames >= 1);
+  REPRO_REQUIRE(num_nodes >= 1);
+  REPRO_REQUIRE(counter_bits >= 1 && counter_bits <= 31);
+}
+
+std::size_t RefCounters::index(FrameId frame, NodeId node) const {
+  REPRO_REQUIRE(frame.value() < num_frames_);
+  REPRO_REQUIRE(node.value() < num_nodes_);
+  return static_cast<std::size_t>(frame.value()) * num_nodes_ + node.value();
+}
+
+void RefCounters::increment(FrameId frame, NodeId node, std::uint32_t n) {
+  std::uint32_t& v = values_[index(frame, node)];
+  v = (max_ - v < n) ? max_ : v + n;
+}
+
+std::span<const std::uint32_t> RefCounters::read(FrameId frame) const {
+  REPRO_REQUIRE(frame.value() < num_frames_);
+  return {values_.data() +
+              static_cast<std::size_t>(frame.value()) * num_nodes_,
+          num_nodes_};
+}
+
+std::uint32_t RefCounters::read(FrameId frame, NodeId node) const {
+  return values_[index(frame, node)];
+}
+
+void RefCounters::reset(FrameId frame) {
+  REPRO_REQUIRE(frame.value() < num_frames_);
+  auto* base =
+      values_.data() + static_cast<std::size_t>(frame.value()) * num_nodes_;
+  std::fill(base, base + num_nodes_, 0u);
+}
+
+void RefCounters::reset_all() {
+  std::fill(values_.begin(), values_.end(), 0u);
+}
+
+NodeId RefCounters::argmax_node(FrameId frame) const {
+  const auto counts = read(frame);
+  const auto it = std::max_element(counts.begin(), counts.end());
+  return NodeId(static_cast<std::uint32_t>(it - counts.begin()));
+}
+
+}  // namespace repro::vm

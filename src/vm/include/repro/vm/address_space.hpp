@@ -1,0 +1,57 @@
+// The simulated process address space: named shared arrays mapped onto
+// dense virtual page ranges. Workload models declare their arrays here;
+// UPMlib registers "hot memory areas" (paper Section 3.1) by name or by
+// page range.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+
+namespace repro::vm {
+
+/// A contiguous run of virtual pages.
+struct PageRange {
+  VPage first;
+  std::uint64_t count = 0;
+
+  [[nodiscard]] VPage page(std::uint64_t i) const;
+  [[nodiscard]] bool contains(VPage p) const;
+  [[nodiscard]] VPage end() const { return VPage(first.value() + count); }
+};
+
+class AddressSpace {
+ public:
+  explicit AddressSpace(Bytes page_size);
+
+  /// Reserves `bytes` rounded up to whole pages under `name`.
+  /// Names must be unique.
+  PageRange allocate(const std::string& name, Bytes bytes);
+
+  /// Reserves an exact page count under `name`.
+  PageRange allocate_pages(const std::string& name, std::uint64_t pages);
+
+  [[nodiscard]] const PageRange& range(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// All allocations in declaration order.
+  [[nodiscard]] const std::vector<std::pair<std::string, PageRange>>& arrays()
+      const {
+    return order_;
+  }
+
+  [[nodiscard]] std::uint64_t total_pages() const { return next_page_; }
+  [[nodiscard]] Bytes page_size() const { return page_size_; }
+
+ private:
+  Bytes page_size_;
+  std::uint64_t next_page_ = 0;
+  std::unordered_map<std::string, PageRange> by_name_;
+  std::vector<std::pair<std::string, PageRange>> order_;
+};
+
+}  // namespace repro::vm

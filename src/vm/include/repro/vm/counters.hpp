@@ -1,0 +1,55 @@
+// Per-frame per-node hardware reference counters.
+//
+// The Origin2000 attaches a set of 11-bit counters to every physical
+// memory frame, one per node, counting accesses (L2 misses) from each
+// node. The counters saturate -- an important realism point: a kernel
+// engine that never resets them stops seeing differentials once pages
+// are hot, while UPMlib resets them at iteration boundaries and so keeps
+// full-precision per-iteration traces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+
+namespace repro::vm {
+
+class RefCounters {
+ public:
+  RefCounters(std::size_t num_frames, std::size_t num_nodes,
+              unsigned counter_bits);
+
+  /// Adds `n` accesses from `node` to `frame`, saturating.
+  void increment(FrameId frame, NodeId node, std::uint32_t n);
+
+  /// Counter values for one frame, indexed by node.
+  [[nodiscard]] std::span<const std::uint32_t> read(FrameId frame) const;
+
+  [[nodiscard]] std::uint32_t read(FrameId frame, NodeId node) const;
+
+  /// Zeroes one frame's counters (OS service used by UPMlib and by the
+  /// kernel daemon after a migration).
+  void reset(FrameId frame);
+
+  /// Zeroes everything.
+  void reset_all();
+
+  [[nodiscard]] std::uint32_t max_value() const { return max_; }
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  [[nodiscard]] std::size_t num_frames() const { return num_frames_; }
+
+  /// Node with the largest count for a frame (lowest id wins ties).
+  [[nodiscard]] NodeId argmax_node(FrameId frame) const;
+
+ private:
+  std::size_t num_frames_;
+  std::size_t num_nodes_;
+  std::uint32_t max_;
+  std::vector<std::uint32_t> values_;  // frame-major [frame][node]
+
+  [[nodiscard]] std::size_t index(FrameId frame, NodeId node) const;
+};
+
+}  // namespace repro::vm

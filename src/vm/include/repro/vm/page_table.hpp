@@ -1,0 +1,78 @@
+// Virtual-to-physical page table plus per-page metadata needed by the
+// migration machinery: which processors hold a live TLB mapping (so a
+// migration can charge the right shootdown cost) and how often the page
+// has migrated.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+
+namespace repro::vm {
+
+class PageTable {
+ public:
+  struct Entry {
+    FrameId frame;
+    /// Bitmask of processors that have faulted the page into their TLB
+    /// since the last shootdown.
+    std::uint64_t mapper_mask = 0;
+    std::uint32_t migrations = 0;
+    /// Read-only replicas of the page on other nodes (frames holding
+    /// copies; the primary stays authoritative). Collapsed on write.
+    std::vector<FrameId> replicas;
+    /// Written since the last clear_dirty() (drives the replication
+    /// policy: only clean pages may replicate).
+    bool dirty = false;
+  };
+
+  /// Maps a page; the page must be unmapped.
+  void map(VPage page, FrameId frame);
+
+  /// Unmaps; returns the old frame. The page must be mapped.
+  FrameId unmap(VPage page);
+
+  /// Remaps to a new frame (migration), clearing mapper_mask and
+  /// incrementing the migration count. Returns the old frame.
+  FrameId remap(VPage page, FrameId frame);
+
+  [[nodiscard]] bool is_mapped(VPage page) const;
+  [[nodiscard]] std::optional<FrameId> lookup(VPage page) const;
+
+  /// Entry accessor; the page must be mapped.
+  [[nodiscard]] const Entry& entry(VPage page) const;
+
+  /// Records that `proc` established a TLB mapping for the page.
+  void note_mapper(VPage page, ProcId proc);
+
+  /// Marks the page written / clears the mark.
+  void mark_dirty(VPage page);
+  void clear_dirty(VPage page);
+  [[nodiscard]] bool is_dirty(VPage page) const;
+
+  /// Replica management (page must be mapped).
+  void add_replica(VPage page, FrameId frame);
+  /// Removes and returns all replica frames (write collapse).
+  [[nodiscard]] std::vector<FrameId> take_replicas(VPage page);
+  [[nodiscard]] const std::vector<FrameId>& replicas(VPage page) const;
+
+  /// Number of processors with a live mapping.
+  [[nodiscard]] unsigned mapper_count(VPage page) const;
+
+  [[nodiscard]] std::size_t mapped_pages() const { return table_.size(); }
+
+  /// Iteration support (for whole-address-space scans in tests/tools).
+  [[nodiscard]] const std::unordered_map<VPage, Entry>& entries() const {
+    return table_;
+  }
+
+ private:
+  std::unordered_map<VPage, Entry> table_;
+
+  Entry& mutable_entry(VPage page);
+};
+
+}  // namespace repro::vm

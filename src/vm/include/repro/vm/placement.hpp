@@ -1,0 +1,89 @@
+// Page placement policies (paper Section 2).
+//
+//  - first-touch ("ft"): page goes to the node of the first processor
+//    that faults it; IRIX's default. The tuned NAS codes run a cold-start
+//    iteration so first-touch reproduces their intended distribution.
+//  - round-robin ("rr"): pages are distributed over nodes cyclically by
+//    virtual page number (IRIX DSM_PLACEMENT=ROUNDROBIN; keying on the
+//    page number rather than fault arrival keeps the distribution
+//    decorrelated from the simulator's deterministic thread interleaving,
+//    which would otherwise accidentally reproduce first-touch).
+//  - random ("rand"): each page goes to a uniformly random node (the
+//    paper emulates this with mprotect + SIGSEGV + MLD placement; here
+//    the policy implements it directly).
+//  - worst-case ("wc"): every page on a single node -- equivalent to a
+//    buddy allocator satisfying all allocations best-fit from one node,
+//    and to running the cold-start iteration on one processor.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "repro/common/rng.hpp"
+#include "repro/common/strong_id.hpp"
+
+namespace repro::vm {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Chooses the home node for a page on its first fault.
+  [[nodiscard]] virtual NodeId place(VPage page, ProcId first_toucher) = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Restores the initial policy state (between experiment repetitions).
+  virtual void reset() {}
+};
+
+class FirstTouchPlacement final : public PlacementPolicy {
+ public:
+  FirstTouchPlacement(std::size_t num_nodes, std::size_t procs_per_node);
+  [[nodiscard]] NodeId place(VPage page, ProcId first_toucher) override;
+  [[nodiscard]] std::string name() const override { return "ft"; }
+
+ private:
+  std::size_t num_nodes_;
+  std::size_t procs_per_node_;
+};
+
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  explicit RoundRobinPlacement(std::size_t num_nodes);
+  [[nodiscard]] NodeId place(VPage page, ProcId first_toucher) override;
+  [[nodiscard]] std::string name() const override { return "rr"; }
+
+ private:
+  std::size_t num_nodes_;
+};
+
+class RandomPlacement final : public PlacementPolicy {
+ public:
+  RandomPlacement(std::size_t num_nodes, std::uint64_t seed);
+  [[nodiscard]] NodeId place(VPage page, ProcId first_toucher) override;
+  [[nodiscard]] std::string name() const override { return "rand"; }
+  void reset() override;
+
+ private:
+  std::size_t num_nodes_;
+  std::uint64_t seed_;
+  Rng rng_;
+};
+
+class FixedNodePlacement final : public PlacementPolicy {
+ public:
+  explicit FixedNodePlacement(NodeId node);
+  [[nodiscard]] NodeId place(VPage page, ProcId first_toucher) override;
+  [[nodiscard]] std::string name() const override { return "wc"; }
+
+ private:
+  NodeId node_;
+};
+
+/// Factory for the paper's four schemes: "ft", "rr", "rand", "wc".
+[[nodiscard]] std::unique_ptr<PlacementPolicy> make_placement(
+    const std::string& name, std::size_t num_nodes,
+    std::size_t procs_per_node, std::uint64_t seed);
+
+}  // namespace repro::vm

@@ -1,0 +1,90 @@
+#include "repro/vm/page_table.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::vm {
+
+PageTable::Entry& PageTable::mutable_entry(VPage page) {
+  auto it = table_.find(page);
+  REPRO_REQUIRE_MSG(it != table_.end(), "page not mapped");
+  return it->second;
+}
+
+void PageTable::map(VPage page, FrameId frame) {
+  REPRO_REQUIRE_MSG(!table_.contains(page), "page already mapped");
+  table_.emplace(page, Entry{frame, 0, 0, {}, false});
+}
+
+FrameId PageTable::unmap(VPage page) {
+  auto it = table_.find(page);
+  REPRO_REQUIRE_MSG(it != table_.end(), "page not mapped");
+  const FrameId old = it->second.frame;
+  table_.erase(it);
+  return old;
+}
+
+FrameId PageTable::remap(VPage page, FrameId frame) {
+  Entry& e = mutable_entry(page);
+  REPRO_REQUIRE_MSG(e.replicas.empty(),
+                    "collapse replicas before migrating a page");
+  const FrameId old = e.frame;
+  e.frame = frame;
+  e.mapper_mask = 0;
+  ++e.migrations;
+  return old;
+}
+
+bool PageTable::is_mapped(VPage page) const { return table_.contains(page); }
+
+std::optional<FrameId> PageTable::lookup(VPage page) const {
+  auto it = table_.find(page);
+  if (it == table_.end()) {
+    return std::nullopt;
+  }
+  return it->second.frame;
+}
+
+const PageTable::Entry& PageTable::entry(VPage page) const {
+  auto it = table_.find(page);
+  REPRO_REQUIRE_MSG(it != table_.end(), "page not mapped");
+  return it->second;
+}
+
+void PageTable::note_mapper(VPage page, ProcId proc) {
+  REPRO_REQUIRE(proc.value() < 64);
+  mutable_entry(page).mapper_mask |= 1ULL << proc.value();
+}
+
+void PageTable::mark_dirty(VPage page) { mutable_entry(page).dirty = true; }
+
+void PageTable::clear_dirty(VPage page) {
+  mutable_entry(page).dirty = false;
+}
+
+bool PageTable::is_dirty(VPage page) const { return entry(page).dirty; }
+
+void PageTable::add_replica(VPage page, FrameId frame) {
+  Entry& e = mutable_entry(page);
+  REPRO_REQUIRE_MSG(frame != e.frame, "replica must differ from primary");
+  for (const FrameId existing : e.replicas) {
+    REPRO_REQUIRE_MSG(existing != frame, "duplicate replica frame");
+  }
+  e.replicas.push_back(frame);
+}
+
+std::vector<FrameId> PageTable::take_replicas(VPage page) {
+  return std::exchange(mutable_entry(page).replicas, {});
+}
+
+const std::vector<FrameId>& PageTable::replicas(VPage page) const {
+  return entry(page).replicas;
+}
+
+unsigned PageTable::mapper_count(VPage page) const {
+  return static_cast<unsigned>(std::popcount(entry(page).mapper_mask));
+}
+
+}  // namespace repro::vm

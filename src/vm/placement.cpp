@@ -1,0 +1,65 @@
+#include "repro/vm/placement.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::vm {
+
+FirstTouchPlacement::FirstTouchPlacement(std::size_t num_nodes,
+                                         std::size_t procs_per_node)
+    : num_nodes_(num_nodes), procs_per_node_(procs_per_node) {
+  REPRO_REQUIRE(num_nodes >= 1 && procs_per_node >= 1);
+}
+
+NodeId FirstTouchPlacement::place(VPage /*page*/, ProcId first_toucher) {
+  const auto node = first_toucher.value() /
+                    static_cast<std::uint32_t>(procs_per_node_);
+  REPRO_REQUIRE(node < num_nodes_);
+  return NodeId(node);
+}
+
+RoundRobinPlacement::RoundRobinPlacement(std::size_t num_nodes)
+    : num_nodes_(num_nodes) {
+  REPRO_REQUIRE(num_nodes >= 1);
+}
+
+NodeId RoundRobinPlacement::place(VPage page, ProcId /*first_toucher*/) {
+  return NodeId(static_cast<std::uint32_t>(page.value() % num_nodes_));
+}
+
+RandomPlacement::RandomPlacement(std::size_t num_nodes, std::uint64_t seed)
+    : num_nodes_(num_nodes), seed_(seed), rng_(seed) {
+  REPRO_REQUIRE(num_nodes >= 1);
+}
+
+NodeId RandomPlacement::place(VPage /*page*/, ProcId /*first_toucher*/) {
+  return NodeId(static_cast<std::uint32_t>(rng_.next_below(num_nodes_)));
+}
+
+void RandomPlacement::reset() { rng_ = Rng(seed_); }
+
+FixedNodePlacement::FixedNodePlacement(NodeId node) : node_(node) {}
+
+NodeId FixedNodePlacement::place(VPage /*page*/, ProcId /*first_toucher*/) {
+  return node_;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement(const std::string& name,
+                                                std::size_t num_nodes,
+                                                std::size_t procs_per_node,
+                                                std::uint64_t seed) {
+  if (name == "ft") {
+    return std::make_unique<FirstTouchPlacement>(num_nodes, procs_per_node);
+  }
+  if (name == "rr") {
+    return std::make_unique<RoundRobinPlacement>(num_nodes);
+  }
+  if (name == "rand") {
+    return std::make_unique<RandomPlacement>(num_nodes, seed);
+  }
+  if (name == "wc") {
+    return std::make_unique<FixedNodePlacement>(NodeId(0));
+  }
+  REPRO_UNREACHABLE("unknown placement policy name");
+}
+
+}  // namespace repro::vm

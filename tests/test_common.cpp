@@ -1,0 +1,257 @@
+// Unit tests for the common utilities: contracts, strong ids, RNG,
+// statistics, tables and the Env tunable store.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/common/rng.hpp"
+#include "repro/common/stats.hpp"
+#include "repro/common/strong_id.hpp"
+#include "repro/common/table.hpp"
+#include "repro/common/units.hpp"
+
+namespace repro {
+namespace {
+
+TEST(Assert, RequireThrowsOnViolation) {
+  EXPECT_THROW(REPRO_REQUIRE(1 == 2), ContractViolation);
+  EXPECT_NO_THROW(REPRO_REQUIRE(1 == 1));
+}
+
+TEST(Assert, MessageContainsLocation) {
+  try {
+    REPRO_REQUIRE_MSG(false, "custom message");
+    FAIL() << "expected throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("custom message"),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("test_common.cpp"),
+              std::string::npos);
+  }
+}
+
+TEST(Assert, UnreachableThrows) {
+  EXPECT_THROW(REPRO_UNREACHABLE("should not happen"), ContractViolation);
+}
+
+TEST(StrongId, DistinctTagTypesDoNotMix) {
+  static_assert(!std::is_convertible_v<NodeId, ProcId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, NodeId>);
+  const NodeId a(3);
+  const NodeId b(3);
+  EXPECT_EQ(a, b);
+  EXPECT_LT(NodeId(2), a);
+}
+
+TEST(StrongId, HashAndIncrement) {
+  std::set<VPage> pages;
+  VPage p(10);
+  pages.insert(p);
+  ++p;
+  pages.insert(p);
+  EXPECT_EQ(pages.size(), 2u);
+  EXPECT_EQ(p.value(), 11u);
+  EXPECT_EQ(std::hash<VPage>{}(VPage(7)), std::hash<VPage>{}(VPage(7)));
+}
+
+TEST(StrongId, IdRangeIteratesDensely) {
+  std::uint32_t expected = 0;
+  for (const NodeId n : id_range<NodeId>(5)) {
+    EXPECT_EQ(n.value(), expected++);
+  }
+  EXPECT_EQ(expected, 5u);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(ns_to_seconds(kNsPerSec), 1.0);
+  EXPECT_DOUBLE_EQ(ns_to_ms(kNsPerMs), 1.0);
+  EXPECT_EQ(kMiB, 1024u * 1024u);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(13), 13u);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZeroBound) {
+  Rng rng(7);
+  EXPECT_THROW(rng.next_below(0), ContractViolation);
+}
+
+TEST(Rng, NextBelowRoughlyUniform) {
+  Rng rng(99);
+  constexpr std::uint64_t kBuckets = 8;
+  constexpr int kSamples = 80000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) {
+    counts[rng.next_below(kBuckets)]++;
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.fork();
+  EXPECT_NE(a.next_u64(), child.next_u64());
+}
+
+TEST(RunningStat, MeanAndVariance) {
+  RunningStat st;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    st.add(x);
+  }
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(RunningStat, EmptyIsSafe) {
+  const RunningStat st;
+  EXPECT_EQ(st.count(), 0u);
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_THROW(percentile(xs, 1.5), ContractViolation);
+}
+
+TEST(Slowdown, SignConvention) {
+  EXPECT_DOUBLE_EQ(slowdown(1.5, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(slowdown(0.5, 1.0), -0.5);
+  EXPECT_THROW(slowdown(1.0, 0.0), ContractViolation);
+}
+
+TEST(Geomean, Basics) {
+  EXPECT_DOUBLE_EQ(geomean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_THROW(geomean({1.0, -1.0}), ContractViolation);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(TextTable, RejectsWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractViolation);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "x,y\n1,2\n");
+}
+
+TEST(BarChart, RendersBarsAndBaseline) {
+  BarChart chart("demo", "s");
+  chart.add("first", 1.0);
+  chart.add("second", 2.0, 0.5);
+  chart.set_baseline(1.0);
+  const std::string s = chart.to_string(40);
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find('#'), std::string::npos);
+  EXPECT_NE(s.find('/'), std::string::npos);  // overhead stripe
+  EXPECT_NE(s.find('!'), std::string::npos);  // baseline marker
+}
+
+TEST(BarChart, RejectsNegativeValues) {
+  BarChart chart("demo");
+  EXPECT_THROW(chart.add("bad", -1.0), ContractViolation);
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(fmt_percent(0.248), "+24.8%");
+  EXPECT_EQ(fmt_percent(-0.05), "-5.0%");
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+}
+
+TEST(Env, OverrideAndUnset) {
+  Env env;
+  EXPECT_FALSE(env.get("REPRO_TEST_KEY").has_value());
+  env.set("REPRO_TEST_KEY", "17");
+  EXPECT_EQ(env.get_int("REPRO_TEST_KEY", 0), 17);
+  env.unset("REPRO_TEST_KEY");
+  EXPECT_EQ(env.get_int("REPRO_TEST_KEY", 5), 5);
+}
+
+TEST(Env, TypedAccessors) {
+  Env env;
+  env.set("K_INT", "42");
+  env.set("K_DBL", "2.5");
+  env.set("K_BOOL", "true");
+  EXPECT_EQ(env.get_int("K_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(env.get_double("K_DBL", 0.0), 2.5);
+  EXPECT_TRUE(env.get_bool("K_BOOL", false));
+  EXPECT_EQ(env.get_string("K_MISSING", "dflt"), "dflt");
+}
+
+TEST(Env, MalformedValuesThrow) {
+  Env env;
+  env.set("K", "not-a-number");
+  EXPECT_THROW(env.get_int("K", 0), ContractViolation);
+  EXPECT_THROW(env.get_double("K", 0.0), ContractViolation);
+  EXPECT_THROW(env.get_bool("K", false), ContractViolation);
+}
+
+TEST(Env, ScopedOverrideRestores) {
+  Env& global = Env::global();
+  global.set("SCOPED_KEY", "outer");
+  {
+    ScopedEnv guard("SCOPED_KEY", "inner");
+    EXPECT_EQ(global.get_string("SCOPED_KEY", ""), "inner");
+  }
+  EXPECT_EQ(global.get_string("SCOPED_KEY", ""), "outer");
+  global.unset("SCOPED_KEY");
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,174 @@
+// Harness tests: run configuration labels, the experiment driver and
+// the figure plumbing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/harness/figures.hpp"
+#include "repro/harness/run.hpp"
+
+namespace repro::harness {
+namespace {
+
+RunConfig tiny_config(const std::string& benchmark) {
+  RunConfig config;
+  config.benchmark = benchmark;
+  config.iterations = 2;
+  config.workload.size_scale = 0.25;
+  return config;
+}
+
+TEST(RunConfig, PaperStyleLabels) {
+  RunConfig config;
+  config.placement = "rr";
+  EXPECT_EQ(config.label(), "rr-IRIX");
+  config.kernel_migration = true;
+  EXPECT_EQ(config.label(), "rr-IRIXmig");
+  config.kernel_migration = false;
+  config.upm_mode = nas::UpmMode::kDistribution;
+  EXPECT_EQ(config.label(), "rr-upmlib");
+  config.upm_mode = nas::UpmMode::kRecordReplay;
+  config.placement = "ft";
+  EXPECT_EQ(config.label(), "ft-recrep");
+}
+
+TEST(RunBenchmark, SmokeEveryBenchmark) {
+  for (const auto& name : nas::workload_names()) {
+    const RunResult result = run_benchmark(tiny_config(name));
+    EXPECT_EQ(result.benchmark, name);
+    EXPECT_GT(result.total, 0u) << name;
+    EXPECT_EQ(result.iteration_times.size(), 2u);
+    EXPECT_FALSE(result.records.empty());
+  }
+}
+
+TEST(RunBenchmark, RejectsKernelMigrationPlusUpmlib) {
+  RunConfig config = tiny_config("BT");
+  config.kernel_migration = true;
+  config.upm_mode = nas::UpmMode::kDistribution;
+  EXPECT_THROW(run_benchmark(config), ContractViolation);
+}
+
+TEST(RunBenchmark, RejectsRecordReplayWithoutSupport) {
+  RunConfig config = tiny_config("CG");
+  config.upm_mode = nas::UpmMode::kRecordReplay;
+  EXPECT_THROW(run_benchmark(config), ContractViolation);
+}
+
+TEST(RunBenchmark, DeterministicAcrossRuns) {
+  const RunResult a = run_benchmark(tiny_config("CG"));
+  const RunResult b = run_benchmark(tiny_config("CG"));
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.iteration_times, b.iteration_times);
+}
+
+TEST(RunBenchmark, SeedChangesRandomPlacement) {
+  RunConfig config = tiny_config("CG");
+  config.placement = "rand";
+  const RunResult a = run_benchmark(config);
+  config.seed = 999;
+  const RunResult b = run_benchmark(config);
+  EXPECT_NE(a.total, b.total);
+}
+
+TEST(RunResult, MeanIterationLastFraction) {
+  RunResult result;
+  result.iteration_times = {100, 10, 10, 10};
+  EXPECT_EQ(result.mean_iteration_last(0.75), 10u);
+  EXPECT_EQ(result.mean_iteration_last(1.0), 32u);  // (130)/4
+  EXPECT_THROW(result.mean_iteration_last(0.0), ContractViolation);
+  EXPECT_EQ(RunResult{}.mean_iteration_last(0.5), 0u);
+}
+
+TEST(RunResult, PhaseTimeMatchesBySuffix) {
+  RunResult result;
+  result.records = {{"BT.z_solve", 0, 100, 1.0},
+                    {"BT.x_solve", 100, 250, 1.0},
+                    {"BT.z_solve", 250, 300, 1.0}};
+  EXPECT_EQ(result.phase_time("z_solve"), 150u);
+  EXPECT_EQ(result.phase_time("x_solve"), 150u);
+  EXPECT_EQ(result.phase_time("nothing"), 0u);
+}
+
+TEST(Figures, EffectiveIterationsHonoursFastMode) {
+  FigureOptions options;
+  {
+    ScopedEnv fast("REPRO_FAST", "1");
+    EXPECT_EQ(effective_iterations("BT", options), 20u);
+    EXPECT_EQ(effective_iterations("SP", options), 40u);
+    EXPECT_EQ(effective_iterations("CG", options), 40u);
+    EXPECT_EQ(effective_iterations("MG", options), 0u);  // paper default
+  }
+  {
+    ScopedEnv slow("REPRO_FAST", "0");
+    EXPECT_EQ(effective_iterations("BT", options), 0u);
+  }
+  options.iterations_override = 7;
+  ScopedEnv fast("REPRO_FAST", "1");
+  EXPECT_EQ(effective_iterations("BT", options), 7u);
+}
+
+TEST(Figures, ResultsTableAndFindResult) {
+  RunResult a;
+  a.label = "ft-IRIX";
+  a.total = kNsPerSec;
+  RunResult b;
+  b.label = "wc-IRIX";
+  b.total = 2 * kNsPerSec;
+  const std::vector<RunResult> results = {a, b};
+  EXPECT_EQ(&find_result(results, "wc-IRIX"), &results[1]);
+  EXPECT_THROW(find_result(results, "missing"), ContractViolation);
+
+  const TextTable table = results_table(results);
+  const std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("+100.0%"), std::string::npos);
+
+  std::ostringstream chart;
+  print_figure(chart, "demo", results);
+  EXPECT_NE(chart.str().find("ft-IRIX"), std::string::npos);
+}
+
+TEST(Figures, AppendCsvWritesHeaderOnceAndRows) {
+  const std::string path = ::testing::TempDir() + "/repro_results.csv";
+  std::filesystem::remove(path);
+  RunResult base;
+  base.label = "ft-IRIX";
+  base.total = kNsPerSec;
+  RunResult slow;
+  slow.label = "wc-IRIX";
+  slow.total = 2 * kNsPerSec;
+  append_csv(path, "BT", {base, slow});
+  append_csv(path, "SP", {base, slow});
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    lines.push_back(line);
+  }
+  ASSERT_EQ(lines.size(), 5u);  // header + 2x2 rows
+  EXPECT_NE(lines[0].find("benchmark,scheme"), std::string::npos);
+  EXPECT_NE(lines[1].find("BT,ft-IRIX,1"), std::string::npos);
+  EXPECT_NE(lines[4].find("SP,wc-IRIX,2"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(Figures, MeanSlowdownAveragesAcrossBenchmarks) {
+  RunResult base;
+  base.label = "ft-IRIX";
+  base.total = kNsPerSec;
+  RunResult slow;
+  slow.label = "wc-IRIX";
+  slow.total = 2 * kNsPerSec;
+  RunResult slower = slow;
+  slower.total = 4 * kNsPerSec;
+  const std::vector<std::vector<RunResult>> per_benchmark = {
+      {base, slow}, {base, slower}};
+  EXPECT_DOUBLE_EQ(mean_slowdown(per_benchmark, "wc-IRIX", "ft-IRIX"), 2.0);
+}
+
+}  // namespace
+}  // namespace repro::harness

@@ -1,0 +1,227 @@
+// OpenMP-runtime tests: loop schedules (coverage/disjointness
+// properties), the fork/join runtime, region records and the Machine
+// assembly.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/omp/runtime.hpp"
+#include "repro/omp/schedule.hpp"
+
+namespace repro::omp {
+namespace {
+
+struct ScheduleCase {
+  std::size_t threads;
+  std::uint64_t n;
+};
+
+class SchedulePartition : public ::testing::TestWithParam<ScheduleCase> {};
+
+TEST_P(SchedulePartition, StaticBlocksCoverDisjointly) {
+  const auto [threads, n] = GetParam();
+  std::vector<int> covered(n, 0);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const ChunkRange block = static_block(ThreadId(t), threads, n);
+    EXPECT_LE(block.begin, block.end);
+    for (std::uint64_t i = block.begin; i < block.end; ++i) {
+      covered[i]++;
+    }
+  }
+  for (std::uint64_t i = 0; i < n; ++i) {
+    EXPECT_EQ(covered[i], 1) << "iteration " << i;
+  }
+}
+
+TEST_P(SchedulePartition, StaticBlockSizesDifferByAtMostOne) {
+  const auto [threads, n] = GetParam();
+  std::uint64_t min_size = n + 1;
+  std::uint64_t max_size = 0;
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const auto size = static_block(ThreadId(t), threads, n).size();
+    min_size = std::min(min_size, size);
+    max_size = std::max(max_size, size);
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST_P(SchedulePartition, OwnerOfInvertsStaticBlocks) {
+  const auto [threads, n] = GetParam();
+  const Schedule sched = Schedule::make_static();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const ChunkRange block = static_block(ThreadId(t), threads, n);
+    for (std::uint64_t i = block.begin; i < block.end; ++i) {
+      EXPECT_EQ(sched.owner_of(i, threads, n), ThreadId(t));
+    }
+  }
+}
+
+TEST_P(SchedulePartition, ChunkedSchedulesCoverDisjointly) {
+  const auto [threads, n] = GetParam();
+  for (const std::uint64_t chunk : {1ull, 3ull, 16ull}) {
+    const Schedule sched = Schedule::make_static_chunk(chunk);
+    std::vector<int> covered(n, 0);
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      for (const ChunkRange& c :
+           sched.chunks_for(ThreadId(t), threads, n)) {
+        EXPECT_LE(c.size(), chunk);
+        for (std::uint64_t i = c.begin; i < c.end; ++i) {
+          covered[i]++;
+          EXPECT_EQ(sched.owner_of(i, threads, n), ThreadId(t));
+        }
+      }
+    }
+    for (std::uint64_t i = 0; i < n; ++i) {
+      EXPECT_EQ(covered[i], 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SchedulePartition,
+    ::testing::Values(ScheduleCase{1, 10}, ScheduleCase{4, 64},
+                      ScheduleCase{16, 128}, ScheduleCase{16, 100},
+                      ScheduleCase{16, 7},  // fewer items than threads
+                      ScheduleCase{3, 1}, ScheduleCase{5, 0}));
+
+TEST(Schedule, EmptyIterationSpace) {
+  const Schedule sched = Schedule::make_static();
+  EXPECT_TRUE(sched.chunks_for(ThreadId(0), 4, 0).empty());
+}
+
+TEST(Schedule, DynamicIsRoundRobinChunks) {
+  const Schedule sched = Schedule::make_dynamic(2);
+  const auto chunks = sched.chunks_for(ThreadId(1), 2, 10);
+  // Chunks 1 and 3 of five: [2,4) and [6,8).
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_EQ(chunks[0], (ChunkRange{2, 4}));
+  EXPECT_EQ(chunks[1], (ChunkRange{6, 8}));
+}
+
+TEST(Schedule, RejectsZeroChunk) {
+  EXPECT_THROW(Schedule::make_static_chunk(0), ContractViolation);
+  EXPECT_THROW(Schedule::make_dynamic(0), ContractViolation);
+}
+
+memsys::MachineConfig small_config() {
+  memsys::MachineConfig config;
+  config.num_nodes = 4;
+  config.procs_per_node = 1;
+  config.frames_per_node = 128;
+  return config;
+}
+
+TEST(Machine, CreateWiresEverything) {
+  auto machine = Machine::create(small_config());
+  EXPECT_EQ(machine->config().num_nodes, 4u);
+  EXPECT_EQ(machine->runtime().num_threads(), 4u);
+  EXPECT_EQ(machine->topology().num_nodes(), 4u);
+  EXPECT_EQ(machine->address_space().total_pages(), 0u);
+  // Placement selection is live: wc pins pages to node 0.
+  machine->set_placement("wc");
+  machine->memory().access(0, {ProcId(3), VPage(42), 1, false});
+  EXPECT_EQ(machine->kernel().home_of(VPage(42)), NodeId(0));
+}
+
+TEST(Runtime, RunAdvancesClockAndRecords) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  sim::RegionBuilder region = rt.make_region();
+  region.compute(ThreadId(0), 500);
+  region.compute(ThreadId(1), 300);
+  const auto result = rt.run("phase-a", std::move(region));
+  EXPECT_EQ(result.duration(), 500u);
+  EXPECT_EQ(rt.now(), 500u);
+  ASSERT_EQ(rt.records().size(), 1u);
+  EXPECT_EQ(rt.records()[0].name, "phase-a");
+  EXPECT_EQ(rt.records()[0].duration(), 500u);
+}
+
+TEST(Runtime, SequentialAdvanceAndTotals) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  for (int i = 0; i < 3; ++i) {
+    sim::RegionBuilder region = rt.make_region();
+    region.compute(ThreadId(0), 100);
+    rt.run("loop", std::move(region));
+    rt.advance(50);  // sequential section between regions
+  }
+  EXPECT_EQ(rt.total_time("loop"), 300u);
+  EXPECT_EQ(rt.now(), 450u);
+  rt.clear_records();
+  EXPECT_TRUE(rt.records().empty());
+}
+
+TEST(Runtime, ParallelForEmitsAssignedChunks) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  std::vector<std::uint64_t> items_seen(4, 0);
+  rt.parallel_for("pf", 64, Schedule::make_static(),
+                  [&](ThreadId t, ChunkRange chunk,
+                      sim::RegionBuilder& region) {
+                    items_seen[t.value()] += chunk.size();
+                    region.compute(t, chunk.size() * 10);
+                  });
+  for (const auto n : items_seen) {
+    EXPECT_EQ(n, 16u);
+  }
+  // Balanced static schedule: region duration equals one thread's work.
+  EXPECT_EQ(rt.records().back().duration(), 160u);
+  EXPECT_DOUBLE_EQ(rt.records().back().imbalance, 1.0);
+}
+
+TEST(Runtime, ParallelReduceChargesCombineTree) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  const auto result = rt.parallel_reduce(
+      "dot", 16, Schedule::make_static(),
+      [](ThreadId t, ChunkRange chunk, sim::RegionBuilder& region) {
+        region.compute(t, chunk.size() * 10);
+      });
+  // 4 iterations of work per thread (40 ns) + 2 combine levels for a
+  // 4-thread team (2 x 200 ns).
+  EXPECT_EQ(result.end, 40u + 400u);
+  EXPECT_EQ(rt.now(), 440u);
+}
+
+TEST(Runtime, SectionsAssignRoundRobin) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  std::vector<std::uint32_t> assigned;
+  std::vector<Runtime::SectionBody> bodies;
+  for (int s = 0; s < 6; ++s) {
+    bodies.push_back([&assigned, s](ThreadId t, sim::RegionBuilder& region) {
+      assigned.push_back(t.value());
+      region.compute(t, static_cast<Ns>(100 * (s + 1)));
+    });
+  }
+  const auto result = rt.sections("six-sections", bodies);
+  // Six sections over four threads: 0,1,2,3,0,1.
+  EXPECT_EQ(assigned, (std::vector<std::uint32_t>{0, 1, 2, 3, 0, 1}));
+  // Thread 1 carries sections 2 and 6: 200 + 600 ns.
+  EXPECT_EQ(result.thread_end[1] - result.start, 800u);
+  EXPECT_EQ(result.duration(), 800u);  // the join waits for the slowest
+}
+
+TEST(Runtime, SectionsRejectEmptyList) {
+  auto machine = Machine::create(small_config());
+  EXPECT_THROW(machine->runtime().sections("none", {}), ContractViolation);
+}
+
+TEST(Runtime, RegionsRunAtIncreasingTimes) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  sim::RegionBuilder first = rt.make_region();
+  first.compute(ThreadId(0), 100);
+  rt.run("a", std::move(first));
+  sim::RegionBuilder second = rt.make_region();
+  second.compute(ThreadId(0), 100);
+  const auto r = rt.run("b", std::move(second));
+  EXPECT_EQ(r.start, 100u);
+  EXPECT_EQ(r.end, 200u);
+}
+
+}  // namespace
+}  // namespace repro::omp

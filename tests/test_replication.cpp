@@ -1,0 +1,206 @@
+// Page-replication tests (the paper's Section 1.2 extension: read-only
+// pages can be replicated in multiple nodes). Covers the kernel
+// primitive, the coherence collapse on writes, the memory-system read
+// path and the UPMlib replication policy.
+#include <gtest/gtest.h>
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+namespace repro::os {
+namespace {
+
+memsys::MachineConfig small_config() {
+  memsys::MachineConfig config;
+  config.num_nodes = 4;
+  config.procs_per_node = 1;
+  config.frames_per_node = 16;
+  return config;
+}
+
+struct Fixture {
+  Fixture() : machine(omp::Machine::create(small_config())) {}
+
+  /// A cache-missing access (flush first).
+  memsys::MemorySystem::AccessResult miss(ProcId proc, VPage page,
+                                          bool write = false,
+                                          std::uint32_t lines = 8) {
+    machine->memory().flush_page(page);
+    const auto r =
+        machine->memory().access(now, {proc, page, lines, write});
+    now += 100'000;
+    return r;
+  }
+
+  std::unique_ptr<omp::Machine> machine;
+  Ns now = 0;
+};
+
+TEST(Replication, KernelCreatesAndServesNearestCopy) {
+  Fixture f;
+  Kernel& kernel = f.machine->kernel();
+  f.miss(ProcId(0), VPage(1));  // home on node 0
+  const auto res = kernel.replicate_page(VPage(1), NodeId(3));
+  EXPECT_TRUE(res.replicated);
+  EXPECT_GT(res.cost, 0u);
+  EXPECT_EQ(kernel.replica_count(VPage(1)), 1u);
+  EXPECT_EQ(kernel.stats().replications, 1u);
+
+  // A read from proc 3 is now served locally.
+  const auto read = f.miss(ProcId(3), VPage(1), false);
+  EXPECT_FALSE(read.remote);
+  // The primary home is unchanged.
+  EXPECT_EQ(kernel.home_of(VPage(1)), NodeId(0));
+  // Reads from the home node keep using the primary.
+  const auto home_read = f.miss(ProcId(0), VPage(1), false);
+  EXPECT_FALSE(home_read.remote);
+}
+
+TEST(Replication, DeclinesDuplicatesAndHomeNode) {
+  Fixture f;
+  Kernel& kernel = f.machine->kernel();
+  f.miss(ProcId(0), VPage(1));
+  EXPECT_FALSE(kernel.replicate_page(VPage(1), NodeId(0)).replicated);
+  ASSERT_TRUE(kernel.replicate_page(VPage(1), NodeId(2)).replicated);
+  EXPECT_FALSE(kernel.replicate_page(VPage(1), NodeId(2)).replicated);
+  EXPECT_EQ(kernel.replica_count(VPage(1)), 1u);
+}
+
+TEST(Replication, DeclinesWhenTargetNodeFull) {
+  auto config = small_config();
+  config.frames_per_node = 1;
+  auto machine = omp::Machine::create(config);
+  machine->memory().access(0, {ProcId(0), VPage(1), 1, true});   // node 0
+  machine->memory().access(0, {ProcId(1), VPage(2), 1, true});   // node 1
+  EXPECT_FALSE(
+      machine->kernel().replicate_page(VPage(1), NodeId(1)).replicated);
+}
+
+TEST(Replication, WriteMissCollapsesReplicas) {
+  Fixture f;
+  Kernel& kernel = f.machine->kernel();
+  f.miss(ProcId(0), VPage(1));
+  ASSERT_TRUE(kernel.replicate_page(VPage(1), NodeId(2)).replicated);
+  ASSERT_TRUE(kernel.replicate_page(VPage(1), NodeId(3)).replicated);
+  const std::size_t free_before =
+      f.machine->kernel().physical_memory().total_free();
+
+  // A write (cache-missing) collapses both replicas and frees frames.
+  f.miss(ProcId(1), VPage(1), /*write=*/true);
+  EXPECT_EQ(kernel.replica_count(VPage(1)), 0u);
+  EXPECT_EQ(kernel.stats().replica_collapses, 1u);
+  EXPECT_EQ(kernel.physical_memory().total_free(), free_before + 2);
+  EXPECT_TRUE(kernel.is_dirty(VPage(1)));
+}
+
+TEST(Replication, WriteHitAlsoCollapses) {
+  Fixture f;
+  Kernel& kernel = f.machine->kernel();
+  // Proc 1 caches the page with a read, then writes it (a cache hit).
+  f.miss(ProcId(0), VPage(1));
+  f.miss(ProcId(1), VPage(1));
+  ASSERT_TRUE(kernel.replicate_page(VPage(1), NodeId(2)).replicated);
+  const auto r = f.machine->memory().access(
+      f.now, {ProcId(1), VPage(1), 8, /*write=*/true});
+  EXPECT_EQ(r.misses, 0u);  // it was a hit...
+  EXPECT_EQ(kernel.replica_count(VPage(1)), 0u);  // ...but coherent
+}
+
+TEST(Replication, MigrationCollapsesFirst) {
+  Fixture f;
+  Kernel& kernel = f.machine->kernel();
+  f.miss(ProcId(0), VPage(1));
+  ASSERT_TRUE(kernel.replicate_page(VPage(1), NodeId(2)).replicated);
+  const auto res = kernel.migrate_page(VPage(1), NodeId(3));
+  EXPECT_TRUE(res.migrated);
+  EXPECT_EQ(kernel.replica_count(VPage(1)), 0u);
+  EXPECT_EQ(kernel.home_of(VPage(1)), NodeId(3));
+}
+
+TEST(Replication, DirtyTrackingFollowsWritesAndClears) {
+  Fixture f;
+  Kernel& kernel = f.machine->kernel();
+  f.miss(ProcId(0), VPage(1), /*write=*/false);
+  EXPECT_FALSE(kernel.is_dirty(VPage(1)));
+  f.miss(ProcId(0), VPage(1), /*write=*/true);
+  EXPECT_TRUE(kernel.is_dirty(VPage(1)));
+  kernel.clear_dirty(VPage(1));
+  EXPECT_FALSE(kernel.is_dirty(VPage(1)));
+}
+
+TEST(Replication, UpmlibReplicatesCleanMultiReaderPages) {
+  Fixture f;
+  const auto range =
+      f.machine->address_space().allocate_pages("shared", 4);
+  upm::UpmConfig config;
+  config.enable_replication = true;
+  config.replication_min_nodes = 3;
+  config.replication_min_count = 8;
+  upm::Upmlib upmlib(f.machine->mmci(), f.machine->runtime(), config);
+  upmlib.memrefcnt(range);
+
+  // Page 0: written once (home node 0) then read by everyone.
+  f.miss(ProcId(0), range.page(0), true);
+  upmlib.reset_hot_counters();  // clean slate (clears the dirty bit)
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    f.miss(ProcId(p), range.page(0), false);
+  }
+  // Page 1: read-write by a single remote node -> migration, not
+  // replication.
+  f.miss(ProcId(0), range.page(1), false);
+  f.miss(ProcId(2), range.page(1), true, 8);
+  f.miss(ProcId(2), range.page(1), true, 8);
+  f.miss(ProcId(2), range.page(1), true, 8);
+
+  upmlib.migrate_memory();
+  EXPECT_EQ(upmlib.stats().replications, 3u);
+  EXPECT_EQ(f.machine->kernel().replica_count(range.page(0)), 3u);
+  EXPECT_GT(upmlib.stats().replication_cost, 0u);
+  // The dirty read-write page migrated instead.
+  EXPECT_EQ(f.machine->kernel().replica_count(range.page(1)), 0u);
+  EXPECT_EQ(f.machine->kernel().home_of(range.page(1)), NodeId(2));
+}
+
+TEST(Replication, UpmlibSkipsDirtyPages) {
+  Fixture f;
+  const auto range =
+      f.machine->address_space().allocate_pages("shared", 1);
+  upm::UpmConfig config;
+  config.enable_replication = true;
+  config.replication_min_nodes = 2;
+  config.replication_min_count = 4;
+  upm::Upmlib upmlib(f.machine->mmci(), f.machine->runtime(), config);
+  upmlib.memrefcnt(range);
+
+  f.miss(ProcId(0), range.page(0), true);  // dirty
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    f.miss(ProcId(p), range.page(0), false);
+  }
+  upmlib.migrate_memory();
+  EXPECT_EQ(upmlib.stats().replications, 0u);
+}
+
+TEST(Replication, ReplicatedReadsSpeedUpSharedData) {
+  // End-to-end: four nodes repeatedly reading one node's page run
+  // faster once the page is replicated everywhere.
+  Fixture f;
+  f.miss(ProcId(0), VPage(1), false, 8);
+  const auto measure = [&] {
+    Ns total = 0;
+    for (std::uint32_t p = 0; p < 4; ++p) {
+      total += f.miss(ProcId(p), VPage(1), false, 8).elapsed;
+    }
+    return total;
+  };
+  const Ns before = measure();
+  for (std::uint32_t n = 1; n < 4; ++n) {
+    ASSERT_TRUE(
+        f.machine->kernel().replicate_page(VPage(1), NodeId(n)).replicated);
+  }
+  const Ns after = measure();
+  EXPECT_LT(after, before);
+}
+
+}  // namespace
+}  // namespace repro::os

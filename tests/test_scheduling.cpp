@@ -1,0 +1,156 @@
+// Thread-to-processor binding tests: the runtime's rebinding support
+// (the OS scheduler moving threads) and UPMlib's scheduler
+// notification, which re-enables migration after the recorded traces
+// become stale (the paper's footnote-3 scenario).
+#include <gtest/gtest.h>
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+namespace repro::omp {
+namespace {
+
+memsys::MachineConfig small_config() {
+  memsys::MachineConfig config;
+  config.num_nodes = 4;
+  config.procs_per_node = 1;
+  config.frames_per_node = 256;
+  return config;
+}
+
+TEST(Binding, IdentityByDefault) {
+  auto machine = Machine::create(small_config());
+  for (std::uint32_t t = 0; t < 4; ++t) {
+    EXPECT_EQ(machine->runtime().proc_of(ThreadId(t)), ProcId(t));
+  }
+}
+
+TEST(Binding, RebindAndSwap) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  rt.swap_binding(ThreadId(0), ThreadId(3));
+  EXPECT_EQ(rt.proc_of(ThreadId(0)), ProcId(3));
+  EXPECT_EQ(rt.proc_of(ThreadId(3)), ProcId(0));
+  // Rebinding onto an occupied processor is rejected.
+  EXPECT_THROW(rt.rebind(ThreadId(1), ProcId(3)), ContractViolation);
+  // Rebinding a thread onto its own processor is fine.
+  EXPECT_NO_THROW(rt.rebind(ThreadId(1), ProcId(1)));
+}
+
+TEST(Binding, AccessesFollowTheBinding) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  rt.swap_binding(ThreadId(0), ThreadId(2));
+
+  // Thread 0 (now on processor 2) first-touches a page: it must land
+  // on node 2.
+  sim::RegionBuilder region = rt.make_region();
+  region.access(ThreadId(0), VPage(7), 1, true);
+  rt.run("touch", std::move(region));
+  EXPECT_EQ(machine->kernel().home_of(VPage(7)), NodeId(2));
+  EXPECT_GT(machine->memory().stats(ProcId(2)).miss_lines(), 0u);
+  EXPECT_EQ(machine->memory().stats(ProcId(0)).miss_lines(), 0u);
+}
+
+TEST(Binding, RebindingMakesLocalPagesRemote) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+
+  const auto touch = [&](ThreadId t, VPage page) {
+    machine->memory().flush_page(page);
+    sim::RegionBuilder region = rt.make_region();
+    region.access(t, page, 64, false);
+    return rt.run("sweep", std::move(region)).duration();
+  };
+  touch(ThreadId(1), VPage(5));           // faults onto node 1
+  const Ns local = touch(ThreadId(1), VPage(5));
+  rt.swap_binding(ThreadId(1), ThreadId(3));
+  const Ns remote = touch(ThreadId(1), VPage(5));
+  EXPECT_GT(remote, local);
+}
+
+TEST(Binding, UpmlibNotificationReactivatesEngine) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  const auto range = machine->address_space().allocate_pages("hot", 4);
+  upm::Upmlib upmlib(machine->mmci(), rt, {});
+  upmlib.memrefcnt(range);
+
+  const auto hammer = [&](ThreadId t, VPage page) {
+    for (int i = 0; i < 2; ++i) {
+      machine->memory().flush_page(page);
+      sim::RegionBuilder region = rt.make_region();
+      region.access(t, page, 128, false);
+      rt.run("hammer", std::move(region));
+    }
+  };
+
+  // Thread 1 owns the page; engine deactivates (nothing to move).
+  hammer(ThreadId(1), range.page(0));
+  EXPECT_EQ(upmlib.migrate_memory(), 0u);
+  EXPECT_FALSE(upmlib.active());
+
+  // Scheduler moves thread 1 to processor 3: its page is now remote,
+  // but the deactivated engine ignores new traffic...
+  rt.swap_binding(ThreadId(1), ThreadId(3));
+  hammer(ThreadId(1), range.page(0));
+  EXPECT_EQ(upmlib.migrate_memory(), 0u);
+  EXPECT_EQ(machine->kernel().home_of(range.page(0)), NodeId(1));
+
+  // ...until the scheduler notifies it.
+  upmlib.notify_thread_rebinding();
+  EXPECT_TRUE(upmlib.active());
+  hammer(ThreadId(1), range.page(0));
+  EXPECT_EQ(upmlib.migrate_memory(), 1u);
+  EXPECT_EQ(machine->kernel().home_of(range.page(0)), NodeId(3));
+}
+
+TEST(Binding, NotificationClearsFreezeHistory) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  const auto range = machine->address_space().allocate_pages("hot", 1);
+  upm::Upmlib upmlib(machine->mmci(), rt, {});
+  upmlib.memrefcnt(range);
+  machine->memory().access(0, {ProcId(0), range.page(0), 1, true});
+
+  // Force a freeze via ping-pong.
+  const auto miss = [&](ProcId p, std::uint32_t lines) {
+    machine->memory().flush_page(range.page(0));
+    machine->memory().access(0, {p, range.page(0), lines, false});
+  };
+  miss(ProcId(1), 100);
+  upmlib.migrate_memory();
+  miss(ProcId(0), 100);
+  upmlib.migrate_memory();  // wants to bounce back -> frozen
+  EXPECT_EQ(upmlib.stats().frozen_pages, 1u);
+
+  upmlib.notify_thread_rebinding();
+  EXPECT_EQ(upmlib.stats().frozen_pages, 0u);
+  // The page can move again after the reset.
+  miss(ProcId(2), 100);
+  EXPECT_EQ(upmlib.migrate_memory(), 1u);
+  EXPECT_EQ(machine->kernel().home_of(range.page(0)), NodeId(2));
+}
+
+TEST(Binding, NotificationDropsStaleReplayPlans) {
+  auto machine = Machine::create(small_config());
+  Runtime& rt = machine->runtime();
+  const auto range = machine->address_space().allocate_pages("hot", 2);
+  upm::Upmlib upmlib(machine->mmci(), rt, {});
+  upmlib.memrefcnt(range);
+  machine->memory().access(0, {ProcId(0), range.page(0), 64, true});
+  upmlib.record();
+  machine->memory().flush_page(range.page(0));
+  machine->memory().access(0, {ProcId(3), range.page(0), 64, false});
+  upmlib.record();
+  upmlib.compare_counters();
+  ASSERT_EQ(upmlib.num_transitions(), 1u);
+
+  upmlib.notify_thread_rebinding();
+  EXPECT_EQ(upmlib.num_transitions(), 0u);
+  EXPECT_NO_THROW(upmlib.replay());  // no-op, not a stale migration
+}
+
+}  // namespace
+}  // namespace repro::omp

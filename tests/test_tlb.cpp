@@ -1,0 +1,106 @@
+// TLB-model tests: refill charging, capacity behaviour and migration
+// shootdown of live translations. The TLB is disabled by default (the
+// calibrated latency ladder already includes translation); these tests
+// enable it explicitly.
+#include <gtest/gtest.h>
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/machine.hpp"
+
+namespace repro::memsys {
+namespace {
+
+MachineConfig tlb_config(std::size_t entries) {
+  MachineConfig config;
+  config.num_nodes = 4;
+  config.procs_per_node = 1;
+  config.frames_per_node = 1024;
+  config.tlb_entries = entries;
+  config.tlb_refill_ns = 1000.0;
+  return config;
+}
+
+TEST(Tlb, DisabledByDefault) {
+  const MachineConfig config;
+  EXPECT_EQ(config.tlb_entries, 0u);
+  auto machine = omp::Machine::create(config);
+  machine->memory().access(0, {ProcId(0), VPage(1), 1, false});
+  EXPECT_EQ(machine->memory().total_stats().tlb_misses, 0u);
+}
+
+TEST(Tlb, RefillChargedOnFirstTouchOnly) {
+  auto machine = omp::Machine::create(tlb_config(8));
+  MemorySystem& memory = machine->memory();
+  const auto first = memory.access(0, {ProcId(0), VPage(1), 1, false});
+  const auto second = memory.access(0, {ProcId(0), VPage(1), 1, false});
+  EXPECT_EQ(memory.stats(ProcId(0)).tlb_misses, 1u);
+  // Both were the same kind of access except the TLB refill and the
+  // cache state; the refill is 1000 ns.
+  EXPECT_GT(first.elapsed, second.elapsed + 900);
+}
+
+TEST(Tlb, CapacityEvictionCausesRepeatMisses) {
+  auto machine = omp::Machine::create(tlb_config(4));
+  MemorySystem& memory = machine->memory();
+  // Cycle through 5 pages twice: with 4 entries and LRU, every access
+  // TLB-misses.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t p = 0; p < 5; ++p) {
+      memory.access(0, {ProcId(0), VPage(p), 1, false});
+    }
+  }
+  EXPECT_EQ(memory.stats(ProcId(0)).tlb_misses, 10u);
+}
+
+TEST(Tlb, WorkingSetWithinCapacityHitsAfterWarmup) {
+  auto machine = omp::Machine::create(tlb_config(8));
+  MemorySystem& memory = machine->memory();
+  for (int pass = 0; pass < 3; ++pass) {
+    for (std::uint64_t p = 0; p < 8; ++p) {
+      memory.access(0, {ProcId(0), VPage(p), 1, false});
+    }
+  }
+  EXPECT_EQ(memory.stats(ProcId(0)).tlb_misses, 8u);  // warmup only
+}
+
+TEST(Tlb, MigrationShootsDownLiveTranslations) {
+  auto machine = omp::Machine::create(tlb_config(8));
+  MemorySystem& memory = machine->memory();
+  // Two processors map the page.
+  memory.access(0, {ProcId(0), VPage(1), 1, false});
+  memory.access(0, {ProcId(2), VPage(1), 1, false});
+  EXPECT_EQ(memory.total_stats().tlb_misses, 2u);
+
+  machine->kernel().migrate_page(VPage(1), NodeId(3));
+
+  // Both must re-fault their translations after the shootdown.
+  memory.access(0, {ProcId(0), VPage(1), 1, false});
+  memory.access(0, {ProcId(2), VPage(1), 1, false});
+  EXPECT_EQ(memory.total_stats().tlb_misses, 4u);
+}
+
+TEST(Tlb, ReplicaCollapseAlsoShootsDown) {
+  auto machine = omp::Machine::create(tlb_config(8));
+  MemorySystem& memory = machine->memory();
+  memory.access(0, {ProcId(0), VPage(1), 1, false});
+  ASSERT_TRUE(
+      machine->kernel().replicate_page(VPage(1), NodeId(2)).replicated);
+  memory.access(0, {ProcId(2), VPage(1), 1, false});
+  const auto misses_before = memory.total_stats().tlb_misses;
+
+  machine->kernel().collapse_replicas(VPage(1));
+  memory.access(0, {ProcId(2), VPage(1), 1, false});
+  EXPECT_EQ(memory.total_stats().tlb_misses, misses_before + 1);
+}
+
+TEST(Tlb, PerProcessorIsolation) {
+  auto machine = omp::Machine::create(tlb_config(8));
+  MemorySystem& memory = machine->memory();
+  memory.access(0, {ProcId(0), VPage(1), 1, false});
+  memory.access(0, {ProcId(1), VPage(1), 1, false});
+  EXPECT_EQ(memory.stats(ProcId(0)).tlb_misses, 1u);
+  EXPECT_EQ(memory.stats(ProcId(1)).tlb_misses, 1u);
+}
+
+}  // namespace
+}  // namespace repro::memsys

@@ -1,0 +1,117 @@
+// Topology tests: metric properties of the fat hypercube, ring and
+// crossbar, parameterized over machine sizes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "repro/common/assert.hpp"
+#include "repro/topology/topology.hpp"
+
+namespace repro::topo {
+namespace {
+
+TEST(FatHypercube, RejectsBadSizes) {
+  EXPECT_THROW(FatHypercube(0), ContractViolation);
+  EXPECT_THROW(FatHypercube(1), ContractViolation);
+  EXPECT_THROW(FatHypercube(12), ContractViolation);  // not a power of two
+}
+
+TEST(FatHypercube, SixteenNodesMatchesPaperTopology) {
+  // The paper's machine: 16 nodes, two per router, 8 routers in a
+  // 3-cube; remote distances range over 1..3 hops (Table 1).
+  const FatHypercube topo(16);
+  EXPECT_EQ(topo.dimension(), 3u);
+  EXPECT_EQ(topo.max_hops(), 3u);
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(0)), 0u);
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(1)), 1u);  // same router
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(2)), 1u);  // adjacent router
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(14)), 3u);  // opposite corner
+  // Every remote distance 1..3 is realized from node 0.
+  std::set<unsigned> seen;
+  for (std::uint32_t n = 1; n < 16; ++n) {
+    seen.insert(topo.hops(NodeId(0), NodeId(n)));
+  }
+  EXPECT_EQ(seen, (std::set<unsigned>{1, 2, 3}));
+}
+
+TEST(FatHypercube, RouterPairsShareDistanceOne) {
+  const FatHypercube topo(16);
+  for (std::uint32_t r = 0; r < 8; ++r) {
+    EXPECT_EQ(topo.router_of(NodeId(2 * r)), r);
+    EXPECT_EQ(topo.router_of(NodeId(2 * r + 1)), r);
+    EXPECT_EQ(topo.hops(NodeId(2 * r), NodeId(2 * r + 1)), 1u);
+  }
+}
+
+class TopologyMetric : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TopologyMetric, FatHypercubeIsAMetric) {
+  const std::size_t n = GetParam();
+  const FatHypercube topo(n);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    EXPECT_EQ(topo.hops(NodeId(a), NodeId(a)), 0u);
+    for (std::uint32_t b = 0; b < n; ++b) {
+      const unsigned d = topo.hops(NodeId(a), NodeId(b));
+      // Symmetry.
+      EXPECT_EQ(d, topo.hops(NodeId(b), NodeId(a)));
+      if (a != b) {
+        EXPECT_GE(d, 1u);
+        EXPECT_LE(d, topo.max_hops());
+      }
+    }
+  }
+}
+
+TEST_P(TopologyMetric, RingIsAMetric) {
+  const std::size_t n = GetParam();
+  const Ring topo(n);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = 0; b < n; ++b) {
+      const unsigned d = topo.hops(NodeId(a), NodeId(b));
+      EXPECT_EQ(d, topo.hops(NodeId(b), NodeId(a)));
+      EXPECT_LE(d, n / 2);
+      EXPECT_EQ(d == 0, a == b);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, TopologyMetric,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(Ring, NeighbourAndAntipode) {
+  const Ring topo(8);
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(1)), 1u);
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(7)), 1u);  // wraps
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(4)), 4u);
+  EXPECT_EQ(topo.max_hops(), 4u);
+}
+
+TEST(Crossbar, AllRemoteDistancesAreOne) {
+  const Crossbar topo(16);
+  EXPECT_EQ(topo.max_hops(), 1u);
+  for (std::uint32_t n = 1; n < 16; ++n) {
+    EXPECT_EQ(topo.hops(NodeId(0), NodeId(n)), 1u);
+  }
+}
+
+TEST(Topology, BoundsChecked) {
+  const FatHypercube topo(8);
+  EXPECT_THROW(topo.hops(NodeId(8), NodeId(0)), ContractViolation);
+  EXPECT_THROW(topo.hops(NodeId(0), NodeId(100)), ContractViolation);
+}
+
+TEST(Factory, CreatesByName) {
+  EXPECT_EQ(make_topology("fat-hypercube", 16)->name(), "fat-hypercube");
+  EXPECT_EQ(make_topology("ring", 16)->name(), "ring");
+  EXPECT_EQ(make_topology("crossbar", 16)->name(), "crossbar");
+  EXPECT_THROW(make_topology("torus", 16), ContractViolation);
+}
+
+TEST(FatHypercube, LargerMachineHasLargerDiameter) {
+  // The paper argues placement would matter more on bigger machines;
+  // the topology delivers the growing distance range.
+  EXPECT_LT(FatHypercube(16).max_hops(), FatHypercube(128).max_hops());
+}
+
+}  // namespace
+}  // namespace repro::topo

@@ -1,0 +1,327 @@
+// UPMlib tests: the competitive criterion, the iterative distribution
+// mechanism (self-deactivation, freezing, critical-page cap, counter
+// hygiene) and the record--replay redistribution protocol.
+#include <gtest/gtest.h>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+namespace repro::upm {
+namespace {
+
+memsys::MachineConfig small_config() {
+  memsys::MachineConfig config;
+  config.num_nodes = 4;
+  config.procs_per_node = 1;
+  config.frames_per_node = 128;
+  return config;
+}
+
+struct Fixture {
+  std::unique_ptr<omp::Machine> machine = omp::Machine::create(small_config());
+  vm::PageRange range;
+
+  explicit Fixture(std::uint64_t pages = 8, UpmConfig config = {}) {
+    range = machine->address_space().allocate_pages("hot", pages);
+    upm = std::make_unique<Upmlib>(machine->mmci(), machine->runtime(),
+                                   config);
+    upm->memrefcnt(range);
+  }
+
+  /// Issues `lines` worth of misses from `proc` to `page` (flushing the
+  /// cache before each batch so every line counts), in page-sized
+  /// chunks.
+  void miss(ProcId proc, VPage page, std::uint32_t lines) {
+    const std::uint32_t max = machine->config().lines_per_page();
+    while (lines > 0) {
+      const std::uint32_t chunk = std::min(lines, max);
+      machine->memory().flush_page(page);
+      machine->memory().access(now, {proc, page, chunk, false});
+      now += 1000;
+      lines -= chunk;
+    }
+  }
+
+  std::unique_ptr<Upmlib> upm;
+  Ns now = 0;
+};
+
+TEST(UpmConfig, FromEnvOverrides) {
+  ScopedEnv a("UPM_THRESHOLD", "3.5");
+  ScopedEnv b("UPM_CRITICAL_PAGES", "7");
+  ScopedEnv c("UPM_FREEZE", "off");
+  const UpmConfig config = UpmConfig::from_env();
+  EXPECT_DOUBLE_EQ(config.threshold, 3.5);
+  EXPECT_EQ(config.max_critical_pages, 7u);
+  EXPECT_FALSE(config.freeze_bouncing_pages);
+}
+
+TEST(Upmlib, MigratesPageToDominantAccessor) {
+  Fixture f;
+  // Page 0 of the range faults on proc 0's node, then proc 2 dominates.
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(0), page, 10);
+  f.miss(ProcId(2), page, 100);
+  ASSERT_EQ(f.machine->kernel().home_of(page), NodeId(0));
+
+  EXPECT_EQ(f.upm->migrate_memory(), 1u);
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(2));
+  EXPECT_EQ(f.upm->stats().distribution_migrations, 1u);
+  EXPECT_GT(f.upm->stats().distribution_cost, 0u);
+}
+
+TEST(Upmlib, CompetitiveCriterionProtectsBalancedPages) {
+  // racc_max / lacc must exceed the threshold (default 2): a page with
+  // comparable local and remote traffic stays put.
+  Fixture f;
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(0), page, 100);
+  f.miss(ProcId(1), page, 150);  // ratio 1.5 < 2
+  EXPECT_EQ(f.upm->migrate_memory(), 0u);
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(0));
+}
+
+TEST(Upmlib, NeverLocallyAccessedPageIsMaximallyEligible) {
+  Fixture f;
+  const VPage page = f.range.page(0);
+  // Fault on node 0 with a single write, then only remote traffic.
+  f.machine->memory().access(0, {ProcId(0), page, 1, true});
+  f.machine->kernel().reset_counters(page);
+  f.miss(ProcId(3), page, 3);  // tiny, but lacc == 0
+  EXPECT_EQ(f.upm->migrate_memory(), 1u);
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(3));
+}
+
+TEST(Upmlib, SelfDeactivatesWhenNothingMoves) {
+  Fixture f;
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(0), page, 100);
+  EXPECT_TRUE(f.upm->active());
+  EXPECT_EQ(f.upm->migrate_memory(), 0u);
+  EXPECT_FALSE(f.upm->active());
+  // Further invocations are no-ops even with new remote traffic.
+  f.miss(ProcId(1), page, 1000);
+  EXPECT_EQ(f.upm->migrate_memory(), 0u);
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(0));
+}
+
+TEST(Upmlib, CountersAreResetAfterEveryPass) {
+  Fixture f;
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(1), page, 200);
+  f.upm->migrate_memory();
+  const auto counts = f.machine->mmci().read_counters(page);
+  for (const auto c : counts) {
+    EXPECT_EQ(c, 0u);
+  }
+}
+
+TEST(Upmlib, FreezesPingPongingPages) {
+  // Page bounces: remote-dominant from node 1 in pass 1, then from the
+  // original node 0 in pass 2 -> the page wants to go straight back:
+  // freeze it (page-level false sharing control, paper Section 3.2).
+  Fixture f;
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(0), page, 10);
+  f.miss(ProcId(1), page, 100);
+  EXPECT_EQ(f.upm->migrate_memory(), 1u);
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(1));
+
+  f.miss(ProcId(0), page, 100);  // now node 0 dominates again
+  f.miss(ProcId(2), page, 10);
+  EXPECT_EQ(f.upm->migrate_memory(), 0u);
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(1));  // frozen
+  EXPECT_EQ(f.upm->stats().frozen_pages, 1u);
+
+  // Frozen stays frozen in later passes too... but deactivation kicked
+  // in after the zero-migration pass, which is also correct behaviour.
+  EXPECT_FALSE(f.upm->active());
+}
+
+TEST(Upmlib, FreezingCanBeDisabled) {
+  UpmConfig config;
+  config.freeze_bouncing_pages = false;
+  Fixture f(8, config);
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(0), page, 10);
+  f.miss(ProcId(1), page, 100);
+  f.upm->migrate_memory();
+  f.miss(ProcId(0), page, 100);
+  EXPECT_EQ(f.upm->migrate_memory(), 1u);
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(0));
+}
+
+TEST(Upmlib, CriticalPageCapDoesNotLimitDistributionPass) {
+  // The paper's n-most-critical-pages knob throttles the per-iteration
+  // replay migrations; the one-time distribution pass moves everything
+  // that qualifies.
+  UpmConfig config;
+  config.max_critical_pages = 2;
+  Fixture f(8, config);
+  f.miss(ProcId(0), f.range.page(0), 10);
+  f.miss(ProcId(1), f.range.page(0), 200);
+  f.miss(ProcId(0), f.range.page(1), 10);
+  f.miss(ProcId(1), f.range.page(1), 100);
+  f.miss(ProcId(0), f.range.page(2), 10);
+  f.miss(ProcId(1), f.range.page(2), 50);
+  EXPECT_EQ(f.upm->migrate_memory(), 3u);
+  for (std::uint64_t p = 0; p < 3; ++p) {
+    EXPECT_EQ(f.machine->kernel().home_of(f.range.page(p)), NodeId(1));
+  }
+}
+
+TEST(Upmlib, ChargesMasterThreadTime) {
+  Fixture f;
+  f.miss(ProcId(0), f.range.page(0), 10);
+  f.miss(ProcId(1), f.range.page(0), 100);
+  const Ns before = f.machine->runtime().now();
+  f.upm->migrate_memory();
+  EXPECT_GT(f.machine->runtime().now(), before);
+}
+
+TEST(Upmlib, StatsTrackInvocations) {
+  Fixture f;
+  f.miss(ProcId(0), f.range.page(0), 10);
+  f.miss(ProcId(1), f.range.page(0), 100);
+  f.miss(ProcId(0), f.range.page(1), 10);
+  f.miss(ProcId(2), f.range.page(1), 100);
+  f.upm->migrate_memory();  // 2 migrations
+  f.miss(ProcId(0), f.range.page(2), 10);   // homes page 2 on node 0
+  f.miss(ProcId(3), f.range.page(2), 100);  // node 3 dominates
+  f.upm->migrate_memory();  // 1 more
+  const UpmStats& stats = f.upm->stats();
+  ASSERT_EQ(stats.migrations_per_invocation.size(), 2u);
+  EXPECT_EQ(stats.migrations_per_invocation[0], 2u);
+  EXPECT_EQ(stats.migrations_per_invocation[1], 1u);
+  EXPECT_NEAR(stats.first_invocation_fraction(), 2.0 / 3.0, 1e-12);
+  ASSERT_EQ(stats.migrations_per_range.size(), 1u);
+  EXPECT_EQ(stats.migrations_per_range[0], 3u);
+}
+
+TEST(Upmlib, UnmappedHotPagesAreSkipped) {
+  Fixture f(8);
+  // Nothing mapped at all: no candidates, engine deactivates cleanly.
+  EXPECT_EQ(f.upm->migrate_memory(), 0u);
+}
+
+// --- record--replay ---------------------------------------------------------
+
+TEST(RecordReplay, RequiresTwoRecords) {
+  Fixture f;
+  f.upm->record();
+  EXPECT_THROW(f.upm->compare_counters(), ContractViolation);
+}
+
+TEST(RecordReplay, IsolatesPhaseTraceAndReplays) {
+  Fixture f;
+  const VPage page = f.range.page(0);
+  // Establish home on node 0 with heavy traffic (the xy pattern).
+  f.miss(ProcId(0), page, 200);
+  // Record V1, run the "phase" (node 3 dominates), record V2.
+  f.upm->record();
+  f.miss(ProcId(3), page, 150);
+  f.upm->record();
+  f.upm->compare_counters();
+  ASSERT_EQ(f.upm->num_transitions(), 1u);
+  const auto& list = f.upm->replay_list(0);
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0].page, page);
+  EXPECT_EQ(list[0].target, NodeId(3));
+
+  // Replay migrates to the phase-optimal node; undo restores.
+  f.upm->replay();
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(3));
+  f.upm->undo();
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(0));
+  EXPECT_EQ(f.upm->stats().replay_migrations, 1u);
+  EXPECT_EQ(f.upm->stats().undo_migrations, 1u);
+  EXPECT_GT(f.upm->stats().recrep_cost, 0u);
+}
+
+TEST(RecordReplay, WholeIterationTraceDoesNotQualify) {
+  // The phase change is invisible in whole-iteration counters: home
+  // traffic dominates overall, only the isolated phase trace flips.
+  Fixture f;
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(0), page, 400);
+  f.upm->record();
+  f.miss(ProcId(3), page, 150);
+  f.upm->record();
+  // Whole-trace criterion: 150 / 400 < 2 -> distribution pass skips it.
+  EXPECT_EQ(f.upm->migrate_memory(), 0u);
+  // Phase-isolated criterion: 150 / 0 -> replay list catches it.
+  f.upm->compare_counters();
+  EXPECT_EQ(f.upm->replay_list(0).size(), 1u);
+}
+
+TEST(RecordReplay, MultipleTransitions) {
+  Fixture f;
+  const VPage a = f.range.page(0);
+  const VPage b = f.range.page(1);
+  f.miss(ProcId(0), a, 100);
+  f.miss(ProcId(0), b, 100);
+  f.upm->record();
+  f.miss(ProcId(1), a, 100);  // phase 1: node 1 takes page a
+  f.upm->record();
+  f.miss(ProcId(2), b, 100);  // phase 2: node 2 takes page b
+  f.upm->record();
+  f.upm->compare_counters();
+  ASSERT_EQ(f.upm->num_transitions(), 2u);
+  EXPECT_EQ(f.upm->replay_list(0)[0].page, a);
+  EXPECT_EQ(f.upm->replay_list(1)[0].page, b);
+
+  // The replay cursor cycles through the transitions.
+  f.upm->replay();
+  EXPECT_EQ(f.machine->kernel().home_of(a), NodeId(1));
+  f.upm->replay();
+  EXPECT_EQ(f.machine->kernel().home_of(b), NodeId(2));
+  f.upm->undo();
+  EXPECT_EQ(f.machine->kernel().home_of(a), NodeId(0));
+  EXPECT_EQ(f.machine->kernel().home_of(b), NodeId(0));
+}
+
+TEST(RecordReplay, UndoIdempotentAndCursorResets) {
+  Fixture f;
+  const VPage page = f.range.page(0);
+  f.miss(ProcId(0), page, 100);
+  f.upm->record();
+  f.miss(ProcId(2), page, 100);
+  f.upm->record();
+  f.upm->compare_counters();
+  for (int iter = 0; iter < 3; ++iter) {
+    f.upm->replay();
+    EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(2));
+    f.upm->undo();
+    EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(0));
+  }
+  f.upm->undo();  // undo with an empty log is a no-op
+  EXPECT_EQ(f.machine->kernel().home_of(page), NodeId(0));
+}
+
+TEST(RecordReplay, ReplayWithoutPlanIsNoOp) {
+  Fixture f;
+  EXPECT_NO_THROW(f.upm->replay());
+  EXPECT_NO_THROW(f.upm->undo());
+  EXPECT_EQ(f.upm->stats().replay_migrations, 0u);
+}
+
+TEST(RecordReplay, CriticalPageCapAppliesPerTransition) {
+  UpmConfig config;
+  config.max_critical_pages = 1;
+  Fixture f(8, config);
+  f.miss(ProcId(0), f.range.page(0), 10);
+  f.miss(ProcId(0), f.range.page(1), 10);
+  f.upm->record();
+  f.miss(ProcId(1), f.range.page(0), 50);
+  f.miss(ProcId(1), f.range.page(1), 200);
+  f.upm->record();
+  f.upm->compare_counters();
+  ASSERT_EQ(f.upm->replay_list(0).size(), 1u);
+  // The higher-ratio page (page 1, 200/10) wins the single slot.
+  EXPECT_EQ(f.upm->replay_list(0)[0].page, f.range.page(1));
+}
+
+}  // namespace
+}  // namespace repro::upm
