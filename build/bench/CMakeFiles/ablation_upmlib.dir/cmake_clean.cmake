@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_upmlib.dir/ablation_upmlib.cpp.o"
+  "CMakeFiles/ablation_upmlib.dir/ablation_upmlib.cpp.o.d"
+  "ablation_upmlib"
+  "ablation_upmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_upmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

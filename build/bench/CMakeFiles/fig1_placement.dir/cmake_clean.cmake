@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_placement.dir/fig1_placement.cpp.o"
+  "CMakeFiles/fig1_placement.dir/fig1_placement.cpp.o.d"
+  "fig1_placement"
+  "fig1_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

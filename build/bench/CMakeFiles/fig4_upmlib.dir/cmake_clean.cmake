@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_upmlib.dir/fig4_upmlib.cpp.o"
+  "CMakeFiles/fig4_upmlib.dir/fig4_upmlib.cpp.o.d"
+  "fig4_upmlib"
+  "fig4_upmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_upmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

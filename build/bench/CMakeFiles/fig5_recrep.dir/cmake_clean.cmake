@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_recrep.dir/fig5_recrep.cpp.o"
+  "CMakeFiles/fig5_recrep.dir/fig5_recrep.cpp.o.d"
+  "fig5_recrep"
+  "fig5_recrep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_recrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

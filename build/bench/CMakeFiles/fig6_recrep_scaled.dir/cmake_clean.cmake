@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_recrep_scaled.dir/fig6_recrep_scaled.cpp.o"
+  "CMakeFiles/fig6_recrep_scaled.dir/fig6_recrep_scaled.cpp.o.d"
+  "fig6_recrep_scaled"
+  "fig6_recrep_scaled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_recrep_scaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

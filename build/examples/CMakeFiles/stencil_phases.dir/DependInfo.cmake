@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/stencil_phases.cpp" "examples/CMakeFiles/stencil_phases.dir/stencil_phases.cpp.o" "gcc" "examples/CMakeFiles/stencil_phases.dir/stencil_phases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/repro_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/nas/CMakeFiles/repro_nas.dir/DependInfo.cmake"
+  "/root/repo/build/src/upmlib/CMakeFiles/repro_upmlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/omp/CMakeFiles/repro_omp.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/repro_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/repro_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/repro_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/repro_memsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_phases.dir/stencil_phases.cpp.o"
+  "CMakeFiles/stencil_phases.dir/stencil_phases.cpp.o.d"
+  "stencil_phases"
+  "stencil_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_harness.dir/figures.cpp.o"
+  "CMakeFiles/repro_harness.dir/figures.cpp.o.d"
+  "CMakeFiles/repro_harness.dir/run.cpp.o"
+  "CMakeFiles/repro_harness.dir/run.cpp.o.d"
+  "librepro_harness.a"
+  "librepro_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memsys/config.cpp" "src/memsys/CMakeFiles/repro_memsys.dir/config.cpp.o" "gcc" "src/memsys/CMakeFiles/repro_memsys.dir/config.cpp.o.d"
+  "/root/repo/src/memsys/directory.cpp" "src/memsys/CMakeFiles/repro_memsys.dir/directory.cpp.o" "gcc" "src/memsys/CMakeFiles/repro_memsys.dir/directory.cpp.o.d"
+  "/root/repo/src/memsys/latency.cpp" "src/memsys/CMakeFiles/repro_memsys.dir/latency.cpp.o" "gcc" "src/memsys/CMakeFiles/repro_memsys.dir/latency.cpp.o.d"
+  "/root/repo/src/memsys/mem_queue.cpp" "src/memsys/CMakeFiles/repro_memsys.dir/mem_queue.cpp.o" "gcc" "src/memsys/CMakeFiles/repro_memsys.dir/mem_queue.cpp.o.d"
+  "/root/repo/src/memsys/memory_system.cpp" "src/memsys/CMakeFiles/repro_memsys.dir/memory_system.cpp.o" "gcc" "src/memsys/CMakeFiles/repro_memsys.dir/memory_system.cpp.o.d"
+  "/root/repo/src/memsys/page_cache.cpp" "src/memsys/CMakeFiles/repro_memsys.dir/page_cache.cpp.o" "gcc" "src/memsys/CMakeFiles/repro_memsys.dir/page_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_memsys.dir/config.cpp.o"
+  "CMakeFiles/repro_memsys.dir/config.cpp.o.d"
+  "CMakeFiles/repro_memsys.dir/directory.cpp.o"
+  "CMakeFiles/repro_memsys.dir/directory.cpp.o.d"
+  "CMakeFiles/repro_memsys.dir/latency.cpp.o"
+  "CMakeFiles/repro_memsys.dir/latency.cpp.o.d"
+  "CMakeFiles/repro_memsys.dir/mem_queue.cpp.o"
+  "CMakeFiles/repro_memsys.dir/mem_queue.cpp.o.d"
+  "CMakeFiles/repro_memsys.dir/memory_system.cpp.o"
+  "CMakeFiles/repro_memsys.dir/memory_system.cpp.o.d"
+  "CMakeFiles/repro_memsys.dir/page_cache.cpp.o"
+  "CMakeFiles/repro_memsys.dir/page_cache.cpp.o.d"
+  "librepro_memsys.a"
+  "librepro_memsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_memsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

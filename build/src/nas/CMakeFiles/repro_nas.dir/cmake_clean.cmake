@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_nas.dir/adi.cpp.o"
+  "CMakeFiles/repro_nas.dir/adi.cpp.o.d"
+  "CMakeFiles/repro_nas.dir/cg.cpp.o"
+  "CMakeFiles/repro_nas.dir/cg.cpp.o.d"
+  "CMakeFiles/repro_nas.dir/ft.cpp.o"
+  "CMakeFiles/repro_nas.dir/ft.cpp.o.d"
+  "CMakeFiles/repro_nas.dir/mg.cpp.o"
+  "CMakeFiles/repro_nas.dir/mg.cpp.o.d"
+  "CMakeFiles/repro_nas.dir/pattern.cpp.o"
+  "CMakeFiles/repro_nas.dir/pattern.cpp.o.d"
+  "CMakeFiles/repro_nas.dir/workload.cpp.o"
+  "CMakeFiles/repro_nas.dir/workload.cpp.o.d"
+  "librepro_nas.a"
+  "librepro_nas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_nas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

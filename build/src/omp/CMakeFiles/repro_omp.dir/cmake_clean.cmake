@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_omp.dir/machine.cpp.o"
+  "CMakeFiles/repro_omp.dir/machine.cpp.o.d"
+  "CMakeFiles/repro_omp.dir/runtime.cpp.o"
+  "CMakeFiles/repro_omp.dir/runtime.cpp.o.d"
+  "CMakeFiles/repro_omp.dir/schedule.cpp.o"
+  "CMakeFiles/repro_omp.dir/schedule.cpp.o.d"
+  "librepro_omp.a"
+  "librepro_omp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

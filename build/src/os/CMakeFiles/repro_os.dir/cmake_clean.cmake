@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_os.dir/daemon.cpp.o"
+  "CMakeFiles/repro_os.dir/daemon.cpp.o.d"
+  "CMakeFiles/repro_os.dir/kernel.cpp.o"
+  "CMakeFiles/repro_os.dir/kernel.cpp.o.d"
+  "CMakeFiles/repro_os.dir/mmci.cpp.o"
+  "CMakeFiles/repro_os.dir/mmci.cpp.o.d"
+  "librepro_os.a"
+  "librepro_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_sim.dir/engine.cpp.o"
+  "CMakeFiles/repro_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/repro_sim.dir/region.cpp.o"
+  "CMakeFiles/repro_sim.dir/region.cpp.o.d"
+  "librepro_sim.a"
+  "librepro_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

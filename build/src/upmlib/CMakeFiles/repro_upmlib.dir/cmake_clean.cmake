@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_upmlib.dir/upmlib.cpp.o"
+  "CMakeFiles/repro_upmlib.dir/upmlib.cpp.o.d"
+  "librepro_upmlib.a"
+  "librepro_upmlib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_upmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

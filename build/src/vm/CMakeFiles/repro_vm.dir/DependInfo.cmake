@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/address_space.cpp" "src/vm/CMakeFiles/repro_vm.dir/address_space.cpp.o" "gcc" "src/vm/CMakeFiles/repro_vm.dir/address_space.cpp.o.d"
+  "/root/repo/src/vm/counters.cpp" "src/vm/CMakeFiles/repro_vm.dir/counters.cpp.o" "gcc" "src/vm/CMakeFiles/repro_vm.dir/counters.cpp.o.d"
+  "/root/repo/src/vm/page_table.cpp" "src/vm/CMakeFiles/repro_vm.dir/page_table.cpp.o" "gcc" "src/vm/CMakeFiles/repro_vm.dir/page_table.cpp.o.d"
+  "/root/repo/src/vm/physical_memory.cpp" "src/vm/CMakeFiles/repro_vm.dir/physical_memory.cpp.o" "gcc" "src/vm/CMakeFiles/repro_vm.dir/physical_memory.cpp.o.d"
+  "/root/repo/src/vm/placement.cpp" "src/vm/CMakeFiles/repro_vm.dir/placement.cpp.o" "gcc" "src/vm/CMakeFiles/repro_vm.dir/placement.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/repro_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/repro_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/memsys/CMakeFiles/repro_memsys.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_vm.dir/address_space.cpp.o"
+  "CMakeFiles/repro_vm.dir/address_space.cpp.o.d"
+  "CMakeFiles/repro_vm.dir/counters.cpp.o"
+  "CMakeFiles/repro_vm.dir/counters.cpp.o.d"
+  "CMakeFiles/repro_vm.dir/page_table.cpp.o"
+  "CMakeFiles/repro_vm.dir/page_table.cpp.o.d"
+  "CMakeFiles/repro_vm.dir/physical_memory.cpp.o"
+  "CMakeFiles/repro_vm.dir/physical_memory.cpp.o.d"
+  "CMakeFiles/repro_vm.dir/placement.cpp.o"
+  "CMakeFiles/repro_vm.dir/placement.cpp.o.d"
+  "librepro_vm.a"
+  "librepro_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_upmlib.dir/test_upmlib.cpp.o"
+  "CMakeFiles/test_upmlib.dir/test_upmlib.cpp.o.d"
+  "test_upmlib"
+  "test_upmlib.pdb"
+  "test_upmlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_upmlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_topology[1]_include.cmake")
+include("/root/repo/build/tests/test_memsys[1]_include.cmake")
+include("/root/repo/build/tests/test_vm[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_omp[1]_include.cmake")
+include("/root/repo/build/tests/test_upmlib[1]_include.cmake")
+include("/root/repo/build/tests/test_nas[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_replication[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_scheduling[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
