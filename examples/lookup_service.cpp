@@ -7,10 +7,12 @@
 // side: the first write collapses every replica, and the engine
 // re-replicates on the next pass.
 //
-//   $ lookup_service [iterations]
+//   $ lookup_service [iterations] [--analyze]
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "repro/analysis/session.hpp"
 #include "repro/common/table.hpp"
 #include "repro/omp/machine.hpp"
 #include "repro/omp/schedule.hpp"
@@ -21,7 +23,7 @@ using namespace repro;
 namespace {
 
 struct Service {
-  explicit Service(bool replicate) {
+  Service(bool replicate, bool analyze) {
     machine = omp::Machine::create(memsys::MachineConfig{});
     machine->set_placement("ft");
     table = machine->address_space().allocate("table", 6 * kMiB);
@@ -33,6 +35,10 @@ struct Service {
     config.max_replicas = 15;
     upmlib = std::make_unique<upm::Upmlib>(machine->mmci(),
                                            machine->runtime(), config);
+    if (analyze) {
+      session = std::make_unique<analysis::AnalysisSession>(*machine);
+      session->attach_upm(*upmlib);
+    }
     upmlib->memrefcnt(table);
   }
 
@@ -71,12 +77,22 @@ struct Service {
   vm::PageRange table;
   vm::PageRange logs;
   std::unique_ptr<upm::Upmlib> upmlib;
+  std::unique_ptr<analysis::AnalysisSession> session;
 };
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int iterations = argc > 1 ? std::atoi(argv[1]) : 16;
+  int iterations = 16;
+  bool analyze = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--analyze") {
+      analyze = true;
+    } else {
+      iterations = std::atoi(arg.c_str());
+    }
+  }
   std::cout << "Lookup service: " << iterations
             << " request batches, table update after batch "
             << iterations / 2 << "\n\n";
@@ -84,7 +100,7 @@ int main(int argc, char** argv) {
   TextTable table({"configuration", "total (s)", "replications",
                    "collapses", "remote frac"});
   for (const bool replicate : {false, true}) {
-    Service service(replicate);
+    Service service(replicate, analyze);
     service.serve_batch();  // cold start
     service.upmlib->reset_hot_counters();
     service.machine->memory().reset_stats();
@@ -111,6 +127,11 @@ int main(int argc, char** argv) {
          fmt_double(
              service.machine->memory().total_stats().remote_fraction(),
              3)});
+    if (service.session != nullptr) {
+      std::cout << "[" << (replicate ? "replication" : "migration")
+                << "] ";
+      service.session->print(std::cout);
+    }
   }
   table.print(std::cout);
   std::cout << "\nThe table is re-replicated after the reconfiguration "

@@ -33,6 +33,8 @@ options:
   --class=C           problem class W | A | B (presets for --scale)
   --scale=X           problem-size multiplier
   --seed=N            placement seed (random placement)
+  --analyze           run the static analyzer (repro::analysis) and
+                      print its diagnostics (also: REPRO_ANALYZE=1)
 )";
 }
 
@@ -72,6 +74,8 @@ int main(int argc, char** argv) {
       config.workload.size_scale = std::stod(value(8));
     } else if (arg.rfind("--seed=", 0) == 0) {
       config.seed = std::stoull(value(7));
+    } else if (arg == "--analyze") {
+      config.analyze = true;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       usage();

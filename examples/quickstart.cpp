@@ -10,7 +10,10 @@
 // the per-iteration times with and without the user-level migration
 // engine.
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "repro/analysis/session.hpp"
 #include "repro/common/table.hpp"
 #include "repro/omp/machine.hpp"
 #include "repro/omp/schedule.hpp"
@@ -35,7 +38,7 @@ void run_sweep(omp::Machine& machine, const vm::PageRange& data) {
       });
 }
 
-std::vector<double> run_once(bool with_upmlib) {
+std::vector<double> run_once(bool with_upmlib, bool analyze) {
   // A 16-node Origin2000-like machine with round-robin page placement
   // (DSM_PLACEMENT=ROUNDROBIN): pages land all over the machine.
   auto machine = omp::Machine::create(memsys::MachineConfig{});
@@ -48,6 +51,15 @@ std::vector<double> run_once(bool with_upmlib) {
 
   upm::Upmlib upmlib(machine->mmci(), machine->runtime(),
                      upm::UpmConfig::from_env());
+
+  // --analyze: check every region and the UPMlib call sequence before
+  // the engine runs them.
+  std::unique_ptr<analysis::AnalysisSession> session;
+  if (analyze) {
+    session = std::make_unique<analysis::AnalysisSession>(*machine);
+    session->attach_upm(upmlib);
+  }
+
   upmlib.memrefcnt(data);  // upmlib_memrefcnt(data, size)
 
   std::vector<double> iteration_ms;
@@ -67,16 +79,23 @@ std::vector<double> run_once(bool with_upmlib) {
                             0)
               << "% in the first pass)\n";
   }
+  if (session != nullptr) {
+    session->print(std::cout);
+  }
   return iteration_ms;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool analyze = false;
+  for (int i = 1; i < argc; ++i) {
+    analyze |= std::string(argv[i]) == "--analyze";
+  }
   std::cout << "Quickstart: round-robin placement, 16 simulated "
                "processors\n\n";
-  const std::vector<double> plain = run_once(false);
-  const std::vector<double> with_upm = run_once(true);
+  const std::vector<double> plain = run_once(false, analyze);
+  const std::vector<double> with_upm = run_once(true, analyze);
 
   TextTable table({"iteration", "rr (ms)", "rr + UPMlib (ms)"});
   for (std::size_t i = 0; i < plain.size(); ++i) {

@@ -7,9 +7,12 @@
 // placement catastrophic (single-node contention) while balanced
 // placements stay cheap.
 //
-//   $ sparse_solver
+//   $ sparse_solver [--analyze]
 #include <iostream>
+#include <memory>
+#include <string>
 
+#include "repro/analysis/session.hpp"
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
 #include "repro/omp/machine.hpp"
@@ -26,7 +29,7 @@ struct Result {
   std::uint64_t migrations = 0;
 };
 
-Result run(const std::string& placement, bool with_upmlib) {
+Result run(const std::string& placement, bool with_upmlib, bool analyze) {
   auto machine = omp::Machine::create(memsys::MachineConfig{});
   machine->set_placement(placement, /*seed=*/7);
   omp::Runtime& rt = machine->runtime();
@@ -38,17 +41,23 @@ Result run(const std::string& placement, bool with_upmlib) {
       machine->address_space().allocate("vector", 2 * kMiB);
 
   upm::Upmlib upmlib(machine->mmci(), machine->runtime(), {});
+  std::unique_ptr<analysis::AnalysisSession> session;
+  if (analyze) {
+    session = std::make_unique<analysis::AnalysisSession>(*machine);
+    session->attach_upm(upmlib);
+  }
   upmlib.memrefcnt(matrix);
   upmlib.memrefcnt(vector);
 
   const auto sweep = [&] {
+    // Stream the row block and gather the shared vector; the join
+    // barrier orders the gathers before the owners overwrite the
+    // vector in the next region (reading and writing the same pages in
+    // one region would be a data race -- the analyzer's race.rw-lines).
     sim::RegionBuilder region = rt.make_region();
     for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
       const auto rows =
           omp::static_block(ThreadId(t), rt.num_threads(), matrix.count);
-      const auto own =
-          omp::static_block(ThreadId(t), rt.num_threads(), vector.count);
-      // Stream the row block; gather the shared vector; update own part.
       for (std::uint64_t p = rows.begin; p < rows.end; ++p) {
         region.access(ThreadId(t), matrix.page(p), lines, false,
                       lines * 150, /*stream=*/true);
@@ -56,12 +65,19 @@ Result run(const std::string& placement, bool with_upmlib) {
       for (std::uint64_t p = 0; p < vector.count; ++p) {
         region.access(ThreadId(t), vector.page(p), 24, false, 24 * 50);
       }
+    }
+    rt.run("solve", std::move(region));
+
+    sim::RegionBuilder update = rt.make_region();
+    for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+      const auto own =
+          omp::static_block(ThreadId(t), rt.num_threads(), vector.count);
       for (std::uint64_t p = own.begin; p < own.end; ++p) {
-        region.access(ThreadId(t), vector.page(p), lines, true,
+        update.access(ThreadId(t), vector.page(p), lines, true,
                       lines * 50);
       }
     }
-    rt.run("solve", std::move(region));
+    rt.run("vector_update", std::move(update));
   };
 
   sweep();  // cold start (placement)
@@ -79,20 +95,29 @@ Result run(const std::string& placement, bool with_upmlib) {
   out.seconds = ns_to_seconds(rt.now() - t0);
   out.remote_fraction = machine->memory().total_stats().remote_fraction();
   out.migrations = upmlib.stats().distribution_migrations;
+  if (session != nullptr) {
+    std::cout << "[" << placement << (with_upmlib ? "+upmlib" : "")
+              << "] ";
+    session->print(std::cout);
+  }
   return out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool analyze = false;
+  for (int i = 1; i < argc; ++i) {
+    analyze |= std::string(argv[i]) == "--analyze";
+  }
   std::cout << "Sparse solver: 20 iterations on the simulated 16-proc "
                "Origin2000\n\n";
   TextTable table({"placement", "time (s)", "vs ft", "remote frac",
                    "upmlib migrations"});
-  const Result ft = run("ft", false);
+  const Result ft = run("ft", false, analyze);
   for (const std::string placement : {"ft", "rr", "rand", "wc"}) {
     for (const bool upm : {false, true}) {
-      const Result r = run(placement, upm);
+      const Result r = run(placement, upm, analyze);
       table.add_row({placement + (upm ? "+upmlib" : ""),
                      fmt_double(r.seconds, 3),
                      fmt_percent(slowdown(r.seconds, ft.seconds)),

@@ -8,10 +8,12 @@
 // iteration 2 and thereafter migrates the most critical pages before
 // each transport step, undoing the moves afterwards.
 //
-//   $ stencil_phases [critical_pages]
+//   $ stencil_phases [critical_pages] [--analyze]
 #include <cstdlib>
 #include <iostream>
+#include <string>
 
+#include "repro/analysis/session.hpp"
 #include "repro/common/table.hpp"
 #include "repro/nas/pattern.hpp"
 #include "repro/omp/machine.hpp"
@@ -23,7 +25,7 @@ using namespace repro;
 namespace {
 
 struct App {
-  explicit App(std::size_t critical_pages) {
+  App(std::size_t critical_pages, bool analyze) {
     machine = omp::Machine::create(memsys::MachineConfig{});
     machine->set_placement("ft");
     grid = nas::alloc_plane_array(machine->address_space(), "grid",
@@ -32,6 +34,10 @@ struct App {
     config.max_critical_pages = critical_pages;
     upmlib = std::make_unique<upm::Upmlib>(machine->mmci(),
                                            machine->runtime(), config);
+    if (analyze) {
+      session = std::make_unique<analysis::AnalysisSession>(*machine);
+      session->attach_upm(*upmlib);  // before memrefcnt: trace it all
+    }
     upmlib->memrefcnt(grid.range);
   }
 
@@ -91,10 +97,12 @@ struct App {
   std::unique_ptr<omp::Machine> machine;
   nas::PlaneArray grid;
   std::unique_ptr<upm::Upmlib> upmlib;
+  std::unique_ptr<analysis::AnalysisSession> session;
 };
 
-double run(std::size_t critical, bool use_recrep, Ns* transport_time) {
-  App app(critical);
+double run(std::size_t critical, bool use_recrep, bool analyze,
+           Ns* transport_time) {
+  App app(critical, analyze);
   // Cold start establishes first-touch placement for the row phase.
   app.iteration(0, false);
   app.machine->runtime().clear_records();
@@ -104,21 +112,32 @@ double run(std::size_t critical, bool use_recrep, Ns* transport_time) {
   }
   *transport_time =
       app.machine->runtime().total_time("transport_columns");
+  if (app.session != nullptr) {
+    app.session->print(std::cout);
+  }
   return ns_to_ms(app.machine->runtime().now() - t0);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::size_t critical =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 64;
+  std::size_t critical = 64;
+  bool analyze = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--analyze") {
+      analyze = true;
+    } else {
+      critical = std::strtoul(arg.c_str(), nullptr, 10);
+    }
+  }
   std::cout << "Phase-changing stencil, 12 iterations, critical pages = "
             << critical << "\n\n";
 
   Ns transport_plain = 0;
   Ns transport_recrep = 0;
-  const double plain = run(critical, false, &transport_plain);
-  const double recrep = run(critical, true, &transport_recrep);
+  const double plain = run(critical, false, analyze, &transport_plain);
+  const double recrep = run(critical, true, analyze, &transport_recrep);
 
   TextTable table({"configuration", "total (ms)", "transport phase (ms)"});
   table.add_row({"first-touch only", fmt_double(plain, 1),

@@ -1,0 +1,525 @@
+#include "repro/analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <utility>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/table.hpp"
+
+namespace repro::analysis {
+
+namespace {
+
+/// One thread's use of one page within a region: the largest single-op
+/// line counts (per-op maxima make the pigeonhole argument sound even
+/// when a thread revisits the page).
+struct ThreadUse {
+  std::uint32_t thread = 0;
+  std::uint32_t read_lines = 0;   ///< max lines of one read op
+  std::uint32_t write_lines = 0;  ///< max lines of one write op
+};
+
+struct PageUse {
+  VPage page;
+  std::vector<ThreadUse> threads;
+
+  ThreadUse& use(std::uint32_t thread) {
+    for (ThreadUse& u : threads) {
+      if (u.thread == thread) {
+        return u;
+      }
+    }
+    threads.push_back(ThreadUse{thread, 0, 0});
+    return threads.back();
+  }
+};
+
+/// Emits up to `cap` located findings, then one summary note counting
+/// the suppressed remainder.
+class CappedEmitter {
+ public:
+  CappedEmitter(DiagnosticSink& sink, std::size_t cap) : sink_(&sink),
+                                                         cap_(cap) {}
+
+  void emit(Diagnostic diag) {
+    if (emitted_ < cap_) {
+      sink_->report(std::move(diag));
+      ++emitted_;
+    } else {
+      ++suppressed_;
+    }
+  }
+
+  void summarize(const std::string& rule, const std::string& region,
+                 const std::string& what) {
+    if (suppressed_ == 0) {
+      return;
+    }
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.rule = rule;
+    d.region = region;
+    d.message = std::to_string(suppressed_) + " further " + what +
+                " finding(s) in this region suppressed";
+    d.hint = "raise AnalyzerConfig::max_diags_per_rule for the full list";
+    sink_->report(std::move(d));
+  }
+
+ private:
+  DiagnosticSink* sink_;
+  std::size_t cap_;
+  std::size_t emitted_ = 0;
+  std::size_t suppressed_ = 0;
+};
+
+}  // namespace
+
+Analyzer::Analyzer(AnalyzerConfig config, MachineView view)
+    : config_(config), view_(std::move(view)) {
+  REPRO_REQUIRE(view_.lines_per_page >= 1);
+  REPRO_REQUIRE(view_.num_procs >= 1 && view_.num_nodes >= 1);
+  REPRO_REQUIRE(config_.remote_threshold > 0.0);
+}
+
+void Analyzer::analyze_region(const std::string& name,
+                              const std::vector<sim::ThreadProgram>& programs,
+                              std::span<const ProcId> binding,
+                              DiagnosticSink& sink) const {
+  check_binding(name, programs.size(), binding, sink);
+  if (config_.race_pass) {
+    race_pass(name, programs, sink);
+  }
+  if (config_.locality_pass) {
+    locality_pass(name, programs, binding, sink);
+  }
+}
+
+void Analyzer::race_pass(const std::string& name,
+                         const std::vector<sim::ThreadProgram>& programs,
+                         DiagnosticSink& sink) const {
+  std::unordered_map<VPage, PageUse> pages;
+  for (std::uint32_t t = 0; t < programs.size(); ++t) {
+    for (const sim::Op& op : programs[t]) {
+      if (op.kind != sim::Op::Kind::kAccess || op.lines == 0) {
+        continue;
+      }
+      PageUse& pu = pages[op.page];
+      pu.page = op.page;
+      ThreadUse& use = pu.use(t);
+      if (op.write) {
+        use.write_lines = std::max(use.write_lines, op.lines);
+      } else {
+        use.read_lines = std::max(use.read_lines, op.lines);
+      }
+    }
+  }
+
+  // Deterministic report order (the map iterates in hash order).
+  std::vector<const PageUse*> shared;
+  for (const auto& [page, pu] : pages) {
+    bool written = false;
+    for (const ThreadUse& u : pu.threads) {
+      written |= u.write_lines > 0;
+    }
+    if (written && pu.threads.size() >= 2) {
+      shared.push_back(&pu);
+    }
+  }
+  std::sort(shared.begin(), shared.end(),
+            [](const PageUse* a, const PageUse* b) { return a->page < b->page; });
+
+  const std::uint32_t lpp = view_.lines_per_page;
+  CappedEmitter ww(sink, config_.max_diags_per_rule);
+  CappedEmitter rw(sink, config_.max_diags_per_rule);
+  CappedEmitter share(sink, config_.max_diags_per_rule);
+  for (const PageUse* pu : shared) {
+    // Top two single-op write line counts by distinct threads, and the
+    // best writer/reader pairing across distinct threads.
+    const ThreadUse* w1 = nullptr;
+    const ThreadUse* w2 = nullptr;
+    for (const ThreadUse& u : pu->threads) {
+      if (u.write_lines == 0) {
+        continue;
+      }
+      if (w1 == nullptr || u.write_lines > w1->write_lines) {
+        w2 = w1;
+        w1 = &u;
+      } else if (w2 == nullptr || u.write_lines > w2->write_lines) {
+        w2 = &u;
+      }
+    }
+    const ThreadUse* reader = nullptr;
+    for (const ThreadUse& u : pu->threads) {
+      if (u.read_lines == 0 || &u == w1) {
+        continue;
+      }
+      if (reader == nullptr || u.read_lines > reader->read_lines) {
+        reader = &u;
+      }
+    }
+
+    if (w1 != nullptr && w2 != nullptr &&
+        w1->write_lines + w2->write_lines > lpp) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.rule = "race.ww-lines";
+      d.region = name;
+      d.page = pu->page;
+      d.thread = ThreadId(w1->thread);
+      d.other = ThreadId(w2->thread);
+      d.message = "definite write/write race: the threads write " +
+                  std::to_string(w1->write_lines) + " and " +
+                  std::to_string(w2->write_lines) + " of " +
+                  std::to_string(lpp) +
+                  " lines in one region, so some line is written twice "
+                  "with no ordering between the writes";
+      d.hint = "split the writers into separate regions (fork/join is the "
+               "engine's only ordering) or partition the page";
+      ww.emit(std::move(d));
+      continue;
+    }
+    if (w1 != nullptr && reader != nullptr &&
+        w1->write_lines + reader->read_lines > lpp) {
+      Diagnostic d;
+      d.severity = Severity::kWarning;
+      d.rule = "race.rw-lines";
+      d.region = name;
+      d.page = pu->page;
+      d.thread = ThreadId(w1->thread);
+      d.other = ThreadId(reader->thread);
+      d.message = "read/write overlap: thread " +
+                  std::to_string(w1->thread) + " writes " +
+                  std::to_string(w1->write_lines) + " lines while thread " +
+                  std::to_string(reader->thread) + " reads " +
+                  std::to_string(reader->read_lines) + " of " +
+                  std::to_string(lpp) + " -- some line is both";
+      d.hint = "move the reads into a region after the join barrier";
+      rw.emit(std::move(d));
+      continue;
+    }
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.rule = "race.page-share";
+    d.region = name;
+    d.page = pu->page;
+    d.thread = ThreadId(w1->thread);
+    d.message = "page touched by " + std::to_string(pu->threads.size()) +
+                " threads with at least one writer; the line sets may be "
+                "disjoint (page-level false sharing)";
+    d.hint = "expected at non-page-aligned slice boundaries (transposes); "
+             "costs invalidations and can ping-pong under migration";
+    share.emit(std::move(d));
+  }
+  ww.summarize("race.summary", name, "write/write race");
+  rw.summarize("race.summary", name, "read/write overlap");
+  share.summarize("race.summary", name, "page-sharing");
+}
+
+void Analyzer::locality_pass(const std::string& name,
+                             const std::vector<sim::ThreadProgram>& programs,
+                             std::span<const ProcId> binding,
+                             DiagnosticSink& sink) const {
+  std::unordered_map<VPage, std::vector<std::uint64_t>> hist;
+  for (std::uint32_t t = 0; t < programs.size(); ++t) {
+    const ProcId proc = binding.empty() || t >= binding.size()
+                            ? ProcId(t)
+                            : binding[t];
+    if (proc.value() >= view_.num_procs) {
+      continue;  // check_binding already reported it
+    }
+    const NodeId node = view_.node_of_proc(proc);
+    for (const sim::Op& op : programs[t]) {
+      if (op.kind != sim::Op::Kind::kAccess || op.lines == 0) {
+        continue;
+      }
+      auto& counts = hist[op.page];
+      if (counts.empty()) {
+        counts.assign(view_.num_nodes, 0);
+      }
+      counts[node.value()] += op.lines;
+    }
+  }
+
+  struct Finding {
+    VPage page;
+    NodeId target;
+    double ratio;
+  };
+  std::vector<Finding> findings;
+  std::size_t considered = 0;
+  for (const auto& [page, counts] : hist) {
+    std::uint64_t total = 0;
+    for (std::uint64_t c : counts) {
+      total += c;
+    }
+    if (total < config_.min_page_lines) {
+      continue;
+    }
+    const std::optional<NodeId> home = view_.home_of(page);
+    if (!home.has_value()) {
+      continue;  // unmapped: first-touch home depends on interleaving
+    }
+    ++considered;
+    const std::uint64_t lacc = counts[home->value()];
+    std::uint64_t racc_max = 0;
+    std::uint32_t arg = 0;
+    for (std::uint32_t n = 0; n < counts.size(); ++n) {
+      if (n != home->value() && counts[n] > racc_max) {
+        racc_max = counts[n];
+        arg = n;
+      }
+    }
+    if (racc_max == 0) {
+      continue;
+    }
+    const double ratio = static_cast<double>(racc_max) /
+                         static_cast<double>(std::max<std::uint64_t>(lacc, 1));
+    if (ratio > config_.remote_threshold) {
+      findings.push_back(Finding{page, NodeId(arg), ratio});
+    }
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return a.ratio != b.ratio ? a.ratio > b.ratio : a.page < b.page;
+            });
+
+  CappedEmitter remote(sink, config_.max_diags_per_rule);
+  for (const Finding& f : findings) {
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.rule = "numa.remote-page";
+    d.region = name;
+    d.page = f.page;
+    d.message = "predicted remote-heavy page: racc_max/lacc = " +
+                fmt_double(f.ratio, 1) + " toward node " +
+                std::to_string(f.target.value()) +
+                " exceeds the competitive threshold " +
+                fmt_double(config_.remote_threshold, 1);
+    d.hint = "migrate_memory() would move it to node " +
+             std::to_string(f.target.value()) +
+             "; fix the placement/binding to avoid one iteration of "
+             "remote misses first";
+    remote.emit(std::move(d));
+  }
+  remote.summarize("numa.summary", name, "remote-heavy page");
+
+  if (!findings.empty() && considered > 0) {
+    Diagnostic d;
+    d.severity = Severity::kNote;
+    d.rule = "numa.region-share";
+    d.region = name;
+    d.message = std::to_string(findings.size()) + " of " +
+                std::to_string(considered) +
+                " analyzed pages predicted remote-heavy in this region";
+    d.hint = "a high fraction means the placement scheme, not a few "
+             "stragglers, is wrong for this phase";
+    sink.report(std::move(d));
+  }
+}
+
+void Analyzer::check_binding(const std::string& region,
+                             std::size_t num_programs,
+                             std::span<const ProcId> binding,
+                             DiagnosticSink& sink) const {
+  if (num_programs > view_.num_procs) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.rule = "binding.team-size";
+    d.region = region;
+    d.message = "region has " + std::to_string(num_programs) +
+                " thread programs but the machine has only " +
+                std::to_string(view_.num_procs) + " processors";
+    d.hint = "shrink the team or grow the machine";
+    sink.report(std::move(d));
+    return;
+  }
+  if (binding.empty()) {
+    return;  // identity binding is always valid here
+  }
+  if (binding.size() < num_programs) {
+    Diagnostic d;
+    d.severity = Severity::kError;
+    d.rule = "binding.short";
+    d.region = region;
+    d.message = "binding names " + std::to_string(binding.size()) +
+                " processors for " + std::to_string(num_programs) +
+                " thread programs";
+    d.hint = "bind every thread of the team (Engine::run aborts on this)";
+    sink.report(std::move(d));
+  }
+  const std::size_t checked = std::min(binding.size(),
+                                       static_cast<std::size_t>(num_programs));
+  std::vector<std::uint32_t> owner(view_.num_procs,
+                                   std::numeric_limits<std::uint32_t>::max());
+  CappedEmitter range(sink, config_.max_diags_per_rule);
+  CappedEmitter dup(sink, config_.max_diags_per_rule);
+  for (std::uint32_t t = 0; t < checked; ++t) {
+    const ProcId proc = binding[t];
+    if (proc.value() >= view_.num_procs) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.rule = "binding.range";
+      d.region = region;
+      d.thread = ThreadId(t);
+      d.message = "thread bound to processor " +
+                  std::to_string(proc.value()) + " but the machine has " +
+                  std::to_string(view_.num_procs) + " processors";
+      d.hint = "processor ids are dense in [0, num_procs)";
+      range.emit(std::move(d));
+      continue;
+    }
+    if (owner[proc.value()] !=
+        std::numeric_limits<std::uint32_t>::max()) {
+      Diagnostic d;
+      d.severity = Severity::kError;
+      d.rule = "binding.dup";
+      d.region = region;
+      d.thread = ThreadId(owner[proc.value()]);
+      d.other = ThreadId(t);
+      d.message = "two threads bound to processor " +
+                  std::to_string(proc.value()) +
+                  ": their ops would serialize on one cache and the "
+                  "timing model double-counts the processor";
+      d.hint = "bindings must be distinct (Runtime::rebind enforces this)";
+      dup.emit(std::move(d));
+      continue;
+    }
+    owner[proc.value()] = t;
+  }
+  range.summarize("binding.summary", region, "out-of-range binding");
+  dup.summarize("binding.summary", region, "duplicate binding");
+}
+
+void Analyzer::check_upm_trace(std::span<const upm::UpmCall> trace,
+                               DiagnosticSink& sink) const {
+  static const std::string kContext = "upmlib";
+  std::vector<vm::PageRange> ranges;
+  std::size_t records = 0;        // record() calls since start/rebinding
+  bool has_plan = false;          // compare_counters() succeeded
+  std::size_t transitions = 0;    // plan length (records - 1 at compare)
+  std::size_t replays = 0;        // replay() calls since last undo()
+  bool counting_started = false;  // first migrate/record happened
+
+  const auto report = [&](Severity severity, const std::string& rule,
+                          std::string message, std::string hint) {
+    Diagnostic d;
+    d.severity = severity;
+    d.rule = rule;
+    d.region = kContext;
+    d.message = std::move(message);
+    d.hint = std::move(hint);
+    sink.report(std::move(d));
+  };
+
+  for (const upm::UpmCall& call : trace) {
+    switch (call.kind) {
+      case upm::UpmCall::Kind::kMemRefCnt: {
+        for (const vm::PageRange& r : ranges) {
+          const bool disjoint = call.range.first >= r.end() ||
+                                r.first >= call.range.end();
+          if (!disjoint) {
+            report(Severity::kWarning, "upm.dup-range",
+                   "memrefcnt() range [" +
+                       std::to_string(call.range.first.value()) + ", " +
+                       std::to_string(call.range.end().value()) +
+                       ") overlaps an earlier hot-area registration",
+                   "double-registered pages are scanned and reset twice "
+                   "per pass, skewing stats and costs");
+            break;
+          }
+        }
+        if (counting_started) {
+          report(Severity::kNote, "upm.late-registration",
+                 "memrefcnt() after the engine already started counting; "
+                 "the new range's counters miss earlier references",
+                 "register every hot area before the first "
+                 "migrate_memory()/record()");
+        }
+        ranges.push_back(call.range);
+        break;
+      }
+      case upm::UpmCall::Kind::kResetCounters:
+        break;  // neutral: legal at any point
+      case upm::UpmCall::Kind::kMigrateMemory:
+        counting_started = true;
+        if (ranges.empty()) {
+          report(Severity::kWarning, "upm.no-hot-areas",
+                 "migrate_memory() with no registered hot areas is a no-op",
+                 "call memrefcnt() for each shared array first");
+        }
+        if (!call.was_active) {
+          report(Severity::kNote, "upm.migrate-inactive",
+                 "migrate_memory() after the engine self-deactivated",
+                 "stop invoking once a pass returns 0 migrations (the "
+                 "paper's Fig. 2 loop)");
+        }
+        break;
+      case upm::UpmCall::Kind::kRecord:
+        counting_started = true;
+        if (ranges.empty()) {
+          report(Severity::kWarning, "upm.no-hot-areas",
+                 "record() with no registered hot areas snapshots nothing",
+                 "call memrefcnt() for each shared array first");
+        }
+        if (has_plan) {
+          report(Severity::kWarning, "upm.record-after-compare",
+                 "record() after compare_counters() extends the snapshot "
+                 "list without re-deriving the plan",
+                 "either re-record a full iteration and call "
+                 "compare_counters() again, or drop the extra record()");
+        }
+        ++records;
+        break;
+      case upm::UpmCall::Kind::kCompareCounters:
+        if (records < 2) {
+          report(Severity::kError, "upm.record-underflow",
+                 "compare_counters() with " + std::to_string(records) +
+                     " record() call(s); the protocol needs at least two "
+                     "(REPRO_REQUIRE aborts at runtime)",
+                 "call record() at every phase-transition point of one "
+                 "full recording iteration first");
+        } else {
+          has_plan = true;
+          transitions = records - 1;
+        }
+        break;
+      case upm::UpmCall::Kind::kReplay:
+        if (!has_plan) {
+          report(Severity::kWarning, "upm.replay-unplanned",
+                 "replay() before any successful compare_counters() is a "
+                 "silent no-op",
+                 "record one iteration and derive the plan first");
+          break;
+        }
+        ++replays;
+        if (replays > transitions) {
+          report(Severity::kWarning, "upm.replay-overrun",
+                 std::to_string(replays) +
+                     " replay() calls since the last undo() but the plan "
+                     "has only " +
+                     std::to_string(transitions) +
+                     " transition(s); the cursor wraps to transition 0",
+                 "call undo() at the iteration boundary (paper Fig. 3)");
+        }
+        break;
+      case upm::UpmCall::Kind::kUndo:
+        if (has_plan && replays == 0) {
+          report(Severity::kNote, "upm.undo-without-replay",
+                 "undo() with no replay() since the last undo() is a no-op",
+                 "undo() belongs at the end of an iteration that replayed");
+        }
+        replays = 0;
+        break;
+      case upm::UpmCall::Kind::kNotifyRebinding:
+        records = 0;
+        has_plan = false;
+        transitions = 0;
+        replays = 0;
+        break;
+    }
+  }
+}
+
+}  // namespace repro::analysis

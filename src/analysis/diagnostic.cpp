@@ -1,0 +1,95 @@
+#include "repro/analysis/diagnostic.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace repro::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::location() const {
+  std::ostringstream os;
+  if (page.has_value()) {
+    os << "page " << *page;
+  }
+  if (thread.has_value()) {
+    os << (page.has_value() ? ", " : "") << "thread " << *thread;
+    if (other.has_value()) {
+      os << "/" << *other;
+    }
+  }
+  return os.str();
+}
+
+void CollectingSink::report(Diagnostic diag) {
+  std::ostringstream key;
+  key << diag.rule << '|' << diag.region << '|' << diag.location() << '|'
+      << diag.message;
+  if (!seen_.insert(key.str()).second) {
+    ++duplicates_;
+    return;
+  }
+  diags_.push_back(std::move(diag));
+}
+
+std::size_t CollectingSink::count(Severity severity) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [&](const Diagnostic& d) {
+        return d.severity == severity;
+      }));
+}
+
+std::size_t CollectingSink::count_rule(std::string_view rule) const {
+  return static_cast<std::size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [&](const Diagnostic& d) {
+        return d.rule == rule;
+      }));
+}
+
+bool CollectingSink::clean() const {
+  return count(Severity::kWarning) == 0 && count(Severity::kError) == 0;
+}
+
+void CollectingSink::clear() {
+  diags_.clear();
+  seen_.clear();
+  duplicates_ = 0;
+}
+
+TextTable diagnostics_table(std::span<const Diagnostic> diags) {
+  TextTable table({"severity", "rule", "region", "location", "message",
+                   "hint"});
+  for (const Diagnostic& d : diags) {
+    table.add_row({severity_name(d.severity), d.rule, d.region, d.location(),
+                   d.message, d.hint});
+  }
+  return table;
+}
+
+void print_diagnostics(std::ostream& os, const CollectingSink& sink) {
+  if (sink.empty()) {
+    os << "analysis: no findings\n";
+    return;
+  }
+  diagnostics_table(sink.diagnostics()).print(os);
+  os << "analysis: " << sink.count(Severity::kError) << " error(s), "
+     << sink.count(Severity::kWarning) << " warning(s), "
+     << sink.count(Severity::kNote) << " note(s)";
+  if (sink.duplicates() > 0) {
+    os << "; " << sink.duplicates() << " duplicate finding(s) suppressed";
+  }
+  os << "\n";
+}
+
+}  // namespace repro::analysis

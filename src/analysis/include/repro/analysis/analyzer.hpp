@@ -1,0 +1,108 @@
+// Static checks over parallel-region programs, run *before* the engine
+// executes them.
+//
+// Three passes (DESIGN.md §8):
+//
+//  1. Page-grain race detection: the engine interleaves the per-thread
+//     op streams of one region in virtual time with no intra-region
+//     ordering, so two threads touching the same page with at least one
+//     writer is a hazard. At page grain the analyzer only knows how many
+//     lines each op touches, not which; it therefore splits findings by
+//     the pigeonhole argument: if two ops' line counts sum past the page
+//     size their line sets *must* intersect (a definite data race),
+//     otherwise the sharing may be page-level false sharing -- a real
+//     phenomenon the NAS models reproduce on purpose (FT transposes) --
+//     reported as a note.
+//
+//  2. NUMA-locality lint: predicts each page's per-node access histogram
+//     from the op stream and the thread binding, and flags pages whose
+//     remote-to-local ratio under the *current* placement exceeds the
+//     competitive threshold -- a static prediction of exactly what
+//     UPMlib's migrate_memory() would later derive from the hardware
+//     counters.
+//
+//  3. Protocol checks: thread-binding validity (what Engine::run would
+//     abort on) and the UPMlib record/compare/replay/undo call-sequence
+//     contract, checked over a recorded call trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "repro/analysis/diagnostic.hpp"
+#include "repro/common/strong_id.hpp"
+#include "repro/sim/region.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+namespace repro::analysis {
+
+struct AnalyzerConfig {
+  /// Competitive threshold of the locality lint: a page is flagged when
+  /// predicted racc_max / lacc exceeds it (same default as
+  /// upm::UpmConfig::threshold, so the lint predicts the engine).
+  double remote_threshold = 2.0;
+  /// Minimum predicted line references before the locality rule
+  /// considers a page (drops noise from single-touch pages).
+  std::uint64_t min_page_lines = 64;
+  /// Per-rule cap on located diagnostics per region; the excess is
+  /// folded into one summary note.
+  std::size_t max_diags_per_rule = 8;
+  bool race_pass = true;
+  bool locality_pass = true;
+};
+
+/// The machine facts the passes need, decoupled from the concrete
+/// machine classes (tests can fake them).
+struct MachineView {
+  std::uint32_t lines_per_page = 0;
+  std::size_t num_procs = 0;
+  std::size_t num_nodes = 0;
+  std::function<NodeId(ProcId)> node_of_proc;
+  /// Home node of a page, or nullopt while the page is unmapped (the
+  /// locality lint skips unmapped pages: their first-touch home depends
+  /// on the engine's interleaving).
+  std::function<std::optional<NodeId>(VPage)> home_of;
+};
+
+class Analyzer {
+ public:
+  Analyzer(AnalyzerConfig config, MachineView view);
+
+  /// Races + locality over one region's per-thread programs, plus the
+  /// binding protocol check. `binding` empty means identity.
+  void analyze_region(const std::string& name,
+                      const std::vector<sim::ThreadProgram>& programs,
+                      std::span<const ProcId> binding,
+                      DiagnosticSink& sink) const;
+
+  /// The binding contract Engine::run aborts on, as diagnostics:
+  /// in-range, distinct, and covering every program.
+  void check_binding(const std::string& region, std::size_t num_programs,
+                     std::span<const ProcId> binding,
+                     DiagnosticSink& sink) const;
+
+  /// UPMlib call-sequence contract over a recorded trace (see
+  /// upm::Upmlib::enable_call_trace()).
+  void check_upm_trace(std::span<const upm::UpmCall> trace,
+                       DiagnosticSink& sink) const;
+
+  [[nodiscard]] const AnalyzerConfig& config() const { return config_; }
+
+ private:
+  AnalyzerConfig config_;
+  MachineView view_;
+
+  void race_pass(const std::string& name,
+                 const std::vector<sim::ThreadProgram>& programs,
+                 DiagnosticSink& sink) const;
+  void locality_pass(const std::string& name,
+                     const std::vector<sim::ThreadProgram>& programs,
+                     std::span<const ProcId> binding,
+                     DiagnosticSink& sink) const;
+};
+
+}  // namespace repro::analysis

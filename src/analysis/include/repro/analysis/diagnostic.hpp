@@ -1,0 +1,91 @@
+// Structured diagnostics for the static analysis passes.
+//
+// Every finding carries a severity, a stable rule id (documented in
+// DESIGN.md), the region or protocol context it was found in, an
+// optional page/thread location, a message and a fix hint. Passes write
+// into a DiagnosticSink so callers choose the policy (collect, print,
+// count, fail-fast).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/table.hpp"
+
+namespace repro::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+/// "note" | "warning" | "error".
+[[nodiscard]] const char* severity_name(Severity severity);
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  /// Stable rule id, e.g. "race.ww-lines" (see DESIGN.md §8).
+  std::string rule;
+  /// Region name the finding is located in, or a protocol context such
+  /// as "upmlib" / "binding".
+  std::string region;
+  std::optional<VPage> page;
+  std::optional<ThreadId> thread;
+  std::optional<ThreadId> other;  ///< second thread involved, if any
+  std::string message;
+  std::string hint;  ///< how to fix or what the engine would do
+
+  /// "page 123, threads 0/5" (empty when no location is attached).
+  [[nodiscard]] std::string location() const;
+};
+
+class DiagnosticSink {
+ public:
+  virtual ~DiagnosticSink() = default;
+
+  DiagnosticSink() = default;
+  DiagnosticSink(const DiagnosticSink&) = default;
+  DiagnosticSink& operator=(const DiagnosticSink&) = default;
+
+  virtual void report(Diagnostic diag) = 0;
+};
+
+/// Collects diagnostics, deduplicating exact repeats of an earlier
+/// finding (same rule, region, location and message -- analysis runs
+/// once per region *execution*, so an iterative code would otherwise
+/// repeat every finding per iteration).
+class CollectingSink final : public DiagnosticSink {
+ public:
+  void report(Diagnostic diag) override;
+
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] std::size_t count_rule(std::string_view rule) const;
+  [[nodiscard]] bool empty() const { return diags_.empty(); }
+  /// True when nothing above kNote was reported.
+  [[nodiscard]] bool clean() const;
+  /// Reports dropped as duplicates of an earlier finding.
+  [[nodiscard]] std::uint64_t duplicates() const { return duplicates_; }
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::unordered_set<std::string> seen_;
+  std::uint64_t duplicates_ = 0;
+};
+
+/// Renders diagnostics as a severity / rule / region / location /
+/// message / hint table (paper-style ASCII via common/table).
+[[nodiscard]] TextTable diagnostics_table(std::span<const Diagnostic> diags);
+
+/// Table plus a summary line ("N errors, M warnings, K notes; D
+/// duplicate findings suppressed"), or a clean-bill one-liner.
+void print_diagnostics(std::ostream& os, const CollectingSink& sink);
+
+}  // namespace repro::analysis

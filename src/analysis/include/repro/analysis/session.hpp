@@ -1,0 +1,63 @@
+// Turn-key wiring of the static analyzer into a running machine.
+//
+// An AnalysisSession installs a region inspector on the machine's
+// OpenMP runtime so every parallel region is analyzed just before the
+// engine executes it, optionally records a UPMlib call trace, and
+// collects everything into one deduplicating sink:
+//
+//   analysis::AnalysisSession session(*machine);
+//   session.attach_upm(upm);
+//   ... run the workload ...
+//   session.finish();                 // runs the UPM protocol check
+//   session.print(std::cout);         // diagnostics table
+//
+// The session detaches its inspector on destruction; the machine (and
+// the attached Upmlib, if any) must outlive it.
+#pragma once
+
+#include <iosfwd>
+
+#include "repro/analysis/analyzer.hpp"
+#include "repro/analysis/diagnostic.hpp"
+#include "repro/omp/machine.hpp"
+#include "repro/upmlib/upmlib.hpp"
+
+namespace repro::analysis {
+
+/// Builds the analyzer's machine abstraction from a live machine. The
+/// returned view holds references into `machine`; it must not outlive
+/// it. Unmapped pages report nullopt homes, so the locality lint only
+/// judges pages whose placement is already decided.
+[[nodiscard]] MachineView make_machine_view(omp::Machine& machine);
+
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(omp::Machine& machine, AnalyzerConfig config = {});
+  ~AnalysisSession();
+
+  AnalysisSession(const AnalysisSession&) = delete;
+  AnalysisSession& operator=(const AnalysisSession&) = delete;
+
+  /// Starts tracing `upm`'s calls; finish() will run the protocol
+  /// checker over the trace.
+  void attach_upm(upm::Upmlib& upm);
+
+  /// Runs the trailing checks (currently the UPMlib protocol pass over
+  /// the recorded trace). Idempotent; print() calls it.
+  void finish();
+
+  /// finish() + diagnostics table with a summary line.
+  void print(std::ostream& os);
+
+  [[nodiscard]] const CollectingSink& sink() const { return sink_; }
+  [[nodiscard]] const Analyzer& analyzer() const { return analyzer_; }
+
+ private:
+  omp::Machine* machine_;
+  Analyzer analyzer_;
+  CollectingSink sink_;
+  upm::Upmlib* upm_ = nullptr;
+  bool finished_ = false;
+};
+
+}  // namespace repro::analysis

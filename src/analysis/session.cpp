@@ -1,0 +1,59 @@
+#include "repro/analysis/session.hpp"
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace repro::analysis {
+
+MachineView make_machine_view(omp::Machine& machine) {
+  MachineView view;
+  view.lines_per_page = machine.config().lines_per_page();
+  view.num_procs = machine.config().num_procs();
+  view.num_nodes = machine.config().num_nodes;
+  os::MemoryControlInterface& mmci = machine.mmci();
+  view.node_of_proc = [&mmci](ProcId proc) { return mmci.node_of_proc(proc); };
+  view.home_of = [&mmci](VPage page) -> std::optional<NodeId> {
+    if (!mmci.is_mapped(page)) {
+      return std::nullopt;
+    }
+    return mmci.home_of(page);
+  };
+  return view;
+}
+
+AnalysisSession::AnalysisSession(omp::Machine& machine, AnalyzerConfig config)
+    : machine_(&machine), analyzer_(config, make_machine_view(machine)) {
+  machine_->runtime().set_region_inspector(
+      [this](const std::string& name,
+             const std::vector<sim::ThreadProgram>& programs,
+             std::span<const ProcId> binding) {
+        analyzer_.analyze_region(name, programs, binding, sink_);
+      });
+}
+
+AnalysisSession::~AnalysisSession() {
+  machine_->runtime().set_region_inspector({});
+}
+
+void AnalysisSession::attach_upm(upm::Upmlib& upm) {
+  upm_ = &upm;
+  upm.enable_call_trace();
+}
+
+void AnalysisSession::finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  if (upm_ != nullptr) {
+    analyzer_.check_upm_trace(upm_->call_trace(), sink_);
+  }
+}
+
+void AnalysisSession::print(std::ostream& os) {
+  finish();
+  print_diagnostics(os, sink_);
+}
+
+}  // namespace repro::analysis

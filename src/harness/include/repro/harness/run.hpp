@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "repro/analysis/diagnostic.hpp"
 #include "repro/memsys/config.hpp"
 #include "repro/memsys/memory_system.hpp"
 #include "repro/nas/workload.hpp"
@@ -31,6 +32,11 @@ struct RunConfig {
   /// Fig. 6 synthetic phase scaling.
   std::uint32_t compute_scale = 1;
   std::uint64_t seed = 12345;
+  /// Run the static analyzer (repro::analysis) over every timed-phase
+  /// region and the UPMlib call trace, print the diagnostics table and
+  /// return the findings in RunResult::diagnostics. Also enabled by
+  /// REPRO_ANALYZE=1 in the environment.
+  bool analyze = false;
 
   memsys::MachineConfig machine;
   os::DaemonConfig daemon;
@@ -52,6 +58,9 @@ struct RunResult {
   os::KernelStats kernel_stats;
   os::DaemonStats daemon_stats;
   memsys::ProcStats memory_totals;
+  /// Static-analysis findings (empty unless RunConfig::analyze or
+  /// REPRO_ANALYZE=1).
+  std::vector<analysis::Diagnostic> diagnostics;
 
   [[nodiscard]] double seconds() const { return ns_to_seconds(total); }
 

@@ -1,5 +1,9 @@
 #include "repro/harness/run.hpp"
 
+#include <iostream>
+#include <memory>
+
+#include "repro/analysis/session.hpp"
 #include "repro/common/assert.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/log.hpp"
@@ -50,6 +54,8 @@ Ns RunResult::phase_time(const std::string& suffix) const {
 RunResult run_benchmark(const RunConfig& config) {
   REPRO_REQUIRE(config.upm_mode == nas::UpmMode::kOff ||
                 !config.kernel_migration);
+  const bool analyze =
+      config.analyze || Env::global().get_bool("REPRO_ANALYZE", false);
 
   auto machine = omp::Machine::create(config.machine);
   machine->set_placement(config.placement, config.seed);
@@ -71,6 +77,11 @@ RunResult run_benchmark(const RunConfig& config) {
                       "benchmark has no record-replay instrumentation");
     upmlib = std::make_unique<upm::Upmlib>(machine->mmci(),
                                            machine->runtime(), config.upm);
+    if (analyze) {
+      // Trace from before register_hot so the protocol checker sees the
+      // memrefcnt() registrations.
+      upmlib->enable_call_trace();
+    }
     workload->register_hot(*upmlib);
     ctx.upm = upmlib.get();
   }
@@ -83,6 +94,17 @@ RunResult run_benchmark(const RunConfig& config) {
   }
   machine->memory().reset_stats();
   machine->runtime().clear_records();
+
+  // Analyze the timed phases only: by now first-touch placement is
+  // established, so the locality lint judges the placement the timed
+  // iterations actually run under.
+  std::unique_ptr<analysis::AnalysisSession> session;
+  if (analyze) {
+    session = std::make_unique<analysis::AnalysisSession>(*machine);
+    if (upmlib != nullptr) {
+      session->attach_upm(*upmlib);
+    }
+  }
 
   const std::uint32_t iterations = config.iterations != 0
                                        ? config.iterations
@@ -116,6 +138,11 @@ RunResult run_benchmark(const RunConfig& config) {
     result.daemon_stats = machine->kernel().daemon()->stats();
   }
   result.memory_totals = machine->memory().total_stats();
+  if (session != nullptr) {
+    session->finish();
+    result.diagnostics = session->sink().diagnostics();
+    analysis::print_diagnostics(std::cout, session->sink());
+  }
   REPRO_LOG_INFO(config.benchmark, " ", result.label, ": ",
                  ns_to_seconds(result.total), " s, remote fraction ",
                  result.memory_totals.remote_fraction());

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -82,6 +83,17 @@ class Runtime {
   /// Swaps two threads' processors (a scheduler exchanging them).
   void swap_binding(ThreadId a, ThreadId b);
 
+  /// Observer called with every region's name, per-thread programs and
+  /// the current thread binding just before the engine executes them --
+  /// the analyze-before-run hook (see repro::analysis). At most one
+  /// inspector; pass an empty function to detach.
+  using RegionInspector = std::function<void(
+      const std::string&, const std::vector<sim::ThreadProgram>&,
+      std::span<const ProcId>)>;
+  void set_region_inspector(RegionInspector inspector) {
+    inspector_ = std::move(inspector);
+  }
+
   /// Timing log of all executed regions, in order.
   [[nodiscard]] const std::vector<RegionRecord>& records() const {
     return records_;
@@ -98,6 +110,7 @@ class Runtime {
   Ns now_ = 0;
   std::vector<ProcId> binding_;
   Ns reduction_step_ = 200;
+  RegionInspector inspector_;
   std::vector<RegionRecord> records_;
 };
 

@@ -43,6 +43,9 @@ sim::RegionBuilder Runtime::make_region() const {
 sim::RegionResult Runtime::run(const std::string& name,
                                sim::RegionBuilder&& region) {
   const auto programs = std::move(region).take();
+  if (inspector_) {
+    inspector_(name, programs, binding_);
+  }
   const sim::RegionResult result = engine_->run(now_, programs, binding_);
   now_ = result.end;
   records_.push_back(

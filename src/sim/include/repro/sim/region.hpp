@@ -58,6 +58,11 @@ class RegionBuilder {
                     std::uint32_t lines_per_page, bool write);
 
   [[nodiscard]] const ThreadProgram& program(ThreadId t) const;
+  /// Read-only view of every thread's program (introspection for the
+  /// static analysis passes; see repro::analysis).
+  [[nodiscard]] const std::vector<ThreadProgram>& programs() const {
+    return programs_;
+  }
   [[nodiscard]] std::vector<ThreadProgram> take() &&;
 
   /// Total op count across all threads (sizing / test assertions).

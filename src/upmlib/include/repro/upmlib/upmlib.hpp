@@ -97,6 +97,32 @@ struct UpmStats {
   [[nodiscard]] double first_invocation_fraction() const;
 };
 
+/// One entry of the public-API call trace: which UPMlib entry point ran,
+/// in program order, with the payload the static protocol checker
+/// (repro::analysis) needs. Recording is off by default; see
+/// Upmlib::enable_call_trace().
+struct UpmCall {
+  enum class Kind : std::uint8_t {
+    kMemRefCnt,
+    kResetCounters,
+    kMigrateMemory,
+    kRecord,
+    kCompareCounters,
+    kReplay,
+    kUndo,
+    kNotifyRebinding,
+  };
+
+  Kind kind = Kind::kRecord;
+  /// kMemRefCnt: the registered range.
+  vm::PageRange range{};
+  /// kMigrateMemory: whether the engine was still active when invoked.
+  bool was_active = true;
+};
+
+/// Entry-point name for diagnostics ("memrefcnt", "record", ...).
+[[nodiscard]] const char* upm_call_name(UpmCall::Kind kind);
+
 class Upmlib {
  public:
   /// `mmci` and `runtime` must outlive the library instance.
@@ -154,6 +180,16 @@ class Upmlib {
     return replay_lists_.size();
   }
 
+  // --- call-sequence tracing --------------------------------------------------
+  /// Starts recording every public entry-point call into an in-memory
+  /// trace (the input of the repro::analysis protocol checker). Cheap:
+  /// one small struct per API call, nothing per page.
+  void enable_call_trace() { trace_enabled_ = true; }
+  [[nodiscard]] bool call_trace_enabled() const { return trace_enabled_; }
+  [[nodiscard]] const std::vector<UpmCall>& call_trace() const {
+    return trace_;
+  }
+
   /// The migration list computed for one transition (tests/inspection).
   struct PlannedMigration {
     VPage page;
@@ -180,6 +216,8 @@ class Upmlib {
 
   std::vector<VPage> hot_pages_;
   std::vector<vm::PageRange> hot_ranges_;
+  bool trace_enabled_ = false;
+  std::vector<UpmCall> trace_;
   bool active_ = true;
   std::uint64_t invocation_ = 0;
 
@@ -202,6 +240,7 @@ class Upmlib {
       VPage page, NodeId home, std::span<const std::uint32_t> counts,
       double threshold);
 
+  void trace(UpmCall call);
   void ensure_mlds();
   Ns do_migrate(VPage page, NodeId target, bool* migrated);
   /// Replicates a clean multi-reader page; returns true if the page is

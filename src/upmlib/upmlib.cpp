@@ -23,6 +23,28 @@ UpmConfig UpmConfig::from_env(UpmConfig defaults) {
   return defaults;
 }
 
+const char* upm_call_name(UpmCall::Kind kind) {
+  switch (kind) {
+    case UpmCall::Kind::kMemRefCnt:
+      return "memrefcnt";
+    case UpmCall::Kind::kResetCounters:
+      return "reset_hot_counters";
+    case UpmCall::Kind::kMigrateMemory:
+      return "migrate_memory";
+    case UpmCall::Kind::kRecord:
+      return "record";
+    case UpmCall::Kind::kCompareCounters:
+      return "compare_counters";
+    case UpmCall::Kind::kReplay:
+      return "replay";
+    case UpmCall::Kind::kUndo:
+      return "undo";
+    case UpmCall::Kind::kNotifyRebinding:
+      return "notify_thread_rebinding";
+  }
+  return "?";
+}
+
 double UpmStats::first_invocation_fraction() const {
   if (distribution_migrations == 0 || migrations_per_invocation.empty()) {
     return 1.0;
@@ -37,8 +59,15 @@ Upmlib::Upmlib(os::MemoryControlInterface& mmci, omp::Runtime& runtime,
   REPRO_REQUIRE(config.threshold > 0.0);
 }
 
+void Upmlib::trace(UpmCall call) {
+  if (trace_enabled_) {
+    trace_.push_back(call);
+  }
+}
+
 void Upmlib::memrefcnt(const vm::PageRange& range) {
   REPRO_REQUIRE(range.count >= 1);
+  trace({UpmCall::Kind::kMemRefCnt, range, true});
   hot_ranges_.push_back(range);
   stats_.migrations_per_range.push_back(0);
   hot_pages_.reserve(hot_pages_.size() + range.count);
@@ -48,6 +77,7 @@ void Upmlib::memrefcnt(const vm::PageRange& range) {
 }
 
 void Upmlib::reset_hot_counters() {
+  trace({UpmCall::Kind::kResetCounters, {}, true});
   for (VPage page : hot_pages_) {
     if (mmci_->is_mapped(page)) {
       mmci_->reset_counters(page);
@@ -133,6 +163,7 @@ Ns Upmlib::do_migrate(VPage page, NodeId target, bool* migrated) {
 }
 
 std::size_t Upmlib::migrate_memory() {
+  trace({UpmCall::Kind::kMigrateMemory, {}, active_});
   if (!active_) {
     return 0;
   }
@@ -215,6 +246,7 @@ std::size_t Upmlib::migrate_memory() {
 }
 
 void Upmlib::notify_thread_rebinding() {
+  trace({UpmCall::Kind::kNotifyRebinding, {}, true});
   active_ = true;
   history_.clear();
   stats_.frozen_pages = 0;
@@ -228,6 +260,7 @@ void Upmlib::notify_thread_rebinding() {
 }
 
 void Upmlib::record() {
+  trace({UpmCall::Kind::kRecord, {}, true});
   std::vector<std::vector<std::uint32_t>> snap;
   snap.reserve(hot_pages_.size());
   for (VPage page : hot_pages_) {
@@ -242,6 +275,7 @@ void Upmlib::record() {
 }
 
 void Upmlib::compare_counters() {
+  trace({UpmCall::Kind::kCompareCounters, {}, true});
   REPRO_REQUIRE_MSG(snapshots_.size() >= 2,
                     "compare_counters needs at least two record() calls");
   replay_lists_.clear();
@@ -292,6 +326,7 @@ const std::vector<Upmlib::PlannedMigration>& Upmlib::replay_list(
 }
 
 void Upmlib::replay() {
+  trace({UpmCall::Kind::kReplay, {}, true});
   if (replay_lists_.empty()) {
     return;
   }
@@ -323,6 +358,7 @@ void Upmlib::replay() {
 }
 
 void Upmlib::undo() {
+  trace({UpmCall::Kind::kUndo, {}, true});
   Ns cost = 0;
   std::size_t migrations = 0;
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {

@@ -1,0 +1,480 @@
+// Static-analysis tests: the diagnostic sink, each rule of the race /
+// locality / protocol passes on crafted programs, and silence (no
+// errors) over every real workload in the repository.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <unordered_map>
+
+#include "repro/analysis/analyzer.hpp"
+#include "repro/analysis/diagnostic.hpp"
+#include "repro/analysis/session.hpp"
+#include "repro/harness/run.hpp"
+#include "repro/nas/workload.hpp"
+#include "repro/omp/machine.hpp"
+
+namespace repro::analysis {
+namespace {
+
+using upm::UpmCall;
+using Kind = upm::UpmCall::Kind;
+
+constexpr std::uint32_t kLpp = 128;
+
+/// A 4-node, 4-proc machine view with an explicit page->home map;
+/// unlisted pages are unmapped.
+struct FakeMachine {
+  std::shared_ptr<std::unordered_map<std::uint64_t, std::uint32_t>> homes =
+      std::make_shared<std::unordered_map<std::uint64_t, std::uint32_t>>();
+
+  [[nodiscard]] MachineView view() const {
+    MachineView v;
+    v.lines_per_page = kLpp;
+    v.num_procs = 4;
+    v.num_nodes = 4;
+    v.node_of_proc = [](ProcId p) { return NodeId(p.value()); };
+    v.home_of = [homes = homes](VPage p) -> std::optional<NodeId> {
+      const auto it = homes->find(p.value());
+      if (it == homes->end()) {
+        return std::nullopt;
+      }
+      return NodeId(it->second);
+    };
+    return v;
+  }
+};
+
+Diagnostic make_diag(const std::string& rule, std::uint64_t page) {
+  Diagnostic d;
+  d.rule = rule;
+  d.region = "r";
+  d.page = VPage(page);
+  d.message = "m";
+  return d;
+}
+
+sim::ThreadProgram accesses(
+    std::initializer_list<std::pair<std::uint64_t, std::uint32_t>> writes,
+    std::initializer_list<std::pair<std::uint64_t, std::uint32_t>> reads =
+        {}) {
+  sim::ThreadProgram prog;
+  for (const auto& [page, lines] : writes) {
+    prog.push_back(sim::Op::access(VPage(page), lines, /*write=*/true));
+  }
+  for (const auto& [page, lines] : reads) {
+    prog.push_back(sim::Op::access(VPage(page), lines, /*write=*/false));
+  }
+  return prog;
+}
+
+TEST(DiagnosticSink, DeduplicatesRepeatedFindings) {
+  CollectingSink sink;
+  sink.report(make_diag("race.ww-lines", 7));
+  sink.report(make_diag("race.ww-lines", 7));  // same rule+region+location
+  sink.report(make_diag("race.ww-lines", 8));
+  sink.report(make_diag("numa.remote-page", 7));
+  EXPECT_EQ(sink.diagnostics().size(), 3u);
+  EXPECT_EQ(sink.duplicates(), 1u);
+  EXPECT_EQ(sink.count_rule("race.ww-lines"), 2u);
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.duplicates(), 0u);
+}
+
+TEST(DiagnosticSink, SeverityCountsAndCleanliness) {
+  CollectingSink sink;
+  EXPECT_TRUE(sink.clean());
+  Diagnostic note = make_diag("a", 1);
+  note.severity = Severity::kNote;
+  sink.report(note);
+  EXPECT_TRUE(sink.clean());  // notes keep the bill clean
+  Diagnostic err = make_diag("b", 2);
+  err.severity = Severity::kError;
+  sink.report(err);
+  EXPECT_FALSE(sink.clean());
+  EXPECT_EQ(sink.count(Severity::kError), 1u);
+  EXPECT_EQ(sink.count(Severity::kNote), 1u);
+  EXPECT_EQ(sink.count(Severity::kWarning), 0u);
+}
+
+TEST(Diagnostic, LocationRendering) {
+  Diagnostic d;
+  EXPECT_EQ(d.location(), "");
+  d.page = VPage(42);
+  EXPECT_EQ(d.location(), "page 42");
+  d.thread = ThreadId(3);
+  d.other = ThreadId(5);
+  EXPECT_EQ(d.location(), "page 42, thread 3/5");
+  EXPECT_STREQ(severity_name(Severity::kError), "error");
+}
+
+TEST(Diagnostic, PrintedTableAndSummary) {
+  CollectingSink sink;
+  std::ostringstream os;
+  print_diagnostics(os, sink);
+  EXPECT_NE(os.str().find("no findings"), std::string::npos);
+
+  Diagnostic err = make_diag("race.ww-lines", 1);
+  err.severity = Severity::kError;
+  sink.report(err);
+  sink.report(make_diag("race.ww-lines", 1));  // duplicate
+  std::ostringstream os2;
+  print_diagnostics(os2, sink);
+  EXPECT_NE(os2.str().find("race.ww-lines"), std::string::npos);
+  EXPECT_NE(os2.str().find("1 error(s)"), std::string::npos);
+  EXPECT_NE(os2.str().find("1 duplicate finding(s)"), std::string::npos);
+}
+
+TEST(RacePass, ProvableWriteWriteOverlapIsAnError) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  // 100 + 100 > 128: the two write sets must intersect.
+  analyzer.analyze_region("bad",
+                          {accesses({{5, 100}}), accesses({{5, 100}})}, {},
+                          sink);
+  EXPECT_EQ(sink.count_rule("race.ww-lines"), 1u);
+  EXPECT_EQ(sink.count(Severity::kError), 1u);
+}
+
+TEST(RacePass, ProvableReadWriteOverlapIsAWarning) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  analyzer.analyze_region(
+      "bad", {accesses({{5, 100}}), accesses({}, {{5, 100}})}, {}, sink);
+  EXPECT_EQ(sink.count_rule("race.rw-lines"), 1u);
+  EXPECT_EQ(sink.count(Severity::kError), 0u);
+  EXPECT_EQ(sink.count(Severity::kWarning), 1u);
+}
+
+TEST(RacePass, UnprovableSharingIsAFalseSharingNote) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  // 64 + 64 == lines_per_page: the halves can be disjoint, exactly the
+  // boundary-page pattern of the FT transpose.
+  analyzer.analyze_region("boundary",
+                          {accesses({{5, 64}}), accesses({{5, 64}})}, {},
+                          sink);
+  EXPECT_EQ(sink.count_rule("race.page-share"), 1u);
+  EXPECT_TRUE(sink.clean());
+}
+
+TEST(RacePass, ReadOnlySharingAndPrivatePagesAreSilent) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  // All threads read page 5; each writes its own page.
+  analyzer.analyze_region(
+      "clean",
+      {accesses({{1, kLpp}}, {{5, kLpp}}), accesses({{2, kLpp}}, {{5, kLpp}})},
+      {}, sink);
+  EXPECT_EQ(sink.count_rule("race.page-share"), 0u);
+  EXPECT_EQ(sink.count_rule("race.ww-lines"), 0u);
+  EXPECT_EQ(sink.count_rule("race.rw-lines"), 0u);
+}
+
+TEST(RacePass, PerRuleCapFoldsIntoSummaryNote) {
+  FakeMachine fake;
+  AnalyzerConfig config;
+  config.max_diags_per_rule = 3;
+  const Analyzer analyzer(config, fake.view());
+  CollectingSink sink;
+  sim::ThreadProgram a;
+  sim::ThreadProgram b;
+  for (std::uint64_t p = 0; p < 10; ++p) {
+    a.push_back(sim::Op::access(VPage(p), 100, true));
+    b.push_back(sim::Op::access(VPage(p), 100, true));
+  }
+  analyzer.analyze_region("capped", {a, b}, {}, sink);
+  EXPECT_EQ(sink.count_rule("race.ww-lines"), 3u);
+  EXPECT_EQ(sink.count_rule("race.summary"), 1u);
+}
+
+TEST(LocalityPass, FlagsRemoteHeavyMappedPages) {
+  FakeMachine fake;
+  (*fake.homes)[5] = 0;  // homed on node 0
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  // Thread 1 (node 1) hammers the page; the home node never touches it.
+  analyzer.analyze_region("remote", {{}, accesses({{5, kLpp}})}, {}, sink);
+  EXPECT_EQ(sink.count_rule("numa.remote-page"), 1u);
+  EXPECT_EQ(sink.diagnostics()[0].severity, Severity::kWarning);
+}
+
+TEST(LocalityPass, LocalUnmappedAndColdPagesAreSilent) {
+  FakeMachine fake;
+  (*fake.homes)[5] = 1;  // same node as the only accessor
+  (*fake.homes)[6] = 0;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  // Page 5: local. Page 6: remote but below min_page_lines. Page 7:
+  // unmapped (first-touch home unknown before the region runs).
+  analyzer.analyze_region(
+      "ok", {{}, accesses({{5, kLpp}, {6, 8}, {7, kLpp}})}, {}, sink);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(LocalityPass, BindingRedirectsTheHistogram) {
+  FakeMachine fake;
+  (*fake.homes)[5] = 3;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  // Thread 0 does the accesses but is bound to proc 3 = node 3, the
+  // page's home: local despite the identity binding being remote.
+  const std::vector<ProcId> binding{ProcId(3), ProcId(0)};
+  analyzer.analyze_region("bound", {accesses({{5, kLpp}}), {}}, binding,
+                          sink);
+  EXPECT_EQ(sink.count_rule("numa.remote-page"), 0u);
+}
+
+TEST(BindingCheck, RejectsOutOfRangeDuplicateAndShortBindings) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  analyzer.check_binding("r", 2, std::vector<ProcId>{ProcId(0), ProcId(9)},
+                         sink);
+  EXPECT_EQ(sink.count_rule("binding.range"), 1u);
+  sink.clear();
+  analyzer.check_binding("r", 2, std::vector<ProcId>{ProcId(1), ProcId(1)},
+                         sink);
+  EXPECT_EQ(sink.count_rule("binding.dup"), 1u);
+  sink.clear();
+  analyzer.check_binding("r", 3, std::vector<ProcId>{ProcId(0)}, sink);
+  EXPECT_EQ(sink.count_rule("binding.short"), 1u);
+  sink.clear();
+  analyzer.check_binding("r", 9, {}, sink);
+  EXPECT_EQ(sink.count_rule("binding.team-size"), 1u);
+  sink.clear();
+  analyzer.check_binding("r", 4, {}, sink);  // identity binding
+  EXPECT_TRUE(sink.empty());
+}
+
+// --- UPMlib protocol checker ----------------------------------------------
+
+std::vector<UpmCall> with_area(std::vector<UpmCall> tail) {
+  std::vector<UpmCall> trace{{Kind::kMemRefCnt, {VPage(0), 16}, true}};
+  trace.insert(trace.end(), tail.begin(), tail.end());
+  return trace;
+}
+
+TEST(UpmProtocol, AcceptsTheRecordReplaySequence) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  // The ADI instrumentation (paper Fig. 3): record a full iteration,
+  // compare, then replay/undo every subsequent iteration.
+  analyzer.check_upm_trace(
+      with_area({{Kind::kMigrateMemory, {}, true},
+                 {Kind::kRecord, {}, true},
+                 {Kind::kRecord, {}, true},
+                 {Kind::kCompareCounters, {}, true},
+                 {Kind::kReplay, {}, true},
+                 {Kind::kUndo, {}, true},
+                 {Kind::kReplay, {}, true},
+                 {Kind::kUndo, {}, true}}),
+      sink);
+  EXPECT_TRUE(sink.empty())
+      << diagnostics_table(sink.diagnostics()).to_string();
+}
+
+TEST(UpmProtocol, AcceptsTheDistributionLoop) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  analyzer.check_upm_trace(with_area({{Kind::kResetCounters, {}, true},
+                                      {Kind::kMigrateMemory, {}, true},
+                                      {Kind::kMigrateMemory, {}, true}}),
+                           sink);
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(UpmProtocol, CompareWithoutTwoRecordsIsAnError) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  analyzer.check_upm_trace(with_area({{Kind::kRecord, {}, true},
+                                      {Kind::kCompareCounters, {}, true}}),
+                           sink);
+  EXPECT_EQ(sink.count_rule("upm.record-underflow"), 1u);
+  EXPECT_EQ(sink.count(Severity::kError), 1u);
+}
+
+TEST(UpmProtocol, ReplayWithoutPlanAndOverrunAreFlagged) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  analyzer.check_upm_trace(with_area({{Kind::kReplay, {}, true}}), sink);
+  EXPECT_EQ(sink.count_rule("upm.replay-unplanned"), 1u);
+  sink.clear();
+  // Two records give a one-transition plan; the second replay without an
+  // undo wraps the cursor.
+  analyzer.check_upm_trace(
+      with_area({{Kind::kRecord, {}, true},
+                 {Kind::kRecord, {}, true},
+                 {Kind::kCompareCounters, {}, true},
+                 {Kind::kReplay, {}, true},
+                 {Kind::kReplay, {}, true}}),
+      sink);
+  EXPECT_EQ(sink.count_rule("upm.replay-overrun"), 1u);
+}
+
+TEST(UpmProtocol, NotesAndWarningsOnMisuse) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  analyzer.check_upm_trace(
+      std::vector<UpmCall>{{Kind::kMigrateMemory, {}, true}}, sink);
+  EXPECT_EQ(sink.count_rule("upm.no-hot-areas"), 1u);
+  sink.clear();
+
+  analyzer.check_upm_trace(with_area({{Kind::kMigrateMemory, {}, false}}),
+                           sink);
+  EXPECT_EQ(sink.count_rule("upm.migrate-inactive"), 1u);
+  sink.clear();
+
+  // Overlapping registration and one after counting started.
+  analyzer.check_upm_trace(
+      with_area({{Kind::kMemRefCnt, {VPage(8), 16}, true},
+                 {Kind::kRecord, {}, true},
+                 {Kind::kMemRefCnt, {VPage(100), 4}, true}}),
+      sink);
+  EXPECT_EQ(sink.count_rule("upm.dup-range"), 1u);
+  EXPECT_EQ(sink.count_rule("upm.late-registration"), 1u);
+  sink.clear();
+
+  analyzer.check_upm_trace(
+      with_area({{Kind::kRecord, {}, true},
+                 {Kind::kRecord, {}, true},
+                 {Kind::kCompareCounters, {}, true},
+                 {Kind::kUndo, {}, true},
+                 {Kind::kRecord, {}, true}}),
+      sink);
+  EXPECT_EQ(sink.count_rule("upm.undo-without-replay"), 1u);
+  EXPECT_EQ(sink.count_rule("upm.record-after-compare"), 1u);
+}
+
+TEST(UpmProtocol, RebindingNotificationResetsTheStateMachine) {
+  FakeMachine fake;
+  const Analyzer analyzer({}, fake.view());
+  CollectingSink sink;
+  analyzer.check_upm_trace(
+      with_area({{Kind::kRecord, {}, true},
+                 {Kind::kRecord, {}, true},
+                 {Kind::kCompareCounters, {}, true},
+                 {Kind::kNotifyRebinding, {}, true},
+                 {Kind::kReplay, {}, true}}),
+      sink);
+  // The plan was invalidated by the rebinding: the replay is unplanned.
+  EXPECT_EQ(sink.count_rule("upm.replay-unplanned"), 1u);
+}
+
+// --- live-machine integration ---------------------------------------------
+
+TEST(Session, ReportsRacesOnRegionsRunThroughTheRuntime) {
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  const vm::PageRange data =
+      machine->address_space().allocate_pages("data", 4);
+  AnalysisSession session(*machine);
+  omp::Runtime& rt = machine->runtime();
+  sim::RegionBuilder region = rt.make_region();
+  region.access(ThreadId(0), data.page(0),
+                machine->config().lines_per_page(), true);
+  region.access(ThreadId(1), data.page(0),
+                machine->config().lines_per_page(), true);
+  rt.run("racy", std::move(region));
+  EXPECT_EQ(session.sink().count_rule("race.ww-lines"), 1u);
+  EXPECT_EQ(session.sink().diagnostics()[0].region, "racy");
+}
+
+TEST(Session, DetachesItsInspectorOnDestruction) {
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  const vm::PageRange data =
+      machine->address_space().allocate_pages("data", 1);
+  {
+    const AnalysisSession session(*machine);
+  }
+  omp::Runtime& rt = machine->runtime();
+  sim::RegionBuilder region = rt.make_region();
+  region.access(ThreadId(0), data.page(0), 8, true);
+  rt.run("after", std::move(region));  // must not touch the dead session
+  SUCCEED();
+}
+
+TEST(Session, ChecksTheLiveUpmlibTrace) {
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  const vm::PageRange data =
+      machine->address_space().allocate_pages("data", 64);
+  upm::Upmlib upmlib(machine->mmci(), machine->runtime(), {});
+  AnalysisSession session(*machine);
+  session.attach_upm(upmlib);
+  upmlib.memrefcnt(data);
+  upmlib.record();  // one record only: compare_counters would abort
+  session.finish();
+  EXPECT_EQ(session.sink().count(Severity::kError), 0u);
+  EXPECT_TRUE(upmlib.call_trace_enabled());
+  EXPECT_EQ(upmlib.call_trace().size(), 2u);
+}
+
+// --- silence over the repository's real workloads -------------------------
+
+harness::RunConfig tiny(const std::string& benchmark,
+                        const std::string& placement) {
+  harness::RunConfig config;
+  config.benchmark = benchmark;
+  config.placement = placement;
+  config.iterations = 2;
+  config.workload.size_scale = 0.25;
+  config.analyze = true;
+  return config;
+}
+
+std::size_t error_count(const harness::RunResult& result) {
+  std::size_t errors = 0;
+  for (const Diagnostic& d : result.diagnostics) {
+    if (d.severity == Severity::kError) {
+      ++errors;
+    }
+  }
+  return errors;
+}
+
+TEST(WorkloadAudit, NoErrorsOnAnyBenchmarkUnderAnyPlacement) {
+  for (const auto& name : nas::workload_names()) {
+    for (const std::string placement : {"ft", "wc"}) {
+      const harness::RunResult result =
+          harness::run_benchmark(tiny(name, placement));
+      EXPECT_EQ(error_count(result), 0u) << name << "/" << placement;
+    }
+  }
+}
+
+TEST(WorkloadAudit, RecordReplayProtocolIsCleanOnAdiSolvers) {
+  for (const std::string name : {"BT", "SP"}) {
+    harness::RunConfig config = tiny(name, "ft");
+    config.upm_mode = nas::UpmMode::kRecordReplay;
+    config.upm.max_critical_pages = 20;
+    config.iterations = 4;
+    const harness::RunResult result = harness::run_benchmark(config);
+    EXPECT_EQ(error_count(result), 0u) << name;
+    for (const Diagnostic& d : result.diagnostics) {
+      EXPECT_NE(d.rule.substr(0, 4), "upm.") << name << ": " << d.message;
+    }
+  }
+}
+
+TEST(WorkloadAudit, BadPlacementIsWhatTheLintFlags) {
+  // Under worst-case placement the locality lint must fire: the paper's
+  // premise is that wc placement is remote-heavy everywhere.
+  const harness::RunResult wc = harness::run_benchmark(tiny("BT", "wc"));
+  std::size_t remote = 0;
+  for (const Diagnostic& d : wc.diagnostics) {
+    remote += d.rule == "numa.remote-page" ? 1u : 0u;
+  }
+  EXPECT_GT(remote, 0u);
+}
+
+}  // namespace
+}  // namespace repro::analysis
