@@ -8,7 +8,7 @@
 //      amortize the one-time migration cost that the paper's longer
 //      wall-times absorbed.
 //
-// Usage: ablation_upmlib [--fast]
+// Usage: ablation_upmlib [--fast] [--jobs=N]
 #include <iostream>
 #include <string>
 
@@ -16,6 +16,7 @@
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/figures.hpp"
+#include "repro/harness/scheduler.hpp"
 #include "repro/omp/machine.hpp"
 #include "repro/omp/schedule.hpp"
 #include "repro/upmlib/upmlib.hpp"
@@ -29,6 +30,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--fast") {
       Env::global().set("REPRO_FAST", "1");
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::stoul(arg.substr(7));
     } else {
       std::cerr << "unknown argument: " << arg << '\n';
       return 1;
@@ -39,14 +42,22 @@ int main(int argc, char** argv) {
     // (a) threshold sweep on SP under random placement.
     std::cout << "(a) competitive threshold sweep (SP, random "
                  "placement)\n";
-    TextTable table({"thr", "time (s)", "migrations", "remote frac"});
-    for (const double thr : {1.2, 2.0, 4.0, 16.0}) {
+    const std::vector<double> thresholds = {1.2, 2.0, 4.0, 16.0};
+    std::vector<RunConfig> configs;
+    for (const double thr : thresholds) {
       RunConfig config = base_config("SP", options);
       config.placement = "rand";
       config.upm_mode = nas::UpmMode::kDistribution;
       config.upm.threshold = thr;
-      const RunResult r = run_benchmark(config);
-      table.add_row({fmt_double(thr, 1), fmt_double(r.seconds(), 3),
+      configs.push_back(std::move(config));
+    }
+    const std::vector<RunResult> results =
+        run_experiments(configs, options.jobs);
+    TextTable table({"thr", "time (s)", "migrations", "remote frac"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      table.add_row({fmt_double(thresholds[i], 1),
+                     fmt_double(r.seconds(), 3),
                      std::to_string(r.upm_stats.distribution_migrations),
                      fmt_double(r.memory_totals.remote_fraction(), 3)});
     }
@@ -59,14 +70,21 @@ int main(int argc, char** argv) {
     // (b) critical-page cap sweep for record-replay on BT.
     std::cout << "(b) record-replay critical-page cap (BT, first touch, "
                  "compute scale 2)\n";
-    TextTable table({"n", "time (s)", "z_solve (s)", "recrep cost (s)"});
-    for (const std::size_t cap : {5ul, 20ul, 80ul, 320ul}) {
+    const std::vector<std::size_t> caps = {5, 20, 80, 320};
+    std::vector<RunConfig> configs;
+    for (const std::size_t cap : caps) {
       RunConfig config = base_config("BT", options);
       config.upm_mode = nas::UpmMode::kRecordReplay;
       config.upm.max_critical_pages = cap;
       config.compute_scale = 2;
-      const RunResult r = run_benchmark(config);
-      table.add_row({std::to_string(cap), fmt_double(r.seconds(), 3),
+      configs.push_back(std::move(config));
+    }
+    const std::vector<RunResult> results =
+        run_experiments(configs, options.jobs);
+    TextTable table({"n", "time (s)", "z_solve (s)", "recrep cost (s)"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      table.add_row({std::to_string(caps[i]), fmt_double(r.seconds(), 3),
                      fmt_double(ns_to_seconds(r.phase_time("z_solve")), 3),
                      fmt_double(ns_to_seconds(r.upm_stats.recrep_cost), 3)});
     }
@@ -79,14 +97,20 @@ int main(int argc, char** argv) {
   {
     // (c) freezing on/off on FT under first touch + distribution mode.
     std::cout << "(c) ping-pong freezing (FT, random placement)\n";
-    TextTable table({"freeze", "time (s)", "migrations", "frozen pages"});
+    std::vector<RunConfig> configs;
     for (const bool freeze : {true, false}) {
       RunConfig config = base_config("FT", options);
       config.placement = "rand";
       config.upm_mode = nas::UpmMode::kDistribution;
       config.upm.freeze_bouncing_pages = freeze;
-      const RunResult r = run_benchmark(config);
-      table.add_row({freeze ? "on" : "off", fmt_double(r.seconds(), 3),
+      configs.push_back(std::move(config));
+    }
+    const std::vector<RunResult> results =
+        run_experiments(configs, options.jobs);
+    TextTable table({"freeze", "time (s)", "migrations", "frozen pages"});
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const RunResult& r = results[i];
+      table.add_row({i == 0 ? "on" : "off", fmt_double(r.seconds(), 3),
                      std::to_string(r.upm_stats.distribution_migrations),
                      std::to_string(r.upm_stats.frozen_pages)});
     }
@@ -164,17 +188,26 @@ int main(int argc, char** argv) {
     // (d) amortization: MG with its paper-faithful 4 iterations vs more.
     std::cout << "(d) run-length amortization (MG, round-robin "
                  "placement)\n";
-    TextTable table({"iterations", "rr-IRIX (s)", "rr-upmlib (s)",
-                     "upmlib vs plain"});
-    for (const std::uint32_t iters : {4u, 12u, 40u}) {
+    const std::vector<std::uint32_t> iteration_counts = {4, 12, 40};
+    std::vector<RunConfig> configs;
+    for (const std::uint32_t iters : iteration_counts) {
       RunConfig plain = base_config("MG", options);
       plain.placement = "rr";
       plain.iterations = iters;
-      const RunResult base = run_benchmark(plain);
       RunConfig upm = plain;
       upm.upm_mode = nas::UpmMode::kDistribution;
-      const RunResult with = run_benchmark(upm);
-      table.add_row({std::to_string(iters), fmt_double(base.seconds(), 3),
+      configs.push_back(std::move(plain));
+      configs.push_back(std::move(upm));
+    }
+    const std::vector<RunResult> results =
+        run_experiments(configs, options.jobs);
+    TextTable table({"iterations", "rr-base (s)", "rr-upmlib (s)",
+                     "upmlib vs plain"});
+    for (std::size_t i = 0; i < iteration_counts.size(); ++i) {
+      const RunResult& base = results[2 * i];
+      const RunResult& with = results[2 * i + 1];
+      table.add_row({std::to_string(iteration_counts[i]),
+                     fmt_double(base.seconds(), 3),
                      fmt_double(with.seconds(), 3),
                      fmt_percent(slowdown(with.seconds(),
                                           base.seconds()))});

@@ -14,6 +14,10 @@
 //    (harmful for FT: page-level false sharing).
 //
 // Usage: fig1_placement [--fast] [--iterations=N] [--benchmark=NAME]
+//                       [--jobs=N] [--csv=PATH] [--json=DIR]
+//
+// --json=DIR writes one BENCH_fig1_<benchmark>.json file per benchmark
+// into DIR (machine-readable mirror of the summary tables).
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -22,6 +26,7 @@
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/figures.hpp"
+#include "repro/harness/json.hpp"
 
 using namespace repro;
 using namespace repro::harness;
@@ -29,6 +34,7 @@ using namespace repro::harness;
 int main(int argc, char** argv) {
   FigureOptions options;
   std::string csv_path;
+  std::string json_path;
   std::vector<std::string> benchmarks = nas::workload_names();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -41,6 +47,10 @@ int main(int argc, char** argv) {
       benchmarks = {arg.substr(12)};
     } else if (arg.rfind("--csv=", 0) == 0) {
       csv_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::stoul(arg.substr(7));
     } else {
       std::cerr << "unknown argument: " << arg << '\n';
       return 1;
@@ -61,30 +71,34 @@ int main(int argc, char** argv) {
     if (!csv_path.empty()) {
       append_csv(csv_path, bench, results);
     }
+    if (!json_path.empty()) {
+      write_results_json(json_path + "/BENCH_fig1_" + bench + ".json",
+                         "fig1_placement/" + bench, results);
+    }
     all.push_back(std::move(results));
   }
 
   if (benchmarks.size() > 1) {
-    TextTable summary({"scheme", "mean slowdown vs ft-IRIX", "paper"});
-    summary.add_row({"rr-IRIX",
-                     fmt_percent(mean_slowdown(all, "rr-IRIX", "ft-IRIX")),
+    TextTable summary({"scheme", "mean slowdown vs ft-base", "paper"});
+    summary.add_row({"rr-base",
+                     fmt_percent(mean_slowdown(all, "rr-base", "ft-base")),
                      "~+22%"});
     summary.add_row(
-        {"rand-IRIX",
-         fmt_percent(mean_slowdown(all, "rand-IRIX", "ft-IRIX")), "~+23%"});
-    summary.add_row({"wc-IRIX",
-                     fmt_percent(mean_slowdown(all, "wc-IRIX", "ft-IRIX")),
+        {"rand-base",
+         fmt_percent(mean_slowdown(all, "rand-base", "ft-base")), "~+23%"});
+    summary.add_row({"wc-base",
+                     fmt_percent(mean_slowdown(all, "wc-base", "ft-base")),
                      "~+90%"});
     summary.add_row(
         {"rr-IRIXmig",
-         fmt_percent(mean_slowdown(all, "rr-IRIXmig", "ft-IRIX")), "~+16%"});
+         fmt_percent(mean_slowdown(all, "rr-IRIXmig", "ft-base")), "~+16%"});
     summary.add_row(
         {"rand-IRIXmig",
-         fmt_percent(mean_slowdown(all, "rand-IRIXmig", "ft-IRIX")),
+         fmt_percent(mean_slowdown(all, "rand-IRIXmig", "ft-base")),
          "~+17%"});
     summary.add_row(
         {"wc-IRIXmig",
-         fmt_percent(mean_slowdown(all, "wc-IRIXmig", "ft-IRIX")), "~+61%"});
+         fmt_percent(mean_slowdown(all, "wc-IRIXmig", "ft-base")), "~+61%"});
     std::cout << "Average across benchmarks:\n";
     summary.print(std::cout);
   }

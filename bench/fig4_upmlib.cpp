@@ -13,6 +13,7 @@
 //    (first-touch is already optimal for CG).
 //
 // Usage: fig4_upmlib [--fast] [--iterations=N] [--benchmark=NAME]
+//                    [--jobs=N] [--csv=PATH] [--json=DIR]
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -21,6 +22,7 @@
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/figures.hpp"
+#include "repro/harness/json.hpp"
 
 using namespace repro;
 using namespace repro::harness;
@@ -28,6 +30,7 @@ using namespace repro::harness;
 int main(int argc, char** argv) {
   FigureOptions options;
   std::string csv_path;
+  std::string json_path;
   std::vector<std::string> benchmarks = nas::workload_names();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -40,6 +43,10 @@ int main(int argc, char** argv) {
       benchmarks = {arg.substr(12)};
     } else if (arg.rfind("--csv=", 0) == 0) {
       csv_path = arg.substr(6);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::stoul(arg.substr(7));
     } else {
       std::cerr << "unknown argument: " << arg << '\n';
       return 1;
@@ -53,7 +60,7 @@ int main(int argc, char** argv) {
   for (const std::string& bench : benchmarks) {
     std::vector<RunResult> results = run_placement_matrix(bench, options);
     std::vector<RunResult> upm = run_upmlib_row(bench, options);
-    // Interleave paper-style: ft-IRIX, ft-IRIXmig, ft-upmlib, rr-IRIX, ...
+    // Interleave paper-style: ft-base, ft-IRIXmig, ft-upmlib, rr-base, ...
     std::vector<RunResult> merged;
     for (std::size_t p = 0; p < 4; ++p) {
       merged.push_back(results[2 * p]);
@@ -68,22 +75,26 @@ int main(int argc, char** argv) {
     if (!csv_path.empty()) {
       append_csv(csv_path, bench, merged);
     }
+    if (!json_path.empty()) {
+      write_results_json(json_path + "/BENCH_fig4_" + bench + ".json",
+                         "fig4_upmlib/" + bench, merged);
+    }
     all.push_back(std::move(merged));
   }
 
   if (benchmarks.size() > 1) {
-    TextTable summary({"scheme", "mean slowdown vs ft-IRIX", "paper"});
+    TextTable summary({"scheme", "mean slowdown vs ft-base", "paper"});
     summary.add_row({"ft-upmlib",
-                     fmt_percent(mean_slowdown(all, "ft-upmlib", "ft-IRIX")),
+                     fmt_percent(mean_slowdown(all, "ft-upmlib", "ft-base")),
                      "-6% .. -22% (except CG ~0)"});
     summary.add_row({"rr-upmlib",
-                     fmt_percent(mean_slowdown(all, "rr-upmlib", "ft-IRIX")),
+                     fmt_percent(mean_slowdown(all, "rr-upmlib", "ft-base")),
                      "~+5%"});
     summary.add_row(
         {"rand-upmlib",
-         fmt_percent(mean_slowdown(all, "rand-upmlib", "ft-IRIX")), "~+6%"});
+         fmt_percent(mean_slowdown(all, "rand-upmlib", "ft-base")), "~+6%"});
     summary.add_row({"wc-upmlib",
-                     fmt_percent(mean_slowdown(all, "wc-upmlib", "ft-IRIX")),
+                     fmt_percent(mean_slowdown(all, "wc-upmlib", "ft-base")),
                      "~+14%"});
     std::cout << "Average across benchmarks:\n";
     summary.print(std::cout);

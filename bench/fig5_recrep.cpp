@@ -1,7 +1,7 @@
 // Figure 5: performance of the record--replay mechanism in NAS BT and
 // SP with first-touch placement.
 //
-// Four bars per benchmark: ft-IRIX, ft-IRIXmig, ft-upmlib (distribution
+// Four bars per benchmark: ft-base, ft-IRIXmig, ft-upmlib (distribution
 // only) and ft-recrep (distribution + record--replay around z_solve,
 // with the critical-page cap set to the paper's n = 20). The striped
 // segment of the ft-recrep bar is the non-overlapped migration overhead
@@ -12,13 +12,14 @@
 // overhead roughly cancels the gain at the benchmarks' natural phase
 // granularity.
 //
-// Usage: fig5_recrep [--fast] [--iterations=N]
+// Usage: fig5_recrep [--fast] [--iterations=N] [--jobs=N]
 #include <iostream>
 #include <string>
 
 #include "repro/common/env.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/figures.hpp"
+#include "repro/harness/scheduler.hpp"
 
 using namespace repro;
 using namespace repro::harness;
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--iterations=", 0) == 0) {
       options.iterations_override =
           static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::stoul(arg.substr(7));
     } else {
       std::cerr << "unknown argument: " << arg << '\n';
       return 1;
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
                "placement, n = 20 critical pages)\n\n";
 
   for (const std::string bench : {"BT", "SP"}) {
-    std::vector<RunResult> results;
+    std::vector<RunConfig> configs;
     for (int variant = 0; variant < 4; ++variant) {
       RunConfig config = base_config(bench, options);
       config.kernel_migration = variant == 1;
@@ -52,8 +55,9 @@ int main(int argc, char** argv) {
         config.upm_mode = nas::UpmMode::kRecordReplay;
         config.upm.max_critical_pages = 20;
       }
-      results.push_back(run_benchmark(config));
+      configs.push_back(std::move(config));
     }
+    std::vector<RunResult> results = run_experiments(configs, options.jobs);
     print_figure(std::cout,
                  "NAS " + bench + ", Class A (scaled), 16 processors",
                  results);

@@ -8,6 +8,7 @@
 // ft-upmlib (paper: by ~5%), reversing the Figure 5 outcome.
 //
 // Usage: fig6_recrep_scaled [--fast] [--iterations=N] [--scale=K]
+//                           [--jobs=N]
 #include <iostream>
 #include <string>
 
@@ -15,6 +16,7 @@
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/figures.hpp"
+#include "repro/harness/scheduler.hpp"
 
 using namespace repro;
 using namespace repro::harness;
@@ -31,6 +33,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
     } else if (arg.rfind("--scale=", 0) == 0) {
       scale = static_cast<std::uint32_t>(std::stoul(arg.substr(8)));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::stoul(arg.substr(7));
     } else {
       std::cerr << "unknown argument: " << arg << '\n';
       return 1;
@@ -40,7 +44,7 @@ int main(int argc, char** argv) {
   std::cout << "Figure 6: record-replay in the synthetically scaled BT "
                "(each solver body x" << scale << ")\n\n";
 
-  std::vector<RunResult> results;
+  std::vector<RunConfig> configs;
   for (int variant = 0; variant < 4; ++variant) {
     RunConfig config = base_config("BT", options);
     config.compute_scale = scale;
@@ -51,8 +55,9 @@ int main(int argc, char** argv) {
       config.upm_mode = nas::UpmMode::kRecordReplay;
       config.upm.max_critical_pages = 20;
     }
-    results.push_back(run_benchmark(config));
+    configs.push_back(std::move(config));
   }
+  std::vector<RunResult> results = run_experiments(configs, options.jobs);
   print_figure(std::cout, "NAS BT (scaled x" + std::to_string(scale) +
                               "), 16 processors",
                results);

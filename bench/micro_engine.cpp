@@ -8,6 +8,7 @@
 #include "repro/memsys/memory_system.hpp"
 #include "repro/nas/workload.hpp"
 #include "repro/omp/machine.hpp"
+#include "repro/sim/program.hpp"
 #include "repro/topology/topology.hpp"
 #include "repro/upmlib/upmlib.hpp"
 #include "repro/vm/counters.hpp"
@@ -139,6 +140,30 @@ void BM_Replication(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Replication);
+
+void BM_CompiledRegionRun(benchmark::State& state) {
+  // Batched-engine throughput on a compiled region program: 16 threads
+  // striding over a shared array, compiled once and replayed.
+  auto machine = omp::Machine::create(memsys::MachineConfig{});
+  machine->set_placement("ft");
+  omp::Runtime& rt = machine->runtime();
+  const std::uint32_t lines = machine->config().lines_per_page();
+  const auto data = machine->address_space().allocate("data", 16 * kMiB);
+  sim::RegionBuilder region = rt.make_region();
+  for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+    for (std::uint64_t p = t; p < data.count; p += rt.num_threads()) {
+      region.access(ThreadId(t), data.page(p), lines, false, lines * 60);
+    }
+  }
+  const sim::RegionProgram program =
+      sim::RegionProgram::compile(std::move(region));
+  for (auto _ : state) {
+    rt.run("micro", program);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(program.size()));
+}
+BENCHMARK(BM_CompiledRegionRun);
 
 void BM_NasIteration(benchmark::State& state) {
   // Host cost of simulating one full BT iteration (~26k events).

@@ -8,7 +8,7 @@
 //  * the overwhelming majority of migrations (78%-100%) happen after
 //    the first iteration.
 //
-// Usage: table2_stats [--fast] [--iterations=N]
+// Usage: table2_stats [--fast] [--iterations=N] [--jobs=N]
 #include <iostream>
 #include <string>
 
@@ -16,6 +16,7 @@
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/figures.hpp"
+#include "repro/harness/scheduler.hpp"
 
 using namespace repro;
 using namespace repro::harness;
@@ -29,6 +30,8 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--iterations=", 0) == 0) {
       options.iterations_override =
           static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      options.jobs = std::stoul(arg.substr(7));
     } else {
       std::cerr << "unknown argument: " << arg << '\n';
       return 1;
@@ -36,7 +39,7 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "Table 2: UPMlib engine statistics (slowdown over the "
-               "last 75% of iterations\nvs ft-IRIX, and the fraction of "
+               "last 75% of iterations\nvs ft-base, and the fraction of "
                "migrations performed by the first invocation)\n\n";
 
   TextTable table({"Benchmark", "rr last-75%", "rand last-75%",
@@ -44,18 +47,24 @@ int main(int argc, char** argv) {
                    "wc 1st-iter"});
 
   for (const std::string& bench : nas::workload_names()) {
-    RunConfig ft_config = base_config(bench, options);
-    const RunResult ft = run_benchmark(ft_config);
-    const double ft_late =
-        static_cast<double>(ft.mean_iteration_last(0.75));
-
-    std::vector<std::string> row = {bench};
-    std::vector<std::string> fractions;
+    // Cells: ft baseline first, then the three upmlib placements.
+    std::vector<RunConfig> configs;
+    configs.push_back(base_config(bench, options));
     for (const std::string placement : {"rr", "rand", "wc"}) {
       RunConfig config = base_config(bench, options);
       config.placement = placement;
       config.upm_mode = nas::UpmMode::kDistribution;
-      const RunResult r = run_benchmark(config);
+      configs.push_back(std::move(config));
+    }
+    const std::vector<RunResult> results =
+        run_experiments(configs, options.jobs);
+    const double ft_late =
+        static_cast<double>(results[0].mean_iteration_last(0.75));
+
+    std::vector<std::string> row = {bench};
+    std::vector<std::string> fractions;
+    for (std::size_t p = 1; p < results.size(); ++p) {
+      const RunResult& r = results[p];
       row.push_back(fmt_percent(slowdown(
           static_cast<double>(r.mean_iteration_last(0.75)), ft_late)));
       fractions.push_back(fmt_double(

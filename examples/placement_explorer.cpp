@@ -9,6 +9,8 @@
 #include <iostream>
 #include <string>
 
+#include "repro/analysis/diagnostic.hpp"
+#include "repro/common/env.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/run.hpp"
 
@@ -112,5 +114,26 @@ int main(int argc, char** argv) {
                            result.upm_stats.recrep_cost),
                   2)});
   table.print(std::cout);
+
+  const bool analyzed =
+      config.analyze || Env::global().get_bool("REPRO_ANALYZE", false);
+  if (analyzed) {
+    std::cout << '\n';
+    if (result.diagnostics.empty()) {
+      std::cout << "analysis: no findings\n";
+    } else {
+      std::size_t errors = 0;
+      std::size_t warnings = 0;
+      std::size_t notes = 0;
+      for (const analysis::Diagnostic& d : result.diagnostics) {
+        (d.severity == analysis::Severity::kError     ? errors
+         : d.severity == analysis::Severity::kWarning ? warnings
+                                                      : notes)++;
+      }
+      analysis::diagnostics_table(result.diagnostics).print(std::cout);
+      std::cout << "analysis: " << errors << " error(s), " << warnings
+                << " warning(s), " << notes << " note(s)\n";
+    }
+  }
   return 0;
 }

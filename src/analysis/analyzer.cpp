@@ -84,34 +84,42 @@ Analyzer::Analyzer(AnalyzerConfig config, MachineView view)
 }
 
 void Analyzer::analyze_region(const std::string& name,
-                              const std::vector<sim::ThreadProgram>& programs,
+                              const sim::RegionProgram& program,
                               std::span<const ProcId> binding,
                               DiagnosticSink& sink) const {
-  check_binding(name, programs.size(), binding, sink);
+  check_binding(name, program.num_threads(), binding, sink);
   if (config_.race_pass) {
-    race_pass(name, programs, sink);
+    race_pass(name, program, sink);
   }
   if (config_.locality_pass) {
-    locality_pass(name, programs, binding, sink);
+    locality_pass(name, program, binding, sink);
   }
 }
 
+void Analyzer::analyze_region(const std::string& name,
+                              const std::vector<sim::ThreadProgram>& programs,
+                              std::span<const ProcId> binding,
+                              DiagnosticSink& sink) const {
+  analyze_region(name, sim::RegionProgram(programs), binding, sink);
+}
+
 void Analyzer::race_pass(const std::string& name,
-                         const std::vector<sim::ThreadProgram>& programs,
+                         const sim::RegionProgram& program,
                          DiagnosticSink& sink) const {
   std::unordered_map<VPage, PageUse> pages;
-  for (std::uint32_t t = 0; t < programs.size(); ++t) {
-    for (const sim::Op& op : programs[t]) {
-      if (op.kind != sim::Op::Kind::kAccess || op.lines == 0) {
+  for (std::uint32_t t = 0; t < program.num_threads(); ++t) {
+    for (std::uint32_t i = program.thread_begin(t);
+         i < program.thread_end(t); ++i) {
+      if (!program.is_access(i) || program.lines(i) == 0) {
         continue;
       }
-      PageUse& pu = pages[op.page];
-      pu.page = op.page;
+      PageUse& pu = pages[program.page(i)];
+      pu.page = program.page(i);
       ThreadUse& use = pu.use(t);
-      if (op.write) {
-        use.write_lines = std::max(use.write_lines, op.lines);
+      if (program.is_write(i)) {
+        use.write_lines = std::max(use.write_lines, program.lines(i));
       } else {
-        use.read_lines = std::max(use.read_lines, op.lines);
+        use.read_lines = std::max(use.read_lines, program.lines(i));
       }
     }
   }
@@ -218,11 +226,11 @@ void Analyzer::race_pass(const std::string& name,
 }
 
 void Analyzer::locality_pass(const std::string& name,
-                             const std::vector<sim::ThreadProgram>& programs,
+                             const sim::RegionProgram& program,
                              std::span<const ProcId> binding,
                              DiagnosticSink& sink) const {
   std::unordered_map<VPage, std::vector<std::uint64_t>> hist;
-  for (std::uint32_t t = 0; t < programs.size(); ++t) {
+  for (std::uint32_t t = 0; t < program.num_threads(); ++t) {
     const ProcId proc = binding.empty() || t >= binding.size()
                             ? ProcId(t)
                             : binding[t];
@@ -230,15 +238,16 @@ void Analyzer::locality_pass(const std::string& name,
       continue;  // check_binding already reported it
     }
     const NodeId node = view_.node_of_proc(proc);
-    for (const sim::Op& op : programs[t]) {
-      if (op.kind != sim::Op::Kind::kAccess || op.lines == 0) {
+    for (std::uint32_t i = program.thread_begin(t);
+         i < program.thread_end(t); ++i) {
+      if (!program.is_access(i) || program.lines(i) == 0) {
         continue;
       }
-      auto& counts = hist[op.page];
+      auto& counts = hist[program.page(i)];
       if (counts.empty()) {
         counts.assign(view_.num_nodes, 0);
       }
-      counts[node.value()] += op.lines;
+      counts[node.value()] += program.lines(i);
     }
   }
 

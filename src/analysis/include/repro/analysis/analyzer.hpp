@@ -35,6 +35,7 @@
 
 #include "repro/analysis/diagnostic.hpp"
 #include "repro/common/strong_id.hpp"
+#include "repro/sim/program.hpp"
 #include "repro/sim/region.hpp"
 #include "repro/upmlib/upmlib.hpp"
 
@@ -72,8 +73,15 @@ class Analyzer {
  public:
   Analyzer(AnalyzerConfig config, MachineView view);
 
-  /// Races + locality over one region's per-thread programs, plus the
+  /// Races + locality over one region's compiled program, plus the
   /// binding protocol check. `binding` empty means identity.
+  void analyze_region(const std::string& name,
+                      const sim::RegionProgram& program,
+                      std::span<const ProcId> binding,
+                      DiagnosticSink& sink) const;
+
+  /// Convenience for builder-side programs (tests): compiles, then
+  /// analyzes.
   void analyze_region(const std::string& name,
                       const std::vector<sim::ThreadProgram>& programs,
                       std::span<const ProcId> binding,
@@ -96,11 +104,10 @@ class Analyzer {
   AnalyzerConfig config_;
   MachineView view_;
 
-  void race_pass(const std::string& name,
-                 const std::vector<sim::ThreadProgram>& programs,
+  void race_pass(const std::string& name, const sim::RegionProgram& program,
                  DiagnosticSink& sink) const;
   void locality_pass(const std::string& name,
-                     const std::vector<sim::ThreadProgram>& programs,
+                     const sim::RegionProgram& program,
                      std::span<const ProcId> binding,
                      DiagnosticSink& sink) const;
 };

@@ -25,10 +25,9 @@ MachineView make_machine_view(omp::Machine& machine) {
 AnalysisSession::AnalysisSession(omp::Machine& machine, AnalyzerConfig config)
     : machine_(&machine), analyzer_(config, make_machine_view(machine)) {
   machine_->runtime().set_region_inspector(
-      [this](const std::string& name,
-             const std::vector<sim::ThreadProgram>& programs,
+      [this](const std::string& name, const sim::RegionProgram& program,
              std::span<const ProcId> binding) {
-        analyzer_.analyze_region(name, programs, binding, sink_);
+        analyzer_.analyze_region(name, program, binding, sink_);
       });
 }
 

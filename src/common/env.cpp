@@ -13,14 +13,21 @@ Env& Env::global() {
 }
 
 void Env::set(const std::string& key, std::string value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
   overrides_[key] = std::move(value);
 }
 
-void Env::unset(const std::string& key) { overrides_.erase(key); }
+void Env::unset(const std::string& key) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  overrides_.erase(key);
+}
 
 std::optional<std::string> Env::get(const std::string& key) const {
-  if (auto it = overrides_.find(key); it != overrides_.end()) {
-    return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = overrides_.find(key); it != overrides_.end()) {
+      return it->second;
+    }
   }
   if (const char* v = std::getenv(key.c_str())) {
     return std::string(v);

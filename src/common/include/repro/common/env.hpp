@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -13,6 +14,10 @@
 namespace repro {
 
 /// Key/value tunable store with environment-variable fallback.
+/// Reads and writes of the override map are mutex-guarded so the
+/// parallel experiment scheduler's workers can consult tunables
+/// concurrently (overrides should still be set before runs start:
+/// a mid-run set() is applied, not synchronized with, in-flight cells).
 class Env {
  public:
   /// Process-wide instance (reads the real environment on lookup miss).
@@ -38,6 +43,7 @@ class Env {
                                        std::string def) const;
 
  private:
+  mutable std::mutex mutex_;
   std::unordered_map<std::string, std::string> overrides_;
 };
 

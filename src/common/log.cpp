@@ -1,6 +1,7 @@
 #include "repro/common/log.hpp"
 
 #include <iostream>
+#include <mutex>
 
 #include "repro/common/env.hpp"
 
@@ -50,7 +51,18 @@ void refresh_log_level() {
 }
 
 void log_line(LogLevel level, const std::string& msg) {
-  std::cerr << '[' << level_name(level) << "] " << msg << '\n';
+  // One preformatted write under a lock: lines from concurrent
+  // scheduler workers never interleave mid-line.
+  static std::mutex mutex;
+  std::string line;
+  line.reserve(msg.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += msg;
+  line += '\n';
+  const std::lock_guard<std::mutex> lock(mutex);
+  std::cerr << line << std::flush;
 }
 
 }  // namespace repro

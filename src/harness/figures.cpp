@@ -7,6 +7,7 @@
 #include "repro/common/assert.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/stats.hpp"
+#include "repro/harness/scheduler.hpp"
 
 namespace repro::harness {
 
@@ -40,28 +41,28 @@ RunConfig base_config(const std::string& benchmark,
 
 std::vector<RunResult> run_placement_matrix(const std::string& benchmark,
                                             const FigureOptions& options) {
-  std::vector<RunResult> results;
+  std::vector<RunConfig> configs;
   for (const std::string placement : {"ft", "rr", "rand", "wc"}) {
     for (const bool kernel_mig : {false, true}) {
       RunConfig config = base_config(benchmark, options);
       config.placement = placement;
       config.kernel_migration = kernel_mig;
-      results.push_back(run_benchmark(config));
+      configs.push_back(std::move(config));
     }
   }
-  return results;
+  return run_experiments(configs, options.jobs);
 }
 
 std::vector<RunResult> run_upmlib_row(const std::string& benchmark,
                                       const FigureOptions& options) {
-  std::vector<RunResult> results;
+  std::vector<RunConfig> configs;
   for (const std::string placement : {"ft", "rr", "rand", "wc"}) {
     RunConfig config = base_config(benchmark, options);
     config.placement = placement;
     config.upm_mode = nas::UpmMode::kDistribution;
-    results.push_back(run_benchmark(config));
+    configs.push_back(std::move(config));
   }
-  return results;
+  return run_experiments(configs, options.jobs);
 }
 
 void print_figure(std::ostream& os, const std::string& title,

@@ -18,6 +18,9 @@ struct FigureOptions {
   /// benchmarks for quick runs.
   std::uint32_t iterations_override = 0;
   std::uint64_t seed = 12345;
+  /// Worker threads for the run matrix (see scheduler.hpp): 0 = auto
+  /// (REPRO_JOBS, else hardware concurrency); 1 = serial.
+  std::size_t jobs = 0;
   memsys::MachineConfig machine;
 };
 
@@ -43,13 +46,13 @@ struct FigureOptions {
 /// baseline line.
 void print_figure(std::ostream& os, const std::string& title,
                   const std::vector<RunResult>& results,
-                  const std::string& baseline_label = "ft-IRIX");
+                  const std::string& baseline_label = "ft-base");
 
 /// Summary table: label, execution time, slowdown vs. baseline, remote
 /// miss fraction.
 [[nodiscard]] TextTable results_table(const std::vector<RunResult>& results,
                                       const std::string& baseline_label =
-                                          "ft-IRIX");
+                                          "ft-base");
 
 /// Finds a result by label; throws if absent.
 [[nodiscard]] const RunResult& find_result(
@@ -60,7 +63,7 @@ void print_figure(std::ostream& os, const std::string& title,
 /// vs baseline, remote fraction, migrations.
 void append_csv(const std::string& path, const std::string& benchmark,
                 const std::vector<RunResult>& results,
-                const std::string& baseline_label = "ft-IRIX");
+                const std::string& baseline_label = "ft-base");
 
 /// Mean slowdown (fraction) of the labelled scheme vs. baseline across
 /// several benchmarks' result vectors.

@@ -1,0 +1,24 @@
+// Structured JSON emission of experiment results, so bench runs leave
+// a machine-readable trajectory (BENCH_<name>.json) next to the human
+// tables. Hand-rolled serialization: the schema is small and the
+// container has no JSON library.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "repro/harness/run.hpp"
+
+namespace repro::harness {
+
+/// Renders results as a JSON array of per-run objects (label,
+/// benchmark, seconds, iteration statistics, memory totals, migration
+/// counts). Deterministic: depends only on the results' values.
+[[nodiscard]] std::string results_to_json(
+    const std::vector<RunResult>& results);
+
+/// Writes `{"bench": <name>, "results": [...]}` to `path`.
+void write_results_json(const std::string& path, const std::string& bench,
+                        const std::vector<RunResult>& results);
+
+}  // namespace repro::harness

@@ -33,9 +33,9 @@ struct RunConfig {
   std::uint32_t compute_scale = 1;
   std::uint64_t seed = 12345;
   /// Run the static analyzer (repro::analysis) over every timed-phase
-  /// region and the UPMlib call trace, print the diagnostics table and
-  /// return the findings in RunResult::diagnostics. Also enabled by
-  /// REPRO_ANALYZE=1 in the environment.
+  /// region and the UPMlib call trace, log the findings through the
+  /// leveled logger and return them in RunResult::diagnostics. Also
+  /// enabled by REPRO_ANALYZE=1 in the environment.
   bool analyze = false;
 
   memsys::MachineConfig machine;
@@ -43,7 +43,8 @@ struct RunConfig {
   upm::UpmConfig upm;
   nas::WorkloadParams workload;
 
-  /// Paper-style label, e.g. "rr-IRIXmig", "wc-upmlib", "ft-recrep".
+  /// Paper-style label, e.g. "ft-base", "rr-IRIXmig", "wc-upmlib",
+  /// "ft-recrep" ("base" = no migration engine at all).
   [[nodiscard]] std::string label() const;
 };
 

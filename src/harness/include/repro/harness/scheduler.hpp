@@ -1,0 +1,33 @@
+// Parallel experiment scheduler.
+//
+// Every cell of a run matrix is an independent simulation: it builds
+// its own Machine from its RunConfig (own memory system, address space,
+// RNG seeded from the config), so cells share no mutable state and can
+// run on host threads concurrently. The scheduler hands cells to a
+// thread pool and stores each result at its config's index, so the
+// returned vector is in input order regardless of which worker finished
+// first -- with deterministic per-cell simulations this makes the whole
+// sweep's output independent of the job count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "repro/harness/run.hpp"
+
+namespace repro::harness {
+
+/// Resolves a requested job count: 0 means "pick for me" -- the
+/// REPRO_JOBS environment variable if set, else the hardware
+/// concurrency. Always at least 1.
+[[nodiscard]] std::size_t effective_jobs(std::size_t requested);
+
+/// Runs every config through run_benchmark on `jobs` worker threads
+/// (resolved via effective_jobs) and returns the results in input
+/// order. jobs=1 runs inline on the calling thread -- the bit-exact
+/// serial mode. If any cell throws, the first exception (in input
+/// order) is rethrown after all workers have stopped.
+[[nodiscard]] std::vector<RunResult> run_experiments(
+    const std::vector<RunConfig>& configs, std::size_t jobs = 0);
+
+}  // namespace repro::harness

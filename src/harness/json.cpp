@@ -1,0 +1,78 @@
+#include "repro/harness/json.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::harness {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+void append_field(std::ostringstream& os, const char* key, double value,
+                  bool last = false) {
+  os << '"' << key << "\": " << value << (last ? "" : ", ");
+}
+
+void append_field(std::ostringstream& os, const char* key,
+                  std::uint64_t value, bool last = false) {
+  os << '"' << key << "\": " << value << (last ? "" : ", ");
+}
+
+}  // namespace
+
+std::string results_to_json(const std::vector<RunResult>& results) {
+  std::ostringstream os;
+  os.precision(17);  // round-trip doubles
+  os << "[";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    os << (i == 0 ? "\n" : ",\n") << "  {";
+    os << "\"label\": \"" << escape(r.label) << "\", ";
+    os << "\"benchmark\": \"" << escape(r.benchmark) << "\", ";
+    append_field(os, "seconds", r.seconds());
+    append_field(os, "total_ns", r.total);
+    append_field(os, "iterations",
+                 static_cast<std::uint64_t>(r.iteration_times.size()));
+    append_field(os, "mean_iteration_last75_ns", r.mean_iteration_last(0.75));
+    append_field(os, "remote_fraction",
+                 r.memory_totals.remote_fraction());
+    append_field(os, "queue_wait_ns", r.memory_totals.queue_wait);
+    append_field(os, "hit_lines", r.memory_totals.hit_lines);
+    append_field(os, "local_miss_lines", r.memory_totals.local_miss_lines);
+    append_field(os, "remote_miss_lines", r.memory_totals.remote_miss_lines);
+    append_field(os, "daemon_migrations", r.daemon_stats.migrations);
+    append_field(os, "upm_distribution_migrations",
+                 r.upm_stats.distribution_migrations);
+    append_field(os, "upm_replay_migrations", r.upm_stats.replay_migrations);
+    append_field(os, "upm_undo_migrations", r.upm_stats.undo_migrations);
+    append_field(os, "upm_cost_ns",
+                 r.upm_stats.distribution_cost + r.upm_stats.recrep_cost,
+                 /*last=*/true);
+    os << "}";
+  }
+  os << "\n]";
+  return os.str();
+}
+
+void write_results_json(const std::string& path, const std::string& bench,
+                        const std::vector<RunResult>& results) {
+  std::ofstream out(path);
+  REPRO_REQUIRE_MSG(out.good(), "cannot open JSON output file");
+  out << "{\"bench\": \"" << escape(bench)
+      << "\", \"results\": " << results_to_json(results) << "}\n";
+}
+
+}  // namespace repro::harness

@@ -1,6 +1,5 @@
 #include "repro/harness/run.hpp"
 
-#include <iostream>
 #include <memory>
 
 #include "repro/analysis/session.hpp"
@@ -12,7 +11,10 @@
 namespace repro::harness {
 
 std::string RunConfig::label() const {
-  std::string engine = "IRIX";
+  // Plain runs use IRIX's default first-touch kernel with *no* special
+  // engine, so they are "base"; "IRIXmig" is reserved for the actual
+  // kernel migration daemon.
+  std::string engine = "base";
   if (upm_mode == nas::UpmMode::kDistribution) {
     engine = "upmlib";
   } else if (upm_mode == nas::UpmMode::kRecordReplay) {
@@ -141,7 +143,20 @@ RunResult run_benchmark(const RunConfig& config) {
   if (session != nullptr) {
     session->finish();
     result.diagnostics = session->sink().diagnostics();
-    analysis::print_diagnostics(std::cout, session->sink());
+    // Through the leveled logger (one atomic line per finding) rather
+    // than std::cout: concurrent scheduler cells must not interleave
+    // mid-table. Callers wanting the ASCII table render it from
+    // RunResult::diagnostics (placement_explorer --analyze does).
+    for (const analysis::Diagnostic& d : result.diagnostics) {
+      const LogLevel level =
+          d.severity == analysis::Severity::kError     ? LogLevel::kError
+          : d.severity == analysis::Severity::kWarning ? LogLevel::kWarn
+                                                       : LogLevel::kInfo;
+      const std::string loc = d.location();
+      REPRO_LOG(level, "analysis ", config.benchmark, " ", result.label,
+                " ", d.rule, " [", d.region, loc.empty() ? "" : ", ", loc,
+                "]: ", d.message);
+    }
   }
   REPRO_LOG_INFO(config.benchmark, " ", result.label, ": ",
                  ns_to_seconds(result.total), " s, remote fraction ",

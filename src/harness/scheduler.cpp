@@ -1,0 +1,77 @@
+#include "repro/harness/scheduler.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+
+#include "repro/common/env.hpp"
+#include "repro/common/log.hpp"
+
+namespace repro::harness {
+
+std::size_t effective_jobs(std::size_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  const std::int64_t from_env = Env::global().get_int("REPRO_JOBS", 0);
+  if (from_env > 0) {
+    return static_cast<std::size_t>(from_env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+std::vector<RunResult> run_experiments(const std::vector<RunConfig>& configs,
+                                       std::size_t jobs) {
+  std::vector<RunResult> results(configs.size());
+  if (configs.empty()) {
+    return results;
+  }
+  const std::size_t workers =
+      std::min(effective_jobs(jobs), configs.size());
+
+  if (workers == 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      results[i] = run_benchmark(configs[i]);
+    }
+    return results;
+  }
+
+  // Work-stealing by atomic counter: cells vary widely in cost (BT 200
+  // iterations vs FT 6), so static striping would leave workers idle.
+  // Results land at their input index; exceptions are kept per-cell and
+  // the earliest one rethrown once every worker has drained.
+  std::atomic<std::size_t> next{0};
+  std::vector<std::exception_ptr> errors(configs.size());
+  REPRO_LOG_DEBUG("scheduler: ", configs.size(), " cells on ", workers,
+                  " workers");
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= configs.size()) {
+          return;
+        }
+        try {
+          results[i] = run_benchmark(configs[i]);
+        } catch (...) {
+          errors[i] = std::current_exception();
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) {
+      std::rethrow_exception(e);
+    }
+  }
+  return results;
+}
+
+}  // namespace repro::harness

@@ -15,6 +15,7 @@
 #include "repro/memsys/directory.hpp"
 #include "repro/memsys/latency.hpp"
 #include "repro/memsys/mem_queue.hpp"
+#include "repro/memsys/op_batch.hpp"
 #include "repro/memsys/page_cache.hpp"
 #include "repro/topology/topology.hpp"
 
@@ -68,6 +69,24 @@ class MemorySystem final : public TlbInvalidator {
   /// page and must be in [1, lines_per_page].
   AccessResult access(Ns now, const Access& a);
 
+  struct BatchResult {
+    std::uint32_t executed = 0;  ///< ops consumed from the slice
+    Ns clock = 0;                ///< the thread's clock afterwards
+  };
+
+  /// Run-length executes ops from one thread's slice, advancing `clock`
+  /// exactly as the scalar entry point would (compute ops add their
+  /// interval; access ops add elapsed + attached compute). Stops before
+  /// the first op whose start time would violate the engine's event
+  /// order: an op runs only while `clock < limit_clock`, or at
+  /// `clock == limit_clock` when `run_at_limit` (the batching thread
+  /// wins the engine's tie-break at the limit). At least the first op
+  /// always runs -- the caller popped this thread as the schedule's
+  /// minimum. Statistics and coherence state mutate identically to an
+  /// equivalent sequence of `access` calls.
+  BatchResult access_batch(ProcId proc, const OpSlice& ops, Ns clock,
+                           Ns limit_clock, bool run_at_limit);
+
   /// TlbInvalidator: drops the page's translation from every TLB (page
   /// migration shootdown). No-op when TLB modelling is disabled.
   void invalidate_tlb_entries(VPage page) override;
@@ -92,6 +111,9 @@ class MemorySystem final : public TlbInvalidator {
   [[nodiscard]] const MemQueue& queue(NodeId node) const;
 
  private:
+  AccessResult access_impl(Ns now, ProcId proc, VPage page,
+                           std::uint32_t lines, bool write, bool stream);
+
   MachineConfig config_;
   const topo::Topology* topology_;
   MemoryBackend* backend_;

@@ -1,0 +1,34 @@
+// Structure-of-arrays operation batches.
+//
+// The simulation engine stores compiled region programs column-wise
+// (one array per op field) and hands the memory system contiguous
+// slices of one thread's op stream. The memory system executes a slice
+// run-length style -- op after op with the thread's clock advancing --
+// until the thread's clock would pass the next cross-thread interaction
+// point, amortizing the per-op dispatch the scalar `access` entry point
+// pays. The column encoding is defined here, below both layers.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/common/units.hpp"
+
+namespace repro::memsys {
+
+/// Op flag bits of the `flags` column. An op with `kOpAccess` clear is
+/// a pure-compute interval (only the `compute` column is meaningful).
+inline constexpr std::uint8_t kOpAccess = 1u << 0;
+inline constexpr std::uint8_t kOpWrite = 1u << 1;
+inline constexpr std::uint8_t kOpStream = 1u << 2;
+
+/// A borrowed, read-only slice of one thread's op columns. The pointers
+/// alias the owning program's arena; the slice must not outlive it.
+struct OpSlice {
+  const std::uint64_t* pages = nullptr;  ///< target VPage values
+  const std::uint32_t* lines = nullptr;  ///< lines touched (access ops)
+  const Ns* compute = nullptr;           ///< attached / interval compute
+  const std::uint8_t* flags = nullptr;   ///< kOp* bits
+  std::uint32_t count = 0;
+};
+
+}  // namespace repro::memsys

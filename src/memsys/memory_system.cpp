@@ -50,54 +50,58 @@ NodeId MemorySystem::node_of(ProcId proc) const {
 MemorySystem::AccessResult MemorySystem::access(Ns now, const Access& a) {
   REPRO_REQUIRE(a.proc.value() < config_.num_procs());
   REPRO_REQUIRE(a.lines >= 1 && a.lines <= config_.lines_per_page());
+  return access_impl(now, a.proc, a.page, a.lines, a.write, a.stream);
+}
 
+MemorySystem::AccessResult MemorySystem::access_impl(Ns now, ProcId proc,
+                                                     VPage page,
+                                                     std::uint32_t lines,
+                                                     bool write, bool stream) {
   AccessResult out;
   double tlb_penalty = 0.0;
-  if (!tlbs_.empty() && !tlbs_[a.proc.value()].touch(a.page).hit) {
+  if (!tlbs_.empty() && !tlbs_[proc.value()].touch(page).hit) {
     tlb_penalty = config_.tlb_refill_ns;
-    ++stats_[a.proc.value()].tlb_misses;
+    ++stats_[proc.value()].tlb_misses;
   }
-  PageCache& cache = caches_[a.proc.value()];
-  const auto touch = cache.touch(a.page);
+  PageCache& cache = caches_[proc.value()];
+  const auto touch = cache.touch(page);
   if (touch.evicted) {
-    directory_.on_evict(a.proc, *touch.evicted);
+    directory_.on_evict(proc, *touch.evicted);
   }
 
   // Coherence bookkeeping; a write invalidates every other cached copy
   // (page-grain upgrade), which is how page-level false sharing shows up.
   const Directory::AccessOutcome coherence =
-      a.write ? directory_.on_write(a.proc, a.page)
-              : directory_.on_read(a.proc, a.page);
+      write ? directory_.on_write(proc, page) : directory_.on_read(proc, page);
   if (coherence.invalidate_mask != 0) {
     for (std::uint32_t p = 0; p < config_.num_procs(); ++p) {
       if ((coherence.invalidate_mask >> p) & 1u) {
-        caches_[p].invalidate(VPage(a.page));
+        caches_[p].invalidate(page);
       }
     }
     out.invalidations = coherence.invalidations();
-    stats_[a.proc.value()].invalidations_sent += out.invalidations;
+    stats_[proc.value()].invalidations_sent += out.invalidations;
   }
 
   double elapsed = tlb_penalty + static_cast<double>(out.invalidations) *
                                      config_.invalidation_ns;
   if (touch.hit) {
-    elapsed += static_cast<double>(a.lines) * config_.cache_hit_ns;
-    stats_[a.proc.value()].hit_lines += a.lines;
-    if (a.write) {
-      elapsed += static_cast<double>(backend_->on_write_hit(a.proc, a.page));
+    elapsed += static_cast<double>(lines) * config_.cache_hit_ns;
+    stats_[proc.value()].hit_lines += lines;
+    if (write) {
+      elapsed += static_cast<double>(backend_->on_write_hit(proc, page));
     }
   } else {
-    out.misses = a.lines;
-    const HomeInfo home = backend_->resolve(a.proc, a.page, a.write);
+    out.misses = lines;
+    const HomeInfo home = backend_->resolve(proc, page, write);
     out.home = home.node;
-    const NodeId from = node_of(a.proc);
+    const NodeId from = node_of(proc);
     out.remote = from != home.node;
 
-    const MemQueue::Service svc =
-        queues_[home.node.value()].serve(now, a.lines);
+    const MemQueue::Service svc = queues_[home.node.value()].serve(now, lines);
     out.queue_wait = svc.wait;
     const double lat = latency_.memory_latency(from, home.node);
-    if (a.stream) {
+    if (stream) {
       // Pipelined fetch: one full-latency line, the rest at a rate
       // limited by the memory module locally and additionally by the
       // network when remote (prefetching hides most, not all, of the
@@ -105,21 +109,21 @@ MemorySystem::AccessResult MemorySystem::access(Ns now, const Access& a) {
       const double extra =
           (lat - latency_.latency_for_hops(0)) / config_.stream_hide_factor;
       elapsed += static_cast<double>(svc.wait) + lat +
-                 static_cast<double>(a.lines - 1) *
+                 static_cast<double>(lines - 1) *
                      (config_.mem_occupancy_ns + extra);
     } else {
       elapsed += static_cast<double>(svc.wait) +
-                 static_cast<double>(a.lines) * lat;
+                 static_cast<double>(lines) * lat;
     }
 
-    ProcStats& st = stats_[a.proc.value()];
+    ProcStats& st = stats_[proc.value()];
     st.queue_wait += svc.wait;
     if (out.remote) {
-      st.remote_miss_lines += a.lines;
+      st.remote_miss_lines += lines;
     } else {
-      st.local_miss_lines += a.lines;
+      st.local_miss_lines += lines;
     }
-    const Ns penalty = backend_->on_miss(a.proc, a.page, home, a.lines, now);
+    const Ns penalty = backend_->on_miss(proc, page, home, lines, now);
     elapsed += static_cast<double>(penalty);
   }
 
@@ -127,6 +131,37 @@ MemorySystem::AccessResult MemorySystem::access(Ns now, const Access& a) {
   const auto whole = static_cast<Ns>(elapsed);
   elapsed_frac_ = elapsed - static_cast<double>(whole);
   out.elapsed = whole;
+  return out;
+}
+
+MemorySystem::BatchResult MemorySystem::access_batch(ProcId proc,
+                                                     const OpSlice& ops,
+                                                     Ns clock, Ns limit_clock,
+                                                     bool run_at_limit) {
+  REPRO_REQUIRE(proc.value() < config_.num_procs());
+  BatchResult out;
+  out.clock = clock;
+  // The first op always runs: the caller scheduled this thread because
+  // it is the earliest event, so `clock` cannot exceed the limit.
+  while (out.executed < ops.count) {
+    if (out.clock > limit_clock ||
+        (out.clock == limit_clock && !run_at_limit)) {
+      break;
+    }
+    const std::uint32_t i = out.executed;
+    if ((ops.flags[i] & kOpAccess) != 0) {
+      const std::uint32_t lines = ops.lines[i];
+      REPRO_REQUIRE(lines >= 1 && lines <= config_.lines_per_page());
+      const AccessResult r =
+          access_impl(out.clock, proc, VPage(ops.pages[i]), lines,
+                      (ops.flags[i] & kOpWrite) != 0,
+                      (ops.flags[i] & kOpStream) != 0);
+      out.clock += r.elapsed + ops.compute[i];
+    } else {
+      out.clock += ops.compute[i];
+    }
+    ++out.executed;
+  }
   return out;
 }
 

@@ -111,21 +111,24 @@ void AdiSolverWorkload::cold_start(omp::Machine& machine) {
 void AdiSolverWorkload::phase_rhs(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::string name = adi_.name + ".compute_rhs";
+  const sim::RegionProgram& program = programs_.get(
+      name, rt.num_threads(), [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto block = plane_block(ThreadId(t), rt.num_threads(),
+                                         adi_.planes);
+          e.sweep_planes(u_, block.begin, block.end, /*write=*/false,
+                         adi_.rhs_ns_per_line, /*stream=*/true);
+          e.sweep_planes(forcing_, block.begin, block.end, /*write=*/false,
+                         adi_.rhs_ns_per_line * 0.3, /*stream=*/true,
+                         adi_.forcing_lines);
+          e.sweep_planes(rhs_, block.begin, block.end, /*write=*/true,
+                         adi_.rhs_ns_per_line * 0.5, /*stream=*/true);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto block = plane_block(ThreadId(t), rt.num_threads(),
-                                     adi_.planes);
-      e.sweep_planes(u_, block.begin, block.end, /*write=*/false,
-                     adi_.rhs_ns_per_line, /*stream=*/true);
-      e.sweep_planes(forcing_, block.begin, block.end, /*write=*/false,
-                     adi_.rhs_ns_per_line * 0.3, /*stream=*/true,
-                     adi_.forcing_lines);
-      e.sweep_planes(rhs_, block.begin, block.end, /*write=*/true,
-                     adi_.rhs_ns_per_line * 0.5, /*stream=*/true);
-    }
-    rt.run(adi_.name + ".compute_rhs", std::move(region));
+    rt.run(name, program);
   }
 }
 
@@ -134,31 +137,35 @@ void AdiSolverWorkload::phase_xy_solve(omp::Machine& machine,
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const std::string region_name = adi_.name + "." + name;
+  const sim::RegionProgram& program = programs_.get(
+      region_name, threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto block = plane_block(ThreadId(t), threads, adi_.planes);
+          const auto bc = bc_block_xy(ThreadId(t), threads);
+          // The line solves interleave substitution passes over the
+          // interface planes with the main sweep: split the plane block
+          // into bc_passes_xy segments and revisit the bc pages after
+          // each (the revisits miss again because the phase working set
+          // exceeds the L2 capacity).
+          const std::uint32_t passes = std::max(1u, adi_.bc_passes_xy);
+          const std::uint64_t span = block.end - block.begin;
+          for (std::uint32_t s = 0; s < passes; ++s) {
+            const std::uint64_t seg_b = block.begin + span * s / passes;
+            const std::uint64_t seg_e =
+                block.begin + span * (s + 1) / passes;
+            e.sweep_planes(u_, seg_b, seg_e, /*write=*/false,
+                           adi_.solve_ns_per_line * 0.4, /*stream=*/true);
+            e.sweep_planes(rhs_, seg_b, seg_e, /*write=*/true,
+                           adi_.solve_ns_per_line * 0.6, /*stream=*/true);
+            e.sweep_range(bc_, bc.begin, bc.end, /*write=*/true,
+                          adi_.bc_ns_per_line);
+          }
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto block = plane_block(ThreadId(t), threads, adi_.planes);
-      const auto bc = bc_block_xy(ThreadId(t), threads);
-      // The line solves interleave substitution passes over the
-      // interface planes with the main sweep: split the plane block
-      // into bc_passes_xy segments and revisit the bc pages after each
-      // (the revisits miss again because the phase working set exceeds
-      // the L2 capacity).
-      const std::uint32_t passes = std::max(1u, adi_.bc_passes_xy);
-      const std::uint64_t span = block.end - block.begin;
-      for (std::uint32_t s = 0; s < passes; ++s) {
-        const std::uint64_t seg_b = block.begin + span * s / passes;
-        const std::uint64_t seg_e = block.begin + span * (s + 1) / passes;
-        e.sweep_planes(u_, seg_b, seg_e, /*write=*/false,
-                       adi_.solve_ns_per_line * 0.4, /*stream=*/true);
-        e.sweep_planes(rhs_, seg_b, seg_e, /*write=*/true,
-                       adi_.solve_ns_per_line * 0.6, /*stream=*/true);
-        e.sweep_range(bc_, bc.begin, bc.end, /*write=*/true,
-                      adi_.bc_ns_per_line);
-      }
-    }
-    rt.run(adi_.name + "." + name, std::move(region));
+    rt.run(region_name, program);
   }
 }
 
@@ -167,49 +174,56 @@ void AdiSolverWorkload::phase_z_solve(omp::Machine& machine) {
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
   const std::uint64_t plane_lines = u_.lines_per_plane(lpp);
+  const std::string name = adi_.name + ".z_solve";
+  const sim::RegionProgram& program = programs_.get(
+      name, threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          // z_solve parallelizes the j loop: thread t owns a j-slice of
+          // every plane (transposed pattern; page-aligned for BT/SP),
+          // and its interface-plane block is the *rotated* one:
+          // ownership of the bc pages flips at this phase.
+          const auto slice =
+              omp::static_block(ThreadId(t), threads, plane_lines);
+          const auto bc = bc_block_z(ThreadId(t), threads);
+          const std::uint32_t passes = std::max(1u, adi_.bc_passes_z);
+          const std::uint64_t span = slice.end - slice.begin;
+          for (std::uint32_t s = 0; s < passes; ++s) {
+            const std::uint64_t seg_b = slice.begin + span * s / passes;
+            const std::uint64_t seg_e =
+                slice.begin + span * (s + 1) / passes;
+            e.sweep_columns(u_, seg_b, seg_e, /*write=*/false,
+                            adi_.solve_ns_per_line * 0.4);
+            e.sweep_columns(rhs_, seg_b, seg_e, /*write=*/true,
+                            adi_.solve_ns_per_line * 0.6);
+            e.sweep_range(bc_, bc.begin, bc.end, /*write=*/true,
+                          adi_.bc_ns_per_line);
+          }
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      // z_solve parallelizes the j loop: thread t owns a j-slice of
-      // every plane (transposed pattern; page-aligned for BT/SP), and
-      // its interface-plane block is the *rotated* one: ownership of
-      // the bc pages flips at this phase.
-      const auto slice =
-          omp::static_block(ThreadId(t), threads, plane_lines);
-      const auto bc = bc_block_z(ThreadId(t), threads);
-      const std::uint32_t passes = std::max(1u, adi_.bc_passes_z);
-      const std::uint64_t span = slice.end - slice.begin;
-      for (std::uint32_t s = 0; s < passes; ++s) {
-        const std::uint64_t seg_b = slice.begin + span * s / passes;
-        const std::uint64_t seg_e = slice.begin + span * (s + 1) / passes;
-        e.sweep_columns(u_, seg_b, seg_e, /*write=*/false,
-                        adi_.solve_ns_per_line * 0.4);
-        e.sweep_columns(rhs_, seg_b, seg_e, /*write=*/true,
-                        adi_.solve_ns_per_line * 0.6);
-        e.sweep_range(bc_, bc.begin, bc.end, /*write=*/true,
-                      adi_.bc_ns_per_line);
-      }
-    }
-    rt.run(adi_.name + ".z_solve", std::move(region));
+    rt.run(name, program);
   }
 }
 
 void AdiSolverWorkload::phase_add(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::string name = adi_.name + ".add";
+  const sim::RegionProgram& program = programs_.get(
+      name, rt.num_threads(), [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto block = plane_block(ThreadId(t), rt.num_threads(),
+                                         adi_.planes);
+          e.sweep_planes(rhs_, block.begin, block.end, /*write=*/false,
+                         adi_.add_ns_per_line, /*stream=*/true);
+          e.sweep_planes(u_, block.begin, block.end, /*write=*/true,
+                         adi_.add_ns_per_line, /*stream=*/true);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < rt.num_threads(); ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto block = plane_block(ThreadId(t), rt.num_threads(),
-                                     adi_.planes);
-      e.sweep_planes(rhs_, block.begin, block.end, /*write=*/false,
-                     adi_.add_ns_per_line, /*stream=*/true);
-      e.sweep_planes(u_, block.begin, block.end, /*write=*/true,
-                     adi_.add_ns_per_line, /*stream=*/true);
-    }
-    rt.run(adi_.name + ".add", std::move(region));
+    rt.run(name, program);
   }
 }
 

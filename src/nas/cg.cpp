@@ -64,22 +64,25 @@ void CgWorkload::phase_matvec(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "CG.matvec", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto rows = omp::static_block(ThreadId(t), threads, a_.count);
+          const auto slice =
+              omp::static_block(ThreadId(t), threads, q_.count);
+          // Stream the row block of A; gather p from everywhere; write
+          // the owned slice of q.
+          e.sweep_range(a_, rows.begin, rows.end, /*write=*/false,
+                        cg_.matvec_ns_per_line, /*stream=*/true);
+          e.gather(p_, cg_.gather_lines, /*write=*/false,
+                   cg_.matvec_ns_per_line * 0.5);
+          e.sweep_range(q_, slice.begin, slice.end, /*write=*/true,
+                        cg_.vec_ns_per_line, /*stream=*/true);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto rows = omp::static_block(ThreadId(t), threads, a_.count);
-      const auto slice = omp::static_block(ThreadId(t), threads, q_.count);
-      // Stream the row block of A; gather p from everywhere; write the
-      // owned slice of q.
-      e.sweep_range(a_, rows.begin, rows.end, /*write=*/false,
-                    cg_.matvec_ns_per_line, /*stream=*/true);
-      e.gather(p_, cg_.gather_lines, /*write=*/false,
-               cg_.matvec_ns_per_line * 0.5);
-      e.sweep_range(q_, slice.begin, slice.end, /*write=*/true,
-                    cg_.vec_ns_per_line, /*stream=*/true);
-    }
-    rt.run("CG.matvec", std::move(region));
+    rt.run("CG.matvec", program);
   }
 }
 
@@ -87,20 +90,24 @@ void CgWorkload::phase_vector_ops(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "CG.vector_ops", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto slice =
+              omp::static_block(ThreadId(t), threads, q_.count);
+          // alpha = rho / (p,q); x += alpha p; r -= alpha q;
+          // rho' = (r,r).
+          e.sweep_range(q_, slice.begin, slice.end, /*write=*/false,
+                        cg_.vec_ns_per_line);
+          e.sweep_range(x_, slice.begin, slice.end, /*write=*/true,
+                        cg_.vec_ns_per_line);
+          e.sweep_range(r_, slice.begin, slice.end, /*write=*/true,
+                        cg_.vec_ns_per_line);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto slice = omp::static_block(ThreadId(t), threads, q_.count);
-      // alpha = rho / (p,q); x += alpha p; r -= alpha q; rho' = (r,r).
-      e.sweep_range(q_, slice.begin, slice.end, /*write=*/false,
-                    cg_.vec_ns_per_line);
-      e.sweep_range(x_, slice.begin, slice.end, /*write=*/true,
-                    cg_.vec_ns_per_line);
-      e.sweep_range(r_, slice.begin, slice.end, /*write=*/true,
-                    cg_.vec_ns_per_line);
-    }
-    rt.run("CG.vector_ops", std::move(region));
+    rt.run("CG.vector_ops", program);
     // The dot products (p,q) and (r,r) end in OpenMP reductions.
     rt.advance(2 * 4 * 200);  // two log-tree combines over 16 threads
   }
@@ -110,20 +117,24 @@ void CgWorkload::phase_p_update(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "CG.p_update", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto slice =
+              omp::static_block(ThreadId(t), threads, p_.count);
+          // p = r + beta p: the owner writes its p slice every
+          // iteration, which keeps each p page's local count ahead of
+          // the remote gather counts (p stays put under the competitive
+          // criterion).
+          e.sweep_range(r_, slice.begin, slice.end, /*write=*/false,
+                        cg_.vec_ns_per_line);
+          e.sweep_range(p_, slice.begin, slice.end, /*write=*/true,
+                        cg_.vec_ns_per_line);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto slice = omp::static_block(ThreadId(t), threads, p_.count);
-      // p = r + beta p: the owner writes its p slice every iteration,
-      // which keeps each p page's local count ahead of the remote
-      // gather counts (p stays put under the competitive criterion).
-      e.sweep_range(r_, slice.begin, slice.end, /*write=*/false,
-                    cg_.vec_ns_per_line);
-      e.sweep_range(p_, slice.begin, slice.end, /*write=*/true,
-                    cg_.vec_ns_per_line);
-    }
-    rt.run("CG.p_update", std::move(region));
+    rt.run("CG.p_update", program);
   }
 }
 

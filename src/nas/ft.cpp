@@ -41,16 +41,18 @@ void FtWorkload::phase_evolve(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "FT.evolve", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto block =
+              omp::static_block(ThreadId(t), threads, u0_.planes);
+          e.sweep_planes(u0_, block.begin, block.end, /*write=*/true,
+                         ft_.evolve_ns_per_line, /*stream=*/true);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto block =
-          omp::static_block(ThreadId(t), threads, u0_.planes);
-      e.sweep_planes(u0_, block.begin, block.end, /*write=*/true,
-                     ft_.evolve_ns_per_line, /*stream=*/true);
-    }
-    rt.run("FT.evolve", std::move(region));
+    rt.run("FT.evolve", program);
   }
 }
 
@@ -58,18 +60,20 @@ void FtWorkload::phase_fft_xy(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "FT.fft_xy", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto block =
+              omp::static_block(ThreadId(t), threads, u0_.planes);
+          for (std::uint32_t pass = 0; pass < ft_.fft_passes; ++pass) {
+            e.sweep_planes(u0_, block.begin, block.end, /*write=*/true,
+                           ft_.fft_ns_per_line, /*stream=*/true);
+          }
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto block =
-          omp::static_block(ThreadId(t), threads, u0_.planes);
-      for (std::uint32_t pass = 0; pass < ft_.fft_passes; ++pass) {
-        e.sweep_planes(u0_, block.begin, block.end, /*write=*/true,
-                       ft_.fft_ns_per_line, /*stream=*/true);
-      }
-    }
-    rt.run("FT.fft_xy", std::move(region));
+    rt.run("FT.fft_xy", program);
   }
 }
 
@@ -78,21 +82,25 @@ void FtWorkload::phase_transpose(omp::Machine& machine) {
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
   const std::uint64_t plane_lines = u1_.lines_per_plane(lpp);
+  const sim::RegionProgram& program = programs_.get(
+      "FT.transpose", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          // Read own planes of u0, write own column slice of every
+          // plane of u1 (the all-to-all). The slice is not page
+          // aligned.
+          const auto src =
+              omp::static_block(ThreadId(t), threads, u0_.planes);
+          const auto dst =
+              omp::static_block(ThreadId(t), threads, plane_lines);
+          e.sweep_planes(u0_, src.begin, src.end, /*write=*/false,
+                         ft_.transpose_ns_per_line);
+          e.sweep_columns(u1_, dst.begin, dst.end, /*write=*/true,
+                          ft_.transpose_ns_per_line);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      // Read own planes of u0, write own column slice of every plane
-      // of u1 (the all-to-all). The slice is not page aligned.
-      const auto src = omp::static_block(ThreadId(t), threads, u0_.planes);
-      const auto dst =
-          omp::static_block(ThreadId(t), threads, plane_lines);
-      e.sweep_planes(u0_, src.begin, src.end, /*write=*/false,
-                     ft_.transpose_ns_per_line);
-      e.sweep_columns(u1_, dst.begin, dst.end, /*write=*/true,
-                      ft_.transpose_ns_per_line);
-    }
-    rt.run("FT.transpose", std::move(region));
+    rt.run("FT.transpose", program);
   }
 }
 
@@ -101,18 +109,20 @@ void FtWorkload::phase_fft_z(omp::Machine& machine) {
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
   const std::uint64_t plane_lines = u1_.lines_per_plane(lpp);
+  const sim::RegionProgram& program = programs_.get(
+      "FT.fft_z", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto slice =
+              omp::static_block(ThreadId(t), threads, plane_lines);
+          for (std::uint32_t pass = 0; pass < ft_.fft_passes; ++pass) {
+            e.sweep_columns(u1_, slice.begin, slice.end, /*write=*/true,
+                            ft_.fft_ns_per_line);
+          }
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto slice =
-          omp::static_block(ThreadId(t), threads, plane_lines);
-      for (std::uint32_t pass = 0; pass < ft_.fft_passes; ++pass) {
-        e.sweep_columns(u1_, slice.begin, slice.end, /*write=*/true,
-                        ft_.fft_ns_per_line);
-      }
-    }
-    rt.run("FT.fft_z", std::move(region));
+    rt.run("FT.fft_z", program);
   }
 }
 
@@ -120,16 +130,18 @@ void FtWorkload::phase_checksum(omp::Machine& machine) {
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "FT.checksum", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto block =
+              omp::static_block(ThreadId(t), threads, u1_.planes);
+          e.sweep_planes(u1_, block.begin, block.end, /*write=*/false,
+                         ft_.checksum_ns_per_line, /*stream=*/true);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto block =
-          omp::static_block(ThreadId(t), threads, u1_.planes);
-      e.sweep_planes(u1_, block.begin, block.end, /*write=*/false,
-                     ft_.checksum_ns_per_line, /*stream=*/true);
-    }
-    rt.run("FT.checksum", std::move(region));
+    rt.run("FT.checksum", program);
   }
 }
 

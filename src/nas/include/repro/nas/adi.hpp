@@ -93,6 +93,7 @@ class AdiSolverWorkload final : public Workload {
   PlaneArray rhs_;
   PlaneArray forcing_;
   vm::PageRange bc_;
+  RegionCache programs_;
 
   /// bc pages owned by thread t under the x/y (k) partition.
   [[nodiscard]] omp::ChunkRange bc_block_xy(ThreadId t,

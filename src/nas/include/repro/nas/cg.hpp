@@ -57,6 +57,7 @@ class CgWorkload final : public Workload {
   vm::PageRange q_;
   vm::PageRange r_;
   vm::PageRange x_;
+  RegionCache programs_;
 
   void phase_matvec(omp::Machine& machine);
   void phase_vector_ops(omp::Machine& machine);

@@ -59,6 +59,7 @@ class FtWorkload final : public Workload {
   WorkloadParams params_;
   PlaneArray u0_;
   PlaneArray u1_;
+  RegionCache programs_;
 
   void phase_evolve(omp::Machine& machine);
   void phase_fft_xy(omp::Machine& machine);

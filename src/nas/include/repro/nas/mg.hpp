@@ -56,6 +56,7 @@ class MgWorkload final : public Workload {
   WorkloadParams params_;
   std::vector<PlaneArray> u_;
   std::vector<PlaneArray> r_;
+  RegionCache programs_;
 
   /// Stencil sweep over one level: main block plane sweep plus the two
   /// ghost boundary planes.

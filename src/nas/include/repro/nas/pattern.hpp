@@ -16,9 +16,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
 
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
+#include "repro/sim/program.hpp"
 #include "repro/sim/region.hpp"
 #include "repro/vm/address_space.hpp"
 
@@ -88,6 +92,26 @@ struct Emit {
  private:
   void one(VPage page, std::uint32_t lines, bool write,
            double compute_ns_per_line, bool stream = false) const;
+};
+
+/// Memoizes compiled region programs by region name. A benchmark's
+/// phase patterns depend only on the array geometry, the team size and
+/// the line geometry -- all fixed after setup -- so each phase compiles
+/// its op streams once and replays the same immutable program every
+/// iteration (placement, caches and bindings are the per-run state, and
+/// they live in the machine, not the program).
+class RegionCache {
+ public:
+  /// Returns the program compiled for `key`, building it on first use:
+  /// `build` fills a fresh RegionBuilder sized for `num_threads`.
+  const sim::RegionProgram& get(
+      const std::string& key, std::size_t num_threads,
+      const std::function<void(sim::RegionBuilder&)>& build);
+
+  void clear() { programs_.clear(); }
+
+ private:
+  std::unordered_map<std::string, sim::RegionProgram> programs_;
 };
 
 }  // namespace repro::nas

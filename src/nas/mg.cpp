@@ -78,40 +78,42 @@ void MgWorkload::stencil_sweep(omp::Machine& machine,
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      name, threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto block =
+              omp::static_block(ThreadId(t), threads, read.planes);
+          if (block.size() == 0) {
+            continue;  // coarse level with fewer planes than threads
+          }
+          e.sweep_planes(read, block.begin, block.end, /*write=*/false,
+                         ns_per_line, /*stream=*/true);
+          if (write != nullptr) {
+            e.sweep_planes(*write, block.begin, block.end, /*write=*/true,
+                           ns_per_line * 0.5, /*stream=*/true);
+          }
+          // Ghost planes: read a fraction of the neighbouring
+          // partitions' boundary planes. Emitted after the main sweep
+          // (the stencil reaches the partition boundary last), which
+          // also means the owner -- whose sweep starts earlier --
+          // faults its own boundary planes first under first-touch.
+          if (block.begin > 0) {
+            for (std::uint64_t i = 0; i < read.pages_per_plane; ++i) {
+              region.access(ThreadId(t), read.page_at(block.begin - 1, i),
+                            mg_.boundary_lines, /*write=*/false);
+            }
+          }
+          if (block.end < read.planes) {
+            for (std::uint64_t i = 0; i < read.pages_per_plane; ++i) {
+              region.access(ThreadId(t), read.page_at(block.end, i),
+                            mg_.boundary_lines, /*write=*/false);
+            }
+          }
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      const auto block =
-          omp::static_block(ThreadId(t), threads, read.planes);
-      if (block.size() == 0) {
-        continue;  // coarse level with fewer planes than threads
-      }
-      e.sweep_planes(read, block.begin, block.end, /*write=*/false,
-                     ns_per_line, /*stream=*/true);
-      if (write != nullptr) {
-        e.sweep_planes(*write, block.begin, block.end, /*write=*/true,
-                       ns_per_line * 0.5, /*stream=*/true);
-      }
-      // Ghost planes: read a fraction of the neighbouring partitions'
-      // boundary planes. Emitted after the main sweep (the stencil
-      // reaches the partition boundary last), which also means the
-      // owner -- whose sweep starts earlier -- faults its own boundary
-      // planes first under first-touch.
-      if (block.begin > 0) {
-        for (std::uint64_t i = 0; i < read.pages_per_plane; ++i) {
-          region.access(ThreadId(t), read.page_at(block.begin - 1, i),
-                        mg_.boundary_lines, /*write=*/false);
-        }
-      }
-      if (block.end < read.planes) {
-        for (std::uint64_t i = 0; i < read.pages_per_plane; ++i) {
-          region.access(ThreadId(t), read.page_at(block.end, i),
-                        mg_.boundary_lines, /*write=*/false);
-        }
-      }
-    }
-    rt.run(name, std::move(region));
+    rt.run(name, program);
   }
 }
 
@@ -120,36 +122,40 @@ void MgWorkload::transfer(omp::Machine& machine, const std::string& name,
   omp::Runtime& rt = machine.runtime();
   const std::uint32_t lpp = machine.config().lines_per_page();
   const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      name, threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          // Partition on the *destination* grid; each destination plane
+          // reads the corresponding source planes.
+          const auto dst =
+              omp::static_block(ThreadId(t), threads, to.planes);
+          if (dst.size() == 0) {
+            continue;
+          }
+          // Map destination planes to source planes in either
+          // direction: restriction reads `ratio` source planes per
+          // destination plane, prolongation reads one source plane per
+          // `ratio` destinations.
+          std::uint64_t src_b = 0;
+          std::uint64_t src_e = 0;
+          if (from.planes >= to.planes) {
+            const std::uint64_t ratio = from.planes / to.planes;
+            src_b = std::min(dst.begin * ratio, from.planes);
+            src_e = std::min(dst.end * ratio, from.planes);
+          } else {
+            const std::uint64_t ratio = to.planes / from.planes;
+            src_b = std::min(dst.begin / ratio, from.planes);
+            src_e = std::min((dst.end + ratio - 1) / ratio, from.planes);
+          }
+          e.sweep_planes(from, src_b, src_e, /*write=*/false,
+                         mg_.transfer_ns_per_line, /*stream=*/true);
+          e.sweep_planes(to, dst.begin, dst.end, /*write=*/true,
+                         mg_.transfer_ns_per_line, /*stream=*/true);
+        }
+      });
   for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
-    sim::RegionBuilder region = rt.make_region();
-    for (std::uint32_t t = 0; t < threads; ++t) {
-      const Emit e{region, ThreadId(t), lpp};
-      // Partition on the *destination* grid; each destination plane
-      // reads the corresponding source planes.
-      const auto dst = omp::static_block(ThreadId(t), threads, to.planes);
-      if (dst.size() == 0) {
-        continue;
-      }
-      // Map destination planes to source planes in either direction:
-      // restriction reads `ratio` source planes per destination plane,
-      // prolongation reads one source plane per `ratio` destinations.
-      std::uint64_t src_b = 0;
-      std::uint64_t src_e = 0;
-      if (from.planes >= to.planes) {
-        const std::uint64_t ratio = from.planes / to.planes;
-        src_b = std::min(dst.begin * ratio, from.planes);
-        src_e = std::min(dst.end * ratio, from.planes);
-      } else {
-        const std::uint64_t ratio = to.planes / from.planes;
-        src_b = std::min(dst.begin / ratio, from.planes);
-        src_e = std::min((dst.end + ratio - 1) / ratio, from.planes);
-      }
-      e.sweep_planes(from, src_b, src_e, /*write=*/false,
-                     mg_.transfer_ns_per_line, /*stream=*/true);
-      e.sweep_planes(to, dst.begin, dst.end, /*write=*/true,
-                     mg_.transfer_ns_per_line, /*stream=*/true);
-    }
-    rt.run(name, std::move(region));
+    rt.run(name, program);
   }
 }
 

@@ -91,4 +91,18 @@ void Emit::fault_pages(const vm::PageRange& range, std::uint64_t begin,
   }
 }
 
+const sim::RegionProgram& RegionCache::get(
+    const std::string& key, std::size_t num_threads,
+    const std::function<void(sim::RegionBuilder&)>& build) {
+  const auto it = programs_.find(key);
+  if (it != programs_.end()) {
+    return it->second;
+  }
+  sim::RegionBuilder builder{num_threads};
+  build(builder);
+  return programs_
+      .emplace(key, sim::RegionProgram::compile(std::move(builder)))
+      .first->second;
+}
+
 }  // namespace repro::nas

@@ -38,8 +38,13 @@ class Runtime {
   /// Creates an empty region builder sized for this team.
   [[nodiscard]] sim::RegionBuilder make_region() const;
 
-  /// Fork/join: runs the region at the current time and advances the
-  /// clock past the join barrier.
+  /// Fork/join: runs a compiled region program at the current time and
+  /// advances the clock past the join barrier. The program is reusable
+  /// -- benchmark phases compile once and run it every iteration.
+  sim::RegionResult run(const std::string& name,
+                        const sim::RegionProgram& program);
+
+  /// Fork/join on a freshly built region (compiles and runs once).
   sim::RegionResult run(const std::string& name, sim::RegionBuilder&& region);
 
   /// PARALLEL DO: `emit(t, chunk, region)` is called for every chunk of
@@ -83,13 +88,13 @@ class Runtime {
   /// Swaps two threads' processors (a scheduler exchanging them).
   void swap_binding(ThreadId a, ThreadId b);
 
-  /// Observer called with every region's name, per-thread programs and
+  /// Observer called with every region's name, compiled program and
   /// the current thread binding just before the engine executes them --
   /// the analyze-before-run hook (see repro::analysis). At most one
   /// inspector; pass an empty function to detach.
-  using RegionInspector = std::function<void(
-      const std::string&, const std::vector<sim::ThreadProgram>&,
-      std::span<const ProcId>)>;
+  using RegionInspector =
+      std::function<void(const std::string&, const sim::RegionProgram&,
+                         std::span<const ProcId>)>;
   void set_region_inspector(RegionInspector inspector) {
     inspector_ = std::move(inspector);
   }

@@ -41,16 +41,20 @@ sim::RegionBuilder Runtime::make_region() const {
 }
 
 sim::RegionResult Runtime::run(const std::string& name,
-                               sim::RegionBuilder&& region) {
-  const auto programs = std::move(region).take();
+                               const sim::RegionProgram& program) {
   if (inspector_) {
-    inspector_(name, programs, binding_);
+    inspector_(name, program, binding_);
   }
-  const sim::RegionResult result = engine_->run(now_, programs, binding_);
+  const sim::RegionResult result = engine_->run(now_, program, binding_);
   now_ = result.end;
   records_.push_back(
       RegionRecord{name, result.start, result.end, result.imbalance()});
   return result;
+}
+
+sim::RegionResult Runtime::run(const std::string& name,
+                               sim::RegionBuilder&& region) {
+  return run(name, sim::RegionProgram::compile(std::move(region)));
 }
 
 sim::RegionResult Runtime::parallel_for(const std::string& name,

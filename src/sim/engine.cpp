@@ -1,5 +1,6 @@
 #include "repro/sim/engine.hpp"
 
+#include <limits>
 #include <queue>
 
 #include "repro/common/assert.hpp"
@@ -23,12 +24,11 @@ double RegionResult::imbalance() const {
 
 Engine::Engine(memsys::MemorySystem& memory) : memory_(&memory) {}
 
-RegionResult Engine::run(Ns start,
-                         const std::vector<ThreadProgram>& programs,
+RegionResult Engine::run(Ns start, const RegionProgram& program,
                          std::span<const ProcId> binding) {
-  REPRO_REQUIRE(!programs.empty());
-  REPRO_REQUIRE(programs.size() <= memory_->config().num_procs());
-  REPRO_REQUIRE(binding.empty() || binding.size() >= programs.size());
+  REPRO_REQUIRE(!program.empty());
+  REPRO_REQUIRE(program.num_threads() <= memory_->config().num_procs());
+  REPRO_REQUIRE(binding.empty() || binding.size() >= program.num_threads());
 
   struct Pending {
     Ns clock;
@@ -39,15 +39,17 @@ RegionResult Engine::run(Ns start,
     }
   };
 
+  const auto num_threads = static_cast<std::uint32_t>(program.num_threads());
   RegionResult result;
   result.start = start;
   result.end = start;
-  result.thread_end.assign(programs.size(), start);
+  result.thread_end.assign(num_threads, start);
 
-  std::vector<std::size_t> cursor(programs.size(), 0);
+  std::vector<std::uint32_t> cursor(num_threads);
   std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
-  for (std::uint32_t t = 0; t < programs.size(); ++t) {
-    if (!programs[t].empty()) {
+  for (std::uint32_t t = 0; t < num_threads; ++t) {
+    cursor[t] = program.thread_begin(t);
+    if (program.thread_begin(t) != program.thread_end(t)) {
       queue.push({start, t});
     }
   }
@@ -55,33 +57,43 @@ RegionResult Engine::run(Ns start,
   while (!queue.empty()) {
     const Pending cur = queue.top();
     queue.pop();
-    const ThreadProgram& prog = programs[cur.thread];
-    const Op& op = prog[cursor[cur.thread]++];
-    Ns clock = cur.clock;
 
-    switch (op.kind) {
-      case Op::Kind::kCompute:
-        clock += op.compute;
-        break;
-      case Op::Kind::kAccess: {
-        const ProcId proc =
-            binding.empty() ? ProcId(cur.thread) : binding[cur.thread];
-        const memsys::MemorySystem::AccessResult r = memory_->access(
-            clock, {proc, op.page, op.lines, op.write, op.stream});
-        clock += r.elapsed + op.compute;
-        break;
-      }
+    // The popped thread holds the earliest event. Its ops cannot be
+    // overtaken by any other thread until its clock reaches the next
+    // queued event, so that whole run executes as one batch. At an
+    // exact tie the scalar schedule pops the lower thread id first,
+    // hence `run_at_limit` when this thread wins that tie-break. The
+    // limit is invariant during the batch: only this thread's clock
+    // moves.
+    Ns limit = std::numeric_limits<Ns>::max();
+    bool run_at_limit = true;
+    if (!queue.empty()) {
+      limit = queue.top().clock;
+      run_at_limit = cur.thread < queue.top().thread;
     }
-    ++ops_executed_;
 
-    if (cursor[cur.thread] < prog.size()) {
-      queue.push({clock, cur.thread});
+    const ProcId proc =
+        binding.empty() ? ProcId(cur.thread) : binding[cur.thread];
+    const memsys::MemorySystem::BatchResult batch = memory_->access_batch(
+        proc, program.slice(cur.thread, cursor[cur.thread]), cur.clock, limit,
+        run_at_limit);
+    cursor[cur.thread] += batch.executed;
+    ops_executed_ += batch.executed;
+
+    if (cursor[cur.thread] < program.thread_end(cur.thread)) {
+      queue.push({batch.clock, cur.thread});
     } else {
-      result.thread_end[cur.thread] = clock;
-      result.end = std::max(result.end, clock);
+      result.thread_end[cur.thread] = batch.clock;
+      result.end = std::max(result.end, batch.clock);
     }
   }
   return result;
+}
+
+RegionResult Engine::run(Ns start,
+                         const std::vector<ThreadProgram>& programs,
+                         std::span<const ProcId> binding) {
+  return run(start, RegionProgram(programs), binding);
 }
 
 }  // namespace repro::sim

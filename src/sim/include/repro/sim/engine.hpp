@@ -13,6 +13,7 @@
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
 #include "repro/memsys/memory_system.hpp"
+#include "repro/sim/program.hpp"
 #include "repro/sim/region.hpp"
 
 namespace repro::sim {
@@ -33,10 +34,22 @@ class Engine {
   /// `memory` must outlive the engine.
   explicit Engine(memsys::MemorySystem& memory);
 
-  /// Executes the region's programs starting at `start`. Programs with
-  /// fewer threads than processors leave the remaining processors idle.
-  /// `binding` maps thread index to processor; empty = identity (thread
-  /// t runs on processor t). Bindings must be distinct.
+  /// Executes a compiled region program starting at `start`. Programs
+  /// with fewer threads than processors leave the remaining processors
+  /// idle. `binding` maps thread index to processor; empty = identity
+  /// (thread t runs on processor t). Bindings must be distinct.
+  ///
+  /// Execution is event-ordered across threads, but runs of consecutive
+  /// ops belonging to the earliest thread are batched into one
+  /// `MemorySystem::access_batch` call bounded by the next thread's
+  /// clock, so the per-op priority-queue traffic of a naive
+  /// discrete-event loop disappears while the access order (and thus
+  /// every stat and sub-ns carry) stays bit-identical.
+  RegionResult run(Ns start, const RegionProgram& program,
+                   std::span<const ProcId> binding = {});
+
+  /// Compiles and executes builder-side programs (tests and one-shot
+  /// regions; the hot path compiles once and uses the overload above).
   RegionResult run(Ns start, const std::vector<ThreadProgram>& programs,
                    std::span<const ProcId> binding = {});
 

@@ -1,0 +1,97 @@
+// Compiled parallel-region programs.
+//
+// A RegionProgram is the immutable, executable form of a region: every
+// thread's op stream laid out structure-of-arrays in one arena
+// allocation, with per-thread [begin, end) index ranges. The NAS
+// pattern generators compile each benchmark phase once and reuse the
+// program across all iterations -- only page placement, cache state and
+// the thread binding vary between runs -- so the per-iteration
+// allocation and pointer-chasing cost of rebuilding `std::vector<Op>`
+// streams disappears from the simulator's hot path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/memsys/op_batch.hpp"
+#include "repro/sim/region.hpp"
+
+namespace repro::sim {
+
+class RegionProgram {
+ public:
+  /// Empty program of zero threads (placeholder; not runnable).
+  RegionProgram() = default;
+
+  /// Compiles per-thread op streams into the arena. The builder-side
+  /// representation can be discarded afterwards.
+  explicit RegionProgram(const std::vector<ThreadProgram>& programs);
+
+  /// Compiles a builder (convenience for one-shot regions).
+  [[nodiscard]] static RegionProgram compile(RegionBuilder&& builder) {
+    return RegionProgram(std::move(builder).take());
+  }
+
+  RegionProgram(RegionProgram&&) noexcept = default;
+  RegionProgram& operator=(RegionProgram&&) noexcept = default;
+  RegionProgram(const RegionProgram&) = delete;
+  RegionProgram& operator=(const RegionProgram&) = delete;
+
+  [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
+  [[nodiscard]] std::uint32_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return num_threads_ == 0; }
+
+  /// Index range of thread `t`'s ops within the columns.
+  [[nodiscard]] std::uint32_t thread_begin(std::uint32_t t) const {
+    return offsets_[t];
+  }
+  [[nodiscard]] std::uint32_t thread_end(std::uint32_t t) const {
+    return offsets_[t + 1];
+  }
+
+  /// Column slice of thread `t`'s ops starting at absolute index `at`
+  /// (callers resume mid-stream); `at` must be in
+  /// [thread_begin(t), thread_end(t)].
+  [[nodiscard]] memsys::OpSlice slice(std::uint32_t t,
+                                      std::uint32_t at) const {
+    return {pages_ + at, lines_ + at, compute_ + at, flags_ + at,
+            offsets_[t + 1] - at};
+  }
+
+  // Per-op accessors (analysis passes and tests; the engine uses
+  // slices).
+  [[nodiscard]] bool is_access(std::uint32_t i) const {
+    return (flags_[i] & memsys::kOpAccess) != 0;
+  }
+  [[nodiscard]] bool is_write(std::uint32_t i) const {
+    return (flags_[i] & memsys::kOpWrite) != 0;
+  }
+  [[nodiscard]] bool is_stream(std::uint32_t i) const {
+    return (flags_[i] & memsys::kOpStream) != 0;
+  }
+  [[nodiscard]] VPage page(std::uint32_t i) const { return VPage(pages_[i]); }
+  [[nodiscard]] std::uint32_t lines(std::uint32_t i) const {
+    return lines_[i];
+  }
+  [[nodiscard]] Ns compute(std::uint32_t i) const { return compute_[i]; }
+
+  /// Materializes op `i` (round-trips exactly what was compiled).
+  [[nodiscard]] Op op(std::uint32_t i) const;
+
+ private:
+  // One arena allocation; the column pointers alias it.
+  std::unique_ptr<std::byte[]> arena_;
+  std::uint64_t* pages_ = nullptr;
+  Ns* compute_ = nullptr;
+  std::uint32_t* lines_ = nullptr;
+  std::uint32_t* offsets_ = nullptr;  // num_threads_ + 1 entries
+  std::uint8_t* flags_ = nullptr;
+  std::size_t num_threads_ = 0;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace repro::sim

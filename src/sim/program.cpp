@@ -1,0 +1,75 @@
+#include "repro/sim/program.hpp"
+
+#include <limits>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::sim {
+
+RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
+  REPRO_REQUIRE(!programs.empty());
+  std::size_t total = 0;
+  for (const ThreadProgram& p : programs) {
+    total += p.size();
+  }
+  REPRO_REQUIRE(total <= std::numeric_limits<std::uint32_t>::max());
+  num_threads_ = programs.size();
+  size_ = static_cast<std::uint32_t>(total);
+
+  // Columns in decreasing alignment order so natural alignment holds
+  // without padding between them.
+  const std::size_t bytes = total * (sizeof(std::uint64_t) + sizeof(Ns) +
+                                     sizeof(std::uint32_t) +
+                                     sizeof(std::uint8_t)) +
+                            (num_threads_ + 1) * sizeof(std::uint32_t);
+  arena_ = std::make_unique<std::byte[]>(bytes);
+  std::byte* cursor = arena_.get();
+  const auto claim = [&cursor](std::size_t n) {
+    std::byte* start = cursor;
+    cursor += n;
+    return start;
+  };
+  pages_ = reinterpret_cast<std::uint64_t*>(
+      claim(total * sizeof(std::uint64_t)));
+  compute_ = reinterpret_cast<Ns*>(claim(total * sizeof(Ns)));
+  lines_ = reinterpret_cast<std::uint32_t*>(
+      claim(total * sizeof(std::uint32_t)));
+  offsets_ = reinterpret_cast<std::uint32_t*>(
+      claim((num_threads_ + 1) * sizeof(std::uint32_t)));
+  flags_ = reinterpret_cast<std::uint8_t*>(
+      claim(total * sizeof(std::uint8_t)));
+
+  std::uint32_t at = 0;
+  for (std::size_t t = 0; t < num_threads_; ++t) {
+    offsets_[t] = at;
+    for (const Op& op : programs[t]) {
+      pages_[at] = op.page.value();
+      compute_[at] = op.compute;
+      lines_[at] = op.lines;
+      std::uint8_t f = 0;
+      if (op.kind == Op::Kind::kAccess) {
+        f |= memsys::kOpAccess;
+      }
+      if (op.write) {
+        f |= memsys::kOpWrite;
+      }
+      if (op.stream) {
+        f |= memsys::kOpStream;
+      }
+      flags_[at] = f;
+      ++at;
+    }
+  }
+  offsets_[num_threads_] = at;
+}
+
+Op RegionProgram::op(std::uint32_t i) const {
+  REPRO_REQUIRE(i < size_);
+  if (!is_access(i)) {
+    return Op::compute_for(compute_[i]);
+  }
+  return Op::access(VPage(pages_[i]), lines_[i], is_write(i), compute_[i],
+                    is_stream(i));
+}
+
+}  // namespace repro::sim

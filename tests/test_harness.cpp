@@ -25,7 +25,7 @@ RunConfig tiny_config(const std::string& benchmark) {
 TEST(RunConfig, PaperStyleLabels) {
   RunConfig config;
   config.placement = "rr";
-  EXPECT_EQ(config.label(), "rr-IRIX");
+  EXPECT_EQ(config.label(), "rr-base");
   config.kernel_migration = true;
   EXPECT_EQ(config.label(), "rr-IRIXmig");
   config.kernel_migration = false;
@@ -114,13 +114,13 @@ TEST(Figures, EffectiveIterationsHonoursFastMode) {
 
 TEST(Figures, ResultsTableAndFindResult) {
   RunResult a;
-  a.label = "ft-IRIX";
+  a.label = "ft-base";
   a.total = kNsPerSec;
   RunResult b;
-  b.label = "wc-IRIX";
+  b.label = "wc-base";
   b.total = 2 * kNsPerSec;
   const std::vector<RunResult> results = {a, b};
-  EXPECT_EQ(&find_result(results, "wc-IRIX"), &results[1]);
+  EXPECT_EQ(&find_result(results, "wc-base"), &results[1]);
   EXPECT_THROW(find_result(results, "missing"), ContractViolation);
 
   const TextTable table = results_table(results);
@@ -129,17 +129,17 @@ TEST(Figures, ResultsTableAndFindResult) {
 
   std::ostringstream chart;
   print_figure(chart, "demo", results);
-  EXPECT_NE(chart.str().find("ft-IRIX"), std::string::npos);
+  EXPECT_NE(chart.str().find("ft-base"), std::string::npos);
 }
 
 TEST(Figures, AppendCsvWritesHeaderOnceAndRows) {
   const std::string path = ::testing::TempDir() + "/repro_results.csv";
   std::filesystem::remove(path);
   RunResult base;
-  base.label = "ft-IRIX";
+  base.label = "ft-base";
   base.total = kNsPerSec;
   RunResult slow;
-  slow.label = "wc-IRIX";
+  slow.label = "wc-base";
   slow.total = 2 * kNsPerSec;
   append_csv(path, "BT", {base, slow});
   append_csv(path, "SP", {base, slow});
@@ -151,23 +151,23 @@ TEST(Figures, AppendCsvWritesHeaderOnceAndRows) {
   }
   ASSERT_EQ(lines.size(), 5u);  // header + 2x2 rows
   EXPECT_NE(lines[0].find("benchmark,scheme"), std::string::npos);
-  EXPECT_NE(lines[1].find("BT,ft-IRIX,1"), std::string::npos);
-  EXPECT_NE(lines[4].find("SP,wc-IRIX,2"), std::string::npos);
+  EXPECT_NE(lines[1].find("BT,ft-base,1"), std::string::npos);
+  EXPECT_NE(lines[4].find("SP,wc-base,2"), std::string::npos);
   std::filesystem::remove(path);
 }
 
 TEST(Figures, MeanSlowdownAveragesAcrossBenchmarks) {
   RunResult base;
-  base.label = "ft-IRIX";
+  base.label = "ft-base";
   base.total = kNsPerSec;
   RunResult slow;
-  slow.label = "wc-IRIX";
+  slow.label = "wc-base";
   slow.total = 2 * kNsPerSec;
   RunResult slower = slow;
   slower.total = 4 * kNsPerSec;
   const std::vector<std::vector<RunResult>> per_benchmark = {
       {base, slow}, {base, slower}};
-  EXPECT_DOUBLE_EQ(mean_slowdown(per_benchmark, "wc-IRIX", "ft-IRIX"), 2.0);
+  EXPECT_DOUBLE_EQ(mean_slowdown(per_benchmark, "wc-base", "ft-base"), 2.0);
 }
 
 }  // namespace
