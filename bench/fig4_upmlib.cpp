@@ -13,14 +13,14 @@
 //    (first-touch is already optimal for CG).
 //
 // Usage: fig4_upmlib [--fast] [--iterations=N] [--benchmark=NAME]
-//                    [--jobs=N] [--csv=PATH] [--json=DIR]
-#include <cstring>
+//                    [--jobs=N] [--csv=PATH] [--json=DIR] [--trace=DIR]
 #include <iostream>
 #include <string>
 
 #include "repro/common/env.hpp"
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
+#include "repro/harness/cli.hpp"
 #include "repro/harness/figures.hpp"
 #include "repro/harness/json.hpp"
 
@@ -29,29 +29,37 @@ using namespace repro::harness;
 
 int main(int argc, char** argv) {
   FigureOptions options;
+  bool fast = false;
+  std::string benchmark;
   std::string csv_path;
   std::string json_path;
-  std::vector<std::string> benchmarks = nas::workload_names();
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--fast") {
-      Env::global().set("REPRO_FAST", "1");
-    } else if (arg.rfind("--iterations=", 0) == 0) {
-      options.iterations_override =
-          static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
-    } else if (arg.rfind("--benchmark=", 0) == 0) {
-      benchmarks = {arg.substr(12)};
-    } else if (arg.rfind("--csv=", 0) == 0) {
-      csv_path = arg.substr(6);
-    } else if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      options.jobs = std::stoul(arg.substr(7));
-    } else {
-      std::cerr << "unknown argument: " << arg << '\n';
-      return 1;
-    }
+  Cli cli("fig4_upmlib");
+  cli.add_flag("fast", &fast, "trim the long benchmarks (REPRO_FAST)");
+  cli.add_uint("iterations", &options.iterations_override,
+               "override the per-benchmark iteration count", /*min=*/1);
+  cli.add_string("benchmark", &benchmark, "run a single benchmark");
+  cli.add_uint("jobs", &options.jobs, "worker threads for the run matrix",
+               /*min=*/1);
+  cli.add_string("csv", &csv_path, "append results to this CSV file");
+  cli.add_string("json", &json_path, "write BENCH_*.json files here");
+  cli.add_string("trace", &options.trace_dir,
+                 "record event traces and export them here");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Status::kHelp:
+      std::cout << cli.usage();
+      return 0;
+    case Cli::Status::kError:
+      std::cerr << "error: " << cli.error() << "\n\n" << cli.usage();
+      return 2;
+    case Cli::Status::kOk:
+      break;
   }
+  if (fast) {
+    Env::global().set("REPRO_FAST", "1");
+  }
+  std::vector<std::string> benchmarks =
+      benchmark.empty() ? nas::workload_names()
+                        : std::vector<std::string>{benchmark};
 
   std::cout << "Figure 4: UPMlib distribution mode under the four page "
                "placement schemes (simulated 16-proc Origin2000)\n\n";

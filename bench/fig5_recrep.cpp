@@ -12,12 +12,13 @@
 // overhead roughly cancels the gain at the benchmarks' natural phase
 // granularity.
 //
-// Usage: fig5_recrep [--fast] [--iterations=N] [--jobs=N]
+// Usage: fig5_recrep [--fast] [--iterations=N] [--jobs=N] [--trace=DIR]
 #include <iostream>
 #include <string>
 
 #include "repro/common/env.hpp"
 #include "repro/common/table.hpp"
+#include "repro/harness/cli.hpp"
 #include "repro/harness/figures.hpp"
 #include "repro/harness/scheduler.hpp"
 
@@ -26,19 +27,27 @@ using namespace repro::harness;
 
 int main(int argc, char** argv) {
   FigureOptions options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--fast") {
-      Env::global().set("REPRO_FAST", "1");
-    } else if (arg.rfind("--iterations=", 0) == 0) {
-      options.iterations_override =
-          static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      options.jobs = std::stoul(arg.substr(7));
-    } else {
-      std::cerr << "unknown argument: " << arg << '\n';
-      return 1;
-    }
+  bool fast = false;
+  Cli cli("fig5_recrep");
+  cli.add_flag("fast", &fast, "trim the long benchmarks (REPRO_FAST)");
+  cli.add_uint("iterations", &options.iterations_override,
+               "override the per-benchmark iteration count", /*min=*/1);
+  cli.add_uint("jobs", &options.jobs, "worker threads for the run matrix",
+               /*min=*/1);
+  cli.add_string("trace", &options.trace_dir,
+                 "record event traces and export them here");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Status::kHelp:
+      std::cout << cli.usage();
+      return 0;
+    case Cli::Status::kError:
+      std::cerr << "error: " << cli.error() << "\n\n" << cli.usage();
+      return 2;
+    case Cli::Status::kOk:
+      break;
+  }
+  if (fast) {
+    Env::global().set("REPRO_FAST", "1");
   }
 
   std::cout << "Figure 5: record-replay in NAS BT and SP (first-touch "

@@ -8,13 +8,14 @@
 // ft-upmlib (paper: by ~5%), reversing the Figure 5 outcome.
 //
 // Usage: fig6_recrep_scaled [--fast] [--iterations=N] [--scale=K]
-//                           [--jobs=N]
+//                           [--jobs=N] [--trace=DIR]
 #include <iostream>
 #include <string>
 
 #include "repro/common/env.hpp"
 #include "repro/common/stats.hpp"
 #include "repro/common/table.hpp"
+#include "repro/harness/cli.hpp"
 #include "repro/harness/figures.hpp"
 #include "repro/harness/scheduler.hpp"
 
@@ -24,21 +25,28 @@ using namespace repro::harness;
 int main(int argc, char** argv) {
   FigureOptions options;
   std::uint32_t scale = 4;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--fast") {
-      Env::global().set("REPRO_FAST", "1");
-    } else if (arg.rfind("--iterations=", 0) == 0) {
-      options.iterations_override =
-          static_cast<std::uint32_t>(std::stoul(arg.substr(13)));
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      scale = static_cast<std::uint32_t>(std::stoul(arg.substr(8)));
-    } else if (arg.rfind("--jobs=", 0) == 0) {
-      options.jobs = std::stoul(arg.substr(7));
-    } else {
-      std::cerr << "unknown argument: " << arg << '\n';
-      return 1;
-    }
+  bool fast = false;
+  Cli cli("fig6_recrep_scaled");
+  cli.add_flag("fast", &fast, "trim the long benchmarks (REPRO_FAST)");
+  cli.add_uint("iterations", &options.iterations_override,
+               "override the per-benchmark iteration count", /*min=*/1);
+  cli.add_uint("scale", &scale, "solver-body repetition factor", /*min=*/1);
+  cli.add_uint("jobs", &options.jobs, "worker threads for the run matrix",
+               /*min=*/1);
+  cli.add_string("trace", &options.trace_dir,
+                 "record event traces and export them here");
+  switch (cli.parse(argc, argv)) {
+    case Cli::Status::kHelp:
+      std::cout << cli.usage();
+      return 0;
+    case Cli::Status::kError:
+      std::cerr << "error: " << cli.error() << "\n\n" << cli.usage();
+      return 2;
+    case Cli::Status::kOk:
+      break;
+  }
+  if (fast) {
+    Env::global().set("REPRO_FAST", "1");
   }
 
   std::cout << "Figure 6: record-replay in the synthetically scaled BT "

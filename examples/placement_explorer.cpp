@@ -12,76 +12,72 @@
 #include "repro/analysis/diagnostic.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/table.hpp"
+#include "repro/harness/cli.hpp"
 #include "repro/harness/run.hpp"
 
 using namespace repro;
 using namespace repro::harness;
 
-namespace {
-
-void usage() {
-  std::cout <<
-      R"(placement_explorer -- run one experiment configuration
-
-options:
-  --benchmark=NAME    BT | SP | CG | MG | FT            (default BT)
-  --placement=NAME    ft | rr | rand | wc               (default ft)
-  --kernel-mig        enable the IRIX-style kernel daemon
-  --upmlib            enable UPMlib distribution mode
-  --recrep            enable UPMlib record-replay (BT/SP only)
-  --iterations=N      override the benchmark's iteration count
-  --nodes=N           machine size (power of two, default 16)
-  --topology=NAME     fat-hypercube | ring | crossbar
-  --class=C           problem class W | A | B (presets for --scale)
-  --scale=X           problem-size multiplier
-  --seed=N            placement seed (random placement)
-  --analyze           run the static analyzer (repro::analysis) and
-                      print its diagnostics (also: REPRO_ANALYZE=1)
-)";
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
   RunConfig config;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const auto value = [&](std::size_t prefix) {
-      return arg.substr(prefix);
-    };
-    if (arg == "--help" || arg == "-h") {
-      usage();
+  bool upmlib = false;
+  bool recrep = false;
+  std::string problem_class;
+  Cli cli("placement_explorer");
+  cli.add_string("benchmark", &config.benchmark,
+                 "BT | SP | CG | MG | FT (default BT)");
+  cli.add_string("placement", &config.placement,
+                 "ft | rr | rand | wc (default ft)");
+  cli.add_flag("kernel-mig", &config.kernel_migration,
+               "enable the IRIX-style kernel daemon");
+  cli.add_flag("upmlib", &upmlib, "enable UPMlib distribution mode");
+  cli.add_flag("recrep", &recrep,
+               "enable UPMlib record-replay (BT/SP only)");
+  cli.add_uint("iterations", &config.iterations,
+               "override the benchmark's iteration count", /*min=*/1);
+  cli.add_uint("nodes", &config.machine.num_nodes,
+               "machine size (power of two, default 16)", /*min=*/1);
+  cli.add_string("topology", &config.machine.topology,
+                 "fat-hypercube | ring | crossbar");
+  cli.add_string("class", &problem_class,
+                 "problem class W | A | B (presets for --scale)");
+  cli.add_double("scale", &config.workload.size_scale,
+                 "problem-size multiplier");
+  cli.add_uint("seed", &config.seed, "placement seed (random placement)");
+  cli.add_flag("analyze", &config.analyze,
+               "run the static analyzer and print its diagnostics "
+               "(also: REPRO_ANALYZE=1)");
+  cli.add_string("trace", &config.trace_dir,
+                 "record the event trace and export the canonical dump + "
+                 "Chrome trace here (also: REPRO_TRACE=DIR)");
+  const double default_scale = config.workload.size_scale;
+  switch (cli.parse(argc, argv)) {
+    case Cli::Status::kHelp:
+      std::cout << cli.usage();
       return 0;
-    } else if (arg.rfind("--benchmark=", 0) == 0) {
-      config.benchmark = value(12);
-    } else if (arg.rfind("--placement=", 0) == 0) {
-      config.placement = value(12);
-    } else if (arg == "--kernel-mig") {
-      config.kernel_migration = true;
-    } else if (arg == "--upmlib") {
-      config.upm_mode = nas::UpmMode::kDistribution;
-    } else if (arg == "--recrep") {
-      config.upm_mode = nas::UpmMode::kRecordReplay;
-      config.upm.max_critical_pages = 20;
-    } else if (arg.rfind("--iterations=", 0) == 0) {
-      config.iterations =
-          static_cast<std::uint32_t>(std::stoul(value(13)));
-    } else if (arg.rfind("--nodes=", 0) == 0) {
-      config.machine.num_nodes = std::stoul(value(8));
-    } else if (arg.rfind("--topology=", 0) == 0) {
-      config.machine.topology = value(11);
-    } else if (arg.rfind("--class=", 0) == 0) {
-      config.workload = nas::params_for_class(value(8).at(0));
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      config.workload.size_scale = std::stod(value(8));
-    } else if (arg.rfind("--seed=", 0) == 0) {
-      config.seed = std::stoull(value(7));
-    } else if (arg == "--analyze") {
-      config.analyze = true;
-    } else {
-      std::cerr << "unknown argument: " << arg << "\n";
-      usage();
-      return 1;
+    case Cli::Status::kError:
+      std::cerr << "error: " << cli.error() << "\n\n" << cli.usage();
+      return 2;
+    case Cli::Status::kOk:
+      break;
+  }
+  if (upmlib) {
+    config.upm_mode = nas::UpmMode::kDistribution;
+  }
+  if (recrep) {
+    config.upm_mode = nas::UpmMode::kRecordReplay;
+    config.upm.max_critical_pages = 20;
+  }
+  if (!problem_class.empty()) {
+    if (problem_class.size() != 1) {
+      std::cerr << "error: --class expects a single letter (W | A | B)\n";
+      return 2;
+    }
+    const double explicit_scale = config.workload.size_scale;
+    config.workload = nas::params_for_class(problem_class.front());
+    if (explicit_scale != default_scale) {
+      // --scale given alongside --class overrides the preset.
+      config.workload.size_scale = explicit_scale;
     }
   }
 
@@ -113,6 +109,10 @@ int main(int argc, char** argv) {
        fmt_double(ns_to_ms(result.upm_stats.distribution_cost +
                            result.upm_stats.recrep_cost),
                   2)});
+  if (!result.trace_digest.empty()) {
+    table.add_row({"trace events", std::to_string(result.trace->size())});
+    table.add_row({"trace digest", result.trace_digest});
+  }
   table.print(std::cout);
 
   const bool analyzed =

@@ -36,6 +36,7 @@ RunConfig base_config(const std::string& benchmark,
   config.machine = options.machine;
   config.seed = options.seed;
   config.iterations = effective_iterations(benchmark, options);
+  config.trace_dir = options.trace_dir;
   return config;
 }
 

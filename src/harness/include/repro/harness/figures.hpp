@@ -21,6 +21,9 @@ struct FigureOptions {
   /// Worker threads for the run matrix (see scheduler.hpp): 0 = auto
   /// (REPRO_JOBS, else hardware concurrency); 1 = serial.
   std::size_t jobs = 0;
+  /// Non-empty: record an event trace of every run and export the
+  /// canonical dump + Chrome trace into this directory (--trace=DIR).
+  std::string trace_dir;
   memsys::MachineConfig machine;
 };
 

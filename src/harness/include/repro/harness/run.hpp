@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,8 @@
 #include "repro/omp/runtime.hpp"
 #include "repro/os/daemon.hpp"
 #include "repro/os/kernel.hpp"
+#include "repro/trace/metrics.hpp"
+#include "repro/trace/sink.hpp"
 #include "repro/upmlib/upmlib.hpp"
 
 namespace repro::harness {
@@ -37,6 +40,16 @@ struct RunConfig {
   /// leveled logger and return them in RunResult::diagnostics. Also
   /// enabled by REPRO_ANALYZE=1 in the environment.
   bool analyze = false;
+  /// Record a structured event trace of the timed iterations (see
+  /// repro::trace). The result then carries the sink, its canonical
+  /// digest and the per-iteration metrics derived from the stream.
+  /// Implied by a non-empty trace_dir or the REPRO_TRACE environment
+  /// variable. Off (a null pointer everywhere) by default.
+  bool trace = false;
+  /// Directory to export TRACE_<benchmark>_<label>.trace (canonical
+  /// dump) and .chrome.json (chrome://tracing / Perfetto) into; created
+  /// if missing. Empty = keep the trace in memory only.
+  std::string trace_dir;
 
   memsys::MachineConfig machine;
   os::DaemonConfig daemon;
@@ -62,6 +75,14 @@ struct RunResult {
   /// Static-analysis findings (empty unless RunConfig::analyze or
   /// REPRO_ANALYZE=1).
   std::vector<analysis::Diagnostic> diagnostics;
+  /// The event trace of the timed iterations (null unless tracing was
+  /// requested); shared so results stay copyable.
+  std::shared_ptr<const trace::TraceSink> trace;
+  /// FNV-1a digest of the canonical dump (16 hex chars; empty when
+  /// tracing was off). Byte-identical across --jobs counts and reruns.
+  std::string trace_digest;
+  /// Per-iteration counters derived from the trace (same condition).
+  std::vector<trace::IterationMetrics> iteration_metrics;
 
   [[nodiscard]] double seconds() const { return ns_to_seconds(total); }
 

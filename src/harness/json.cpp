@@ -1,5 +1,6 @@
 #include "repro/harness/json.hpp"
 
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -60,7 +61,20 @@ std::string results_to_json(const std::vector<RunResult>& results) {
     append_field(os, "upm_undo_migrations", r.upm_stats.undo_migrations);
     append_field(os, "upm_cost_ns",
                  r.upm_stats.distribution_cost + r.upm_stats.recrep_cost,
-                 /*last=*/true);
+                 /*last=*/r.trace_digest.empty());
+    if (!r.trace_digest.empty()) {
+      os << "\"trace_digest\": \"" << escape(r.trace_digest) << "\", ";
+      os << "\"trace_migrations_per_iteration\": [";
+      for (std::size_t m = 0; m < r.iteration_metrics.size(); ++m) {
+        os << (m == 0 ? "" : ", ") << r.iteration_metrics[m].migrations;
+      }
+      os << "], \"trace_queue_p95_ns\": [";
+      for (std::size_t m = 0; m < r.iteration_metrics.size(); ++m) {
+        os << (m == 0 ? "" : ", ")
+           << r.iteration_metrics[m].queue_backlog_p95;
+      }
+      os << "]";
+    }
     os << "}";
   }
   os << "\n]";
@@ -69,6 +83,13 @@ std::string results_to_json(const std::vector<RunResult>& results) {
 
 void write_results_json(const std::string& path, const std::string& bench,
                         const std::vector<RunResult>& results) {
+  // Like the trace exporter: create the output directory instead of
+  // aborting on a missing one.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::filesystem::create_directories(parent);
+  }
   std::ofstream out(path);
   REPRO_REQUIRE_MSG(out.good(), "cannot open JSON output file");
   out << "{\"bench\": \"" << escape(bench)

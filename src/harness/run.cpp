@@ -1,5 +1,7 @@
 #include "repro/harness/run.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <memory>
 
 #include "repro/analysis/session.hpp"
@@ -7,6 +9,7 @@
 #include "repro/common/env.hpp"
 #include "repro/common/log.hpp"
 #include "repro/omp/machine.hpp"
+#include "repro/trace/export.hpp"
 
 namespace repro::harness {
 
@@ -58,9 +61,22 @@ RunResult run_benchmark(const RunConfig& config) {
                 !config.kernel_migration);
   const bool analyze =
       config.analyze || Env::global().get_bool("REPRO_ANALYZE", false);
+  std::string trace_dir = config.trace_dir;
+  if (trace_dir.empty()) {
+    trace_dir = Env::global().get_string("REPRO_TRACE", "");
+  }
+  const bool tracing = config.trace || !trace_dir.empty();
 
   auto machine = omp::Machine::create(config.machine);
   machine->set_placement(config.placement, config.seed);
+  trace::TraceSink* sink = nullptr;
+  std::uint16_t harness_lane = 0;
+  if (tracing) {
+    // Before enable_kernel_daemon, so the lane order (and with it the
+    // canonical dump) is the same for every run of one configuration.
+    sink = &machine->enable_tracing();
+    harness_lane = sink->register_lane("harness");
+  }
   if (config.kernel_migration) {
     machine->enable_kernel_daemon(config.daemon);
   }
@@ -79,6 +95,9 @@ RunResult run_benchmark(const RunConfig& config) {
                       "benchmark has no record-replay instrumentation");
     upmlib = std::make_unique<upm::Upmlib>(machine->mmci(),
                                            machine->runtime(), config.upm);
+    if (sink != nullptr) {
+      upmlib->set_trace(sink, machine->upm_trace_lane());
+    }
     if (analyze) {
       // Trace from before register_hot so the protocol checker sees the
       // memrefcnt() registrations.
@@ -96,6 +115,11 @@ RunResult run_benchmark(const RunConfig& config) {
   }
   machine->memory().reset_stats();
   machine->runtime().clear_records();
+  if (sink != nullptr) {
+    // The trace covers the timed iterations only, like every other
+    // statistic (cold-start placement noise would swamp it).
+    sink->clear();
+  }
 
   // Analyze the timed phases only: by now first-touch placement is
   // established, so the locality lint judges the placement the timed
@@ -119,14 +143,34 @@ RunResult run_benchmark(const RunConfig& config) {
   omp::Runtime& rt = machine->runtime();
   const Ns t0 = rt.now();
   std::size_t last_migrations = 0;
+  std::uint64_t seen_remote_lines = 0;
+  std::uint64_t seen_local_lines = 0;
   for (std::uint32_t step = 1; step <= iterations; ++step) {
     const Ns iter_start = rt.now();
+    if (sink != nullptr) {
+      sink->set_iteration(step);
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kIterationBegin;
+      ev.time = iter_start;
+      sink->emit(harness_lane, ev);
+    }
     workload->iteration(*machine, ctx, step);
     if (config.upm_mode == nas::UpmMode::kDistribution &&
         (step == 1 || last_migrations > 0)) {
       // Paper Fig. 2: invoke the engine after the first iteration and
       // keep invoking it while it still finds pages to move.
       last_migrations = upmlib->migrate_memory();
+    }
+    if (sink != nullptr) {
+      const memsys::ProcStats totals = machine->memory().total_stats();
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kIterationEnd;
+      ev.time = rt.now();
+      ev.a = totals.remote_miss_lines - seen_remote_lines;
+      ev.b = totals.local_miss_lines - seen_local_lines;
+      seen_remote_lines = totals.remote_miss_lines;
+      seen_local_lines = totals.local_miss_lines;
+      sink->emit(harness_lane, ev);
     }
     result.iteration_times.push_back(rt.now() - iter_start);
   }
@@ -157,6 +201,26 @@ RunResult run_benchmark(const RunConfig& config) {
                 " ", d.rule, " [", d.region, loc.empty() ? "" : ", ", loc,
                 "]: ", d.message);
     }
+  }
+  if (sink != nullptr) {
+    result.trace_digest = trace::digest(*sink);
+    result.iteration_metrics =
+        trace::MetricsRegistry(*sink).per_iteration();
+    if (!trace_dir.empty()) {
+      std::filesystem::create_directories(trace_dir);
+      const std::string stem =
+          trace_dir + "/TRACE_" + config.benchmark + "_" + result.label;
+      std::ofstream canonical(stem + ".trace");
+      REPRO_REQUIRE_MSG(canonical.good(), "cannot open trace output file");
+      trace::write_canonical(canonical, *sink);
+      std::ofstream chrome(stem + ".chrome.json");
+      REPRO_REQUIRE_MSG(chrome.good(), "cannot open trace output file");
+      trace::write_chrome_trace(chrome, *sink);
+      REPRO_LOG_INFO("trace ", config.benchmark, " ", result.label,
+                     " digest ", result.trace_digest, " -> ", stem,
+                     ".{trace,chrome.json}");
+    }
+    result.trace = machine->take_trace_sink();
   }
   REPRO_LOG_INFO(config.benchmark, " ", result.label, ": ",
                  ns_to_seconds(result.total), " s, remote fraction ",

@@ -18,6 +18,7 @@
 #include "repro/memsys/op_batch.hpp"
 #include "repro/memsys/page_cache.hpp"
 #include "repro/topology/topology.hpp"
+#include "repro/trace/sink.hpp"
 
 namespace repro::memsys {
 
@@ -109,6 +110,13 @@ class MemorySystem final : public TlbInvalidator {
 
   /// Cumulative queueing wait observed at a node's memory module.
   [[nodiscard]] const MemQueue& queue(NodeId node) const;
+
+  /// Emits one kQueueSample event per node into `lane`: the backlog
+  /// (how far each module's busy horizon extends past `now`) and the
+  /// cumulative lines served. Called at region joins by the OpenMP
+  /// runtime when tracing is on -- never on the access hot path.
+  void sample_queues(trace::TraceSink& sink, std::uint16_t lane,
+                     Ns now) const;
 
  private:
   AccessResult access_impl(Ns now, ProcId proc, VPage page,

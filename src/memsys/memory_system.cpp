@@ -218,4 +218,18 @@ const MemQueue& MemorySystem::queue(NodeId node) const {
   return queues_[node.value()];
 }
 
+void MemorySystem::sample_queues(trace::TraceSink& sink, std::uint16_t lane,
+                                 Ns now) const {
+  for (std::uint32_t n = 0; n < queues_.size(); ++n) {
+    const MemQueue& q = queues_[n];
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kQueueSample;
+    ev.time = now;
+    ev.node = static_cast<std::int32_t>(n);
+    ev.a = q.busy_until() > now ? q.busy_until() - now : 0;
+    ev.b = q.lines_served();
+    sink.emit(lane, ev);
+  }
+}
+
 }  // namespace repro::memsys

@@ -21,6 +21,7 @@
 #include "repro/os/mmci.hpp"
 #include "repro/sim/engine.hpp"
 #include "repro/topology/topology.hpp"
+#include "repro/trace/sink.hpp"
 #include "repro/vm/address_space.hpp"
 
 namespace repro::omp {
@@ -38,6 +39,29 @@ class Machine {
 
   /// Enables the IRIX-style kernel migration daemon (DSM_MIGRATION).
   void enable_kernel_daemon(const os::DaemonConfig& config);
+
+  /// Builds the machine-wide trace sink and threads it through every
+  /// layer (runtime regions/barriers, kernel migrations, daemon scans,
+  /// memory-queue samples). Lanes are registered in a fixed order so
+  /// the canonical dump -- and its digest -- depend only on simulated
+  /// execution, never on host scheduling. Idempotent; a daemon enabled
+  /// after this call is wired automatically.
+  trace::TraceSink& enable_tracing();
+
+  /// The sink, or null when tracing is off (the zero-overhead default).
+  [[nodiscard]] trace::TraceSink* trace_sink() { return trace_sink_.get(); }
+
+  /// Releases ownership of the sink to the caller (so results can
+  /// outlive the machine). The machine's components keep their raw
+  /// pointers, so only call this once the machine is done running.
+  [[nodiscard]] std::unique_ptr<trace::TraceSink> take_trace_sink() {
+    return std::move(trace_sink_);
+  }
+
+  /// Lane reserved for a UPMlib instance attached to this machine
+  /// (UPMlib is constructed by the caller; pass this to
+  /// upm::Upmlib::set_trace). Only meaningful after enable_tracing().
+  [[nodiscard]] std::uint16_t upm_trace_lane() const { return upm_lane_; }
 
   [[nodiscard]] const memsys::MachineConfig& config() const {
     return config_;
@@ -61,6 +85,8 @@ class Machine {
   std::unique_ptr<sim::Engine> engine_;
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<vm::AddressSpace> address_space_;
+  std::unique_ptr<trace::TraceSink> trace_sink_;
+  std::uint16_t upm_lane_ = 0;
 };
 
 }  // namespace repro::omp

@@ -14,6 +14,7 @@
 #include "repro/omp/schedule.hpp"
 #include "repro/sim/engine.hpp"
 #include "repro/sim/region.hpp"
+#include "repro/trace/sink.hpp"
 
 namespace repro::omp {
 
@@ -99,6 +100,20 @@ class Runtime {
     inspector_ = std::move(inspector);
   }
 
+  /// Attaches the event sink (null to detach). Every executed region
+  /// emits kRegionBegin/kRegionEnd on `lane` with the sink's phase set
+  /// to the interned region name for the region's whole span (so
+  /// kernel/daemon events fired inside the region inherit it), one
+  /// kBarrierWait per thread at the join (a = time spent waiting), and
+  /// one kQueueSample per node on `memsys_lane` taken at the join point
+  /// -- never on the per-access hot path.
+  void set_trace(trace::TraceSink* sink, std::uint16_t lane,
+                 std::uint16_t memsys_lane) {
+    trace_ = sink;
+    trace_lane_ = lane;
+    memsys_lane_ = memsys_lane;
+  }
+
   /// Timing log of all executed regions, in order.
   [[nodiscard]] const std::vector<RegionRecord>& records() const {
     return records_;
@@ -117,6 +132,9 @@ class Runtime {
   Ns reduction_step_ = 200;
   RegionInspector inspector_;
   std::vector<RegionRecord> records_;
+  trace::TraceSink* trace_ = nullptr;
+  std::uint16_t trace_lane_ = 0;
+  std::uint16_t memsys_lane_ = 0;
 };
 
 }  // namespace repro::omp

@@ -34,6 +34,29 @@ void Machine::set_placement(const std::string& name, std::uint64_t seed) {
 
 void Machine::enable_kernel_daemon(const os::DaemonConfig& config) {
   kernel_->set_daemon(std::make_unique<os::KernelMigrationDaemon>(config));
+  if (trace_sink_ != nullptr) {
+    kernel_->daemon()->set_trace(trace_sink_.get(),
+                                 trace_sink_->register_lane("daemon"));
+  }
+}
+
+trace::TraceSink& Machine::enable_tracing() {
+  if (trace_sink_ != nullptr) {
+    return *trace_sink_;
+  }
+  trace_sink_ = std::make_unique<trace::TraceSink>();
+  // Fixed registration order = stable lane ids = stable canonical dump.
+  const std::uint16_t runtime_lane = trace_sink_->register_lane("runtime");
+  const std::uint16_t kernel_lane = trace_sink_->register_lane("kernel");
+  const std::uint16_t memsys_lane = trace_sink_->register_lane("memsys");
+  upm_lane_ = trace_sink_->register_lane("upmlib");
+  runtime_->set_trace(trace_sink_.get(), runtime_lane, memsys_lane);
+  kernel_->set_trace(trace_sink_.get(), kernel_lane);
+  if (kernel_->daemon() != nullptr) {
+    kernel_->daemon()->set_trace(trace_sink_.get(),
+                                 trace_sink_->register_lane("daemon"));
+  }
+  return *trace_sink_;
 }
 
 }  // namespace repro::omp

@@ -45,10 +45,38 @@ sim::RegionResult Runtime::run(const std::string& name,
   if (inspector_) {
     inspector_(name, program, binding_);
   }
+  if (trace_ != nullptr) {
+    // Events fired inside the region (daemon scans, kernel migrations)
+    // inherit this phase; restored to 0 (serial code) after the join.
+    trace_->set_phase(trace_->intern_phase(name));
+    trace_->set_now(now_);
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kRegionBegin;
+    ev.time = now_;
+    trace_->emit(trace_lane_, ev);
+  }
   const sim::RegionResult result = engine_->run(now_, program, binding_);
   now_ = result.end;
   records_.push_back(
       RegionRecord{name, result.start, result.end, result.imbalance()});
+  if (trace_ != nullptr) {
+    trace_->set_now(now_);
+    for (std::size_t t = 0; t < result.thread_end.size(); ++t) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kBarrierWait;
+      ev.time = result.end;
+      ev.node = static_cast<std::int32_t>(t);
+      ev.a = result.end - result.thread_end[t];
+      trace_->emit(trace_lane_, ev);
+    }
+    engine_->memory().sample_queues(*trace_, memsys_lane_, result.end);
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kRegionEnd;
+    ev.time = result.end;
+    ev.a = result.end - result.start;
+    trace_->emit(trace_lane_, ev);
+    trace_->set_phase(0);
+  }
   return result;
 }
 

@@ -41,30 +41,62 @@ Ns KernelMigrationDaemon::on_miss(Kernel& kernel, ProcId accessor,
   // The comparator hardware raises the threshold interrupt; from here on
   // everything is the handler's migration policy.
   ++stats_.interrupts;
+  const auto scan = [&](trace::DaemonDecision decision, Ns cost) {
+    if (trace_ == nullptr) {
+      return;
+    }
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kDaemonScan;
+    ev.time = now;
+    ev.page = page.value();
+    ev.node = static_cast<std::int32_t>(accessor_node.value());
+    ev.src = static_cast<std::int32_t>(home.value());
+    ev.a = static_cast<std::uint64_t>(decision);
+    ev.cost = cost;
+    trace_->emit(trace_lane_, ev);
+  };
   if (st.frozen) {
     ++stats_.suppressed_frozen;
+    scan(trace::DaemonDecision::kSuppressedFrozen, 0);
     return 0;
   }
   if (st.migrations > 0 &&
       now - st.last_migration < config_.page_cooloff_ns) {
     ++stats_.suppressed_cooloff;
+    scan(trace::DaemonDecision::kSuppressedCooloff, 0);
     return 0;
   }
   if (any_migration_yet_ &&
       now - last_any_migration_ < config_.global_min_interval_ns) {
     ++stats_.suppressed_global;
+    scan(trace::DaemonDecision::kSuppressedGlobal, 0);
     return 0;
   }
 
+  if (trace_ != nullptr) {
+    // The kernel's migration event is stamped at the sink's clock;
+    // bring it up to the miss batch time before the handler runs.
+    trace_->set_now(now);
+  }
   const MigrationResult res = kernel.migrate_page(page, accessor_node);
   if (!res.migrated) {
+    scan(trace::DaemonDecision::kRejected, 0);
     return 0;
   }
+  scan(trace::DaemonDecision::kMigrated, res.cost);
   st.last_migration = now;
   st.window_open = false;  // fresh window on the new frame
   ++st.migrations;
   if (st.migrations >= config_.max_migrations_per_page) {
     st.frozen = true;
+    if (trace_ != nullptr) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kPageFreeze;
+      ev.time = now;
+      ev.page = page.value();
+      ev.node = static_cast<std::int32_t>(res.actual.value());
+      trace_->emit(trace_lane_, ev);
+    }
   }
   last_any_migration_ = now;
   any_migration_yet_ = true;

@@ -23,6 +23,7 @@
 
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
+#include "repro/trace/sink.hpp"
 
 namespace repro::os {
 
@@ -67,6 +68,14 @@ class KernelMigrationDaemon {
   [[nodiscard]] const DaemonStats& stats() const { return stats_; }
   [[nodiscard]] const DaemonConfig& config() const { return config_; }
 
+  /// Attaches an event sink (null to detach): every comparator
+  /// interrupt's handler decision becomes one kDaemonScan event, and
+  /// bounce-control freezes become kPageFreeze.
+  void set_trace(trace::TraceSink* sink, std::uint16_t lane) {
+    trace_ = sink;
+    trace_lane_ = lane;
+  }
+
  private:
   struct PageState {
     Ns window_start = 0;
@@ -81,6 +90,8 @@ class KernelMigrationDaemon {
   std::unordered_map<VPage, PageState> pages_;
   Ns last_any_migration_ = 0;
   bool any_migration_yet_ = false;
+  trace::TraceSink* trace_ = nullptr;
+  std::uint16_t trace_lane_ = 0;
 };
 
 }  // namespace repro::os

@@ -18,6 +18,7 @@
 #include "repro/memsys/backend.hpp"
 #include "repro/memsys/config.hpp"
 #include "repro/topology/topology.hpp"
+#include "repro/trace/sink.hpp"
 #include "repro/vm/counters.hpp"
 #include "repro/vm/page_table.hpp"
 #include "repro/vm/physical_memory.hpp"
@@ -77,6 +78,17 @@ class Kernel final : public memsys::MemoryBackend {
     tlb_invalidator_ = invalidator;
   }
   [[nodiscard]] KernelMigrationDaemon* daemon() { return daemon_.get(); }
+
+  /// Attaches an event sink (null to detach): migrations, replications
+  /// and replica collapses are traced into `lane`, stamped at the
+  /// sink's current simulated time (the kernel has no clock of its
+  /// own; whoever drives it -- daemon, UPMlib, engine -- keeps the
+  /// sink's now() current).
+  void set_trace(trace::TraceSink* sink, std::uint16_t lane) {
+    trace_ = sink;
+    trace_lane_ = lane;
+  }
+  [[nodiscard]] trace::TraceSink* trace_sink() { return trace_; }
 
   // --- MemoryBackend ------------------------------------------------------
   memsys::HomeInfo resolve(ProcId accessor, VPage page, bool write) override;
@@ -139,6 +151,8 @@ class Kernel final : public memsys::MemoryBackend {
   /// replicas on a write); charged to the accessor by the next on_miss.
   Ns pending_penalty_ = 0;
   memsys::TlbInvalidator* tlb_invalidator_ = nullptr;
+  trace::TraceSink* trace_ = nullptr;
+  std::uint16_t trace_lane_ = 0;
 };
 
 }  // namespace repro::os

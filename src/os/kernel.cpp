@@ -142,6 +142,17 @@ MigrationResult Kernel::migrate_page(VPage page, NodeId target) {
   out.actual = actual;
   ++stats_.migrations;
   stats_.migration_cost += out.cost;
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kPageMigration;
+    ev.page = page.value();
+    ev.src = static_cast<std::int32_t>(old_node.value());
+    ev.dst = static_cast<std::int32_t>(actual.value());
+    ev.node = ev.dst;
+    ev.a = actual != target ? 1 : 0;
+    ev.cost = out.cost;
+    trace_->emit_now(trace_lane_, ev);
+  }
   REPRO_LOG_DEBUG("migrated page ", page.value(), " node ",
                   old_node.value(), " -> ", actual.value(), " cost ",
                   out.cost, "ns");
@@ -180,6 +191,16 @@ ReplicationResult Kernel::replicate_page(VPage page, NodeId target) {
   out.replicated = true;
   out.cost = static_cast<Ns>(std::llround(config_.page_copy_ns));
   ++stats_.replications;
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kPageReplication;
+    ev.page = page.value();
+    ev.src = static_cast<std::int32_t>(home_of(page).value());
+    ev.dst = static_cast<std::int32_t>(target.value());
+    ev.node = ev.dst;
+    ev.cost = out.cost;
+    trace_->emit_now(trace_lane_, ev);
+  }
   return out;
 }
 
@@ -198,7 +219,17 @@ Ns Kernel::collapse_replicas(VPage page) {
   if (tlb_invalidator_ != nullptr) {
     tlb_invalidator_->invalidate_tlb_entries(page);
   }
-  return migration_cost_for(page);
+  const Ns cost = migration_cost_for(page);
+  if (trace_ != nullptr) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kReplicaCollapse;
+    ev.page = page.value();
+    ev.node = static_cast<std::int32_t>(home_of(page).value());
+    ev.a = replicas.size();
+    ev.cost = cost;
+    trace_->emit_now(trace_lane_, ev);
+  }
+  return cost;
 }
 
 std::size_t Kernel::replica_count(VPage page) const {

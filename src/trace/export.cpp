@@ -1,0 +1,130 @@
+#include "repro/trace/export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace repro::trace {
+
+namespace {
+
+void escape_json(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+}
+
+/// Microsecond timestamp for the Chrome viewer (its native unit).
+double us(Ns t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace
+
+void write_canonical(std::ostream& os, const TraceSink& sink) {
+  os << "# repro-trace v1\n";
+  for (std::uint16_t l = 0; l < sink.num_lanes(); ++l) {
+    os << "lane " << l << ' ' << sink.lane_name(l) << '\n';
+  }
+  for (std::uint32_t p = 1; p < sink.num_phases(); ++p) {
+    os << "phase " << p << ' ' << sink.phase_name(p) << '\n';
+  }
+  for (const TraceEvent& e : sink.canonical_events()) {
+    os << e.time << ' ' << event_kind_name(e.kind) << " lane=" << e.lane
+       << " seq=" << e.seq << " it=" << e.iteration << " ph=" << e.phase
+       << " node=" << e.node << " src=" << e.src << " dst=" << e.dst
+       << " page=" << e.page << " a=" << e.a << " b=" << e.b
+       << " cost=" << e.cost << '\n';
+  }
+}
+
+std::string canonical_dump(const TraceSink& sink) {
+  std::ostringstream os;
+  write_canonical(os, sink);
+  return os.str();
+}
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x00000100000001b3ull;
+  }
+  return hash;
+}
+
+std::string digest(const TraceSink& sink) {
+  const std::uint64_t h = fnv1a64(canonical_dump(sink));
+  std::ostringstream os;
+  os << std::hex;
+  os.width(16);
+  os.fill('0');
+  os << h;
+  return os.str();
+}
+
+void write_chrome_trace(std::ostream& os, const TraceSink& sink) {
+  os << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [\n";
+  os.precision(17);
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+  for (const TraceEvent& e : sink.canonical_events()) {
+    switch (e.kind) {
+      case EventKind::kRegionBegin:
+      case EventKind::kRegionEnd: {
+        comma();
+        os << "{\"ph\": \""
+           << (e.kind == EventKind::kRegionBegin ? 'B' : 'E')
+           << "\", \"pid\": 0, \"tid\": 0, \"ts\": " << us(e.time)
+           << ", \"name\": \"";
+        escape_json(os, sink.phase_name(e.phase));
+        os << "\", \"cat\": \"region\", \"args\": {\"iteration\": "
+           << e.iteration << "}}";
+        break;
+      }
+      case EventKind::kBarrierWait: {
+        if (e.a == 0) {
+          break;  // zero-length slices only clutter the viewer
+        }
+        comma();
+        // tid = simulated thread + 1 keeps thread tracks below the
+        // team track (tid 0).
+        os << "{\"ph\": \"X\", \"pid\": 0, \"tid\": " << (e.node + 1)
+           << ", \"ts\": " << us(e.time - e.a) << ", \"dur\": " << us(e.a)
+           << ", \"name\": \"barrier\", \"cat\": \"barrier\", "
+              "\"args\": {\"thread\": "
+           << e.node << ", \"wait_ns\": " << e.a << "}}";
+        break;
+      }
+      case EventKind::kQueueSample: {
+        comma();
+        os << "{\"ph\": \"C\", \"pid\": 0, \"ts\": " << us(e.time)
+           << ", \"name\": \"queue_backlog_node" << e.node
+           << "\", \"args\": {\"backlog_ns\": " << e.a << "}}";
+        break;
+      }
+      default: {
+        comma();
+        os << "{\"ph\": \"i\", \"s\": \"g\", \"pid\": 0, \"tid\": 0, "
+              "\"ts\": "
+           << us(e.time) << ", \"name\": \"" << event_kind_name(e.kind)
+           << "\", \"cat\": \"";
+        escape_json(os, sink.lane_name(e.lane));
+        os << "\", \"args\": {\"iteration\": " << e.iteration
+           << ", \"page\": " << e.page << ", \"node\": " << e.node
+           << ", \"src\": " << e.src << ", \"dst\": " << e.dst
+           << ", \"a\": " << e.a << ", \"b\": " << e.b
+           << ", \"cost_ns\": " << e.cost << "}}";
+        break;
+      }
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace repro::trace

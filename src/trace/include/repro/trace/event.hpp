@@ -1,0 +1,106 @@
+// Typed simulation trace events.
+//
+// The paper's central claim is a *timeline* claim -- UPMlib performs
+// almost all of its migrations in the first outer iteration (Table 2)
+// so later iterations run at near-first-touch speed -- and end-of-run
+// aggregates cannot show it. Every interesting state change in the
+// simulated stack (page migration / replication / freeze, record-replay
+// protocol steps, parallel-region fork/join and barrier waits, memory
+// queue occupancy, kernel-daemon scan decisions) is recorded as one
+// fixed-shape event stamped with simulated time, iteration, phase and
+// node, so both humans (chrome://tracing) and tests (golden digests)
+// can inspect *when* the dynamics happened.
+//
+// All payload fields are integers: the canonical dump and its digest
+// must be byte-stable across runs, job counts and compilers, so no
+// floating-point value is ever serialized.
+#pragma once
+
+#include <cstdint>
+
+#include "repro/common/units.hpp"
+
+namespace repro::trace {
+
+enum class EventKind : std::uint8_t {
+  /// Parallel region fork (omp). `phase` is the region name.
+  kRegionBegin = 0,
+  /// Parallel region join barrier completed (omp).
+  kRegionEnd,
+  /// One thread's wait at a region's join barrier (omp/sim).
+  /// node = thread id, a = wait in ns, time = the region's end.
+  kBarrierWait,
+  /// A page moved between nodes (os kernel; requested by UPMlib, the
+  /// kernel daemon, or a test). page, src -> dst, cost.
+  /// a = 1 when the kernel redirected the request to another node.
+  kPageMigration,
+  /// A read-only replica was created (os kernel). page, src = home,
+  /// dst = replica node, cost.
+  kPageReplication,
+  /// All replicas of a page were destroyed on write/migrate (os
+  /// kernel). page, a = replicas collapsed, cost.
+  kReplicaCollapse,
+  /// A page was frozen against further migration (upmlib ping-pong
+  /// control or daemon bounce control). page, node = current home.
+  kPageFreeze,
+  /// One UPMlib public entry point ran (upmlib). a = UpmCall kind
+  /// index (see upm::upm_call_name), b = migrations performed by the
+  /// call (migrate_memory / replay / undo), cost = time charged to the
+  /// master thread. record/replay/undo calls are the phase-transition
+  /// points of the record--replay protocol.
+  kUpmCall,
+  /// The kernel daemon's comparator interrupt fired and the handler
+  /// made a decision (os). page, node = accessor node, src = home,
+  /// a = decision (see DaemonDecision), cost = handler cost if it
+  /// migrated.
+  kDaemonScan,
+  /// Per-node memory-queue occupancy sample taken at a region join
+  /// (memsys). node, a = backlog in ns (0 when idle), b = cumulative
+  /// lines served.
+  kQueueSample,
+  /// Outer-iteration boundary markers (harness). iteration is the
+  /// 1-based timed iteration; iteration 0 is setup / cold start.
+  kIterationBegin,
+  /// a = remote miss lines in this iteration, b = local miss lines.
+  kIterationEnd,
+};
+
+/// Number of event kinds (array sizing / validation).
+inline constexpr std::size_t kNumEventKinds =
+    static_cast<std::size_t>(EventKind::kIterationEnd) + 1;
+
+/// kDaemonScan decision codes (the `a` payload).
+enum class DaemonDecision : std::uint8_t {
+  kMigrated = 0,
+  kSuppressedFrozen = 1,
+  kSuppressedCooloff = 2,
+  kSuppressedGlobal = 3,
+  kRejected = 4,  ///< kernel had no frame for the move
+};
+
+/// Stable lowercase identifier used in the canonical dump
+/// ("region_begin", "page_migration", ...).
+[[nodiscard]] const char* event_kind_name(EventKind kind);
+
+/// One trace event. `lane`, `seq`, `iteration` and `phase` are stamped
+/// by the TraceSink at emission; emitters fill the rest. Fields not
+/// meaningful for a kind stay at their defaults and are still
+/// serialized (fixed shape keeps the canonical dump trivially stable).
+struct TraceEvent {
+  Ns time = 0;               ///< simulated time of the event
+  std::uint64_t page = 0;    ///< virtual page number (page events)
+  std::uint64_t a = 0;       ///< kind-specific payload (see EventKind)
+  std::uint64_t b = 0;       ///< kind-specific payload (see EventKind)
+  Ns cost = 0;               ///< cost charged for the action, if any
+  std::int32_t node = -1;    ///< primary node / thread (see EventKind)
+  std::int32_t src = -1;     ///< source node (moves)
+  std::int32_t dst = -1;     ///< destination node (moves)
+  EventKind kind = EventKind::kRegionBegin;
+  // --- stamped by TraceSink::emit ---
+  std::uint16_t lane = 0;       ///< emitting lane (deterministic id)
+  std::uint32_t seq = 0;        ///< per-lane append index
+  std::uint32_t iteration = 0;  ///< outer iteration (0 = setup)
+  std::uint32_t phase = 0;      ///< interned region name (0 = none)
+};
+
+}  // namespace repro::trace

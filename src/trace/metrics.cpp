@@ -1,0 +1,99 @@
+#include "repro/trace/metrics.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace repro::trace {
+
+double IterationMetrics::remote_ratio() const {
+  const std::uint64_t total = remote_miss_lines + local_miss_lines;
+  if (total == 0) {
+    return 0.0;
+  }
+  return static_cast<double>(remote_miss_lines) /
+         static_cast<double>(total);
+}
+
+Ns percentile95(std::vector<Ns> samples) {
+  if (samples.empty()) {
+    return 0;
+  }
+  std::sort(samples.begin(), samples.end());
+  // Nearest-rank: ceil(0.95 * n), 1-based.
+  const std::size_t rank = (samples.size() * 95 + 99) / 100;
+  return samples[rank - 1];
+}
+
+MetricsRegistry::MetricsRegistry(const TraceSink& sink) {
+  std::map<std::uint32_t, IterationMetrics> buckets;
+  std::map<std::uint32_t, std::vector<Ns>> samples;
+  std::vector<Ns> all_samples;
+
+  for (const TraceEvent& e : sink.canonical_events()) {
+    IterationMetrics& m = buckets[e.iteration];
+    m.iteration = e.iteration;
+    switch (e.kind) {
+      case EventKind::kPageMigration:
+        ++m.migrations;
+        m.migration_cost += e.cost;
+        break;
+      case EventKind::kUpmCall:
+        m.upm_migrations += e.b;
+        break;
+      case EventKind::kDaemonScan:
+        if (e.a == static_cast<std::uint64_t>(DaemonDecision::kMigrated)) {
+          ++m.daemon_migrations;
+        }
+        break;
+      case EventKind::kPageReplication:
+        ++m.replications;
+        break;
+      case EventKind::kPageFreeze:
+        ++m.freezes;
+        break;
+      case EventKind::kBarrierWait:
+        m.barrier_wait += e.a;
+        break;
+      case EventKind::kQueueSample:
+        samples[e.iteration].push_back(e.a);
+        all_samples.push_back(e.a);
+        break;
+      case EventKind::kIterationEnd:
+        m.remote_miss_lines += e.a;
+        m.local_miss_lines += e.b;
+        break;
+      default:
+        break;
+    }
+  }
+
+  rows_.reserve(buckets.size());
+  for (auto& [iteration, m] : buckets) {
+    m.queue_backlog_p95 = percentile95(std::move(samples[iteration]));
+    rows_.push_back(m);
+
+    totals_.migrations += m.migrations;
+    totals_.upm_migrations += m.upm_migrations;
+    totals_.daemon_migrations += m.daemon_migrations;
+    totals_.replications += m.replications;
+    totals_.freezes += m.freezes;
+    totals_.migration_cost += m.migration_cost;
+    totals_.barrier_wait += m.barrier_wait;
+    totals_.remote_miss_lines += m.remote_miss_lines;
+    totals_.local_miss_lines += m.local_miss_lines;
+  }
+  totals_.queue_backlog_p95 = percentile95(std::move(all_samples));
+}
+
+std::vector<std::uint64_t> MetricsRegistry::migrations_per_timed_iteration()
+    const {
+  std::vector<std::uint64_t> out;
+  for (const IterationMetrics& m : rows_) {
+    if (m.iteration >= 1) {
+      out.push_back(m.migrations);
+    }
+  }
+  return out;
+}
+
+}  // namespace repro::trace

@@ -1,0 +1,123 @@
+#include "repro/trace/sink.hpp"
+
+#include <algorithm>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::trace {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRegionBegin:
+      return "region_begin";
+    case EventKind::kRegionEnd:
+      return "region_end";
+    case EventKind::kBarrierWait:
+      return "barrier_wait";
+    case EventKind::kPageMigration:
+      return "page_migration";
+    case EventKind::kPageReplication:
+      return "page_replication";
+    case EventKind::kReplicaCollapse:
+      return "replica_collapse";
+    case EventKind::kPageFreeze:
+      return "page_freeze";
+    case EventKind::kUpmCall:
+      return "upm_call";
+    case EventKind::kDaemonScan:
+      return "daemon_scan";
+    case EventKind::kQueueSample:
+      return "queue_sample";
+    case EventKind::kIterationBegin:
+      return "iteration_begin";
+    case EventKind::kIterationEnd:
+      return "iteration_end";
+  }
+  return "?";
+}
+
+TraceSink::TraceSink() : phases_(1, std::string{}) {}
+
+std::uint16_t TraceSink::register_lane(std::string name) {
+  REPRO_REQUIRE_MSG(lanes_.size() < UINT16_MAX, "too many trace lanes");
+  lanes_.push_back(Lane{std::move(name), {}});
+  return static_cast<std::uint16_t>(lanes_.size() - 1);
+}
+
+const std::string& TraceSink::lane_name(std::uint16_t lane) const {
+  REPRO_REQUIRE(lane < lanes_.size());
+  return lanes_[lane].name;
+}
+
+std::uint32_t TraceSink::intern_phase(const std::string& name) {
+  // Linear scan: the phase table holds one entry per distinct region
+  // name (a handful per benchmark) and interning happens once per
+  // region run, far off the simulation hot path.
+  for (std::size_t i = 0; i < phases_.size(); ++i) {
+    if (phases_[i] == name) {
+      return static_cast<std::uint32_t>(i);
+    }
+  }
+  phases_.push_back(name);
+  return static_cast<std::uint32_t>(phases_.size() - 1);
+}
+
+const std::string& TraceSink::phase_name(std::uint32_t phase) const {
+  REPRO_REQUIRE(phase < phases_.size());
+  return phases_[phase];
+}
+
+void TraceSink::emit(std::uint16_t lane, TraceEvent event) {
+  REPRO_REQUIRE(lane < lanes_.size());
+  Lane& l = lanes_[lane];
+  event.lane = lane;
+  event.seq = static_cast<std::uint32_t>(l.events.size());
+  event.iteration = iteration_;
+  event.phase = phase_;
+  l.events.push_back(event);
+}
+
+std::size_t TraceSink::size() const {
+  std::size_t total = 0;
+  for (const Lane& l : lanes_) {
+    total += l.events.size();
+  }
+  return total;
+}
+
+const std::vector<TraceEvent>& TraceSink::lane_events(
+    std::uint16_t lane) const {
+  REPRO_REQUIRE(lane < lanes_.size());
+  return lanes_[lane].events;
+}
+
+std::vector<TraceEvent> TraceSink::canonical_events() const {
+  std::vector<TraceEvent> all;
+  all.reserve(size());
+  for (const Lane& l : lanes_) {
+    all.insert(all.end(), l.events.begin(), l.events.end());
+  }
+  // The canonical total order. (lane, seq) breaks simulated-time ties
+  // deterministically: lane ids come from the fixed registration order
+  // of the machine assembly and seq is the per-lane append index, so
+  // the result never depends on host scheduling or the --jobs count.
+  std::sort(all.begin(), all.end(),
+            [](const TraceEvent& x, const TraceEvent& y) {
+              if (x.time != y.time) {
+                return x.time < y.time;
+              }
+              if (x.lane != y.lane) {
+                return x.lane < y.lane;
+              }
+              return x.seq < y.seq;
+            });
+  return all;
+}
+
+void TraceSink::clear() {
+  for (Lane& l : lanes_) {
+    l.events.clear();
+  }
+}
+
+}  // namespace repro::trace

@@ -39,6 +39,7 @@
 #include "repro/common/units.hpp"
 #include "repro/omp/runtime.hpp"
 #include "repro/os/mmci.hpp"
+#include "repro/trace/sink.hpp"
 #include "repro/vm/address_space.hpp"
 
 namespace repro::upm {
@@ -185,6 +186,16 @@ class Upmlib {
   /// trace (the input of the repro::analysis protocol checker). Cheap:
   /// one small struct per API call, nothing per page.
   void enable_call_trace() { trace_enabled_ = true; }
+
+  /// Attaches the structured event sink (null to detach): every entry
+  /// point emits one kUpmCall event (payload: call kind, migrations
+  /// performed, cost charged to the master thread) and ping-pong
+  /// freezes emit kPageFreeze. record/replay/undo events are the
+  /// record--replay phase-transition markers of the trace timeline.
+  void set_trace(trace::TraceSink* sink, std::uint16_t lane) {
+    sink_ = sink;
+    sink_lane_ = lane;
+  }
   [[nodiscard]] bool call_trace_enabled() const { return trace_enabled_; }
   [[nodiscard]] const std::vector<UpmCall>& call_trace() const {
     return trace_;
@@ -218,6 +229,8 @@ class Upmlib {
   std::vector<vm::PageRange> hot_ranges_;
   bool trace_enabled_ = false;
   std::vector<UpmCall> trace_;
+  trace::TraceSink* sink_ = nullptr;
+  std::uint16_t sink_lane_ = 0;
   bool active_ = true;
   std::uint64_t invocation_ = 0;
 
@@ -241,6 +254,14 @@ class Upmlib {
       double threshold);
 
   void trace(UpmCall call);
+  /// Emits the kUpmCall event for one completed entry point. `at` is
+  /// the master-thread time the call started (kernel sub-events were
+  /// stamped there too).
+  void emit_call(UpmCall::Kind kind, Ns at, std::uint64_t migrations,
+                 Ns cost);
+  /// Brings the sink's clock to the master thread's and returns that
+  /// time (entry hook of every traced call).
+  Ns sync_clock();
   void ensure_mlds();
   Ns do_migrate(VPage page, NodeId target, bool* migrated);
   /// Replicates a clean multi-reader page; returns true if the page is

@@ -65,9 +65,32 @@ void Upmlib::trace(UpmCall call) {
   }
 }
 
+Ns Upmlib::sync_clock() {
+  const Ns at = runtime_->now();
+  if (sink_ != nullptr) {
+    sink_->set_now(at);
+  }
+  return at;
+}
+
+void Upmlib::emit_call(UpmCall::Kind kind, Ns at, std::uint64_t migrations,
+                       Ns cost) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  trace::TraceEvent ev;
+  ev.kind = trace::EventKind::kUpmCall;
+  ev.time = at;
+  ev.a = static_cast<std::uint64_t>(kind);
+  ev.b = migrations;
+  ev.cost = cost;
+  sink_->emit(sink_lane_, ev);
+}
+
 void Upmlib::memrefcnt(const vm::PageRange& range) {
   REPRO_REQUIRE(range.count >= 1);
   trace({UpmCall::Kind::kMemRefCnt, range, true});
+  emit_call(UpmCall::Kind::kMemRefCnt, sync_clock(), range.count, 0);
   hot_ranges_.push_back(range);
   stats_.migrations_per_range.push_back(0);
   hot_pages_.reserve(hot_pages_.size() + range.count);
@@ -78,6 +101,7 @@ void Upmlib::memrefcnt(const vm::PageRange& range) {
 
 void Upmlib::reset_hot_counters() {
   trace({UpmCall::Kind::kResetCounters, {}, true});
+  emit_call(UpmCall::Kind::kResetCounters, sync_clock(), 0, 0);
   for (VPage page : hot_pages_) {
     if (mmci_->is_mapped(page)) {
       mmci_->reset_counters(page);
@@ -164,7 +188,9 @@ Ns Upmlib::do_migrate(VPage page, NodeId target, bool* migrated) {
 
 std::size_t Upmlib::migrate_memory() {
   trace({UpmCall::Kind::kMigrateMemory, {}, active_});
+  const Ns at = sync_clock();
   if (!active_) {
+    emit_call(UpmCall::Kind::kMigrateMemory, at, 0, 0);
     return 0;
   }
   ++invocation_;
@@ -208,6 +234,16 @@ std::size_t Upmlib::migrate_memory() {
       // ago: page-level false sharing. Freeze it in place.
       hist.frozen = true;
       ++stats_.frozen_pages;
+      if (sink_ != nullptr) {
+        trace::TraceEvent ev;
+        ev.kind = trace::EventKind::kPageFreeze;
+        ev.time = at;
+        ev.page = cand.page.value();
+        ev.node =
+            static_cast<std::int32_t>(mmci_->home_of(cand.page).value());
+        ev.src = static_cast<std::int32_t>(cand.target.value());
+        sink_->emit(sink_lane_, ev);
+      }
       continue;
     }
     const NodeId old_home = mmci_->home_of(cand.page);
@@ -236,6 +272,8 @@ std::size_t Upmlib::migrate_memory() {
   stats_.distribution_migrations += migrations;
   stats_.distribution_cost += cost;
   runtime_->advance(cost);
+  emit_call(UpmCall::Kind::kMigrateMemory, at, migrations,
+            replication_cost + cost);
 
   if (migrations == 0) {
     active_ = false;
@@ -247,6 +285,7 @@ std::size_t Upmlib::migrate_memory() {
 
 void Upmlib::notify_thread_rebinding() {
   trace({UpmCall::Kind::kNotifyRebinding, {}, true});
+  emit_call(UpmCall::Kind::kNotifyRebinding, sync_clock(), 0, 0);
   active_ = true;
   history_.clear();
   stats_.frozen_pages = 0;
@@ -261,6 +300,7 @@ void Upmlib::notify_thread_rebinding() {
 
 void Upmlib::record() {
   trace({UpmCall::Kind::kRecord, {}, true});
+  emit_call(UpmCall::Kind::kRecord, sync_clock(), snapshots_.size() + 1, 0);
   std::vector<std::vector<std::uint32_t>> snap;
   snap.reserve(hot_pages_.size());
   for (VPage page : hot_pages_) {
@@ -317,6 +357,8 @@ void Upmlib::compare_counters() {
   }
   REPRO_LOG_INFO("upmlib compare_counters: ", replay_lists_.size(),
                  " transition(s) planned");
+  emit_call(UpmCall::Kind::kCompareCounters, sync_clock(),
+            replay_lists_.size(), 0);
 }
 
 const std::vector<Upmlib::PlannedMigration>& Upmlib::replay_list(
@@ -327,7 +369,9 @@ const std::vector<Upmlib::PlannedMigration>& Upmlib::replay_list(
 
 void Upmlib::replay() {
   trace({UpmCall::Kind::kReplay, {}, true});
+  const Ns at = sync_clock();
   if (replay_lists_.empty()) {
+    emit_call(UpmCall::Kind::kReplay, at, 0, 0);
     return;
   }
   const auto& list = replay_lists_[replay_cursor_];
@@ -355,10 +399,12 @@ void Upmlib::replay() {
   stats_.replay_migrations += migrations;
   stats_.recrep_cost += cost;
   runtime_->advance(cost);
+  emit_call(UpmCall::Kind::kReplay, at, migrations, cost);
 }
 
 void Upmlib::undo() {
   trace({UpmCall::Kind::kUndo, {}, true});
+  const Ns at = sync_clock();
   Ns cost = 0;
   std::size_t migrations = 0;
   for (auto it = undo_log_.rbegin(); it != undo_log_.rend(); ++it) {
@@ -376,6 +422,7 @@ void Upmlib::undo() {
   stats_.undo_migrations += migrations;
   stats_.recrep_cost += cost;
   runtime_->advance(cost);
+  emit_call(UpmCall::Kind::kUndo, at, migrations, cost);
 }
 
 }  // namespace repro::upm

@@ -46,12 +46,10 @@ struct FakeMachine {
 };
 
 Diagnostic make_diag(const std::string& rule, std::uint64_t page) {
-  Diagnostic d;
-  d.rule = rule;
-  d.region = "r";
-  d.page = VPage(page);
-  d.message = "m";
-  return d;
+  // Aggregate-constructed (not member-assigned): GCC 12's -Wrestrict
+  // false-positives on char* assignment into a returned local here.
+  return Diagnostic{Severity::kWarning, rule,         "r", VPage(page),
+                    std::nullopt,       std::nullopt, "m", ""};
 }
 
 sim::ThreadProgram accesses(

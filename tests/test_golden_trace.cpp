@@ -1,0 +1,194 @@
+// Golden-trace regression suite.
+//
+// One tiny configuration per benchmark x placement x engine is run
+// under tracing, and its canonical-trace digest plus its
+// migrations-per-timed-iteration vector are compared against the
+// checked-in goldens in tests/golden/trace_digests.txt. Any change to
+// the simulated timeline -- placement, migration policy, cost model,
+// event schema -- shows up as a digest mismatch here before it can
+// silently shift the paper figures.
+//
+// Regenerate the goldens after an intentional change with:
+//
+//   REPRO_UPDATE_GOLDEN=1 ./build/tests/test_golden_trace
+//
+// and review the diff of tests/golden/trace_digests.txt like any other
+// code change.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repro/common/env.hpp"
+#include "repro/harness/scheduler.hpp"
+#include "repro/trace/metrics.hpp"
+
+namespace repro::harness {
+namespace {
+
+constexpr const char* kGoldenFile = GOLDEN_DIR "/trace_digests.txt";
+
+/// The golden matrix: every benchmark under the paper's three main
+/// placements, base vs UPMlib distribution. Small enough to run in
+/// seconds, large enough that every emitting subsystem is covered.
+std::vector<RunConfig> golden_configs() {
+  std::vector<RunConfig> configs;
+  for (const auto& benchmark : nas::workload_names()) {
+    for (const std::string placement : {"ft", "rr", "wc"}) {
+      for (const bool upmlib : {false, true}) {
+        RunConfig config;
+        config.benchmark = benchmark;
+        config.placement = placement;
+        config.iterations = 3;
+        config.workload.size_scale = 0.25;
+        config.trace = true;
+        if (upmlib) {
+          config.upm_mode = nas::UpmMode::kDistribution;
+        }
+        configs.push_back(std::move(config));
+      }
+    }
+  }
+  return configs;
+}
+
+std::string key_of(const RunResult& result) {
+  return result.benchmark + " " + result.label;
+}
+
+std::vector<std::uint64_t> migration_vector(const RunResult& result) {
+  std::vector<std::uint64_t> out;
+  for (const trace::IterationMetrics& m : result.iteration_metrics) {
+    if (m.iteration >= 1) {
+      out.push_back(m.migrations);
+    }
+  }
+  return out;
+}
+
+std::string render_vector(const std::vector<std::uint64_t>& v) {
+  if (v.empty()) {
+    return "-";
+  }
+  std::ostringstream os;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    os << (i == 0 ? "" : ",") << v[i];
+  }
+  return os.str();
+}
+
+struct GoldenEntry {
+  std::string digest;
+  std::string migrations;  // rendered vector
+};
+
+std::map<std::string, GoldenEntry> load_goldens() {
+  std::map<std::string, GoldenEntry> goldens;
+  std::ifstream in(kGoldenFile);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    std::istringstream fields(line);
+    std::string benchmark;
+    std::string label;
+    GoldenEntry entry;
+    fields >> benchmark >> label >> entry.digest >> entry.migrations;
+    goldens[benchmark + " " + label] = entry;
+  }
+  return goldens;
+}
+
+void write_goldens(const std::vector<RunResult>& results) {
+  std::ofstream out(kGoldenFile);
+  ASSERT_TRUE(out.good()) << "cannot write " << kGoldenFile;
+  out << "# Golden canonical-trace digests (FNV-1a 64 of the canonical "
+         "dump)\n"
+         "# for the tiny regression matrix: every benchmark x {ft, rr, "
+         "wc}\n"
+         "# x {base, upmlib}, iterations=3, size_scale=0.25.\n"
+         "#\n"
+         "# Regenerate: REPRO_UPDATE_GOLDEN=1 "
+         "./build/tests/test_golden_trace\n"
+         "#\n"
+         "# benchmark label digest migrations_per_timed_iteration\n";
+  for (const RunResult& r : results) {
+    out << key_of(r) << ' ' << r.trace_digest << ' '
+        << render_vector(migration_vector(r)) << '\n';
+  }
+}
+
+// One TEST on purpose: the 30-cell matrix runs twice (jobs=4 and
+// jobs=1) and every assertion below reuses those results.
+TEST(GoldenTrace, DigestsStableAcrossJobsAndMatchCheckedInGoldens) {
+  const std::vector<RunConfig> configs = golden_configs();
+  const std::vector<RunResult> parallel = run_experiments(configs, 4);
+  const std::vector<RunResult> serial = run_experiments(configs, 1);
+  ASSERT_EQ(parallel.size(), configs.size());
+  ASSERT_EQ(serial.size(), configs.size());
+
+  // Acceptance gate: the digest of every golden cell is byte-identical
+  // between --jobs=1 and --jobs=4.
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    ASSERT_EQ(serial[i].trace_digest.size(), 16u) << key_of(serial[i]);
+    EXPECT_EQ(parallel[i].trace_digest, serial[i].trace_digest)
+        << key_of(serial[i]) << ": digest depends on the job count";
+    EXPECT_EQ(migration_vector(parallel[i]), migration_vector(serial[i]))
+        << key_of(serial[i]);
+  }
+
+  // Paper Table 2: with the UPMlib distribution engine, the bulk of
+  // the migrations (78-100% in the paper) happen in the first outer
+  // iteration; later iterations run on an already-tuned placement.
+  for (const RunResult& r : serial) {
+    if (r.label.find("upmlib") == std::string::npos) {
+      continue;
+    }
+    const std::vector<std::uint64_t> migrations = migration_vector(r);
+    ASSERT_FALSE(migrations.empty()) << key_of(r);
+    std::uint64_t total = 0;
+    for (const std::uint64_t m : migrations) {
+      total += m;
+    }
+    if (total == 0) {
+      continue;  // placement already optimal for this cell
+    }
+    const double first_fraction =
+        static_cast<double>(migrations.front()) /
+        static_cast<double>(total);
+    EXPECT_GE(first_fraction, 0.75)
+        << key_of(r) << ": migrations " << render_vector(migrations);
+  }
+
+  if (Env::global().get_bool("REPRO_UPDATE_GOLDEN", false)) {
+    write_goldens(serial);
+    std::cout << "[  UPDATED ] " << kGoldenFile << " ("
+              << serial.size() << " entries)\n";
+    return;
+  }
+
+  const std::map<std::string, GoldenEntry> goldens = load_goldens();
+  ASSERT_FALSE(goldens.empty())
+      << "no goldens at " << kGoldenFile
+      << "; generate them with REPRO_UPDATE_GOLDEN=1";
+  ASSERT_EQ(goldens.size(), configs.size())
+      << "golden file entry count does not match the config matrix; "
+         "regenerate with REPRO_UPDATE_GOLDEN=1";
+  for (const RunResult& r : serial) {
+    const auto it = goldens.find(key_of(r));
+    ASSERT_NE(it, goldens.end()) << "no golden entry for " << key_of(r);
+    EXPECT_EQ(r.trace_digest, it->second.digest)
+        << key_of(r)
+        << ": canonical trace changed; if intentional, regenerate with "
+           "REPRO_UPDATE_GOLDEN=1 and review the diff";
+    EXPECT_EQ(render_vector(migration_vector(r)), it->second.migrations)
+        << key_of(r) << ": per-iteration migration counts changed";
+  }
+}
+
+}  // namespace
+}  // namespace repro::harness

@@ -8,7 +8,9 @@
 
 #include "repro/common/assert.hpp"
 #include "repro/common/env.hpp"
+#include "repro/harness/cli.hpp"
 #include "repro/harness/figures.hpp"
+#include "repro/harness/json.hpp"
 #include "repro/harness/run.hpp"
 
 namespace repro::harness {
@@ -154,6 +156,142 @@ TEST(Figures, AppendCsvWritesHeaderOnceAndRows) {
   EXPECT_NE(lines[1].find("BT,ft-base,1"), std::string::npos);
   EXPECT_NE(lines[4].find("SP,wc-base,2"), std::string::npos);
   std::filesystem::remove(path);
+}
+
+TEST(Json, WriteResultsJsonCreatesMissingDirectories) {
+  const std::string root = ::testing::TempDir() + "/repro_json_nested";
+  std::filesystem::remove_all(root);
+  RunResult result;
+  result.label = "ft-base";
+  result.total = kNsPerSec;
+  const std::string path = root + "/sub/BENCH_t.json";
+  write_results_json(path, "BT", {result});
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"bench\": \"BT\""), std::string::npos);
+  std::filesystem::remove_all(root);
+}
+
+/// Parses an argv-style list through a Cli wired like the bench
+/// binaries (jobs >= 1, iterations >= 1, a flag, strings, a double).
+struct CliFixture {
+  bool fast = false;
+  std::string benchmark;
+  std::string trace_dir;
+  std::size_t jobs = 0;
+  std::uint32_t iterations = 0;
+  double scale = 1.0;
+  Cli cli{"fixture"};
+
+  CliFixture() {
+    cli.add_flag("fast", &fast, "trim");
+    cli.add_string("benchmark", &benchmark, "name");
+    cli.add_string("trace", &trace_dir, "dir");
+    cli.add_uint("jobs", &jobs, "workers", /*min=*/1);
+    cli.add_uint("iterations", &iterations, "count", /*min=*/1);
+    cli.add_double("scale", &scale, "multiplier");
+  }
+
+  Cli::Status parse(std::vector<const char*> args) {
+    args.insert(args.begin(), "fixture");
+    return cli.parse(static_cast<int>(args.size()), args.data());
+  }
+};
+
+TEST(Cli, ParsesWellFormedArguments) {
+  CliFixture f;
+  ASSERT_EQ(f.parse({"--fast", "--benchmark=CG", "--jobs=4",
+                     "--iterations=25", "--scale=0.5", "--trace=/tmp/t"}),
+            Cli::Status::kOk);
+  EXPECT_TRUE(f.fast);
+  EXPECT_EQ(f.benchmark, "CG");
+  EXPECT_EQ(f.jobs, 4u);
+  EXPECT_EQ(f.iterations, 25u);
+  EXPECT_DOUBLE_EQ(f.scale, 0.5);
+  EXPECT_EQ(f.trace_dir, "/tmp/t");
+}
+
+TEST(Cli, RejectsZeroJobs) {
+  CliFixture f;
+  EXPECT_EQ(f.parse({"--jobs=0"}), Cli::Status::kError);
+  EXPECT_NE(f.cli.error().find("below the minimum"), std::string::npos);
+  EXPECT_EQ(f.jobs, 0u);  // target untouched on error
+}
+
+TEST(Cli, RejectsNegativeAndMalformedNumbers) {
+  for (const char* arg :
+       {"--jobs=-3", "--jobs=+3", "--jobs=", "--jobs=four",
+        "--jobs=3x", "--jobs= 3", "--jobs=3.5",
+        "--jobs=99999999999999999999999"}) {
+    CliFixture f;
+    EXPECT_EQ(f.parse({arg}), Cli::Status::kError) << arg;
+    EXPECT_FALSE(f.cli.error().empty()) << arg;
+    EXPECT_EQ(f.jobs, 0u) << arg;
+  }
+}
+
+TEST(Cli, RejectsValuesAboveTheTargetTypeRange) {
+  // iterations is uint32: 2^32 parses as a uint64 but must not wrap.
+  CliFixture f;
+  EXPECT_EQ(f.parse({"--iterations=4294967296"}), Cli::Status::kError);
+  EXPECT_NE(f.cli.error().find("out of range"), std::string::npos);
+}
+
+TEST(Cli, RejectsUnknownFlagsAndPositionals) {
+  {
+    CliFixture f;
+    EXPECT_EQ(f.parse({"--frobnicate=1"}), Cli::Status::kError);
+    EXPECT_NE(f.cli.error().find("unknown flag"), std::string::npos);
+  }
+  {
+    CliFixture f;
+    EXPECT_EQ(f.parse({"CG"}), Cli::Status::kError);
+    EXPECT_NE(f.cli.error().find("positional"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsMissingValueAndValueOnFlag) {
+  {
+    CliFixture f;
+    EXPECT_EQ(f.parse({"--jobs"}), Cli::Status::kError);
+    EXPECT_NE(f.cli.error().find("needs a value"), std::string::npos);
+  }
+  {
+    CliFixture f;
+    EXPECT_EQ(f.parse({"--fast=1"}), Cli::Status::kError);
+    EXPECT_NE(f.cli.error().find("takes no value"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsNonPositiveDoubles) {
+  for (const char* arg : {"--scale=0", "--scale=-0.5", "--scale=nope"}) {
+    CliFixture f;
+    EXPECT_EQ(f.parse(std::vector<const char*>{arg}), Cli::Status::kError)
+        << arg;
+    EXPECT_DOUBLE_EQ(f.scale, 1.0) << arg;
+  }
+}
+
+TEST(Cli, HelpShortCircuitsAndUsageListsEveryOption) {
+  CliFixture f;
+  EXPECT_EQ(f.parse({"--help"}), Cli::Status::kHelp);
+  EXPECT_EQ(f.parse({"-h"}), Cli::Status::kHelp);
+  const std::string usage = f.cli.usage();
+  for (const char* name :
+       {"--fast", "--benchmark", "--trace", "--jobs", "--iterations",
+        "--scale"}) {
+    EXPECT_NE(usage.find(name), std::string::npos) << name;
+  }
+  EXPECT_NE(usage.find(">= 1"), std::string::npos);
+}
+
+TEST(Cli, EmptyStringValueIsAccepted) {
+  CliFixture f;
+  f.benchmark = "BT";
+  ASSERT_EQ(f.parse({"--benchmark="}), Cli::Status::kOk);
+  EXPECT_TRUE(f.benchmark.empty());
 }
 
 TEST(Figures, MeanSlowdownAveragesAcrossBenchmarks) {

@@ -229,6 +229,28 @@ TEST(Scheduler, ParallelOutputByteIdenticalToSerial) {
   }
 }
 
+TEST(Scheduler, TraceDigestIdenticalAcrossJobsAndSeeds) {
+  // The canonical trace is ordered by (simulated time, lane, seq), so
+  // its digest must not depend on which host worker ran a cell -- for
+  // any RNG seed, including ones that drive the "rand" placement.
+  for (const std::uint64_t seed :
+       {std::uint64_t{12345}, std::uint64_t{7}, std::uint64_t{999}}) {
+    std::vector<RunConfig> configs = small_matrix(seed);
+    for (RunConfig& config : configs) {
+      config.trace = true;
+    }
+    const std::vector<RunResult> serial = run_experiments(configs, 1);
+    const std::vector<RunResult> parallel = run_experiments(configs, 4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(serial[i].trace_digest.size(), 16u)
+          << serial[i].label << " seed " << seed;
+      EXPECT_EQ(serial[i].trace_digest, parallel[i].trace_digest)
+          << serial[i].label << " seed " << seed;
+    }
+  }
+}
+
 TEST(Scheduler, ResultsComeBackInInputOrder) {
   const std::vector<RunConfig> configs = small_matrix(12345);
   const std::vector<RunResult> results = run_experiments(configs, 4);

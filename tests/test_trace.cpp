@@ -1,0 +1,401 @@
+// Trace subsystem tests: sink ordering and canonicalization, the two
+// exporters, the digest, the derived metrics registry, and the
+// zero-perturbation guarantee when tracing is off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repro/harness/run.hpp"
+#include "repro/trace/event.hpp"
+#include "repro/trace/export.hpp"
+#include "repro/trace/metrics.hpp"
+#include "repro/trace/sink.hpp"
+
+namespace repro::trace {
+namespace {
+
+TraceEvent at(Ns time, EventKind kind) {
+  TraceEvent ev;
+  ev.time = time;
+  ev.kind = kind;
+  return ev;
+}
+
+TEST(TraceSink, LaneRegistrationAssignsSequentialIds) {
+  TraceSink sink;
+  EXPECT_EQ(sink.register_lane("runtime"), 0);
+  EXPECT_EQ(sink.register_lane("kernel"), 1);
+  EXPECT_EQ(sink.register_lane("upmlib"), 2);
+  EXPECT_EQ(sink.num_lanes(), 3u);
+  EXPECT_EQ(sink.lane_name(1), "kernel");
+  EXPECT_TRUE(sink.empty());
+}
+
+TEST(TraceSink, PhaseInterningReservesZeroAndDeduplicates) {
+  TraceSink sink;
+  EXPECT_EQ(sink.phase_name(0), "");
+  const std::uint32_t a = sink.intern_phase("x_solve");
+  const std::uint32_t b = sink.intern_phase("y_solve");
+  EXPECT_EQ(a, 1u);
+  EXPECT_EQ(b, 2u);
+  EXPECT_EQ(sink.intern_phase("x_solve"), a);
+  EXPECT_EQ(sink.num_phases(), 3u);
+  EXPECT_EQ(sink.phase_name(a), "x_solve");
+}
+
+TEST(TraceSink, EmitStampsContextAndPerLaneSeq) {
+  TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("test");
+  sink.set_iteration(7);
+  sink.set_phase(sink.intern_phase("z_solve"));
+  sink.emit(lane, at(100, EventKind::kPageMigration));
+  sink.emit(lane, at(200, EventKind::kPageMigration));
+  const std::vector<TraceEvent>& events = sink.lane_events(lane);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[0].lane, lane);
+  EXPECT_EQ(events[0].iteration, 7u);
+  EXPECT_EQ(events[0].phase, 1u);
+}
+
+TEST(TraceSink, EmitNowUsesSinkClock) {
+  TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("test");
+  sink.set_now(12345);
+  sink.emit_now(lane, at(0, EventKind::kDaemonScan));
+  EXPECT_EQ(sink.lane_events(lane)[0].time, 12345u);
+}
+
+TEST(TraceSink, CanonicalOrderSortsByTimeThenLaneThenSeq) {
+  TraceSink sink;
+  const std::uint16_t l0 = sink.register_lane("first");
+  const std::uint16_t l1 = sink.register_lane("second");
+  // Emitted "out of order" on purpose: lane 1 gets its events first
+  // (as a later-scheduled host thread would), and times interleave.
+  sink.emit(l1, at(50, EventKind::kRegionBegin));
+  sink.emit(l1, at(50, EventKind::kRegionEnd));
+  sink.emit(l1, at(10, EventKind::kBarrierWait));
+  sink.emit(l0, at(50, EventKind::kPageMigration));
+  sink.emit(l0, at(5, EventKind::kQueueSample));
+  const std::vector<TraceEvent> events = sink.canonical_events();
+  ASSERT_EQ(events.size(), 5u);
+  // (5, l0), (10, l1), then the time-50 tie broken by lane, then by
+  // per-lane seq within lane 1.
+  EXPECT_EQ(events[0].kind, EventKind::kQueueSample);
+  EXPECT_EQ(events[1].kind, EventKind::kBarrierWait);
+  EXPECT_EQ(events[2].kind, EventKind::kPageMigration);
+  EXPECT_EQ(events[3].kind, EventKind::kRegionBegin);
+  EXPECT_EQ(events[4].kind, EventKind::kRegionEnd);
+  EXPECT_LT(events[3].seq, events[4].seq);
+}
+
+TEST(TraceSink, HostEmissionOrderDoesNotChangeCanonicalOrder) {
+  // The same simulated events appended in two different host orders
+  // (serial vs "work-stolen") must canonicalize identically. This is
+  // the property the --jobs determinism suite leans on.
+  const auto build = [](bool swap_host_order) {
+    auto sink = std::make_unique<TraceSink>();
+    const std::uint16_t a = sink->register_lane("a");
+    const std::uint16_t b = sink->register_lane("b");
+    if (swap_host_order) {
+      sink->emit(b, at(20, EventKind::kRegionEnd));
+      sink->emit(a, at(10, EventKind::kRegionBegin));
+      sink->emit(a, at(20, EventKind::kPageMigration));
+    } else {
+      sink->emit(a, at(10, EventKind::kRegionBegin));
+      sink->emit(a, at(20, EventKind::kPageMigration));
+      sink->emit(b, at(20, EventKind::kRegionEnd));
+    }
+    return sink;
+  };
+  const auto serial = build(false);
+  const auto stolen = build(true);
+  EXPECT_EQ(canonical_dump(*serial), canonical_dump(*stolen));
+  EXPECT_EQ(digest(*serial), digest(*stolen));
+}
+
+TEST(TraceSink, ClearDropsEventsButKeepsLanesAndPhases) {
+  TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("test");
+  const std::uint32_t phase = sink.intern_phase("cold");
+  sink.emit(lane, at(1, EventKind::kRegionBegin));
+  ASSERT_EQ(sink.size(), 1u);
+  sink.clear();
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(sink.num_lanes(), 1u);
+  EXPECT_EQ(sink.phase_name(phase), "cold");
+}
+
+TEST(EventKindNames, StableLowercaseIdentifiers) {
+  EXPECT_STREQ(event_kind_name(EventKind::kRegionBegin), "region_begin");
+  EXPECT_STREQ(event_kind_name(EventKind::kPageMigration),
+               "page_migration");
+  EXPECT_STREQ(event_kind_name(EventKind::kUpmCall), "upm_call");
+  EXPECT_STREQ(event_kind_name(EventKind::kIterationEnd), "iteration_end");
+}
+
+TEST(CanonicalDump, RendersHeaderTablesAndEventLines) {
+  TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("kernel");
+  sink.set_phase(sink.intern_phase("z_solve"));
+  sink.set_iteration(2);
+  TraceEvent ev = at(1500, EventKind::kPageMigration);
+  ev.page = 42;
+  ev.src = 0;
+  ev.dst = 3;
+  ev.cost = 25000;
+  sink.emit(lane, ev);
+
+  const std::string dump = canonical_dump(sink);
+  EXPECT_EQ(dump,
+            "# repro-trace v1\n"
+            "lane 0 kernel\n"
+            "phase 1 z_solve\n"
+            "1500 page_migration lane=0 seq=0 it=2 ph=1 node=-1 src=0 "
+            "dst=3 page=42 a=0 b=0 cost=25000\n");
+}
+
+TEST(CanonicalDump, RoundTripsThroughWriteCanonical) {
+  TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("test");
+  sink.emit(lane, at(7, EventKind::kQueueSample));
+  std::ostringstream os;
+  write_canonical(os, sink);
+  EXPECT_EQ(os.str(), canonical_dump(sink));
+}
+
+TEST(Digest, MatchesFnv1aReferenceValues) {
+  // FNV-1a 64 reference vectors (offset basis, and the published "a").
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+}
+
+TEST(Digest, SixteenHexDigitsStableAndSensitive) {
+  TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("test");
+  sink.emit(lane, at(10, EventKind::kPageMigration));
+  const std::string d1 = digest(sink);
+  EXPECT_EQ(d1.size(), 16u);
+  EXPECT_EQ(d1.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(digest(sink), d1);  // stable across calls
+
+  TraceSink other;
+  const std::uint16_t olane = other.register_lane("test");
+  TraceEvent ev = at(10, EventKind::kPageMigration);
+  ev.page = 1;  // one payload field differs
+  other.emit(olane, ev);
+  EXPECT_NE(digest(other), d1);
+}
+
+TEST(ChromeTrace, EmitsRegionBarrierCounterAndInstantEvents) {
+  TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("runtime");
+  sink.set_phase(sink.intern_phase("conj_grad"));
+  sink.emit(lane, at(1000, EventKind::kRegionBegin));
+  TraceEvent wait = at(5000, EventKind::kBarrierWait);
+  wait.node = 2;
+  wait.a = 3000;
+  sink.emit(lane, wait);
+  TraceEvent idle = at(5000, EventKind::kBarrierWait);
+  idle.node = 3;
+  idle.a = 0;  // zero-length waits are dropped from the viewer
+  sink.emit(lane, idle);
+  TraceEvent queue = at(5000, EventKind::kQueueSample);
+  queue.node = 1;
+  queue.a = 250;
+  sink.emit(lane, queue);
+  sink.emit(lane, at(5000, EventKind::kRegionEnd));
+  TraceEvent mig = at(6000, EventKind::kPageMigration);
+  mig.page = 9;
+  sink.emit(lane, mig);
+
+  std::ostringstream os;
+  write_chrome_trace(os, sink);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"B\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"E\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"conj_grad\""), std::string::npos);
+  // Barrier slice: starts at end - wait = 2000 ns = 2 us, tid = node+1.
+  EXPECT_NE(json.find("\"ph\": \"X\", \"pid\": 0, \"tid\": 3, "
+                      "\"ts\": 2, \"dur\": 3"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"tid\": 4"), std::string::npos);  // idle dropped
+  EXPECT_NE(json.find("\"queue_backlog_node1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"page_migration\""), std::string::npos);
+  // Crude well-formedness: balanced braces/brackets.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Percentile95, NearestRank) {
+  EXPECT_EQ(percentile95({}), 0u);
+  EXPECT_EQ(percentile95({42}), 42u);
+  // n = 20: rank = ceil(0.95 * 20) = 19 -> second largest.
+  std::vector<Ns> twenty;
+  for (Ns i = 1; i <= 20; ++i) {
+    twenty.push_back(i * 10);
+  }
+  EXPECT_EQ(percentile95(twenty), 190u);
+  // Order must not matter (the function sorts its copy).
+  EXPECT_EQ(percentile95({30, 10, 20}), 30u);
+}
+
+TEST(MetricsRegistry, DerivesPerIterationRowsFromHandBuiltStream) {
+  TraceSink sink;
+  const std::uint16_t kernel = sink.register_lane("kernel");
+  const std::uint16_t upm = sink.register_lane("upmlib");
+  const std::uint16_t harness = sink.register_lane("harness");
+
+  sink.set_iteration(1);
+  TraceEvent mig = at(100, EventKind::kPageMigration);
+  mig.cost = 25000;
+  sink.emit(kernel, mig);
+  sink.emit(kernel, mig);
+  TraceEvent rep = at(150, EventKind::kPageReplication);
+  sink.emit(kernel, rep);
+  TraceEvent freeze = at(160, EventKind::kPageFreeze);
+  sink.emit(upm, freeze);
+  TraceEvent call = at(200, EventKind::kUpmCall);
+  call.b = 2;  // migrations performed by the call
+  call.cost = 60000;
+  sink.emit(upm, call);
+  TraceEvent wait = at(210, EventKind::kBarrierWait);
+  wait.a = 500;
+  sink.emit(kernel, wait);
+  sink.emit(kernel, wait);
+  for (const Ns backlog : {Ns{100}, Ns{200}, Ns{300}}) {
+    TraceEvent sample = at(220, EventKind::kQueueSample);
+    sample.a = backlog;
+    sink.emit(kernel, sample);
+  }
+  TraceEvent end = at(250, EventKind::kIterationEnd);
+  end.a = 30;  // remote miss lines
+  end.b = 70;  // local miss lines
+  sink.emit(harness, end);
+
+  sink.set_iteration(2);
+  TraceEvent scan = at(300, EventKind::kDaemonScan);
+  scan.a = static_cast<std::uint64_t>(DaemonDecision::kMigrated);
+  sink.emit(kernel, scan);
+  TraceEvent suppressed = at(310, EventKind::kDaemonScan);
+  suppressed.a =
+      static_cast<std::uint64_t>(DaemonDecision::kSuppressedFrozen);
+  sink.emit(kernel, suppressed);
+  TraceEvent end2 = at(350, EventKind::kIterationEnd);
+  end2.a = 10;
+  end2.b = 90;
+  sink.emit(harness, end2);
+
+  const MetricsRegistry registry(sink);
+  ASSERT_EQ(registry.per_iteration().size(), 2u);
+  const IterationMetrics& it1 = registry.per_iteration()[0];
+  EXPECT_EQ(it1.iteration, 1u);
+  EXPECT_EQ(it1.migrations, 2u);
+  EXPECT_EQ(it1.migration_cost, 50000u);
+  EXPECT_EQ(it1.upm_migrations, 2u);
+  EXPECT_EQ(it1.daemon_migrations, 0u);
+  EXPECT_EQ(it1.replications, 1u);
+  EXPECT_EQ(it1.freezes, 1u);
+  EXPECT_EQ(it1.barrier_wait, 1000u);
+  EXPECT_EQ(it1.queue_backlog_p95, 300u);
+  EXPECT_EQ(it1.remote_miss_lines, 30u);
+  EXPECT_EQ(it1.local_miss_lines, 70u);
+  EXPECT_DOUBLE_EQ(it1.remote_ratio(), 0.3);
+
+  const IterationMetrics& it2 = registry.per_iteration()[1];
+  EXPECT_EQ(it2.iteration, 2u);
+  EXPECT_EQ(it2.migrations, 0u);
+  // Only the kMigrated decision counts; suppressions do not.
+  EXPECT_EQ(it2.daemon_migrations, 1u);
+  EXPECT_EQ(it2.queue_backlog_p95, 0u);
+  EXPECT_DOUBLE_EQ(it2.remote_ratio(), 0.1);
+
+  const IterationMetrics totals = registry.totals();
+  EXPECT_EQ(totals.migrations, 2u);
+  EXPECT_EQ(totals.daemon_migrations, 1u);
+  EXPECT_EQ(totals.remote_miss_lines, 40u);
+  EXPECT_EQ(totals.local_miss_lines, 160u);
+
+  EXPECT_EQ(registry.migrations_per_timed_iteration(),
+            (std::vector<std::uint64_t>{2, 0}));
+}
+
+TEST(MetricsRegistry, EmptyTraceYieldsNoRows) {
+  TraceSink sink;
+  sink.register_lane("test");
+  const MetricsRegistry registry(sink);
+  EXPECT_TRUE(registry.per_iteration().empty());
+  EXPECT_TRUE(registry.migrations_per_timed_iteration().empty());
+  EXPECT_EQ(registry.totals().migrations, 0u);
+  EXPECT_DOUBLE_EQ(registry.totals().remote_ratio(), 0.0);
+}
+
+harness::RunConfig tiny_config(const std::string& benchmark) {
+  harness::RunConfig config;
+  config.benchmark = benchmark;
+  config.iterations = 2;
+  config.workload.size_scale = 0.25;
+  return config;
+}
+
+TEST(TracingOff, NoSinkNoDigestNoMetrics) {
+  const harness::RunResult result = run_benchmark(tiny_config("CG"));
+  EXPECT_EQ(result.trace, nullptr);
+  EXPECT_TRUE(result.trace_digest.empty());
+  EXPECT_TRUE(result.iteration_metrics.empty());
+}
+
+TEST(TracingOn, DoesNotPerturbTheSimulation) {
+  // Tracing must be pure observation: the simulated timeline with the
+  // sink attached is bit-identical to the untraced run.
+  harness::RunConfig config = tiny_config("CG");
+  config.upm_mode = nas::UpmMode::kDistribution;
+  const harness::RunResult off = run_benchmark(config);
+  config.trace = true;
+  const harness::RunResult on = run_benchmark(config);
+  EXPECT_EQ(off.total, on.total);
+  EXPECT_EQ(off.iteration_times, on.iteration_times);
+  EXPECT_EQ(off.memory_totals.remote_miss_lines,
+            on.memory_totals.remote_miss_lines);
+  ASSERT_NE(on.trace, nullptr);
+  EXPECT_FALSE(on.trace->empty());
+  EXPECT_EQ(on.trace_digest.size(), 16u);
+  EXPECT_FALSE(on.iteration_metrics.empty());
+}
+
+TEST(TracingOn, DigestIdenticalAcrossConsecutiveRuns) {
+  harness::RunConfig config = tiny_config("BT");
+  config.trace = true;
+  const harness::RunResult a = run_benchmark(config);
+  const harness::RunResult b = run_benchmark(config);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  ASSERT_NE(a.trace, nullptr);
+  ASSERT_NE(b.trace, nullptr);
+  EXPECT_EQ(canonical_dump(*a.trace), canonical_dump(*b.trace));
+}
+
+TEST(TracingOn, IterationMetricsCoverTimedIterations) {
+  harness::RunConfig config = tiny_config("MG");
+  config.trace = true;
+  const harness::RunResult result = run_benchmark(config);
+  ASSERT_FALSE(result.iteration_metrics.empty());
+  // The cold start is cleared, so the first row is timed iteration 1.
+  EXPECT_GE(result.iteration_metrics.front().iteration, 1u);
+  EXPECT_EQ(result.iteration_metrics.back().iteration, 2u);
+  std::uint64_t miss_lines = 0;
+  for (const IterationMetrics& m : result.iteration_metrics) {
+    miss_lines += m.remote_miss_lines + m.local_miss_lines;
+  }
+  EXPECT_GT(miss_lines, 0u);
+}
+
+}  // namespace
+}  // namespace repro::trace
