@@ -30,6 +30,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--fast") {
       Env::global().set("REPRO_FAST", "1");
+    } else if (arg == "--no-fast-forward") {
+      options.no_fast_forward = true;
     } else if (arg.rfind("--jobs=", 0) == 0) {
       options.jobs = std::stoul(arg.substr(7));
     } else {

@@ -41,6 +41,9 @@ int main(int argc, char** argv) {
   std::string json_path;
   Cli cli("fig1_placement");
   cli.add_flag("fast", &fast, "trim the long benchmarks (REPRO_FAST)");
+  cli.add_flag("no-fast-forward", &options.no_fast_forward,
+               "simulate every iteration in full (disable the "
+               "steady-state fast-forward)");
   cli.add_uint("iterations", &options.iterations_override,
                "override the per-benchmark iteration count", /*min=*/1);
   cli.add_string("benchmark", &benchmark, "run a single benchmark");

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--fast") {
       Env::global().set("REPRO_FAST", "1");
+    } else if (arg == "--no-fast-forward") {
+      options.no_fast_forward = true;
     } else if (arg.rfind("--iterations=", 0) == 0) {
       options.iterations_override =
           static_cast<std::uint32_t>(std::stoul(arg.substr(13)));

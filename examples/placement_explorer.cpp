@@ -50,6 +50,9 @@ int main(int argc, char** argv) {
   cli.add_string("trace", &config.trace_dir,
                  "record the event trace and export the canonical dump + "
                  "Chrome trace here (also: REPRO_TRACE=DIR)");
+  cli.add_flag("no-fast-forward", &config.no_fast_forward,
+               "simulate every iteration in full (disable the "
+               "steady-state fast-forward)");
   const double default_scale = config.workload.size_scale;
   switch (cli.parse(argc, argv)) {
     case Cli::Status::kHelp:

@@ -1,0 +1,362 @@
+#include "repro/harness/fast_forward.hpp"
+
+#include <utility>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/common/hash.hpp"
+#include "repro/common/log.hpp"
+
+namespace repro::harness {
+
+namespace {
+
+bool same_kernel(const os::KernelStats& a, const os::KernelStats& b) {
+  return a.page_faults == b.page_faults && a.migrations == b.migrations &&
+         a.rejected_migrations == b.rejected_migrations &&
+         a.redirected_migrations == b.redirected_migrations &&
+         a.migration_cost == b.migration_cost &&
+         a.replications == b.replications &&
+         a.replica_collapses == b.replica_collapses;
+}
+
+bool same_daemon(const os::DaemonStats& a, const os::DaemonStats& b) {
+  return a.interrupts == b.interrupts && a.migrations == b.migrations &&
+         a.window_resets == b.window_resets &&
+         a.suppressed_cooloff == b.suppressed_cooloff &&
+         a.suppressed_frozen == b.suppressed_frozen &&
+         a.suppressed_global == b.suppressed_global && a.cost == b.cost;
+}
+
+/// delta(a0 -> a1) == delta(b0 -> b1), field-wise.
+bool same_proc_delta(const memsys::ProcStats& a0, const memsys::ProcStats& a1,
+                     const memsys::ProcStats& b0,
+                     const memsys::ProcStats& b1) {
+  return a1.hit_lines - a0.hit_lines == b1.hit_lines - b0.hit_lines &&
+         a1.local_miss_lines - a0.local_miss_lines ==
+             b1.local_miss_lines - b0.local_miss_lines &&
+         a1.remote_miss_lines - a0.remote_miss_lines ==
+             b1.remote_miss_lines - b0.remote_miss_lines &&
+         a1.queue_wait - a0.queue_wait == b1.queue_wait - b0.queue_wait &&
+         a1.invalidations_sent - a0.invalidations_sent ==
+             b1.invalidations_sent - b0.invalidations_sent &&
+         a1.tlb_misses - a0.tlb_misses == b1.tlb_misses - b0.tlb_misses;
+}
+
+}  // namespace
+
+FastForward::FastForward(omp::Machine& machine, const upm::Upmlib* upmlib,
+                         trace::TraceSink* sink)
+    : machine_(&machine), upmlib_(upmlib), sink_(sink) {
+  probe_limit_ = static_cast<std::uint32_t>(Env::global().get_int(
+      "REPRO_FF_PROBE_LIMIT", kMaxUnreadyProbes));
+}
+
+FastForward::Snapshot FastForward::capture() {
+  Snapshot s;
+  omp::Runtime& rt = machine_->runtime();
+  s.now = rt.now();
+
+  StateHash hash;
+  hash.mix(machine_->memory().digest(s.now));
+  hash.mix(machine_->kernel().digest(s.now));
+  hash.mix(rt.digest());
+  hash.mix(upmlib_ != nullptr ? 1 : 0);
+  if (upmlib_ != nullptr) {
+    hash.mix(upmlib_->digest());
+  }
+  s.digest = hash.value();
+
+  const std::size_t procs = machine_->config().num_procs();
+  s.proc_stats.reserve(procs);
+  for (std::size_t p = 0; p < procs; ++p) {
+    s.proc_stats.push_back(
+        machine_->memory().stats(ProcId(static_cast<std::uint32_t>(p))));
+  }
+  s.kernel = machine_->kernel().stats();
+  if (machine_->kernel().daemon() != nullptr) {
+    s.daemon = machine_->kernel().daemon()->stats();
+  }
+  if (upmlib_ != nullptr) {
+    const upm::UpmStats& u = upmlib_->stats();
+    s.upm = UpmScalars{u.distribution_migrations,
+                       u.replay_migrations,
+                       u.undo_migrations,
+                       u.replications,
+                       u.frozen_pages,
+                       u.migrations_per_invocation.size(),
+                       u.distribution_cost,
+                       u.recrep_cost,
+                       u.replication_cost};
+  }
+  const std::size_t nodes = machine_->config().num_nodes;
+  s.queues.reserve(nodes);
+  for (std::size_t n = 0; n < nodes; ++n) {
+    const memsys::MemQueue& q =
+        machine_->memory().queue(NodeId(static_cast<std::uint32_t>(n)));
+    s.queues.push_back({q.lines_served(), q.total_wait()});
+  }
+  if (sink_ != nullptr) {
+    const auto lanes = static_cast<std::uint16_t>(sink_->num_lanes());
+    s.lane_sizes.reserve(lanes);
+    for (std::uint16_t l = 0; l < lanes; ++l) {
+      s.lane_sizes.push_back(sink_->lane_events(l).size());
+    }
+  }
+  s.record_count = rt.records().size();
+  return s;
+}
+
+void FastForward::probe() {
+  if (retired_) {
+    return;
+  }
+  Snapshot s = capture();
+  REPRO_LOG_DEBUG("ff digest ", s.digest, " at ", s.now);
+  s.migration_pass = migration_pass_;
+  migration_pass_ = false;
+  snapshots_.push_back(std::move(s));
+  if (snapshots_.size() > 2 * kMaxPeriod + 1) {
+    snapshots_.erase(snapshots_.begin());
+  }
+  // Smallest period first: a period-1 fixed point also satisfies every
+  // larger candidate, and shorter periods replay with less leftover.
+  for (std::uint32_t p = 1; p <= kMaxPeriod; ++p) {
+    if (snapshots_.size() >= 2 * p + 1 && entry_rule_holds(p)) {
+      ready_ = true;
+      period_iters_ = p;
+      return;
+    }
+  }
+  if (probe_limit_ != 0 && ++unready_probes_ >= probe_limit_) {
+    retired_ = true;
+    snapshots_.clear();
+    snapshots_.shrink_to_fit();
+  }
+}
+
+bool FastForward::entry_rule_holds(std::uint32_t period) const {
+  // The last 2p+1 snapshots s[0..n] bracket two p-iteration blocks:
+  // A = s[0]..s[p], B = s[p]..s[n].
+  const auto p = static_cast<std::size_t>(period);
+  const std::size_t n = 2 * p;
+  const Snapshot* s = snapshots_.data() + (snapshots_.size() - n - 1);
+
+  // Every pair of probes p iterations apart saw the same behavioural
+  // state: the window is digest-periodic (and, as a determinism
+  // cross-check, block B left the state exactly where block A did).
+  for (std::size_t i = 0; i + p <= n; ++i) {
+    if (s[i].digest != s[i + p].digest) {
+      return false;
+    }
+  }
+  // Matching per-sub-iteration times; their sums make the two block
+  // periods equal automatically.
+  const Ns block_ns = s[n].now - s[p].now;
+  if (block_ns == 0) {
+    return false;
+  }
+  for (std::size_t i = 0; i < p; ++i) {
+    if (s[i + 1].now - s[i].now != s[i + p + 1].now - s[i + p].now) {
+      return false;
+    }
+  }
+  // No migration engine did anything across either block. The counters
+  // are monotone, so end == start means zero activity in between.
+  for (std::size_t i = 1; i <= n; ++i) {
+    if (s[i].migration_pass) {
+      return false;
+    }
+  }
+  if (!same_kernel(s[0].kernel, s[n].kernel) ||
+      !same_daemon(s[0].daemon, s[n].daemon) || !(s[0].upm == s[n].upm)) {
+    return false;
+  }
+  // Identical per-processor statistics deltas, sub-iteration by
+  // sub-iteration.
+  for (std::size_t i = 0; i < p; ++i) {
+    for (std::size_t q = 0; q < s[0].proc_stats.size(); ++q) {
+      if (!same_proc_delta(s[i].proc_stats[q], s[i + 1].proc_stats[q],
+                           s[i + p].proc_stats[q],
+                           s[i + p + 1].proc_stats[q])) {
+        return false;
+      }
+    }
+    // Identical per-node queue throughput deltas.
+    for (std::size_t q = 0; q < s[0].queues.size(); ++q) {
+      if (s[i + 1].queues[q].lines - s[i].queues[q].lines !=
+              s[i + p + 1].queues[q].lines - s[i + p].queues[q].lines ||
+          s[i + 1].queues[q].wait - s[i].queues[q].wait !=
+              s[i + p + 1].queues[q].wait - s[i + p].queues[q].wait) {
+        return false;
+      }
+    }
+  }
+  // Identical region records, shifted by exactly one block period
+  // (with the sub-iteration boundaries lining up too).
+  const auto& records = machine_->runtime().records();
+  for (std::size_t i = 0; i <= p; ++i) {
+    if (s[i].record_count - s[0].record_count !=
+        s[i + p].record_count - s[p].record_count) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < s[n].record_count - s[p].record_count; ++i) {
+    const omp::RegionRecord& prev = records[s[0].record_count + i];
+    const omp::RegionRecord& cur = records[s[p].record_count + i];
+    if (prev.name != cur.name || prev.imbalance != cur.imbalance ||
+        cur.start - prev.start != block_ns ||
+        cur.end - prev.end != block_ns) {
+      return false;
+    }
+  }
+  // Identical trace-event streams: same shape, times shifted by one
+  // block period, iteration stamps advanced by the period. The a/b
+  // payloads may advance by a per-event constant (cumulative counters
+  // such as the queue samples' lines-served); replay extrapolates them
+  // affinely.
+  if (sink_ != nullptr) {
+    const auto lanes = static_cast<std::uint16_t>(sink_->num_lanes());
+    for (std::uint16_t l = 0; l < lanes; ++l) {
+      for (std::size_t i = 0; i <= p; ++i) {
+        if (s[i].lane_sizes[l] - s[0].lane_sizes[l] !=
+            s[i + p].lane_sizes[l] - s[p].lane_sizes[l]) {
+          return false;
+        }
+      }
+      const auto& events = sink_->lane_events(l);
+      const std::size_t a0 = s[0].lane_sizes[l];
+      const std::size_t b0 = s[p].lane_sizes[l];
+      for (std::size_t j = 0; j < s[n].lane_sizes[l] - b0; ++j) {
+        const trace::TraceEvent& prev = events[a0 + j];
+        const trace::TraceEvent& cur = events[b0 + j];
+        if (prev.kind != cur.kind || prev.node != cur.node ||
+            prev.src != cur.src || prev.dst != cur.dst ||
+            prev.page != cur.page || prev.cost != cur.cost ||
+            prev.phase != cur.phase || cur.time - prev.time != block_ns ||
+            cur.iteration != prev.iteration + period) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t FastForward::replay(std::uint32_t next_step,
+                                  std::uint32_t iterations,
+                                  std::vector<Ns>& iteration_times) {
+  REPRO_REQUIRE(ready_);
+  // One replay per watcher: the caller simulates whatever sub-block
+  // tail remains, so probing must not re-arm.
+  ready_ = false;
+  retired_ = true;
+  const auto p = static_cast<std::size_t>(period_iters_);
+  const std::size_t n = 2 * p;
+  const Snapshot* s = snapshots_.data() + (snapshots_.size() - n - 1);
+  const Ns block_ns = s[n].now - s[p].now;
+  const std::uint32_t remaining =
+      next_step <= iterations ? iterations - next_step + 1 : 0;
+  const std::uint32_t blocks = remaining / period_iters_;
+  const std::uint32_t count = blocks * period_iters_;
+  if (count == 0) {
+    snapshots_.clear();
+    snapshots_.shrink_to_fit();
+    return 0;
+  }
+  omp::Runtime& rt = machine_->runtime();
+
+  // Re-stamp the cached block's trace events. Copy the source ranges
+  // first: appending grows the very vectors they live in.
+  if (sink_ != nullptr) {
+    const auto lanes = static_cast<std::uint16_t>(sink_->num_lanes());
+    for (std::uint16_t l = 0; l < lanes; ++l) {
+      const auto& events = sink_->lane_events(l);
+      const std::size_t prev_begin = s[0].lane_sizes[l];
+      const std::size_t cur_begin = s[p].lane_sizes[l];
+      const std::size_t len = s[n].lane_sizes[l] - cur_begin;
+      std::vector<trace::TraceEvent> cached(
+          events.begin() + static_cast<std::ptrdiff_t>(cur_begin),
+          events.begin() + static_cast<std::ptrdiff_t>(cur_begin + len));
+      // Per-event payload deltas between the two probed blocks
+      // (modular arithmetic, so decreasing payloads extrapolate too).
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> deltas;
+      deltas.reserve(len);
+      for (std::size_t j = 0; j < len; ++j) {
+        deltas.emplace_back(cached[j].a - events[prev_begin + j].a,
+                            cached[j].b - events[prev_begin + j].b);
+      }
+      for (std::uint32_t c = 1; c <= blocks; ++c) {
+        for (std::size_t j = 0; j < len; ++j) {
+          trace::TraceEvent out = cached[j];
+          out.time += static_cast<Ns>(c) * block_ns;
+          out.iteration += c * period_iters_;
+          out.a += static_cast<std::uint64_t>(c) * deltas[j].first;
+          out.b += static_cast<std::uint64_t>(c) * deltas[j].second;
+          sink_->append_replayed(l, out);
+        }
+      }
+    }
+  }
+
+  // Shifted copies of the cached block's region records.
+  {
+    const auto& records = rt.records();
+    const std::vector<omp::RegionRecord> cached(
+        records.begin() + static_cast<std::ptrdiff_t>(s[p].record_count),
+        records.begin() + static_cast<std::ptrdiff_t>(s[n].record_count));
+    for (std::uint32_t c = 1; c <= blocks; ++c) {
+      for (const omp::RegionRecord& r : cached) {
+        omp::RegionRecord out = r;
+        out.start += static_cast<Ns>(c) * block_ns;
+        out.end += static_cast<Ns>(c) * block_ns;
+        rt.append_record(std::move(out));
+      }
+    }
+  }
+
+  // Statistics and clocks advance delta-by-block.
+  std::vector<memsys::ProcStats> delta(s[p].proc_stats.size());
+  for (std::size_t q = 0; q < delta.size(); ++q) {
+    const memsys::ProcStats& a = s[p].proc_stats[q];
+    const memsys::ProcStats& b = s[n].proc_stats[q];
+    delta[q].hit_lines = b.hit_lines - a.hit_lines;
+    delta[q].local_miss_lines = b.local_miss_lines - a.local_miss_lines;
+    delta[q].remote_miss_lines = b.remote_miss_lines - a.remote_miss_lines;
+    delta[q].queue_wait = b.queue_wait - a.queue_wait;
+    delta[q].invalidations_sent =
+        b.invalidations_sent - a.invalidations_sent;
+    delta[q].tlb_misses = b.tlb_misses - a.tlb_misses;
+  }
+  machine_->memory().apply_stats_delta(delta, blocks);
+  for (std::size_t q = 0; q < s[p].queues.size(); ++q) {
+    machine_->memory().advance_queue_replayed(
+        NodeId(static_cast<std::uint32_t>(q)), blocks,
+        s[n].queues[q].lines - s[p].queues[q].lines,
+        s[n].queues[q].wait - s[p].queues[q].wait, block_ns);
+  }
+  rt.advance(static_cast<Ns>(blocks) * block_ns);
+  // The daemon's timers are absolute; shift them so a simulated
+  // sub-block tail ages windows exactly as a full run would. (A
+  // quiescent-but-installed daemon passes the gate only with no
+  // tracked-page misses in the window, but the shift keeps the state
+  // consistent either way.)
+  if (machine_->kernel().daemon() != nullptr) {
+    machine_->kernel().daemon()->advance_replayed(
+        static_cast<Ns>(blocks) * block_ns);
+  }
+  for (std::uint32_t c = 0; c < blocks; ++c) {
+    for (std::size_t i = 0; i < p; ++i) {
+      iteration_times.push_back(s[p + i + 1].now - s[p + i].now);
+    }
+  }
+  if (sink_ != nullptr) {
+    sink_->set_now(rt.now());
+    sink_->set_iteration(next_step + count - 1);
+  }
+  snapshots_.clear();
+  snapshots_.shrink_to_fit();
+  return count;
+}
+
+}  // namespace repro::harness

@@ -37,6 +37,7 @@ RunConfig base_config(const std::string& benchmark,
   config.seed = options.seed;
   config.iterations = effective_iterations(benchmark, options);
   config.trace_dir = options.trace_dir;
+  config.no_fast_forward = options.no_fast_forward;
   return config;
 }
 

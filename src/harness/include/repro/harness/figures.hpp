@@ -24,6 +24,9 @@ struct FigureOptions {
   /// Non-empty: record an event trace of every run and export the
   /// canonical dump + Chrome trace into this directory (--trace=DIR).
   std::string trace_dir;
+  /// Simulate every timed iteration in full instead of fast-forwarding
+  /// once a steady state is detected (--no-fast-forward).
+  bool no_fast_forward = false;
   memsys::MachineConfig machine;
 };
 

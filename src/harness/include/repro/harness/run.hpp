@@ -50,6 +50,13 @@ struct RunConfig {
   /// dump) and .chrome.json (chrome://tracing / Perfetto) into; created
   /// if missing. Empty = keep the trace in memory only.
   std::string trace_dir;
+  /// Disables the steady-state fast-forward (see
+  /// repro::harness::FastForward): every timed iteration is simulated
+  /// in full. Results are byte-identical either way -- this exists for
+  /// A/B validation and timing honesty checks. Also forced off by
+  /// REPRO_FAST_FORWARD=0 in the environment, and implicitly when
+  /// `analyze` is set (the analyzer inspects each executed region).
+  bool no_fast_forward = false;
 
   memsys::MachineConfig machine;
   os::DaemonConfig daemon;
@@ -83,6 +90,11 @@ struct RunResult {
   std::string trace_digest;
   /// Per-iteration counters derived from the trace (same condition).
   std::vector<trace::IterationMetrics> iteration_metrics;
+  /// How the timed iterations were produced: simulated in full versus
+  /// synthesized by the steady-state fast-forward (they always sum to
+  /// the requested iteration count).
+  std::uint32_t iterations_simulated = 0;
+  std::uint32_t iterations_replayed = 0;
 
   [[nodiscard]] double seconds() const { return ns_to_seconds(total); }
 

@@ -47,6 +47,10 @@ std::string results_to_json(const std::vector<RunResult>& results) {
     append_field(os, "total_ns", r.total);
     append_field(os, "iterations",
                  static_cast<std::uint64_t>(r.iteration_times.size()));
+    append_field(os, "iterations_simulated",
+                 static_cast<std::uint64_t>(r.iterations_simulated));
+    append_field(os, "iterations_replayed",
+                 static_cast<std::uint64_t>(r.iterations_replayed));
     append_field(os, "mean_iteration_last75_ns", r.mean_iteration_last(0.75));
     append_field(os, "remote_fraction",
                  r.memory_totals.remote_fraction());

@@ -8,6 +8,7 @@
 #include "repro/common/assert.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/log.hpp"
+#include "repro/harness/fast_forward.hpp"
 #include "repro/omp/machine.hpp"
 #include "repro/trace/export.hpp"
 
@@ -140,12 +141,43 @@ RunResult run_benchmark(const RunConfig& config) {
   result.benchmark = config.benchmark;
   result.iteration_times.reserve(iterations);
 
+  // Steady-state fast-forward: on unless opted out, and off under the
+  // analyzer (it inspects every *executed* region, so synthesized
+  // iterations would change its input).
+  const bool fast_forward =
+      !config.no_fast_forward && !analyze &&
+      Env::global().get_bool("REPRO_FAST_FORWARD", true);
+  std::unique_ptr<FastForward> ff;
+  if (fast_forward) {
+    ff = std::make_unique<FastForward>(*machine, upmlib.get(), sink);
+  }
+
   omp::Runtime& rt = machine->runtime();
   const Ns t0 = rt.now();
   std::size_t last_migrations = 0;
   std::uint64_t seen_remote_lines = 0;
   std::uint64_t seen_local_lines = 0;
   for (std::uint32_t step = 1; step <= iterations; ++step) {
+    if (ff != nullptr) {
+      ff->probe();
+      if (ff->ready()) {
+        result.iterations_replayed =
+            ff->replay(step, iterations, result.iteration_times);
+        step += result.iterations_replayed;
+        if (step > iterations) {
+          break;
+        }
+        // A steady state with period > 1 replays whole blocks only;
+        // the (< period) leftover iterations are simulated for real
+        // from the time-shifted steady state. Resync the baselines the
+        // iteration-end events difference against, since the replay
+        // advanced the cumulative counters underneath them.
+        const memsys::ProcStats totals = machine->memory().total_stats();
+        seen_remote_lines = totals.remote_miss_lines;
+        seen_local_lines = totals.local_miss_lines;
+      }
+    }
+    ++result.iterations_simulated;
     const Ns iter_start = rt.now();
     if (sink != nullptr) {
       sink->set_iteration(step);
@@ -160,6 +192,9 @@ RunResult run_benchmark(const RunConfig& config) {
       // Paper Fig. 2: invoke the engine after the first iteration and
       // keep invoking it while it still finds pages to move.
       last_migrations = upmlib->migrate_memory();
+      if (ff != nullptr) {
+        ff->note_migration_pass();
+      }
     }
     if (sink != nullptr) {
       const memsys::ProcStats totals = machine->memory().total_stats();
@@ -175,6 +210,11 @@ RunResult run_benchmark(const RunConfig& config) {
     result.iteration_times.push_back(rt.now() - iter_start);
   }
   result.total = rt.now() - t0;
+  if (result.iterations_replayed > 0) {
+    REPRO_LOG_INFO(config.benchmark, " ", result.label,
+                   ": steady state after ", result.iterations_simulated,
+                   " iterations, replayed ", result.iterations_replayed);
+  }
   result.records = rt.records();
   if (upmlib != nullptr) {
     result.upm_stats = upmlib->stats();

@@ -1,5 +1,6 @@
 #include "repro/memsys/directory.hpp"
 
+#include <algorithm>
 #include <bit>
 
 #include "repro/common/assert.hpp"
@@ -14,9 +15,20 @@ unsigned Directory::AccessOutcome::invalidations() const {
   return static_cast<unsigned>(std::popcount(invalidate_mask));
 }
 
+Directory::Entry& Directory::slot(VPage page) {
+  if (page.value() >= entries_.size()) {
+    entries_.resize(std::max<std::size_t>(page.value() + 1,
+                                          entries_.size() * 2));
+  }
+  return entries_[page.value()];
+}
+
 Directory::AccessOutcome Directory::on_read(ProcId proc, VPage page) {
   REPRO_REQUIRE(proc.value() < num_procs_);
-  Entry& e = entries_[page];
+  Entry& e = slot(page);
+  if (e.sharers == 0) {
+    ++tracked_;
+  }
   e.sharers |= 1ULL << proc.value();
   if (e.has_owner && e.owner != proc.value()) {
     // A reader joins: the writer loses exclusivity but keeps its copy.
@@ -27,7 +39,10 @@ Directory::AccessOutcome Directory::on_read(ProcId proc, VPage page) {
 
 Directory::AccessOutcome Directory::on_write(ProcId proc, VPage page) {
   REPRO_REQUIRE(proc.value() < num_procs_);
-  Entry& e = entries_[page];
+  Entry& e = slot(page);
+  if (e.sharers == 0) {
+    ++tracked_;
+  }
   const std::uint64_t self = 1ULL << proc.value();
   AccessOutcome out;
   out.invalidate_mask = e.sharers & ~self;
@@ -39,31 +54,51 @@ Directory::AccessOutcome Directory::on_write(ProcId proc, VPage page) {
 
 void Directory::on_evict(ProcId proc, VPage page) {
   REPRO_REQUIRE(proc.value() < num_procs_);
-  auto it = entries_.find(page);
-  if (it == entries_.end()) {
+  if (page.value() >= entries_.size()) {
     return;
   }
-  Entry& e = it->second;
+  Entry& e = entries_[page.value()];
+  if (e.sharers == 0) {
+    return;
+  }
   e.sharers &= ~(1ULL << proc.value());
   if (e.has_owner && e.owner == proc.value()) {
     e.has_owner = false;
   }
   if (e.sharers == 0) {
-    entries_.erase(it);
+    e = Entry{};
+    --tracked_;
   }
+}
+
+std::uint64_t Directory::digest() const {
+  // Slots whose sharer set emptied are reset, so live entries are
+  // exactly the behaviourally relevant ones; page order is
+  // deterministic.
+  StateHash hash;
+  hash.mix(tracked_);
+  for (std::size_t p = 0; p < entries_.size(); ++p) {
+    const Entry& e = entries_[p];
+    if (e.sharers == 0) {
+      continue;
+    }
+    hash.mix(p);
+    hash.mix(e.sharers);
+    hash.mix(e.has_owner ? e.owner + 1ull : 0ull);
+  }
+  return hash.value();
 }
 
 std::uint64_t Directory::sharers(VPage page) const {
-  auto it = entries_.find(page);
-  return it == entries_.end() ? 0 : it->second.sharers;
+  return page.value() < entries_.size() ? entries_[page.value()].sharers
+                                        : 0;
 }
 
 bool Directory::is_exclusive(ProcId proc, VPage page) const {
-  auto it = entries_.find(page);
-  if (it == entries_.end()) {
+  if (page.value() >= entries_.size()) {
     return false;
   }
-  const Entry& e = it->second;
+  const Entry& e = entries_[page.value()];
   return e.has_owner && e.owner == proc.value() &&
          e.sharers == (1ULL << proc.value());
 }

@@ -9,9 +9,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
+#include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 
 namespace repro::memsys {
@@ -45,9 +45,15 @@ class Directory {
   /// sharers since).
   [[nodiscard]] bool is_exclusive(ProcId proc, VPage page) const;
 
-  [[nodiscard]] std::size_t tracked_pages() const { return entries_.size(); }
+  [[nodiscard]] std::size_t tracked_pages() const { return tracked_; }
+
+  /// Digest of every live entry (page, sharer set, exclusive owner),
+  /// in page order.
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
+  /// A slot with an empty sharer set is dead (has_owner implies the
+  /// owner is a sharer, so sharers == 0 also means no owner).
   struct Entry {
     std::uint64_t sharers = 0;
     /// Valid only when `has_owner`; identifies the exclusive writer.
@@ -55,8 +61,14 @@ class Directory {
     bool has_owner = false;
   };
 
+  Entry& slot(VPage page);
+
   std::size_t num_procs_;
-  std::unordered_map<VPage, Entry> entries_;
+  /// Dense array over the (compact) virtual page space -- the
+  /// directory is consulted on every access, so lookups must be an
+  /// indexed load, not a hash probe.
+  std::vector<Entry> entries_;
+  std::size_t tracked_ = 0;
 };
 
 }  // namespace repro::memsys

@@ -13,8 +13,19 @@ class LatencyModel {
   LatencyModel(const MachineConfig& config, const topo::Topology& topology);
 
   /// Uncontended memory latency (ns) for an access from `from` to memory
-  /// on `to`.
-  [[nodiscard]] double memory_latency(NodeId from, NodeId to) const;
+  /// on `to`. One array load: the full (from, to) table is precomputed
+  /// at construction (the topology's hop matrix is immutable).
+  [[nodiscard]] double memory_latency(NodeId from, NodeId to) const {
+    return pair_latency_[from.value() * num_nodes_ + to.value()];
+  }
+
+  /// Per-line cost of the pipelined portion of a streaming miss from
+  /// `from` to `to`: mem_occupancy + (latency - local latency) /
+  /// stream_hide_factor, precomputed per pair so the miss path does two
+  /// array loads instead of re-deriving the ladder arithmetic.
+  [[nodiscard]] double stream_line_cost(NodeId from, NodeId to) const {
+    return pair_stream_line_[from.value() * num_nodes_ + to.value()];
+  }
 
   /// Latency for a given hop count (ns).
   [[nodiscard]] double latency_for_hops(unsigned hops) const;
@@ -33,6 +44,9 @@ class LatencyModel {
   double extra_hop_;
   double l1_;
   double l2_;
+  std::size_t num_nodes_ = 0;
+  std::vector<double> pair_latency_;      // [from * num_nodes_ + to]
+  std::vector<double> pair_stream_line_;  // same indexing
 };
 
 }  // namespace repro::memsys

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "repro/common/hash.hpp"
 #include "repro/common/units.hpp"
 
 namespace repro::memsys {
@@ -35,6 +36,20 @@ class MemQueue {
   [[nodiscard]] Ns total_wait() const { return total_wait_; }
 
   void reset();
+
+  /// Mixes the queue's behavioural phase *relative to `now`* into
+  /// `hash`: the backlog (how far busy_until_ extends past now) and the
+  /// sub-ns service carry. Absolute busy_until_ values and the
+  /// cumulative counters are deliberately excluded -- steady-state
+  /// iterations shift absolute time but repeat the relative phase.
+  void digest_phase(StateHash& hash, Ns now) const;
+
+  /// Fast-forward replay: accounts for `count` synthesized steady-state
+  /// iterations, each serving `lines` lines with `wait` total queueing
+  /// delay, and shifts the busy horizon by `count * period` so post-run
+  /// inspection sees the same state a full simulation would leave.
+  void advance_replayed(std::uint64_t count, std::uint64_t lines, Ns wait,
+                        Ns period);
 
  private:
   double occupancy_ns_;

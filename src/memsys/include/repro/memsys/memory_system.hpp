@@ -6,7 +6,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
+
+#include "repro/common/hash.hpp"
 
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
@@ -97,12 +100,35 @@ class MemorySystem final : public TlbInvalidator {
   /// tests and the Table-1 probe use it to force cold misses).
   void flush_page(VPage page);
 
-  /// Drops all cached state (between experiment repetitions).
+  /// Drops every TLB's translations (the caches keep their data).
+  void flush_tlbs();
+
+  /// Drops all cached state -- caches, directory AND TLBs -- so a
+  /// flushed machine is fully cold (between experiment repetitions).
   void flush_all();
 
   [[nodiscard]] const ProcStats& stats(ProcId proc) const;
   [[nodiscard]] ProcStats total_stats() const;
   void reset_stats();
+
+  /// Behavioural state digest at simulated time `now`: per-processor
+  /// cache and TLB content in LRU order, the coherence directory, each
+  /// memory queue's phase relative to `now`, and the sub-ns latency
+  /// carry. Pure statistics are excluded. Equal digests (with equal
+  /// backend state) mean the memory system will time future accesses
+  /// identically -- the harness's fast-forward gate builds on this.
+  [[nodiscard]] std::uint64_t digest(Ns now) const;
+
+  /// Fast-forward replay: applies `count` copies of the per-processor
+  /// stats delta of one steady-state iteration (`delta` has one entry
+  /// per processor).
+  void apply_stats_delta(std::span<const ProcStats> delta,
+                         std::uint64_t count);
+
+  /// Fast-forward replay: accounts for `count` synthesized iterations
+  /// at `node`'s queue (see MemQueue::advance_replayed).
+  void advance_queue_replayed(NodeId node, std::uint64_t count,
+                              std::uint64_t lines, Ns wait, Ns period);
 
   [[nodiscard]] const MachineConfig& config() const { return config_; }
   [[nodiscard]] const LatencyModel& latency() const { return latency_; }

@@ -11,10 +11,11 @@
 #pragma once
 
 #include <cstddef>
-#include <list>
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
+#include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 
 namespace repro::memsys {
@@ -32,7 +33,9 @@ class PageCache {
   };
 
   /// True if the page is currently resident (does not touch LRU order).
-  [[nodiscard]] bool contains(VPage page) const;
+  [[nodiscard]] bool contains(VPage page) const {
+    return page.value() < where_.size() && where_[page.value()] >= 0;
+  }
 
   /// Makes the page most-recently-used, inserting it if absent.
   TouchResult touch(VPage page);
@@ -44,17 +47,41 @@ class PageCache {
   /// Drops everything (used when a simulated thread is migrated).
   void clear();
 
-  [[nodiscard]] std::size_t size() const { return map_.size(); }
+  [[nodiscard]] std::size_t size() const { return size_; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   /// Identity of the page that would be evicted next (LRU); only valid
   /// when size() > 0. Exposed for tests.
   [[nodiscard]] VPage lru_page() const;
 
+  /// Mixes the cache's full content *in recency order* into `hash`.
+  /// Residency alone is not enough for a behavioural digest: the LRU
+  /// order decides every future eviction, so two caches with the same
+  /// page set but different stack orders must hash differently.
+  void digest(StateHash& hash) const;
+
  private:
+  /// Touched on every simulated access, so the LRU is an intrusive
+  /// doubly-linked list over a fixed node pool (indices, no
+  /// allocation) with a dense page -> node index (virtual pages are
+  /// compact, see vm::AddressSpace): one indexed load per lookup
+  /// instead of a hash probe and list-node churn.
+  struct Node {
+    std::uint64_t page = 0;
+    std::int32_t prev = -1;
+    std::int32_t next = -1;
+  };
+
+  void unlink(std::int32_t n);
+  void push_front(std::int32_t n);
+
   std::size_t capacity_;
-  std::list<VPage> lru_;  // front = most recent
-  std::unordered_map<VPage, std::list<VPage>::iterator> map_;
+  std::size_t size_ = 0;
+  std::vector<Node> nodes_;           // fixed pool, one per cache slot
+  std::vector<std::int32_t> where_;   // page id -> node index, -1 absent
+  std::int32_t head_ = -1;            // most recent
+  std::int32_t tail_ = -1;            // next eviction victim
+  std::int32_t free_ = -1;            // free-slot chain through `next`
 };
 
 }  // namespace repro::memsys

@@ -10,8 +10,22 @@ LatencyModel::LatencyModel(const MachineConfig& config,
       ladder_(config.mem_latency_ns),
       extra_hop_(config.extra_hop_latency_ns),
       l1_(config.l1_latency_ns),
-      l2_(config.l2_latency_ns) {
+      l2_(config.l2_latency_ns),
+      num_nodes_(topology.num_nodes()) {
   REPRO_REQUIRE(!ladder_.empty());
+  pair_latency_.resize(num_nodes_ * num_nodes_);
+  pair_stream_line_.resize(num_nodes_ * num_nodes_);
+  for (std::size_t from = 0; from < num_nodes_; ++from) {
+    for (std::size_t to = 0; to < num_nodes_; ++to) {
+      const double lat = latency_for_hops(
+          topology.hops(NodeId(static_cast<std::uint32_t>(from)),
+                        NodeId(static_cast<std::uint32_t>(to))));
+      pair_latency_[from * num_nodes_ + to] = lat;
+      pair_stream_line_[from * num_nodes_ + to] =
+          config.mem_occupancy_ns +
+          (lat - ladder_.front()) / config.stream_hide_factor;
+    }
+  }
 }
 
 double LatencyModel::latency_for_hops(unsigned hops) const {
@@ -20,10 +34,6 @@ double LatencyModel::latency_for_hops(unsigned hops) const {
   }
   const auto extra = static_cast<double>(hops - (ladder_.size() - 1));
   return ladder_.back() + extra * extra_hop_;
-}
-
-double LatencyModel::memory_latency(NodeId from, NodeId to) const {
-  return latency_for_hops(topology_->hops(from, to));
 }
 
 double LatencyModel::worst_remote_to_local_ratio() const {

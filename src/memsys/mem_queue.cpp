@@ -26,6 +26,19 @@ MemQueue::Service MemQueue::serve(Ns now, std::uint32_t lines) {
   return out;
 }
 
+void MemQueue::digest_phase(StateHash& hash, Ns now) const {
+  hash.mix(busy_until_ > now ? static_cast<std::uint64_t>(busy_until_ - now)
+                             : 0u);
+  hash.mix_double(busy_frac_);
+}
+
+void MemQueue::advance_replayed(std::uint64_t count, std::uint64_t lines,
+                                Ns wait, Ns period) {
+  lines_served_ += lines * count;
+  total_wait_ += wait * static_cast<Ns>(count);
+  busy_until_ += period * static_cast<Ns>(count);
+}
+
 void MemQueue::reset() {
   busy_until_ = 0;
   busy_frac_ = 0.0;

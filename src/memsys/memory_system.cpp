@@ -105,12 +105,11 @@ MemorySystem::AccessResult MemorySystem::access_impl(Ns now, ProcId proc,
       // Pipelined fetch: one full-latency line, the rest at a rate
       // limited by the memory module locally and additionally by the
       // network when remote (prefetching hides most, not all, of the
-      // extra hop latency).
-      const double extra =
-          (lat - latency_.latency_for_hops(0)) / config_.stream_hide_factor;
+      // extra hop latency). Both the latency and the per-line stream
+      // cost are table loads precomputed by the LatencyModel.
       elapsed += static_cast<double>(svc.wait) + lat +
                  static_cast<double>(lines - 1) *
-                     (config_.mem_occupancy_ns + extra);
+                     latency_.stream_line_cost(from, home.node);
     } else {
       elapsed += static_cast<double>(svc.wait) +
                  static_cast<double>(lines) * lat;
@@ -150,10 +149,11 @@ MemorySystem::BatchResult MemorySystem::access_batch(ProcId proc,
     }
     const std::uint32_t i = out.executed;
     if ((ops.flags[i] & kOpAccess) != 0) {
-      const std::uint32_t lines = ops.lines[i];
-      REPRO_REQUIRE(lines >= 1 && lines <= config_.lines_per_page());
+      // Line counts are validated once at RegionProgram compile time
+      // and re-checked per region run by the engine, so the per-op
+      // bound check is gone from this loop.
       const AccessResult r =
-          access_impl(out.clock, proc, VPage(ops.pages[i]), lines,
+          access_impl(out.clock, proc, VPage(ops.pages[i]), ops.lines[i],
                       (ops.flags[i] & kOpWrite) != 0,
                       (ops.flags[i] & kOpStream) != 0);
       out.clock += r.elapsed + ops.compute[i];
@@ -179,11 +179,20 @@ void MemorySystem::flush_page(VPage page) {
   }
 }
 
+void MemorySystem::flush_tlbs() {
+  for (PageCache& tlb : tlbs_) {
+    tlb.clear();
+  }
+}
+
 void MemorySystem::flush_all() {
   for (std::uint32_t p = 0; p < config_.num_procs(); ++p) {
     caches_[p].clear();
   }
   directory_ = Directory(config_.num_procs());
+  // A flushed machine is fully cold: stale translations would let the
+  // next access skip the TLB refill a real post-flush access pays.
+  flush_tlbs();
 }
 
 const ProcStats& MemorySystem::stats(ProcId proc) const {
@@ -202,6 +211,45 @@ ProcStats MemorySystem::total_stats() const {
     total.tlb_misses += st.tlb_misses;
   }
   return total;
+}
+
+std::uint64_t MemorySystem::digest(Ns now) const {
+  StateHash hash;
+  for (const PageCache& cache : caches_) {
+    cache.digest(hash);
+  }
+  hash.mix(tlbs_.size());
+  for (const PageCache& tlb : tlbs_) {
+    tlb.digest(hash);
+  }
+  hash.mix(directory_.digest());
+  for (const MemQueue& queue : queues_) {
+    queue.digest_phase(hash, now);
+  }
+  hash.mix_double(elapsed_frac_);
+  return hash.value();
+}
+
+void MemorySystem::apply_stats_delta(std::span<const ProcStats> delta,
+                                     std::uint64_t count) {
+  REPRO_REQUIRE(delta.size() == stats_.size());
+  for (std::size_t p = 0; p < stats_.size(); ++p) {
+    ProcStats& st = stats_[p];
+    const ProcStats& d = delta[p];
+    st.hit_lines += d.hit_lines * count;
+    st.local_miss_lines += d.local_miss_lines * count;
+    st.remote_miss_lines += d.remote_miss_lines * count;
+    st.queue_wait += d.queue_wait * static_cast<Ns>(count);
+    st.invalidations_sent += d.invalidations_sent * count;
+    st.tlb_misses += d.tlb_misses * count;
+  }
+}
+
+void MemorySystem::advance_queue_replayed(NodeId node, std::uint64_t count,
+                                          std::uint64_t lines, Ns wait,
+                                          Ns period) {
+  REPRO_REQUIRE(node.value() < queues_.size());
+  queues_[node.value()].advance_replayed(count, lines, wait, period);
 }
 
 void MemorySystem::reset_stats() {

@@ -1,51 +1,118 @@
 #include "repro/memsys/page_cache.hpp"
 
+#include <algorithm>
+
 #include "repro/common/assert.hpp"
 
 namespace repro::memsys {
 
 PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {
   REPRO_REQUIRE(capacity_pages >= 1);
+  REPRO_REQUIRE(capacity_pages <= static_cast<std::size_t>(INT32_MAX));
+  nodes_.resize(capacity_pages);
+  for (std::size_t i = 0; i + 1 < capacity_pages; ++i) {
+    nodes_[i].next = static_cast<std::int32_t>(i + 1);
+  }
+  free_ = 0;
 }
 
-bool PageCache::contains(VPage page) const { return map_.contains(page); }
+void PageCache::unlink(std::int32_t n) {
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  if (node.prev >= 0) {
+    nodes_[static_cast<std::size_t>(node.prev)].next = node.next;
+  } else {
+    head_ = node.next;
+  }
+  if (node.next >= 0) {
+    nodes_[static_cast<std::size_t>(node.next)].prev = node.prev;
+  } else {
+    tail_ = node.prev;
+  }
+}
+
+void PageCache::push_front(std::int32_t n) {
+  Node& node = nodes_[static_cast<std::size_t>(n)];
+  node.prev = -1;
+  node.next = head_;
+  if (head_ >= 0) {
+    nodes_[static_cast<std::size_t>(head_)].prev = n;
+  } else {
+    tail_ = n;
+  }
+  head_ = n;
+}
 
 PageCache::TouchResult PageCache::touch(VPage page) {
   TouchResult out;
-  if (auto it = map_.find(page); it != map_.end()) {
-    lru_.splice(lru_.begin(), lru_, it->second);
+  if (page.value() >= where_.size()) {
+    where_.resize(
+        std::max<std::size_t>(page.value() + 1, where_.size() * 2), -1);
+  }
+  const std::int32_t n = where_[page.value()];
+  if (n >= 0) {
     out.hit = true;
+    if (n != head_) {
+      unlink(n);
+      push_front(n);
+    }
     return out;
   }
-  if (map_.size() == capacity_) {
-    const VPage victim = lru_.back();
-    lru_.pop_back();
-    map_.erase(victim);
+  std::int32_t slot;
+  if (size_ == capacity_) {
+    slot = tail_;
+    const VPage victim = VPage(nodes_[static_cast<std::size_t>(slot)].page);
+    unlink(slot);
+    where_[victim.value()] = -1;
     out.evicted = victim;
+  } else {
+    slot = free_;
+    free_ = nodes_[static_cast<std::size_t>(slot)].next;
+    ++size_;
   }
-  lru_.push_front(page);
-  map_.emplace(page, lru_.begin());
+  nodes_[static_cast<std::size_t>(slot)].page = page.value();
+  push_front(slot);
+  where_[page.value()] = slot;
   return out;
 }
 
 bool PageCache::invalidate(VPage page) {
-  auto it = map_.find(page);
-  if (it == map_.end()) {
+  if (!contains(page)) {
     return false;
   }
-  lru_.erase(it->second);
-  map_.erase(it);
+  const std::int32_t n = where_[page.value()];
+  unlink(n);
+  where_[page.value()] = -1;
+  nodes_[static_cast<std::size_t>(n)].next = free_;
+  free_ = n;
+  --size_;
   return true;
 }
 
 void PageCache::clear() {
-  lru_.clear();
-  map_.clear();
+  for (std::int32_t n = head_; n >= 0;) {
+    Node& node = nodes_[static_cast<std::size_t>(n)];
+    where_[node.page] = -1;
+    const std::int32_t next = node.next;
+    node.next = free_;
+    free_ = n;
+    n = next;
+  }
+  head_ = -1;
+  tail_ = -1;
+  size_ = 0;
 }
 
 VPage PageCache::lru_page() const {
-  REPRO_REQUIRE(!lru_.empty());
-  return lru_.back();
+  REPRO_REQUIRE(size_ > 0);
+  return VPage(nodes_[static_cast<std::size_t>(tail_)].page);
+}
+
+void PageCache::digest(StateHash& hash) const {
+  hash.mix(size_);
+  for (std::int32_t n = head_; n >= 0;
+       n = nodes_[static_cast<std::size_t>(n)].next) {
+    hash.mix(nodes_[static_cast<std::size_t>(n)].page);
+  }
 }
 
 }  // namespace repro::memsys

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
 #include "repro/omp/schedule.hpp"
@@ -123,6 +124,26 @@ class Runtime {
   [[nodiscard]] Ns total_time(const std::string& name) const;
 
   void clear_records() { records_.clear(); }
+
+  /// Appends a synthesized record (the harness's steady-state
+  /// fast-forward re-stamps the cached iteration's records instead of
+  /// executing their regions).
+  void append_record(RegionRecord record) {
+    records_.push_back(std::move(record));
+  }
+
+  /// Digest of the runtime state future executions depend on: the
+  /// clock is excluded (the fast-forward gate compares *relative*
+  /// per-iteration behaviour), the thread binding is what matters.
+  [[nodiscard]] std::uint64_t digest() const {
+    StateHash hash;
+    hash.mix(binding_.size());
+    for (const ProcId proc : binding_) {
+      hash.mix(proc.value());
+    }
+    hash.mix(static_cast<std::uint64_t>(reduction_step_));
+    return hash.value();
+  }
 
  private:
   sim::Engine* engine_;

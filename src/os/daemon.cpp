@@ -105,4 +105,47 @@ Ns KernelMigrationDaemon::on_miss(Kernel& kernel, ProcId accessor,
   return res.cost;
 }
 
+std::uint64_t KernelMigrationDaemon::digest(Ns now) const {
+  // Saturated relative ages (see the header): each absolute time is
+  // digested as min(now - t, limit + 1) where `limit` is the only
+  // threshold it is ever compared against. Ages at or beyond the limit
+  // are behaviourally indistinguishable -- the comparisons are
+  // monotone in `now` -- so saturating them lets a quiescent daemon's
+  // digest repeat.
+  const auto rel = [now](Ns t, Ns limit) {
+    const Ns age = now - t;
+    return static_cast<std::uint64_t>(age > limit ? limit + 1 : age);
+  };
+  std::uint64_t combined = pages_.size();
+  for (const auto& [page, st] : pages_) {
+    StateHash entry_hash(avalanche64(page.value()));
+    entry_hash.mix(st.window_open ? rel(st.window_start, config_.window_ns)
+                                  : ~std::uint64_t{0});
+    entry_hash.mix(st.window_open ? 1 : 0);
+    // last_migration only gates the cooloff check, and only once the
+    // page has migrated at all.
+    entry_hash.mix(st.migrations > 0
+                       ? rel(st.last_migration, config_.page_cooloff_ns)
+                       : ~std::uint64_t{0});
+    entry_hash.mix(st.migrations);
+    entry_hash.mix(st.frozen ? 1 : 0);
+    combined += avalanche64(entry_hash.value());
+  }
+  StateHash hash;
+  hash.mix(combined);
+  hash.mix(any_migration_yet_
+               ? rel(last_any_migration_, config_.global_min_interval_ns)
+               : ~std::uint64_t{0});
+  hash.mix(any_migration_yet_ ? 1 : 0);
+  return hash.value();
+}
+
+void KernelMigrationDaemon::advance_replayed(Ns dt) {
+  for (auto& [page, st] : pages_) {
+    st.window_start += dt;
+    st.last_migration += dt;
+  }
+  last_any_migration_ += dt;
+}
+
 }  // namespace repro::os

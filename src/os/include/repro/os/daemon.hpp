@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
 #include "repro/trace/sink.hpp"
@@ -67,6 +68,28 @@ class KernelMigrationDaemon {
 
   [[nodiscard]] const DaemonStats& stats() const { return stats_; }
   [[nodiscard]] const DaemonConfig& config() const { return config_; }
+
+  /// Behavioural state digest at simulated time `now`. Per-page
+  /// window/cooloff state holds *absolute* simulated times, but every
+  /// one of them only influences behaviour through a single comparison
+  /// against `now` with a fixed threshold from the config -- so the
+  /// digest mixes the *saturated relative* age min(now - t, threshold)
+  /// instead of t. Two states with equal digests therefore behave
+  /// identically under any common time shift, which is exactly the
+  /// property the harness fast-forward needs: once the daemon is
+  /// quiescent (all interesting pages frozen or settled) its digest
+  /// becomes periodic with the workload and the remaining iterations
+  /// can be replayed; while it is actively migrating, per-page
+  /// migration counts and fresh window/cooloff ages keep the digest
+  /// changing and the gate stays shut.
+  [[nodiscard]] std::uint64_t digest(Ns now) const;
+
+  /// Shifts every stored absolute time forward by `dt`. Called by the
+  /// harness fast-forward after synthesizing `dt` worth of iterations,
+  /// so a subsequent simulated iteration observes exactly the state a
+  /// full simulation would have reached (the replayed span is
+  /// time-periodic, so a pure translation is exact).
+  void advance_replayed(Ns dt);
 
   /// Attaches an event sink (null to detach): every comparator
   /// interrupt's handler decision becomes one kDaemonScan event, and

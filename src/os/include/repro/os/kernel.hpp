@@ -138,6 +138,17 @@ class Kernel final : public memsys::MemoryBackend {
   /// to report overhead without performing the move).
   [[nodiscard]] Ns migration_cost_for(VPage page) const;
 
+  /// Behavioural state digest at simulated time `now`: page-table
+  /// placement, the deferred write-collapse penalty, and -- when a
+  /// migration daemon is installed -- the daemon's saturated-relative
+  /// state plus the per-frame reference counters that feed its
+  /// comparator. Without a daemon the counters are pure statistics and
+  /// stay excluded, as do the physical free lists in either case: they
+  /// only influence behaviour through fault / explicit-migration
+  /// paths, which the fast-forward entry gate rules out for replayed
+  /// iterations.
+  [[nodiscard]] std::uint64_t digest(Ns now) const;
+
  private:
   memsys::MachineConfig config_;
   const topo::Topology* topology_;

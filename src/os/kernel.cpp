@@ -260,4 +260,21 @@ void Kernel::reset_counters(VPage page) {
   counters_.reset(*frame);
 }
 
+std::uint64_t Kernel::digest(Ns now) const {
+  StateHash hash;
+  hash.mix(table_.digest());
+  hash.mix(static_cast<std::uint64_t>(pending_penalty_));
+  hash.mix(daemon_ != nullptr ? 1 : 0);
+  if (daemon_ != nullptr) {
+    hash.mix(daemon_->digest(now));
+    // The reference counters feed the daemon's comparator, so they are
+    // behavioural state here. Without a daemon nothing reads them on
+    // the simulated path and they stay excluded (they grow
+    // monotonically and would keep an otherwise periodic state from
+    // ever matching).
+    hash.mix(counters_.digest());
+  }
+  return hash.value();
+}
+
 }  // namespace repro::os

@@ -1,7 +1,8 @@
 #include "repro/sim/engine.hpp"
 
+#include <algorithm>
 #include <limits>
-#include <queue>
+#include <utility>
 
 #include "repro/common/assert.hpp"
 
@@ -24,20 +25,53 @@ double RegionResult::imbalance() const {
 
 Engine::Engine(memsys::MemorySystem& memory) : memory_(&memory) {}
 
+void Engine::heap_push(Pending pending) {
+  heap_.push_back(pending);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!earlier(heap_[i], heap_[parent])) {
+      break;
+    }
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+Engine::Pending Engine::heap_pop() {
+  const Pending top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t left = 2 * i + 1;
+    const std::size_t right = left + 1;
+    std::size_t best = i;
+    if (left < n && earlier(heap_[left], heap_[best])) {
+      best = left;
+    }
+    if (right < n && earlier(heap_[right], heap_[best])) {
+      best = right;
+    }
+    if (best == i) {
+      break;
+    }
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+  return top;
+}
+
 RegionResult Engine::run(Ns start, const RegionProgram& program,
                          std::span<const ProcId> binding) {
   REPRO_REQUIRE(!program.empty());
   REPRO_REQUIRE(program.num_threads() <= memory_->config().num_procs());
   REPRO_REQUIRE(binding.empty() || binding.size() >= program.num_threads());
-
-  struct Pending {
-    Ns clock;
-    std::uint32_t thread;
-    bool operator>(const Pending& o) const {
-      // Tie-break on thread id for determinism.
-      return clock != o.clock ? clock > o.clock : thread > o.thread;
-    }
-  };
+  // Once per run, instead of once per op on the batch hot path.
+  REPRO_REQUIRE_MSG(
+      program.max_access_lines() <= memory_->config().lines_per_page(),
+      "access op exceeds lines per page");
 
   const auto num_threads = static_cast<std::uint32_t>(program.num_threads());
   RegionResult result;
@@ -45,18 +79,17 @@ RegionResult Engine::run(Ns start, const RegionProgram& program,
   result.end = start;
   result.thread_end.assign(num_threads, start);
 
-  std::vector<std::uint32_t> cursor(num_threads);
-  std::priority_queue<Pending, std::vector<Pending>, std::greater<>> queue;
+  cursor_.assign(num_threads, 0);
+  heap_.clear();
   for (std::uint32_t t = 0; t < num_threads; ++t) {
-    cursor[t] = program.thread_begin(t);
+    cursor_[t] = program.thread_begin(t);
     if (program.thread_begin(t) != program.thread_end(t)) {
-      queue.push({start, t});
+      heap_push({start, t});
     }
   }
 
-  while (!queue.empty()) {
-    const Pending cur = queue.top();
-    queue.pop();
+  while (!heap_.empty()) {
+    const Pending cur = heap_pop();
 
     // The popped thread holds the earliest event. Its ops cannot be
     // overtaken by any other thread until its clock reaches the next
@@ -67,21 +100,21 @@ RegionResult Engine::run(Ns start, const RegionProgram& program,
     // moves.
     Ns limit = std::numeric_limits<Ns>::max();
     bool run_at_limit = true;
-    if (!queue.empty()) {
-      limit = queue.top().clock;
-      run_at_limit = cur.thread < queue.top().thread;
+    if (!heap_.empty()) {
+      limit = heap_.front().clock;
+      run_at_limit = cur.thread < heap_.front().thread;
     }
 
     const ProcId proc =
         binding.empty() ? ProcId(cur.thread) : binding[cur.thread];
     const memsys::MemorySystem::BatchResult batch = memory_->access_batch(
-        proc, program.slice(cur.thread, cursor[cur.thread]), cur.clock, limit,
-        run_at_limit);
-    cursor[cur.thread] += batch.executed;
+        proc, program.slice(cur.thread, cursor_[cur.thread]), cur.clock,
+        limit, run_at_limit);
+    cursor_[cur.thread] += batch.executed;
     ops_executed_ += batch.executed;
 
-    if (cursor[cur.thread] < program.thread_end(cur.thread)) {
-      queue.push({batch.clock, cur.thread});
+    if (cursor_[cur.thread] < program.thread_end(cur.thread)) {
+      heap_push({batch.clock, cur.thread});
     } else {
       result.thread_end[cur.thread] = batch.clock;
       result.end = std::max(result.end, batch.clock);

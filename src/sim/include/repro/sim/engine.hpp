@@ -59,8 +59,28 @@ class Engine {
   [[nodiscard]] std::uint64_t ops_executed() const { return ops_executed_; }
 
  private:
+  struct Pending {
+    Ns clock;
+    std::uint32_t thread;
+  };
+
+  /// Strict weak order of the schedule: earliest clock first, lower
+  /// thread id on ties (the order is total, so pop order is identical
+  /// to the std::priority_queue this heap replaced).
+  [[nodiscard]] static bool earlier(const Pending& a, const Pending& b) {
+    return a.clock != b.clock ? a.clock < b.clock : a.thread < b.thread;
+  }
+
+  void heap_push(Pending pending);
+  Pending heap_pop();
+
   memsys::MemorySystem* memory_;
   std::uint64_t ops_executed_ = 0;
+  /// Reusable run state: the pending-event min-heap and per-thread op
+  /// cursors keep their capacity across region runs, so the steady
+  /// state allocates nothing per region.
+  std::vector<Pending> heap_;
+  std::vector<std::uint32_t> cursor_;
 };
 
 }  // namespace repro::sim

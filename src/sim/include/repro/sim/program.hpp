@@ -29,6 +29,15 @@ class RegionProgram {
 
   /// Compiles per-thread op streams into the arena. The builder-side
   /// representation can be discarded afterwards.
+  ///
+  /// Compilation validates every access op (at least one line) and
+  /// coalesces runs of consecutive same-page reads with identical
+  /// flags: the head of a run keeps its own op (it may miss, and a
+  /// miss's cost and stats depend on its exact line count), while ops
+  /// 2..k -- guaranteed hits when nothing intervenes -- collapse into
+  /// one op whose lines and attached compute are the run's sums. Hit
+  /// cost, coherence bookkeeping and statistics are linear in the line
+  /// count, so the batch executes identically with fewer ops.
   explicit RegionProgram(const std::vector<ThreadProgram>& programs);
 
   /// Compiles a builder (convenience for one-shot regions).
@@ -44,6 +53,15 @@ class RegionProgram {
   [[nodiscard]] std::size_t num_threads() const { return num_threads_; }
   [[nodiscard]] std::uint32_t size() const { return size_; }
   [[nodiscard]] bool empty() const { return num_threads_ == 0; }
+
+  /// Largest line count of any *source* access op (before coalescing).
+  /// The engine checks this against the machine's lines-per-page once
+  /// per region run, replacing the old per-op bound check on the access
+  /// hot path. Coalesced ops may legitimately exceed it: they stand for
+  /// several touches of the same page.
+  [[nodiscard]] std::uint32_t max_access_lines() const {
+    return max_access_lines_;
+  }
 
   /// Index range of thread `t`'s ops within the columns.
   [[nodiscard]] std::uint32_t thread_begin(std::uint32_t t) const {
@@ -92,6 +110,7 @@ class RegionProgram {
   std::uint8_t* flags_ = nullptr;
   std::size_t num_threads_ = 0;
   std::uint32_t size_ = 0;
+  std::uint32_t max_access_lines_ = 0;
 };
 
 }  // namespace repro::sim

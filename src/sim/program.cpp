@@ -1,5 +1,6 @@
 #include "repro/sim/program.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "repro/common/assert.hpp"
@@ -42,12 +43,17 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
   std::uint32_t at = 0;
   for (std::size_t t = 0; t < num_threads_; ++t) {
     offsets_[t] = at;
+    // Run state for read coalescing: index of the previous compiled op
+    // when it is a read access, and whether it is the head of its run
+    // (heads stay intact; only ops 2..k of a run accumulate).
+    std::uint32_t prev = 0;
+    bool prev_is_read = false;
+    bool prev_is_head = false;
     for (const Op& op : programs[t]) {
-      pages_[at] = op.page.value();
-      compute_[at] = op.compute;
-      lines_[at] = op.lines;
       std::uint8_t f = 0;
       if (op.kind == Op::Kind::kAccess) {
+        REPRO_REQUIRE_MSG(op.lines >= 1, "access op with zero lines");
+        max_access_lines_ = std::max(max_access_lines_, op.lines);
         f |= memsys::kOpAccess;
       }
       if (op.write) {
@@ -56,11 +62,33 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
       if (op.stream) {
         f |= memsys::kOpStream;
       }
+      const bool is_read =
+          op.kind == Op::Kind::kAccess && !op.write;
+      if (prev_is_read && is_read && flags_[prev] == f &&
+          pages_[prev] == op.page.value()) {
+        if (prev_is_head) {
+          // Second op of a run: open the accumulator op.
+          prev_is_head = false;
+        } else {
+          // Fold into the run's accumulator.
+          lines_[prev] += op.lines;
+          compute_[prev] += op.compute;
+          continue;
+        }
+      } else {
+        prev_is_head = true;
+      }
+      pages_[at] = op.page.value();
+      compute_[at] = op.compute;
+      lines_[at] = op.lines;
       flags_[at] = f;
+      prev = at;
+      prev_is_read = is_read;
       ++at;
     }
   }
   offsets_[num_threads_] = at;
+  size_ = at;
 }
 
 Op RegionProgram::op(std::uint32_t i) const {

@@ -71,6 +71,12 @@ class TraceSink {
     emit(lane, std::move(event));
   }
 
+  /// Appends a synthesized event to `lane`, assigning lane and seq but
+  /// keeping the caller's time, iteration and phase stamps. Used by the
+  /// harness's steady-state fast-forward to re-stamp a recorded
+  /// iteration's events into later iterations without running them.
+  void append_replayed(std::uint16_t lane, TraceEvent event);
+
   // --- access --------------------------------------------------------------
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] bool empty() const { return size() == 0; }

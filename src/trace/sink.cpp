@@ -77,6 +77,14 @@ void TraceSink::emit(std::uint16_t lane, TraceEvent event) {
   l.events.push_back(event);
 }
 
+void TraceSink::append_replayed(std::uint16_t lane, TraceEvent event) {
+  REPRO_REQUIRE(lane < lanes_.size());
+  Lane& l = lanes_[lane];
+  event.lane = lane;
+  event.seq = static_cast<std::uint32_t>(l.events.size());
+  l.events.push_back(event);
+}
+
 std::size_t TraceSink::size() const {
   std::size_t total = 0;
   for (const Lane& l : lanes_) {

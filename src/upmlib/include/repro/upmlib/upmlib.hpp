@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
 #include "repro/omp/runtime.hpp"
@@ -209,6 +210,12 @@ class Upmlib {
   };
   [[nodiscard]] const std::vector<PlannedMigration>& replay_list(
       std::size_t transition) const;
+
+  /// Behavioural state digest: activation, invocation count, the
+  /// bounce/freeze history, the record--replay lists, the transition
+  /// cursor and the undo log. Cumulative statistics and the diagnostic
+  /// call trace are excluded (they never feed migration decisions).
+  [[nodiscard]] std::uint64_t digest() const;
 
  private:
   struct PageHistory {

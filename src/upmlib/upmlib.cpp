@@ -367,6 +367,42 @@ const std::vector<Upmlib::PlannedMigration>& Upmlib::replay_list(
   return replay_lists_[transition];
 }
 
+std::uint64_t Upmlib::digest() const {
+  StateHash hash;
+  hash.mix(active_ ? 1 : 0);
+  hash.mix(invocation_);
+  hash.mix(hot_pages_.size());
+  hash.mix(mlds_.size());
+  hash.mix(snapshots_.size());
+  // history_ is an unordered map: avalanche each entry, combine
+  // commutatively.
+  std::uint64_t history = history_.size();
+  for (const auto& [page, h] : history_) {
+    StateHash entry_hash(avalanche64(page.value()));
+    entry_hash.mix(h.last_invocation);
+    entry_hash.mix(h.has_prior ? h.prior_home.value() + 1 : 0);
+    entry_hash.mix(h.frozen ? 1 : 0);
+    history += avalanche64(entry_hash.value());
+  }
+  hash.mix(history);
+  hash.mix(replay_lists_.size());
+  for (const auto& list : replay_lists_) {
+    hash.mix(list.size());
+    for (const PlannedMigration& m : list) {
+      hash.mix(m.page.value());
+      hash.mix(m.target.value());
+      hash.mix_double(m.ratio);
+    }
+  }
+  hash.mix(replay_cursor_);
+  hash.mix(undo_log_.size());
+  for (const auto& [page, home] : undo_log_) {
+    hash.mix(page.value());
+    hash.mix(home.value());
+  }
+  return hash.value();
+}
+
 void Upmlib::replay() {
   trace({UpmCall::Kind::kReplay, {}, true});
   const Ns at = sync_clock();

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "repro/common/assert.hpp"
+#include "repro/common/hash.hpp"
 
 namespace repro::vm {
 
@@ -54,6 +55,18 @@ NodeId RefCounters::argmax_node(FrameId frame) const {
   const auto counts = read(frame);
   const auto it = std::max_element(counts.begin(), counts.end());
   return NodeId(static_cast<std::uint32_t>(it - counts.begin()));
+}
+
+std::uint64_t RefCounters::digest() const {
+  StateHash hash;
+  hash.mix(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (values_[i] != 0) {
+      hash.mix(i);
+      hash.mix(values_[i]);
+    }
+  }
+  return hash.value();
 }
 
 }  // namespace repro::vm

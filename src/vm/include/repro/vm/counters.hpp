@@ -43,6 +43,12 @@ class RefCounters {
   /// Node with the largest count for a frame (lowest id wins ties).
   [[nodiscard]] NodeId argmax_node(FrameId frame) const;
 
+  /// Behavioural digest of every nonzero counter (frame-major order).
+  /// Counters feed the kernel migration daemon's comparator, so runs
+  /// with a daemon installed must include them in the machine digest;
+  /// without one they are pure statistics.
+  [[nodiscard]] std::uint64_t digest() const;
+
  private:
   std::size_t num_frames_;
   std::size_t num_nodes_;

@@ -6,9 +6,10 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 
 namespace repro::vm {
@@ -27,6 +28,9 @@ class PageTable {
     /// Written since the last clear_dirty() (drives the replication
     /// policy: only clean pages may replicate).
     bool dirty = false;
+    /// Slot state: the table is a dense array over the (compact)
+    /// virtual page space, so unmapped pages occupy empty slots.
+    bool mapped = false;
   };
 
   /// Maps a page; the page must be unmapped.
@@ -39,8 +43,17 @@ class PageTable {
   /// incrementing the migration count. Returns the old frame.
   FrameId remap(VPage page, FrameId frame);
 
-  [[nodiscard]] bool is_mapped(VPage page) const;
-  [[nodiscard]] std::optional<FrameId> lookup(VPage page) const;
+  [[nodiscard]] bool is_mapped(VPage page) const {
+    return page.value() < table_.size() && table_[page.value()].mapped;
+  }
+  /// The translation hot path: one bounds check and one indexed load
+  /// (virtual pages are dense, see vm::AddressSpace).
+  [[nodiscard]] std::optional<FrameId> lookup(VPage page) const {
+    if (!is_mapped(page)) {
+      return std::nullopt;
+    }
+    return table_[page.value()].frame;
+  }
 
   /// Entry accessor; the page must be mapped.
   [[nodiscard]] const Entry& entry(VPage page) const;
@@ -62,15 +75,22 @@ class PageTable {
   /// Number of processors with a live mapping.
   [[nodiscard]] unsigned mapper_count(VPage page) const;
 
-  [[nodiscard]] std::size_t mapped_pages() const { return table_.size(); }
+  [[nodiscard]] std::size_t mapped_pages() const { return mapped_count_; }
 
-  /// Iteration support (for whole-address-space scans in tests/tools).
-  [[nodiscard]] const std::unordered_map<VPage, Entry>& entries() const {
-    return table_;
-  }
+  /// Digest (in page order) of the placement-relevant state of every
+  /// mapping: frame, mapper mask, dirty bit and the replica list (in
+  /// order -- resolve() scans replicas front to back, so replica order
+  /// breaks hop-distance ties). The monotone `migrations` counter is a
+  /// statistic and is excluded.
+  [[nodiscard]] std::uint64_t digest() const;
+
+  /// Materialized snapshot of the mapped entries, in page order (for
+  /// whole-address-space scans in tests/tools; not a hot path).
+  [[nodiscard]] std::vector<std::pair<VPage, Entry>> entries() const;
 
  private:
-  std::unordered_map<VPage, Entry> table_;
+  std::vector<Entry> table_;  // indexed by page id
+  std::size_t mapped_count_ = 0;
 
   Entry& mutable_entry(VPage page);
 };

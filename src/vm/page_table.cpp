@@ -1,5 +1,6 @@
 #include "repro/vm/page_table.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <utility>
 
@@ -8,21 +9,25 @@
 namespace repro::vm {
 
 PageTable::Entry& PageTable::mutable_entry(VPage page) {
-  auto it = table_.find(page);
-  REPRO_REQUIRE_MSG(it != table_.end(), "page not mapped");
-  return it->second;
+  REPRO_REQUIRE_MSG(is_mapped(page), "page not mapped");
+  return table_[page.value()];
 }
 
 void PageTable::map(VPage page, FrameId frame) {
-  REPRO_REQUIRE_MSG(!table_.contains(page), "page already mapped");
-  table_.emplace(page, Entry{frame, 0, 0, {}, false});
+  REPRO_REQUIRE_MSG(!is_mapped(page), "page already mapped");
+  if (page.value() >= table_.size()) {
+    table_.resize(std::max<std::size_t>(page.value() + 1,
+                                        table_.size() * 2));
+  }
+  table_[page.value()] = Entry{frame, 0, 0, {}, false, true};
+  ++mapped_count_;
 }
 
 FrameId PageTable::unmap(VPage page) {
-  auto it = table_.find(page);
-  REPRO_REQUIRE_MSG(it != table_.end(), "page not mapped");
-  const FrameId old = it->second.frame;
-  table_.erase(it);
+  Entry& e = mutable_entry(page);
+  const FrameId old = e.frame;
+  e = Entry{};
+  --mapped_count_;
   return old;
 }
 
@@ -37,20 +42,9 @@ FrameId PageTable::remap(VPage page, FrameId frame) {
   return old;
 }
 
-bool PageTable::is_mapped(VPage page) const { return table_.contains(page); }
-
-std::optional<FrameId> PageTable::lookup(VPage page) const {
-  auto it = table_.find(page);
-  if (it == table_.end()) {
-    return std::nullopt;
-  }
-  return it->second.frame;
-}
-
 const PageTable::Entry& PageTable::entry(VPage page) const {
-  auto it = table_.find(page);
-  REPRO_REQUIRE_MSG(it != table_.end(), "page not mapped");
-  return it->second;
+  REPRO_REQUIRE_MSG(is_mapped(page), "page not mapped");
+  return table_[page.value()];
 }
 
 void PageTable::note_mapper(VPage page, ProcId proc) {
@@ -77,6 +71,37 @@ void PageTable::add_replica(VPage page, FrameId frame) {
 
 std::vector<FrameId> PageTable::take_replicas(VPage page) {
   return std::exchange(mutable_entry(page).replicas, {});
+}
+
+std::uint64_t PageTable::digest() const {
+  StateHash hash;
+  hash.mix(mapped_count_);
+  for (std::size_t p = 0; p < table_.size(); ++p) {
+    const Entry& e = table_[p];
+    if (!e.mapped) {
+      continue;
+    }
+    hash.mix(p);
+    hash.mix(e.frame.value());
+    hash.mix(e.mapper_mask);
+    hash.mix(e.dirty ? 1 : 0);
+    hash.mix(e.replicas.size());
+    for (const FrameId replica : e.replicas) {
+      hash.mix(replica.value());
+    }
+  }
+  return hash.value();
+}
+
+std::vector<std::pair<VPage, PageTable::Entry>> PageTable::entries() const {
+  std::vector<std::pair<VPage, Entry>> out;
+  out.reserve(mapped_count_);
+  for (std::size_t p = 0; p < table_.size(); ++p) {
+    if (table_[p].mapped) {
+      out.emplace_back(VPage(p), table_[p]);
+    }
+  }
+  return out;
 }
 
 const std::vector<FrameId>& PageTable::replicas(VPage page) const {

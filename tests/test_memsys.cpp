@@ -358,6 +358,46 @@ TEST(MemorySystem, RejectsOutOfRangeRequests) {
       ContractViolation);
 }
 
+TEST(MemorySystem, FlushTlbsDropsTranslationsButKeepsCacheData) {
+  MachineConfig config = small_config();
+  config.tlb_entries = 8;
+  const topo::FatHypercube topology(4);
+  FixedBackend backend(4);
+  MemorySystem memory(config, topology, backend);
+
+  memory.access(0, {ProcId(0), VPage(0), 4, false});
+  const std::uint64_t warm_tlb_misses = memory.stats(ProcId(0)).tlb_misses;
+  EXPECT_EQ(warm_tlb_misses, 1u);
+
+  // Warm re-access: no refill, no cache miss.
+  const auto warm = memory.access(0, {ProcId(0), VPage(0), 4, false});
+  EXPECT_EQ(warm.misses, 0u);
+  EXPECT_EQ(memory.stats(ProcId(0)).tlb_misses, warm_tlb_misses);
+
+  // flush_tlbs drops translations only: the next access pays a refill
+  // but still hits in the (physical, untouched) cache.
+  memory.flush_tlbs();
+  const auto refilled = memory.access(0, {ProcId(0), VPage(0), 4, false});
+  EXPECT_EQ(refilled.misses, 0u);
+  EXPECT_EQ(memory.stats(ProcId(0)).tlb_misses, warm_tlb_misses + 1);
+  EXPECT_GT(refilled.elapsed, warm.elapsed);
+}
+
+TEST(MemorySystem, FlushAllLeavesMachineFullyColdIncludingTlbs) {
+  MachineConfig config = small_config();
+  config.tlb_entries = 8;
+  const topo::FatHypercube topology(4);
+  FixedBackend backend(4);
+  MemorySystem memory(config, topology, backend);
+
+  memory.access(0, {ProcId(0), VPage(0), 4, false});
+  memory.flush_all();
+  // Both the cache line fill AND the TLB refill must be repaid.
+  const auto cold = memory.access(0, {ProcId(0), VPage(0), 4, false});
+  EXPECT_EQ(cold.misses, 4u);
+  EXPECT_EQ(memory.stats(ProcId(0)).tlb_misses, 2u);
+}
+
 TEST(MemorySystem, TotalStatsAggregate) {
   const MachineConfig config = small_config();
   const topo::FatHypercube topology(4);

@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a checked-in baseline.
+
+Usage:
+    tools/perf_compare.py BASELINE.json CURRENT.json [--band 0.25]
+
+Every benchmark present in both files is compared on its
+`items_per_second` counter when available (higher is better), falling
+back to `real_time` (lower is better).  A readable delta table is
+printed; any benchmark outside the +/-band guard window marks the run
+as failed and the script exits nonzero.
+
+The baseline lives in bench/baseline/BENCH_micro_engine.json and is
+regenerated on purposeful perf changes with:
+
+    ./build/bench/micro_engine --benchmark_min_time=0.2 \
+        --benchmark_out=bench/baseline/BENCH_micro_engine.json \
+        --benchmark_out_format=json
+
+On a noisy host, run it a few times and keep, per benchmark, the entry
+with the lowest real_time ("best of N"): minima are far more stable
+than single runs, and a too-slow baseline would hide regressions.
+
+Absolute timings shift with host hardware; the guard band is meant for
+same-machine A/B runs (local development, a dedicated perf runner). On
+shared CI the compare step is advisory (continue-on-error) and the
+table is what reviewers read.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {name: (metric_value, metric_kind)} for a benchmark JSON."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench["name"]
+        if "items_per_second" in bench:
+            out[name] = (float(bench["items_per_second"]), "items/s")
+        elif "real_time" in bench:
+            unit = bench.get("time_unit", "ns")
+            out[name] = (float(bench["real_time"]), "time:" + unit)
+    return out
+
+
+def fmt_rate(value):
+    for unit, scale in (("G", 1e9), ("M", 1e6), ("k", 1e3)):
+        if value >= scale:
+            return f"{value / scale:.3f}{unit}/s"
+    return f"{value:.1f}/s"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--band",
+        type=float,
+        default=0.25,
+        help="allowed fractional regression/improvement window "
+        "(default 0.25 = +/-25%%)",
+    )
+    args = parser.parse_args()
+
+    base = load_benchmarks(args.baseline)
+    cur = load_benchmarks(args.current)
+    shared = [name for name in base if name in cur]
+    if not shared:
+        print("perf_compare: no common benchmarks between the two files",
+              file=sys.stderr)
+        return 2
+
+    rows = []
+    failures = 0
+    for name in shared:
+        base_value, kind = base[name]
+        cur_value, cur_kind = cur[name]
+        if kind != cur_kind or base_value <= 0:
+            continue
+        # Normalize so that delta > 0 always means "faster".
+        if kind == "items/s":
+            delta = cur_value / base_value - 1.0
+            shown = f"{fmt_rate(base_value)} -> {fmt_rate(cur_value)}"
+        else:
+            unit = kind.partition(":")[2]
+            delta = base_value / cur_value - 1.0
+            shown = f"{base_value:.1f}{unit} -> {cur_value:.1f}{unit}"
+        ok = abs(delta) <= args.band
+        if not ok:
+            failures += 1
+        rows.append((name, shown, delta, ok))
+
+    name_width = max(len(r[0]) for r in rows)
+    value_width = max(len(r[1]) for r in rows)
+    print(f"{'benchmark':<{name_width}}  {'baseline -> current':<{value_width}}"
+          f"  {'delta':>8}  verdict")
+    print("-" * (name_width + value_width + 22))
+    for name, shown, delta, ok in rows:
+        verdict = "ok" if ok else ("REGRESSED" if delta < 0 else "IMPROVED*")
+        print(f"{name:<{name_width}}  {shown:<{value_width}}"
+              f"  {delta:+8.1%}  {verdict}")
+    if failures:
+        print(f"\n{failures} benchmark(s) outside the +/-{args.band:.0%} "
+              "guard band. If intentional, regenerate the baseline "
+              "(see tools/perf_compare.py --help).")
+        return 1
+    print(f"\nall {len(rows)} shared benchmarks within +/-{args.band:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
