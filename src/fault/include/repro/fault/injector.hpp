@@ -1,0 +1,134 @@
+// Seeded deterministic fault injector (see plan.hpp for the model).
+//
+// One injector per Machine, consulted synchronously from the layer a
+// fault class belongs to:
+//  * MemoryControlInterface::read_counters -> filter_counters()
+//  * Kernel::migrate_page                  -> migration_busy()
+//  * MemorySystem miss path                -> on_miss()
+//  * omp::Runtime region join              -> on_region()
+//
+// Determinism contract: every decision is a pure function of
+// (plan.seed, fault class, per-class draw counter, salt). The counters
+// advance only when a site consults the injector while the plan's
+// iteration schedule is active, so the fault stream is reproduced
+// exactly by any re-run of the same cell -- across --jobs counts,
+// with or without tracing attached. The injector never reads host
+// state (no clocks, no host RNG).
+//
+// The fast-forward interaction: digest() mixes the draw counters and
+// the current iteration while the schedule can still fire, so the
+// harness's steady-state gate (which requires digest periodicity)
+// stays shut for any cell with a non-empty active plan -- replaying a
+// block would skip scheduled draws, so declining is correctness, not
+// conservatism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/fault/plan.hpp"
+#include "repro/trace/sink.hpp"
+
+namespace repro::fault {
+
+/// Cumulative injection accounting (one per injector; surfaces in
+/// RunResult and BENCH_*.json).
+struct FaultStats {
+  std::uint64_t counter_corruptions = 0;
+  std::uint64_t busy_rejections = 0;
+  std::uint64_t slowdowns = 0;
+  std::uint64_t preemptions = 0;
+  /// Phantom lines pushed through memory queues by slowdown faults.
+  std::uint64_t spike_lines = 0;
+  Ns slowdown_ns_total = 0;
+  Ns preemption_ns_total = 0;
+
+  [[nodiscard]] std::uint64_t injected_total() const {
+    return counter_corruptions + busy_rejections + slowdowns + preemptions;
+  }
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Current outer iteration (0 = setup/cold start); gates the plan's
+  /// schedule. Set by the harness at the top of every timed iteration.
+  void set_iteration(std::uint32_t iteration) { iteration_ = iteration; }
+
+  /// Attaches the event sink (null to detach): every injected fault
+  /// becomes one kFaultInjection event (a = FaultClass, payloads per
+  /// class). Decisions never depend on the sink.
+  void set_trace(trace::TraceSink* sink, std::uint16_t lane) {
+    sink_ = sink;
+    lane_ = lane;
+  }
+
+  /// Counter-corruption hook (MMCI /proc reads). Returns `counts`
+  /// untouched, or a corrupted copy (scaled by
+  /// plan.counter_scale_percent, 0 = zeroed) living in an internal
+  /// scratch buffer valid until the next filter_counters call.
+  [[nodiscard]] std::span<const std::uint32_t> filter_counters(
+      VPage page, std::span<const std::uint32_t> counts);
+
+  /// Busy-migration hook (kernel migration primitive). True = the page
+  /// is transiently pinned and the request must return BUSY. A fresh
+  /// fault pins the page for plan.busy_pin_attempts attempts.
+  [[nodiscard]] bool migration_busy(VPage page);
+
+  struct MissFault {
+    Ns extra_ns = 0;             ///< added to the miss batch's latency
+    std::uint32_t extra_lines = 0;  ///< served through the home queue
+  };
+  /// Node-slowdown hook (memory-system miss path). `now` stamps the
+  /// trace event only.
+  [[nodiscard]] MissFault on_miss(NodeId home, std::uint32_t lines, Ns now);
+
+  struct RegionFault {
+    bool fired = false;
+    std::uint32_t thread = 0;  ///< preempted thread index
+    Ns stretch = 0;            ///< added to that thread's region time
+  };
+  /// Preemption hook (runtime region join). `region_end` stamps the
+  /// trace event only.
+  [[nodiscard]] RegionFault on_region(std::uint32_t num_threads,
+                                      Ns region_end);
+
+  [[nodiscard]] const FaultStats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+  /// Behavioural state digest mixed into the harness fast-forward
+  /// snapshot: draw counters, pinned pages, and -- while the schedule
+  /// can still fire -- the iteration number, which makes the digest
+  /// aperiodic and keeps the fast-forward gate shut by construction.
+  [[nodiscard]] std::uint64_t digest() const;
+
+ private:
+  /// True while the plan's iteration schedule admits faults.
+  [[nodiscard]] bool schedule_active() const;
+  /// Next deterministic 64-bit value of a class's draw stream.
+  std::uint64_t next_u64(FaultClass cls, std::uint64_t salt);
+  /// One Bernoulli draw; advances the class counter iff consulted.
+  [[nodiscard]] bool draw(FaultClass cls, double rate, std::uint64_t salt);
+  void emit(FaultClass cls, Ns time, std::uint64_t page, std::uint64_t b,
+            Ns cost, std::int32_t node);
+
+  FaultPlan plan_;
+  FaultStats stats_;
+  /// Monotone per-class draw counters; the whole determinism scheme.
+  std::array<std::uint64_t, kNumFaultClasses> draws_{};
+  /// page -> remaining BUSY attempts of an active pin.
+  std::unordered_map<std::uint64_t, std::uint32_t> pinned_;
+  /// Scratch for corrupted counter reads (see filter_counters).
+  std::vector<std::uint32_t> scratch_;
+  std::uint32_t iteration_ = 0;
+  trace::TraceSink* sink_ = nullptr;
+  std::uint16_t lane_ = 0;
+};
+
+}  // namespace repro::fault

@@ -1,0 +1,104 @@
+// Deterministic fault-injection plans.
+//
+// The paper's experiments run on a dedicated machine; UPMlib's whole
+// selling point, though, is *adaptivity* -- so the simulator needs a
+// perturbation dimension that stress-tests convergence without giving
+// up reproducibility. A FaultPlan is the per-cell description of that
+// perturbation: a seed, one Bernoulli rate per fault class and an
+// iteration schedule. Every fault is *drawn*, never sampled from host
+// state: the injector derives each decision from (seed, fault class,
+// a monotone per-class draw counter), so a run with a given plan is
+// byte-identical across --jobs counts, reruns and tracing on/off, and
+// the injected events are replayable from the trace.
+//
+// Fault classes (see repro::fault::FaultClass):
+//  * counter corruption -- the MMCI /proc counter reads UPMlib bases
+//    its competitive criterion on return scaled (or zeroed) values;
+//  * busy migrations -- a page is transiently pinned and the kernel's
+//    move request returns BUSY instead of migrating;
+//  * node slowdown -- a miss served by a node takes extra time and the
+//    node's memory queue absorbs a pressure spike of phantom lines;
+//  * thread preemption -- a processor loses its timeslice inside a
+//    parallel region, stretching that thread's region time
+//    (multiprogramming interference, paper footnote 3).
+#pragma once
+
+#include <cstdint>
+
+#include "repro/common/units.hpp"
+
+namespace repro::fault {
+
+/// Fault classes, in draw-stream order. The numeric values are the `a`
+/// payload of kFaultInjection trace events and index the injector's
+/// per-class draw counters; append only.
+enum class FaultClass : std::uint8_t {
+  kCounterCorruption = 0,
+  kMigrationBusy = 1,
+  kNodeSlowdown = 2,
+  kPreemption = 3,
+};
+
+inline constexpr std::size_t kNumFaultClasses = 4;
+
+/// Stable lowercase identifier ("counter_corruption", ...).
+[[nodiscard]] const char* fault_class_name(FaultClass cls);
+
+struct FaultPlan {
+  /// Root of every Bernoulli draw; two plans with different seeds
+  /// produce independent fault streams at the same rates.
+  std::uint64_t seed = 0x5eedfa17u;
+
+  // --- per-class Bernoulli rates (probability per consultation) -----------
+  /// Per MMCI counter read of one hot page.
+  double counter_rate = 0.0;
+  /// Per kernel migration request.
+  double migration_busy_rate = 0.0;
+  /// Per cache-miss batch.
+  double slowdown_rate = 0.0;
+  /// Per parallel region.
+  double preemption_rate = 0.0;
+
+  // --- per-class magnitudes ------------------------------------------------
+  /// Corrupted counter reads return value * percent / 100; 0 zeroes
+  /// the counters outright (the harshest corruption).
+  std::uint32_t counter_scale_percent = 0;
+  /// A page hit by a busy fault stays pinned for this many migration
+  /// attempts (including the faulted one) before the pin clears.
+  std::uint32_t busy_pin_attempts = 2;
+  /// Extra service time charged to a slowed-down miss batch.
+  Ns slowdown_ns = 400;
+  /// Phantom lines pushed through the home node's memory queue by a
+  /// slowdown fault (queue-pressure spike felt by later accesses).
+  std::uint32_t spike_lines = 64;
+  /// Timeslice lost by a preempted thread (stretches its region time).
+  Ns preemption_ns = 50 * kNsPerUs;
+
+  // --- schedule ------------------------------------------------------------
+  /// First outer iteration (1-based) in which faults may fire;
+  /// iteration 0 is setup/cold start and is fault-free by default.
+  std::uint32_t active_from_iteration = 1;
+  /// Last iteration in which faults may fire; 0 = no upper bound.
+  std::uint32_t active_until_iteration = 0;
+
+  /// True when every rate is zero: no injector is attached and the run
+  /// is the byte-identical no-fault-subsystem run by construction.
+  [[nodiscard]] bool empty() const;
+
+  /// Sets all four class rates to `rate` (the --fault-rate knob).
+  void set_rate(double rate);
+
+  /// Largest of the four class rates (reporting).
+  [[nodiscard]] double max_rate() const;
+
+  /// Reads REPRO_FAULT_SEED / REPRO_FAULT_RATE plus the per-class
+  /// REPRO_FAULT_{COUNTER,BUSY,SLOWDOWN,PREEMPT}_RATE overrides on top
+  /// of `defaults`.
+  [[nodiscard]] static FaultPlan from_env();
+  [[nodiscard]] static FaultPlan from_env(FaultPlan defaults);
+
+  /// Rates in [0, 1], magnitudes sane. Throws ContractViolation.
+  void validate() const;
+};
+
+}  // namespace repro::fault

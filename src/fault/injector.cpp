@@ -1,0 +1,168 @@
+#include "repro/fault/injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "repro/common/hash.hpp"
+
+namespace repro::fault {
+namespace {
+
+/// Bernoulli threshold: compare the top 53 bits of a draw against
+/// rate * 2^53. Exact for rate 0 (never fires) and rate 1 (always
+/// fires), monotone in between, and independent of host floating-point
+/// environment because the comparison is integer-vs-integer.
+[[nodiscard]] bool below_rate(std::uint64_t u, double rate) {
+  if (rate <= 0.0) {
+    return false;
+  }
+  if (rate >= 1.0) {
+    return true;
+  }
+  const auto threshold = static_cast<std::uint64_t>(
+      std::ldexp(rate, 53));  // rate * 2^53, exact in double
+  return (u >> 11) < threshold;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  plan_.validate();
+}
+
+bool FaultInjector::schedule_active() const {
+  if (iteration_ < plan_.active_from_iteration) {
+    return false;
+  }
+  return plan_.active_until_iteration == 0 ||
+         iteration_ <= plan_.active_until_iteration;
+}
+
+std::uint64_t FaultInjector::next_u64(FaultClass cls, std::uint64_t salt) {
+  const auto index = static_cast<std::size_t>(cls);
+  const std::uint64_t counter = draws_[index]++;
+  return avalanche64(plan_.seed ^
+                     avalanche64((static_cast<std::uint64_t>(index) << 32) ^
+                                 counter) ^
+                     avalanche64(salt));
+}
+
+bool FaultInjector::draw(FaultClass cls, double rate, std::uint64_t salt) {
+  if (rate <= 0.0 || !schedule_active()) {
+    return false;
+  }
+  return below_rate(next_u64(cls, salt), rate);
+}
+
+void FaultInjector::emit(FaultClass cls, Ns time, std::uint64_t page,
+                         std::uint64_t b, Ns cost, std::int32_t node) {
+  if (sink_ == nullptr) {
+    return;
+  }
+  trace::TraceEvent event;
+  event.kind = trace::EventKind::kFaultInjection;
+  event.time = time;
+  event.page = page;
+  event.a = static_cast<std::uint64_t>(cls);
+  event.b = b;
+  event.cost = cost;
+  event.node = node;
+  sink_->emit(lane_, event);
+}
+
+std::span<const std::uint32_t> FaultInjector::filter_counters(
+    VPage page, std::span<const std::uint32_t> counts) {
+  if (!draw(FaultClass::kCounterCorruption, plan_.counter_rate,
+            page.value())) {
+    return counts;
+  }
+  ++stats_.counter_corruptions;
+  scratch_.assign(counts.begin(), counts.end());
+  for (std::uint32_t& c : scratch_) {
+    c = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(c) * plan_.counter_scale_percent) / 100);
+  }
+  emit(FaultClass::kCounterCorruption, sink_ != nullptr ? sink_->now() : 0,
+       page.value(), plan_.counter_scale_percent, 0, -1);
+  return scratch_;
+}
+
+bool FaultInjector::migration_busy(VPage page) {
+  // An active pin rejects without drawing: the pin models one
+  // transient condition spanning several attempts, not several
+  // independent faults.
+  if (const auto it = pinned_.find(page.value()); it != pinned_.end()) {
+    ++stats_.busy_rejections;
+    if (--it->second == 0) {
+      pinned_.erase(it);
+    }
+    emit(FaultClass::kMigrationBusy, sink_ != nullptr ? sink_->now() : 0,
+         page.value(), 1, 0, -1);
+    return true;
+  }
+  if (!draw(FaultClass::kMigrationBusy, plan_.migration_busy_rate,
+            page.value())) {
+    return false;
+  }
+  ++stats_.busy_rejections;
+  if (plan_.busy_pin_attempts > 1) {
+    pinned_.emplace(page.value(), plan_.busy_pin_attempts - 1);
+  }
+  emit(FaultClass::kMigrationBusy, sink_ != nullptr ? sink_->now() : 0,
+       page.value(), 0, 0, -1);
+  return true;
+}
+
+FaultInjector::MissFault FaultInjector::on_miss(NodeId home,
+                                                std::uint32_t lines, Ns now) {
+  if (!draw(FaultClass::kNodeSlowdown, plan_.slowdown_rate,
+            (static_cast<std::uint64_t>(home.value()) << 32) ^ lines)) {
+    return {};
+  }
+  ++stats_.slowdowns;
+  stats_.slowdown_ns_total += plan_.slowdown_ns;
+  stats_.spike_lines += plan_.spike_lines;
+  emit(FaultClass::kNodeSlowdown, now, 0, plan_.spike_lines,
+       plan_.slowdown_ns, static_cast<std::int32_t>(home.value()));
+  return {plan_.slowdown_ns, plan_.spike_lines};
+}
+
+FaultInjector::RegionFault FaultInjector::on_region(std::uint32_t num_threads,
+                                                    Ns region_end) {
+  RegionFault out;
+  if (num_threads == 0 ||
+      !draw(FaultClass::kPreemption, plan_.preemption_rate, num_threads)) {
+    return out;
+  }
+  out.fired = true;
+  // Second draw for the victim thread: the fired Bernoulli value is
+  // conditioned small, so reusing its bits would bias the choice.
+  out.thread = static_cast<std::uint32_t>(
+      next_u64(FaultClass::kPreemption, 0x7412ead) % num_threads);
+  out.stretch = plan_.preemption_ns;
+  ++stats_.preemptions;
+  stats_.preemption_ns_total += out.stretch;
+  emit(FaultClass::kPreemption, region_end, 0, out.thread, out.stretch,
+       static_cast<std::int32_t>(out.thread));
+  return out;
+}
+
+std::uint64_t FaultInjector::digest() const {
+  StateHash h;
+  h.mix(plan_.seed);
+  for (const std::uint64_t d : draws_) {
+    h.mix(d);
+  }
+  // Commutative mix: unordered_map iteration order is not canonical.
+  std::uint64_t pins = 0;
+  for (const auto& [page, remaining] : pinned_) {
+    pins += avalanche64(avalanche64(page) ^ remaining);
+  }
+  h.mix(pins);
+  const bool exhausted = plan_.active_until_iteration != 0 &&
+                         iteration_ > plan_.active_until_iteration;
+  h.mix(exhausted ? ~std::uint64_t{0} : iteration_);
+  return h.value();
+}
+
+}  // namespace repro::fault

@@ -1,0 +1,78 @@
+#include "repro/fault/plan.hpp"
+
+#include <algorithm>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+
+namespace repro::fault {
+
+const char* fault_class_name(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kCounterCorruption:
+      return "counter_corruption";
+    case FaultClass::kMigrationBusy:
+      return "migration_busy";
+    case FaultClass::kNodeSlowdown:
+      return "node_slowdown";
+    case FaultClass::kPreemption:
+      return "preemption";
+  }
+  return "?";
+}
+
+bool FaultPlan::empty() const {
+  return counter_rate == 0.0 && migration_busy_rate == 0.0 &&
+         slowdown_rate == 0.0 && preemption_rate == 0.0;
+}
+
+void FaultPlan::set_rate(double rate) {
+  counter_rate = rate;
+  migration_busy_rate = rate;
+  slowdown_rate = rate;
+  preemption_rate = rate;
+}
+
+double FaultPlan::max_rate() const {
+  return std::max({counter_rate, migration_busy_rate, slowdown_rate,
+                   preemption_rate});
+}
+
+FaultPlan FaultPlan::from_env() { return from_env(FaultPlan{}); }
+
+FaultPlan FaultPlan::from_env(FaultPlan defaults) {
+  const Env& env = Env::global();
+  defaults.seed = static_cast<std::uint64_t>(env.get_int(
+      "REPRO_FAULT_SEED", static_cast<std::int64_t>(defaults.seed)));
+  const double rate = env.get_double("REPRO_FAULT_RATE", -1.0);
+  if (rate >= 0.0) {
+    defaults.set_rate(rate);
+  }
+  defaults.counter_rate =
+      env.get_double("REPRO_FAULT_COUNTER_RATE", defaults.counter_rate);
+  defaults.migration_busy_rate =
+      env.get_double("REPRO_FAULT_BUSY_RATE", defaults.migration_busy_rate);
+  defaults.slowdown_rate =
+      env.get_double("REPRO_FAULT_SLOWDOWN_RATE", defaults.slowdown_rate);
+  defaults.preemption_rate =
+      env.get_double("REPRO_FAULT_PREEMPT_RATE", defaults.preemption_rate);
+  return defaults;
+}
+
+void FaultPlan::validate() const {
+  const auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  REPRO_REQUIRE_MSG(valid_rate(counter_rate) &&
+                        valid_rate(migration_busy_rate) &&
+                        valid_rate(slowdown_rate) &&
+                        valid_rate(preemption_rate),
+                    "fault rates must be probabilities in [0, 1]");
+  REPRO_REQUIRE_MSG(counter_scale_percent <= 100,
+                    "counter_scale_percent must be in [0, 100]");
+  REPRO_REQUIRE_MSG(busy_pin_attempts >= 1,
+                    "a busy fault pins for at least the faulted attempt");
+  REPRO_REQUIRE_MSG(active_until_iteration == 0 ||
+                        active_until_iteration >= active_from_iteration,
+                    "empty fault schedule");
+}
+
+}  // namespace repro::fault

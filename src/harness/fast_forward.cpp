@@ -14,6 +14,7 @@ namespace {
 bool same_kernel(const os::KernelStats& a, const os::KernelStats& b) {
   return a.page_faults == b.page_faults && a.migrations == b.migrations &&
          a.rejected_migrations == b.rejected_migrations &&
+         a.busy_migrations == b.busy_migrations &&
          a.redirected_migrations == b.redirected_migrations &&
          a.migration_cost == b.migration_cost &&
          a.replications == b.replications &&
@@ -25,7 +26,8 @@ bool same_daemon(const os::DaemonStats& a, const os::DaemonStats& b) {
          a.window_resets == b.window_resets &&
          a.suppressed_cooloff == b.suppressed_cooloff &&
          a.suppressed_frozen == b.suppressed_frozen &&
-         a.suppressed_global == b.suppressed_global && a.cost == b.cost;
+         a.suppressed_global == b.suppressed_global &&
+         a.deferred_busy == b.deferred_busy && a.cost == b.cost;
 }
 
 /// delta(a0 -> a1) == delta(b0 -> b1), field-wise.
@@ -65,6 +67,15 @@ FastForward::Snapshot FastForward::capture() {
   if (upmlib_ != nullptr) {
     hash.mix(upmlib_->digest());
   }
+  // An attached fault injector keeps the gate shut by construction:
+  // its digest mixes the current iteration while the plan's schedule
+  // can still fire, so the window is never digest-periodic and no
+  // scheduled draw is ever skipped by a replayed block.
+  fault::FaultInjector* fault = machine_->fault_injector();
+  hash.mix(fault != nullptr ? 1 : 0);
+  if (fault != nullptr) {
+    hash.mix(fault->digest());
+  }
   s.digest = hash.value();
 
   const std::size_t procs = machine_->config().num_procs();
@@ -84,6 +95,9 @@ FastForward::Snapshot FastForward::capture() {
                        u.undo_migrations,
                        u.replications,
                        u.frozen_pages,
+                       u.busy_retries,
+                       u.give_ups,
+                       u.hysteresis_deferrals,
                        u.migrations_per_invocation.size(),
                        u.distribution_cost,
                        u.recrep_cost,

@@ -38,7 +38,17 @@ RunConfig base_config(const std::string& benchmark,
   config.iterations = effective_iterations(benchmark, options);
   config.trace_dir = options.trace_dir;
   config.no_fast_forward = options.no_fast_forward;
+  config.fault = options.fault;
   return config;
+}
+
+SweepOptions FigureOptions::sweep() const {
+  SweepOptions s;
+  s.jobs = jobs;
+  s.cell_timeout_ms = cell_timeout_ms;
+  s.cell_retries = cell_retries;
+  s.checkpoint_dir = checkpoint_dir;
+  return s;
 }
 
 std::vector<RunResult> run_placement_matrix(const std::string& benchmark,
@@ -52,7 +62,7 @@ std::vector<RunResult> run_placement_matrix(const std::string& benchmark,
       configs.push_back(std::move(config));
     }
   }
-  return run_experiments(configs, options.jobs);
+  return run_experiments(configs, options.sweep());
 }
 
 std::vector<RunResult> run_upmlib_row(const std::string& benchmark,
@@ -64,7 +74,7 @@ std::vector<RunResult> run_upmlib_row(const std::string& benchmark,
     config.upm_mode = nas::UpmMode::kDistribution;
     configs.push_back(std::move(config));
   }
-  return run_experiments(configs, options.jobs);
+  return run_experiments(configs, options.sweep());
 }
 
 void print_figure(std::ostream& os, const std::string& title,

@@ -1,0 +1,46 @@
+// Sweep checkpoint/resume.
+//
+// A sweep with checkpointing saves each completed cell's RunResult to
+// one small key=value file (written atomically), keyed by a hash of
+// every behaviour-relevant field of the cell's RunConfig. A restarted
+// sweep loads the file instead of re-simulating the cell -- but only
+// when the identity hash still matches, so an edited configuration
+// can never resurrect a stale result.
+//
+// The checkpoint carries everything results_to_json() serializes
+// (totals, per-iteration times, engine statistics, fault statistics,
+// trace digest and the per-iteration trace metrics); it does NOT carry
+// the event trace itself or the region records, so a resumed cell's
+// RunResult is JSON-identical to the original but not trace-complete.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "repro/harness/run.hpp"
+
+namespace repro::harness {
+
+/// Hash of every RunConfig field that can influence the simulation's
+/// result (placement, engines, iterations, machine geometry, fault
+/// plan, ...). Host-side knobs (cell_timeout_ms, trace_dir) are
+/// excluded: they change how a run is supervised, not what it
+/// computes.
+[[nodiscard]] std::uint64_t config_identity(const RunConfig& config);
+
+/// The cell's checkpoint file inside `dir`.
+[[nodiscard]] std::string checkpoint_path(const std::string& dir,
+                                          const RunConfig& config);
+
+/// Loads a previously saved result. Returns false (leaving `out`
+/// untouched) when the file is missing, unreadable, malformed, or was
+/// written for a different config identity.
+[[nodiscard]] bool load_checkpoint(const std::string& dir,
+                                   const RunConfig& config, RunResult* out);
+
+/// Saves `result` atomically; a killed process leaves either no
+/// checkpoint or a complete one.
+void save_checkpoint(const std::string& dir, const RunConfig& config,
+                     const RunResult& result);
+
+}  // namespace repro::harness

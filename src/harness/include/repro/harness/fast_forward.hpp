@@ -101,6 +101,9 @@ class FastForward {
     std::uint64_t undo_migrations = 0;
     std::uint64_t replications = 0;
     std::uint64_t frozen_pages = 0;
+    std::uint64_t busy_retries = 0;
+    std::uint64_t give_ups = 0;
+    std::uint64_t hysteresis_deferrals = 0;
     std::uint64_t invocations = 0;
     Ns distribution_cost = 0;
     Ns recrep_cost = 0;

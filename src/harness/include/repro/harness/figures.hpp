@@ -9,6 +9,7 @@
 
 #include "repro/common/table.hpp"
 #include "repro/harness/run.hpp"
+#include "repro/harness/scheduler.hpp"
 
 namespace repro::harness {
 
@@ -27,7 +28,21 @@ struct FigureOptions {
   /// Simulate every timed iteration in full instead of fast-forwarding
   /// once a steady state is detected (--no-fast-forward).
   bool no_fast_forward = false;
+  /// Fault-injection plan applied to every cell (--fault-seed /
+  /// --fault-rate; empty = no injector, byte-identical to a build
+  /// without the fault subsystem).
+  fault::FaultPlan fault;
+  /// Per-cell wall-clock watchdog in milliseconds (--cell-timeout);
+  /// 0 disables it. See SweepOptions.
+  std::uint32_t cell_timeout_ms = 0;
+  /// Extra attempts per failed cell (--cell-retries).
+  std::uint32_t cell_retries = 0;
+  /// Checkpoint/resume directory (--checkpoint-dir); empty = off.
+  std::string checkpoint_dir;
   memsys::MachineConfig machine;
+
+  /// The SweepOptions these figure options imply.
+  [[nodiscard]] SweepOptions sweep() const;
 };
 
 /// Iterations to run for `benchmark` under `options` (honours

@@ -6,10 +6,13 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "repro/analysis/diagnostic.hpp"
+#include "repro/fault/injector.hpp"
+#include "repro/fault/plan.hpp"
 #include "repro/memsys/config.hpp"
 #include "repro/memsys/memory_system.hpp"
 #include "repro/nas/workload.hpp"
@@ -57,6 +60,17 @@ struct RunConfig {
   /// REPRO_FAST_FORWARD=0 in the environment, and implicitly when
   /// `analyze` is set (the analyzer inspects each executed region).
   bool no_fast_forward = false;
+  /// Deterministic fault-injection plan (see repro::fault). The
+  /// default (all rates zero) attaches no injector at all, so the run
+  /// is byte-identical to a build without the fault subsystem. A
+  /// non-empty plan also declines the fast-forward by construction
+  /// (the injector's digest is aperiodic while faults can fire).
+  fault::FaultPlan fault;
+  /// Host-side watchdog: abort this cell with CellTimeoutError when
+  /// its wall-clock run time exceeds this many milliseconds (checked
+  /// at iteration boundaries, so the simulation state is never torn).
+  /// 0 disables the watchdog.
+  std::uint32_t cell_timeout_ms = 0;
 
   memsys::MachineConfig machine;
   os::DaemonConfig daemon;
@@ -66,6 +80,15 @@ struct RunConfig {
   /// Paper-style label, e.g. "ft-base", "rr-IRIXmig", "wc-upmlib",
   /// "ft-recrep" ("base" = no migration engine at all).
   [[nodiscard]] std::string label() const;
+};
+
+/// Thrown by run_benchmark when a cell exceeds its wall-clock
+/// watchdog deadline (RunConfig::cell_timeout_ms). The sweep scheduler
+/// reports it in the aggregated error without retrying the cell.
+class CellTimeoutError : public std::runtime_error {
+ public:
+  explicit CellTimeoutError(const std::string& what)
+      : std::runtime_error(what) {}
 };
 
 struct RunResult {
@@ -95,6 +118,11 @@ struct RunResult {
   /// the requested iteration count).
   std::uint32_t iterations_simulated = 0;
   std::uint32_t iterations_replayed = 0;
+  /// Injected-fault accounting (all zero when the plan was empty).
+  fault::FaultStats fault_stats;
+  /// Largest class rate of the cell's plan (0 = faults disabled);
+  /// carried into BENCH_*.json so sweep rows are self-describing.
+  double fault_rate = 0.0;
 
   [[nodiscard]] double seconds() const { return ns_to_seconds(total); }
 

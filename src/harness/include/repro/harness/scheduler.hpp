@@ -1,4 +1,4 @@
-// Parallel experiment scheduler.
+// Parallel experiment scheduler with failure aggregation and resume.
 //
 // Every cell of a run matrix is an independent simulation: it builds
 // its own Machine from its RunConfig (own memory system, address space,
@@ -8,9 +8,21 @@
 // returned vector is in input order regardless of which worker finished
 // first -- with deterministic per-cell simulations this makes the whole
 // sweep's output independent of the job count.
+//
+// Resilience (see DESIGN.md "Fault injection & graceful degradation"):
+// a failing cell no longer aborts the sweep. Every cell runs to a
+// verdict; failures are collected into CellFailure records (input
+// order) and either returned alongside the successes (run_sweep) or
+// raised as one SweepError that lists *every* failed cell
+// (run_experiments). Optional per-cell retries, a wall-clock watchdog
+// and checkpoint/resume make long sweeps survivable: a killed sweep
+// rerun with the same checkpoint directory skips completed cells.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "repro/harness/run.hpp"
@@ -22,12 +34,99 @@ namespace repro::harness {
 /// concurrency. Always at least 1.
 [[nodiscard]] std::size_t effective_jobs(std::size_t requested);
 
-/// Runs every config through run_benchmark on `jobs` worker threads
-/// (resolved via effective_jobs) and returns the results in input
-/// order. jobs=1 runs inline on the calling thread -- the bit-exact
-/// serial mode. If any cell throws, the first exception (in input
-/// order) is rethrown after all workers have stopped.
+/// One failed cell of a sweep, after its retry budget was exhausted.
+struct CellFailure {
+  /// Index into the sweep's config vector.
+  std::size_t index = 0;
+  std::string benchmark;
+  /// RunConfig::label() of the cell ("ft-upmlib", ...).
+  std::string label;
+  /// what() of the final exception.
+  std::string message;
+  /// The failure was a CellTimeoutError (watchdog); never retried.
+  bool timeout = false;
+
+  /// "BT ft-upmlib: <message>" -- the line SweepError::format joins.
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Host-side sweep supervision knobs (per sweep, not per cell).
+struct SweepOptions {
+  /// Worker threads; 0 = effective_jobs default.
+  std::size_t jobs = 0;
+  /// Default wall-clock watchdog applied to every cell whose own
+  /// RunConfig::cell_timeout_ms is 0 (a per-cell value wins). 0 = no
+  /// default watchdog.
+  std::uint32_t cell_timeout_ms = 0;
+  /// Extra attempts per failed cell. Timeouts are never retried: a
+  /// deterministic simulation that blew its deadline once will blow it
+  /// again.
+  std::uint32_t cell_retries = 0;
+  /// Directory for per-cell checkpoint files (see checkpoint.hpp).
+  /// Empty = no checkpointing. Completed cells found here are loaded
+  /// instead of re-simulated; successful cells are saved here.
+  std::string checkpoint_dir;
+};
+
+/// What the sweep did, for reporting and the JSON metadata block.
+struct SweepStats {
+  std::size_t cells_total = 0;
+  std::size_t cells_ok = 0;
+  std::size_t cells_failed = 0;
+  /// Cells satisfied from a checkpoint instead of simulation.
+  std::size_t cells_resumed = 0;
+  /// Retry attempts performed (not cells: one cell can retry twice).
+  std::size_t cells_retried = 0;
+  /// Cells aborted by the wall-clock watchdog.
+  std::size_t watchdog_fires = 0;
+};
+
+struct SweepOutcome {
+  /// One entry per config, in input order. A failed cell's entry is a
+  /// default-constructed RunResult; check `failures` for its indices.
+  std::vector<RunResult> results;
+  /// Every failed cell, in input order (empty on full success).
+  std::vector<CellFailure> failures;
+  SweepStats stats;
+
+  [[nodiscard]] bool ok() const { return failures.empty(); }
+};
+
+/// Aggregated sweep failure: lists every failed cell, not just the
+/// first. Thrown by run_experiments; built from run_sweep's failures.
+class SweepError : public std::runtime_error {
+ public:
+  explicit SweepError(std::vector<CellFailure> failures)
+      : std::runtime_error(format(failures)), failures_(std::move(failures)) {}
+
+  [[nodiscard]] const std::vector<CellFailure>& failures() const {
+    return failures_;
+  }
+
+  /// "3 of 12 cells failed:" + one describe() line per failure.
+  [[nodiscard]] static std::string format(
+      const std::vector<CellFailure>& failures);
+
+ private:
+  std::vector<CellFailure> failures_;
+};
+
+/// Runs every config through run_benchmark on options.jobs worker
+/// threads and returns all results, all failures and the sweep
+/// statistics without throwing on cell failures (option parsing /
+/// contract violations in the scheduler itself still throw). A cell
+/// that fails is retried up to options.cell_retries times (except
+/// watchdog timeouts) and the remaining cells always run.
+[[nodiscard]] SweepOutcome run_sweep(const std::vector<RunConfig>& configs,
+                                     const SweepOptions& options);
+
+/// Throwing wrappers: return the results in input order on full
+/// success, raise one SweepError describing *every* failed cell
+/// otherwise. jobs=1 runs inline on the calling thread -- the
+/// bit-exact serial mode.
 [[nodiscard]] std::vector<RunResult> run_experiments(
     const std::vector<RunConfig>& configs, std::size_t jobs = 0);
+[[nodiscard]] std::vector<RunResult> run_experiments(
+    const std::vector<RunConfig>& configs, const SweepOptions& options);
 
 }  // namespace repro::harness

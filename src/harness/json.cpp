@@ -1,10 +1,8 @@
 #include "repro/harness/json.hpp"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
-#include "repro/common/assert.hpp"
+#include "repro/harness/atomic_file.hpp"
 
 namespace repro::harness {
 
@@ -64,7 +62,21 @@ std::string results_to_json(const std::vector<RunResult>& results) {
     append_field(os, "upm_replay_migrations", r.upm_stats.replay_migrations);
     append_field(os, "upm_undo_migrations", r.upm_stats.undo_migrations);
     append_field(os, "upm_cost_ns",
-                 r.upm_stats.distribution_cost + r.upm_stats.recrep_cost,
+                 r.upm_stats.distribution_cost + r.upm_stats.recrep_cost);
+    append_field(os, "upm_busy_retries", r.upm_stats.busy_retries);
+    append_field(os, "upm_give_ups", r.upm_stats.give_ups);
+    append_field(os, "upm_hysteresis_deferrals",
+                 r.upm_stats.hysteresis_deferrals);
+    append_field(os, "kernel_busy_migrations",
+                 r.kernel_stats.busy_migrations);
+    append_field(os, "daemon_deferred_busy", r.daemon_stats.deferred_busy);
+    append_field(os, "fault_rate", r.fault_rate);
+    append_field(os, "fault_counter_corruptions",
+                 r.fault_stats.counter_corruptions);
+    append_field(os, "fault_busy_rejections", r.fault_stats.busy_rejections);
+    append_field(os, "fault_slowdowns", r.fault_stats.slowdowns);
+    append_field(os, "fault_preemptions", r.fault_stats.preemptions);
+    append_field(os, "fault_injected_total", r.fault_stats.injected_total(),
                  /*last=*/r.trace_digest.empty());
     if (!r.trace_digest.empty()) {
       os << "\"trace_digest\": \"" << escape(r.trace_digest) << "\", ";
@@ -77,6 +89,11 @@ std::string results_to_json(const std::vector<RunResult>& results) {
         os << (m == 0 ? "" : ", ")
            << r.iteration_metrics[m].queue_backlog_p95;
       }
+      os << "], \"trace_faults_per_iteration\": [";
+      for (std::size_t m = 0; m < r.iteration_metrics.size(); ++m) {
+        os << (m == 0 ? "" : ", ")
+           << r.iteration_metrics[m].faults_injected;
+      }
       os << "]";
     }
     os << "}";
@@ -87,17 +104,14 @@ std::string results_to_json(const std::vector<RunResult>& results) {
 
 void write_results_json(const std::string& path, const std::string& bench,
                         const std::vector<RunResult>& results) {
-  // Like the trace exporter: create the output directory instead of
-  // aborting on a missing one.
-  const std::filesystem::path parent =
-      std::filesystem::path(path).parent_path();
-  if (!parent.empty()) {
-    std::filesystem::create_directories(parent);
-  }
-  std::ofstream out(path);
-  REPRO_REQUIRE_MSG(out.good(), "cannot open JSON output file");
-  out << "{\"bench\": \"" << escape(bench)
-      << "\", \"results\": " << results_to_json(results) << "}\n";
+  // Render in memory and land atomically (tmp + fsync + rename): a
+  // killed sweep leaves either no BENCH_*.json or a complete one,
+  // never a truncated file. atomic_write_file creates the output
+  // directory if missing.
+  std::ostringstream os;
+  os << "{\"bench\": \"" << escape(bench)
+     << "\", \"results\": " << results_to_json(results) << "}\n";
+  atomic_write_file(path, os.str());
 }
 
 }  // namespace repro::harness

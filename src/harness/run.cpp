@@ -1,13 +1,15 @@
 #include "repro/harness/run.hpp"
 
+#include <chrono>
 #include <filesystem>
-#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "repro/analysis/session.hpp"
 #include "repro/common/assert.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/log.hpp"
+#include "repro/harness/atomic_file.hpp"
 #include "repro/harness/fast_forward.hpp"
 #include "repro/omp/machine.hpp"
 #include "repro/trace/export.hpp"
@@ -80,6 +82,15 @@ RunResult run_benchmark(const RunConfig& config) {
   }
   if (config.kernel_migration) {
     machine->enable_kernel_daemon(config.daemon);
+  }
+  // REPRO_FAULT_* environment overrides land on top of the config's
+  // plan, like REPRO_ANALYZE / REPRO_TRACE above.
+  const fault::FaultPlan fault_plan = fault::FaultPlan::from_env(config.fault);
+  fault::FaultInjector* injector = nullptr;
+  if (!fault_plan.empty()) {
+    // After the daemon, so the "fault" lane lands after "daemon" and
+    // fault-free configurations keep their exact lane layout.
+    injector = &machine->enable_fault_injection(fault_plan);
   }
 
   nas::WorkloadParams wparams = config.workload;
@@ -154,10 +165,28 @@ RunResult run_benchmark(const RunConfig& config) {
 
   omp::Runtime& rt = machine->runtime();
   const Ns t0 = rt.now();
-  std::size_t last_migrations = 0;
   std::uint64_t seen_remote_lines = 0;
   std::uint64_t seen_local_lines = 0;
+  const auto wall_start = std::chrono::steady_clock::now();
   for (std::uint32_t step = 1; step <= iterations; ++step) {
+    if (config.cell_timeout_ms != 0) {
+      // Cooperative watchdog: host wall-clock, checked only at outer
+      // iteration boundaries so an aborted cell never leaves torn
+      // simulation state (and the check never perturbs simulated time).
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+      if (elapsed >= static_cast<std::int64_t>(config.cell_timeout_ms)) {
+        throw CellTimeoutError(config.benchmark + " " + config.label() +
+                               ": exceeded cell timeout of " +
+                               std::to_string(config.cell_timeout_ms) +
+                               " ms at iteration " + std::to_string(step));
+      }
+    }
+    if (injector != nullptr) {
+      injector->set_iteration(step);
+    }
     if (ff != nullptr) {
       ff->probe();
       if (ff->ready()) {
@@ -188,10 +217,14 @@ RunResult run_benchmark(const RunConfig& config) {
     }
     workload->iteration(*machine, ctx, step);
     if (config.upm_mode == nas::UpmMode::kDistribution &&
-        (step == 1 || last_migrations > 0)) {
+        (step == 1 || upmlib->active())) {
       // Paper Fig. 2: invoke the engine after the first iteration and
-      // keep invoking it while it still finds pages to move.
-      last_migrations = upmlib->migrate_memory();
+      // keep invoking it while it is still active. Equivalent to the
+      // classic "while the last pass migrated" loop in fault-free runs
+      // (a zero-migration pass deactivates the engine in the same
+      // step), but under faults a pass can defer candidates without
+      // migrating -- activity, not migration count, is the signal.
+      upmlib->migrate_memory();
       if (ff != nullptr) {
         ff->note_migration_pass();
       }
@@ -224,6 +257,10 @@ RunResult run_benchmark(const RunConfig& config) {
     result.daemon_stats = machine->kernel().daemon()->stats();
   }
   result.memory_totals = machine->memory().total_stats();
+  if (injector != nullptr) {
+    result.fault_stats = injector->stats();
+    result.fault_rate = fault_plan.max_rate();
+  }
   if (session != nullptr) {
     session->finish();
     result.diagnostics = session->sink().diagnostics();
@@ -247,15 +284,16 @@ RunResult run_benchmark(const RunConfig& config) {
     result.iteration_metrics =
         trace::MetricsRegistry(*sink).per_iteration();
     if (!trace_dir.empty()) {
-      std::filesystem::create_directories(trace_dir);
       const std::string stem =
           trace_dir + "/TRACE_" + config.benchmark + "_" + result.label;
-      std::ofstream canonical(stem + ".trace");
-      REPRO_REQUIRE_MSG(canonical.good(), "cannot open trace output file");
+      // Render in memory, land atomically: a killed run leaves either
+      // no dump or a complete one, never a truncated file.
+      std::ostringstream canonical;
       trace::write_canonical(canonical, *sink);
-      std::ofstream chrome(stem + ".chrome.json");
-      REPRO_REQUIRE_MSG(chrome.good(), "cannot open trace output file");
+      atomic_write_file(stem + ".trace", canonical.str());
+      std::ostringstream chrome;
       trace::write_chrome_trace(chrome, *sink);
+      atomic_write_file(stem + ".chrome.json", chrome.str());
       REPRO_LOG_INFO("trace ", config.benchmark, " ", result.label,
                      " digest ", result.trace_digest, " -> ", stem,
                      ".{trace,chrome.json}");

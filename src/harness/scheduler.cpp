@@ -2,13 +2,72 @@
 
 #include <algorithm>
 #include <atomic>
-#include <exception>
+#include <sstream>
 #include <thread>
 
 #include "repro/common/env.hpp"
 #include "repro/common/log.hpp"
+#include "repro/harness/checkpoint.hpp"
 
 namespace repro::harness {
+
+namespace {
+
+struct CellVerdict {
+  RunResult result;
+  bool ok = false;
+  bool resumed = false;
+  bool timeout = false;
+  std::uint32_t retries = 0;
+  std::string message;
+};
+
+/// Runs one cell to a verdict: checkpoint load, then simulate with up
+/// to options.cell_retries extra attempts. Never throws on simulation
+/// failure -- every exception becomes part of the verdict so the
+/// remaining cells always run.
+CellVerdict run_cell(const RunConfig& input, const SweepOptions& options) {
+  CellVerdict v;
+  RunConfig config = input;
+  if (config.cell_timeout_ms == 0) {
+    config.cell_timeout_ms = options.cell_timeout_ms;
+  }
+  if (!options.checkpoint_dir.empty() &&
+      load_checkpoint(options.checkpoint_dir, config, &v.result)) {
+    v.ok = true;
+    v.resumed = true;
+    return v;
+  }
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    try {
+      v.result = run_benchmark(config);
+      v.ok = true;
+      if (!options.checkpoint_dir.empty()) {
+        save_checkpoint(options.checkpoint_dir, config, v.result);
+      }
+      return v;
+    } catch (const CellTimeoutError& e) {
+      // Deterministic simulation: a cell that blew its deadline once
+      // will blow it again, so a retry only doubles the damage.
+      v.timeout = true;
+      v.message = e.what();
+      return v;
+    } catch (const std::exception& e) {
+      v.message = e.what();
+    } catch (...) {
+      v.message = "unknown exception";
+    }
+    if (attempt >= options.cell_retries) {
+      return v;
+    }
+    ++v.retries;
+    REPRO_LOG_WARN(config.benchmark, " ", config.label(), ": retry ",
+                   v.retries, "/", options.cell_retries, " after: ",
+                   v.message);
+  }
+}
+
+}  // namespace
 
 std::size_t effective_jobs(std::size_t requested) {
   if (requested != 0) {
@@ -22,56 +81,102 @@ std::size_t effective_jobs(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
-std::vector<RunResult> run_experiments(const std::vector<RunConfig>& configs,
-                                       std::size_t jobs) {
-  std::vector<RunResult> results(configs.size());
+std::string CellFailure::describe() const {
+  return benchmark + " " + label + ": " + message;
+}
+
+std::string SweepError::format(const std::vector<CellFailure>& failures) {
+  std::ostringstream os;
+  os << failures.size() << (failures.size() == 1 ? " cell" : " cells")
+     << " failed:";
+  for (const CellFailure& f : failures) {
+    os << "\n  [" << f.index << "] " << f.describe();
+  }
+  return os.str();
+}
+
+SweepOutcome run_sweep(const std::vector<RunConfig>& configs,
+                       const SweepOptions& options) {
+  SweepOutcome out;
+  out.results.resize(configs.size());
+  out.stats.cells_total = configs.size();
   if (configs.empty()) {
-    return results;
+    return out;
   }
   const std::size_t workers =
-      std::min(effective_jobs(jobs), configs.size());
+      std::min(effective_jobs(options.jobs), configs.size());
 
+  std::vector<CellVerdict> verdicts(configs.size());
   if (workers == 1) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
-      results[i] = run_benchmark(configs[i]);
+      verdicts[i] = run_cell(configs[i], options);
     }
-    return results;
+  } else {
+    // Work-stealing by atomic counter: cells vary widely in cost (BT
+    // 200 iterations vs FT 6), so static striping would leave workers
+    // idle. Verdicts land at their input index; nothing escapes a
+    // worker, so one bad cell never tears down the pool.
+    std::atomic<std::size_t> next{0};
+    REPRO_LOG_DEBUG("scheduler: ", configs.size(), " cells on ", workers,
+                    " workers");
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        while (true) {
+          const std::size_t i = next.fetch_add(1);
+          if (i >= configs.size()) {
+            return;
+          }
+          verdicts[i] = run_cell(configs[i], options);
+        }
+      });
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
   }
 
-  // Work-stealing by atomic counter: cells vary widely in cost (BT 200
-  // iterations vs FT 6), so static striping would leave workers idle.
-  // Results land at their input index; exceptions are kept per-cell and
-  // the earliest one rethrown once every worker has drained.
-  std::atomic<std::size_t> next{0};
-  std::vector<std::exception_ptr> errors(configs.size());
-  REPRO_LOG_DEBUG("scheduler: ", configs.size(), " cells on ", workers,
-                  " workers");
-  std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= configs.size()) {
-          return;
-        }
-        try {
-          results[i] = run_benchmark(configs[i]);
-        } catch (...) {
-          errors[i] = std::current_exception();
-        }
-      }
-    });
-  }
-  for (std::thread& t : pool) {
-    t.join();
-  }
-  for (const std::exception_ptr& e : errors) {
-    if (e) {
-      std::rethrow_exception(e);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    CellVerdict& v = verdicts[i];
+    out.stats.cells_retried += v.retries;
+    if (v.resumed) {
+      ++out.stats.cells_resumed;
+    }
+    if (v.timeout) {
+      ++out.stats.watchdog_fires;
+    }
+    if (v.ok) {
+      ++out.stats.cells_ok;
+      out.results[i] = std::move(v.result);
+    } else {
+      ++out.stats.cells_failed;
+      CellFailure f;
+      f.index = i;
+      f.benchmark = configs[i].benchmark;
+      f.label = configs[i].label();
+      f.message = v.message;
+      f.timeout = v.timeout;
+      out.failures.push_back(std::move(f));
     }
   }
-  return results;
+  return out;
+}
+
+std::vector<RunResult> run_experiments(const std::vector<RunConfig>& configs,
+                                       const SweepOptions& options) {
+  SweepOutcome out = run_sweep(configs, options);
+  if (!out.ok()) {
+    throw SweepError(std::move(out.failures));
+  }
+  return std::move(out.results);
+}
+
+std::vector<RunResult> run_experiments(const std::vector<RunConfig>& configs,
+                                       std::size_t jobs) {
+  SweepOptions options;
+  options.jobs = jobs;
+  return run_experiments(configs, options);
 }
 
 }  // namespace repro::harness

@@ -13,6 +13,7 @@
 
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
+#include "repro/fault/injector.hpp"
 #include "repro/memsys/backend.hpp"
 #include "repro/memsys/config.hpp"
 #include "repro/memsys/directory.hpp"
@@ -144,6 +145,12 @@ class MemorySystem final : public TlbInvalidator {
   void sample_queues(trace::TraceSink& sink, std::uint16_t lane,
                      Ns now) const;
 
+  /// Attaches the fault injector's node-slowdown hook to the miss path
+  /// (null to detach). The injector must outlive the memory system.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   AccessResult access_impl(Ns now, ProcId proc, VPage page,
                            std::uint32_t lines, bool write, bool stream);
@@ -157,6 +164,7 @@ class MemorySystem final : public TlbInvalidator {
   Directory directory_;
   std::vector<MemQueue> queues_;    // by node
   std::vector<ProcStats> stats_;    // by processor
+  fault::FaultInjector* fault_ = nullptr;
   double elapsed_frac_ = 0.0;       // sub-ns carry for latency charges
 };
 

@@ -124,6 +124,17 @@ MemorySystem::AccessResult MemorySystem::access_impl(Ns now, ProcId proc,
     }
     const Ns penalty = backend_->on_miss(proc, page, home, lines, now);
     elapsed += static_cast<double>(penalty);
+
+    if (fault_ != nullptr) {
+      const auto injected = fault_->on_miss(home.node, lines, now);
+      if (injected.extra_ns != 0 || injected.extra_lines != 0) {
+        // The spike's phantom lines occupy the home module (later
+        // accesses queue behind them); their own wait is nobody's --
+        // the interfering traffic is not a simulated thread.
+        queues_[home.node.value()].serve(now, injected.extra_lines);
+        elapsed += static_cast<double>(injected.extra_ns);
+      }
+    }
   }
 
   elapsed += elapsed_frac_;

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "repro/fault/injector.hpp"
 #include "repro/memsys/config.hpp"
 #include "repro/memsys/memory_system.hpp"
 #include "repro/omp/runtime.hpp"
@@ -47,6 +48,19 @@ class Machine {
   /// execution, never on host scheduling. Idempotent; a daemon enabled
   /// after this call is wired automatically.
   trace::TraceSink& enable_tracing();
+
+  /// Builds the fault injector from `plan` (validated) and wires its
+  /// hooks into the kernel (busy migrations), MMCI (counter
+  /// corruption), memory system (node slowdowns) and runtime
+  /// (preemptions). When tracing is on, injected faults get their own
+  /// "fault" lane -- registered last so the default lane layout is
+  /// untouched. Call at most once, before any timed iteration.
+  fault::FaultInjector& enable_fault_injection(const fault::FaultPlan& plan);
+
+  /// The injector, or null when fault injection is off (the default).
+  [[nodiscard]] fault::FaultInjector* fault_injector() {
+    return fault_.get();
+  }
 
   /// The sink, or null when tracing is off (the zero-overhead default).
   [[nodiscard]] trace::TraceSink* trace_sink() { return trace_sink_.get(); }
@@ -86,6 +100,7 @@ class Machine {
   std::unique_ptr<Runtime> runtime_;
   std::unique_ptr<vm::AddressSpace> address_space_;
   std::unique_ptr<trace::TraceSink> trace_sink_;
+  std::unique_ptr<fault::FaultInjector> fault_;
   std::uint16_t upm_lane_ = 0;
 };
 

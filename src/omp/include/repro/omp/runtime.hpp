@@ -12,6 +12,7 @@
 #include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
+#include "repro/fault/injector.hpp"
 #include "repro/omp/schedule.hpp"
 #include "repro/sim/engine.hpp"
 #include "repro/sim/region.hpp"
@@ -115,6 +116,13 @@ class Runtime {
     memsys_lane_ = memsys_lane;
   }
 
+  /// Attaches the fault injector's preemption hook: a fired fault
+  /// stretches one thread's region time past the computed join (null
+  /// to detach). The injector must outlive the runtime.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
   /// Timing log of all executed regions, in order.
   [[nodiscard]] const std::vector<RegionRecord>& records() const {
     return records_;
@@ -153,6 +161,7 @@ class Runtime {
   Ns reduction_step_ = 200;
   RegionInspector inspector_;
   std::vector<RegionRecord> records_;
+  fault::FaultInjector* fault_ = nullptr;
   trace::TraceSink* trace_ = nullptr;
   std::uint16_t trace_lane_ = 0;
   std::uint16_t memsys_lane_ = 0;

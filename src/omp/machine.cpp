@@ -56,7 +56,29 @@ trace::TraceSink& Machine::enable_tracing() {
     kernel_->daemon()->set_trace(trace_sink_.get(),
                                  trace_sink_->register_lane("daemon"));
   }
+  if (fault_ != nullptr) {
+    fault_->set_trace(trace_sink_.get(),
+                      trace_sink_->register_lane("fault"));
+  }
   return *trace_sink_;
+}
+
+fault::FaultInjector& Machine::enable_fault_injection(
+    const fault::FaultPlan& plan) {
+  REPRO_REQUIRE_MSG(fault_ == nullptr, "fault injection already enabled");
+  fault_ = std::make_unique<fault::FaultInjector>(plan);
+  kernel_->set_fault_injector(fault_.get());
+  mmci_->set_fault_injector(fault_.get());
+  memory_->set_fault_injector(fault_.get());
+  runtime_->set_fault_injector(fault_.get());
+  if (trace_sink_ != nullptr) {
+    // Registered after every default lane (and after "daemon" /
+    // "harness" when those exist) so enabling faults never renumbers
+    // the established lane layout.
+    fault_->set_trace(trace_sink_.get(),
+                      trace_sink_->register_lane("fault"));
+  }
+  return *fault_;
 }
 
 }  // namespace repro::omp

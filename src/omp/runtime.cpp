@@ -1,5 +1,6 @@
 #include "repro/omp/runtime.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "repro/common/assert.hpp"
@@ -55,7 +56,20 @@ sim::RegionResult Runtime::run(const std::string& name,
     ev.time = now_;
     trace_->emit(trace_lane_, ev);
   }
-  const sim::RegionResult result = engine_->run(now_, program, binding_);
+  sim::RegionResult result = engine_->run(now_, program, binding_);
+  if (fault_ != nullptr) {
+    // Injected preemption: the victim thread lost a timeslice inside
+    // the region, so its completion (and possibly the join barrier)
+    // moves out. Applied before the barrier-wait events below so the
+    // trace reflects the stretched region.
+    const auto preempt = fault_->on_region(
+        static_cast<std::uint32_t>(result.thread_end.size()), result.end);
+    if (preempt.fired) {
+      Ns& victim_end = result.thread_end[preempt.thread];
+      victim_end += preempt.stretch;
+      result.end = std::max(result.end, victim_end);
+    }
+  }
   now_ = result.end;
   records_.push_back(
       RegionRecord{name, result.start, result.end, result.imbalance()});

@@ -79,6 +79,13 @@ Ns KernelMigrationDaemon::on_miss(Kernel& kernel, ProcId accessor,
     trace_->set_now(now);
   }
   const MigrationResult res = kernel.migrate_page(page, accessor_node);
+  if (res.busy) {
+    // Transient pin: defer rather than reject -- counters stay hot, so
+    // the comparator will re-trigger and the move retries naturally.
+    ++stats_.deferred_busy;
+    scan(trace::DaemonDecision::kDeferredBusy, 0);
+    return 0;
+  }
   if (!res.migrated) {
     scan(trace::DaemonDecision::kRejected, 0);
     return 0;

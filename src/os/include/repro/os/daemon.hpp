@@ -53,6 +53,9 @@ struct DaemonStats {
   std::uint64_t suppressed_cooloff = 0;
   std::uint64_t suppressed_frozen = 0;
   std::uint64_t suppressed_global = 0;
+  /// Moves deferred because the page was transiently pinned (injected
+  /// fault); the next comparator interrupt simply retries.
+  std::uint64_t deferred_busy = 0;
   Ns cost = 0;
 };
 

@@ -15,6 +15,7 @@
 
 #include "repro/common/strong_id.hpp"
 #include "repro/common/units.hpp"
+#include "repro/fault/injector.hpp"
 #include "repro/memsys/backend.hpp"
 #include "repro/memsys/config.hpp"
 #include "repro/topology/topology.hpp"
@@ -30,6 +31,9 @@ class KernelMigrationDaemon;
 
 struct MigrationResult {
   bool migrated = false;
+  /// The page is transiently pinned (injected fault): the request was
+  /// rejected before any state changed and may be retried.
+  bool busy = false;
   /// Where the page actually landed (may differ from the request when
   /// the target node was full and the kernel redirected best-effort).
   NodeId actual;
@@ -49,6 +53,7 @@ struct KernelStats {
   std::uint64_t page_faults = 0;
   std::uint64_t migrations = 0;
   std::uint64_t rejected_migrations = 0;  ///< no frame anywhere
+  std::uint64_t busy_migrations = 0;      ///< transient pin (injected fault)
   std::uint64_t redirected_migrations = 0;
   Ns migration_cost = 0;
   std::uint64_t replications = 0;
@@ -89,6 +94,12 @@ class Kernel final : public memsys::MemoryBackend {
     trace_lane_ = lane;
   }
   [[nodiscard]] trace::TraceSink* trace_sink() { return trace_; }
+
+  /// Attaches the fault injector's busy-migration hook (null to
+  /// detach). The injector must outlive the kernel.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
 
   // --- MemoryBackend ------------------------------------------------------
   memsys::HomeInfo resolve(ProcId accessor, VPage page, bool write) override;
@@ -162,6 +173,7 @@ class Kernel final : public memsys::MemoryBackend {
   /// replicas on a write); charged to the accessor by the next on_miss.
   Ns pending_penalty_ = 0;
   memsys::TlbInvalidator* tlb_invalidator_ = nullptr;
+  fault::FaultInjector* fault_ = nullptr;
   trace::TraceSink* trace_ = nullptr;
   std::uint16_t trace_lane_ = 0;
 };

@@ -44,8 +44,9 @@ class MemoryControlInterface {
   // --- page operations -------------------------------------------------------
   struct MigrateOutcome {
     bool migrated = false;
-    NodeId actual;  ///< where the page ended up
-    Ns cost = 0;    ///< charged to the calling thread by the runtime
+    bool busy = false;  ///< page transiently pinned; retryable
+    NodeId actual;      ///< where the page ended up
+    Ns cost = 0;        ///< charged to the calling thread by the runtime
   };
 
   /// Requests migration of `page` into `target`'s node. May be redirected
@@ -78,8 +79,17 @@ class MemoryControlInterface {
   [[nodiscard]] NodeId node_of_proc(ProcId proc) const;
   [[nodiscard]] std::size_t num_nodes() const;
 
+  /// Attaches the fault injector's counter-corruption hook to the
+  /// /proc counter reads (null to detach). The busy-migration hook
+  /// lives in the kernel itself, so requests through any path -- MMCI
+  /// or daemon -- see the same pin.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
  private:
   Kernel* kernel_;
+  fault::FaultInjector* fault_ = nullptr;
   std::vector<NodeId> mlds_;
 };
 

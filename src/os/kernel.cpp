@@ -104,6 +104,15 @@ MigrationResult Kernel::migrate_page(VPage page, NodeId target) {
   REPRO_REQUIRE_MSG(table_.is_mapped(page), "migrating an unmapped page");
 
   MigrationResult out;
+  // Injected transient pin: reject before touching any state so the
+  // request is cleanly retryable.
+  if (fault_ != nullptr && fault_->migration_busy(page)) {
+    ++stats_.busy_migrations;
+    out.busy = true;
+    out.actual = home_of(page);
+    return out;
+  }
+
   // A replicated page must be coherent before it can move.
   out.cost += collapse_replicas(page);
   const FrameId old_frame = *table_.lookup(page);

@@ -30,7 +30,7 @@ std::vector<MldHandle> MemoryControlInterface::create_mld_per_node() {
 MemoryControlInterface::MigrateOutcome MemoryControlInterface::migrate(
     VPage page, MldHandle target) {
   const MigrationResult res = kernel_->migrate_page(page, mld_node(target));
-  return {res.migrated, res.actual, res.cost};
+  return {res.migrated, res.busy, res.actual, res.cost};
 }
 
 MemoryControlInterface::ReplicateOutcome MemoryControlInterface::replicate(
@@ -54,7 +54,14 @@ std::size_t MemoryControlInterface::replica_count(VPage page) const {
 
 std::span<const std::uint32_t> MemoryControlInterface::read_counters(
     VPage page) const {
-  return kernel_->read_counters(page);
+  const auto counts = kernel_->read_counters(page);
+  if (fault_ != nullptr) {
+    // Corruption happens at the /proc boundary: the hardware counters
+    // themselves stay correct (the kernel daemon reads them directly),
+    // only this user-level read may come back garbled.
+    return fault_->filter_counters(page, counts);
+  }
+  return counts;
 }
 
 void MemoryControlInterface::reset_counters(VPage page) {

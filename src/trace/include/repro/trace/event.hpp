@@ -63,11 +63,18 @@ enum class EventKind : std::uint8_t {
   kIterationBegin,
   /// a = remote miss lines in this iteration, b = local miss lines.
   kIterationEnd,
+  /// One injected fault fired (repro::fault). a = FaultClass, with
+  /// class-specific payloads: counter corruption -- page,
+  /// b = scale percent; busy migration -- page, b = 1 when an existing
+  /// pin rejected (0 = fresh fault); node slowdown -- node, b = spike
+  /// lines, cost = extra ns; preemption -- node = b = victim thread,
+  /// cost = stretch ns.
+  kFaultInjection,
 };
 
 /// Number of event kinds (array sizing / validation).
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kIterationEnd) + 1;
+    static_cast<std::size_t>(EventKind::kFaultInjection) + 1;
 
 /// kDaemonScan decision codes (the `a` payload).
 enum class DaemonDecision : std::uint8_t {
@@ -75,7 +82,8 @@ enum class DaemonDecision : std::uint8_t {
   kSuppressedFrozen = 1,
   kSuppressedCooloff = 2,
   kSuppressedGlobal = 3,
-  kRejected = 4,  ///< kernel had no frame for the move
+  kRejected = 4,      ///< kernel had no frame for the move
+  kDeferredBusy = 5,  ///< page transiently pinned; retry next interrupt
 };
 
 /// Stable lowercase identifier used in the canonical dump

@@ -38,6 +38,8 @@ struct IterationMetrics {
   /// 95th percentile (nearest-rank) of the node-queue backlog samples
   /// taken at region joins within the iteration.
   Ns queue_backlog_p95 = 0;
+  /// Faults injected (kFaultInjection events, all classes).
+  std::uint64_t faults_injected = 0;
 
   /// Fraction of miss lines served remotely; 0 when no misses.
   [[nodiscard]] double remote_ratio() const;

@@ -62,6 +62,9 @@ MetricsRegistry::MetricsRegistry(const TraceSink& sink) {
         m.remote_miss_lines += e.a;
         m.local_miss_lines += e.b;
         break;
+      case EventKind::kFaultInjection:
+        ++m.faults_injected;
+        break;
       default:
         break;
     }
@@ -81,6 +84,7 @@ MetricsRegistry::MetricsRegistry(const TraceSink& sink) {
     totals_.barrier_wait += m.barrier_wait;
     totals_.remote_miss_lines += m.remote_miss_lines;
     totals_.local_miss_lines += m.local_miss_lines;
+    totals_.faults_injected += m.faults_injected;
   }
   totals_.queue_backlog_p95 = percentile95(std::move(all_samples));
 }

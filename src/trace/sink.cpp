@@ -32,6 +32,8 @@ const char* event_kind_name(EventKind kind) {
       return "iteration_begin";
     case EventKind::kIterationEnd:
       return "iteration_end";
+    case EventKind::kFaultInjection:
+      return "fault_injection";
   }
   return "?";
 }

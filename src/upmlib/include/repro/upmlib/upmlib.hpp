@@ -71,8 +71,28 @@ struct UpmConfig {
   /// Replicas created per page per pass.
   std::uint32_t max_replicas = 3;
 
-  /// Reads UPM_THRESHOLD / UPM_CRITICAL_PAGES overrides from Env on top
-  /// of `defaults` (or the built-in defaults).
+  // --- graceful degradation under faults ----------------------------------
+  /// Total attempts per migration request when the kernel reports the
+  /// page transiently pinned (BUSY): the first attempt plus up to
+  /// limit-1 retries, each preceded by a doubling backoff charged to
+  /// the master thread. After the last BUSY the engine gives up on the
+  /// page for this pass.
+  std::uint32_t busy_retry_limit = 3;
+  /// First backoff interval; doubles per retry.
+  Ns busy_backoff_ns = 2000;
+  /// A page whose migration was given up on (retries exhausted) this
+  /// many times is frozen like a ping-ponging page.
+  std::uint32_t give_up_freeze_limit = 2;
+  /// A page must satisfy the competitive criterion in this many
+  /// *consecutive* migrate_memory() passes before it is moved. 1 (the
+  /// default, and the paper's behaviour) migrates immediately; raise
+  /// it when counter reads may be corrupted, so one garbled read
+  /// cannot trigger a migration storm.
+  std::uint32_t hysteresis_passes = 1;
+
+  /// Reads UPM_THRESHOLD / UPM_CRITICAL_PAGES / UPM_BUSY_RETRIES /
+  /// UPM_HYSTERESIS overrides from Env on top of `defaults` (or the
+  /// built-in defaults).
   [[nodiscard]] static UpmConfig from_env();
   [[nodiscard]] static UpmConfig from_env(UpmConfig defaults);
 };
@@ -89,6 +109,14 @@ struct UpmStats {
   std::uint64_t replay_migrations = 0;
   std::uint64_t undo_migrations = 0;
   std::uint64_t frozen_pages = 0;
+  /// Retries performed after BUSY migration responses (all entry
+  /// points); the backoff time is charged into the usual cost fields.
+  std::uint64_t busy_retries = 0;
+  /// Migration requests abandoned after exhausting the retry budget.
+  std::uint64_t give_ups = 0;
+  /// Candidates whose migration was deferred by the hysteresis filter
+  /// (not yet qualified in enough consecutive passes).
+  std::uint64_t hysteresis_deferrals = 0;
   /// Time charged to the master thread by migrate_memory().
   Ns distribution_cost = 0;
   /// Time charged by replay() + undo() (the striped bars of Fig. 5).
@@ -223,8 +251,19 @@ class Upmlib {
     std::uint64_t last_invocation = 0;
     /// Home before the last migration (for bounce detection).
     NodeId prior_home;
+    /// Times the retry budget was exhausted on this page; at
+    /// give_up_freeze_limit the page is frozen.
+    std::uint32_t give_ups = 0;
     bool has_prior = false;
     bool frozen = false;
+  };
+
+  /// Consecutive-qualification tracking for the hysteresis filter
+  /// (only populated when config.hysteresis_passes > 1, so the default
+  /// configuration's state digest stays iteration-independent).
+  struct QualifyStreak {
+    std::uint64_t last_invocation = 0;
+    std::uint32_t count = 0;
   };
 
   os::MemoryControlInterface* mmci_;
@@ -242,6 +281,7 @@ class Upmlib {
   std::uint64_t invocation_ = 0;
 
   std::unordered_map<VPage, PageHistory> history_;
+  std::unordered_map<VPage, QualifyStreak> streaks_;
 
   // record--replay state
   std::vector<std::vector<std::vector<std::uint32_t>>> snapshots_;
@@ -270,7 +310,11 @@ class Upmlib {
   /// time (entry hook of every traced call).
   Ns sync_clock();
   void ensure_mlds();
-  Ns do_migrate(VPage page, NodeId target, bool* migrated);
+  /// One migration request with bounded retry-with-backoff on BUSY.
+  /// `gave_up` (optional) is set when the retry budget was exhausted;
+  /// the returned cost includes the backoff waits.
+  Ns do_migrate(VPage page, NodeId target, bool* migrated,
+                bool* gave_up = nullptr);
   /// Replicates a clean multi-reader page; returns true if the page is
   /// now replicated (and should not be migrated).
   bool try_replicate(VPage page, Ns* cost);

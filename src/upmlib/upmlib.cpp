@@ -20,6 +20,10 @@ UpmConfig UpmConfig::from_env(UpmConfig defaults) {
       env.get_bool("UPM_FREEZE", defaults.freeze_bouncing_pages);
   defaults.enable_replication =
       env.get_bool("UPM_REPLICATE", defaults.enable_replication);
+  defaults.busy_retry_limit = static_cast<std::uint32_t>(env.get_int(
+      "UPM_BUSY_RETRIES", static_cast<std::int64_t>(defaults.busy_retry_limit)));
+  defaults.hysteresis_passes = static_cast<std::uint32_t>(env.get_int(
+      "UPM_HYSTERESIS", static_cast<std::int64_t>(defaults.hysteresis_passes)));
   return defaults;
 }
 
@@ -57,6 +61,8 @@ Upmlib::Upmlib(os::MemoryControlInterface& mmci, omp::Runtime& runtime,
                UpmConfig config)
     : mmci_(&mmci), runtime_(&runtime), config_(config) {
   REPRO_REQUIRE(config.threshold > 0.0);
+  REPRO_REQUIRE(config.busy_retry_limit >= 1);
+  REPRO_REQUIRE(config.hysteresis_passes >= 1);
 }
 
 void Upmlib::trace(UpmCall call) {
@@ -179,11 +185,35 @@ std::optional<Upmlib::Candidate> Upmlib::evaluate(
   return Candidate{page, NodeId(arg), ratio};
 }
 
-Ns Upmlib::do_migrate(VPage page, NodeId target, bool* migrated) {
+Ns Upmlib::do_migrate(VPage page, NodeId target, bool* migrated,
+                      bool* gave_up) {
   ensure_mlds();
-  const auto outcome = mmci_->migrate(page, mlds_[target.value()]);
-  *migrated = outcome.migrated;
-  return outcome.cost;
+  Ns cost = 0;
+  Ns backoff = config_.busy_backoff_ns;
+  for (std::uint32_t attempt = 1;; ++attempt) {
+    const auto outcome = mmci_->migrate(page, mlds_[target.value()]);
+    cost += outcome.cost;
+    if (!outcome.busy) {
+      *migrated = outcome.migrated;
+      return cost;
+    }
+    if (attempt >= config_.busy_retry_limit) {
+      // Retry budget exhausted: leave the page where it is rather than
+      // spin on a pinned page (the next pass may still move it).
+      ++stats_.give_ups;
+      if (gave_up != nullptr) {
+        *gave_up = true;
+      }
+      *migrated = false;
+      return cost;
+    }
+    // Back off before retrying; the wait is master-thread time and
+    // doubles per attempt, so a persistently pinned page costs
+    // O(limit) bounded time, never a livelock.
+    ++stats_.busy_retries;
+    cost += backoff;
+    backoff *= 2;
+  }
 }
 
 std::size_t Upmlib::migrate_memory() {
@@ -221,11 +251,27 @@ std::size_t Upmlib::migrate_memory() {
             });
 
   std::size_t migrations = 0;
+  std::size_t deferred = 0;
   Ns cost = 0;
   for (const Candidate& cand : candidates) {
     PageHistory& hist = history_[cand.page];
     if (hist.frozen) {
       continue;
+    }
+    if (config_.hysteresis_passes > 1) {
+      // Hysteresis against corrupted counter reads: one qualifying
+      // pass is not enough evidence to move a page; it must qualify in
+      // consecutive passes. (Guarded so the default configuration
+      // keeps streaks_ empty and its digest iteration-independent.)
+      QualifyStreak& streak = streaks_[cand.page];
+      streak.count =
+          streak.last_invocation + 1 == invocation_ ? streak.count + 1 : 1;
+      streak.last_invocation = invocation_;
+      if (streak.count < config_.hysteresis_passes) {
+        ++deferred;
+        ++stats_.hysteresis_deferrals;
+        continue;
+      }
     }
     if (config_.freeze_bouncing_pages && hist.has_prior &&
         hist.prior_home == cand.target &&
@@ -248,7 +294,31 @@ std::size_t Upmlib::migrate_memory() {
     }
     const NodeId old_home = mmci_->home_of(cand.page);
     bool migrated = false;
-    cost += do_migrate(cand.page, cand.target, &migrated);
+    bool gave_up = false;
+    cost += do_migrate(cand.page, cand.target, &migrated, &gave_up);
+    if (gave_up) {
+      // Exhausted the retry budget on a pinned page. Treat repeated
+      // give-ups like ping-ponging: the page is not worth fighting for.
+      if (++hist.give_ups >= config_.give_up_freeze_limit &&
+          !hist.frozen) {
+        hist.frozen = true;
+        ++stats_.frozen_pages;
+        if (sink_ != nullptr) {
+          trace::TraceEvent ev;
+          ev.kind = trace::EventKind::kPageFreeze;
+          ev.time = at;
+          ev.page = cand.page.value();
+          ev.node =
+              static_cast<std::int32_t>(mmci_->home_of(cand.page).value());
+          ev.a = 1;  // frozen by give-up, not by bounce
+          sink_->emit(sink_lane_, ev);
+        }
+      }
+      if (!hist.frozen) {
+        ++deferred;  // still wants to move; keep the engine alive
+      }
+      continue;
+    }
     if (migrated) {
       hist.prior_home = old_home;
       hist.has_prior = true;
@@ -275,7 +345,10 @@ std::size_t Upmlib::migrate_memory() {
   emit_call(UpmCall::Kind::kMigrateMemory, at, migrations,
             replication_cost + cost);
 
-  if (migrations == 0) {
+  if (migrations == 0 && deferred == 0) {
+    // A pass with deferred candidates (hysteresis or give-up) must not
+    // deactivate the engine: those pages still want to move and the
+    // next pass may complete them.
     active_ = false;
   }
   REPRO_LOG_INFO("upmlib migrate_memory: invocation ", invocation_, ", ",
@@ -288,6 +361,7 @@ void Upmlib::notify_thread_rebinding() {
   emit_call(UpmCall::Kind::kNotifyRebinding, sync_clock(), 0, 0);
   active_ = true;
   history_.clear();
+  streaks_.clear();
   stats_.frozen_pages = 0;
   // Stale per-phase plans would replay migrations toward the wrong
   // processors; drop them (the program must re-record).
@@ -381,10 +455,20 @@ std::uint64_t Upmlib::digest() const {
     StateHash entry_hash(avalanche64(page.value()));
     entry_hash.mix(h.last_invocation);
     entry_hash.mix(h.has_prior ? h.prior_home.value() + 1 : 0);
+    entry_hash.mix(h.give_ups);
     entry_hash.mix(h.frozen ? 1 : 0);
     history += avalanche64(entry_hash.value());
   }
   hash.mix(history);
+  // streaks_ is empty unless hysteresis is on (see migrate_memory).
+  std::uint64_t streaks = streaks_.size();
+  for (const auto& [page, s] : streaks_) {
+    StateHash entry_hash(avalanche64(page.value()));
+    entry_hash.mix(s.last_invocation);
+    entry_hash.mix(s.count);
+    streaks += avalanche64(entry_hash.value());
+  }
+  hash.mix(streaks);
   hash.mix(replay_lists_.size());
   for (const auto& list : replay_lists_) {
     hash.mix(list.size());

@@ -1,0 +1,516 @@
+// Fault-injection subsystem tests: determinism of the draw streams,
+// schedule gating, per-class semantics, graceful degradation of the
+// migration engines, and the harness resilience layer (watchdog,
+// failure aggregation, checkpoint/resume, atomic writes).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/fault/injector.hpp"
+#include "repro/fault/plan.hpp"
+#include "repro/harness/atomic_file.hpp"
+#include "repro/harness/checkpoint.hpp"
+#include "repro/harness/json.hpp"
+#include "repro/harness/scheduler.hpp"
+#include "repro/trace/sink.hpp"
+
+namespace repro::harness {
+namespace {
+
+using fault::FaultClass;
+using fault::FaultInjector;
+using fault::FaultPlan;
+
+std::string temp_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("repro_fault_" + name);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+RunConfig small_config(const std::string& placement, bool upmlib) {
+  RunConfig config;
+  config.benchmark = "CG";
+  config.placement = placement;
+  config.iterations = 3;
+  config.workload.size_scale = 0.25;
+  if (upmlib) {
+    config.upm_mode = nas::UpmMode::kDistribution;
+  }
+  return config;
+}
+
+FaultPlan uniform_plan(double rate, std::uint64_t seed = 99) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.set_rate(rate);
+  return plan;
+}
+
+// --- plan ------------------------------------------------------------------
+
+TEST(FaultPlan, DefaultIsEmptyAndValid) {
+  const FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.max_rate(), 0.0);
+  plan.validate();
+}
+
+TEST(FaultPlan, SetRateMakesPlanNonEmpty) {
+  FaultPlan plan = uniform_plan(0.25);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_EQ(plan.max_rate(), 0.25);
+  plan.validate();
+}
+
+TEST(FaultPlan, ValidateRejectsBadValues) {
+  FaultPlan plan;
+  plan.counter_rate = 1.5;
+  EXPECT_THROW(plan.validate(), ContractViolation);
+  plan = FaultPlan{};
+  plan.busy_pin_attempts = 0;
+  EXPECT_THROW(plan.validate(), ContractViolation);
+  plan = FaultPlan{};
+  plan.counter_scale_percent = 101;
+  EXPECT_THROW(plan.validate(), ContractViolation);
+  plan = FaultPlan{};
+  plan.active_from_iteration = 5;
+  plan.active_until_iteration = 4;
+  EXPECT_THROW(plan.validate(), ContractViolation);
+}
+
+TEST(FaultPlan, FromEnvReadsSeedAndRates) {
+  ScopedEnv seed("REPRO_FAULT_SEED", "42");
+  ScopedEnv rate("REPRO_FAULT_RATE", "0.125");
+  ScopedEnv busy("REPRO_FAULT_BUSY_RATE", "0.5");
+  const FaultPlan plan = FaultPlan::from_env();
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_EQ(plan.counter_rate, 0.125);
+  EXPECT_EQ(plan.slowdown_rate, 0.125);
+  EXPECT_EQ(plan.preemption_rate, 0.125);
+  EXPECT_EQ(plan.migration_busy_rate, 0.5);  // per-class override wins
+}
+
+// --- injector draw streams -------------------------------------------------
+
+TEST(FaultInjector, SameSeedSameConsultationsSameStream) {
+  const FaultPlan plan = uniform_plan(0.3);
+  FaultInjector a(plan);
+  FaultInjector b(plan);
+  a.set_iteration(1);
+  b.set_iteration(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.migration_busy(VPage(7)), b.migration_busy(VPage(7)));
+    const auto ma = a.on_miss(NodeId(3), 16, 1000);
+    const auto mb = b.on_miss(NodeId(3), 16, 1000);
+    EXPECT_EQ(ma.extra_ns, mb.extra_ns);
+    const auto ra = a.on_region(16, 5000);
+    const auto rb = b.on_region(16, 5000);
+    EXPECT_EQ(ra.fired, rb.fired);
+    EXPECT_EQ(ra.thread, rb.thread);
+  }
+  EXPECT_EQ(a.stats().injected_total(), b.stats().injected_total());
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_GT(a.stats().injected_total(), 0u);
+}
+
+TEST(FaultInjector, DifferentSeedsProduceDifferentStreams) {
+  FaultInjector a(uniform_plan(0.5, 1));
+  FaultInjector b(uniform_plan(0.5, 2));
+  a.set_iteration(1);
+  b.set_iteration(1);
+  bool diverged = false;
+  for (int i = 0; i < 200 && !diverged; ++i) {
+    diverged = a.on_region(16, 0).fired != b.on_region(16, 0).fired;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, ScheduleGatesEveryClass) {
+  FaultPlan plan = uniform_plan(1.0);
+  plan.active_from_iteration = 2;
+  plan.active_until_iteration = 3;
+  FaultInjector inj(plan);
+  for (const std::uint32_t iteration : {0u, 1u, 4u, 100u}) {
+    inj.set_iteration(iteration);
+    EXPECT_FALSE(inj.migration_busy(VPage(1))) << iteration;
+    EXPECT_EQ(inj.on_miss(NodeId(0), 8, 0).extra_ns, 0u) << iteration;
+    EXPECT_FALSE(inj.on_region(4, 0).fired) << iteration;
+  }
+  EXPECT_EQ(inj.stats().injected_total(), 0u);
+  for (const std::uint32_t iteration : {2u, 3u}) {
+    inj.set_iteration(iteration);
+    EXPECT_TRUE(inj.migration_busy(VPage(100 + iteration))) << iteration;
+    EXPECT_GT(inj.on_miss(NodeId(0), 8, 0).extra_ns, 0u) << iteration;
+    EXPECT_TRUE(inj.on_region(4, 0).fired) << iteration;
+  }
+}
+
+TEST(FaultInjector, CounterCorruptionScalesOrZeroes) {
+  const std::vector<std::uint32_t> counts = {100, 7, 0, 33};
+  FaultPlan plan;
+  plan.counter_rate = 1.0;
+  plan.counter_scale_percent = 0;  // zero them outright
+  FaultInjector zero(plan);
+  zero.set_iteration(1);
+  const auto zeroed =
+      zero.filter_counters(VPage(1), std::span<const std::uint32_t>(counts));
+  ASSERT_EQ(zeroed.size(), counts.size());
+  for (const std::uint32_t c : zeroed) {
+    EXPECT_EQ(c, 0u);
+  }
+  plan.counter_scale_percent = 50;
+  FaultInjector half(plan);
+  half.set_iteration(1);
+  const auto halved =
+      half.filter_counters(VPage(1), std::span<const std::uint32_t>(counts));
+  ASSERT_EQ(halved.size(), counts.size());
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    EXPECT_EQ(halved[i], counts[i] / 2);
+  }
+  EXPECT_EQ(zero.stats().counter_corruptions, 1u);
+}
+
+TEST(FaultInjector, CounterReadsPassThroughAtRateZero) {
+  const std::vector<std::uint32_t> counts = {9, 9, 9};
+  FaultPlan plan;
+  plan.migration_busy_rate = 1.0;  // non-empty plan, counter class off
+  FaultInjector inj(plan);
+  inj.set_iteration(1);
+  const auto out =
+      inj.filter_counters(VPage(1), std::span<const std::uint32_t>(counts));
+  EXPECT_EQ(out.data(), counts.data());  // untouched, not copied
+  EXPECT_EQ(inj.stats().counter_corruptions, 0u);
+}
+
+TEST(FaultInjector, BusyPinRejectsWithoutDrawingUntilDecayed) {
+  FaultPlan plan;
+  plan.migration_busy_rate = 1.0;
+  plan.busy_pin_attempts = 3;
+  FaultInjector inj(plan);
+  trace::TraceSink sink;
+  const std::uint16_t lane = sink.register_lane("fault");
+  inj.set_trace(&sink, lane);
+  inj.set_iteration(1);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(inj.migration_busy(VPage(5)));
+  }
+  // Call 1 draws and pins (b=0); calls 2-3 are rejected by the active
+  // pin without a draw (b=1); the pin then decays and call 4 draws
+  // afresh (b=0).
+  const std::vector<trace::TraceEvent>& events = sink.lane_events(lane);
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(events[0].b, 0u);
+  EXPECT_EQ(events[1].b, 1u);
+  EXPECT_EQ(events[2].b, 1u);
+  EXPECT_EQ(events[3].b, 0u);
+  EXPECT_EQ(inj.stats().busy_rejections, 4u);
+}
+
+TEST(FaultInjector, DigestAperiodicWhileActiveStableWhenExhausted) {
+  FaultPlan plan = uniform_plan(0.5);
+  plan.active_until_iteration = 3;
+  FaultInjector inj(plan);
+  inj.set_iteration(1);
+  const std::uint64_t d1 = inj.digest();
+  inj.set_iteration(2);
+  const std::uint64_t d2 = inj.digest();
+  EXPECT_NE(d1, d2);  // iteration mixed in while faults can fire
+  inj.set_iteration(4);
+  const std::uint64_t d4 = inj.digest();
+  inj.set_iteration(5);
+  EXPECT_EQ(d4, inj.digest());  // schedule exhausted: digest settles
+}
+
+// --- machine-level determinism --------------------------------------------
+
+std::vector<RunConfig> faulted_matrix(double rate) {
+  std::vector<RunConfig> configs;
+  for (const std::string placement : {"ft", "rr", "wc"}) {
+    for (const bool upmlib : {false, true}) {
+      RunConfig config = small_config(placement, upmlib);
+      config.trace = true;
+      config.fault = uniform_plan(rate);
+      if (rate > 0.0) {
+        config.upm.hysteresis_passes = 2;
+      }
+      configs.push_back(std::move(config));
+    }
+  }
+  return configs;
+}
+
+TEST(FaultDeterminism, FixedSeedByteIdenticalAcrossJobs) {
+  const std::vector<RunConfig> configs = faulted_matrix(0.02);
+  const std::vector<RunResult> serial = run_experiments(configs, 1);
+  const std::vector<RunResult> parallel = run_experiments(configs, 4);
+  EXPECT_EQ(results_to_json(serial), results_to_json(parallel));
+  std::uint64_t injected = 0;
+  for (const RunResult& r : serial) {
+    injected += r.fault_stats.injected_total();
+  }
+  EXPECT_GT(injected, 0u) << "matrix injected nothing; rate too low";
+}
+
+TEST(FaultDeterminism, ZeroRatePlanIsByteIdenticalToNoPlan) {
+  // An all-zero plan must not even attach an injector: the run is the
+  // byte-identical no-fault-subsystem run, golden digests included.
+  RunConfig plain = small_config("rr", /*upmlib=*/true);
+  plain.trace = true;
+  RunConfig zero = plain;
+  zero.fault.seed = 0xdeadbeef;  // differs, but all rates are 0
+  ASSERT_TRUE(zero.fault.empty());
+  const RunResult a = run_benchmark(plain);
+  const RunResult b = run_benchmark(zero);
+  EXPECT_EQ(a.trace_digest, b.trace_digest);
+  EXPECT_EQ(results_to_json({a}), results_to_json({b}));
+}
+
+TEST(FaultDeterminism, FaultsActuallyPerturbTheRun) {
+  RunConfig plain = small_config("rr", /*upmlib=*/true);
+  plain.trace = true;
+  RunConfig faulted = plain;
+  faulted.fault = uniform_plan(0.05);
+  const RunResult a = run_benchmark(plain);
+  const RunResult b = run_benchmark(faulted);
+  EXPECT_GT(b.fault_stats.injected_total(), 0u);
+  EXPECT_NE(a.trace_digest, b.trace_digest);
+}
+
+TEST(FaultDeterminism, EnvOverridesReachTheHarness) {
+  RunConfig config = small_config("rr", /*upmlib=*/false);
+  config.trace = true;
+  RunConfig explicit_plan = config;
+  explicit_plan.fault = uniform_plan(0.05, FaultPlan{}.seed);
+  const RunResult via_config = run_benchmark(explicit_plan);
+  RunResult via_env;
+  {
+    ScopedEnv rate("REPRO_FAULT_RATE", "0.05");
+    via_env = run_benchmark(config);  // config itself carries no plan
+  }
+  EXPECT_GT(via_env.fault_stats.injected_total(), 0u);
+  EXPECT_EQ(via_env.trace_digest, via_config.trace_digest);
+  // And the checkpoint identity follows the env, so a stale result
+  // cannot be resumed into an env-overridden rerun.
+  std::uint64_t env_identity = 0;
+  {
+    ScopedEnv rate("REPRO_FAULT_RATE", "0.05");
+    env_identity = config_identity(config);
+  }
+  EXPECT_EQ(env_identity, config_identity(explicit_plan));
+  EXPECT_NE(env_identity, config_identity(config));
+}
+
+// --- graceful degradation --------------------------------------------------
+
+TEST(Degradation, UpmlibRetriesThenGivesUpWhenEveryMoveIsBusy) {
+  RunConfig baseline = small_config("rr", /*upmlib=*/true);
+  const RunResult before = run_benchmark(baseline);
+  ASSERT_GT(before.upm_stats.distribution_migrations, 0u)
+      << "config never migrates; the busy fault would be vacuous";
+
+  RunConfig busy = baseline;
+  busy.fault.migration_busy_rate = 1.0;
+  busy.fault.busy_pin_attempts = 1;  // every attempt redraws, all BUSY
+  const RunResult after = run_benchmark(busy);
+  EXPECT_EQ(after.upm_stats.distribution_migrations, 0u);
+  EXPECT_GT(after.upm_stats.busy_retries, 0u);
+  EXPECT_GT(after.upm_stats.give_ups, 0u);
+  EXPECT_GT(after.kernel_stats.busy_migrations, 0u);
+  // Bounded: with every attempt BUSY, each request performs exactly
+  // busy_retry_limit - 1 retries before giving up.
+  EXPECT_EQ(after.upm_stats.busy_retries,
+            after.upm_stats.give_ups * (busy.upm.busy_retry_limit - 1));
+}
+
+TEST(Degradation, DaemonDefersBusyMigrations) {
+  RunConfig baseline = small_config("rr", /*upmlib=*/false);
+  baseline.kernel_migration = true;
+  const RunResult before = run_benchmark(baseline);
+  if (before.daemon_stats.migrations == 0) {
+    GTEST_SKIP() << "daemon never migrates in this configuration";
+  }
+  RunConfig busy = baseline;
+  busy.fault.migration_busy_rate = 1.0;
+  const RunResult after = run_benchmark(busy);
+  EXPECT_EQ(after.daemon_stats.migrations, 0u);
+  EXPECT_GT(after.daemon_stats.deferred_busy, 0u);
+  EXPECT_EQ(after.daemon_stats.deferred_busy,
+            after.kernel_stats.busy_migrations);
+}
+
+// --- watchdog / sweep resilience -------------------------------------------
+
+RunConfig endless_config() {
+  // Enough full simulated iterations that the 1 ms wall-clock budget is
+  // guaranteed to be exceeded at some iteration boundary.
+  RunConfig config = small_config("rr", /*upmlib=*/false);
+  config.iterations = 5000;
+  config.no_fast_forward = true;
+  config.cell_timeout_ms = 1;
+  return config;
+}
+
+TEST(Watchdog, CellTimeoutThrows) {
+  EXPECT_THROW((void)run_benchmark(endless_config()), CellTimeoutError);
+}
+
+TEST(Watchdog, SweepReportsTimeoutWithoutAbortingOrRetrying) {
+  std::vector<RunConfig> configs = {endless_config(),
+                                    small_config("ft", false)};
+  SweepOptions options;
+  options.jobs = 2;
+  options.cell_retries = 2;  // must NOT apply to the timeout
+  const SweepOutcome outcome = run_sweep(configs, options);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].index, 0u);
+  EXPECT_TRUE(outcome.failures[0].timeout);
+  EXPECT_EQ(outcome.stats.watchdog_fires, 1u);
+  EXPECT_EQ(outcome.stats.cells_retried, 0u);
+  EXPECT_EQ(outcome.stats.cells_ok, 1u);
+  EXPECT_EQ(outcome.results[1].label, configs[1].label());
+}
+
+TEST(Watchdog, SweepDefaultTimeoutAppliesToCellsWithoutOne) {
+  RunConfig config = endless_config();
+  config.cell_timeout_ms = 0;  // inherit the sweep default
+  SweepOptions options;
+  options.jobs = 1;
+  options.cell_timeout_ms = 1;
+  const SweepOutcome outcome = run_sweep({config}, options);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_TRUE(outcome.failures[0].timeout);
+}
+
+// --- checkpoint / resume ---------------------------------------------------
+
+TEST(Checkpoint, RoundTripReproducesJsonRow) {
+  const std::string dir = temp_dir("roundtrip");
+  RunConfig config = small_config("rr", /*upmlib=*/true);
+  config.trace = true;
+  config.fault = uniform_plan(0.02);
+  config.upm.hysteresis_passes = 2;
+  const RunResult original = run_benchmark(config);
+  save_checkpoint(dir, config, original);
+  RunResult loaded;
+  ASSERT_TRUE(load_checkpoint(dir, config, &loaded));
+  EXPECT_EQ(results_to_json({original}), results_to_json({loaded}));
+}
+
+TEST(Checkpoint, IdentityMismatchRefusesStaleResult) {
+  const std::string dir = temp_dir("identity");
+  RunConfig config = small_config("ft", false);
+  const RunResult result = run_benchmark(config);
+  save_checkpoint(dir, config, result);
+  RunResult loaded;
+  ASSERT_TRUE(load_checkpoint(dir, config, &loaded));
+
+  RunConfig changed = config;
+  changed.iterations = 4;
+  EXPECT_FALSE(load_checkpoint(dir, changed, &loaded));
+  changed = config;
+  changed.fault = uniform_plan(0.5);
+  EXPECT_FALSE(load_checkpoint(dir, changed, &loaded));
+  changed = config;
+  changed.upm.hysteresis_passes = 2;
+  EXPECT_FALSE(load_checkpoint(dir, changed, &loaded));
+  // Host-side supervision knobs do NOT change the identity.
+  changed = config;
+  changed.cell_timeout_ms = 12345;
+  EXPECT_TRUE(load_checkpoint(dir, changed, &loaded));
+}
+
+TEST(Checkpoint, SweepResumesCompletedCells) {
+  const std::string dir = temp_dir("resume");
+  std::vector<RunConfig> configs;
+  for (const std::string placement : {"ft", "rr"}) {
+    RunConfig config = small_config(placement, /*upmlib=*/true);
+    config.trace = true;
+    configs.push_back(std::move(config));
+  }
+  SweepOptions options;
+  options.jobs = 2;
+  options.checkpoint_dir = dir;
+  const SweepOutcome first = run_sweep(configs, options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first.stats.cells_resumed, 0u);
+  const SweepOutcome second = run_sweep(configs, options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.stats.cells_resumed, configs.size());
+  EXPECT_EQ(results_to_json(first.results), results_to_json(second.results));
+}
+
+TEST(Checkpoint, TruncatedFileIsRejected) {
+  const std::string dir = temp_dir("truncated");
+  RunConfig config = small_config("ft", false);
+  const RunResult result = run_benchmark(config);
+  save_checkpoint(dir, config, result);
+  const std::string path = checkpoint_path(dir, config);
+  std::string content;
+  {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    content = os.str();
+  }
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << content.substr(0, content.size() / 2);
+  }
+  RunResult loaded;
+  EXPECT_FALSE(load_checkpoint(dir, config, &loaded));
+}
+
+// --- atomic writes ---------------------------------------------------------
+
+TEST(AtomicFile, WritesCreatesDirectoriesAndReplaces) {
+  const std::string dir = temp_dir("atomic");
+  const std::string path = dir + "/nested/deeper/out.json";
+  atomic_write_file(path, "first");
+  {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "first");
+  }
+  atomic_write_file(path, "second, longer content");
+  {
+    std::ifstream in(path);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    EXPECT_EQ(content, "second, longer content");
+  }
+  // No temporary litter left behind next to the target.
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(
+           std::filesystem::path(path).parent_path())) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1u);
+}
+
+TEST(AtomicFile, JsonWriterLandsCompleteFile) {
+  const std::string dir = temp_dir("json");
+  RunConfig config = small_config("ft", false);
+  const RunResult result = run_benchmark(config);
+  const std::string path = dir + "/BENCH_test.json";
+  write_results_json(path, "fault_test", {result});
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"fault_injected_total\""), std::string::npos);
+  EXPECT_NE(content.find("\"fault_rate\""), std::string::npos);
+  EXPECT_EQ(content.back(), '\n');
+}
+
+}  // namespace
+}  // namespace repro::harness

@@ -260,12 +260,60 @@ TEST(Scheduler, ResultsComeBackInInputOrder) {
   }
 }
 
-TEST(Scheduler, RethrowsFirstCellFailure) {
+TEST(Scheduler, AggregatesCellFailuresIntoSweepError) {
   std::vector<RunConfig> configs = small_matrix(12345);
   configs[1].kernel_migration = true;  // + upm below: invalid combination
   configs[1].upm_mode = nas::UpmMode::kDistribution;
-  EXPECT_THROW(run_experiments(configs, 4), ContractViolation);
-  EXPECT_THROW(run_experiments(configs, 1), ContractViolation);
+  EXPECT_THROW(run_experiments(configs, 4), SweepError);
+  try {
+    (void)run_experiments(configs, 1);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].index, 1u);
+    EXPECT_EQ(e.failures()[0].label, configs[1].label());
+    EXPECT_FALSE(e.failures()[0].timeout);
+    EXPECT_NE(std::string(e.what()).find(configs[1].label()),
+              std::string::npos);
+  }
+}
+
+TEST(Scheduler, SweepErrorListsEveryFailedCell) {
+  std::vector<RunConfig> configs = small_matrix(12345);
+  ASSERT_GE(configs.size(), 3u);
+  for (const std::size_t bad : {std::size_t{0}, std::size_t{2}}) {
+    configs[bad].kernel_migration = true;
+    configs[bad].upm_mode = nas::UpmMode::kDistribution;
+  }
+  try {
+    (void)run_experiments(configs, 4);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].index, 0u);
+    EXPECT_EQ(e.failures()[1].index, 2u);
+  }
+}
+
+TEST(Scheduler, RunSweepDoesNotThrowAndRunsRemainingCells) {
+  std::vector<RunConfig> configs = small_matrix(12345);
+  configs[1].kernel_migration = true;
+  configs[1].upm_mode = nas::UpmMode::kDistribution;
+  SweepOptions options;
+  options.jobs = 2;
+  const SweepOutcome outcome = run_sweep(configs, options);
+  EXPECT_FALSE(outcome.ok());
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.stats.cells_total, configs.size());
+  EXPECT_EQ(outcome.stats.cells_failed, 1u);
+  EXPECT_EQ(outcome.stats.cells_ok, configs.size() - 1);
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (i == 1) {
+      EXPECT_TRUE(outcome.results[i].label.empty());
+    } else {
+      EXPECT_EQ(outcome.results[i].label, configs[i].label());
+    }
+  }
 }
 
 }  // namespace
