@@ -5,13 +5,19 @@
 //   $ placement_explorer --benchmark=BT --placement=rand --upmlib
 //         --iterations=40 --nodes=32
 //   $ placement_explorer --benchmark=SP --placement=ft --recrep
+//   $ placement_explorer --benchmark=BT --advise --sarif=advisor.sarif
+//         --analyze-fail-on=warning
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "repro/analysis/diagnostic.hpp"
+#include "repro/analysis/sarif.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/table.hpp"
+#include "repro/harness/advise.hpp"
 #include "repro/harness/cli.hpp"
 #include "repro/harness/run.hpp"
 
@@ -22,7 +28,11 @@ int main(int argc, char** argv) {
   RunConfig config;
   bool upmlib = false;
   bool recrep = false;
+  bool advise = false;
   std::string problem_class;
+  std::string fail_on;
+  std::string sarif_path;
+  std::string advisor_json;
   Cli cli("placement_explorer");
   cli.add_string("benchmark", &config.benchmark,
                  "BT | SP | CG | MG | FT (default BT)");
@@ -47,6 +57,17 @@ int main(int argc, char** argv) {
   cli.add_flag("analyze", &config.analyze,
                "run the static analyzer and print its diagnostics "
                "(also: REPRO_ANALYZE=1)");
+  cli.add_flag("advise", &advise,
+               "run the static placement advisor (no simulation needed) "
+               "and print its per-placement verdict before the run");
+  cli.add_string("analyze-fail-on", &fail_on,
+                 "note | warning | error: exit 3 when --analyze/--advise "
+                 "found a diagnostic at or above this severity");
+  cli.add_string("sarif", &sarif_path,
+                 "write all analyzer + advisor diagnostics as SARIF 2.1.0 "
+                 "to this path (CI annotation)");
+  cli.add_string("advisor-json", &advisor_json,
+                 "write the advisor verdict as JSON to this path");
   cli.add_string("trace", &config.trace_dir,
                  "record the event trace and export the canonical dump + "
                  "Chrome trace here (also: REPRO_TRACE=DIR)");
@@ -63,6 +84,15 @@ int main(int argc, char** argv) {
       return 2;
     case Cli::Status::kOk:
       break;
+  }
+  std::optional<analysis::Severity> fail_threshold;
+  if (!fail_on.empty()) {
+    fail_threshold = analysis::parse_severity(fail_on);
+    if (!fail_threshold.has_value()) {
+      std::cerr << "error: --analyze-fail-on expects note | warning | "
+                   "error\n";
+      return 2;
+    }
   }
   if (upmlib) {
     config.upm_mode = nas::UpmMode::kDistribution;
@@ -82,6 +112,26 @@ int main(int argc, char** argv) {
       // --scale given alongside --class overrides the preset.
       config.workload.size_scale = explicit_scale;
     }
+  }
+
+  // Everything the gate and the SARIF export see, in emission order:
+  // advisor verdict diagnostics first, then the per-run analyzer's.
+  std::vector<analysis::Diagnostic> all_diagnostics;
+
+  if (advise) {
+    const analysis::AdvisorReport report = advise_benchmark(config);
+    print_advisor_report(std::cout, report);
+    if (!report.diagnostics.empty()) {
+      std::cout << '\n';
+      analysis::diagnostics_table(report.diagnostics).print(std::cout);
+    }
+    std::cout << '\n';
+    if (!advisor_json.empty()) {
+      write_advisor_json(advisor_json, {report});
+      std::cout << "advisor verdict written to " << advisor_json << "\n\n";
+    }
+    all_diagnostics.insert(all_diagnostics.end(), report.diagnostics.begin(),
+                           report.diagnostics.end());
   }
 
   const RunResult result = run_benchmark(config);
@@ -137,6 +187,20 @@ int main(int argc, char** argv) {
       std::cout << "analysis: " << errors << " error(s), " << warnings
                 << " warning(s), " << notes << " note(s)\n";
     }
+    all_diagnostics.insert(all_diagnostics.end(), result.diagnostics.begin(),
+                           result.diagnostics.end());
+  }
+
+  if (!sarif_path.empty()) {
+    analysis::write_sarif(sarif_path, "repro-placement-analysis", "1.0",
+                          all_diagnostics);
+    std::cout << "\nSARIF report written to " << sarif_path << "\n";
+  }
+  if (fail_threshold.has_value() &&
+      analysis::any_at_or_above(all_diagnostics, *fail_threshold)) {
+    std::cout << "\nanalysis gate: findings at or above '" << fail_on
+              << "' => exit 3\n";
+    return 3;
   }
   return 0;
 }

@@ -1,0 +1,92 @@
+#include "repro/analysis/capture.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace repro::analysis {
+
+std::size_t CapturedProgram::num_timed_phases() const {
+  std::size_t n = 0;
+  for (const CapturedPhase& phase : phases) {
+    if (phase.timed) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+CapturedPhase capture_phase(const std::string& name,
+                            const sim::RegionProgram& program,
+                            std::span<const ProcId> binding, bool timed) {
+  CapturedPhase phase;
+  phase.name = name;
+  phase.timed = timed;
+  const std::size_t threads = program.num_threads();
+  if (binding.empty()) {
+    for (std::uint32_t t = 0; t < threads; ++t) {
+      phase.binding.emplace_back(t);
+    }
+  } else {
+    phase.binding.assign(binding.begin(), binding.end());
+  }
+  const std::uint32_t size = program.size();
+  phase.pages.reserve(size);
+  phase.lines.reserve(size);
+  phase.is_access.reserve(size);
+  phase.is_write.reserve(size);
+  phase.is_stream.reserve(size);
+  phase.compute.reserve(size);
+  phase.offsets.reserve(threads + 1);
+  phase.offsets.push_back(0);
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    for (std::uint32_t i = program.thread_begin(t); i < program.thread_end(t);
+         ++i) {
+      phase.pages.push_back(program.page(i).value());
+      phase.lines.push_back(program.lines(i));
+      phase.is_access.push_back(program.is_access(i) ? 1 : 0);
+      phase.is_write.push_back(program.is_write(i) ? 1 : 0);
+      phase.is_stream.push_back(program.is_stream(i) ? 1 : 0);
+      phase.compute.push_back(program.compute(i));
+    }
+    phase.offsets.push_back(static_cast<std::uint32_t>(phase.pages.size()));
+  }
+  return phase;
+}
+
+void finalize_page_bound(CapturedProgram& captured) {
+  std::uint64_t bound = 0;
+  for (const CapturedPhase& phase : captured.phases) {
+    for (std::uint32_t i = 0; i < phase.size(); ++i) {
+      if (phase.is_access[i] != 0) {
+        bound = std::max(bound, phase.pages[i] + 1);
+      }
+    }
+  }
+  for (const vm::PageRange& range : captured.hot_ranges) {
+    bound = std::max(bound, range.end().value());
+  }
+  captured.page_bound = bound;
+}
+
+PhaseRecorder::PhaseRecorder(omp::Runtime& runtime) : runtime_(&runtime) {
+  runtime_->set_dry_run(true);
+  runtime_->set_region_inspector(
+      [this](const std::string& name, const sim::RegionProgram& program,
+             std::span<const ProcId> binding) {
+        captured_.phases.push_back(
+            capture_phase(name, program, binding, timed_));
+      });
+}
+
+PhaseRecorder::~PhaseRecorder() {
+  runtime_->set_region_inspector({});
+  runtime_->set_dry_run(false);
+}
+
+CapturedProgram PhaseRecorder::take() {
+  CapturedProgram out = std::move(captured_);
+  captured_ = CapturedProgram{};
+  return out;
+}
+
+}  // namespace repro::analysis

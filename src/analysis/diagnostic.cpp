@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <ostream>
 #include <sstream>
+#include <tuple>
 
 namespace repro::analysis {
 
@@ -16,6 +17,41 @@ const char* severity_name(Severity severity) {
       return "error";
   }
   return "?";
+}
+
+std::optional<Severity> parse_severity(std::string_view name) {
+  if (name == "note") {
+    return Severity::kNote;
+  }
+  if (name == "warning") {
+    return Severity::kWarning;
+  }
+  if (name == "error") {
+    return Severity::kError;
+  }
+  return std::nullopt;
+}
+
+bool any_at_or_above(std::span<const Diagnostic> diags, Severity threshold) {
+  return std::any_of(diags.begin(), diags.end(), [&](const Diagnostic& d) {
+    return d.severity >= threshold;
+  });
+}
+
+void canonical_sort(std::vector<Diagnostic>& diags) {
+  const auto key = [](const Diagnostic& d) {
+    return std::make_tuple(
+        d.region, d.rule,
+        d.page.has_value() ? static_cast<std::int64_t>(d.page->value()) : -1,
+        d.thread.has_value() ? static_cast<std::int64_t>(d.thread->value())
+                             : -1,
+        d.other.has_value() ? static_cast<std::int64_t>(d.other->value()) : -1,
+        static_cast<int>(d.severity), d.message, d.hint);
+  };
+  std::stable_sort(diags.begin(), diags.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     return key(a) < key(b);
+                   });
 }
 
 std::string Diagnostic::location() const {

@@ -1,0 +1,235 @@
+// The static placement advisor: cross-phase locality dataflow over a
+// captured workload (see capture.hpp), predicting -- without running
+// the simulator -- what the paper measures dynamically.
+//
+// Pipeline (DESIGN.md §13):
+//
+//  1. Dataflow. One forward pass over the captured phase sequence
+//     replays every thread's op stream through a model of the per-
+//     processor page-grain LRU caches (capacity l2/page, write
+//     invalidates other processors' copies, exactly the MemorySystem
+//     rules). Cold phases warm the caches and fix the first-touch
+//     order; timed phases contribute per-page x per-node *miss-line*
+//     matrices -- the static analogue of the Origin2000's per-frame
+//     reference counters. Miss sets are placement-independent (homes
+//     never influence caching), so one dataflow serves every placement.
+//
+//  2. Placement prediction. Per placement scheme the initial homes are
+//     decided statically (ft from the dataflow's first-touch order, rr
+//     from page % nodes, wc node 0; "rand" depends on the engine's
+//     fault arrival order and is honestly refused). With UPMlib
+//     enabled, migrate_memory() is abstractly interpreted to a fixed
+//     point: per pass the saturated counter matrix is scored with the
+//     exact competitive criterion, candidates sort (ratio desc, page
+//     asc), bounce-freeze and deactivation rules apply verbatim.
+//
+//  3. Verdict. Every (placement x engine) cell gets a predicted cost
+//     (latency-weighted remote traffic plus the per-node service
+//     bottleneck, plus migration overhead), yielding a per-benchmark
+//     ranking -- the static fig1/fig4 -- and the advisor.* diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "repro/analysis/capture.hpp"
+#include "repro/analysis/diagnostic.hpp"
+#include "repro/common/strong_id.hpp"
+#include "repro/memsys/config.hpp"
+
+namespace repro::analysis {
+
+/// The machine facts the advisor models, derived from a MachineConfig
+/// (tests can fabricate small ones).
+struct AdvisorView {
+  std::size_t num_nodes = 16;
+  std::size_t procs_per_node = 1;
+  std::uint32_t lines_per_page = 128;
+  std::uint32_t counter_max = 2047;
+  std::size_t cache_capacity_pages = 256;
+  double cache_hit_ns = 16.0;
+  double local_latency_ns = 329.0;
+  /// Flat stand-in for the hop ladder (mean of the remote entries).
+  double remote_latency_ns = 728.0;
+  double mem_occupancy_ns = 100.0;
+  /// Cost of moving one page (copy + TLB coherence), for the verdict's
+  /// migration-overhead term.
+  double page_move_ns = 28'000.0;
+
+  [[nodiscard]] static AdvisorView from_config(
+      const memsys::MachineConfig& config);
+  [[nodiscard]] std::size_t num_procs() const {
+    return num_nodes * procs_per_node;
+  }
+  [[nodiscard]] std::size_t node_of_proc(ProcId proc) const {
+    return proc.value() / procs_per_node;
+  }
+};
+
+struct AdvisorConfig {
+  /// Competitive criterion threshold (same default as UpmConfig).
+  double threshold = 2.0;
+  bool freeze_bouncing_pages = true;
+  /// Timed iterations the verdict models (the run being advised).
+  std::uint32_t iterations = 3;
+  /// Upper bound on abstract migrate_memory() passes (the engine
+  /// deactivates itself long before; this is a divergence backstop).
+  std::uint32_t max_passes = 16;
+  /// Noise floor: page-level rules skip pages with fewer predicted
+  /// miss lines per iteration. Steady-state miss totals are small
+  /// (caches absorb most references), so the floor is in single-digit
+  /// lines.
+  std::uint64_t min_page_lines = 2;
+  /// Per-rule cap on located diagnostics; excess folds into a summary.
+  std::size_t max_diags_per_rule = 8;
+  /// ft-base within this fraction of the best cell's predicted cost
+  /// => data distribution is unnecessary (the paper's thesis).
+  double unnecessary_margin = 0.08;
+};
+
+/// Dense page x node matrix of predicted miss lines.
+class AccessMatrix {
+ public:
+  AccessMatrix() = default;
+  AccessMatrix(std::uint64_t num_pages, std::size_t num_nodes);
+
+  void add(std::uint64_t page, std::size_t node, std::uint64_t lines);
+  [[nodiscard]] std::uint64_t at(std::uint64_t page, std::size_t node) const;
+  /// Sum over nodes.
+  [[nodiscard]] std::uint64_t page_total(std::uint64_t page) const;
+  /// Node with the largest count (lowest id wins ties), or nullopt for
+  /// an untouched page.
+  [[nodiscard]] std::optional<std::size_t> dominant_node(
+      std::uint64_t page) const;
+  [[nodiscard]] std::uint64_t num_pages() const { return num_pages_; }
+  [[nodiscard]] std::size_t num_nodes() const { return num_nodes_; }
+  AccessMatrix& operator+=(const AccessMatrix& other);
+
+ private:
+  std::uint64_t num_pages_ = 0;
+  std::size_t num_nodes_ = 0;
+  std::vector<std::uint64_t> cells_;  // page-major
+};
+
+/// One timed phase's miss matrix, in phase order.
+struct PhaseMatrix {
+  std::string phase;
+  AccessMatrix matrix;
+};
+
+/// The placement-independent analysis result.
+struct LocalityDataflow {
+  std::uint64_t page_bound = 0;
+  /// Per page: node of the first-missing processor (-1 = untouched) --
+  /// the predicted first-touch home.
+  std::vector<std::int32_t> first_touch_node;
+  /// Thread that first missed the page (-1 = untouched).
+  std::vector<std::int32_t> first_touch_thread;
+  /// Page first touched during a cold (untimed) phase.
+  std::vector<std::uint8_t> cold_first_touch;
+  /// Name of the phase that first touched the page ("" = untouched).
+  std::vector<std::uint32_t> first_touch_phase;
+  /// Per-timed-phase miss matrices, in captured order.
+  std::vector<PhaseMatrix> phases;
+  /// Sum of the timed phase matrices: one iteration's counter image
+  /// (unsaturated; saturate() gives the 11-bit hardware view).
+  AccessMatrix iteration;
+  /// Phase names, indexed by first_touch_phase.
+  std::vector<std::string> phase_names;
+
+  [[nodiscard]] bool touched(std::uint64_t page) const {
+    return page < first_touch_node.size() && first_touch_node[page] >= 0;
+  }
+};
+
+/// Abstract interpretation of Upmlib::migrate_memory() to fixed point.
+struct MigrationPrediction {
+  std::vector<std::uint64_t> migrated_pages;  ///< ascending
+  std::vector<std::int32_t> migrated_targets;  ///< parallel, final target
+  std::vector<std::uint64_t> frozen_pages;  ///< bounce-frozen, ascending
+  std::vector<std::uint64_t> migrations_per_pass;
+  std::vector<std::int32_t> final_home;  ///< per page, -1 untouched
+};
+
+/// Per-pass counter matrices for the fixed point. Pass indices are
+/// 1-based like Upmlib::invocation_; steady-state callers return the
+/// same saturated matrix every pass.
+using PassMatrixFn = std::function<const AccessMatrix&(std::uint32_t pass)>;
+
+[[nodiscard]] MigrationPrediction predict_migrations(
+    const AdvisorConfig& config, std::span<const std::uint64_t> hot_pages,
+    std::span<const std::int32_t> initial_home, const PassMatrixFn& matrix);
+
+/// One (placement x engine) cell of the verdict.
+struct PlacementPrediction {
+  std::string placement;
+  bool upmlib = false;
+  std::string label;  ///< "ft-upmlib" style (matches RunConfig::label)
+  std::vector<std::int32_t> initial_home;  ///< per page, -1 untouched
+  std::vector<std::int32_t> final_home;    ///< after predicted migrations
+  std::vector<std::uint64_t> migrated_pages;
+  std::vector<std::int32_t> migrated_targets;
+  std::vector<std::uint64_t> frozen_pages;
+  std::vector<std::uint64_t> migrations_per_iteration;  ///< length iterations
+  /// Fraction of one iteration's miss lines served remotely, before
+  /// and after the predicted migrations.
+  double initial_remote_fraction = 0.0;
+  double steady_remote_fraction = 0.0;
+  /// Ranking score over the whole run (not calibrated seconds).
+  double predicted_cost = 0.0;
+};
+
+/// The per-benchmark verdict: the static analogue of one fig1 group.
+struct AdvisorReport {
+  std::string benchmark;
+  LocalityDataflow dataflow;
+  std::vector<PlacementPrediction> cells;
+  std::string predicted_best;  ///< label of the lowest predicted cost
+  /// (ft-base cost - best cost) / best cost.
+  double ft_gap = 0.0;
+  bool distribution_unnecessary = false;
+  std::vector<Diagnostic> diagnostics;  ///< advisor.* findings
+};
+
+class Advisor {
+ public:
+  Advisor(AdvisorConfig config, AdvisorView view);
+
+  /// Phase-ordered dataflow pass (placement-independent).
+  [[nodiscard]] LocalityDataflow analyze(
+      const CapturedProgram& captured) const;
+
+  /// Predicts one cell. `placement` is "ft" | "rr" | "wc" ("rand" is
+  /// statically undecidable and rejected with ContractViolation).
+  [[nodiscard]] PlacementPrediction predict(
+      const LocalityDataflow& dataflow,
+      std::span<const vm::PageRange> hot_ranges,
+      const std::string& placement, bool upmlib) const;
+
+  /// Full verdict: dataflow + the six standard cells + diagnostics.
+  [[nodiscard]] AdvisorReport advise(const std::string& benchmark,
+                                     const CapturedProgram& captured) const;
+
+  [[nodiscard]] const AdvisorConfig& config() const { return config_; }
+  [[nodiscard]] const AdvisorView& view() const { return view_; }
+
+ private:
+  AdvisorConfig config_;
+  AdvisorView view_;
+
+  [[nodiscard]] std::vector<std::int32_t> initial_homes(
+      const LocalityDataflow& dataflow, const std::string& placement) const;
+  [[nodiscard]] double remote_fraction(
+      const AccessMatrix& iteration,
+      std::span<const std::int32_t> home) const;
+  [[nodiscard]] double iteration_cost(
+      const AccessMatrix& iteration,
+      std::span<const std::int32_t> home) const;
+  void emit_diagnostics(AdvisorReport& report) const;
+};
+
+}  // namespace repro::analysis

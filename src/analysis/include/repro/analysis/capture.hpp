@@ -1,0 +1,104 @@
+// Whole-program phase capture for the static placement advisor.
+//
+// The advisor needs the *sequence* of compiled region programs a
+// workload executes -- cold-start faulting order first, then one steady
+// timed iteration -- without running the simulator. A PhaseRecorder
+// switches the OpenMP runtime into dry-run mode (see
+// omp::Runtime::set_dry_run) and installs itself as the region
+// inspector; every region the workload issues is copied out of its
+// compiled SoA arena into an owning CapturedPhase. Copying matters:
+// serial-init and one-shot regions compile *temporary* RegionPrograms
+// that die at the end of the run() call.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/omp/runtime.hpp"
+#include "repro/sim/program.hpp"
+#include "repro/vm/address_space.hpp"
+
+namespace repro::analysis {
+
+/// One executed parallel region, owned: per-thread op streams flattened
+/// into columns with [offsets[t], offsets[t+1]) index ranges, exactly
+/// mirroring the compiled program's layout, plus a binding snapshot.
+struct CapturedPhase {
+  std::string name;
+  /// Captured after PhaseRecorder::begin_timed() (i.e. part of the
+  /// steady-state iteration rather than setup / cold start).
+  bool timed = false;
+  std::vector<ProcId> binding;  ///< thread -> processor at execution
+  std::vector<std::uint64_t> pages;
+  std::vector<std::uint32_t> lines;
+  std::vector<std::uint8_t> is_access;
+  std::vector<std::uint8_t> is_write;
+  std::vector<std::uint8_t> is_stream;
+  std::vector<Ns> compute;
+  std::vector<std::uint32_t> offsets;  ///< num_threads + 1 entries
+
+  [[nodiscard]] std::size_t num_threads() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  [[nodiscard]] std::uint32_t size() const {
+    return offsets.empty() ? 0 : offsets.back();
+  }
+};
+
+/// A captured workload: every phase in execution order (cold phases
+/// first, then the phases of one timed iteration) plus the hot memory
+/// areas the workload registers with UPMlib.
+struct CapturedProgram {
+  std::vector<CapturedPhase> phases;
+  std::vector<vm::PageRange> hot_ranges;
+  /// Exclusive upper bound of every page id referenced by any phase or
+  /// hot range (sizes the advisor's dense page tables).
+  std::uint64_t page_bound = 0;
+
+  [[nodiscard]] std::size_t num_timed_phases() const;
+  [[nodiscard]] std::size_t num_cold_phases() const {
+    return phases.size() - num_timed_phases();
+  }
+};
+
+/// Captures every region a runtime executes while alive. Construction
+/// enables dry-run mode and installs the inspector; destruction
+/// restores both (any previous inspector is detached, matching the
+/// at-most-one contract of Runtime::set_region_inspector).
+class PhaseRecorder {
+ public:
+  explicit PhaseRecorder(omp::Runtime& runtime);
+  ~PhaseRecorder();
+
+  PhaseRecorder(const PhaseRecorder&) = delete;
+  PhaseRecorder& operator=(const PhaseRecorder&) = delete;
+
+  /// Marks the cold-start / timed-iteration boundary: phases captured
+  /// from now on carry timed = true.
+  void begin_timed() { timed_ = true; }
+
+  /// Moves the capture out (hot ranges and page bound still unset; see
+  /// harness::advise_benchmark). The recorder stays installed.
+  [[nodiscard]] CapturedProgram take();
+
+ private:
+  omp::Runtime* runtime_;
+  bool timed_ = false;
+  CapturedProgram captured_;
+};
+
+/// Copies one compiled program into an owning phase (exposed for
+/// tests; PhaseRecorder uses it internally).
+[[nodiscard]] CapturedPhase capture_phase(const std::string& name,
+                                          const sim::RegionProgram& program,
+                                          std::span<const ProcId> binding,
+                                          bool timed);
+
+/// Recomputes `page_bound` from the phases and hot ranges.
+void finalize_page_bound(CapturedProgram& captured);
+
+}  // namespace repro::analysis

@@ -26,6 +26,10 @@ enum class Severity : std::uint8_t { kNote, kWarning, kError };
 /// "note" | "warning" | "error".
 [[nodiscard]] const char* severity_name(Severity severity);
 
+/// Inverse of severity_name; nullopt for anything else. Parses the
+/// --analyze-fail-on=<note|warning|error> CLI gate.
+[[nodiscard]] std::optional<Severity> parse_severity(std::string_view name);
+
 struct Diagnostic {
   Severity severity = Severity::kWarning;
   /// Stable rule id, e.g. "race.ww-lines" (see DESIGN.md §8).
@@ -79,6 +83,18 @@ class CollectingSink final : public DiagnosticSink {
   std::unordered_set<std::string> seen_;
   std::uint64_t duplicates_ = 0;
 };
+
+/// True when any diagnostic is at or above `threshold` (the CI gate
+/// behind --analyze-fail-on).
+[[nodiscard]] bool any_at_or_above(std::span<const Diagnostic> diags,
+                                   Severity threshold);
+
+/// Canonical order for rendering and digesting: (region, rule, page,
+/// thread, other, severity, message, hint), stable for exact ties.
+/// Analysis passes already emit deterministically within one run, but
+/// callers that merge several sinks (per-cell sweeps) sort before
+/// comparing output across job counts.
+void canonical_sort(std::vector<Diagnostic>& diags);
 
 /// Renders diagnostics as a severity / rule / region / location /
 /// message / hint table (paper-style ASCII via common/table).

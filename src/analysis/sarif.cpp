@@ -1,0 +1,131 @@
+#include "repro/analysis/sarif.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::analysis {
+
+namespace {
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string quoted(std::string_view text) {
+  std::string out = "\"";
+  append_escaped(out, text);
+  out += '"';
+  return out;
+}
+
+/// SARIF result levels: "note" | "warning" | "error" -- conveniently
+/// the same names the diagnostics already use.
+const char* sarif_level(Severity severity) { return severity_name(severity); }
+
+}  // namespace
+
+std::string diagnostics_to_sarif(std::string_view tool_name,
+                                 std::string_view tool_version,
+                                 std::span<const Diagnostic> diags) {
+  std::set<std::string> rules;
+  for (const Diagnostic& diag : diags) {
+    rules.insert(diag.rule);
+  }
+
+  std::string out;
+  out += "{\n";
+  out += "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+  out += "  \"version\": \"2.1.0\",\n";
+  out += "  \"runs\": [\n    {\n";
+  out += "      \"tool\": {\n        \"driver\": {\n";
+  out += "          \"name\": " + quoted(tool_name) + ",\n";
+  out += "          \"version\": " + quoted(tool_version) + ",\n";
+  out += "          \"informationUri\": "
+         "\"https://github.com/\",\n";
+  out += "          \"rules\": [\n";
+  bool first = true;
+  for (const std::string& rule : rules) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    out += "            {\"id\": " + quoted(rule) + "}";
+  }
+  out += "\n          ]\n        }\n      },\n";
+  out += "      \"results\": [\n";
+  first = true;
+  for (const Diagnostic& diag : diags) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    std::string message;
+    append_escaped(message, diag.message);
+    if (!diag.hint.empty()) {
+      message += " (hint: ";
+      append_escaped(message, diag.hint);
+      message += ")";
+    }
+    std::string location = diag.region;
+    const std::string where = diag.location();
+    if (!where.empty()) {
+      location += " [" + where + "]";
+    }
+    out += "        {\"ruleId\": " + quoted(diag.rule) +
+           ", \"level\": \"" + sarif_level(diag.severity) +
+           "\", \"message\": {\"text\": \"" + message +
+           "\"}, \"locations\": [{\"logicalLocations\": "
+           "[{\"fullyQualifiedName\": " +
+           quoted(location) + "}]}]}";
+  }
+  out += "\n      ]\n    }\n  ]\n}\n";
+  return out;
+}
+
+void write_sarif(const std::string& path, std::string_view tool_name,
+                 std::string_view tool_version,
+                 std::span<const Diagnostic> diags) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    REPRO_REQUIRE_MSG(os.good(), "cannot open SARIF output file");
+    os << diagnostics_to_sarif(tool_name, tool_version, diags);
+    REPRO_REQUIRE_MSG(os.good(), "SARIF write failed");
+  }
+  REPRO_REQUIRE_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                    "SARIF rename failed");
+}
+
+}  // namespace repro::analysis

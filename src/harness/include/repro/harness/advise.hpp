@@ -1,0 +1,42 @@
+// Harness entry point of the static placement advisor: capture a
+// benchmark's phase sequence in dry-run mode (no simulation) and run
+// the cross-phase locality dataflow over it, producing the per-
+// benchmark placement verdict plus JSON/SARIF artifacts for CI.
+#pragma once
+
+#include <string>
+
+#include "repro/analysis/advisor.hpp"
+#include "repro/analysis/capture.hpp"
+#include "repro/harness/run.hpp"
+
+namespace repro::harness {
+
+/// Captures `config.benchmark`'s cold start plus one timed iteration
+/// without simulating (dry-run regions fire the recorder only), then
+/// predicts all six standard (placement x engine) cells. Honors the
+/// config's machine geometry, workload params, UPM threshold and
+/// iteration count; config.placement is irrelevant (every scheme is
+/// predicted) and nothing about the config's machine state changes.
+[[nodiscard]] analysis::AdvisorReport advise_benchmark(
+    const RunConfig& config);
+
+/// Captures the workload exactly as advise_benchmark does and returns
+/// the capture (tests and tools that want the raw phases).
+[[nodiscard]] analysis::CapturedProgram capture_benchmark(
+    const RunConfig& config);
+
+/// The verdict as JSON: per-cell predictions, migrated page counts,
+/// remote fractions, predicted ranking and diagnostics.
+[[nodiscard]] std::string advisor_report_to_json(
+    const analysis::AdvisorReport& report);
+
+/// Writes `{"advisor": ..., "reports": [...]}` atomically.
+void write_advisor_json(const std::string& path,
+                        const std::vector<analysis::AdvisorReport>& reports);
+
+/// Human-readable verdict table (one row per cell).
+void print_advisor_report(std::ostream& os,
+                          const analysis::AdvisorReport& report);
+
+}  // namespace repro::harness

@@ -264,6 +264,9 @@ RunResult run_benchmark(const RunConfig& config) {
   if (session != nullptr) {
     session->finish();
     result.diagnostics = session->sink().diagnostics();
+    // Canonical order: the rendered findings are byte-identical across
+    // --jobs counts and reruns whatever order the passes emitted in.
+    analysis::canonical_sort(result.diagnostics);
     // Through the leveled logger (one atomic line per finding) rather
     // than std::cout: concurrent scheduler cells must not interleave
     // mid-table. Callers wanting the ASCII table render it from

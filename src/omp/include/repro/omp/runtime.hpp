@@ -82,6 +82,15 @@ class Runtime {
   /// parallel regions on the master thread.
   void advance(Ns duration) { now_ += duration; }
 
+  /// Dry-run (capture) mode: run() still hands every region's name,
+  /// compiled program and thread binding to the inspector and appends a
+  /// zero-duration record, but never reaches the engine -- no memory
+  /// access, no page fault, no trace emission, no clock advance. The
+  /// static placement advisor uses this to observe a workload's whole
+  /// phase sequence without perturbing any machine state.
+  void set_dry_run(bool on) { dry_run_ = on; }
+  [[nodiscard]] bool dry_run() const { return dry_run_; }
+
   /// Thread-to-processor binding. Threads start bound 1:1 (thread t on
   /// processor t); the OS scheduler may rebind them (the case the
   /// paper's footnote 3 defers to its companion work on
@@ -159,6 +168,7 @@ class Runtime {
   Ns now_ = 0;
   std::vector<ProcId> binding_;
   Ns reduction_step_ = 200;
+  bool dry_run_ = false;
   RegionInspector inspector_;
   std::vector<RegionRecord> records_;
   fault::FaultInjector* fault_ = nullptr;

@@ -46,6 +46,14 @@ sim::RegionResult Runtime::run(const std::string& name,
   if (inspector_) {
     inspector_(name, program, binding_);
   }
+  if (dry_run_) {
+    sim::RegionResult result;
+    result.start = now_;
+    result.end = now_;
+    result.thread_end.assign(program.num_threads(), now_);
+    records_.push_back(RegionRecord{name, now_, now_, 1.0});
+    return result;
+  }
   if (trace_ != nullptr) {
     // Events fired inside the region (daemon scans, kernel migrations)
     // inherit this phase; restored to 0 (serial code) after the join.

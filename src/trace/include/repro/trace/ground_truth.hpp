@@ -1,0 +1,73 @@
+// Ground-truth extraction from a recorded trace, for validating the
+// static placement advisor (bench/advisor_validation): which pages
+// actually migrated (and from/to where), which pages were frozen as
+// ping-pongers, and the per-iteration remote/local miss mix -- all
+// reconstructed from the canonical event stream, touching no new event
+// kinds (the golden digests stay bit-identical).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "repro/common/units.hpp"
+#include "repro/trace/sink.hpp"
+
+namespace repro::trace {
+
+struct MigrationRecord {
+  std::uint64_t page = 0;
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::uint32_t iteration = 0;
+  Ns time = 0;
+  bool redirected = false;
+};
+
+struct FreezeRecord {
+  std::uint64_t page = 0;
+  /// Home node at the freeze (kPageFreeze's `node` payload).
+  std::int32_t home = -1;
+  /// True for a retry-exhaustion freeze (a == 1), false for a
+  /// ping-pong bounce freeze.
+  bool give_up = false;
+  std::uint32_t iteration = 0;
+};
+
+/// Everything the validation sweep scores a prediction against.
+struct PlacementGroundTruth {
+  /// kPageMigration events in canonical order (timed iterations only;
+  /// cold-start events are cleared by the harness before iteration 1).
+  std::vector<MigrationRecord> migrations;
+  std::vector<FreezeRecord> freezes;
+
+  /// Distinct migrated pages, ascending; the parallel vectors give
+  /// each page's home before its first migration and after its last.
+  std::vector<std::uint64_t> migrated_pages;
+  std::vector<std::int32_t> pre_migration_home;
+  std::vector<std::int32_t> post_migration_home;
+
+  /// Distinct bounce/give-up frozen pages, ascending.
+  std::vector<std::uint64_t> frozen_pages;
+
+  /// Migrations per timed iteration (index 0 = iteration 1), sized to
+  /// the largest iteration marker seen.
+  std::vector<std::uint64_t> migrations_per_iteration;
+
+  /// Per timed iteration: wall duration and remote miss fraction
+  /// (kIterationEnd's a / (a + b); 0 when the iteration missed
+  /// nothing).
+  std::vector<Ns> iteration_durations;
+  std::vector<double> iteration_remote_fraction;
+
+  [[nodiscard]] double last_remote_fraction() const {
+    return iteration_remote_fraction.empty()
+               ? 0.0
+               : iteration_remote_fraction.back();
+  }
+};
+
+/// Scans the sink's canonical event order once.
+[[nodiscard]] PlacementGroundTruth extract_ground_truth(
+    const TraceSink& sink);
+
+}  // namespace repro::trace

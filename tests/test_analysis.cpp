@@ -11,6 +11,7 @@
 #include "repro/analysis/diagnostic.hpp"
 #include "repro/analysis/session.hpp"
 #include "repro/harness/run.hpp"
+#include "repro/harness/scheduler.hpp"
 #include "repro/nas/workload.hpp"
 #include "repro/omp/machine.hpp"
 
@@ -460,6 +461,49 @@ TEST(WorkloadAudit, RecordReplayProtocolIsCleanOnAdiSolvers) {
     for (const Diagnostic& d : result.diagnostics) {
       EXPECT_NE(d.rule.substr(0, 4), "upm.") << name << ": " << d.message;
     }
+  }
+}
+
+// Renders diagnostics exactly as a consumer would diff them.
+std::string render_all(const std::vector<harness::RunResult>& results) {
+  std::ostringstream os;
+  for (const harness::RunResult& r : results) {
+    os << r.benchmark << ' ' << r.label << '\n';
+    for (const Diagnostic& d : r.diagnostics) {
+      os << severity_name(d.severity) << '|' << d.rule << '|' << d.region
+         << '|' << d.location() << '|' << d.message << '|' << d.hint << '\n';
+    }
+  }
+  return os.str();
+}
+
+TEST(DiagnosticDeterminism, ByteIdenticalAcrossJobCountsAndReruns) {
+  // The sweep scheduler runs analyzing cells on host threads; the
+  // rendered findings must not depend on the job count or the rerun.
+  std::vector<harness::RunConfig> configs;
+  for (const std::string benchmark : {"BT", "CG", "MG"}) {
+    configs.push_back(tiny(benchmark, "wc"));
+  }
+  const std::string serial =
+      render_all(harness::run_experiments(configs, 1));
+  const std::string parallel =
+      render_all(harness::run_experiments(configs, 4));
+  const std::string again =
+      render_all(harness::run_experiments(configs, 4));
+  EXPECT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  EXPECT_EQ(parallel, again);
+}
+
+TEST(DiagnosticDeterminism, RunDiagnosticsAreCanonicallySorted) {
+  const harness::RunResult wc = harness::run_benchmark(tiny("BT", "wc"));
+  ASSERT_FALSE(wc.diagnostics.empty());
+  std::vector<Diagnostic> sorted = wc.diagnostics;
+  canonical_sort(sorted);
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_EQ(sorted[i].rule, wc.diagnostics[i].rule) << i;
+    EXPECT_EQ(sorted[i].region, wc.diagnostics[i].region) << i;
+    EXPECT_EQ(sorted[i].message, wc.diagnostics[i].message) << i;
   }
 }
 

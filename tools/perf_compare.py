@@ -3,12 +3,21 @@
 
 Usage:
     tools/perf_compare.py BASELINE.json CURRENT.json [--band 0.25]
+    tools/perf_compare.py --advisor-json BENCH_advisor_validation.json \
+        [--min-precision 0.8]
 
 Every benchmark present in both files is compared on its
 `items_per_second` counter when available (higher is better), falling
 back to `real_time` (lower is better).  A readable delta table is
 printed; any benchmark outside the +/-band guard window marks the run
 as failed and the script exits nonzero.
+
+With --advisor-json the script instead summarizes an advisor
+validation run (bench/advisor_validation --json): the aggregate
+precision/recall block and per-benchmark rank agreement are printed,
+and any gated metric below --min-precision (or a negative Kendall tau)
+exits nonzero -- the same gate the bench itself applies, usable on an
+archived JSON artifact without rerunning the sweep.
 
 The baseline lives in bench/baseline/BENCH_micro_engine.json and is
 regenerated on purposeful perf changes with:
@@ -56,10 +65,53 @@ def fmt_rate(value):
     return f"{value:.1f}/s"
 
 
+def summarize_advisor(path, min_precision):
+    """Prints and gates a BENCH_advisor_validation.json artifact."""
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    agg = data["aggregate"]
+    gated = [
+        ("migration precision", agg["migration_precision"]),
+        ("migration recall", agg["migration_recall"]),
+        ("target agreement", agg["target_agreement"]),
+        ("ft-home agreement", agg["home_agreement"]),
+        ("ping-pong precision", agg["pingpong_precision"]),
+        ("cold-home precision", agg["cold_home_precision"]),
+    ]
+    failures = 0
+    print(f"advisor validation ({path}):")
+    for name, value in gated:
+        ok = value >= min_precision
+        failures += 0 if ok else 1
+        print(f"  {name:<22} {value:.3f}  "
+              f"{'ok' if ok else 'BELOW ' + format(min_precision, '.2f')}")
+    tau = agg["min_kendall_tau"]
+    tau_ok = tau > 0.0
+    failures += 0 if tau_ok else 1
+    print(f"  {'min kendall tau-a':<22} {tau:.3f}  "
+          f"{'ok' if tau_ok else 'ANTI-CORRELATED'}")
+    vectors_ok = bool(agg.get("vectors_exact", False))
+    failures += 0 if vectors_ok else 1
+    print(f"  {'migration vectors':<22} "
+          f"{'exact' if vectors_ok else 'MISMATCH'}")
+    print()
+    for bench in data.get("benchmarks", []):
+        agrees = "agrees" if bench["verdict_agrees"] else "DISAGREES"
+        print(f"  {bench['benchmark']:<4} tau={bench['kendall_tau']:+.3f}  "
+              f"predicted={bench['predicted_best']:<10} "
+              f"actual={bench['actual_best']:<10} verdict {agrees}")
+    if failures:
+        print(f"\n{failures} advisor metric(s) below the "
+              f"{min_precision:.2f} floor")
+        return 1
+    print(f"\nall advisor metrics at or above {min_precision:.2f}")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("baseline")
-    parser.add_argument("current")
+    parser.add_argument("baseline", nargs="?")
+    parser.add_argument("current", nargs="?")
     parser.add_argument(
         "--band",
         type=float,
@@ -67,7 +119,24 @@ def main():
         help="allowed fractional regression/improvement window "
         "(default 0.25 = +/-25%%)",
     )
+    parser.add_argument(
+        "--advisor-json",
+        help="summarize and gate a BENCH_advisor_validation.json instead "
+        "of comparing benchmark timings",
+    )
+    parser.add_argument(
+        "--min-precision",
+        type=float,
+        default=0.8,
+        help="gate for --advisor-json metrics (default 0.8)",
+    )
     args = parser.parse_args()
+
+    if args.advisor_json:
+        return summarize_advisor(args.advisor_json, args.min_precision)
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required unless "
+                     "--advisor-json is given")
 
     base = load_benchmarks(args.baseline)
     cur = load_benchmarks(args.current)

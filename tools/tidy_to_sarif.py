@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Convert clang-tidy console output to SARIF 2.1.0 for CI annotation.
+
+Usage:
+    clang-tidy -p build src/**/*.cpp | tools/tidy_to_sarif.py \
+        --output clang-tidy.sarif [--root "$PWD"]
+
+Reads the textual diagnostics clang-tidy writes to stdout:
+
+    path/to/file.cpp:12:34: warning: message text [check-name]
+        ... note/code context lines (attached verbatim) ...
+
+and emits one SARIF run with a rule per distinct check, so GitHub
+code scanning (or any SARIF viewer) can annotate the diff. Stdlib
+only -- no dependency on clang tooling Python packages.
+
+Exit status mirrors clang-tidy gating: nonzero when any error-level
+diagnostic was parsed (warnings annotate but do not fail; pair with
+--warnings-as-errors on the clang-tidy side to harden).
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+# path:line:col: severity: message [check,check2]
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<severity>error|warning|note): (?P<message>.*?)"
+    r"(?: \[(?P<checks>[^\[\]]+)\])?$"
+)
+
+LEVELS = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def parse(stream):
+    """Yields diagnostic dicts; context lines extend the last message."""
+    diags = []
+    for line in stream:
+        line = line.rstrip("\n")
+        match = DIAG_RE.match(line)
+        if match:
+            if match.group("severity") == "note" and diags:
+                # Notes attach to the preceding diagnostic.
+                diags[-1]["message"] += "; note: " + match.group("message")
+                continue
+            diags.append(
+                {
+                    "path": match.group("path"),
+                    "line": int(match.group("line")),
+                    "col": int(match.group("col")),
+                    "level": LEVELS[match.group("severity")],
+                    "message": match.group("message"),
+                    "check": (match.group("checks") or "clang-tidy").split(
+                        ","
+                    )[0],
+                }
+            )
+    return diags
+
+
+def to_sarif(diags, root):
+    rules = sorted({d["check"] for d in diags})
+    results = []
+    for d in diags:
+        path = d["path"]
+        if root and os.path.isabs(path):
+            rel = os.path.relpath(path, root)
+            if not rel.startswith(".."):
+                path = rel
+        results.append(
+            {
+                "ruleId": d["check"],
+                "level": d["level"],
+                "message": {"text": d["message"]},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": path.replace(os.sep, "/"),
+                            },
+                            "region": {
+                                "startLine": d["line"],
+                                "startColumn": d["col"],
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "clang-tidy",
+                        "rules": [{"id": rule} for rule in rules],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", required=True, help="SARIF file to write"
+    )
+    parser.add_argument(
+        "--root",
+        default=os.getcwd(),
+        help="repo root; absolute paths are rewritten relative to it",
+    )
+    parser.add_argument(
+        "input",
+        nargs="?",
+        help="clang-tidy log file (default: stdin)",
+    )
+    args = parser.parse_args()
+
+    if args.input:
+        with open(args.input, "r", encoding="utf-8", errors="replace") as f:
+            diags = parse(f)
+    else:
+        diags = parse(sys.stdin)
+
+    sarif = to_sarif(diags, args.root)
+    tmp = args.output + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(sarif, f, indent=2)
+        f.write("\n")
+    os.replace(tmp, args.output)
+
+    errors = sum(1 for d in diags if d["level"] == "error")
+    warnings = sum(1 for d in diags if d["level"] == "warning")
+    print(
+        f"tidy_to_sarif: {len(diags)} finding(s) "
+        f"({errors} error(s), {warnings} warning(s)) -> {args.output}"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
