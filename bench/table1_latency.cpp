@@ -5,9 +5,16 @@
 // Paper reference values (16-node Origin2000, contented latency, ns):
 //   L1 cache 5.5 | L2 cache 56.9 | local 329 | 1 hop 564 | 2 hops 759 |
 //   3 hops 862.
+//
+// --topology extends the ladder past the paper's 3 hops: the latency
+// model extrapolates extra_hop_latency_ns per hop beyond the Table-1
+// calibration points, so e.g. hier:8x8x8 prints rows for every realized
+// distance of a 512-node machine.
 #include <iostream>
+#include <stdexcept>
 
 #include "repro/common/table.hpp"
+#include "repro/harness/cli.hpp"
 #include "repro/omp/machine.hpp"
 
 namespace {
@@ -42,8 +49,36 @@ double probe_memory(omp::Machine& machine, NodeId target,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string topology_spec;
+  harness::Cli cli("table1_latency");
+  cli.add_string("topology", &topology_spec,
+                 "machine topology (fat-hypercube[:N] | ring[:N] | "
+                 "crossbar[:N] | hier:AxBxC[@c,...]); default: the paper's "
+                 "16-node fat hypercube");
+  switch (cli.parse(argc, argv)) {
+    case harness::Cli::Status::kHelp:
+      std::cout << cli.usage();
+      return 0;
+    case harness::Cli::Status::kError:
+      std::cerr << "error: " << cli.error() << "\n\n" << cli.usage();
+      return 2;
+    case harness::Cli::Status::kOk:
+      break;
+  }
+
   memsys::MachineConfig config;  // 16-node Origin2000 defaults
+  if (!topology_spec.empty()) {
+    try {
+      const topo::ParsedTopology parsed =
+          topo::parse_topology(topology_spec, config.num_nodes);
+      config.topology = parsed.name;
+      config.num_nodes = parsed.num_nodes;
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << "\n\n" << cli.usage();
+      return 2;
+    }
+  }
   auto machine = omp::Machine::create(config);
   // Pin placement so the probe's first touch is local to processor 0.
   machine->set_placement("ft");
@@ -79,13 +114,17 @@ int main() {
     base_page += 1024;
     const std::string level =
         hops == 0 ? "local memory" : "remote memory";
+    // Paper values exist for the 16-node ladder only; deeper distances
+    // (bigger machines, hierarchical trees) are the model's
+    // extrapolation: ladder end + extra_hop_latency_ns per extra hop.
     table.add_row({level, std::to_string(hops),
                    hops < 4 ? paper[hops] : "-",
                    fmt_double(measured, 1)});
   }
 
   std::cout << "Table 1: Access latency to the levels of the simulated "
-               "Origin2000 memory hierarchy\n";
+            << topology.name() << " memory hierarchy ("
+            << config.num_nodes << " nodes)\n";
   table.print(std::cout);
   std::cout << "\nremote:local ratio at max distance = "
             << fmt_double(machine->memory()

@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <iostream>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,6 +21,7 @@
 #include "repro/harness/advise.hpp"
 #include "repro/harness/cli.hpp"
 #include "repro/harness/run.hpp"
+#include "repro/topology/topology.hpp"
 
 using namespace repro;
 using namespace repro::harness;
@@ -84,6 +86,22 @@ int main(int argc, char** argv) {
       return 2;
     case Cli::Status::kOk:
       break;
+  }
+  // Validate the topology spec at flag-parse time: a malformed or
+  // mismatched spec is a CLI error (exit 2), not a crash mid-run.
+  try {
+    const topo::ParsedTopology parsed = topo::parse_topology(
+        config.machine.topology, config.machine.num_nodes);
+    if (parsed.num_nodes != config.machine.num_nodes) {
+      std::cerr << "error: topology \"" << config.machine.topology
+                << "\" has " << parsed.num_nodes
+                << " nodes but --nodes=" << config.machine.num_nodes
+                << '\n';
+      return 2;
+    }
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 2;
   }
   std::optional<analysis::Severity> fail_threshold;
   if (!fail_on.empty()) {

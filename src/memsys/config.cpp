@@ -9,7 +9,9 @@ namespace repro::memsys {
 void MachineConfig::validate() const {
   REPRO_REQUIRE(num_nodes >= 2);
   REPRO_REQUIRE(procs_per_node >= 1);
-  REPRO_REQUIRE(num_procs() <= 64);  // sharer bitmasks are 64-bit
+  // Sharer/mapper sets are multi-word bitmaps; the ceiling is only a
+  // sanity bound against misconfiguration, not a representation limit.
+  REPRO_REQUIRE(num_procs() <= 65536);
   REPRO_REQUIRE(std::has_single_bit(page_size));
   REPRO_REQUIRE(std::has_single_bit(cache_line));
   REPRO_REQUIRE(cache_line <= page_size);

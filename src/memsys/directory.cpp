@@ -7,100 +7,197 @@
 
 namespace repro::memsys {
 
-Directory::Directory(std::size_t num_procs) : num_procs_(num_procs) {
-  REPRO_REQUIRE(num_procs >= 1 && num_procs <= 64);
+Directory::Directory(std::size_t num_procs, bool sparse)
+    : num_procs_(num_procs),
+      words_per_entry_((num_procs + 63) / 64),
+      sparse_(sparse) {
+  REPRO_REQUIRE(num_procs >= 1 && num_procs <= 65536);
+  if (words_per_entry_ > 1) {
+    scratch_high_.resize(words_per_entry_ - 1);
+  }
 }
 
 unsigned Directory::AccessOutcome::invalidations() const {
-  return static_cast<unsigned>(std::popcount(invalidate_mask));
+  auto count = static_cast<unsigned>(std::popcount(invalidate_mask));
+  for (const std::uint64_t word : invalidate_high) {
+    count += static_cast<unsigned>(std::popcount(word));
+  }
+  return count;
 }
 
-Directory::Entry& Directory::slot(VPage page) {
-  if (page.value() >= entries_.size()) {
-    entries_.resize(std::max<std::size_t>(page.value() + 1,
-                                          entries_.size() * 2));
+bool Directory::live(std::uint32_t slot) const {
+  const std::uint64_t* w = words(slot);
+  for (std::size_t i = 0; i < words_per_entry_; ++i) {
+    if (w[i] != 0) {
+      return true;
+    }
   }
-  return entries_[page.value()];
+  return false;
+}
+
+std::uint32_t Directory::find_slot(VPage page) const {
+  if (sparse_) {
+    const std::uint32_t* slot = index_.find(page.value());
+    return slot == nullptr ? kNoSlot : *slot;
+  }
+  return page.value() < meta_.size()
+             ? static_cast<std::uint32_t>(page.value())
+             : kNoSlot;
+}
+
+std::uint32_t Directory::ensure_slot(VPage page) {
+  if (!sparse_) {
+    if (page.value() >= meta_.size()) {
+      const std::size_t size =
+          std::max<std::size_t>(page.value() + 1, meta_.size() * 2);
+      meta_.resize(size);
+      words_.resize(size * words_per_entry_, 0);
+    }
+    return static_cast<std::uint32_t>(page.value());
+  }
+  if (const std::uint32_t* slot = index_.find(page.value())) {
+    return *slot;
+  }
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(meta_.size());
+    meta_.emplace_back();
+    words_.resize(words_.size() + words_per_entry_, 0);
+  }
+  index_[page.value()] = slot;
+  return slot;
+}
+
+void Directory::release_slot(VPage page, std::uint32_t slot) {
+  // Dense slots stay in place (the array is the index); sparse slots
+  // are recycled so the pool tracks the live-entry high-water mark.
+  if (sparse_) {
+    index_.erase(page.value());
+    free_slots_.push_back(slot);
+  }
 }
 
 Directory::AccessOutcome Directory::on_read(ProcId proc, VPage page) {
   REPRO_REQUIRE(proc.value() < num_procs_);
-  Entry& e = slot(page);
-  if (e.sharers == 0) {
+  const std::uint32_t slot = ensure_slot(page);
+  if (!live(slot)) {
     ++tracked_;
   }
-  e.sharers |= 1ULL << proc.value();
-  if (e.has_owner && e.owner != proc.value()) {
+  words(slot)[proc.value() / 64] |= 1ULL << (proc.value() % 64);
+  Meta& m = meta_[slot];
+  if (m.has_owner && m.owner != proc.value()) {
     // A reader joins: the writer loses exclusivity but keeps its copy.
-    e.has_owner = false;
+    m.has_owner = false;
   }
   return {};
 }
 
 Directory::AccessOutcome Directory::on_write(ProcId proc, VPage page) {
   REPRO_REQUIRE(proc.value() < num_procs_);
-  Entry& e = slot(page);
-  if (e.sharers == 0) {
+  const std::uint32_t slot = ensure_slot(page);
+  if (!live(slot)) {
     ++tracked_;
   }
-  const std::uint64_t self = 1ULL << proc.value();
+  std::uint64_t* w = words(slot);
+  const std::size_t self_word = proc.value() / 64;
+  const std::uint64_t self_bit = 1ULL << (proc.value() % 64);
   AccessOutcome out;
-  out.invalidate_mask = e.sharers & ~self;
-  e.sharers = self;
-  e.owner = proc.value();
-  e.has_owner = true;
+  out.invalidate_mask = w[0] & (self_word == 0 ? ~self_bit : ~0ULL);
+  if (words_per_entry_ > 1) {
+    for (std::size_t i = 1; i < words_per_entry_; ++i) {
+      scratch_high_[i - 1] = w[i] & (self_word == i ? ~self_bit : ~0ULL);
+    }
+    out.invalidate_high = scratch_high_;
+  }
+  std::fill(w, w + words_per_entry_, 0);
+  w[self_word] = self_bit;
+  meta_[slot].owner = proc.value();
+  meta_[slot].has_owner = true;
   return out;
 }
 
 void Directory::on_evict(ProcId proc, VPage page) {
   REPRO_REQUIRE(proc.value() < num_procs_);
-  if (page.value() >= entries_.size()) {
+  const std::uint32_t slot = find_slot(page);
+  if (slot == kNoSlot || !live(slot)) {
     return;
   }
-  Entry& e = entries_[page.value()];
-  if (e.sharers == 0) {
-    return;
+  words(slot)[proc.value() / 64] &= ~(1ULL << (proc.value() % 64));
+  Meta& m = meta_[slot];
+  if (m.has_owner && m.owner == proc.value()) {
+    m.has_owner = false;
   }
-  e.sharers &= ~(1ULL << proc.value());
-  if (e.has_owner && e.owner == proc.value()) {
-    e.has_owner = false;
-  }
-  if (e.sharers == 0) {
-    e = Entry{};
+  if (!live(slot)) {
+    meta_[slot] = Meta{};
     --tracked_;
+    release_slot(page, slot);
   }
 }
 
 std::uint64_t Directory::digest() const {
   // Slots whose sharer set emptied are reset, so live entries are
   // exactly the behaviourally relevant ones; page order is
-  // deterministic.
+  // deterministic. High words are mixed only on > 64-proc machines,
+  // keeping 16-node digests byte-identical to the single-word layout.
   StateHash hash;
   hash.mix(tracked_);
-  for (std::size_t p = 0; p < entries_.size(); ++p) {
-    const Entry& e = entries_[p];
-    if (e.sharers == 0) {
-      continue;
+  const auto mix_entry = [&](std::uint64_t page, std::uint32_t slot) {
+    const std::uint64_t* w = words(slot);
+    hash.mix(page);
+    hash.mix(w[0]);
+    for (std::size_t i = 1; i < words_per_entry_; ++i) {
+      hash.mix(w[i]);
     }
-    hash.mix(p);
-    hash.mix(e.sharers);
-    hash.mix(e.has_owner ? e.owner + 1ull : 0ull);
+    const Meta& m = meta_[slot];
+    hash.mix(m.has_owner ? m.owner + 1ull : 0ull);
+  };
+  if (sparse_) {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> live_pages;
+    live_pages.reserve(tracked_);
+    index_.for_each([&](std::uint64_t page, std::uint32_t slot) {
+      live_pages.emplace_back(page, slot);
+    });
+    std::sort(live_pages.begin(), live_pages.end());
+    for (const auto& [page, slot] : live_pages) {
+      mix_entry(page, slot);
+    }
+  } else {
+    for (std::size_t p = 0; p < meta_.size(); ++p) {
+      const auto slot = static_cast<std::uint32_t>(p);
+      if (live(slot)) {
+        mix_entry(p, slot);
+      }
+    }
   }
   return hash.value();
 }
 
 std::uint64_t Directory::sharers(VPage page) const {
-  return page.value() < entries_.size() ? entries_[page.value()].sharers
-                                        : 0;
+  const std::uint32_t slot = find_slot(page);
+  return slot == kNoSlot ? 0 : words(slot)[0];
 }
 
 bool Directory::is_exclusive(ProcId proc, VPage page) const {
-  if (page.value() >= entries_.size()) {
+  const std::uint32_t slot = find_slot(page);
+  if (slot == kNoSlot) {
     return false;
   }
-  const Entry& e = entries_[page.value()];
-  return e.has_owner && e.owner == proc.value() &&
-         e.sharers == (1ULL << proc.value());
+  const Meta& m = meta_[slot];
+  if (!m.has_owner || m.owner != proc.value()) {
+    return false;
+  }
+  const std::uint64_t* w = words(slot);
+  for (std::size_t i = 0; i < words_per_entry_; ++i) {
+    const std::uint64_t expected =
+        i == proc.value() / 64 ? 1ULL << (proc.value() % 64) : 0;
+    if (w[i] != expected) {
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace repro::memsys

@@ -6,11 +6,22 @@
 // access to decide which remote copies a write must invalidate; this is
 // what makes page-level false sharing (the paper's FT observation)
 // emerge from access patterns instead of being hard-coded.
+//
+// Sharer sets are multi-word bitmaps (ceil(num_procs / 64) words per
+// entry), so machines beyond 64 processors are representable. Entries
+// live either in a dense array over the virtual page space (indexed
+// load per access; the default at the paper's scale) or in a sparse
+// open-addressed index keyed by page (one hash probe per access; picked
+// for the 128/512-node scale sweeps, where the dense array's
+// O(pages x nodes) footprint is the problem being avoided). Digests are
+// backend-independent: both enumerate live entries in page order.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "repro/common/flat_map.hpp"
 #include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 
@@ -18,13 +29,16 @@ namespace repro::memsys {
 
 class Directory {
  public:
-  /// `num_procs` bounds the sharer bitmask width (<= 64).
-  explicit Directory(std::size_t num_procs);
+  explicit Directory(std::size_t num_procs, bool sparse = false);
 
   struct AccessOutcome {
-    /// Processors whose cached copy must be invalidated (excludes the
-    /// accessor).
+    /// Processors 0..63 whose cached copy must be invalidated (excludes
+    /// the accessor).
     std::uint64_t invalidate_mask = 0;
+    /// Invalidation words for processors >= 64 (word w covers
+    /// processors 64*(w+1)..). Empty on <= 64-proc machines. Points
+    /// into directory-owned scratch: valid until the next on_write.
+    std::span<const std::uint64_t> invalidate_high;
     [[nodiscard]] unsigned invalidations() const;
   };
 
@@ -38,7 +52,8 @@ class Directory {
   /// Removes `proc` from the sharer set (its cache evicted the page).
   void on_evict(ProcId proc, VPage page);
 
-  /// Current sharers of a page (bitmask by processor id).
+  /// Sharers among processors 0..63 (bitmask by processor id); the
+  /// word-0 view is exact on <= 64-proc machines.
   [[nodiscard]] std::uint64_t sharers(VPage page) const;
 
   /// True if `proc` holds the page exclusively (last writer, no other
@@ -48,26 +63,48 @@ class Directory {
   [[nodiscard]] std::size_t tracked_pages() const { return tracked_; }
 
   /// Digest of every live entry (page, sharer set, exclusive owner),
-  /// in page order.
+  /// in page order; identical across backends.
   [[nodiscard]] std::uint64_t digest() const;
 
  private:
-  /// A slot with an empty sharer set is dead (has_owner implies the
-  /// owner is a sharer, so sharers == 0 also means no owner).
-  struct Entry {
-    std::uint64_t sharers = 0;
+  /// Sharer words live in `words_` at slot * words_per_entry_; a slot
+  /// whose words are all zero is dead (has_owner implies the owner is a
+  /// sharer, so an empty set also means no owner).
+  struct Meta {
     /// Valid only when `has_owner`; identifies the exclusive writer.
     std::uint32_t owner = 0;
     bool has_owner = false;
   };
 
-  Entry& slot(VPage page);
+  static constexpr std::uint32_t kNoSlot = UINT32_MAX;
+
+  [[nodiscard]] std::uint64_t* words(std::uint32_t slot) {
+    return &words_[static_cast<std::size_t>(slot) * words_per_entry_];
+  }
+  [[nodiscard]] const std::uint64_t* words(std::uint32_t slot) const {
+    return &words_[static_cast<std::size_t>(slot) * words_per_entry_];
+  }
+  [[nodiscard]] bool live(std::uint32_t slot) const;
+
+  /// Slot of `page`, or kNoSlot when the page has no live entry.
+  [[nodiscard]] std::uint32_t find_slot(VPage page) const;
+  /// Slot of `page`, allocating an empty entry when absent.
+  std::uint32_t ensure_slot(VPage page);
+  /// Releases a slot whose sharer set emptied (sparse reclamation).
+  void release_slot(VPage page, std::uint32_t slot);
 
   std::size_t num_procs_;
-  /// Dense array over the (compact) virtual page space -- the
-  /// directory is consulted on every access, so lookups must be an
-  /// indexed load, not a hash probe.
-  std::vector<Entry> entries_;
+  std::size_t words_per_entry_;
+  bool sparse_;
+
+  std::vector<Meta> meta_;
+  std::vector<std::uint64_t> words_;
+  /// Sparse backend: page -> slot, plus recycled slots.
+  FlatMap<std::uint32_t> index_;
+  std::vector<std::uint32_t> free_slots_;
+  /// Scratch backing AccessOutcome::invalidate_high (reused per write).
+  std::vector<std::uint64_t> scratch_high_;
+
   std::size_t tracked_ = 0;
 };
 

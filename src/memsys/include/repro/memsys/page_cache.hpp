@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "repro/common/flat_map.hpp"
 #include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 
@@ -22,8 +23,14 @@ namespace repro::memsys {
 
 class PageCache {
  public:
-  /// `capacity_pages` == L2 size / page size; must be >= 1.
-  explicit PageCache(std::size_t capacity_pages);
+  /// `capacity_pages` == L2 size / page size; must be >= 1. `sparse`
+  /// swaps the dense page -> slot index (O(max page id), one per
+  /// processor) for an open-addressed map over resident pages only --
+  /// the 512-node scale sweeps would otherwise pay that array 512
+  /// times. The LRU list itself is identical either way, so digests
+  /// (which walk the list in recency order) never depend on the
+  /// backend.
+  explicit PageCache(std::size_t capacity_pages, bool sparse = false);
 
   struct TouchResult {
     bool hit = false;
@@ -34,7 +41,7 @@ class PageCache {
 
   /// True if the page is currently resident (does not touch LRU order).
   [[nodiscard]] bool contains(VPage page) const {
-    return page.value() < where_.size() && where_[page.value()] >= 0;
+    return slot_of(page) >= 0;
   }
 
   /// Makes the page most-recently-used, inserting it if absent.
@@ -75,10 +82,23 @@ class PageCache {
   void unlink(std::int32_t n);
   void push_front(std::int32_t n);
 
+  /// Node index holding `page`, -1 when absent.
+  [[nodiscard]] std::int32_t slot_of(VPage page) const {
+    if (sparse_) {
+      const std::int32_t* slot = index_.find(page.value());
+      return slot == nullptr ? -1 : *slot;
+    }
+    return page.value() < where_.size() ? where_[page.value()] : -1;
+  }
+  void set_slot(VPage page, std::int32_t n);
+  void drop_slot(VPage page);
+
   std::size_t capacity_;
+  bool sparse_;
   std::size_t size_ = 0;
   std::vector<Node> nodes_;           // fixed pool, one per cache slot
-  std::vector<std::int32_t> where_;   // page id -> node index, -1 absent
+  std::vector<std::int32_t> where_;   // dense: page id -> node, -1 absent
+  FlatMap<std::int32_t> index_;       // sparse: resident pages only
   std::int32_t head_ = -1;            // most recent
   std::int32_t tail_ = -1;            // next eviction victim
   std::int32_t free_ = -1;            // free-slot chain through `next`

@@ -1,5 +1,6 @@
 #include "repro/memsys/memory_system.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "repro/common/assert.hpp"
@@ -21,17 +22,18 @@ MemorySystem::MemorySystem(const MachineConfig& config,
       topology_(&topology),
       backend_(&backend),
       latency_(config_, topology),
-      directory_(config_.num_procs()) {
+      directory_(config_.num_procs(), config_.sparse_tables()) {
   config_.validate();
   REPRO_REQUIRE(topology.num_nodes() == config_.num_nodes);
   caches_.reserve(config_.num_procs());
   for (std::size_t p = 0; p < config_.num_procs(); ++p) {
-    caches_.emplace_back(config_.cache_capacity_pages());
+    caches_.emplace_back(config_.cache_capacity_pages(),
+                         config_.sparse_tables());
   }
   if (config_.tlb_entries > 0) {
     tlbs_.reserve(config_.num_procs());
     for (std::size_t p = 0; p < config_.num_procs(); ++p) {
-      tlbs_.emplace_back(config_.tlb_entries);
+      tlbs_.emplace_back(config_.tlb_entries, config_.sparse_tables());
     }
   }
   queues_.reserve(config_.num_nodes);
@@ -73,13 +75,24 @@ MemorySystem::AccessResult MemorySystem::access_impl(Ns now, ProcId proc,
   // (page-grain upgrade), which is how page-level false sharing shows up.
   const Directory::AccessOutcome coherence =
       write ? directory_.on_write(proc, page) : directory_.on_read(proc, page);
-  if (coherence.invalidate_mask != 0) {
-    for (std::uint32_t p = 0; p < config_.num_procs(); ++p) {
+  out.invalidations = coherence.invalidations();
+  if (out.invalidations != 0) {
+    const auto low = static_cast<std::uint32_t>(
+        std::min<std::size_t>(64, config_.num_procs()));
+    for (std::uint32_t p = 0; p < low; ++p) {
       if ((coherence.invalidate_mask >> p) & 1u) {
         caches_[p].invalidate(page);
       }
     }
-    out.invalidations = coherence.invalidations();
+    // Sharer words beyond the first exist only on > 64-proc machines.
+    for (std::size_t w = 0; w < coherence.invalidate_high.size(); ++w) {
+      const std::uint64_t word = coherence.invalidate_high[w];
+      for (std::uint32_t bit = 0; bit < 64; ++bit) {
+        if ((word >> bit) & 1u) {
+          caches_[64 * (w + 1) + bit].invalidate(page);
+        }
+      }
+    }
     stats_[proc.value()].invalidations_sent += out.invalidations;
   }
 
@@ -200,7 +213,7 @@ void MemorySystem::flush_all() {
   for (std::uint32_t p = 0; p < config_.num_procs(); ++p) {
     caches_[p].clear();
   }
-  directory_ = Directory(config_.num_procs());
+  directory_ = Directory(config_.num_procs(), config_.sparse_tables());
   // A flushed machine is fully cold: stale translations would let the
   // next access skip the TLB refill a real post-flush access pays.
   flush_tlbs();

@@ -6,7 +6,8 @@
 
 namespace repro::memsys {
 
-PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {
+PageCache::PageCache(std::size_t capacity_pages, bool sparse)
+    : capacity_(capacity_pages), sparse_(sparse) {
   REPRO_REQUIRE(capacity_pages >= 1);
   REPRO_REQUIRE(capacity_pages <= static_cast<std::size_t>(INT32_MAX));
   nodes_.resize(capacity_pages);
@@ -14,6 +15,26 @@ PageCache::PageCache(std::size_t capacity_pages) : capacity_(capacity_pages) {
     nodes_[i].next = static_cast<std::int32_t>(i + 1);
   }
   free_ = 0;
+}
+
+void PageCache::set_slot(VPage page, std::int32_t n) {
+  if (sparse_) {
+    index_[page.value()] = n;
+    return;
+  }
+  if (page.value() >= where_.size()) {
+    where_.resize(
+        std::max<std::size_t>(page.value() + 1, where_.size() * 2), -1);
+  }
+  where_[page.value()] = n;
+}
+
+void PageCache::drop_slot(VPage page) {
+  if (sparse_) {
+    index_.erase(page.value());
+  } else {
+    where_[page.value()] = -1;
+  }
 }
 
 void PageCache::unlink(std::int32_t n) {
@@ -44,11 +65,7 @@ void PageCache::push_front(std::int32_t n) {
 
 PageCache::TouchResult PageCache::touch(VPage page) {
   TouchResult out;
-  if (page.value() >= where_.size()) {
-    where_.resize(
-        std::max<std::size_t>(page.value() + 1, where_.size() * 2), -1);
-  }
-  const std::int32_t n = where_[page.value()];
+  const std::int32_t n = slot_of(page);
   if (n >= 0) {
     out.hit = true;
     if (n != head_) {
@@ -62,7 +79,7 @@ PageCache::TouchResult PageCache::touch(VPage page) {
     slot = tail_;
     const VPage victim = VPage(nodes_[static_cast<std::size_t>(slot)].page);
     unlink(slot);
-    where_[victim.value()] = -1;
+    drop_slot(victim);
     out.evicted = victim;
   } else {
     slot = free_;
@@ -71,17 +88,17 @@ PageCache::TouchResult PageCache::touch(VPage page) {
   }
   nodes_[static_cast<std::size_t>(slot)].page = page.value();
   push_front(slot);
-  where_[page.value()] = slot;
+  set_slot(page, slot);
   return out;
 }
 
 bool PageCache::invalidate(VPage page) {
-  if (!contains(page)) {
+  const std::int32_t n = slot_of(page);
+  if (n < 0) {
     return false;
   }
-  const std::int32_t n = where_[page.value()];
   unlink(n);
-  where_[page.value()] = -1;
+  drop_slot(page);
   nodes_[static_cast<std::size_t>(n)].next = free_;
   free_ = n;
   --size_;
@@ -91,11 +108,16 @@ bool PageCache::invalidate(VPage page) {
 void PageCache::clear() {
   for (std::int32_t n = head_; n >= 0;) {
     Node& node = nodes_[static_cast<std::size_t>(n)];
-    where_[node.page] = -1;
+    if (!sparse_) {
+      where_[node.page] = -1;
+    }
     const std::int32_t next = node.next;
     node.next = free_;
     free_ = n;
     n = next;
+  }
+  if (sparse_) {
+    index_.clear();
   }
   head_ = -1;
   tail_ = -1;

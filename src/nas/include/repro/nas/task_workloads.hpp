@@ -1,0 +1,141 @@
+// Task-parallel workload family (MGT / CGT).
+//
+// The paper's codes are loop-parallel: every phase is a PARALLEL DO
+// whose iteration->thread map is a static schedule. These two models
+// re-express the MG stencil and the CG sparse matvec as explicit task
+// graphs scheduled by the deterministic work-stealing TaskScheduler
+// (omp/task.hpp) -- the programming model the scale sweeps contrast
+// against static scheduling past 16 nodes:
+//
+//  * MGT -- the MG finest-level stencil decomposed by recursive
+//    bisection over planes into leaf tasks (task-recursive spawning,
+//    the canonical OpenMP-task idiom). A leaf's home thread is the
+//    owner of its planes under the static block partition, so an
+//    unstolen schedule touches exactly the pages static MG would.
+//  * CGT -- the CG matvec decomposed into row-block tasks (several per
+//    thread); vector phases stay block-partitioned like CG, so the two
+//    CG variants differ only in how the dominant phase is scheduled.
+//
+// Both compile through the same RegionCache / Runtime::run path as the
+// loop-parallel models, so the analyzer, advisor, tracer, fault
+// injector and steady-state fast-forward see task regions with no
+// special cases. The schedule is computed once at setup (it is a pure
+// function); every iteration replays it and emits the
+// kTaskSpawn/kTaskSteal protocol events.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "repro/nas/cg.hpp"
+#include "repro/nas/mg.hpp"
+#include "repro/nas/pattern.hpp"
+#include "repro/nas/workload.hpp"
+#include "repro/omp/task.hpp"
+
+namespace repro::nas {
+
+/// Shared tunables of the task decompositions.
+struct TaskFamilyParams {
+  /// Leaf tasks per thread the bisection/blocking aims for (> 1 keeps
+  /// the steal machinery exercised even on balanced inputs).
+  std::uint32_t tasks_per_thread = 4;
+  /// Victim-selection seed of the deterministic work stealer.
+  std::uint64_t steal_seed = 0x9e3779b97f4a7c15ull;
+};
+
+class MgtWorkload final : public Workload {
+ public:
+  MgtWorkload(MgParams mg, TaskFamilyParams task_params,
+              const WorkloadParams& params);
+
+  [[nodiscard]] std::string name() const override { return "MGT"; }
+  [[nodiscard]] std::uint32_t default_iterations() const override {
+    return mg_.default_iterations;
+  }
+  void setup(omp::Machine& machine) override;
+  void register_hot(upm::Upmlib& upm) const override;
+  void cold_start(omp::Machine& machine) override;
+  void iteration(omp::Machine& machine, const IterationContext& ctx,
+                 std::uint32_t step) override;
+  [[nodiscard]] std::uint64_t hot_page_count() const override;
+
+  /// The computed steal schedule of the smoothing wave (tests).
+  [[nodiscard]] const std::vector<omp::TaskAssignment>& smooth_schedule()
+      const {
+    return smooth_assignments_;
+  }
+
+ private:
+  MgParams mg_;
+  TaskFamilyParams task_params_;
+  WorkloadParams params_;
+  PlaneArray u_;
+  PlaneArray r_;
+  RegionCache programs_;
+
+  std::unique_ptr<omp::TaskScheduler> scheduler_;
+  std::vector<omp::TaskDesc> smooth_tasks_;     // u <- smooth(u, r)
+  std::vector<omp::TaskDesc> residual_tasks_;   // r <- residual(u)
+  std::vector<omp::TaskAssignment> smooth_assignments_;
+  std::vector<omp::TaskAssignment> residual_assignments_;
+
+  /// Recursive bisection of planes [begin, end) into leaf tasks.
+  void spawn_stencil_tasks(std::vector<omp::TaskDesc>& tasks,
+                           const PlaneArray& read, const PlaneArray* write,
+                           double ns_per_line, std::size_t num_threads,
+                           std::uint64_t begin, std::uint64_t end,
+                           std::uint64_t leaf_planes,
+                           std::uint32_t lines_per_page);
+  void run_wave(omp::Machine& machine, const std::string& name,
+                std::span<const omp::TaskDesc> tasks,
+                std::span<const omp::TaskAssignment> assignments);
+};
+
+class CgtWorkload final : public Workload {
+ public:
+  CgtWorkload(CgParams cg, TaskFamilyParams task_params,
+              const WorkloadParams& params);
+
+  [[nodiscard]] std::string name() const override { return "CGT"; }
+  [[nodiscard]] std::uint32_t default_iterations() const override {
+    return cg_.default_iterations;
+  }
+  void setup(omp::Machine& machine) override;
+  void register_hot(upm::Upmlib& upm) const override;
+  void cold_start(omp::Machine& machine) override;
+  void iteration(omp::Machine& machine, const IterationContext& ctx,
+                 std::uint32_t step) override;
+  [[nodiscard]] std::uint64_t hot_page_count() const override;
+
+  [[nodiscard]] const std::vector<omp::TaskAssignment>& matvec_schedule()
+      const {
+    return matvec_assignments_;
+  }
+
+ private:
+  CgParams cg_;
+  TaskFamilyParams task_params_;
+  WorkloadParams params_;
+  vm::PageRange a_;
+  vm::PageRange p_;
+  vm::PageRange q_;
+  vm::PageRange r_;
+  vm::PageRange x_;
+  RegionCache programs_;
+
+  std::unique_ptr<omp::TaskScheduler> scheduler_;
+  std::vector<omp::TaskDesc> matvec_tasks_;
+  std::vector<omp::TaskAssignment> matvec_assignments_;
+
+  void phase_matvec(omp::Machine& machine);
+  void phase_vector_ops(omp::Machine& machine);
+  void phase_p_update(omp::Machine& machine);
+};
+
+/// The task-family benchmark names ("MGT", "CGT"). Not part of
+/// workload_names(): the paper's Table-2/3 grids -- and the golden
+/// trace set -- stay the five loop-parallel codes.
+[[nodiscard]] const std::vector<std::string>& task_workload_names();
+
+}  // namespace repro::nas

@@ -1,0 +1,336 @@
+#include "repro/nas/task_workloads.hpp"
+
+#include <algorithm>
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/schedule.hpp"
+
+namespace repro::nas {
+namespace {
+
+/// Home node of every team thread under the machine's 1:1 binding
+/// (proc p lives on node p / procs_per_node).
+std::vector<NodeId> team_nodes(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::size_t per_node = machine.config().procs_per_node;
+  std::vector<NodeId> nodes;
+  nodes.reserve(rt.num_threads());
+  for (std::size_t t = 0; t < rt.num_threads(); ++t) {
+    const std::size_t proc =
+        rt.proc_of(ThreadId(static_cast<std::uint32_t>(t))).value();
+    nodes.push_back(NodeId(static_cast<std::uint32_t>(proc / per_node)));
+  }
+  return nodes;
+}
+
+/// Owner of iteration `i` under the static block partition -- the
+/// thread whose data a task touches, hence its home deque.
+ThreadId block_owner(std::uint64_t i, std::size_t num_threads,
+                     std::uint64_t n) {
+  return omp::Schedule::make_static().owner_of(i, num_threads, n);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- MGT
+
+MgtWorkload::MgtWorkload(MgParams mg, TaskFamilyParams task_params,
+                         const WorkloadParams& params)
+    : mg_(mg), task_params_(task_params), params_(params) {
+  REPRO_REQUIRE(task_params_.tasks_per_thread >= 1);
+  if (params_.size_scale != 1.0) {
+    mg_.finest_planes = std::max<std::uint64_t>(
+        4, static_cast<std::uint64_t>(
+               static_cast<double>(mg_.finest_planes) * params_.size_scale));
+  }
+  if (params_.serial_init_fraction >= 0.0) {
+    mg_.serial_init_fraction = params_.serial_init_fraction;
+  }
+}
+
+void MgtWorkload::setup(omp::Machine& machine) {
+  vm::AddressSpace& space = machine.address_space();
+  u_ = alloc_plane_array(space, "MGT.u", mg_.finest_planes,
+                         mg_.finest_pages_per_plane);
+  r_ = alloc_plane_array(space, "MGT.r", mg_.finest_planes,
+                         mg_.finest_pages_per_plane);
+
+  omp::Runtime& rt = machine.runtime();
+  const std::size_t threads = rt.num_threads();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  scheduler_ = std::make_unique<omp::TaskScheduler>(
+      machine.topology(), team_nodes(machine), task_params_.steal_seed);
+
+  // Recursive bisection down to ~tasks_per_thread leaves per thread.
+  const std::uint64_t leaf_planes = std::max<std::uint64_t>(
+      1, u_.planes / (static_cast<std::uint64_t>(threads) *
+                      task_params_.tasks_per_thread));
+  smooth_tasks_.clear();
+  residual_tasks_.clear();
+  spawn_stencil_tasks(residual_tasks_, u_, &r_, mg_.smooth_ns_per_line,
+                      threads, 0, u_.planes, leaf_planes, lpp);
+  spawn_stencil_tasks(smooth_tasks_, r_, &u_, mg_.smooth_ns_per_line,
+                      threads, 0, r_.planes, leaf_planes, lpp);
+  residual_assignments_ = scheduler_->schedule(residual_tasks_);
+  smooth_assignments_ = scheduler_->schedule(smooth_tasks_);
+}
+
+void MgtWorkload::spawn_stencil_tasks(
+    std::vector<omp::TaskDesc>& tasks, const PlaneArray& read,
+    const PlaneArray* write, double ns_per_line, std::size_t num_threads,
+    std::uint64_t begin, std::uint64_t end, std::uint64_t leaf_planes,
+    std::uint32_t lines_per_page) {
+  if (end - begin > leaf_planes) {
+    // Spawn order is the task-recursive order of the equivalent OpenMP
+    // code: the left half's whole subtree, then the right half's.
+    const std::uint64_t mid = begin + (end - begin) / 2;
+    spawn_stencil_tasks(tasks, read, write, ns_per_line, num_threads, begin,
+                        mid, leaf_planes, lines_per_page);
+    spawn_stencil_tasks(tasks, read, write, ns_per_line, num_threads, mid,
+                        end, leaf_planes, lines_per_page);
+    return;
+  }
+  omp::TaskDesc task;
+  task.home = block_owner(begin, num_threads, read.planes);
+  task.estimate = static_cast<Ns>(
+      static_cast<double>((end - begin) * read.lines_per_plane(
+                                              lines_per_page)) *
+      ns_per_line);
+  const MgParams mg = mg_;  // capture the params, not `this`
+  const PlaneArray rd = read;
+  task.body = [rd, write_arr = write == nullptr ? PlaneArray{} : *write,
+               has_write = write != nullptr, begin, end, ns_per_line, mg,
+               lines_per_page](ThreadId executor,
+                               sim::RegionBuilder& region) {
+    const Emit e{region, executor, lines_per_page};
+    e.sweep_planes(rd, begin, end, /*write=*/false, ns_per_line,
+                   /*stream=*/true);
+    if (has_write) {
+      e.sweep_planes(write_arr, begin, end, /*write=*/true,
+                     ns_per_line * 0.5, /*stream=*/true);
+    }
+    // Ghost planes at the leaf boundaries, as in the loop-parallel
+    // stencil: the stencil reads one neighbouring plane on each side.
+    if (begin > 0) {
+      for (std::uint64_t i = 0; i < rd.pages_per_plane; ++i) {
+        region.access(executor, rd.page_at(begin - 1, i), mg.boundary_lines,
+                      /*write=*/false);
+      }
+    }
+    if (end < rd.planes) {
+      for (std::uint64_t i = 0; i < rd.pages_per_plane; ++i) {
+        region.access(executor, rd.page_at(end, i), mg.boundary_lines,
+                      /*write=*/false);
+      }
+    }
+  };
+  tasks.push_back(std::move(task));
+}
+
+void MgtWorkload::run_wave(omp::Machine& machine, const std::string& name,
+                           std::span<const omp::TaskDesc> tasks,
+                           std::span<const omp::TaskAssignment> assignments) {
+  omp::Runtime& rt = machine.runtime();
+  const sim::RegionProgram& program = programs_.get(
+      name, rt.num_threads(), [&](sim::RegionBuilder& region) {
+        omp::build_task_region(region, assignments, tasks);
+      });
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    omp::emit_task_events(rt, assignments, tasks);
+    rt.run(name, program);
+  }
+}
+
+void MgtWorkload::register_hot(upm::Upmlib& upm) const {
+  upm.memrefcnt(u_.range);
+  upm.memrefcnt(r_.range);
+}
+
+std::uint64_t MgtWorkload::hot_page_count() const {
+  return u_.total_pages() + r_.total_pages();
+}
+
+void MgtWorkload::cold_start(omp::Machine& machine) {
+  master_fault_scattered(machine, u_.range, mg_.serial_init_fraction);
+  master_fault_scattered(machine, r_.range, mg_.serial_init_fraction);
+  iteration(machine, IterationContext{}, 0);
+}
+
+void MgtWorkload::iteration(omp::Machine& machine,
+                            const IterationContext& /*ctx*/,
+                            std::uint32_t /*step*/) {
+  run_wave(machine, "MGT.residual", residual_tasks_, residual_assignments_);
+  for (std::uint32_t s = 0; s < mg_.smooth_passes; ++s) {
+    run_wave(machine, "MGT.smooth", smooth_tasks_, smooth_assignments_);
+  }
+}
+
+// ---------------------------------------------------------------- CGT
+
+CgtWorkload::CgtWorkload(CgParams cg, TaskFamilyParams task_params,
+                         const WorkloadParams& params)
+    : cg_(cg), task_params_(task_params), params_(params) {
+  REPRO_REQUIRE(task_params_.tasks_per_thread >= 1);
+  if (params_.size_scale != 1.0) {
+    cg_.a_pages = std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(static_cast<double>(cg_.a_pages) *
+                                       params_.size_scale));
+  }
+  if (params_.serial_init_fraction >= 0.0) {
+    cg_.serial_init_fraction = params_.serial_init_fraction;
+  }
+}
+
+void CgtWorkload::setup(omp::Machine& machine) {
+  vm::AddressSpace& space = machine.address_space();
+  a_ = space.allocate_pages("CGT.a", cg_.a_pages);
+  p_ = space.allocate_pages("CGT.p", cg_.vec_pages);
+  q_ = space.allocate_pages("CGT.q", cg_.vec_pages);
+  r_ = space.allocate_pages("CGT.r", cg_.vec_pages);
+  x_ = space.allocate_pages("CGT.x", cg_.vec_pages);
+
+  omp::Runtime& rt = machine.runtime();
+  const std::size_t threads = rt.num_threads();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  scheduler_ = std::make_unique<omp::TaskScheduler>(
+      machine.topology(), team_nodes(machine), task_params_.steal_seed);
+
+  // One matvec task per row block, tasks_per_thread blocks per thread,
+  // spawned in row order. Block b's home is the owner of its rows under
+  // the solver's static partition, so an unstolen schedule reproduces
+  // CG.matvec exactly.
+  const std::uint64_t num_blocks =
+      std::min<std::uint64_t>(a_.count, static_cast<std::uint64_t>(threads) *
+                                            task_params_.tasks_per_thread);
+  const std::uint32_t gather_lines = std::max<std::uint32_t>(
+      1, cg_.gather_lines / task_params_.tasks_per_thread);
+  matvec_tasks_.clear();
+  for (std::uint64_t b = 0; b < num_blocks; ++b) {
+    const auto rows = omp::static_block(
+        ThreadId(static_cast<std::uint32_t>(b)),
+        static_cast<std::size_t>(num_blocks), a_.count);
+    const auto slice = omp::static_block(
+        ThreadId(static_cast<std::uint32_t>(b)),
+        static_cast<std::size_t>(num_blocks), q_.count);
+    omp::TaskDesc task;
+    task.home = block_owner(rows.begin, threads, a_.count);
+    task.estimate = static_cast<Ns>(
+        static_cast<double>(rows.size() * lpp) * cg_.matvec_ns_per_line);
+    const CgParams cg = cg_;  // capture params, not `this`
+    task.body = [a = a_, p = p_, q = q_, rows, slice, gather_lines, cg,
+                 lpp](ThreadId executor, sim::RegionBuilder& region) {
+      const Emit e{region, executor, lpp};
+      // Stream the row block of A; gather the block's share of p; write
+      // the matching slice of q.
+      e.sweep_range(a, rows.begin, rows.end, /*write=*/false,
+                    cg.matvec_ns_per_line, /*stream=*/true);
+      e.gather(p, gather_lines, /*write=*/false, cg.matvec_ns_per_line * 0.5);
+      e.sweep_range(q, slice.begin, slice.end, /*write=*/true,
+                    cg.vec_ns_per_line, /*stream=*/true);
+    };
+    matvec_tasks_.push_back(std::move(task));
+  }
+  matvec_assignments_ = scheduler_->schedule(matvec_tasks_);
+}
+
+void CgtWorkload::register_hot(upm::Upmlib& upm) const {
+  upm.memrefcnt(a_);
+  upm.memrefcnt(p_);
+  upm.memrefcnt(q_);
+  upm.memrefcnt(r_);
+  upm.memrefcnt(x_);
+}
+
+std::uint64_t CgtWorkload::hot_page_count() const {
+  return a_.count + 4 * cg_.vec_pages;
+}
+
+void CgtWorkload::cold_start(omp::Machine& machine) {
+  master_fault_scattered(machine, a_, cg_.serial_init_fraction);
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  sim::RegionBuilder region = rt.make_region();
+  for (std::uint32_t t = 0; t < threads; ++t) {
+    const Emit e{region, ThreadId(t), lpp};
+    const auto slice = omp::static_block(ThreadId(t), threads, p_.count);
+    for (const vm::PageRange* vec : {&p_, &q_, &r_, &x_}) {
+      e.sweep_range(*vec, slice.begin, slice.end, /*write=*/true,
+                    cg_.vec_ns_per_line);
+    }
+  }
+  rt.run("CGT.init", std::move(region));
+  iteration(machine, IterationContext{}, 0);
+}
+
+void CgtWorkload::phase_matvec(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const sim::RegionProgram& program = programs_.get(
+      "CGT.matvec", rt.num_threads(), [&](sim::RegionBuilder& region) {
+        omp::build_task_region(region, matvec_assignments_, matvec_tasks_);
+      });
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    omp::emit_task_events(rt, matvec_assignments_, matvec_tasks_);
+    rt.run("CGT.matvec", program);
+  }
+}
+
+void CgtWorkload::phase_vector_ops(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "CGT.vector_ops", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto slice =
+              omp::static_block(ThreadId(t), threads, q_.count);
+          e.sweep_range(q_, slice.begin, slice.end, /*write=*/false,
+                        cg_.vec_ns_per_line);
+          e.sweep_range(x_, slice.begin, slice.end, /*write=*/true,
+                        cg_.vec_ns_per_line);
+          e.sweep_range(r_, slice.begin, slice.end, /*write=*/true,
+                        cg_.vec_ns_per_line);
+        }
+      });
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    rt.run("CGT.vector_ops", program);
+    rt.advance(2 * 4 * 200);  // the two dot-product reductions
+  }
+}
+
+void CgtWorkload::phase_p_update(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "CGT.p_update", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          const auto slice =
+              omp::static_block(ThreadId(t), threads, p_.count);
+          e.sweep_range(r_, slice.begin, slice.end, /*write=*/false,
+                        cg_.vec_ns_per_line);
+          e.sweep_range(p_, slice.begin, slice.end, /*write=*/true,
+                        cg_.vec_ns_per_line);
+        }
+      });
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    rt.run("CGT.p_update", program);
+  }
+}
+
+void CgtWorkload::iteration(omp::Machine& machine,
+                            const IterationContext& /*ctx*/,
+                            std::uint32_t /*step*/) {
+  phase_matvec(machine);
+  phase_vector_ops(machine);
+  phase_p_update(machine);
+}
+
+const std::vector<std::string>& task_workload_names() {
+  static const std::vector<std::string> names = {"MGT", "CGT"};
+  return names;
+}
+
+}  // namespace repro::nas

@@ -8,6 +8,7 @@
 #include "repro/nas/ft.hpp"
 #include "repro/nas/mg.hpp"
 #include "repro/nas/pattern.hpp"
+#include "repro/nas/task_workloads.hpp"
 
 namespace repro::nas {
 
@@ -71,6 +72,16 @@ std::unique_ptr<Workload> make_workload(const std::string& name,
   }
   if (name == "FT") {
     return std::make_unique<FtWorkload>(FtParams{}, params);
+  }
+  // Task-parallel variants (not in workload_names(): the Table-2/3 and
+  // golden-trace grids stay the five loop-parallel codes).
+  if (name == "MGT") {
+    return std::make_unique<MgtWorkload>(MgParams{}, TaskFamilyParams{},
+                                         params);
+  }
+  if (name == "CGT") {
+    return std::make_unique<CgtWorkload>(CgParams{}, TaskFamilyParams{},
+                                         params);
   }
   REPRO_UNREACHABLE("unknown benchmark name");
 }

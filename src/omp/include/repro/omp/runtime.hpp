@@ -125,6 +125,12 @@ class Runtime {
     memsys_lane_ = memsys_lane;
   }
 
+  /// The attached sink and runtime lane (null when tracing is off);
+  /// lets cooperating layers (the task scheduler) emit their protocol
+  /// events on the same lane as the region machinery.
+  [[nodiscard]] trace::TraceSink* trace_sink() const { return trace_; }
+  [[nodiscard]] std::uint16_t trace_lane() const { return trace_lane_; }
+
   /// Attaches the fault injector's preemption hook: a fired fault
   /// stretches one thread's region time past the computed join (null
   /// to detach). The injector must outlive the runtime.

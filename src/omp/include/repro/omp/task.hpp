@@ -1,0 +1,118 @@
+// Deterministic task parallelism over the simulated machine.
+//
+// OpenMP 3.0-style explicit tasks, modelled the only way a reproducible
+// simulator can: the work-stealing schedule is a *pure function* of
+// (task list, seed, topology, thread binding), computed up front, and
+// the chosen assignment is then compiled into ordinary per-thread
+// RegionPrograms and executed through Runtime::run. Every downstream
+// consumer -- region inspector, static advisor, tracer, fault injector,
+// steady-state fast-forward -- sees task regions exactly like
+// parallel_for regions, and the schedule is byte-identical across
+// reruns and across the harness's --jobs counts (which only parallelize
+// independent sweep cells on the host).
+//
+// The scheduler simulates per-thread work-stealing deques: a thread
+// pops its own deque LIFO (newest first, the Cilk convention) and
+// steals FIFO (oldest first) when empty. Victim selection is
+// locality-aware: candidate victims are grouped by hop distance from
+// the thief's node, nearest group first, and the starting position
+// inside a group is a hash of (seed, thief, steal counter) -- randomized
+// enough to spread contention, yet fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+#include "repro/omp/runtime.hpp"
+#include "repro/sim/region.hpp"
+#include "repro/topology/topology.hpp"
+
+namespace repro::omp {
+
+/// One explicit task of a single spawn wave.
+struct TaskDesc {
+  /// Deque the task is spawned onto (locality hint: the thread whose
+  /// data the task touches; work-stealing moves it only when that
+  /// thread is saturated).
+  ThreadId home;
+  /// Spawner's duration estimate, used as the scheduler's virtual-clock
+  /// increment (values < 1 count as 1). Only relative magnitudes
+  /// matter.
+  Ns estimate = 1;
+  /// Appends the task's ops to `builder` for the executing thread.
+  std::function<void(ThreadId executor, sim::RegionBuilder& builder)> body;
+};
+
+/// Where one task ended up, in global execution order.
+struct TaskAssignment {
+  std::uint32_t task = 0;  ///< index into the spawn-order task list
+  ThreadId executor;
+  /// Set when the executor took the task from another thread's deque.
+  bool stolen = false;
+  ThreadId victim;               ///< deque it was taken from (== executor
+                                 ///< when not stolen)
+  std::uint64_t steal_count = 0; ///< thief's steal-order position
+};
+
+class TaskScheduler {
+ public:
+  /// `thread_nodes[t]` is the home node of thread t (the thief's
+  /// distance metric); `seed` perturbs victim-scan starting points.
+  TaskScheduler(const topo::Topology& topology,
+                std::vector<NodeId> thread_nodes, std::uint64_t seed);
+
+  /// Computes the complete execution schedule for one spawn wave.
+  /// Pure: identical inputs yield an identical assignment sequence on
+  /// every host, run and --jobs count.
+  [[nodiscard]] std::vector<TaskAssignment> schedule(
+      std::span<const TaskDesc> tasks) const;
+
+  [[nodiscard]] std::size_t num_threads() const {
+    return thread_nodes_.size();
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Victim scan order for `thief`: threads grouped by hop distance
+  /// from the thief's node, nearest group first, ids ascending inside a
+  /// group (exposed for tests; the per-steal hash only rotates the
+  /// starting offset within each group).
+  [[nodiscard]] const std::vector<std::vector<std::uint32_t>>& victim_groups(
+      ThreadId thief) const;
+
+ private:
+  std::vector<NodeId> thread_nodes_;
+  std::uint64_t seed_;
+  /// [thief][group][rank] -> victim thread id.
+  std::vector<std::vector<std::vector<std::uint32_t>>> groups_;
+};
+
+/// Compiles `assignments` into per-thread op streams: each executor's
+/// tasks are appended in its execution order. The builder must come
+/// from Runtime::make_region() (team-sized).
+void build_task_region(sim::RegionBuilder& builder,
+                       std::span<const TaskAssignment> assignments,
+                       std::span<const TaskDesc> tasks);
+
+/// Emits the task-protocol trace events at the runtime's current time:
+/// one kTaskSpawn per task (spawn order) and one kTaskSteal per stolen
+/// assignment (execution order). No-op when tracing is off. Call once
+/// per executed task region, right before Runtime::run, so every
+/// iteration's trace shows its schedule like barriers show joins.
+void emit_task_events(Runtime& rt, std::span<const TaskAssignment> assignments,
+                      std::span<const TaskDesc> tasks);
+
+/// Convenience single-shot path: schedule, trace, compile and run
+/// `tasks` as one parallel region named `name`. Workloads that run the
+/// same task wave every iteration should instead cache the schedule and
+/// compiled program themselves (both are pure) and call
+/// emit_task_events + Runtime::run per iteration.
+sim::RegionResult run_tasks(Runtime& rt, const TaskScheduler& scheduler,
+                            const std::string& name,
+                            std::span<const TaskDesc> tasks);
+
+}  // namespace repro::omp

@@ -1,5 +1,8 @@
 #include "repro/omp/machine.hpp"
 
+#include <stdexcept>
+#include <string>
+
 #include "repro/common/assert.hpp"
 #include "repro/vm/placement.hpp"
 
@@ -11,7 +14,19 @@ std::unique_ptr<Machine> Machine::create(
   // make_unique cannot reach the private constructor.
   auto machine = std::unique_ptr<Machine>(new Machine());
   machine->config_ = config;
-  machine->topology_ = topo::make_topology(config.topology, config.num_nodes);
+  // Normalize the spec first so count-suffixed forms ("fat-hypercube:16",
+  // "ring:8") and labeled hierarchies work anywhere a MachineConfig is
+  // built; a count that disagrees with num_nodes is a configuration
+  // error, reported as such rather than tripping a contract downstream.
+  const topo::ParsedTopology parsed =
+      topo::parse_topology(config.topology, config.num_nodes);
+  if (parsed.num_nodes != config.num_nodes) {
+    throw std::invalid_argument(
+        "topology \"" + config.topology + "\" has " +
+        std::to_string(parsed.num_nodes) + " nodes but the machine has " +
+        std::to_string(config.num_nodes));
+  }
+  machine->topology_ = topo::make_topology(parsed.name, parsed.num_nodes);
   machine->kernel_ =
       std::make_unique<os::Kernel>(config, *machine->topology_);
   machine->memory_ = std::make_unique<memsys::MemorySystem>(

@@ -1,0 +1,188 @@
+#include "repro/omp/task.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <map>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/hash.hpp"
+#include "repro/trace/event.hpp"
+
+namespace repro::omp {
+
+TaskScheduler::TaskScheduler(const topo::Topology& topology,
+                             std::vector<NodeId> thread_nodes,
+                             std::uint64_t seed)
+    : thread_nodes_(std::move(thread_nodes)), seed_(seed) {
+  REPRO_REQUIRE(!thread_nodes_.empty());
+  for (const NodeId node : thread_nodes_) {
+    REPRO_REQUIRE(node.value() < topology.num_nodes());
+  }
+  // Precompute every thief's victim scan order. Group victims by hop
+  // distance ascending (nearest-in-hierarchy first); inside a group,
+  // thread ids ascending. std::map iterates keys in sorted order, which
+  // is exactly the group order we want.
+  const std::size_t num_threads = thread_nodes_.size();
+  groups_.resize(num_threads);
+  for (std::uint32_t thief = 0; thief < num_threads; ++thief) {
+    std::map<unsigned, std::vector<std::uint32_t>> by_hops;
+    for (std::uint32_t victim = 0; victim < num_threads; ++victim) {
+      if (victim == thief) {
+        continue;
+      }
+      by_hops[topology.hops(thread_nodes_[thief], thread_nodes_[victim])]
+          .push_back(victim);
+    }
+    groups_[thief].reserve(by_hops.size());
+    for (auto& [hops, members] : by_hops) {
+      groups_[thief].push_back(std::move(members));
+    }
+  }
+}
+
+const std::vector<std::vector<std::uint32_t>>& TaskScheduler::victim_groups(
+    ThreadId thief) const {
+  REPRO_REQUIRE(thief.value() < groups_.size());
+  return groups_[thief.value()];
+}
+
+std::vector<TaskAssignment> TaskScheduler::schedule(
+    std::span<const TaskDesc> tasks) const {
+  const std::size_t num_threads = thread_nodes_.size();
+  std::vector<std::deque<std::uint32_t>> deques(num_threads);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    REPRO_REQUIRE_MSG(tasks[i].home.value() < num_threads,
+                      "task home beyond the team");
+    deques[tasks[i].home.value()].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  constexpr Ns kParked = std::numeric_limits<Ns>::max();
+  std::vector<Ns> clock(num_threads, 0);
+  std::vector<std::uint64_t> steals(num_threads, 0);
+  std::vector<TaskAssignment> out;
+  out.reserve(tasks.size());
+
+  std::size_t remaining = tasks.size();
+  while (remaining > 0) {
+    // The thread whose virtual clock is earliest acts next (lowest id
+    // breaks ties): a deterministic stand-in for "the first thread to
+    // finish its current task".
+    std::uint32_t actor = 0;
+    Ns best = kParked;
+    for (std::uint32_t t = 0; t < num_threads; ++t) {
+      if (clock[t] < best) {
+        best = clock[t];
+        actor = t;
+      }
+    }
+    REPRO_REQUIRE_MSG(best != kParked,
+                      "tasks remain but every thread parked");
+
+    TaskAssignment a;
+    a.executor = ThreadId(actor);
+    if (!deques[actor].empty()) {
+      // Own work: LIFO (newest first), the locality-friendly order.
+      a.task = deques[actor].back();
+      deques[actor].pop_back();
+      a.victim = ThreadId(actor);
+    } else {
+      // Steal: scan victim groups nearest-first; the starting offset
+      // inside each group is a pure hash of (seed, thief, steal
+      // counter), so the scan is spread but replayable.
+      const std::uint32_t* found = nullptr;
+      std::uint32_t victim = 0;
+      for (const std::vector<std::uint32_t>& group : groups_[actor]) {
+        const std::size_t offset = static_cast<std::size_t>(
+            avalanche64(seed_ ^ (static_cast<std::uint64_t>(actor) << 32) ^
+                        steals[actor]) %
+            group.size());
+        for (std::size_t j = 0; j < group.size(); ++j) {
+          const std::uint32_t v = group[(offset + j) % group.size()];
+          if (!deques[v].empty()) {
+            victim = v;
+            found = &group[(offset + j) % group.size()];
+            break;
+          }
+        }
+        if (found != nullptr) {
+          break;
+        }
+      }
+      if (found == nullptr) {
+        // Nothing anywhere to steal: this thread is done for the wave.
+        clock[actor] = kParked;
+        continue;
+      }
+      // FIFO from the victim: the oldest task is the one the victim is
+      // least likely to touch soon (and the largest in recursive
+      // decompositions).
+      a.task = deques[victim].front();
+      deques[victim].pop_front();
+      a.stolen = true;
+      a.victim = ThreadId(victim);
+      a.steal_count = steals[actor]++;
+    }
+    clock[actor] += std::max<Ns>(1, tasks[a.task].estimate);
+    out.push_back(a);
+    --remaining;
+  }
+  return out;
+}
+
+void build_task_region(sim::RegionBuilder& builder,
+                       std::span<const TaskAssignment> assignments,
+                       std::span<const TaskDesc> tasks) {
+  for (const TaskAssignment& a : assignments) {
+    REPRO_REQUIRE(a.task < tasks.size());
+    REPRO_REQUIRE(tasks[a.task].body != nullptr);
+    tasks[a.task].body(a.executor, builder);
+  }
+}
+
+void emit_task_events(Runtime& rt,
+                      std::span<const TaskAssignment> assignments,
+                      std::span<const TaskDesc> tasks) {
+  trace::TraceSink* sink = rt.trace_sink();
+  if (sink == nullptr) {
+    return;
+  }
+  const std::uint16_t lane = rt.trace_lane();
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kTaskSpawn;
+    ev.time = rt.now();
+    ev.node = static_cast<std::int32_t>(tasks[i].home.value());
+    ev.a = i;
+    ev.b = static_cast<std::uint64_t>(std::max<Ns>(1, tasks[i].estimate));
+    sink->emit(lane, ev);
+  }
+  for (const TaskAssignment& a : assignments) {
+    if (!a.stolen) {
+      continue;
+    }
+    trace::TraceEvent ev;
+    ev.kind = trace::EventKind::kTaskSteal;
+    ev.time = rt.now();
+    ev.node = static_cast<std::int32_t>(a.executor.value());
+    ev.dst = static_cast<std::int32_t>(a.executor.value());
+    ev.src = static_cast<std::int32_t>(a.victim.value());
+    ev.a = a.task;
+    ev.b = a.steal_count;
+    sink->emit(lane, ev);
+  }
+}
+
+sim::RegionResult run_tasks(Runtime& rt, const TaskScheduler& scheduler,
+                            const std::string& name,
+                            std::span<const TaskDesc> tasks) {
+  REPRO_REQUIRE_MSG(scheduler.num_threads() == rt.num_threads(),
+                    "scheduler sized for a different team");
+  const std::vector<TaskAssignment> assignments = scheduler.schedule(tasks);
+  sim::RegionBuilder builder = rt.make_region();
+  build_task_region(builder, assignments, tasks);
+  emit_task_events(rt, assignments, tasks);
+  return rt.run(name, std::move(builder));
+}
+
+}  // namespace repro::omp

@@ -5,12 +5,14 @@
 // model needs from the topology is only the *hop distance* between the
 // node issuing a memory access and the node homing the page, because the
 // latency ladder (paper Table 1) is indexed by hops. Ring and crossbar
-// variants exist for the ablation benches.
+// variants exist for the ablation benches; the hierarchical tree models
+// modern socket/die/node machines for the scale sweeps.
 #pragma once
 
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "repro/common/strong_id.hpp"
 
@@ -39,7 +41,8 @@ class Topology {
 /// range of the paper's 16-node system (8 routers, dimension 3).
 class FatHypercube final : public Topology {
  public:
-  /// `num_nodes` must be a power of two and at least 2.
+  /// Throws std::invalid_argument unless `num_nodes` is a power of two
+  /// and at least 2 (configuration input, not a programming error).
   explicit FatHypercube(std::size_t num_nodes);
 
   [[nodiscard]] std::size_t num_nodes() const override { return num_nodes_; }
@@ -63,6 +66,7 @@ class FatHypercube final : public Topology {
 /// cost of bad placement).
 class Ring final : public Topology {
  public:
+  /// Throws std::invalid_argument when `num_nodes` < 2.
   explicit Ring(std::size_t num_nodes);
 
   [[nodiscard]] std::size_t num_nodes() const override { return num_nodes_; }
@@ -79,6 +83,7 @@ class Ring final : public Topology {
 /// latency model while keeping the local/remote split.
 class Crossbar final : public Topology {
  public:
+  /// Throws std::invalid_argument when `num_nodes` < 2.
   explicit Crossbar(std::size_t num_nodes);
 
   [[nodiscard]] std::size_t num_nodes() const override { return num_nodes_; }
@@ -90,7 +95,82 @@ class Crossbar final : public Topology {
   std::size_t num_nodes_;
 };
 
-/// Factory by name ("fat-hypercube", "ring", "crossbar").
+/// Hierarchical machine tree (e.g. sockets=8, dies=2, nodes=4 -> 64
+/// logical nodes). Leaves are the logical nodes; levels are declared
+/// outermost first, and leaf ids enumerate the tree in level order
+/// (node id = ((socket * dies) + die) * nodes + node for the example).
+///
+/// The distance between two leaves is the sum of the per-level hop
+/// costs along the path from their lowest common ancestor's level down
+/// to the leaves: two nodes sharing every level but the innermost are
+/// one innermost-crossing apart, while nodes in different outermost
+/// groups pay every level's cost. With the default cost of 1 per level
+/// this yields distances 1..num_levels(), a direct generalization of
+/// the fat hypercube's 1..3 ladder.
+class HierarchicalTopology final : public Topology {
+ public:
+  struct Level {
+    /// Children per tree vertex at this level (>= 2).
+    std::size_t arity = 0;
+    /// Hop cost of crossing this level's boundary (>= 1).
+    unsigned hop_cost = 1;
+  };
+
+  /// Levels are outermost first. Throws std::invalid_argument unless
+  /// there is at least one level, every arity is >= 2 and every hop
+  /// cost is >= 1.
+  explicit HierarchicalTopology(std::vector<Level> levels);
+
+  [[nodiscard]] std::size_t num_nodes() const override { return num_nodes_; }
+  [[nodiscard]] unsigned hops(NodeId a, NodeId b) const override;
+  [[nodiscard]] unsigned max_hops() const override;
+  /// Canonical spec: "hier:8x2x4", with "@c0,c1,..." appended when any
+  /// hop cost differs from 1 (round-trips through parse_topology).
+  [[nodiscard]] std::string name() const override;
+
+  [[nodiscard]] std::size_t num_levels() const { return levels_.size(); }
+  [[nodiscard]] const std::vector<Level>& levels() const { return levels_; }
+
+  /// Depth of the lowest common ancestor of two leaves: 0 when they
+  /// differ already in the outermost level, num_levels() when a == b.
+  [[nodiscard]] std::size_t lca_depth(NodeId a, NodeId b) const;
+
+ private:
+  std::vector<Level> levels_;
+  /// Leaves per subtree rooted at each level (stride of that level's
+  /// coordinate in the leaf id).
+  std::vector<std::size_t> stride_;
+  /// cost_from_[k] = sum of hop costs of levels k..last: the distance
+  /// between leaves whose first differing level is k.
+  std::vector<unsigned> cost_from_;
+  std::size_t num_nodes_ = 0;
+};
+
+/// A parsed --topology specification: the canonical name to store in
+/// MachineConfig::topology (accepted by make_topology) plus the node
+/// count the spec implies.
+struct ParsedTopology {
+  std::string name;
+  std::size_t num_nodes = 0;
+};
+
+/// Parses a --topology string. Grammar:
+///
+///   fat-hypercube[:N] | ring[:N] | crossbar[:N]
+///     | hier:A x B x ... [@c0,c1,...]
+///     | hier:label=A,label=B,... [@c0,c1,...]
+///
+/// Flat topologies without ":N" keep `default_nodes`. A hier spec's
+/// node count is the product of its arities; labels (e.g.
+/// "sockets=8,dies=2,nodes=4") are documentation only and normalize to
+/// the numeric form. Throws std::invalid_argument with a one-line
+/// message on any malformed spec, so CLI flags fail fast.
+[[nodiscard]] ParsedTopology parse_topology(const std::string& spec,
+                                            std::size_t default_nodes);
+
+/// Factory by canonical name ("fat-hypercube", "ring", "crossbar", or a
+/// full "hier:..." spec whose arity product must equal `num_nodes`).
+/// Throws std::invalid_argument on unknown names and invalid sizes.
 [[nodiscard]] std::unique_ptr<Topology> make_topology(const std::string& name,
                                                       std::size_t num_nodes);
 

@@ -1,6 +1,8 @@
 #include "repro/topology/topology.hpp"
 
 #include <bit>
+#include <sstream>
+#include <stdexcept>
 
 #include "repro/common/assert.hpp"
 
@@ -12,12 +14,107 @@ void check_node(const Topology& t, NodeId n) {
   REPRO_REQUIRE(n.value() < t.num_nodes());
 }
 
+[[noreturn]] void bad_spec(const std::string& spec, const std::string& why) {
+  throw std::invalid_argument("bad topology \"" + spec + "\": " + why);
+}
+
+/// Strict decimal parse for spec fragments; rejects signs, leading
+/// garbage, trailing garbage and overflow.
+std::uint64_t parse_number(const std::string& spec, const std::string& text,
+                           const char* what) {
+  if (text.empty()) {
+    bad_spec(spec, std::string("missing ") + what);
+  }
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      bad_spec(spec, std::string("malformed ") + what + " \"" + text + "\"");
+    }
+    if (value > (UINT64_MAX - static_cast<std::uint64_t>(c - '0')) / 10) {
+      bad_spec(spec, std::string(what) + " \"" + text + "\" out of range");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+/// Parses the part after "hier:" into levels; `spec` is the full
+/// string, used for error messages only.
+std::vector<HierarchicalTopology::Level> parse_levels(
+    const std::string& spec, const std::string& params) {
+  if (params.empty()) {
+    bad_spec(spec, "hier needs a level list (e.g. hier:8x2x4)");
+  }
+  std::string arity_part = params;
+  std::string cost_part;
+  if (const std::size_t at = params.find('@'); at != std::string::npos) {
+    arity_part = params.substr(0, at);
+    cost_part = params.substr(at + 1);
+    if (cost_part.empty()) {
+      bad_spec(spec, "empty hop-cost list after '@'");
+    }
+  }
+  // "sockets=8,dies=2,nodes=4" (labels are documentation only) or the
+  // compact "8x2x4".
+  const bool named = arity_part.find('=') != std::string::npos;
+  std::vector<HierarchicalTopology::Level> levels;
+  for (const std::string& field : split(arity_part, named ? ',' : 'x')) {
+    std::string number = field;
+    if (named) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        bad_spec(spec, "level \"" + field + "\" is not label=arity");
+      }
+      number = field.substr(eq + 1);
+    }
+    HierarchicalTopology::Level level;
+    level.arity =
+        static_cast<std::size_t>(parse_number(spec, number, "level arity"));
+    levels.push_back(level);
+  }
+  if (!cost_part.empty()) {
+    const std::vector<std::string> costs = split(cost_part, ',');
+    if (costs.size() != levels.size()) {
+      bad_spec(spec, "expected " + std::to_string(levels.size()) +
+                         " hop costs, got " + std::to_string(costs.size()));
+    }
+    for (std::size_t i = 0; i < costs.size(); ++i) {
+      levels[i].hop_cost =
+          static_cast<unsigned>(parse_number(spec, costs[i], "hop cost"));
+    }
+  }
+  return levels;
+}
+
 }  // namespace
 
 FatHypercube::FatHypercube(std::size_t num_nodes) : num_nodes_(num_nodes) {
-  REPRO_REQUIRE(num_nodes >= 2);
-  REPRO_REQUIRE_MSG(std::has_single_bit(num_nodes),
-                    "fat hypercube size must be a power of two");
+  // Configuration input (CLI / MachineConfig), not a caller bug:
+  // invalid sizes must surface as std::invalid_argument so the harness
+  // can print a usage-style error instead of a contract trace.
+  if (num_nodes < 2) {
+    throw std::invalid_argument("fat-hypercube needs at least 2 nodes, got " +
+                                std::to_string(num_nodes));
+  }
+  if (!std::has_single_bit(num_nodes)) {
+    throw std::invalid_argument(
+        "fat-hypercube size must be a power of two, got " +
+        std::to_string(num_nodes));
+  }
   const std::size_t routers = num_nodes_ / 2;
   dimension_ = routers <= 1
                    ? 0
@@ -48,7 +145,10 @@ unsigned FatHypercube::max_hops() const {
 }
 
 Ring::Ring(std::size_t num_nodes) : num_nodes_(num_nodes) {
-  REPRO_REQUIRE(num_nodes >= 2);
+  if (num_nodes < 2) {
+    throw std::invalid_argument("ring needs at least 2 nodes, got " +
+                                std::to_string(num_nodes));
+  }
 }
 
 unsigned Ring::hops(NodeId a, NodeId b) const {
@@ -64,13 +164,116 @@ unsigned Ring::max_hops() const {
 }
 
 Crossbar::Crossbar(std::size_t num_nodes) : num_nodes_(num_nodes) {
-  REPRO_REQUIRE(num_nodes >= 2);
+  if (num_nodes < 2) {
+    throw std::invalid_argument("crossbar needs at least 2 nodes, got " +
+                                std::to_string(num_nodes));
+  }
 }
 
 unsigned Crossbar::hops(NodeId a, NodeId b) const {
   check_node(*this, a);
   check_node(*this, b);
   return a == b ? 0 : 1;
+}
+
+HierarchicalTopology::HierarchicalTopology(std::vector<Level> levels)
+    : levels_(std::move(levels)) {
+  if (levels_.empty()) {
+    throw std::invalid_argument("hier topology needs at least one level");
+  }
+  num_nodes_ = 1;
+  for (const Level& level : levels_) {
+    if (level.arity < 2) {
+      throw std::invalid_argument("hier level arity must be at least 2, got " +
+                                  std::to_string(level.arity));
+    }
+    if (level.hop_cost < 1) {
+      throw std::invalid_argument("hier hop cost must be at least 1");
+    }
+    if (num_nodes_ > (SIZE_MAX / 2) / level.arity) {
+      throw std::invalid_argument("hier topology has too many nodes");
+    }
+    num_nodes_ *= level.arity;
+  }
+  // Suffix products / sums, innermost level last: stride_[k] is how
+  // many leaves one level-k subtree holds, cost_from_[k] the distance
+  // of two leaves first differing at level k.
+  stride_.assign(levels_.size(), 1);
+  cost_from_.assign(levels_.size(), 0);
+  std::size_t stride = 1;
+  unsigned cost = 0;
+  for (std::size_t k = levels_.size(); k-- > 0;) {
+    cost += levels_[k].hop_cost;
+    cost_from_[k] = cost;
+    stride_[k] = stride;
+    stride *= levels_[k].arity;
+  }
+}
+
+std::size_t HierarchicalTopology::lca_depth(NodeId a, NodeId b) const {
+  check_node(*this, a);
+  check_node(*this, b);
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    // Equal level-k subtree ids means all coordinates above k agree
+    // too, so the first differing level is the LCA's depth.
+    if (a.value() / stride_[k] != b.value() / stride_[k]) {
+      return k;
+    }
+  }
+  return levels_.size();
+}
+
+unsigned HierarchicalTopology::hops(NodeId a, NodeId b) const {
+  const std::size_t depth = lca_depth(a, b);
+  return depth == levels_.size() ? 0 : cost_from_[depth];
+}
+
+unsigned HierarchicalTopology::max_hops() const { return cost_from_[0]; }
+
+std::string HierarchicalTopology::name() const {
+  std::ostringstream out;
+  out << "hier:";
+  bool default_costs = true;
+  for (std::size_t k = 0; k < levels_.size(); ++k) {
+    out << (k == 0 ? "" : "x") << levels_[k].arity;
+    default_costs = default_costs && levels_[k].hop_cost == 1;
+  }
+  if (!default_costs) {
+    out << '@';
+    for (std::size_t k = 0; k < levels_.size(); ++k) {
+      out << (k == 0 ? "" : ",") << levels_[k].hop_cost;
+    }
+  }
+  return out.str();
+}
+
+ParsedTopology parse_topology(const std::string& spec,
+                              std::size_t default_nodes) {
+  std::string head = spec;
+  std::string params;
+  if (const std::size_t colon = spec.find(':'); colon != std::string::npos) {
+    head = spec.substr(0, colon);
+    params = spec.substr(colon + 1);
+  }
+  if (head == "hier") {
+    // Normalize through the class so labeled specs ("sockets=8,...")
+    // and numeric ones canonicalize identically.
+    const HierarchicalTopology topo(parse_levels(spec, params));
+    return {topo.name(), topo.num_nodes()};
+  }
+  if (head != "fat-hypercube" && head != "ring" && head != "crossbar") {
+    bad_spec(spec, "unknown topology \"" + head +
+                       "\" (expected fat-hypercube, ring, crossbar or hier)");
+  }
+  std::size_t num_nodes = default_nodes;
+  if (spec.find(':') != std::string::npos) {
+    num_nodes =
+        static_cast<std::size_t>(parse_number(spec, params, "node count"));
+  }
+  // Construct once to validate eagerly (e.g. fat-hypercube:12 must fail
+  // at flag-parse time, not when the machine is built).
+  static_cast<void>(make_topology(head, num_nodes));
+  return {head, num_nodes};
 }
 
 std::unique_ptr<Topology> make_topology(const std::string& name,
@@ -84,7 +287,18 @@ std::unique_ptr<Topology> make_topology(const std::string& name,
   if (name == "crossbar") {
     return std::make_unique<Crossbar>(num_nodes);
   }
-  REPRO_UNREACHABLE("unknown topology name");
+  if (name.rfind("hier:", 0) == 0) {
+    auto topo = std::make_unique<HierarchicalTopology>(
+        parse_levels(name, name.substr(5)));
+    if (topo->num_nodes() != num_nodes) {
+      throw std::invalid_argument(
+          "topology \"" + name + "\" has " +
+          std::to_string(topo->num_nodes()) + " nodes but the machine has " +
+          std::to_string(num_nodes));
+    }
+    return topo;
+  }
+  throw std::invalid_argument("unknown topology name \"" + name + "\"");
 }
 
 }  // namespace repro::topo

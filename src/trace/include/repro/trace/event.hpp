@@ -70,11 +70,19 @@ enum class EventKind : std::uint8_t {
   /// lines, cost = extra ns; preemption -- node = b = victim thread,
   /// cost = stretch ns.
   kFaultInjection,
+  /// One explicit task was spawned into the task scheduler (omp).
+  /// node = home thread, a = task index in spawn order, b = the
+  /// spawner's duration estimate in ns.
+  kTaskSpawn,
+  /// A task was stolen from another thread's deque (omp). node = dst =
+  /// thief thread, src = victim thread, a = task index in spawn order,
+  /// b = the thief's steal counter (its steal-order position).
+  kTaskSteal,
 };
 
 /// Number of event kinds (array sizing / validation).
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kFaultInjection) + 1;
+    static_cast<std::size_t>(EventKind::kTaskSteal) + 1;
 
 /// kDaemonScan decision codes (the `a` payload).
 enum class DaemonDecision : std::uint8_t {

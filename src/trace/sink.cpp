@@ -34,6 +34,10 @@ const char* event_kind_name(EventKind kind) {
       return "iteration_end";
     case EventKind::kFaultInjection:
       return "fault_injection";
+    case EventKind::kTaskSpawn:
+      return "task_spawn";
+    case EventKind::kTaskSteal:
+      return "task_steal";
   }
   return "?";
 }

@@ -8,14 +8,19 @@
 namespace repro::vm {
 
 RefCounters::RefCounters(std::size_t num_frames, std::size_t num_nodes,
-                         unsigned counter_bits)
+                         unsigned counter_bits, bool sparse)
     : num_frames_(num_frames),
       num_nodes_(num_nodes),
       max_((1u << counter_bits) - 1u),
-      values_(num_frames * num_nodes, 0) {
+      sparse_(sparse) {
   REPRO_REQUIRE(num_frames >= 1);
   REPRO_REQUIRE(num_nodes >= 1);
   REPRO_REQUIRE(counter_bits >= 1 && counter_bits <= 31);
+  if (sparse_) {
+    zero_row_.assign(num_nodes_, 0);
+  } else {
+    values_.assign(num_frames * num_nodes, 0);
+  }
 }
 
 std::size_t RefCounters::index(FrameId frame, NodeId node) const {
@@ -24,12 +29,34 @@ std::size_t RefCounters::index(FrameId frame, NodeId node) const {
   return static_cast<std::size_t>(frame.value()) * num_nodes_ + node.value();
 }
 
+const std::uint32_t* RefCounters::find_row(FrameId frame) const {
+  REPRO_REQUIRE(frame.value() < num_frames_);
+  const std::uint32_t* row = row_of_.find(frame.value());
+  return row == nullptr ? nullptr : rows_.data() + *row * num_nodes_;
+}
+
+std::uint32_t* RefCounters::ensure_row(FrameId frame) {
+  REPRO_REQUIRE(frame.value() < num_frames_);
+  if (const std::uint32_t* row = row_of_.find(frame.value())) {
+    return rows_.data() + *row * num_nodes_;
+  }
+  const auto row = static_cast<std::uint32_t>(rows_.size() / num_nodes_);
+  rows_.resize(rows_.size() + num_nodes_, 0);
+  row_of_[frame.value()] = row;
+  return rows_.data() + static_cast<std::size_t>(row) * num_nodes_;
+}
+
 void RefCounters::increment(FrameId frame, NodeId node, std::uint32_t n) {
-  std::uint32_t& v = values_[index(frame, node)];
+  std::uint32_t& v = sparse_ ? ensure_row(frame)[node.value()]
+                             : values_[index(frame, node)];
   v = (max_ - v < n) ? max_ : v + n;
 }
 
 std::span<const std::uint32_t> RefCounters::read(FrameId frame) const {
+  if (sparse_) {
+    const std::uint32_t* row = find_row(frame);
+    return {row == nullptr ? zero_row_.data() : row, num_nodes_};
+  }
   REPRO_REQUIRE(frame.value() < num_frames_);
   return {values_.data() +
               static_cast<std::size_t>(frame.value()) * num_nodes_,
@@ -37,11 +64,25 @@ std::span<const std::uint32_t> RefCounters::read(FrameId frame) const {
 }
 
 std::uint32_t RefCounters::read(FrameId frame, NodeId node) const {
+  if (sparse_) {
+    REPRO_REQUIRE(node.value() < num_nodes_);
+    const std::uint32_t* row = find_row(frame);
+    return row == nullptr ? 0 : row[node.value()];
+  }
   return values_[index(frame, node)];
 }
 
 void RefCounters::reset(FrameId frame) {
   REPRO_REQUIRE(frame.value() < num_frames_);
+  if (sparse_) {
+    // The row stays allocated (indices are stable); a zeroed row and a
+    // never-touched frame are indistinguishable to readers and digests.
+    if (const std::uint32_t* row = row_of_.find(frame.value())) {
+      auto* base = rows_.data() + *row * num_nodes_;
+      std::fill(base, base + num_nodes_, 0u);
+    }
+    return;
+  }
   auto* base =
       values_.data() + static_cast<std::size_t>(frame.value()) * num_nodes_;
   std::fill(base, base + num_nodes_, 0u);
@@ -49,6 +90,7 @@ void RefCounters::reset(FrameId frame) {
 
 void RefCounters::reset_all() {
   std::fill(values_.begin(), values_.end(), 0u);
+  std::fill(rows_.begin(), rows_.end(), 0u);
 }
 
 NodeId RefCounters::argmax_node(FrameId frame) const {
@@ -58,12 +100,32 @@ NodeId RefCounters::argmax_node(FrameId frame) const {
 }
 
 std::uint64_t RefCounters::digest() const {
+  // Both backends mix the *logical* array size (frames x nodes) and the
+  // nonzero counters at their frame-major flat indices, so sparse and
+  // dense machines with equal counter state digest identically.
   StateHash hash;
-  hash.mix(values_.size());
-  for (std::size_t i = 0; i < values_.size(); ++i) {
-    if (values_[i] != 0) {
-      hash.mix(i);
-      hash.mix(values_[i]);
+  hash.mix(num_frames_ * num_nodes_);
+  if (sparse_) {
+    std::vector<std::uint64_t> frames;
+    frames.reserve(row_of_.size());
+    row_of_.for_each(
+        [&](std::uint64_t frame, std::uint32_t) { frames.push_back(frame); });
+    std::sort(frames.begin(), frames.end());
+    for (const std::uint64_t frame : frames) {
+      const std::uint32_t* row = find_row(FrameId(frame));
+      for (std::size_t n = 0; n < num_nodes_; ++n) {
+        if (row[n] != 0) {
+          hash.mix(frame * num_nodes_ + n);
+          hash.mix(row[n]);
+        }
+      }
+    }
+  } else {
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      if (values_[i] != 0) {
+        hash.mix(i);
+        hash.mix(values_[i]);
+      }
     }
   }
   return hash.value();

@@ -6,12 +6,21 @@
 // engine that never resets them stops seeing differentials once pages
 // are hot, while UPMlib resets them at iteration boundaries and so keeps
 // full-precision per-iteration traces.
+//
+// The dense backend materializes the full frames x nodes array up
+// front (exact hardware shape; fine at 16 nodes). At 512 nodes that
+// array alone is tens of GiB, so the sparse backend allocates counter
+// rows lazily, only for frames that have ever been incremented;
+// untouched frames read as a shared zero row. Digests are
+// backend-identical: both mix frames x nodes and then every nonzero
+// counter in frame-major order.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "repro/common/flat_map.hpp"
 #include "repro/common/strong_id.hpp"
 
 namespace repro::vm {
@@ -19,7 +28,7 @@ namespace repro::vm {
 class RefCounters {
  public:
   RefCounters(std::size_t num_frames, std::size_t num_nodes,
-              unsigned counter_bits);
+              unsigned counter_bits, bool sparse = false);
 
   /// Adds `n` accesses from `node` to `frame`, saturating.
   void increment(FrameId frame, NodeId node, std::uint32_t n);
@@ -53,9 +62,22 @@ class RefCounters {
   std::size_t num_frames_;
   std::size_t num_nodes_;
   std::uint32_t max_;
-  std::vector<std::uint32_t> values_;  // frame-major [frame][node]
+  bool sparse_;
+
+  // Dense backend: frame-major [frame][node].
+  std::vector<std::uint32_t> values_;
+
+  // Sparse backend: rows allocated on first increment, never freed
+  // (row indices stay stable), zeroed on reset.
+  FlatMap<std::uint32_t> row_of_;      // frame -> row index
+  std::vector<std::uint32_t> rows_;    // row-major pool, num_nodes_ each
+  std::vector<std::uint32_t> zero_row_;
 
   [[nodiscard]] std::size_t index(FrameId frame, NodeId node) const;
+  /// Row for `frame`, or nullptr when it was never incremented.
+  [[nodiscard]] const std::uint32_t* find_row(FrameId frame) const;
+  /// Row for `frame`, allocating a zeroed one when absent.
+  [[nodiscard]] std::uint32_t* ensure_row(FrameId frame);
 };
 
 }  // namespace repro::vm

@@ -2,6 +2,15 @@
 // migration machinery: which processors hold a live TLB mapping (so a
 // migration can charge the right shootdown cost) and how often the page
 // has migrated.
+//
+// Two interchangeable backends (chosen at construction, see
+// memsys::TableBackend): a dense array over the compact virtual page
+// space (the hot default at the paper's 16 nodes) and a sparse
+// open-addressed index that keeps only mapped pages, for the 128/512
+// node scale sweeps where a dense O(pages) array per structure would
+// dominate the simulator's footprint. Digests and iteration order are
+// backend-independent: both enumerate mapped pages in ascending page
+// order.
 #pragma once
 
 #include <cstdint>
@@ -9,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "repro/common/flat_map.hpp"
 #include "repro/common/hash.hpp"
 #include "repro/common/strong_id.hpp"
 
@@ -18,9 +28,14 @@ class PageTable {
  public:
   struct Entry {
     FrameId frame;
-    /// Bitmask of processors that have faulted the page into their TLB
-    /// since the last shootdown.
+    /// Bitmask of processors 0..63 that have faulted the page into
+    /// their TLB since the last shootdown.
     std::uint64_t mapper_mask = 0;
+    /// Mapper words for processors >= 64 (word w covers processors
+    /// 64*(w+1)..64*(w+2)-1). Empty on machines with <= 64 processors,
+    /// which keeps their digests byte-identical to the single-word
+    /// representation.
+    std::vector<std::uint64_t> mapper_high;
     std::uint32_t migrations = 0;
     /// Read-only replicas of the page on other nodes (frames holding
     /// copies; the primary stays authoritative). Collapsed on write.
@@ -28,10 +43,13 @@ class PageTable {
     /// Written since the last clear_dirty() (drives the replication
     /// policy: only clean pages may replicate).
     bool dirty = false;
-    /// Slot state: the table is a dense array over the (compact)
-    /// virtual page space, so unmapped pages occupy empty slots.
+    /// Dense-slot state: the dense table is an array over the virtual
+    /// page space, so unmapped pages occupy empty slots. Sparse slots
+    /// are mapped iff indexed.
     bool mapped = false;
   };
+
+  explicit PageTable(bool sparse = false) : sparse_(sparse) {}
 
   /// Maps a page; the page must be unmapped.
   void map(VPage page, FrameId frame);
@@ -39,16 +57,27 @@ class PageTable {
   /// Unmaps; returns the old frame. The page must be mapped.
   FrameId unmap(VPage page);
 
-  /// Remaps to a new frame (migration), clearing mapper_mask and
+  /// Remaps to a new frame (migration), clearing the mapper set and
   /// incrementing the migration count. Returns the old frame.
   FrameId remap(VPage page, FrameId frame);
 
   [[nodiscard]] bool is_mapped(VPage page) const {
+    if (sparse_) {
+      return index_.find(page.value()) != nullptr;
+    }
     return page.value() < table_.size() && table_[page.value()].mapped;
   }
-  /// The translation hot path: one bounds check and one indexed load
-  /// (virtual pages are dense, see vm::AddressSpace).
+  /// The translation hot path: one bounds check and one indexed load in
+  /// dense mode (virtual pages are dense, see vm::AddressSpace); one
+  /// hash probe in sparse mode.
   [[nodiscard]] std::optional<FrameId> lookup(VPage page) const {
+    if (sparse_) {
+      const std::uint32_t* slot = index_.find(page.value());
+      if (slot == nullptr) {
+        return std::nullopt;
+      }
+      return slots_[*slot].frame;
+    }
     if (!is_mapped(page)) {
       return std::nullopt;
     }
@@ -76,12 +105,13 @@ class PageTable {
   [[nodiscard]] unsigned mapper_count(VPage page) const;
 
   [[nodiscard]] std::size_t mapped_pages() const { return mapped_count_; }
+  [[nodiscard]] bool sparse() const { return sparse_; }
 
   /// Digest (in page order) of the placement-relevant state of every
-  /// mapping: frame, mapper mask, dirty bit and the replica list (in
+  /// mapping: frame, mapper set, dirty bit and the replica list (in
   /// order -- resolve() scans replicas front to back, so replica order
   /// breaks hop-distance ties). The monotone `migrations` counter is a
-  /// statistic and is excluded.
+  /// statistic and is excluded. Backend-independent by construction.
   [[nodiscard]] std::uint64_t digest() const;
 
   /// Materialized snapshot of the mapped entries, in page order (for
@@ -89,10 +119,21 @@ class PageTable {
   [[nodiscard]] std::vector<std::pair<VPage, Entry>> entries() const;
 
  private:
-  std::vector<Entry> table_;  // indexed by page id
+  bool sparse_;
+
+  // Dense backend: indexed by page id.
+  std::vector<Entry> table_;
+
+  // Sparse backend: page -> slot in a recycled entry pool.
+  FlatMap<std::uint32_t> index_;
+  std::vector<Entry> slots_;
+  std::vector<std::uint32_t> free_slots_;
+
   std::size_t mapped_count_ = 0;
 
   Entry& mutable_entry(VPage page);
+  /// Mapped pages in ascending page order (sparse backend helper).
+  [[nodiscard]] std::vector<std::uint64_t> sorted_pages() const;
 };
 
 }  // namespace repro::vm

@@ -10,16 +10,38 @@ namespace repro::vm {
 
 PageTable::Entry& PageTable::mutable_entry(VPage page) {
   REPRO_REQUIRE_MSG(is_mapped(page), "page not mapped");
+  if (sparse_) {
+    return slots_[*index_.find(page.value())];
+  }
   return table_[page.value()];
 }
 
 void PageTable::map(VPage page, FrameId frame) {
   REPRO_REQUIRE_MSG(!is_mapped(page), "page already mapped");
-  if (page.value() >= table_.size()) {
-    table_.resize(std::max<std::size_t>(page.value() + 1,
-                                        table_.size() * 2));
+  if (sparse_) {
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.emplace_back();
+    }
+    Entry& e = slots_[slot];
+    e = Entry{};
+    e.frame = frame;
+    e.mapped = true;
+    index_[page.value()] = slot;
+  } else {
+    if (page.value() >= table_.size()) {
+      table_.resize(std::max<std::size_t>(page.value() + 1,
+                                          table_.size() * 2));
+    }
+    Entry& e = table_[page.value()];
+    e = Entry{};
+    e.frame = frame;
+    e.mapped = true;
   }
-  table_[page.value()] = Entry{frame, 0, 0, {}, false, true};
   ++mapped_count_;
 }
 
@@ -27,6 +49,11 @@ FrameId PageTable::unmap(VPage page) {
   Entry& e = mutable_entry(page);
   const FrameId old = e.frame;
   e = Entry{};
+  if (sparse_) {
+    const std::uint32_t slot = *index_.find(page.value());
+    index_.erase(page.value());
+    free_slots_.push_back(slot);
+  }
   --mapped_count_;
   return old;
 }
@@ -38,18 +65,30 @@ FrameId PageTable::remap(VPage page, FrameId frame) {
   const FrameId old = e.frame;
   e.frame = frame;
   e.mapper_mask = 0;
+  e.mapper_high.clear();
   ++e.migrations;
   return old;
 }
 
 const PageTable::Entry& PageTable::entry(VPage page) const {
   REPRO_REQUIRE_MSG(is_mapped(page), "page not mapped");
+  if (sparse_) {
+    return slots_[*index_.find(page.value())];
+  }
   return table_[page.value()];
 }
 
 void PageTable::note_mapper(VPage page, ProcId proc) {
-  REPRO_REQUIRE(proc.value() < 64);
-  mutable_entry(page).mapper_mask |= 1ULL << proc.value();
+  Entry& e = mutable_entry(page);
+  if (proc.value() < 64) {
+    e.mapper_mask |= 1ULL << proc.value();
+    return;
+  }
+  const std::size_t word = proc.value() / 64 - 1;
+  if (word >= e.mapper_high.size()) {
+    e.mapper_high.resize(word + 1, 0);
+  }
+  e.mapper_high[word] |= 1ULL << (proc.value() % 64);
 }
 
 void PageTable::mark_dirty(VPage page) { mutable_entry(page).dirty = true; }
@@ -73,21 +112,46 @@ std::vector<FrameId> PageTable::take_replicas(VPage page) {
   return std::exchange(mutable_entry(page).replicas, {});
 }
 
+std::vector<std::uint64_t> PageTable::sorted_pages() const {
+  std::vector<std::uint64_t> pages;
+  pages.reserve(mapped_count_);
+  index_.for_each(
+      [&](std::uint64_t page, std::uint32_t) { pages.push_back(page); });
+  std::sort(pages.begin(), pages.end());
+  return pages;
+}
+
 std::uint64_t PageTable::digest() const {
   StateHash hash;
   hash.mix(mapped_count_);
-  for (std::size_t p = 0; p < table_.size(); ++p) {
-    const Entry& e = table_[p];
-    if (!e.mapped) {
-      continue;
-    }
-    hash.mix(p);
+  const auto mix_entry = [&hash](std::uint64_t page, const Entry& e) {
+    hash.mix(page);
     hash.mix(e.frame.value());
     hash.mix(e.mapper_mask);
+    // High mapper words exist only on > 64-proc machines; skipping them
+    // when empty keeps <= 64-proc digests byte-identical to the
+    // historical single-word layout (the 16-node golden traces).
+    if (!e.mapper_high.empty()) {
+      hash.mix(e.mapper_high.size());
+      for (const std::uint64_t word : e.mapper_high) {
+        hash.mix(word);
+      }
+    }
     hash.mix(e.dirty ? 1 : 0);
     hash.mix(e.replicas.size());
     for (const FrameId replica : e.replicas) {
       hash.mix(replica.value());
+    }
+  };
+  if (sparse_) {
+    for (const std::uint64_t page : sorted_pages()) {
+      mix_entry(page, slots_[*index_.find(page)]);
+    }
+  } else {
+    for (std::size_t p = 0; p < table_.size(); ++p) {
+      if (table_[p].mapped) {
+        mix_entry(p, table_[p]);
+      }
     }
   }
   return hash.value();
@@ -96,9 +160,15 @@ std::uint64_t PageTable::digest() const {
 std::vector<std::pair<VPage, PageTable::Entry>> PageTable::entries() const {
   std::vector<std::pair<VPage, Entry>> out;
   out.reserve(mapped_count_);
-  for (std::size_t p = 0; p < table_.size(); ++p) {
-    if (table_[p].mapped) {
-      out.emplace_back(VPage(p), table_[p]);
+  if (sparse_) {
+    for (const std::uint64_t page : sorted_pages()) {
+      out.emplace_back(VPage(page), slots_[*index_.find(page)]);
+    }
+  } else {
+    for (std::size_t p = 0; p < table_.size(); ++p) {
+      if (table_[p].mapped) {
+        out.emplace_back(VPage(p), table_[p]);
+      }
     }
   }
   return out;
@@ -109,7 +179,12 @@ const std::vector<FrameId>& PageTable::replicas(VPage page) const {
 }
 
 unsigned PageTable::mapper_count(VPage page) const {
-  return static_cast<unsigned>(std::popcount(entry(page).mapper_mask));
+  const Entry& e = entry(page);
+  auto count = static_cast<unsigned>(std::popcount(e.mapper_mask));
+  for (const std::uint64_t word : e.mapper_high) {
+    count += static_cast<unsigned>(std::popcount(word));
+  }
+  return count;
 }
 
 }  // namespace repro::vm

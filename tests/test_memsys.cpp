@@ -67,7 +67,10 @@ TEST(Config, ValidationCatchesNonsense) {
   config.mem_latency_ns = {100.0, 50.0};  // decreasing ladder
   EXPECT_THROW(config.validate(), ContractViolation);
   config = MachineConfig{};
-  config.num_nodes = 128;  // 128 procs > 64-bit sharer masks
+  config.num_nodes = 128;  // > 64 procs: legal now (multi-word masks),
+  EXPECT_NO_THROW(config.validate());
+  EXPECT_TRUE(config.sparse_tables());  // and auto-selects sparse tables
+  config.num_nodes = 131072;  // but the sanity ceiling still exists
   EXPECT_THROW(config.validate(), ContractViolation);
 }
 

@@ -1,19 +1,26 @@
-// Topology tests: metric properties of the fat hypercube, ring and
-// crossbar, parameterized over machine sizes.
+// Topology tests: metric properties of the fat hypercube, ring,
+// crossbar and hierarchical tree, parameterized over machine sizes,
+// plus the --topology spec parser.
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <set>
+#include <stdexcept>
+#include <vector>
 
 #include "repro/common/assert.hpp"
+#include "repro/omp/machine.hpp"
 #include "repro/topology/topology.hpp"
 
 namespace repro::topo {
 namespace {
 
 TEST(FatHypercube, RejectsBadSizes) {
-  EXPECT_THROW(FatHypercube(0), ContractViolation);
-  EXPECT_THROW(FatHypercube(1), ContractViolation);
-  EXPECT_THROW(FatHypercube(12), ContractViolation);  // not a power of two
+  // Configuration errors are std::invalid_argument (CLI-reportable),
+  // not contract violations.
+  EXPECT_THROW(FatHypercube(0), std::invalid_argument);
+  EXPECT_THROW(FatHypercube(1), std::invalid_argument);
+  EXPECT_THROW(FatHypercube(12), std::invalid_argument);  // not a power of two
 }
 
 TEST(FatHypercube, SixteenNodesMatchesPaperTopology) {
@@ -104,13 +111,180 @@ TEST(Factory, CreatesByName) {
   EXPECT_EQ(make_topology("fat-hypercube", 16)->name(), "fat-hypercube");
   EXPECT_EQ(make_topology("ring", 16)->name(), "ring");
   EXPECT_EQ(make_topology("crossbar", 16)->name(), "crossbar");
-  EXPECT_THROW(make_topology("torus", 16), ContractViolation);
+  EXPECT_EQ(make_topology("hier:8x2x4", 64)->name(), "hier:8x2x4");
+  EXPECT_THROW(make_topology("torus", 16), std::invalid_argument);
+  // A hier spec whose arity product disagrees with the machine size
+  // must fail at construction, not misroute accesses later.
+  EXPECT_THROW(make_topology("hier:8x2x4", 16), std::invalid_argument);
 }
 
 TEST(FatHypercube, LargerMachineHasLargerDiameter) {
   // The paper argues placement would matter more on bigger machines;
   // the topology delivers the growing distance range.
   EXPECT_LT(FatHypercube(16).max_hops(), FatHypercube(128).max_hops());
+}
+
+// --- hierarchical topology -------------------------------------------------
+
+TEST(Hierarchical, ExampleFromIssue) {
+  // sockets=8, dies=2, nodes=4 -> 64 logical nodes, distances 1..3.
+  const HierarchicalTopology topo({{8, 1}, {2, 1}, {4, 1}});
+  EXPECT_EQ(topo.num_nodes(), 64u);
+  EXPECT_EQ(topo.max_hops(), 3u);
+  EXPECT_EQ(topo.name(), "hier:8x2x4");
+  // Same die: one innermost crossing.
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(3)), 1u);
+  // Same socket, different die.
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(4)), 2u);
+  // Different socket.
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(8)), 3u);
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(63)), 3u);
+}
+
+TEST(Hierarchical, PerLevelCostsSumAlongLcaPath) {
+  const HierarchicalTopology topo({{8, 4}, {2, 2}, {4, 1}});
+  EXPECT_EQ(topo.name(), "hier:8x2x4@4,2,1");
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(3)), 1u);   // die crossing
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(4)), 3u);   // 2 + 1
+  EXPECT_EQ(topo.hops(NodeId(0), NodeId(8)), 7u);   // 4 + 2 + 1
+  EXPECT_EQ(topo.max_hops(), 7u);
+}
+
+TEST(Hierarchical, RejectsBadLevels) {
+  EXPECT_THROW(HierarchicalTopology({}), std::invalid_argument);
+  EXPECT_THROW(HierarchicalTopology({{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(HierarchicalTopology({{4, 0}}), std::invalid_argument);
+}
+
+/// The hierarchy specs the property grid runs over (mixed arities,
+/// non-default costs, single level, deep trees).
+std::vector<std::vector<HierarchicalTopology::Level>> hierarchy_grid() {
+  return {
+      {{2, 1}},
+      {{4, 1}, {4, 1}},
+      {{8, 1}, {2, 1}, {4, 1}},
+      {{8, 4}, {2, 2}, {4, 1}},
+      {{2, 3}, {2, 2}, {2, 2}, {2, 1}},
+      {{3, 5}, {5, 1}},
+  };
+}
+
+/// Every topology the suite knows, at representative sizes.
+std::vector<std::unique_ptr<Topology>> property_topologies() {
+  std::vector<std::unique_ptr<Topology>> out;
+  for (const std::size_t n : {std::size_t{2}, std::size_t{16},
+                              std::size_t{64}}) {
+    out.push_back(std::make_unique<FatHypercube>(n));
+    out.push_back(std::make_unique<Ring>(n));
+    out.push_back(std::make_unique<Crossbar>(n));
+  }
+  for (const auto& levels : hierarchy_grid()) {
+    out.push_back(std::make_unique<HierarchicalTopology>(levels));
+  }
+  return out;
+}
+
+TEST(TopologyProperties, SymmetryIdentityAndMaxHopsTightness) {
+  for (const auto& topo : property_topologies()) {
+    const std::size_t n = topo->num_nodes();
+    unsigned seen_max = 0;
+    for (std::uint32_t a = 0; a < n; ++a) {
+      EXPECT_EQ(topo->hops(NodeId(a), NodeId(a)), 0u) << topo->name();
+      for (std::uint32_t b = 0; b < n; ++b) {
+        const unsigned d = topo->hops(NodeId(a), NodeId(b));
+        EXPECT_EQ(d, topo->hops(NodeId(b), NodeId(a))) << topo->name();
+        EXPECT_EQ(d == 0, a == b) << topo->name();
+        EXPECT_LE(d, topo->max_hops()) << topo->name();
+        seen_max = std::max(seen_max, d);
+      }
+    }
+    // Tightness: max_hops() is realized, not just an upper bound.
+    EXPECT_EQ(seen_max, topo->max_hops()) << topo->name();
+  }
+}
+
+TEST(TopologyProperties, LcaPathCostIsMonotoneInDepth) {
+  // A deeper (closer-to-the-leaves) common ancestor never costs more:
+  // hop distance is strictly decreasing in LCA depth for distinct
+  // leaves because every level's crossing cost is positive.
+  for (const auto& levels : hierarchy_grid()) {
+    const HierarchicalTopology topo(levels);
+    const std::size_t n = topo.num_nodes();
+    for (std::uint32_t a = 0; a < n; ++a) {
+      for (std::uint32_t b = 0; b < n; ++b) {
+        for (std::uint32_t c = 0; c < n; ++c) {
+          if (a == b || a == c) {
+            continue;
+          }
+          const std::size_t db = topo.lca_depth(NodeId(a), NodeId(b));
+          const std::size_t dc = topo.lca_depth(NodeId(a), NodeId(c));
+          if (db > dc) {
+            EXPECT_LT(topo.hops(NodeId(a), NodeId(b)),
+                      topo.hops(NodeId(a), NodeId(c)))
+                << topo.name();
+          }
+        }
+      }
+    }
+  }
+}
+
+// --- spec parser -------------------------------------------------------------
+
+TEST(ParseTopology, FlatSpecsWithAndWithoutSize) {
+  EXPECT_EQ(parse_topology("fat-hypercube", 16).num_nodes, 16u);
+  EXPECT_EQ(parse_topology("fat-hypercube:64", 16).num_nodes, 64u);
+  EXPECT_EQ(parse_topology("ring:10", 16).name, "ring");
+  EXPECT_EQ(parse_topology("crossbar:5", 16).num_nodes, 5u);
+}
+
+TEST(ParseTopology, HierSpecs) {
+  const ParsedTopology p = parse_topology("hier:8x2x4", 16);
+  EXPECT_EQ(p.name, "hier:8x2x4");
+  EXPECT_EQ(p.num_nodes, 64u);
+  // Labeled grammar normalizes to the numeric form.
+  const ParsedTopology q = parse_topology("hier:sockets=8,dies=2,nodes=4", 16);
+  EXPECT_EQ(q.name, "hier:8x2x4");
+  EXPECT_EQ(q.num_nodes, 64u);
+  const ParsedTopology c = parse_topology("hier:8x2x4@4,2,1", 16);
+  EXPECT_EQ(c.name, "hier:8x2x4@4,2,1");
+  // name round-trips through make_topology.
+  EXPECT_EQ(make_topology(c.name, c.num_nodes)->max_hops(), 7u);
+}
+
+TEST(ParseTopology, MalformedSpecsFailFast) {
+  EXPECT_THROW(parse_topology("torus", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("fat-hypercube:12", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("fat-hypercube:abc", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("fat-hypercube:", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("hier:", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("hier:8x0x4", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("hier:8x2x4@1,2", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("hier:8x2x4@", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("hier:sockets=", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("hier:=8", 16), std::invalid_argument);
+  EXPECT_THROW(parse_topology("ring:-3", 16), std::invalid_argument);
+}
+
+// Machine construction accepts any spec the parser does (count-suffixed
+// and labeled forms included) and reports node-count disagreements as
+// configuration errors, not contract violations.
+TEST(ParseTopology, MachineCreateNormalizesSpecs) {
+  memsys::MachineConfig config;
+  config.num_nodes = 16;
+  config.topology = "fat-hypercube:16";
+  EXPECT_EQ(omp::Machine::create(config)->topology().name(),
+            "fat-hypercube");
+
+  config.num_nodes = 64;
+  config.topology = "hier:sockets=4,dies=4,nodes=4";
+  EXPECT_EQ(omp::Machine::create(config)->topology().name(), "hier:4x4x4");
+
+  config.num_nodes = 16;
+  config.topology = "fat-hypercube:32";
+  EXPECT_THROW(omp::Machine::create(config), std::invalid_argument);
+  config.topology = "hier:4x4x4";
+  EXPECT_THROW(omp::Machine::create(config), std::invalid_argument);
 }
 
 }  // namespace
