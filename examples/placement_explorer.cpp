@@ -16,6 +16,7 @@
 
 #include "repro/analysis/diagnostic.hpp"
 #include "repro/analysis/sarif.hpp"
+#include "repro/coherence/config.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/table.hpp"
 #include "repro/harness/advise.hpp"
@@ -70,6 +71,9 @@ int main(int argc, char** argv) {
                  "to this path (CI annotation)");
   cli.add_string("advisor-json", &advisor_json,
                  "write the advisor verdict as JSON to this path");
+  cli.add_string("coherence", &config.coherence,
+                 "msi | mesi: enable the line-grain coherence model "
+                 "(default off = page-grain classification)");
   cli.add_string("trace", &config.trace_dir,
                  "record the event trace and export the canonical dump + "
                  "Chrome trace here (also: REPRO_TRACE=DIR)");
@@ -101,6 +105,11 @@ int main(int argc, char** argv) {
     }
   } catch (const std::invalid_argument& e) {
     std::cerr << "error: " << e.what() << '\n';
+    return 2;
+  }
+  if (!config.coherence.empty() &&
+      !coherence::parse_policy(config.coherence).has_value()) {
+    std::cerr << "error: --coherence expects msi | mesi\n";
     return 2;
   }
   std::optional<analysis::Severity> fail_threshold;
@@ -180,6 +189,15 @@ int main(int argc, char** argv) {
        fmt_double(ns_to_ms(result.upm_stats.distribution_cost +
                            result.upm_stats.recrep_cost),
                   2)});
+  if (result.coherence_enabled) {
+    const coherence::CoherenceStats& c = result.coherence_totals;
+    table.add_row({"coherence miss rate",
+                   fmt_double(c.coherence_miss_rate(), 4)});
+    table.add_row({"coherence invalidations",
+                   std::to_string(c.invalidations_sent)});
+    table.add_row({"coherence upgrades", std::to_string(c.upgrades)});
+    table.add_row({"coherence writebacks", std::to_string(c.writebacks)});
+  }
   if (!result.trace_digest.empty()) {
     table.add_row({"trace events", std::to_string(result.trace->size())});
     table.add_row({"trace digest", result.trace_digest});

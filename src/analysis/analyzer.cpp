@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <map>
 #include <unordered_map>
 #include <utility>
 
@@ -90,6 +91,9 @@ void Analyzer::analyze_region(const std::string& name,
   check_binding(name, program.num_threads(), binding, sink);
   if (config_.race_pass) {
     race_pass(name, program, sink);
+  }
+  if (config_.false_sharing_pass) {
+    false_sharing_pass(name, program, sink);
   }
   if (config_.locality_pass) {
     locality_pass(name, program, binding, sink);
@@ -223,6 +227,64 @@ void Analyzer::race_pass(const std::string& name,
   ww.summarize("race.summary", name, "write/write race");
   rw.summarize("race.summary", name, "read/write overlap");
   share.summarize("race.summary", name, "page-sharing");
+}
+
+void Analyzer::false_sharing_pass(const std::string& name,
+                                  const sim::RegionProgram& program,
+                                  DiagnosticSink& sink) const {
+  const std::uint32_t lpp = view_.lines_per_page;
+  // Writer sets per (page, line), from position-certain evidence only:
+  // Op::access_at places its lines exactly, so two threads positioned on
+  // one line *will* ping-pong that line under the coherence model. A
+  // default-position write could sit anywhere in the page -- that
+  // uncertainty is race.page-share / race.ww-lines territory, and
+  // claiming specific lines from it would wreck the rule's precision
+  // against the traced ground truth.
+  std::map<std::pair<std::uint64_t, std::uint32_t>,
+           std::vector<std::uint32_t>>
+      writers;
+  for (std::uint32_t t = 0; t < program.num_threads(); ++t) {
+    for (std::uint32_t i = program.thread_begin(t);
+         i < program.thread_end(t); ++i) {
+      if (!program.is_access(i) || !program.is_write(i) ||
+          !program.is_positioned(i) || program.lines(i) == 0) {
+        continue;
+      }
+      const std::uint32_t covered = std::min(program.lines(i), lpp);
+      for (std::uint32_t k = 0; k < covered; ++k) {
+        const std::uint32_t line = (program.line_begin(i) + k) % lpp;
+        std::vector<std::uint32_t>& ws =
+            writers[{program.page(i).value(), line}];
+        // Threads arrive in ascending order, so the back check dedups.
+        if (ws.empty() || ws.back() != t) {
+          ws.push_back(t);
+        }
+      }
+    }
+  }
+
+  CappedEmitter emitter(sink, config_.max_diags_per_rule);
+  for (const auto& [key, ws] : writers) {
+    if (ws.size() < 2) {
+      continue;
+    }
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.rule = "analysis.false-sharing";
+    d.region = name;
+    d.page = VPage(key.first);
+    d.line = key.second;
+    d.thread = ThreadId(ws[0]);
+    d.other = ThreadId(ws[1]);
+    d.message = "predicted false sharing: " + std::to_string(ws.size()) +
+                " threads write fields of this line in one region; under "
+                "the line-grain coherence model every write invalidates "
+                "the other writers' copies (line ping-pong)";
+    d.hint = "pad or align the per-thread fields to the coherence line "
+             "size (one writer per line)";
+    emitter.emit(std::move(d));
+  }
+  emitter.summarize("analysis.summary", name, "false-sharing");
 }
 
 void Analyzer::locality_pass(const std::string& name,

@@ -43,6 +43,7 @@ void canonical_sort(std::vector<Diagnostic>& diags) {
     return std::make_tuple(
         d.region, d.rule,
         d.page.has_value() ? static_cast<std::int64_t>(d.page->value()) : -1,
+        d.line.has_value() ? static_cast<std::int64_t>(*d.line) : -1,
         d.thread.has_value() ? static_cast<std::int64_t>(d.thread->value())
                              : -1,
         d.other.has_value() ? static_cast<std::int64_t>(d.other->value()) : -1,
@@ -58,6 +59,9 @@ std::string Diagnostic::location() const {
   std::ostringstream os;
   if (page.has_value()) {
     os << "page " << *page;
+    if (line.has_value()) {
+      os << " line " << *line;
+    }
   }
   if (thread.has_value()) {
     os << (page.has_value() ? ", " : "") << "thread " << *thread;

@@ -54,6 +54,11 @@ struct AnalyzerConfig {
   std::size_t max_diags_per_rule = 8;
   bool race_pass = true;
   bool locality_pass = true;
+  /// Line-granular false-sharing prediction (analysis.false-sharing):
+  /// flags coherence lines written by >= 2 threads, using only
+  /// position-certain evidence (Op::access_at ops). Validated against
+  /// the coherence model's traced invalidation ping-pongs.
+  bool false_sharing_pass = true;
 };
 
 /// The machine facts the passes need, decoupled from the concrete
@@ -106,6 +111,9 @@ class Analyzer {
 
   void race_pass(const std::string& name, const sim::RegionProgram& program,
                  DiagnosticSink& sink) const;
+  void false_sharing_pass(const std::string& name,
+                          const sim::RegionProgram& program,
+                          DiagnosticSink& sink) const;
   void locality_pass(const std::string& name,
                      const sim::RegionProgram& program,
                      std::span<const ProcId> binding,

@@ -38,6 +38,9 @@ struct Diagnostic {
   /// as "upmlib" / "binding".
   std::string region;
   std::optional<VPage> page;
+  /// Line index within `page` for line-granular rules
+  /// (analysis.false-sharing); meaningless without `page`.
+  std::optional<std::uint32_t> line;
   std::optional<ThreadId> thread;
   std::optional<ThreadId> other;  ///< second thread involved, if any
   std::string message;

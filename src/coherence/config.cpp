@@ -1,0 +1,34 @@
+#include "repro/coherence/config.hpp"
+
+#include "repro/common/assert.hpp"
+
+namespace repro::coherence {
+
+const char* policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kMsi:
+      return "msi";
+    case Policy::kMesi:
+      return "mesi";
+  }
+  return "?";
+}
+
+std::optional<Policy> parse_policy(std::string_view name) {
+  if (name == "msi") {
+    return Policy::kMsi;
+  }
+  if (name == "mesi") {
+    return Policy::kMesi;
+  }
+  return std::nullopt;
+}
+
+void CoherenceConfig::validate() const {
+  REPRO_REQUIRE_MSG(sets >= 1, "coherence cache needs at least one set");
+  REPRO_REQUIRE_MSG(ways >= 1, "coherence cache needs at least one way");
+  REPRO_REQUIRE_MSG(upgrade_ns >= 0.0, "negative upgrade cost");
+  REPRO_REQUIRE_MSG(intervention_ns >= 0.0, "negative intervention cost");
+}
+
+}  // namespace repro::coherence

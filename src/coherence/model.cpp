@@ -1,0 +1,581 @@
+#include "repro/coherence/model.hpp"
+
+#include <algorithm>
+
+#include "repro/common/assert.hpp"
+
+namespace repro::coherence {
+
+double CoherenceStats::coherence_miss_rate() const {
+  const std::uint64_t total = hit_lines + miss_lines();
+  return total == 0 ? 0.0
+                    : static_cast<double>(coherence_miss_lines) /
+                          static_cast<double>(total);
+}
+
+CoherenceModel::CoherenceModel(const memsys::MachineConfig& machine,
+                               const CoherenceConfig& config)
+    : config_(config) {
+  config_.validate();
+  if (config_.line_size == 0) {
+    config_.line_size = machine.cache_line;
+  }
+  REPRO_REQUIRE_MSG(config_.line_size > 0, "zero coherence line size");
+  REPRO_REQUIRE_MSG(config_.line_size % machine.cache_line == 0 ||
+                        machine.cache_line % config_.line_size == 0,
+                    "coherence line size must divide or be a multiple of "
+                    "the machine cache line");
+  REPRO_REQUIRE_MSG(machine.page_size % config_.line_size == 0,
+                    "coherence line size must divide the page size");
+  num_procs_ = static_cast<std::uint32_t>(machine.num_procs());
+  lpp_ = machine.lines_per_page();
+  clpp_ = static_cast<std::uint32_t>(machine.page_size / config_.line_size);
+  if (config_.line_size < machine.cache_line) {
+    fine_ = static_cast<std::uint32_t>(machine.cache_line / config_.line_size);
+  } else {
+    coarse_ =
+        static_cast<std::uint32_t>(config_.line_size / machine.cache_line);
+  }
+  wpe_ = (num_procs_ + 63) / 64;
+  ways_.resize(static_cast<std::size_t>(num_procs_) * config_.sets *
+               config_.ways);
+  lru_clock_.resize(num_procs_, 0);
+  stats_.resize(num_procs_);
+}
+
+void CoherenceModel::set_trace(trace::TraceSink* sink, std::uint16_t lane) {
+  sink_ = sink;
+  lane_ = lane;
+}
+
+const CoherenceStats& CoherenceModel::stats(ProcId proc) const {
+  REPRO_REQUIRE(proc.value() < num_procs_);
+  return stats_[proc.value()];
+}
+
+CoherenceStats CoherenceModel::total_stats() const {
+  CoherenceStats total;
+  for (const CoherenceStats& st : stats_) {
+    total.hit_lines += st.hit_lines;
+    total.cold_miss_lines += st.cold_miss_lines;
+    total.capacity_miss_lines += st.capacity_miss_lines;
+    total.coherence_miss_lines += st.coherence_miss_lines;
+    total.upgrades += st.upgrades;
+    total.invalidations_sent += st.invalidations_sent;
+    total.invalidations_received += st.invalidations_received;
+    total.writebacks += st.writebacks;
+    total.dirty_fetches += st.dirty_fetches;
+  }
+  return total;
+}
+
+bool CoherenceModel::test_bit(const std::uint64_t* words,
+                              std::uint32_t proc) const {
+  return ((words[proc / 64] >> (proc % 64)) & 1u) != 0;
+}
+
+void CoherenceModel::set_bit(std::uint64_t* words, std::uint32_t proc) {
+  words[proc / 64] |= std::uint64_t{1} << (proc % 64);
+}
+
+void CoherenceModel::clear_bit(std::uint64_t* words, std::uint32_t proc) {
+  words[proc / 64] &= ~(std::uint64_t{1} << (proc % 64));
+}
+
+CoherenceModel::Way* CoherenceModel::find_way(std::uint32_t proc,
+                                              std::uint64_t line) {
+  return const_cast<Way*>(std::as_const(*this).find_way(proc, line));
+}
+
+const CoherenceModel::Way* CoherenceModel::find_way(
+    std::uint32_t proc, std::uint64_t line) const {
+  const std::size_t set = line % config_.sets;
+  const Way* base =
+      ways_.data() + (proc * config_.sets + set) * config_.ways;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].state != LineState::kInvalid && base[w].line == line) {
+      return base + w;
+    }
+  }
+  return nullptr;
+}
+
+std::uint32_t CoherenceModel::entry_slot(std::uint64_t line) {
+  if (const std::uint32_t* slot = index_.find(line)) {
+    return *slot;
+  }
+  const auto slot = static_cast<std::uint32_t>(entries_.size());
+  index_[line] = slot;
+  entries_.emplace_back();
+  words_.resize(words_.size() + 3 * static_cast<std::size_t>(wpe_), 0);
+  return slot;
+}
+
+std::uint32_t CoherenceModel::invalidate_others(std::uint32_t slot,
+                                                std::uint64_t line,
+                                                std::uint32_t keeper) {
+  std::uint64_t* sharers = sharer_words(slot);
+  std::uint64_t* inv = inv_words(slot);
+  std::uint32_t victims = 0;
+  for (std::uint32_t w = 0; w < wpe_; ++w) {
+    std::uint64_t word = sharers[w];
+    while (word != 0) {
+      const auto bit =
+          static_cast<std::uint32_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      const std::uint32_t q = 64 * w + bit;
+      if (q == keeper) {
+        continue;
+      }
+      Way* way = find_way(q, line);
+      REPRO_ASSERT(way != nullptr);
+      way->state = LineState::kInvalid;
+      clear_bit(sharers, q);
+      set_bit(inv, q);
+      ++stats_[q].invalidations_received;
+      ++victims;
+    }
+  }
+  Entry& e = entries_[slot];
+  if (e.owner != kNoOwner && e.owner != keeper) {
+    e.owner = kNoOwner;
+    e.dirty = false;
+  }
+  return victims;
+}
+
+CoherenceModel::Way& CoherenceModel::fill_line(std::uint32_t proc,
+                                               std::uint64_t line,
+                                               LineState state,
+                                               std::uint64_t version,
+                                               memsys::LineOutcome& out) {
+  (void)out;
+  const std::size_t set = line % config_.sets;
+  Way* base = ways_.data() + (proc * config_.sets + set) * config_.ways;
+  Way* victim = base;
+  for (std::size_t w = 0; w < config_.ways; ++w) {
+    if (base[w].state == LineState::kInvalid) {
+      victim = base + w;
+      break;
+    }
+    if (base[w].lru < victim->lru) {
+      victim = base + w;
+    }
+  }
+  if (victim->state != LineState::kInvalid) {
+    // Capacity/conflict eviction: silent for clean copies, an
+    // asynchronous writeback for dirty ones. The victim's inv-pending
+    // bit stays clear -- refetching it later is a capacity miss, not a
+    // coherence miss.
+    const std::uint64_t vline = victim->line;
+    const std::uint32_t* vslot = index_.find(vline);
+    REPRO_ASSERT(vslot != nullptr);
+    Entry& ve = entries_[*vslot];
+    clear_bit(sharer_words(*vslot), proc);
+    if (victim->state == LineState::kModified) {
+      ve.memory_version = victim->version;
+      ve.owner = kNoOwner;
+      ve.dirty = false;
+      writeback_scratch_.push_back(vline / clpp_);
+      ++stats_[proc].writebacks;
+    } else if (ve.owner == proc) {
+      ve.owner = kNoOwner;
+      ve.dirty = false;
+    }
+  }
+  victim->line = line;
+  victim->version = version;
+  victim->state = state;
+  victim->lru = ++lru_clock_[proc];
+  return *victim;
+}
+
+void CoherenceModel::touch_line(Ns now, std::uint32_t proc, VPage page,
+                                std::uint32_t index, bool write,
+                                memsys::LineOutcome& out) {
+  const std::uint64_t line = line_id(page, index);
+  CoherenceStats& st = stats_[proc];
+  Way* way = find_way(proc, line);
+  if (way != nullptr) {
+    way->lru = ++lru_clock_[proc];
+    if (write && way->state != LineState::kModified) {
+      if (way->state == LineState::kExclusive) {
+        // MESI's reason to exist: the sole clean copy upgrades without
+        // a directory round trip (this transition is what makes MSI
+        // and MESI digests differ while results stay identical).
+        way->state = LineState::kModified;
+        way->version = ++next_version_;
+        entries_[*index_.find(line)].dirty = true;
+      } else {
+        // S -> M upgrade: a directory round trip that invalidates
+        // every other copy before the write proceeds (SWMR).
+        const std::uint32_t slot = *index_.find(line);
+        const std::uint32_t victims = invalidate_others(slot, line, proc);
+        out.invalidation_copies += victims;
+        st.invalidations_sent += victims;
+        ++st.upgrades;
+        out.extra_ns += config_.upgrade_ns;
+        if (sink_ != nullptr && victims != 0) {
+          trace::TraceEvent ev;
+          ev.kind = trace::EventKind::kLineInvalidate;
+          ev.time = now;
+          ev.page = page.value();
+          ev.a = index;
+          ev.b = victims;
+          ev.node = static_cast<std::int32_t>(proc);
+          sink_->emit(lane_, ev);
+        }
+        way->state = LineState::kModified;
+        way->version = ++next_version_;
+        Entry& e = entries_[slot];
+        e.owner = proc;
+        e.dirty = true;
+      }
+    } else if (write) {
+      way->version = ++next_version_;  // write hit on M
+    }
+    ++out.hit_lines;
+    ++st.hit_lines;
+    return;
+  }
+
+  // Miss: classify against the line's history with this processor.
+  const std::uint32_t slot = entry_slot(line);
+  if (test_bit(inv_words(slot), proc)) {
+    clear_bit(inv_words(slot), proc);
+    ++st.coherence_miss_lines;
+  } else if (test_bit(ever_words(slot), proc)) {
+    ++st.capacity_miss_lines;
+  } else {
+    set_bit(ever_words(slot), proc);
+    ++st.cold_miss_lines;
+  }
+  ++out.miss_lines;
+
+  if (write) {
+    // Read-for-ownership: a dirty copy is fetched by intervention (and
+    // implicitly written back), then every other copy is invalidated.
+    Entry& e = entries_[slot];
+    if (e.owner != kNoOwner && e.dirty) {
+      const Way* owner_way = find_way(e.owner, line);
+      REPRO_ASSERT(owner_way != nullptr);
+      e.memory_version = owner_way->version;
+      ++st.dirty_fetches;
+      out.extra_ns += config_.intervention_ns;
+    }
+    const std::uint32_t victims = invalidate_others(slot, line, proc);
+    out.invalidation_copies += victims;
+    st.invalidations_sent += victims;
+    if (sink_ != nullptr && victims != 0) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kLineInvalidate;
+      ev.time = now;
+      ev.page = page.value();
+      ev.a = index;
+      ev.b = victims;
+      ev.node = static_cast<std::int32_t>(proc);
+      sink_->emit(lane_, ev);
+    }
+    const std::uint64_t version = ++next_version_;
+    fill_line(proc, line, LineState::kModified, version, out);
+    Entry& after = entries_[slot];
+    after.owner = proc;
+    after.dirty = true;
+    set_bit(sharer_words(slot), proc);
+    return;
+  }
+
+  // Read miss: downgrade any exclusive owner (a dirty one writes back
+  // by intervention), then fill Shared -- or Exclusive under MESI when
+  // no other copy remains.
+  Entry& e = entries_[slot];
+  if (e.owner != kNoOwner) {
+    Way* owner_way = find_way(e.owner, line);
+    REPRO_ASSERT(owner_way != nullptr);
+    if (e.dirty) {
+      e.memory_version = owner_way->version;
+      ++st.dirty_fetches;
+      out.extra_ns += config_.intervention_ns;
+    }
+    owner_way->state = LineState::kShared;
+    e.owner = kNoOwner;
+    e.dirty = false;
+  }
+  std::uint32_t copies = 0;
+  for (std::uint32_t w = 0; w < wpe_; ++w) {
+    copies += static_cast<std::uint32_t>(
+        __builtin_popcountll(sharer_words(slot)[w]));
+  }
+  const LineState fill_state =
+      config_.policy == Policy::kMesi && copies == 0 ? LineState::kExclusive
+                                                     : LineState::kShared;
+  const std::uint64_t version = e.memory_version;
+  fill_line(proc, line, fill_state, version, out);
+  Entry& after = entries_[slot];
+  if (fill_state == LineState::kExclusive) {
+    after.owner = proc;
+    after.dirty = false;
+  }
+  set_bit(sharer_words(slot), proc);
+}
+
+memsys::LineOutcome CoherenceModel::on_access(
+    Ns now, const memsys::LineAccess& access) {
+  const std::uint32_t proc = access.proc.value();
+  REPRO_REQUIRE(proc < num_procs_);
+  REPRO_REQUIRE(access.lines >= 1);
+  REPRO_REQUIRE(access.line_begin < lpp_);
+  writeback_scratch_.clear();
+  memsys::LineOutcome out;
+  const CoherenceStats before = stats_[proc];
+  for (std::uint32_t i = 0; i < access.lines; ++i) {
+    // Coalesced read runs wrap: touches past the first lap of the page
+    // are repeats of already-filled lines and classify as hits, which
+    // keeps cost linear in the line count exactly like the page model.
+    const std::uint32_t m = (access.line_begin + i) % lpp_;
+    if (fine_ > 1) {
+      for (std::uint32_t f = 0; f < fine_; ++f) {
+        touch_line(now, proc, access.page, m * fine_ + f, access.write, out);
+      }
+    } else {
+      touch_line(now, proc, access.page, m / coarse_, access.write, out);
+    }
+  }
+  if (sink_ != nullptr) {
+    const CoherenceStats& after = stats_[proc];
+    if (out.miss_lines != 0) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kLineFill;
+      ev.time = now;
+      ev.page = access.page.value();
+      ev.node = static_cast<std::int32_t>(proc);
+      ev.a = out.miss_lines;
+      ev.b = (after.cold_miss_lines - before.cold_miss_lines) |
+             (after.capacity_miss_lines - before.capacity_miss_lines) << 16 |
+             (after.coherence_miss_lines - before.coherence_miss_lines)
+                 << 32 |
+             (after.dirty_fetches - before.dirty_fetches) << 48;
+      sink_->emit(lane_, ev);
+    }
+    if (after.upgrades != before.upgrades) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kLineUpgrade;
+      ev.time = now;
+      ev.page = access.page.value();
+      ev.node = static_cast<std::int32_t>(proc);
+      ev.a = after.upgrades - before.upgrades;
+      sink_->emit(lane_, ev);
+    }
+    if (after.writebacks != before.writebacks) {
+      trace::TraceEvent ev;
+      ev.kind = trace::EventKind::kLineWriteback;
+      ev.time = now;
+      ev.page = access.page.value();
+      ev.node = static_cast<std::int32_t>(proc);
+      ev.a = after.writebacks - before.writebacks;
+      sink_->emit(lane_, ev);
+    }
+  }
+  out.writeback_pages = writeback_scratch_;
+  return out;
+}
+
+void CoherenceModel::flush_page(VPage page) {
+  for (std::uint32_t idx = 0; idx < clpp_; ++idx) {
+    const std::uint64_t line = line_id(page, idx);
+    const std::uint32_t* slot = index_.find(line);
+    if (slot == nullptr) {
+      continue;
+    }
+    Entry& e = entries_[*slot];
+    std::uint64_t* sharers = sharer_words(*slot);
+    for (std::uint32_t w = 0; w < wpe_; ++w) {
+      std::uint64_t word = sharers[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(word));
+        word &= word - 1;
+        const std::uint32_t q = 64 * w + bit;
+        Way* way = find_way(q, line);
+        REPRO_ASSERT(way != nullptr);
+        if (way->state == LineState::kModified) {
+          e.memory_version = way->version;  // preserve the value
+        }
+        way->state = LineState::kInvalid;
+      }
+      sharers[w] = 0;
+    }
+    e.owner = kNoOwner;
+    e.dirty = false;
+    // Forget the access history too: a flushed page's next touch is a
+    // cold miss, matching the page-grain flush semantics tests rely on.
+    for (std::uint32_t w = 0; w < wpe_; ++w) {
+      ever_words(*slot)[w] = 0;
+      inv_words(*slot)[w] = 0;
+    }
+  }
+}
+
+void CoherenceModel::clear() {
+  std::fill(ways_.begin(), ways_.end(), Way{});
+  std::fill(lru_clock_.begin(), lru_clock_.end(), 0);
+  index_.clear();
+  entries_.clear();
+  words_.clear();
+  next_version_ = 0;
+  writeback_scratch_.clear();
+}
+
+void CoherenceModel::reset_stats() {
+  for (CoherenceStats& st : stats_) {
+    st = CoherenceStats{};
+  }
+}
+
+void CoherenceModel::digest(StateHash& hash) const {
+  hash.mix(static_cast<std::uint64_t>(config_.policy));
+  hash.mix(next_version_);
+  for (std::uint32_t p = 0; p < num_procs_; ++p) {
+    hash.mix(lru_clock_[p]);
+    const Way* base = ways_.data() +
+                      static_cast<std::size_t>(p) * config_.sets *
+                          config_.ways;
+    for (std::size_t i = 0; i < config_.sets * config_.ways; ++i) {
+      if (base[i].state == LineState::kInvalid) {
+        continue;
+      }
+      hash.mix(i);
+      hash.mix(base[i].line);
+      hash.mix(base[i].version);
+      hash.mix(base[i].lru);
+      hash.mix(static_cast<std::uint64_t>(base[i].state));
+    }
+  }
+  // FlatMap iteration order is unspecified; digest in sorted-key order.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(index_.size());
+  index_.for_each(
+      [&keys](std::uint64_t key, std::uint32_t) { keys.push_back(key); });
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t key : keys) {
+    const std::uint32_t slot = *index_.find(key);
+    const Entry& e = entries_[slot];
+    hash.mix(key);
+    hash.mix(e.memory_version);
+    hash.mix(e.owner);
+    hash.mix(static_cast<std::uint64_t>(e.dirty));
+    const std::uint64_t* words = sharer_words(slot);
+    for (std::uint32_t w = 0; w < 3 * wpe_; ++w) {
+      hash.mix(words[w]);
+    }
+  }
+}
+
+CoherenceModel::LineState CoherenceModel::state_of(ProcId proc,
+                                                   std::uint64_t line) const {
+  REPRO_REQUIRE(proc.value() < num_procs_);
+  const Way* way = find_way(proc.value(), line);
+  return way == nullptr ? LineState::kInvalid : way->state;
+}
+
+std::vector<std::uint32_t> CoherenceModel::sharers_of(
+    std::uint64_t line) const {
+  std::vector<std::uint32_t> procs;
+  const std::uint32_t* slot = index_.find(line);
+  if (slot == nullptr) {
+    return procs;
+  }
+  const std::uint64_t* words = sharer_words(*slot);
+  for (std::uint32_t w = 0; w < wpe_; ++w) {
+    std::uint64_t word = words[w];
+    while (word != 0) {
+      const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(word));
+      word &= word - 1;
+      procs.push_back(64 * w + bit);
+    }
+  }
+  return procs;
+}
+
+std::uint64_t CoherenceModel::probe_version(ProcId proc,
+                                            std::uint64_t line) const {
+  REPRO_REQUIRE(proc.value() < num_procs_);
+  if (const Way* way = find_way(proc.value(), line)) {
+    return way->version;
+  }
+  const std::uint32_t* slot = index_.find(line);
+  return slot == nullptr ? 0 : entries_[*slot].memory_version;
+}
+
+void CoherenceModel::audit() const {
+  // Cache side: every valid way is registered in the directory, and
+  // exclusive states are consistent with the entry.
+  for (std::uint32_t p = 0; p < num_procs_; ++p) {
+    const Way* base = ways_.data() +
+                      static_cast<std::size_t>(p) * config_.sets *
+                          config_.ways;
+    for (std::size_t i = 0; i < config_.sets * config_.ways; ++i) {
+      const Way& way = base[i];
+      if (way.state == LineState::kInvalid) {
+        continue;
+      }
+      REPRO_REQUIRE_MSG(way.line % config_.sets == i / config_.ways,
+                        "cached line in the wrong set");
+      const std::uint32_t* slot = index_.find(way.line);
+      REPRO_REQUIRE_MSG(slot != nullptr, "cached line unknown to directory");
+      const Entry& e = entries_[*slot];
+      REPRO_REQUIRE_MSG(test_bit(sharer_words(*slot), p),
+                        "cached line missing its sharer bit");
+      if (way.state == LineState::kModified) {
+        REPRO_REQUIRE_MSG(e.owner == p && e.dirty,
+                          "modified copy without directory ownership");
+      }
+      if (way.state == LineState::kExclusive) {
+        REPRO_REQUIRE_MSG(config_.policy == Policy::kMesi,
+                          "exclusive state under MSI");
+        REPRO_REQUIRE_MSG(e.owner == p && !e.dirty,
+                          "exclusive copy without clean ownership");
+      }
+    }
+  }
+  // Directory side: sharer bits point at real copies, and any M or E
+  // copy is the line's only copy (single-writer, multiple-reader).
+  index_.for_each([this](std::uint64_t line, std::uint32_t slot) {
+    const Entry& e = entries_[slot];
+    const std::uint64_t* words = sharer_words(slot);
+    std::uint32_t copies = 0;
+    bool exclusive_copy = false;
+    for (std::uint32_t w = 0; w < wpe_; ++w) {
+      std::uint64_t word = words[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(word));
+        word &= word - 1;
+        const std::uint32_t q = 64 * w + bit;
+        const Way* way = find_way(q, line);
+        REPRO_REQUIRE_MSG(way != nullptr,
+                          "directory sharer bit without a cached copy");
+        if (way->state != LineState::kShared) {
+          exclusive_copy = true;
+        }
+        ++copies;
+      }
+    }
+    if (exclusive_copy) {
+      REPRO_REQUIRE_MSG(copies == 1,
+                        "SWMR violated: exclusive copy is not the only copy");
+    }
+    if (e.owner != kNoOwner) {
+      REPRO_REQUIRE_MSG(test_bit(words, e.owner),
+                        "directory owner without a sharer bit");
+      const Way* way = find_way(e.owner, line);
+      REPRO_REQUIRE_MSG(
+          way != nullptr &&
+              way->state == (e.dirty ? LineState::kModified
+                                     : LineState::kExclusive),
+          "directory owner state disagrees with the cached copy");
+    } else {
+      REPRO_REQUIRE_MSG(!e.dirty, "dirty line without an owner");
+    }
+  });
+}
+
+}  // namespace repro::coherence

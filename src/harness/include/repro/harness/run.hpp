@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "repro/analysis/diagnostic.hpp"
+#include "repro/coherence/config.hpp"
+#include "repro/coherence/model.hpp"
 #include "repro/fault/injector.hpp"
 #include "repro/fault/plan.hpp"
 #include "repro/memsys/config.hpp"
@@ -71,6 +73,18 @@ struct RunConfig {
   /// at iteration boundaries, so the simulation state is never torn).
   /// 0 disables the watchdog.
   std::uint32_t cell_timeout_ms = 0;
+  /// Line-grain coherence protocol: "" (off, the page-grain default --
+  /// byte-identical to builds without repro::coherence), "msi" or
+  /// "mesi". When set, the memory system classifies hits and misses
+  /// through per-processor private caches and a line-grain sharer
+  /// directory (see repro::coherence), the label gains a "-msi"/"-mesi"
+  /// suffix, and the steady-state fast-forward is declined (the
+  /// cache/directory digest is not periodic in general).
+  std::string coherence;
+  /// Geometry/cost overrides for the coherence model; ignored unless
+  /// `coherence` is non-empty (the policy field is overwritten from the
+  /// string above).
+  coherence::CoherenceConfig coherence_config;
 
   memsys::MachineConfig machine;
   os::DaemonConfig daemon;
@@ -123,6 +137,11 @@ struct RunResult {
   /// Largest class rate of the cell's plan (0 = faults disabled);
   /// carried into BENCH_*.json so sweep rows are self-describing.
   double fault_rate = 0.0;
+  /// Aggregate line-grain coherence counters over the timed iterations
+  /// (all zero when RunConfig::coherence was empty).
+  coherence::CoherenceStats coherence_totals;
+  /// Whether the run executed under the line-grain coherence model.
+  bool coherence_enabled = false;
 
   [[nodiscard]] double seconds() const { return ns_to_seconds(total); }
 

@@ -77,7 +77,22 @@ std::string results_to_json(const std::vector<RunResult>& results) {
     append_field(os, "fault_slowdowns", r.fault_stats.slowdowns);
     append_field(os, "fault_preemptions", r.fault_stats.preemptions);
     append_field(os, "fault_injected_total", r.fault_stats.injected_total(),
-                 /*last=*/r.trace_digest.empty());
+                 /*last=*/!r.coherence_enabled && r.trace_digest.empty());
+    if (r.coherence_enabled) {
+      // Emitted only for coherence cells: page-grain rows (and every
+      // pre-coherence baseline JSON) stay byte-identical.
+      const coherence::CoherenceStats& c = r.coherence_totals;
+      append_field(os, "coherence_hit_lines", c.hit_lines);
+      append_field(os, "coherence_cold_miss_lines", c.cold_miss_lines);
+      append_field(os, "coherence_capacity_miss_lines",
+                   c.capacity_miss_lines);
+      append_field(os, "coherence_miss_lines", c.coherence_miss_lines);
+      append_field(os, "coherence_miss_rate", c.coherence_miss_rate());
+      append_field(os, "coherence_upgrades", c.upgrades);
+      append_field(os, "coherence_invalidations", c.invalidations_sent);
+      append_field(os, "coherence_writebacks", c.writebacks,
+                   /*last=*/r.trace_digest.empty());
+    }
     if (!r.trace_digest.empty()) {
       os << "\"trace_digest\": \"" << escape(r.trace_digest) << "\", ";
       os << "\"trace_migrations_per_iteration\": [";

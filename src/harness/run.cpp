@@ -28,7 +28,14 @@ std::string RunConfig::label() const {
   } else if (kernel_migration) {
     engine = "IRIXmig";
   }
-  return placement + "-" + engine;
+  std::string name = placement + "-" + engine;
+  if (!coherence.empty()) {
+    // Coherence cells get their own label family ("ft-base-msi") so
+    // sweep rows, trace dumps and golden digests never collide with
+    // the page-grain baseline.
+    name += "-" + coherence;
+  }
+  return name;
 }
 
 Ns RunResult::mean_iteration_last(double fraction) const {
@@ -72,6 +79,17 @@ RunResult run_benchmark(const RunConfig& config) {
 
   auto machine = omp::Machine::create(config.machine);
   machine->set_placement(config.placement, config.seed);
+  coherence::CoherenceModel* coh = nullptr;
+  if (!config.coherence.empty()) {
+    const auto policy = coherence::parse_policy(config.coherence);
+    REPRO_REQUIRE_MSG(policy.has_value(),
+                      "unknown coherence policy (want \"msi\" or \"mesi\")");
+    coherence::CoherenceConfig cc = config.coherence_config;
+    cc.policy = *policy;
+    // Before enable_tracing, so the "coherence" lane lands in the
+    // canonical slot between "upmlib" and "daemon"/"harness".
+    coh = &machine->enable_coherence(cc);
+  }
   trace::TraceSink* sink = nullptr;
   std::uint16_t harness_lane = 0;
   if (tracing) {
@@ -154,9 +172,11 @@ RunResult run_benchmark(const RunConfig& config) {
 
   // Steady-state fast-forward: on unless opted out, and off under the
   // analyzer (it inspects every *executed* region, so synthesized
-  // iterations would change its input).
+  // iterations would change its input) or the coherence model (cache
+  // and directory state is not periodic in general, so a replayed
+  // block would misreport the line-grain counters).
   const bool fast_forward =
-      !config.no_fast_forward && !analyze &&
+      !config.no_fast_forward && !analyze && coh == nullptr &&
       Env::global().get_bool("REPRO_FAST_FORWARD", true);
   std::unique_ptr<FastForward> ff;
   if (fast_forward) {
@@ -257,6 +277,10 @@ RunResult run_benchmark(const RunConfig& config) {
     result.daemon_stats = machine->kernel().daemon()->stats();
   }
   result.memory_totals = machine->memory().total_stats();
+  if (coh != nullptr) {
+    result.coherence_totals = coh->total_stats();
+    result.coherence_enabled = true;
+  }
   if (injector != nullptr) {
     result.fault_stats = injector->stats();
     result.fault_rate = fault_plan.max_rate();

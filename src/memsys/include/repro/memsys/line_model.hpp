@@ -1,0 +1,82 @@
+// Line-granularity cache-model hook.
+//
+// The page-grain memory system optionally delegates hit/miss
+// classification to a line-grain private-cache model (see
+// repro::coherence, which implements MSI/MESI over a line-level sharer
+// directory). The dependency points downward only: memsys defines the
+// interface, the coherence library implements it, and the Machine wires
+// the two together. When a model is attached the per-processor
+// page-grain caches and the page-grain directory are bypassed -- the
+// model decides which lines hit, which lines need a memory fill and
+// what protocol traffic (upgrades, invalidations, interventions) the
+// access generates -- while the memory system keeps charging the
+// Table-1 latency ladder, the per-node memory queues, the TLBs, the
+// backend (first-touch, UPMlib counters, kernel daemon) and the fault
+// hooks exactly as before, so simulated time stays deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "repro/common/hash.hpp"
+#include "repro/common/strong_id.hpp"
+#include "repro/common/units.hpp"
+
+namespace repro::memsys {
+
+/// One access as seen by the line model: `lines` lines starting at
+/// `line_begin` within `page`, wrapped modulo lines-per-page (coalesced
+/// read runs legitimately exceed one page's worth of lines; the extra
+/// touches are guaranteed hits).
+struct LineAccess {
+  ProcId proc;
+  VPage page;
+  std::uint32_t line_begin = 0;
+  std::uint32_t lines = 1;
+  bool write = false;
+};
+
+/// The model's classification of one access. Counts are in the model's
+/// line units; hit_lines + miss_lines equals the access's line count.
+struct LineOutcome {
+  std::uint32_t hit_lines = 0;
+  std::uint32_t miss_lines = 0;  ///< lines requiring a memory fill
+  /// Remote cached copies invalidated by this access (write upgrades
+  /// and write misses); each is charged the machine's invalidation_ns.
+  std::uint32_t invalidation_copies = 0;
+  /// Protocol charges owned by the model (upgrade round trips, dirty
+  /// remote interventions), added to the processor's blocked time.
+  double extra_ns = 0.0;
+  /// Home pages of dirty lines evicted by this access's fills, one
+  /// entry per line. The memory system posts each as one line of
+  /// occupancy at the page's home module -- the writeback retires
+  /// asynchronously, so its queue wait is charged to nobody (the same
+  /// treatment as fault-injected phantom traffic). The span aliases
+  /// model-owned scratch storage valid until the next call.
+  std::span<const std::uint64_t> writeback_pages;
+};
+
+class LineModel {
+ public:
+  virtual ~LineModel() = default;
+
+  /// Classifies one access at simulated time `now`, mutating the
+  /// model's caches and directory.
+  virtual LineOutcome on_access(Ns now, const LineAccess& access) = 0;
+
+  /// Drops every cached copy of the page's lines (no writeback events;
+  /// mirrors MemorySystem::flush_page forcing cold misses for tests).
+  virtual void flush_page(VPage page) = 0;
+
+  /// Drops all model state (MemorySystem::flush_all).
+  virtual void clear() = 0;
+
+  /// Resets cumulative statistics without touching cache state
+  /// (MemorySystem::reset_stats, after cold start).
+  virtual void reset_stats() = 0;
+
+  /// Mixes all behaviour-relevant state into the memory system digest.
+  virtual void digest(StateHash& hash) const = 0;
+};
+
+}  // namespace repro::memsys

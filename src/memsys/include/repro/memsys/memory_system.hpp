@@ -18,6 +18,7 @@
 #include "repro/memsys/config.hpp"
 #include "repro/memsys/directory.hpp"
 #include "repro/memsys/latency.hpp"
+#include "repro/memsys/line_model.hpp"
 #include "repro/memsys/mem_queue.hpp"
 #include "repro/memsys/op_batch.hpp"
 #include "repro/memsys/page_cache.hpp"
@@ -58,6 +59,10 @@ class MemorySystem final : public TlbInvalidator {
     /// latency once plus the memory module's per-line service rate --
     /// remote *latency* is hidden but *contention* is not.
     bool stream = false;
+    /// First line within the page; only the line-grain coherence model
+    /// reads it (must be < lines_per_page). Last on purpose: existing
+    /// positional initializers predate the field.
+    std::uint32_t line_begin = 0;
   };
 
   struct AccessResult {
@@ -151,9 +156,25 @@ class MemorySystem final : public TlbInvalidator {
     fault_ = injector;
   }
 
+  /// Attaches a line-grain cache model (null to detach); see
+  /// line_model.hpp for the division of labour. The model must outlive
+  /// the memory system (the Machine owns both).
+  void set_line_model(LineModel* model) { line_model_ = model; }
+  [[nodiscard]] LineModel* line_model() const { return line_model_; }
+
  private:
   AccessResult access_impl(Ns now, ProcId proc, VPage page,
-                           std::uint32_t lines, bool write, bool stream);
+                           std::uint32_t lines, std::uint32_t line_begin,
+                           bool write, bool stream);
+
+  /// Shared miss path: backend resolve, home-queue service, Table-1
+  /// ladder, miss stats, backend and fault hooks. `lines` is the miss
+  /// line count (the full access on the page path, the model's
+  /// miss_lines on the line path). Mutates `elapsed` with the same
+  /// statement-by-statement addition order both paths always used --
+  /// floating-point association is part of the digest contract.
+  void charge_miss(AccessResult& out, double& elapsed, Ns now, ProcId proc,
+                   VPage page, std::uint32_t lines, bool write, bool stream);
 
   MachineConfig config_;
   const topo::Topology* topology_;
@@ -165,6 +186,7 @@ class MemorySystem final : public TlbInvalidator {
   std::vector<MemQueue> queues_;    // by node
   std::vector<ProcStats> stats_;    // by processor
   fault::FaultInjector* fault_ = nullptr;
+  LineModel* line_model_ = nullptr;
   double elapsed_frac_ = 0.0;       // sub-ns carry for latency charges
 };
 

@@ -20,12 +20,19 @@ namespace repro::memsys {
 inline constexpr std::uint8_t kOpAccess = 1u << 0;
 inline constexpr std::uint8_t kOpWrite = 1u << 1;
 inline constexpr std::uint8_t kOpStream = 1u << 2;
+/// The op's line_begin is an explicit position (Op::access_at), not the
+/// default zero: such ops never coalesce, and line-granular analysis
+/// (analysis.false-sharing) may treat their line interval as exact.
+inline constexpr std::uint8_t kOpPositioned = 1u << 3;
 
 /// A borrowed, read-only slice of one thread's op columns. The pointers
 /// alias the owning program's arena; the slice must not outlive it.
 struct OpSlice {
   const std::uint64_t* pages = nullptr;  ///< target VPage values
   const std::uint32_t* lines = nullptr;  ///< lines touched (access ops)
+  /// First line within the page (access ops); only the line-grain
+  /// coherence model reads it, the page-grain path ignores it.
+  const std::uint32_t* line_begin = nullptr;
   const Ns* compute = nullptr;           ///< attached / interval compute
   const std::uint8_t* flags = nullptr;   ///< kOp* bits
   std::uint32_t count = 0;

@@ -52,19 +52,105 @@ NodeId MemorySystem::node_of(ProcId proc) const {
 MemorySystem::AccessResult MemorySystem::access(Ns now, const Access& a) {
   REPRO_REQUIRE(a.proc.value() < config_.num_procs());
   REPRO_REQUIRE(a.lines >= 1 && a.lines <= config_.lines_per_page());
-  return access_impl(now, a.proc, a.page, a.lines, a.write, a.stream);
+  REPRO_REQUIRE(a.line_begin < config_.lines_per_page());
+  return access_impl(now, a.proc, a.page, a.lines, a.line_begin, a.write,
+                     a.stream);
 }
 
-MemorySystem::AccessResult MemorySystem::access_impl(Ns now, ProcId proc,
-                                                     VPage page,
-                                                     std::uint32_t lines,
-                                                     bool write, bool stream) {
+void MemorySystem::charge_miss(AccessResult& out, double& elapsed, Ns now,
+                               ProcId proc, VPage page, std::uint32_t lines,
+                               bool write, bool stream) {
+  out.misses = lines;
+  const HomeInfo home = backend_->resolve(proc, page, write);
+  out.home = home.node;
+  const NodeId from = node_of(proc);
+  out.remote = from != home.node;
+
+  const MemQueue::Service svc = queues_[home.node.value()].serve(now, lines);
+  out.queue_wait = svc.wait;
+  const double lat = latency_.memory_latency(from, home.node);
+  if (stream) {
+    // Pipelined fetch: one full-latency line, the rest at a rate
+    // limited by the memory module locally and additionally by the
+    // network when remote (prefetching hides most, not all, of the
+    // extra hop latency). Both the latency and the per-line stream
+    // cost are table loads precomputed by the LatencyModel.
+    elapsed += static_cast<double>(svc.wait) + lat +
+               static_cast<double>(lines - 1) *
+                   latency_.stream_line_cost(from, home.node);
+  } else {
+    elapsed += static_cast<double>(svc.wait) +
+               static_cast<double>(lines) * lat;
+  }
+
+  ProcStats& st = stats_[proc.value()];
+  st.queue_wait += svc.wait;
+  if (out.remote) {
+    st.remote_miss_lines += lines;
+  } else {
+    st.local_miss_lines += lines;
+  }
+  const Ns penalty = backend_->on_miss(proc, page, home, lines, now);
+  elapsed += static_cast<double>(penalty);
+
+  if (fault_ != nullptr) {
+    const auto injected = fault_->on_miss(home.node, lines, now);
+    if (injected.extra_ns != 0 || injected.extra_lines != 0) {
+      // The spike's phantom lines occupy the home module (later
+      // accesses queue behind them); their own wait is nobody's --
+      // the interfering traffic is not a simulated thread.
+      queues_[home.node.value()].serve(now, injected.extra_lines);
+      elapsed += static_cast<double>(injected.extra_ns);
+    }
+  }
+}
+
+MemorySystem::AccessResult MemorySystem::access_impl(
+    Ns now, ProcId proc, VPage page, std::uint32_t lines,
+    std::uint32_t line_begin, bool write, bool stream) {
   AccessResult out;
   double tlb_penalty = 0.0;
   if (!tlbs_.empty() && !tlbs_[proc.value()].touch(page).hit) {
     tlb_penalty = config_.tlb_refill_ns;
     ++stats_[proc.value()].tlb_misses;
   }
+
+  if (line_model_ != nullptr) {
+    // Line-grain path: the model classifies which lines hit, which
+    // need a memory fill and what protocol traffic the access
+    // generates; the page-grain caches and directory are bypassed.
+    const LineOutcome c =
+        line_model_->on_access(now, {proc, page, line_begin, lines, write});
+    out.invalidations = c.invalidation_copies;
+    double elapsed = tlb_penalty +
+                     static_cast<double>(c.invalidation_copies) *
+                         config_.invalidation_ns;
+    elapsed += static_cast<double>(c.hit_lines) * config_.cache_hit_ns +
+               c.extra_ns;
+    ProcStats& st = stats_[proc.value()];
+    st.hit_lines += c.hit_lines;
+    st.invalidations_sent += c.invalidation_copies;
+    if (c.miss_lines == 0) {
+      if (write) {
+        elapsed += static_cast<double>(backend_->on_write_hit(proc, page));
+      }
+    } else {
+      charge_miss(out, elapsed, now, proc, page, c.miss_lines, write, stream);
+    }
+    for (const std::uint64_t wb : c.writeback_pages) {
+      // Posted writeback: the dirty victim occupies its home module,
+      // but the evicting processor does not wait for it to retire
+      // (the fault-spike phantom-line treatment).
+      const HomeInfo wb_home = backend_->resolve(proc, VPage(wb), false);
+      queues_[wb_home.node.value()].serve(now, 1);
+    }
+    elapsed += elapsed_frac_;
+    const auto whole = static_cast<Ns>(elapsed);
+    elapsed_frac_ = elapsed - static_cast<double>(whole);
+    out.elapsed = whole;
+    return out;
+  }
+
   PageCache& cache = caches_[proc.value()];
   const auto touch = cache.touch(page);
   if (touch.evicted) {
@@ -105,49 +191,7 @@ MemorySystem::AccessResult MemorySystem::access_impl(Ns now, ProcId proc,
       elapsed += static_cast<double>(backend_->on_write_hit(proc, page));
     }
   } else {
-    out.misses = lines;
-    const HomeInfo home = backend_->resolve(proc, page, write);
-    out.home = home.node;
-    const NodeId from = node_of(proc);
-    out.remote = from != home.node;
-
-    const MemQueue::Service svc = queues_[home.node.value()].serve(now, lines);
-    out.queue_wait = svc.wait;
-    const double lat = latency_.memory_latency(from, home.node);
-    if (stream) {
-      // Pipelined fetch: one full-latency line, the rest at a rate
-      // limited by the memory module locally and additionally by the
-      // network when remote (prefetching hides most, not all, of the
-      // extra hop latency). Both the latency and the per-line stream
-      // cost are table loads precomputed by the LatencyModel.
-      elapsed += static_cast<double>(svc.wait) + lat +
-                 static_cast<double>(lines - 1) *
-                     latency_.stream_line_cost(from, home.node);
-    } else {
-      elapsed += static_cast<double>(svc.wait) +
-                 static_cast<double>(lines) * lat;
-    }
-
-    ProcStats& st = stats_[proc.value()];
-    st.queue_wait += svc.wait;
-    if (out.remote) {
-      st.remote_miss_lines += lines;
-    } else {
-      st.local_miss_lines += lines;
-    }
-    const Ns penalty = backend_->on_miss(proc, page, home, lines, now);
-    elapsed += static_cast<double>(penalty);
-
-    if (fault_ != nullptr) {
-      const auto injected = fault_->on_miss(home.node, lines, now);
-      if (injected.extra_ns != 0 || injected.extra_lines != 0) {
-        // The spike's phantom lines occupy the home module (later
-        // accesses queue behind them); their own wait is nobody's --
-        // the interfering traffic is not a simulated thread.
-        queues_[home.node.value()].serve(now, injected.extra_lines);
-        elapsed += static_cast<double>(injected.extra_ns);
-      }
-    }
+    charge_miss(out, elapsed, now, proc, page, lines, write, stream);
   }
 
   elapsed += elapsed_frac_;
@@ -176,10 +220,10 @@ MemorySystem::BatchResult MemorySystem::access_batch(ProcId proc,
       // Line counts are validated once at RegionProgram compile time
       // and re-checked per region run by the engine, so the per-op
       // bound check is gone from this loop.
-      const AccessResult r =
-          access_impl(out.clock, proc, VPage(ops.pages[i]), ops.lines[i],
-                      (ops.flags[i] & kOpWrite) != 0,
-                      (ops.flags[i] & kOpStream) != 0);
+      const AccessResult r = access_impl(
+          out.clock, proc, VPage(ops.pages[i]), ops.lines[i],
+          ops.line_begin != nullptr ? ops.line_begin[i] : 0,
+          (ops.flags[i] & kOpWrite) != 0, (ops.flags[i] & kOpStream) != 0);
       out.clock += r.elapsed + ops.compute[i];
     } else {
       out.clock += ops.compute[i];
@@ -201,6 +245,9 @@ void MemorySystem::flush_page(VPage page) {
       directory_.on_evict(ProcId(p), page);
     }
   }
+  if (line_model_ != nullptr) {
+    line_model_->flush_page(page);
+  }
 }
 
 void MemorySystem::flush_tlbs() {
@@ -214,6 +261,9 @@ void MemorySystem::flush_all() {
     caches_[p].clear();
   }
   directory_ = Directory(config_.num_procs(), config_.sparse_tables());
+  if (line_model_ != nullptr) {
+    line_model_->clear();
+  }
   // A flushed machine is fully cold: stale translations would let the
   // next access skip the TLB refill a real post-flush access pays.
   flush_tlbs();
@@ -247,6 +297,9 @@ std::uint64_t MemorySystem::digest(Ns now) const {
     tlb.digest(hash);
   }
   hash.mix(directory_.digest());
+  if (line_model_ != nullptr) {
+    line_model_->digest(hash);
+  }
   for (const MemQueue& queue : queues_) {
     queue.digest_phase(hash, now);
   }
@@ -282,6 +335,9 @@ void MemorySystem::reset_stats() {
   }
   for (MemQueue& q : queues_) {
     q.reset();
+  }
+  if (line_model_ != nullptr) {
+    line_model_->reset_stats();
   }
 }
 

@@ -1,0 +1,104 @@
+#include "repro/nas/falseshare.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/omp/schedule.hpp"
+
+namespace repro::nas {
+
+FalseShareWorkload::FalseShareWorkload(bool padded, FalseShareParams fs,
+                                       const WorkloadParams& params)
+    : padded_(padded), fs_(fs), params_(params) {
+  REPRO_REQUIRE(fs_.threads_per_line >= 1);
+  if (params_.size_scale != 1.0) {
+    fs_.work_pages_per_thread = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(fs_.work_pages_per_thread) *
+               params_.size_scale));
+  }
+}
+
+void FalseShareWorkload::setup(omp::Machine& machine) {
+  threads_ = static_cast<std::uint32_t>(machine.config().num_procs());
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::uint64_t flag_lines =
+      padded_ ? threads_
+              : (threads_ + fs_.threads_per_line - 1) / fs_.threads_per_line;
+  const std::uint64_t flag_pages = (flag_lines + lpp - 1) / lpp;
+  vm::AddressSpace& space = machine.address_space();
+  work_ = space.allocate_pages("FS.work",
+                               threads_ * fs_.work_pages_per_thread);
+  flags_ = space.allocate_pages("FS.flags", flag_pages);
+}
+
+void FalseShareWorkload::register_hot(upm::Upmlib& upm) const {
+  upm.memrefcnt(work_);
+  upm.memrefcnt(flags_);
+}
+
+std::uint64_t FalseShareWorkload::hot_page_count() const {
+  return work_.count + flags_.count;
+}
+
+void FalseShareWorkload::cold_start(omp::Machine& machine) {
+  // The flags array is initialized serially (memset-style), so the
+  // whole page lands on the master's node -- like the real codes'
+  // serial init sections, and deliberately: false sharing is a *line*
+  // pathology, and a single-node page keeps the page-grain picture
+  // identical between FS and FSP.
+  master_fault_scattered(machine, flags_, 1.0);
+  // Each thread first-touches its own work block (perfect first-touch
+  // placement -- the work arrays are not the interesting part).
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  sim::RegionBuilder region = rt.make_region();
+  for (std::uint32_t t = 0; t < threads_; ++t) {
+    const Emit e{region, ThreadId(t), lpp};
+    e.sweep_range(work_, t * fs_.work_pages_per_thread,
+                  (t + 1) * fs_.work_pages_per_thread, /*write=*/true,
+                  fs_.work_ns_per_line);
+  }
+  rt.run("FS.init", std::move(region));
+  iteration(machine, IterationContext{}, 0);
+}
+
+void FalseShareWorkload::phase_update(omp::Machine& machine) {
+  omp::Runtime& rt = machine.runtime();
+  const std::uint32_t lpp = machine.config().lines_per_page();
+  const std::size_t threads = rt.num_threads();
+  const sim::RegionProgram& program = programs_.get(
+      "FS.update", threads, [&](sim::RegionBuilder& region) {
+        for (std::uint32_t t = 0; t < threads; ++t) {
+          const Emit e{region, ThreadId(t), lpp};
+          // Private sweep: ordinary traffic that keeps the caches busy
+          // and gives the miss *rate* a denominator.
+          e.sweep_range(work_, t * fs_.work_pages_per_thread,
+                        (t + 1) * fs_.work_pages_per_thread, /*write=*/true,
+                        fs_.work_ns_per_line);
+          // Flag RMW rounds: read-then-write the thread's own field.
+          // Under FS the field shares its line with the neighbours'
+          // fields, so each write invalidates their copies (the
+          // ping-pong); under FSP the line is private and the rounds
+          // after the first all hit.
+          const std::uint64_t line = flag_line_of(t);
+          const VPage page = flags_.page(line / lpp);
+          const auto index = static_cast<std::uint32_t>(line % lpp);
+          for (std::uint32_t u = 0; u < fs_.flag_updates; ++u) {
+            region.access_at(ThreadId(t), page, index, 1, /*write=*/false,
+                             fs_.flag_compute_ns);
+            region.access_at(ThreadId(t), page, index, 1, /*write=*/true,
+                             fs_.flag_compute_ns);
+          }
+        }
+      });
+  for (std::uint32_t rep = 0; rep < params_.compute_scale; ++rep) {
+    rt.run("FS.update", program);
+  }
+}
+
+void FalseShareWorkload::iteration(omp::Machine& machine,
+                                   const IterationContext& /*ctx*/,
+                                   std::uint32_t /*step*/) {
+  phase_update(machine);
+}
+
+}  // namespace repro::nas

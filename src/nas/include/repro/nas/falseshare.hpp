@@ -1,0 +1,79 @@
+// FS / FSP: the false-sharing scenario family for the line-grain
+// coherence model (not a NAS code -- a synthetic microkernel in NAS
+// clothing, modelled on the classic per-thread-counter anti-pattern).
+//
+// Every thread owns a private block of "work" pages it sweeps each
+// iteration (ordinary, cache-friendly traffic), plus one field in a
+// shared "flags" array it read-modify-writes `flag_updates` times per
+// iteration:
+//
+//  * FS  ("falseshare"): `threads_per_line` consecutive threads' fields
+//    share one coherence line, so every RMW invalidates the other
+//    writers' copies -- the line ping-pongs and the coherence-miss rate
+//    explodes, with *zero* page-grain locality difference;
+//  * FSP ("padded"):     the padded twin -- one field per line, same
+//    access counts, no sharing, so line ping-pong disappears.
+//
+// The pair is the ground truth for analysis.false-sharing and for the
+// bench/coherence_sweep acceptance ratio (FS coherence-miss rate must
+// be >= 5x FSP's).
+#pragma once
+
+#include "repro/nas/pattern.hpp"
+#include "repro/nas/workload.hpp"
+
+namespace repro::nas {
+
+struct FalseShareParams {
+  /// Private work pages swept by each thread per iteration.
+  std::uint64_t work_pages_per_thread = 8;
+  /// Read-modify-write rounds on the thread's flag field per iteration.
+  std::uint32_t flag_updates = 16;
+  /// Threads whose fields share one coherence line in FS (FSP always
+  /// pads to one field per line).
+  std::uint32_t threads_per_line = 4;
+  std::uint32_t default_iterations = 12;
+  double work_ns_per_line = 40.0;
+  /// Compute attached to each flag access (ns).
+  Ns flag_compute_ns = 20;
+};
+
+class FalseShareWorkload final : public Workload {
+ public:
+  /// `padded` selects the FSP twin (one flag field per line).
+  FalseShareWorkload(bool padded, FalseShareParams fs,
+                     const WorkloadParams& params);
+
+  [[nodiscard]] std::string name() const override {
+    return padded_ ? "FSP" : "FS";
+  }
+  [[nodiscard]] std::uint32_t default_iterations() const override {
+    return fs_.default_iterations;
+  }
+  void setup(omp::Machine& machine) override;
+  void register_hot(upm::Upmlib& upm) const override;
+  void cold_start(omp::Machine& machine) override;
+  void iteration(omp::Machine& machine, const IterationContext& ctx,
+                 std::uint32_t step) override;
+  [[nodiscard]] std::uint64_t hot_page_count() const override;
+
+  [[nodiscard]] const vm::PageRange& flags() const { return flags_; }
+  /// The flag line (index into the flags range's line space) thread `t`
+  /// writes; under FS, `threads_per_line` threads map to one line.
+  [[nodiscard]] std::uint64_t flag_line_of(std::uint32_t thread) const {
+    return padded_ ? thread : thread / fs_.threads_per_line;
+  }
+
+ private:
+  bool padded_;
+  FalseShareParams fs_;
+  WorkloadParams params_;
+  std::uint32_t threads_ = 0;
+  vm::PageRange work_;
+  vm::PageRange flags_;
+  RegionCache programs_;
+
+  void phase_update(omp::Machine& machine);
+};
+
+}  // namespace repro::nas

@@ -5,6 +5,7 @@
 #include "repro/common/assert.hpp"
 #include "repro/nas/adi.hpp"
 #include "repro/nas/cg.hpp"
+#include "repro/nas/falseshare.hpp"
 #include "repro/nas/ft.hpp"
 #include "repro/nas/mg.hpp"
 #include "repro/nas/pattern.hpp"
@@ -82,6 +83,16 @@ std::unique_ptr<Workload> make_workload(const std::string& name,
   if (name == "CGT") {
     return std::make_unique<CgtWorkload>(CgParams{}, TaskFamilyParams{},
                                          params);
+  }
+  // False-sharing scenario family (coherence-model workloads; also not
+  // in workload_names()).
+  if (name == "FS") {
+    return std::make_unique<FalseShareWorkload>(/*padded=*/false,
+                                                FalseShareParams{}, params);
+  }
+  if (name == "FSP") {
+    return std::make_unique<FalseShareWorkload>(/*padded=*/true,
+                                                FalseShareParams{}, params);
   }
   REPRO_UNREACHABLE("unknown benchmark name");
 }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <string>
 
+#include "repro/coherence/model.hpp"
 #include "repro/fault/injector.hpp"
 #include "repro/memsys/config.hpp"
 #include "repro/memsys/memory_system.hpp"
@@ -62,6 +63,23 @@ class Machine {
     return fault_.get();
   }
 
+  /// Builds the line-grain MSI/MESI coherence model (validated against
+  /// the machine geometry) and attaches it to the memory system, which
+  /// from then on classifies hits and misses per line instead of per
+  /// page (see memsys/line_model.hpp). When tracing is on, coherence
+  /// events get their own "coherence" lane; like the fault lane it is
+  /// registered at enable time, so enable coherence *before* tracing to
+  /// get the canonical lane order (…, upmlib, coherence, …). Call at
+  /// most once, before any access.
+  coherence::CoherenceModel& enable_coherence(
+      const coherence::CoherenceConfig& config);
+
+  /// The model, or null when coherence is off (the default -- all
+  /// page-grain behaviour and digests are untouched).
+  [[nodiscard]] coherence::CoherenceModel* coherence_model() {
+    return coherence_.get();
+  }
+
   /// The sink, or null when tracing is off (the zero-overhead default).
   [[nodiscard]] trace::TraceSink* trace_sink() { return trace_sink_.get(); }
 
@@ -101,6 +119,7 @@ class Machine {
   std::unique_ptr<vm::AddressSpace> address_space_;
   std::unique_ptr<trace::TraceSink> trace_sink_;
   std::unique_ptr<fault::FaultInjector> fault_;
+  std::unique_ptr<coherence::CoherenceModel> coherence_;
   std::uint16_t upm_lane_ = 0;
 };
 

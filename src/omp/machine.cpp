@@ -67,6 +67,10 @@ trace::TraceSink& Machine::enable_tracing() {
   upm_lane_ = trace_sink_->register_lane("upmlib");
   runtime_->set_trace(trace_sink_.get(), runtime_lane, memsys_lane);
   kernel_->set_trace(trace_sink_.get(), kernel_lane);
+  if (coherence_ != nullptr) {
+    coherence_->set_trace(trace_sink_.get(),
+                          trace_sink_->register_lane("coherence"));
+  }
   if (kernel_->daemon() != nullptr) {
     kernel_->daemon()->set_trace(trace_sink_.get(),
                                  trace_sink_->register_lane("daemon"));
@@ -76,6 +80,21 @@ trace::TraceSink& Machine::enable_tracing() {
                       trace_sink_->register_lane("fault"));
   }
   return *trace_sink_;
+}
+
+coherence::CoherenceModel& Machine::enable_coherence(
+    const coherence::CoherenceConfig& config) {
+  REPRO_REQUIRE_MSG(coherence_ == nullptr, "coherence already enabled");
+  coherence_ = std::make_unique<coherence::CoherenceModel>(config_, config);
+  memory_->set_line_model(coherence_.get());
+  if (trace_sink_ != nullptr) {
+    // Enabled after tracing: the lane lands after the established
+    // layout (the harness enables coherence first, placing it between
+    // "upmlib" and "harness").
+    coherence_->set_trace(trace_sink_.get(),
+                          trace_sink_->register_lane("coherence"));
+  }
+  return *coherence_;
 }
 
 fault::FaultInjector& Machine::enable_fault_injection(

@@ -72,6 +72,9 @@ RegionResult Engine::run(Ns start, const RegionProgram& program,
   REPRO_REQUIRE_MSG(
       program.max_access_lines() <= memory_->config().lines_per_page(),
       "access op exceeds lines per page");
+  REPRO_REQUIRE_MSG(
+      program.max_line_begin() < memory_->config().lines_per_page(),
+      "access op line_begin exceeds lines per page");
 
   const auto num_threads = static_cast<std::uint32_t>(program.num_threads());
   RegionResult result;

@@ -63,6 +63,13 @@ class RegionProgram {
     return max_access_lines_;
   }
 
+  /// Largest first-line position of any access op. Like
+  /// max_access_lines(), checked once per region run: the coherence
+  /// model requires line_begin < lines-per-page.
+  [[nodiscard]] std::uint32_t max_line_begin() const {
+    return max_line_begin_;
+  }
+
   /// Index range of thread `t`'s ops within the columns.
   [[nodiscard]] std::uint32_t thread_begin(std::uint32_t t) const {
     return offsets_[t];
@@ -76,8 +83,8 @@ class RegionProgram {
   /// [thread_begin(t), thread_end(t)].
   [[nodiscard]] memsys::OpSlice slice(std::uint32_t t,
                                       std::uint32_t at) const {
-    return {pages_ + at, lines_ + at, compute_ + at, flags_ + at,
-            offsets_[t + 1] - at};
+    return {pages_ + at,   lines_ + at, line_begin_ + at,
+            compute_ + at, flags_ + at, offsets_[t + 1] - at};
   }
 
   // Per-op accessors (analysis passes and tests; the engine uses
@@ -91,9 +98,15 @@ class RegionProgram {
   [[nodiscard]] bool is_stream(std::uint32_t i) const {
     return (flags_[i] & memsys::kOpStream) != 0;
   }
+  [[nodiscard]] bool is_positioned(std::uint32_t i) const {
+    return (flags_[i] & memsys::kOpPositioned) != 0;
+  }
   [[nodiscard]] VPage page(std::uint32_t i) const { return VPage(pages_[i]); }
   [[nodiscard]] std::uint32_t lines(std::uint32_t i) const {
     return lines_[i];
+  }
+  [[nodiscard]] std::uint32_t line_begin(std::uint32_t i) const {
+    return line_begin_[i];
   }
   [[nodiscard]] Ns compute(std::uint32_t i) const { return compute_[i]; }
 
@@ -106,11 +119,13 @@ class RegionProgram {
   std::uint64_t* pages_ = nullptr;
   Ns* compute_ = nullptr;
   std::uint32_t* lines_ = nullptr;
+  std::uint32_t* line_begin_ = nullptr;
   std::uint32_t* offsets_ = nullptr;  // num_threads_ + 1 entries
   std::uint8_t* flags_ = nullptr;
   std::size_t num_threads_ = 0;
   std::uint32_t size_ = 0;
   std::uint32_t max_access_lines_ = 0;
+  std::uint32_t max_line_begin_ = 0;
 };
 
 }  // namespace repro::sim

@@ -25,6 +25,18 @@ struct Op {
   /// cheap while single-node contention stays expensive.
   bool stream = false;
   std::uint32_t lines = 0;  ///< distinct cache lines touched (kAccess)
+  /// First line index within the page (kAccess). The page-grain memory
+  /// system ignores it; the optional line-grain coherence model (see
+  /// repro::coherence) interprets the op as touching lines
+  /// [line_begin, line_begin + lines), wrapped modulo lines-per-page.
+  /// Zero everywhere an access does not care about its sub-page
+  /// position (Op::access).
+  std::uint32_t line_begin = 0;
+  /// True for Op::access_at: line_begin is an exact placement. Exact
+  /// ops never coalesce during compilation, and the line-granular
+  /// analysis passes may treat their line interval as certain (a
+  /// default op's lines could sit anywhere in the page).
+  bool positioned = false;
   VPage page;               ///< target page (kAccess)
   /// kCompute: interval duration. kAccess: additional computation
   /// attached to the access (the work done on the touched lines).
@@ -32,6 +44,11 @@ struct Op {
 
   [[nodiscard]] static Op access(VPage page, std::uint32_t lines, bool write,
                                  Ns compute = 0, bool stream = false);
+  /// Access with an explicit first-line position (false-sharing
+  /// workloads place distinct threads on distinct lines of one page).
+  [[nodiscard]] static Op access_at(VPage page, std::uint32_t line_begin,
+                                    std::uint32_t lines, bool write,
+                                    Ns compute = 0, bool stream = false);
   [[nodiscard]] static Op compute_for(Ns duration);
 };
 
@@ -48,6 +65,11 @@ class RegionBuilder {
   /// attached compute time.
   void access(ThreadId t, VPage page, std::uint32_t lines, bool write,
               Ns compute = 0, bool stream = false);
+
+  /// Appends a memory access at an explicit first-line position within
+  /// the page (see Op::access_at).
+  void access_at(ThreadId t, VPage page, std::uint32_t line_begin,
+                 std::uint32_t lines, bool write, Ns compute = 0);
 
   /// Appends a pure-compute interval to thread `t`'s program.
   void compute(ThreadId t, Ns duration);

@@ -20,7 +20,7 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
   // Columns in decreasing alignment order so natural alignment holds
   // without padding between them.
   const std::size_t bytes = total * (sizeof(std::uint64_t) + sizeof(Ns) +
-                                     sizeof(std::uint32_t) +
+                                     2 * sizeof(std::uint32_t) +
                                      sizeof(std::uint8_t)) +
                             (num_threads_ + 1) * sizeof(std::uint32_t);
   arena_ = std::make_unique<std::byte[]>(bytes);
@@ -34,6 +34,8 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
       claim(total * sizeof(std::uint64_t)));
   compute_ = reinterpret_cast<Ns*>(claim(total * sizeof(Ns)));
   lines_ = reinterpret_cast<std::uint32_t*>(
+      claim(total * sizeof(std::uint32_t)));
+  line_begin_ = reinterpret_cast<std::uint32_t*>(
       claim(total * sizeof(std::uint32_t)));
   offsets_ = reinterpret_cast<std::uint32_t*>(
       claim((num_threads_ + 1) * sizeof(std::uint32_t)));
@@ -54,6 +56,7 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
       if (op.kind == Op::Kind::kAccess) {
         REPRO_REQUIRE_MSG(op.lines >= 1, "access op with zero lines");
         max_access_lines_ = std::max(max_access_lines_, op.lines);
+        max_line_begin_ = std::max(max_line_begin_, op.line_begin);
         f |= memsys::kOpAccess;
       }
       if (op.write) {
@@ -62,10 +65,18 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
       if (op.stream) {
         f |= memsys::kOpStream;
       }
+      if (op.positioned) {
+        f |= memsys::kOpPositioned;
+      }
       const bool is_read =
           op.kind == Op::Kind::kAccess && !op.write;
-      if (prev_is_read && is_read && flags_[prev] == f &&
-          pages_[prev] == op.page.value()) {
+      // Positioned accesses never coalesce: folding would lose the
+      // per-op line placement the coherence model and the line-granular
+      // analysis need. (The flags comparison rejects mixed runs; the
+      // explicit checks reject positioned-with-positioned.)
+      if (prev_is_read && is_read && flags_[prev] == f && !op.positioned &&
+          pages_[prev] == op.page.value() && op.line_begin == 0 &&
+          line_begin_[prev] == 0) {
         if (prev_is_head) {
           // Second op of a run: open the accumulator op.
           prev_is_head = false;
@@ -81,6 +92,7 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
       pages_[at] = op.page.value();
       compute_[at] = op.compute;
       lines_[at] = op.lines;
+      line_begin_[at] = op.line_begin;
       flags_[at] = f;
       prev = at;
       prev_is_read = is_read;
@@ -96,8 +108,10 @@ Op RegionProgram::op(std::uint32_t i) const {
   if (!is_access(i)) {
     return Op::compute_for(compute_[i]);
   }
-  return Op::access(VPage(pages_[i]), lines_[i], is_write(i), compute_[i],
-                    is_stream(i));
+  Op op = Op::access_at(VPage(pages_[i]), line_begin_[i], lines_[i],
+                        is_write(i), compute_[i], is_stream(i));
+  op.positioned = (flags_[i] & memsys::kOpPositioned) != 0;
+  return op;
 }
 
 }  // namespace repro::sim

@@ -17,6 +17,14 @@ Op Op::access(VPage page, std::uint32_t lines, bool write, Ns compute,
   return op;
 }
 
+Op Op::access_at(VPage page, std::uint32_t line_begin, std::uint32_t lines,
+                 bool write, Ns compute, bool stream) {
+  Op op = Op::access(page, lines, write, compute, stream);
+  op.line_begin = line_begin;
+  op.positioned = true;
+  return op;
+}
+
 Op Op::compute_for(Ns duration) {
   Op op;
   op.kind = Kind::kCompute;
@@ -37,6 +45,12 @@ ThreadProgram& RegionBuilder::prog(ThreadId t) {
 void RegionBuilder::access(ThreadId t, VPage page, std::uint32_t lines,
                            bool write, Ns compute, bool stream) {
   prog(t).push_back(Op::access(page, lines, write, compute, stream));
+}
+
+void RegionBuilder::access_at(ThreadId t, VPage page,
+                              std::uint32_t line_begin, std::uint32_t lines,
+                              bool write, Ns compute) {
+  prog(t).push_back(Op::access_at(page, line_begin, lines, write, compute));
 }
 
 void RegionBuilder::compute(ThreadId t, Ns duration) {

@@ -96,4 +96,44 @@ PlacementGroundTruth extract_ground_truth(const TraceSink& sink) {
   return truth;
 }
 
+std::vector<LinePingPong> CoherenceGroundTruth::ping_pong_lines(
+    std::uint64_t min_invalidations) const {
+  std::vector<LinePingPong> out;
+  for (const LinePingPong& l : lines) {
+    if (l.writers.size() >= 2 && l.invalidations >= min_invalidations) {
+      out.push_back(l);
+    }
+  }
+  return out;
+}
+
+CoherenceGroundTruth extract_coherence_ground_truth(const TraceSink& sink) {
+  CoherenceGroundTruth truth;
+  // (page, line) -> record; std::map gives the ascending output order.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, LinePingPong> by_line;
+  for (const TraceEvent& ev : sink.canonical_events()) {
+    if (ev.kind != EventKind::kLineInvalidate) {
+      continue;
+    }
+    const auto line = static_cast<std::uint32_t>(ev.a);
+    LinePingPong& rec = by_line[{ev.page, line}];
+    rec.page = ev.page;
+    rec.line = line;
+    ++rec.invalidations;
+    rec.copies_killed += ev.b;
+    const auto writer = static_cast<std::uint32_t>(ev.node);
+    if (std::find(rec.writers.begin(), rec.writers.end(), writer) ==
+        rec.writers.end()) {
+      rec.writers.push_back(writer);
+    }
+    ++truth.total_invalidations;
+  }
+  truth.lines.reserve(by_line.size());
+  for (auto& [key, rec] : by_line) {
+    std::sort(rec.writers.begin(), rec.writers.end());
+    truth.lines.push_back(std::move(rec));
+  }
+  return truth;
+}
+
 }  // namespace repro::trace

@@ -78,11 +78,30 @@ enum class EventKind : std::uint8_t {
   /// thief thread, src = victim thread, a = task index in spawn order,
   /// b = the thief's steal counter (its steal-order position).
   kTaskSteal,
+  /// Line fills performed by one access under the line-grain coherence
+  /// model (repro::coherence). node = accessing processor, page,
+  /// a = total lines filled, b = packed miss classification:
+  /// cold | capacity << 16 | coherence << 32 | dirty-interventions << 48
+  /// (each a 16-bit count).
+  kLineFill,
+  /// A write invalidated the remote cached copies of one line (upgrade
+  /// or write miss). node = writing processor, page, a = line index
+  /// within the page, b = invalidated copy count. The per-line stream
+  /// of these events is the false-sharing ping-pong ground truth.
+  kLineInvalidate,
+  /// Read-for-share upgrades performed by one access: S->M directory
+  /// round trips under MSI/MESI (MESI's silent E->M is not counted).
+  /// node = writing processor, page, a = upgraded line count.
+  kLineUpgrade,
+  /// Dirty lines evicted by one access's fills, posted to their home
+  /// memory modules. node = evicting processor, page = the *accessed*
+  /// page, a = writeback line count.
+  kLineWriteback,
 };
 
 /// Number of event kinds (array sizing / validation).
 inline constexpr std::size_t kNumEventKinds =
-    static_cast<std::size_t>(EventKind::kTaskSteal) + 1;
+    static_cast<std::size_t>(EventKind::kLineWriteback) + 1;
 
 /// kDaemonScan decision codes (the `a` payload).
 enum class DaemonDecision : std::uint8_t {

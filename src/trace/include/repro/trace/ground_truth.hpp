@@ -70,4 +70,41 @@ struct PlacementGroundTruth {
 [[nodiscard]] PlacementGroundTruth extract_ground_truth(
     const TraceSink& sink);
 
+/// One coherence line's invalidation history (from kLineInvalidate
+/// events, which the coherence model emits once per write that killed
+/// at least one remote copy).
+struct LinePingPong {
+  std::uint64_t page = 0;
+  /// Coherence-line index within the page.
+  std::uint32_t line = 0;
+  /// Invalidating writes on this line.
+  std::uint64_t invalidations = 0;
+  /// Total remote copies those writes killed.
+  std::uint64_t copies_killed = 0;
+  /// Distinct invalidating writer procs, ascending.
+  std::vector<std::uint32_t> writers;
+};
+
+/// What the false-sharing analyzer's predictions are scored against
+/// (bench/coherence validation): the per-line invalidation traffic the
+/// simulation actually produced.
+struct CoherenceGroundTruth {
+  /// Ascending by (page, line); only lines with at least one
+  /// invalidating write appear.
+  std::vector<LinePingPong> lines;
+  std::uint64_t total_invalidations = 0;
+
+  /// Lines invalidated by >= 2 distinct writers at least
+  /// `min_invalidations` times: the traced ping-pong (false-sharing)
+  /// set. A single-writer line invalidating readers is migratory, not
+  /// false sharing.
+  [[nodiscard]] std::vector<LinePingPong> ping_pong_lines(
+      std::uint64_t min_invalidations = 2) const;
+};
+
+/// Scans the sink's canonical event order once (empty result when the
+/// run had no coherence model attached).
+[[nodiscard]] CoherenceGroundTruth extract_coherence_ground_truth(
+    const TraceSink& sink);
+
 }  // namespace repro::trace

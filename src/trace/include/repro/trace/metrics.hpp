@@ -40,6 +40,13 @@ struct IterationMetrics {
   Ns queue_backlog_p95 = 0;
   /// Faults injected (kFaultInjection events, all classes).
   std::uint64_t faults_injected = 0;
+  /// Line-grain coherence counters (all zero unless the run had the
+  /// coherence model attached; see repro::coherence).
+  std::uint64_t line_fills = 0;         ///< kLineFill payload a
+  std::uint64_t coherence_misses = 0;   ///< coherence-classified fills
+  std::uint64_t line_invalidations = 0; ///< copies killed (kLineInvalidate b)
+  std::uint64_t line_upgrades = 0;      ///< S->M upgrades
+  std::uint64_t line_writebacks = 0;    ///< dirty evictions
 
   /// Fraction of miss lines served remotely; 0 when no misses.
   [[nodiscard]] double remote_ratio() const;

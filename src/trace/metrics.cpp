@@ -65,6 +65,21 @@ MetricsRegistry::MetricsRegistry(const TraceSink& sink) {
       case EventKind::kFaultInjection:
         ++m.faults_injected;
         break;
+      case EventKind::kLineFill:
+        m.line_fills += e.a;
+        // Payload b packs the fill classification in 16-bit fields:
+        // cold | capacity<<16 | coherence<<32 | dirty-fetches<<48.
+        m.coherence_misses += (e.b >> 32) & 0xffffu;
+        break;
+      case EventKind::kLineInvalidate:
+        m.line_invalidations += e.b;
+        break;
+      case EventKind::kLineUpgrade:
+        m.line_upgrades += e.a;
+        break;
+      case EventKind::kLineWriteback:
+        m.line_writebacks += e.a;
+        break;
       default:
         break;
     }
@@ -85,6 +100,11 @@ MetricsRegistry::MetricsRegistry(const TraceSink& sink) {
     totals_.remote_miss_lines += m.remote_miss_lines;
     totals_.local_miss_lines += m.local_miss_lines;
     totals_.faults_injected += m.faults_injected;
+    totals_.line_fills += m.line_fills;
+    totals_.coherence_misses += m.coherence_misses;
+    totals_.line_invalidations += m.line_invalidations;
+    totals_.line_upgrades += m.line_upgrades;
+    totals_.line_writebacks += m.line_writebacks;
   }
   totals_.queue_backlog_p95 = percentile95(std::move(all_samples));
 }

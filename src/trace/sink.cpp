@@ -38,6 +38,14 @@ const char* event_kind_name(EventKind kind) {
       return "task_spawn";
     case EventKind::kTaskSteal:
       return "task_steal";
+    case EventKind::kLineFill:
+      return "line_fill";
+    case EventKind::kLineInvalidate:
+      return "line_invalidate";
+    case EventKind::kLineUpgrade:
+      return "line_upgrade";
+    case EventKind::kLineWriteback:
+      return "line_writeback";
   }
   return "?";
 }

@@ -49,8 +49,9 @@ struct FakeMachine {
 Diagnostic make_diag(const std::string& rule, std::uint64_t page) {
   // Aggregate-constructed (not member-assigned): GCC 12's -Wrestrict
   // false-positives on char* assignment into a returned local here.
-  return Diagnostic{Severity::kWarning, rule,         "r", VPage(page),
-                    std::nullopt,       std::nullopt, "m", ""};
+  return Diagnostic{Severity::kWarning, rule,         "r",          VPage(page),
+                    std::nullopt,       std::nullopt, std::nullopt, "m",
+                    ""};
 }
 
 sim::ThreadProgram accesses(
