@@ -36,6 +36,7 @@ int main(int argc, char** argv) {
   std::string fail_on;
   std::string sarif_path;
   std::string advisor_json;
+  ReplayCli replay_cli;
   Cli cli("placement_explorer");
   cli.add_string("benchmark", &config.benchmark,
                  "BT | SP | CG | MG | FT (default BT)");
@@ -80,6 +81,7 @@ int main(int argc, char** argv) {
   cli.add_flag("no-fast-forward", &config.no_fast_forward,
                "simulate every iteration in full (disable the "
                "steady-state fast-forward)");
+  replay_cli.register_with(cli);
   const double default_scale = config.workload.size_scale;
   switch (cli.parse(argc, argv)) {
     case Cli::Status::kHelp:
@@ -112,6 +114,12 @@ int main(int argc, char** argv) {
     std::cerr << "error: --coherence expects msi | mesi\n";
     return 2;
   }
+  if (const std::string replay_err = replay_cli.validate();
+      !replay_err.empty()) {
+    std::cerr << "error: " << replay_err << "\n\n" << cli.usage();
+    return 2;
+  }
+  replay_cli.apply(config);
   std::optional<analysis::Severity> fail_threshold;
   if (!fail_on.empty()) {
     fail_threshold = analysis::parse_severity(fail_on);

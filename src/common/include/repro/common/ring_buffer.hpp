@@ -1,0 +1,97 @@
+// Bounded lock-free single-producer/single-consumer ring buffer.
+//
+// The pipelined trace replay (see sim::TraceReplayer) decodes chunks on
+// a producer thread while the timing backend consumes decoded regions
+// on the caller's thread; this is the channel between them. Classic
+// Lamport queue with cached peer indices so the uncontended fast path
+// touches only the owner's cache line:
+//
+//   - `tail_` is written by the producer only, `head_` by the consumer
+//     only; each is read by the other side under std::memory_order_
+//     acquire after the owner published it with release.
+//   - try_push writes the slot *before* the release store to `tail_`,
+//     so a consumer that observes the new tail (acquire) also observes
+//     the completed slot write (release/acquire pairing on `tail_`).
+//   - try_pop moves the slot out and resets it *before* the release
+//     store to `head_`, so a producer that observes the new head
+//     (acquire) may safely overwrite the slot (pairing on `head_`).
+//
+// The full memory-ordering argument is written out in DESIGN.md §16.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "repro/common/assert.hpp"
+
+namespace repro {
+
+template <typename T>
+class RingBuffer {
+ public:
+  /// Capacity is `min_capacity` rounded up to a power of two (index
+  /// arithmetic is a mask, not a modulo).
+  explicit RingBuffer(std::size_t min_capacity) {
+    REPRO_REQUIRE(min_capacity >= 1);
+    std::size_t cap = 1;
+    while (cap < min_capacity) {
+      cap *= 2;
+    }
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  RingBuffer(const RingBuffer&) = delete;
+  RingBuffer& operator=(const RingBuffer&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  /// Producer side: moves `item` into the queue. Returns false (item
+  /// untouched) when the buffer is full.
+  bool try_push(T& item) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ == slots_.size()) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ == slots_.size()) {
+        return false;
+      }
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: moves the oldest item into `out`. Returns false
+  /// when the buffer is empty.
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) {
+        return false;
+      }
+    }
+    T& slot = slots_[head & mask_];
+    out = std::move(slot);
+    // Reset the slot now so resources (heap-owning T) are released at
+    // pop time, not when the producer laps the ring.
+    slot = T{};
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  // Owner-separated cache lines: producer writes tail_ and reads its
+  // cached view of head_; consumer mirrors that. 64 is the line size
+  // of every machine this targets; over-aligning is harmless.
+  alignas(64) std::atomic<std::size_t> tail_{0};
+  alignas(64) std::size_t cached_head_ = 0;  // producer-private
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::size_t cached_tail_ = 0;  // consumer-private
+};
+
+}  // namespace repro

@@ -18,7 +18,7 @@ void mix_string(StateHash& h, const std::string& s) {
   }
 }
 
-constexpr std::uint64_t kFormatVersion = 2;
+constexpr std::uint64_t kFormatVersion = 3;
 
 std::string join(const std::vector<Ns>& values) {
   std::ostringstream os;
@@ -51,6 +51,12 @@ std::uint64_t config_identity(const RunConfig& config) {
   h.mix(config.seed);
   h.mix(config.analyze ? 1 : 0);
   h.mix(config.trace ? 1 : 0);
+  // The trace frontend changes what a cell computes (a dump writes a
+  // file; a replay substitutes the workload), so replayed cells must
+  // never alias their direct twins in the checkpoint store.
+  mix_string(h, config.trace_out);
+  mix_string(h, config.replay);
+  h.mix(config.pipeline ? 1 : 0);
 
   const memsys::MachineConfig& m = config.machine;
   h.mix(m.num_nodes);

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "repro/common/assert.hpp"
+#include "repro/harness/run.hpp"
 
 namespace repro::harness {
 
@@ -167,6 +168,34 @@ std::string Cli::usage() const {
     os << ": " << opt.help << "\n";
   }
   return os.str();
+}
+
+void ReplayCli::register_with(Cli& cli) {
+  cli.add_string("trace-out", &trace_out,
+                 "dump the workload's frontend stream to this RTRC trace "
+                 "file while running (excludes --replay)");
+  cli.add_string("replay", &replay,
+                 "replay an RTRC trace file instead of instantiating the "
+                 "benchmark (--benchmark is then ignored)");
+  cli.add_flag("pipeline", &pipeline,
+               "decode the replayed trace on a producer thread over the "
+               "SPSC ring buffer (requires --replay)");
+}
+
+std::string ReplayCli::validate() const {
+  if (!trace_out.empty() && !replay.empty()) {
+    return "--trace-out and --replay are mutually exclusive";
+  }
+  if (pipeline && replay.empty()) {
+    return "--pipeline requires --replay";
+  }
+  return "";
+}
+
+void ReplayCli::apply(RunConfig& config) const {
+  config.trace_out = trace_out;
+  config.replay = replay;
+  config.pipeline = pipeline;
 }
 
 }  // namespace repro::harness

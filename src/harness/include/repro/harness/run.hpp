@@ -73,6 +73,29 @@ struct RunConfig {
   /// at iteration boundaries, so the simulation state is never torn).
   /// 0 disables the watchdog.
   std::uint32_t cell_timeout_ms = 0;
+  /// Dump the workload's frontend stream (regions, bindings, advances)
+  /// to this RTRC trace file while running (see src/tracefmt and
+  /// DESIGN.md §16). Live dumps record the cold start and every timed
+  /// iteration; harness-driven UPMlib activity between phases is not
+  /// recorded (replay re-simulates it). Mutually exclusive with
+  /// `replay`; rejected for record-replay cells (their UPMlib calls
+  /// fire *inside* iterations and are not replayable). Forces the
+  /// fast-forward off (a skipped iteration would be missing from the
+  /// dump).
+  std::string trace_out;
+  /// Replay this RTRC trace file instead of instantiating `benchmark`
+  /// (which is then ignored -- the workload's name comes from the
+  /// trace). Placement, UPMlib distribution, the kernel daemon,
+  /// coherence and tracing all compose unchanged; replaying a cell's
+  /// dump under the cell's own config is byte-identical to simulating
+  /// it directly. Forces the fast-forward off (replay must consume the
+  /// trace cursor for every iteration).
+  std::string replay;
+  /// With `replay`: decode trace chunks on a producer thread and feed
+  /// the timing backend over a bounded lock-free SPSC ring buffer
+  /// (byte-identical to single-threaded replay; see
+  /// sim::TraceReplayer).
+  bool pipeline = false;
   /// Line-grain coherence protocol: "" (off, the page-grain default --
   /// byte-identical to builds without repro::coherence), "msi" or
   /// "mesi". When set, the memory system classifies hits and misses
@@ -155,5 +178,25 @@ struct RunResult {
 
 /// Runs one experiment configuration end to end.
 [[nodiscard]] RunResult run_benchmark(const RunConfig& config);
+
+/// Aggregate counters of a finished trace dump.
+struct TraceDumpStats {
+  std::uint64_t records = 0;
+  std::uint64_t ops = 0;
+  std::uint64_t regions = 0;
+  std::uint64_t chunks = 0;
+  std::uint64_t bytes = 0;
+  std::uint32_t iterations = 0;
+};
+
+/// Dumps `config`'s workload to an RTRC trace at `path` without
+/// simulating: the machine is built, the workload set up, and the cold
+/// start plus every timed iteration dispatched in the runtime's
+/// dry-run mode. The recorded stream is identical to what a live run
+/// under the same config would dump -- the declarative workloads'
+/// region streams are pure functions of the workload parameters, never
+/// of simulated machine state -- so one dry dump replays under any
+/// placement/engine configuration. Record-replay cells are rejected.
+TraceDumpStats dump_trace(const RunConfig& config, const std::string& path);
 
 }  // namespace repro::harness

@@ -11,10 +11,77 @@
 #include "repro/common/log.hpp"
 #include "repro/harness/atomic_file.hpp"
 #include "repro/harness/fast_forward.hpp"
+#include "repro/nas/trace_workload.hpp"
 #include "repro/omp/machine.hpp"
+#include "repro/sim/trace_recorder.hpp"
 #include "repro/trace/export.hpp"
 
 namespace repro::harness {
+
+namespace {
+
+/// Assembles the RTRC metadata of a dump: machine geometry, the
+/// address-space layout after workload setup, and the hot ranges the
+/// workload would register with UPMlib.
+tracefmt::TraceMeta dump_meta(omp::Machine& machine, const RunConfig& config,
+                              const std::string& benchmark,
+                              std::uint32_t iterations,
+                              const std::vector<vm::PageRange>& hot_ranges) {
+  tracefmt::TraceMeta meta;
+  meta.benchmark = benchmark;
+  meta.source_label = config.label();
+  meta.num_procs = static_cast<std::uint32_t>(machine.config().num_procs());
+  meta.num_threads =
+      static_cast<std::uint32_t>(machine.runtime().num_threads());
+  meta.iterations = iterations;
+  meta.page_size = machine.config().page_size;
+  for (const auto& [name, range] : machine.address_space().arrays()) {
+    meta.allocations.push_back(
+        tracefmt::TraceAllocation{name, range.first.value(), range.count});
+  }
+  for (const vm::PageRange& r : hot_ranges) {
+    meta.hot_ranges.push_back(tracefmt::TraceRange{r.first.value(), r.count});
+  }
+  return meta;
+}
+
+/// The hot ranges `workload` registers, observed without touching the
+/// machine: a throwaway UPMlib instance (no trace sink, no call trace)
+/// only accumulates the ranges.
+std::vector<vm::PageRange> probe_hot_ranges(omp::Machine& machine,
+                                            const nas::Workload& workload,
+                                            const upm::UpmConfig& config) {
+  upm::Upmlib probe(machine.mmci(), machine.runtime(), config);
+  workload.register_hot(probe);
+  return probe.hot_ranges();
+}
+
+void attach_recorder(omp::Runtime& rt, sim::TraceRecorder* recorder) {
+  rt.set_region_recorder([recorder](const std::string& name,
+                                    const sim::RegionProgram& program,
+                                    std::span<const ProcId> binding) {
+    recorder->on_region(name, program, binding);
+  });
+  rt.set_advance_observer([recorder](Ns d) { recorder->on_advance(d); });
+}
+
+void detach_recorder(omp::Runtime& rt) {
+  rt.set_region_recorder({});
+  rt.set_advance_observer({});
+}
+
+void check_frontend_config(const RunConfig& config) {
+  REPRO_REQUIRE_MSG(config.trace_out.empty() || config.replay.empty(),
+                    "trace_out and replay are mutually exclusive");
+  REPRO_REQUIRE_MSG(!config.pipeline || !config.replay.empty(),
+                    "pipeline requires replay");
+  REPRO_REQUIRE_MSG((config.trace_out.empty() && config.replay.empty()) ||
+                        config.upm_mode != nas::UpmMode::kRecordReplay,
+                    "record-replay cells drive UPMlib from inside "
+                    "iterations and cannot be dumped or replayed");
+}
+
+}  // namespace
 
 std::string RunConfig::label() const {
   // Plain runs use IRIX's default first-touch kernel with *no* special
@@ -69,6 +136,7 @@ Ns RunResult::phase_time(const std::string& suffix) const {
 RunResult run_benchmark(const RunConfig& config) {
   REPRO_REQUIRE(config.upm_mode == nas::UpmMode::kOff ||
                 !config.kernel_migration);
+  check_frontend_config(config);
   const bool analyze =
       config.analyze || Env::global().get_bool("REPRO_ANALYZE", false);
   std::string trace_dir = config.trace_dir;
@@ -111,10 +179,22 @@ RunResult run_benchmark(const RunConfig& config) {
     injector = &machine->enable_fault_injection(fault_plan);
   }
 
-  nas::WorkloadParams wparams = config.workload;
-  wparams.compute_scale = config.compute_scale;
-  auto workload = nas::make_workload(config.benchmark, wparams);
+  std::unique_ptr<nas::Workload> workload;
+  if (!config.replay.empty()) {
+    workload = nas::make_trace_workload(
+        config.replay, nas::TraceWorkloadOptions{config.pipeline});
+  } else {
+    nas::WorkloadParams wparams = config.workload;
+    wparams.compute_scale = config.compute_scale;
+    workload = nas::make_workload(config.benchmark, wparams);
+  }
+  // Under replay, the benchmark name comes from the trace metadata
+  // (config.benchmark is ignored); everywhere else they coincide.
+  const std::string benchmark = workload->name();
   workload->setup(*machine);
+  const std::uint32_t iterations = config.iterations != 0
+                                       ? config.iterations
+                                       : workload->default_iterations();
 
   std::unique_ptr<upm::Upmlib> upmlib;
   nas::IterationContext ctx;
@@ -137,9 +217,27 @@ RunResult run_benchmark(const RunConfig& config) {
     ctx.upm = upmlib.get();
   }
 
+  std::unique_ptr<sim::TraceRecorder> recorder;
+  if (!config.trace_out.empty()) {
+    const std::vector<vm::PageRange> hot =
+        upmlib != nullptr
+            ? upmlib->hot_ranges()
+            : probe_hot_ranges(*machine, *workload, config.upm);
+    recorder = std::make_unique<sim::TraceRecorder>(
+        config.trace_out,
+        dump_meta(*machine, config, benchmark, iterations, hot));
+    attach_recorder(machine->runtime(), recorder.get());
+  }
+
   // Cold-start iteration: establishes first-touch placement; results
   // and statistics are discarded.
+  if (recorder != nullptr) {
+    recorder->begin_cold_start();
+  }
   workload->cold_start(*machine);
+  if (recorder != nullptr) {
+    recorder->end_phase();
+  }
   if (upmlib != nullptr) {
     upmlib->reset_hot_counters();
   }
@@ -162,21 +260,21 @@ RunResult run_benchmark(const RunConfig& config) {
     }
   }
 
-  const std::uint32_t iterations = config.iterations != 0
-                                       ? config.iterations
-                                       : workload->default_iterations();
   RunResult result;
   result.label = config.label();
-  result.benchmark = config.benchmark;
+  result.benchmark = benchmark;
   result.iteration_times.reserve(iterations);
 
   // Steady-state fast-forward: on unless opted out, and off under the
   // analyzer (it inspects every *executed* region, so synthesized
-  // iterations would change its input) or the coherence model (cache
+  // iterations would change its input), the coherence model (cache
   // and directory state is not periodic in general, so a replayed
-  // block would misreport the line-grain counters).
+  // block would misreport the line-grain counters), a trace dump (a
+  // skipped iteration would be missing from the file) or trace replay
+  // (every iteration must consume its slice of the trace cursor).
   const bool fast_forward =
       !config.no_fast_forward && !analyze && coh == nullptr &&
+      config.trace_out.empty() && config.replay.empty() &&
       Env::global().get_bool("REPRO_FAST_FORWARD", true);
   std::unique_ptr<FastForward> ff;
   if (fast_forward) {
@@ -198,7 +296,7 @@ RunResult run_benchmark(const RunConfig& config) {
               std::chrono::steady_clock::now() - wall_start)
               .count();
       if (elapsed >= static_cast<std::int64_t>(config.cell_timeout_ms)) {
-        throw CellTimeoutError(config.benchmark + " " + config.label() +
+        throw CellTimeoutError(benchmark + " " + config.label() +
                                ": exceeded cell timeout of " +
                                std::to_string(config.cell_timeout_ms) +
                                " ms at iteration " + std::to_string(step));
@@ -235,7 +333,16 @@ RunResult run_benchmark(const RunConfig& config) {
       ev.time = iter_start;
       sink->emit(harness_lane, ev);
     }
+    if (recorder != nullptr) {
+      recorder->begin_iteration(step);
+    }
     workload->iteration(*machine, ctx, step);
+    if (recorder != nullptr) {
+      // Close the phase before the migration pass below: replay runs
+      // under a live UPMlib that re-executes it for real, so recording
+      // its advances too would double-charge them.
+      recorder->end_phase();
+    }
     if (config.upm_mode == nas::UpmMode::kDistribution &&
         (step == 1 || upmlib->active())) {
       // Paper Fig. 2: invoke the engine after the first iteration and
@@ -263,8 +370,15 @@ RunResult run_benchmark(const RunConfig& config) {
     result.iteration_times.push_back(rt.now() - iter_start);
   }
   result.total = rt.now() - t0;
+  if (recorder != nullptr) {
+    detach_recorder(rt);
+    const tracefmt::WriterStats ws = recorder->finish();
+    REPRO_LOG_INFO("trace-out ", benchmark, " ", result.label, ": ",
+                   ws.regions, " regions, ", ws.ops, " ops, ", ws.chunks,
+                   " chunks -> ", config.trace_out);
+  }
   if (result.iterations_replayed > 0) {
-    REPRO_LOG_INFO(config.benchmark, " ", result.label,
+    REPRO_LOG_INFO(benchmark, " ", result.label,
                    ": steady state after ", result.iterations_simulated,
                    " iterations, replayed ", result.iterations_replayed);
   }
@@ -301,7 +415,7 @@ RunResult run_benchmark(const RunConfig& config) {
           : d.severity == analysis::Severity::kWarning ? LogLevel::kWarn
                                                        : LogLevel::kInfo;
       const std::string loc = d.location();
-      REPRO_LOG(level, "analysis ", config.benchmark, " ", result.label,
+      REPRO_LOG(level, "analysis ", benchmark, " ", result.label,
                 " ", d.rule, " [", d.region, loc.empty() ? "" : ", ", loc,
                 "]: ", d.message);
     }
@@ -312,7 +426,7 @@ RunResult run_benchmark(const RunConfig& config) {
         trace::MetricsRegistry(*sink).per_iteration();
     if (!trace_dir.empty()) {
       const std::string stem =
-          trace_dir + "/TRACE_" + config.benchmark + "_" + result.label;
+          trace_dir + "/TRACE_" + benchmark + "_" + result.label;
       // Render in memory, land atomically: a killed run leaves either
       // no dump or a complete one, never a truncated file.
       std::ostringstream canonical;
@@ -321,16 +435,64 @@ RunResult run_benchmark(const RunConfig& config) {
       std::ostringstream chrome;
       trace::write_chrome_trace(chrome, *sink);
       atomic_write_file(stem + ".chrome.json", chrome.str());
-      REPRO_LOG_INFO("trace ", config.benchmark, " ", result.label,
+      REPRO_LOG_INFO("trace ", benchmark, " ", result.label,
                      " digest ", result.trace_digest, " -> ", stem,
                      ".{trace,chrome.json}");
     }
     result.trace = machine->take_trace_sink();
   }
-  REPRO_LOG_INFO(config.benchmark, " ", result.label, ": ",
+  REPRO_LOG_INFO(benchmark, " ", result.label, ": ",
                  ns_to_seconds(result.total), " s, remote fraction ",
                  result.memory_totals.remote_fraction());
   return result;
+}
+
+TraceDumpStats dump_trace(const RunConfig& config, const std::string& path) {
+  REPRO_REQUIRE_MSG(config.upm_mode != nas::UpmMode::kRecordReplay,
+                    "record-replay cells drive UPMlib from inside "
+                    "iterations and cannot be dumped or replayed");
+  REPRO_REQUIRE_MSG(config.replay.empty(),
+                    "dump_trace dumps a compiled workload, not a replay");
+  auto machine = omp::Machine::create(config.machine);
+  nas::WorkloadParams wparams = config.workload;
+  wparams.compute_scale = config.compute_scale;
+  const auto workload = nas::make_workload(config.benchmark, wparams);
+  workload->setup(*machine);
+  const std::uint32_t iterations = config.iterations != 0
+                                       ? config.iterations
+                                       : workload->default_iterations();
+  sim::TraceRecorder recorder(
+      path, dump_meta(*machine, config, workload->name(), iterations,
+                      probe_hot_ranges(*machine, *workload, config.upm)));
+  omp::Runtime& rt = machine->runtime();
+  // Dry-run dispatch: the recorder observes the exact region/advance
+  // stream a live run would execute -- the declarative workloads'
+  // streams are pure functions of the workload parameters -- without
+  // simulating a single access.
+  rt.set_dry_run(true);
+  attach_recorder(rt, &recorder);
+  recorder.begin_cold_start();
+  workload->cold_start(*machine);
+  recorder.end_phase();
+  const nas::IterationContext ctx;  // mode kOff: no UPMlib calls
+  for (std::uint32_t step = 1; step <= iterations; ++step) {
+    recorder.begin_iteration(step);
+    workload->iteration(*machine, ctx, step);
+    recorder.end_phase();
+  }
+  detach_recorder(rt);
+  const tracefmt::WriterStats ws = recorder.finish();
+  REPRO_LOG_INFO("trace-dump ", config.benchmark, ": ", ws.regions,
+                 " regions, ", ws.ops, " ops, ", ws.chunks, " chunks -> ",
+                 path);
+  TraceDumpStats stats;
+  stats.records = ws.records;
+  stats.ops = ws.ops;
+  stats.regions = ws.regions;
+  stats.chunks = ws.chunks;
+  stats.bytes = ws.bytes;
+  stats.iterations = iterations;
+  return stats;
 }
 
 }  // namespace repro::harness

@@ -80,7 +80,12 @@ class Runtime {
   /// Advances time in the sequential (master-only) part of the program;
   /// used to charge UPMlib invocation costs, which execute between
   /// parallel regions on the master thread.
-  void advance(Ns duration) { now_ += duration; }
+  void advance(Ns duration) {
+    now_ += duration;
+    if (advance_observer_) {
+      advance_observer_(duration);
+    }
+  }
 
   /// Dry-run (capture) mode: run() still hands every region's name,
   /// compiled program and thread binding to the inspector and appends a
@@ -109,6 +114,23 @@ class Runtime {
                          std::span<const ProcId>)>;
   void set_region_inspector(RegionInspector inspector) {
     inspector_ = std::move(inspector);
+  }
+
+  /// Second observer slot with the same signature and firing point as
+  /// the inspector (every region dispatch, dry-run included): the
+  /// trace-dump recorder (see sim::TraceRecorder). Separate from the
+  /// inspector so dumping composes with the analyzer. At most one;
+  /// empty detaches.
+  void set_region_recorder(RegionInspector recorder) {
+    recorder_ = std::move(recorder);
+  }
+
+  /// Observer of every sequential-time advance() (the master-thread
+  /// charges between regions); the trace recorder needs them to
+  /// reproduce the exact clock on replay. Empty detaches.
+  using AdvanceObserver = std::function<void(Ns)>;
+  void set_advance_observer(AdvanceObserver observer) {
+    advance_observer_ = std::move(observer);
   }
 
   /// Attaches the event sink (null to detach). Every executed region
@@ -176,6 +198,8 @@ class Runtime {
   Ns reduction_step_ = 200;
   bool dry_run_ = false;
   RegionInspector inspector_;
+  RegionInspector recorder_;
+  AdvanceObserver advance_observer_;
   std::vector<RegionRecord> records_;
   fault::FaultInjector* fault_ = nullptr;
   trace::TraceSink* trace_ = nullptr;

@@ -113,6 +113,42 @@ class RegionProgram {
   /// Materializes op `i` (round-trips exactly what was compiled).
   [[nodiscard]] Op op(std::uint32_t i) const;
 
+  /// Borrowed structure-of-arrays view of the compiled columns (the
+  /// trace writer serializes programs through this; pointers stay
+  /// valid while the program lives).
+  struct ColumnView {
+    const std::uint64_t* pages = nullptr;
+    const Ns* compute = nullptr;
+    const std::uint32_t* lines = nullptr;
+    const std::uint32_t* line_begin = nullptr;
+    const std::uint8_t* flags = nullptr;
+    const std::uint32_t* offsets = nullptr;  // num_threads + 1 entries
+    std::uint32_t num_threads = 0;
+    std::uint32_t size = 0;
+    std::uint32_t max_access_lines = 0;
+    std::uint32_t max_line_begin = 0;
+  };
+  [[nodiscard]] ColumnView columns() const {
+    return {pages_,
+            compute_,
+            lines_,
+            line_begin_,
+            flags_,
+            offsets_,
+            static_cast<std::uint32_t>(num_threads_),
+            size_,
+            max_access_lines_,
+            max_line_begin_};
+  }
+
+  /// Rebuilds a program verbatim from serialized columns (the trace
+  /// replayer's constructor). No validation or read coalescing is
+  /// re-run: the columns are already compiled output, and coalesced
+  /// accumulator ops may legitimately carry more lines than any source
+  /// op, so the recorded max_access_lines / max_line_begin -- which the
+  /// engine's once-per-run bound check relies on -- are restored as-is.
+  [[nodiscard]] static RegionProgram from_columns(const ColumnView& view);
+
  private:
   // One arena allocation; the column pointers alias it.
   std::unique_ptr<std::byte[]> arena_;

@@ -1,0 +1,46 @@
+// Trace-dump recorder: adapts the runtime's region/advance observer
+// hooks onto a tracefmt::TraceWriter.
+//
+// The recorder is phase-gated: records are appended only between a
+// begin_cold_start()/begin_iteration() marker and the matching
+// end_phase(). Everything the harness itself drives between phases --
+// UPMlib migration passes, counter resets -- is deliberately *not*
+// recorded, because replay runs under a live machine where those same
+// engines re-execute for real; recording them too would double-count.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "repro/common/strong_id.hpp"
+#include "repro/sim/program.hpp"
+#include "repro/tracefmt/writer.hpp"
+
+namespace repro::sim {
+
+class TraceRecorder {
+ public:
+  TraceRecorder(const std::string& path, const tracefmt::TraceMeta& meta);
+
+  /// Phase markers (harness-driven; see run_benchmark / dump_trace).
+  void begin_cold_start();
+  void begin_iteration(std::uint32_t step);
+  void end_phase() { in_phase_ = false; }
+
+  /// Runtime hook targets (wired via omp::Runtime::set_region_recorder
+  /// and set_advance_observer). No-ops outside a phase.
+  void on_region(const std::string& name, const RegionProgram& program,
+                 std::span<const ProcId> binding);
+  void on_advance(Ns duration);
+
+  /// Flushes and atomically lands the file; call exactly once.
+  tracefmt::WriterStats finish() { return writer_.finish(); }
+
+ private:
+  tracefmt::TraceWriter writer_;
+  std::vector<std::uint32_t> binding_scratch_;
+  bool in_phase_ = false;
+};
+
+}  // namespace repro::sim

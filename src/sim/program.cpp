@@ -103,6 +103,51 @@ RegionProgram::RegionProgram(const std::vector<ThreadProgram>& programs) {
   size_ = at;
 }
 
+RegionProgram RegionProgram::from_columns(const ColumnView& view) {
+  REPRO_REQUIRE(view.num_threads >= 1 && view.offsets != nullptr);
+  REPRO_REQUIRE(view.offsets[0] == 0 &&
+                view.offsets[view.num_threads] == view.size);
+  for (std::uint32_t t = 0; t < view.num_threads; ++t) {
+    REPRO_REQUIRE_MSG(view.offsets[t] <= view.offsets[t + 1],
+                      "non-monotone thread offsets");
+  }
+  RegionProgram p;
+  p.num_threads_ = view.num_threads;
+  p.size_ = view.size;
+  p.max_access_lines_ = view.max_access_lines;
+  p.max_line_begin_ = view.max_line_begin;
+  const std::size_t total = view.size;
+  const std::size_t bytes = total * (sizeof(std::uint64_t) + sizeof(Ns) +
+                                     2 * sizeof(std::uint32_t) +
+                                     sizeof(std::uint8_t)) +
+                            (p.num_threads_ + 1) * sizeof(std::uint32_t);
+  p.arena_ = std::make_unique<std::byte[]>(bytes);
+  std::byte* cursor = p.arena_.get();
+  const auto claim = [&cursor](std::size_t n) {
+    std::byte* start = cursor;
+    cursor += n;
+    return start;
+  };
+  p.pages_ =
+      reinterpret_cast<std::uint64_t*>(claim(total * sizeof(std::uint64_t)));
+  p.compute_ = reinterpret_cast<Ns*>(claim(total * sizeof(Ns)));
+  p.lines_ =
+      reinterpret_cast<std::uint32_t*>(claim(total * sizeof(std::uint32_t)));
+  p.line_begin_ =
+      reinterpret_cast<std::uint32_t*>(claim(total * sizeof(std::uint32_t)));
+  p.offsets_ = reinterpret_cast<std::uint32_t*>(
+      claim((p.num_threads_ + 1) * sizeof(std::uint32_t)));
+  p.flags_ =
+      reinterpret_cast<std::uint8_t*>(claim(total * sizeof(std::uint8_t)));
+  std::copy_n(view.pages, total, p.pages_);
+  std::copy_n(view.compute, total, p.compute_);
+  std::copy_n(view.lines, total, p.lines_);
+  std::copy_n(view.line_begin, total, p.line_begin_);
+  std::copy_n(view.flags, total, p.flags_);
+  std::copy_n(view.offsets, p.num_threads_ + 1, p.offsets_);
+  return p;
+}
+
 Op RegionProgram::op(std::uint32_t i) const {
   REPRO_REQUIRE(i < size_);
   if (!is_access(i)) {

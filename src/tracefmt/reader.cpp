@@ -1,0 +1,343 @@
+#include "repro/tracefmt/reader.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+
+namespace repro::tracefmt {
+
+namespace {
+
+std::string read_string(Cursor& c) {
+  const std::uint64_t n = c.varint();
+  return c.bytes(n);
+}
+
+template <typename T>
+T read_struct(const std::uint8_t* data, std::uint64_t size,
+              std::uint64_t offset, const char* what) {
+  if (offset > size || size - offset < sizeof(T)) {
+    throw TraceError(std::string("trace truncated reading ") + what);
+  }
+  T value;
+  std::memcpy(&value, data + offset, sizeof(T));
+  return value;
+}
+
+void check_header(const FileHeader& header) {
+  if (header.magic != kFileMagic) {
+    throw TraceError("not a trace file (bad magic)");
+  }
+  if (header.version != kFormatVersion) {
+    throw TraceError("unsupported trace version " +
+                     std::to_string(header.version));
+  }
+}
+
+}  // namespace
+
+TraceMeta decode_meta(const std::uint8_t* data, std::size_t size) {
+  Cursor c{data, size, 0};
+  TraceMeta meta;
+  meta.num_procs = static_cast<std::uint32_t>(c.varint());
+  meta.num_threads = static_cast<std::uint32_t>(c.varint());
+  meta.iterations = static_cast<std::uint32_t>(c.varint());
+  meta.page_size = c.varint();
+  meta.benchmark = read_string(c);
+  meta.source_label = read_string(c);
+  const std::uint64_t allocs = c.varint();
+  meta.allocations.reserve(allocs);
+  for (std::uint64_t i = 0; i < allocs; ++i) {
+    TraceAllocation a;
+    a.name = read_string(c);
+    a.first_page = c.varint();
+    a.pages = c.varint();
+    meta.allocations.push_back(std::move(a));
+  }
+  const std::uint64_t hots = c.varint();
+  meta.hot_ranges.reserve(hots);
+  for (std::uint64_t i = 0; i < hots; ++i) {
+    TraceRange r;
+    r.first_page = c.varint();
+    r.pages = c.varint();
+    meta.hot_ranges.push_back(r);
+  }
+  if (!c.done()) {
+    throw TraceError("trace meta has trailing bytes");
+  }
+  return meta;
+}
+
+void decode_payload(const ChunkHeader& header, const std::uint8_t* payload,
+                    std::vector<Record>& out) {
+  Cursor c{payload, header.payload_bytes, 0};
+  std::uint64_t ops = 0;
+  for (std::uint64_t r = 0; r < header.record_count; ++r) {
+    Record record;
+    const std::uint8_t kind = c.u8();
+    switch (kind) {
+      case static_cast<std::uint8_t>(RecordKind::kDefineName): {
+        record.kind = RecordKind::kDefineName;
+        record.name_id = static_cast<std::uint32_t>(c.varint());
+        record.name = read_string(c);
+        break;
+      }
+      case static_cast<std::uint8_t>(RecordKind::kColdBegin):
+        record.kind = RecordKind::kColdBegin;
+        break;
+      case static_cast<std::uint8_t>(RecordKind::kIterationBegin):
+        record.kind = RecordKind::kIterationBegin;
+        record.step = static_cast<std::uint32_t>(c.varint());
+        break;
+      case static_cast<std::uint8_t>(RecordKind::kAdvance):
+        record.kind = RecordKind::kAdvance;
+        record.ns = c.varint();
+        break;
+      case static_cast<std::uint8_t>(RecordKind::kRegion): {
+        record.kind = RecordKind::kRegion;
+        RegionData& region = record.region;
+        region.name_id = static_cast<std::uint32_t>(c.varint());
+        const auto num_threads = static_cast<std::uint32_t>(c.varint());
+        if (num_threads == 0) {
+          throw TraceError("region record with zero threads");
+        }
+        const std::uint8_t binding_kind = c.u8();
+        if (binding_kind == 1) {
+          region.binding.reserve(num_threads);
+          for (std::uint32_t t = 0; t < num_threads; ++t) {
+            region.binding.push_back(static_cast<std::uint32_t>(c.varint()));
+          }
+        } else if (binding_kind != 0) {
+          throw TraceError("region record with unknown binding kind");
+        }
+        region.max_access_lines = static_cast<std::uint32_t>(c.varint());
+        region.max_line_begin = static_cast<std::uint32_t>(c.varint());
+        region.offsets.reserve(num_threads + 1);
+        region.offsets.push_back(0);
+        for (std::uint32_t t = 0; t < num_threads; ++t) {
+          const auto count = static_cast<std::uint32_t>(c.varint());
+          std::uint64_t prev_page = 0;
+          for (std::uint32_t i = 0; i < count; ++i) {
+            const std::uint8_t flags = c.u8();
+            if ((flags & ~kFlagMask) != 0) {
+              throw TraceError("op record with unknown flag bits");
+            }
+            region.flags.push_back(flags);
+            if ((flags & kFlagAccess) != 0) {
+              const std::int64_t delta = c.svarint();
+              const std::uint64_t page =
+                  static_cast<std::uint64_t>(
+                      static_cast<std::int64_t>(prev_page) + delta);
+              region.pages.push_back(page);
+              prev_page = page;
+              region.lines.push_back(static_cast<std::uint32_t>(c.varint()));
+              region.line_begin.push_back(
+                  static_cast<std::uint32_t>(c.varint()));
+            } else {
+              region.pages.push_back(0);
+              region.lines.push_back(0);
+              region.line_begin.push_back(0);
+            }
+            region.compute.push_back(c.varint());
+          }
+          region.offsets.push_back(region.offsets.back() + count);
+        }
+        ops += region.size();
+        break;
+      }
+      default:
+        throw TraceError("unknown record kind " + std::to_string(kind));
+    }
+    out.push_back(std::move(record));
+  }
+  if (!c.done()) {
+    throw TraceError("chunk payload has trailing bytes");
+  }
+  if (ops != header.op_count) {
+    throw TraceError("chunk op count mismatch (header says " +
+                     std::to_string(header.op_count) + ", decoded " +
+                     std::to_string(ops) + ")");
+  }
+}
+
+TraceReader::TraceReader(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(cppcoreguidelines-pro-type-vararg)
+  if (fd < 0) {
+    throw TraceError("cannot open " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    throw TraceError("cannot stat " + path);
+  }
+  size_ = static_cast<std::uint64_t>(st.st_size);
+  if (size_ > 0) {
+    void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map != MAP_FAILED) {
+      map_ = map;
+      data_ = static_cast<const std::uint8_t*>(map);
+    }
+  }
+  if (data_ == nullptr) {
+    // mmap unavailable (exotic filesystem, zero-length file): fall
+    // back to an in-memory copy so the reader still works everywhere.
+    std::ifstream in(path, std::ios::binary);
+    fallback_.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    data_ = fallback_.data();
+    size_ = fallback_.size();
+  }
+  ::close(fd);
+
+  const auto header = read_struct<FileHeader>(data_, size_, 0, "header");
+  check_header(header);
+  const std::uint64_t meta_offset = sizeof(FileHeader);
+  if (size_ - meta_offset < header.meta_bytes) {
+    throw TraceError("trace truncated reading metadata");
+  }
+  if (fnv1a(data_ + meta_offset, header.meta_bytes) != header.meta_digest) {
+    throw TraceError("trace metadata digest mismatch");
+  }
+  meta_ = decode_meta(data_ + meta_offset, header.meta_bytes);
+
+  if (size_ < sizeof(FileFooter)) {
+    throw TraceError("trace truncated (no footer)");
+  }
+  const auto footer = read_struct<FileFooter>(
+      data_, size_, size_ - sizeof(FileFooter), "footer");
+  if (footer.magic != kFooterMagic || footer.version != kFormatVersion) {
+    throw TraceError("trace footer missing or corrupt (truncated file?)");
+  }
+  total_records_ = footer.total_records;
+  total_ops_ = footer.total_ops;
+
+  const auto table_magic = read_struct<std::uint32_t>(
+      data_, size_, footer.chunk_table_offset, "chunk table");
+  if (table_magic != kTableMagic) {
+    throw TraceError("chunk table marker missing");
+  }
+  Cursor table{data_, size_ - sizeof(FileFooter),
+               footer.chunk_table_offset + sizeof(kTableMagic)};
+  chunks_.reserve(footer.chunk_count);
+  for (std::uint64_t i = 0; i < footer.chunk_count; ++i) {
+    ChunkInfo info;
+    info.offset = table.varint();
+    info.payload_bytes = table.varint();
+    info.record_count = table.varint();
+    info.op_count = table.varint();
+    const std::string digest = table.bytes(sizeof(std::uint64_t));
+    std::memcpy(&info.payload_digest, digest.data(), sizeof(std::uint64_t));
+    if (info.offset + sizeof(ChunkHeader) + info.payload_bytes > size_) {
+      throw TraceError("chunk " + std::to_string(i) + " extends past EOF");
+    }
+    chunks_.push_back(info);
+  }
+
+  Cursor names{data_, size_ - sizeof(FileFooter), footer.name_table_offset};
+  const std::uint64_t name_count = names.varint();
+  names_.reserve(name_count);
+  for (std::uint64_t i = 0; i < name_count; ++i) {
+    names_.push_back(read_string(names));
+  }
+}
+
+TraceReader::~TraceReader() {
+  if (map_ != nullptr) {
+    ::munmap(map_, size_);
+  }
+}
+
+void TraceReader::decode_chunk(std::size_t i, std::vector<Record>& out) const {
+  out.clear();
+  const ChunkInfo& info = chunks_.at(i);
+  const auto header =
+      read_struct<ChunkHeader>(data_, size_, info.offset, "chunk header");
+  if (header.magic != kChunkMagic) {
+    throw TraceError("chunk " + std::to_string(i) + " has bad magic");
+  }
+  if (header.payload_bytes != info.payload_bytes ||
+      header.record_count != info.record_count ||
+      header.op_count != info.op_count ||
+      header.payload_digest != info.payload_digest) {
+    throw TraceError("chunk " + std::to_string(i) +
+                     " header disagrees with chunk table");
+  }
+  const std::uint8_t* payload = data_ + info.offset + sizeof(ChunkHeader);
+  if (fnv1a(payload, header.payload_bytes) != header.payload_digest) {
+    throw TraceError("chunk " + std::to_string(i) + " digest mismatch");
+  }
+  decode_payload(header, payload, out);
+}
+
+StreamReader::StreamReader(std::istream& in) : in_(&in) {
+  FileHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (in.gcount() != sizeof(header)) {
+    throw TraceError("stream truncated reading header");
+  }
+  check_header(header);
+  std::vector<std::uint8_t> meta_bytes(header.meta_bytes);
+  in.read(reinterpret_cast<char*>(meta_bytes.data()),
+          static_cast<std::streamsize>(meta_bytes.size()));
+  if (static_cast<std::uint64_t>(in.gcount()) != header.meta_bytes) {
+    throw TraceError("stream truncated reading metadata");
+  }
+  if (fnv1a(meta_bytes.data(), meta_bytes.size()) != header.meta_digest) {
+    throw TraceError("stream metadata digest mismatch");
+  }
+  meta_ = decode_meta(meta_bytes.data(), meta_bytes.size());
+}
+
+bool StreamReader::next_chunk(std::vector<Record>& out) {
+  out.clear();
+  if (done_) {
+    return false;
+  }
+  std::uint32_t magic = 0;
+  in_->read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (in_->gcount() != sizeof(magic)) {
+    throw TraceError("stream truncated reading chunk magic");
+  }
+  if (magic == kTableMagic) {
+    // End of the record section; the chunk/name tables and footer that
+    // follow exist for seekable readers only.
+    done_ = true;
+    return false;
+  }
+  if (magic != kChunkMagic) {
+    throw TraceError("stream chunk has bad magic");
+  }
+  ChunkHeader header;
+  header.magic = magic;
+  in_->read(reinterpret_cast<char*>(&header) + sizeof(magic),
+            sizeof(header) - sizeof(magic));
+  if (static_cast<std::size_t>(in_->gcount()) !=
+      sizeof(header) - sizeof(magic)) {
+    throw TraceError("stream truncated reading chunk header");
+  }
+  std::vector<std::uint8_t> payload(header.payload_bytes);
+  in_->read(reinterpret_cast<char*>(payload.data()),
+            static_cast<std::streamsize>(payload.size()));
+  if (static_cast<std::uint64_t>(in_->gcount()) != header.payload_bytes) {
+    throw TraceError("stream truncated reading chunk payload");
+  }
+  if (fnv1a(payload.data(), payload.size()) != header.payload_digest) {
+    throw TraceError("stream chunk digest mismatch");
+  }
+  decode_payload(header, payload.data(), out);
+  for (const Record& r : out) {
+    if (r.kind == RecordKind::kDefineName) {
+      if (r.name_id != names_.size()) {
+        throw TraceError("stream name ids out of order");
+      }
+      names_.push_back(r.name);
+    }
+  }
+  return true;
+}
+
+}  // namespace repro::tracefmt

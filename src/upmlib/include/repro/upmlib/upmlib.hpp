@@ -165,6 +165,13 @@ class Upmlib {
   /// constructs; the workload models call this explicitly.
   void memrefcnt(const vm::PageRange& range);
 
+  /// The hot memory areas registered so far, in registration order
+  /// (the trace dumper records them so replay can re-register the
+  /// exact same ranges).
+  [[nodiscard]] const std::vector<vm::PageRange>& hot_ranges() const {
+    return hot_ranges_;
+  }
+
   /// Zeroes the counters of every (mapped) hot page. Called between the
   /// cold-start iteration and the first timed iteration so migration
   /// decisions see a clean one-iteration trace.

@@ -294,6 +294,75 @@ TEST(Cli, EmptyStringValueIsAccepted) {
   EXPECT_TRUE(f.benchmark.empty());
 }
 
+/// A Cli with the trace-frontend flag cluster registered, as the
+/// bench/example binaries wire it.
+struct ReplayCliFixture {
+  ReplayCli replay;
+  Cli cli{"fixture"};
+
+  ReplayCliFixture() { replay.register_with(cli); }
+
+  Cli::Status parse(std::vector<const char*> args) {
+    args.insert(args.begin(), "fixture");
+    return cli.parse(static_cast<int>(args.size()), args.data());
+  }
+};
+
+TEST(Cli, ReplayFlagsParseAndApplyToTheRunConfig) {
+  ReplayCliFixture f;
+  ASSERT_EQ(f.parse({"--replay=/tmp/x.rtrc", "--pipeline"}),
+            Cli::Status::kOk);
+  EXPECT_EQ(f.replay.validate(), "");
+  RunConfig config;
+  f.replay.apply(config);
+  EXPECT_EQ(config.replay, "/tmp/x.rtrc");
+  EXPECT_TRUE(config.pipeline);
+  EXPECT_TRUE(config.trace_out.empty());
+}
+
+TEST(Cli, ReplayTraceOutParsesAlone) {
+  ReplayCliFixture f;
+  ASSERT_EQ(f.parse({"--trace-out=/tmp/dump.rtrc"}), Cli::Status::kOk);
+  EXPECT_EQ(f.replay.validate(), "");
+  RunConfig config;
+  f.replay.apply(config);
+  EXPECT_EQ(config.trace_out, "/tmp/dump.rtrc");
+  EXPECT_FALSE(config.pipeline);
+}
+
+TEST(Cli, ReplayConflictingFlagsFailValidation) {
+  ReplayCliFixture f;
+  ASSERT_EQ(f.parse({"--trace-out=/tmp/a.rtrc", "--replay=/tmp/b.rtrc"}),
+            Cli::Status::kOk);
+  EXPECT_NE(f.replay.validate().find("mutually exclusive"),
+            std::string::npos);
+}
+
+TEST(Cli, ReplayPipelineWithoutReplayFailsValidation) {
+  ReplayCliFixture f;
+  ASSERT_EQ(f.parse({"--pipeline"}), Cli::Status::kOk);
+  EXPECT_NE(f.replay.validate().find("requires --replay"),
+            std::string::npos);
+}
+
+TEST(Cli, ReplayFlagsAreStrictlyParsed) {
+  {
+    ReplayCliFixture f;
+    EXPECT_EQ(f.parse({"--replay"}), Cli::Status::kError);  // missing value
+  }
+  {
+    ReplayCliFixture f;
+    EXPECT_EQ(f.parse({"--pipeline=1"}), Cli::Status::kError);  // flag
+  }
+  {
+    ReplayCliFixture f;
+    const std::string usage = f.cli.usage();
+    for (const char* name : {"--trace-out", "--replay", "--pipeline"}) {
+      EXPECT_NE(usage.find(name), std::string::npos) << name;
+    }
+  }
+}
+
 TEST(Figures, MeanSlowdownAveragesAcrossBenchmarks) {
   RunResult base;
   base.label = "ft-base";

@@ -1,0 +1,282 @@
+#!/usr/bin/env python3
+"""Inspect an RTRC binary trace file (see DESIGN.md section 16).
+
+Usage:
+    tools/trace_info.py TRACE.rtrc            # header, meta, chunk table
+    tools/trace_info.py TRACE.rtrc --verify   # + recompute every digest
+
+Prints the file header, decoded metadata, the footer's chunk table and
+the region-name table.  With --verify the FNV-1a digest of the metadata
+block and of every chunk payload is recomputed and compared against the
+stored values; any mismatch (or structural inconsistency between the
+footer and the chunk headers) exits nonzero.  CI runs --verify on the
+trace dumped by the replay smoke step, so a silent encoder change that
+still replays cleanly is caught here.
+
+Pure standard library; layout constants mirror
+src/tracefmt/include/repro/tracefmt/format.hpp (RTRC version 1).
+"""
+
+import argparse
+import struct
+import sys
+
+FILE_MAGIC = 0x43525452  # "RTRC"
+CHUNK_MAGIC = 0x4B435452  # "RTCK"
+TABLE_MAGIC = 0x42545452  # "RTTB"
+FOOTER_MAGIC = 0x4E455452  # "RTEN"
+FORMAT_VERSION = 1
+
+FILE_HEADER = struct.Struct("<IIQQQ")  # magic, version, meta_bytes, meta_digest, reserved
+CHUNK_HEADER = struct.Struct("<IIQQQQ")  # magic, reserved, payload, records, ops, digest
+FOOTER = struct.Struct("<IIQQQQQ")  # magic, version, chunks, table_off, names_off, records, ops
+
+FNV_OFFSET = 0xCBF29CE484222325
+FNV_PRIME = 0x00000100000001B3
+MASK64 = (1 << 64) - 1
+
+RECORD_KINDS = {0: "define_name", 1: "cold_begin", 2: "iteration_begin",
+                3: "region", 4: "advance"}
+
+
+def fnv1a(data: bytes) -> int:
+    h = FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * FNV_PRIME) & MASK64
+    return h
+
+
+class Cursor:
+    """Bounds-checked LEB128 reader over a bytes object."""
+
+    def __init__(self, data: bytes, at: int = 0):
+        self.data = data
+        self.at = at
+
+    def varint(self) -> int:
+        value = 0
+        shift = 0
+        while True:
+            if self.at >= len(self.data):
+                raise ValueError("varint past end of buffer")
+            byte = self.data[self.at]
+            self.at += 1
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return value
+            shift += 7
+            if shift >= 64:
+                raise ValueError("varint over 64 bits")
+
+    def string(self) -> str:
+        n = self.varint()
+        if self.at + n > len(self.data):
+            raise ValueError("string past end of buffer")
+        s = self.data[self.at:self.at + n].decode("utf-8", "replace")
+        self.at += n
+        return s
+
+    def u64(self) -> int:
+        if self.at + 8 > len(self.data):
+            raise ValueError("u64 past end of buffer")
+        (v,) = struct.unpack_from("<Q", self.data, self.at)
+        self.at += 8
+        return v
+
+
+def decode_meta(blob: bytes) -> dict:
+    c = Cursor(blob)
+    meta = {
+        "num_procs": c.varint(),
+        "num_threads": c.varint(),
+        "iterations": c.varint(),
+        "page_size": c.varint(),
+        "benchmark": c.string(),
+        "source_label": c.string(),
+    }
+    meta["allocations"] = [
+        {"name": c.string(), "first_page": c.varint(), "pages": c.varint()}
+        for _ in range(c.varint())
+    ]
+    meta["hot_ranges"] = [
+        {"first_page": c.varint(), "pages": c.varint()}
+        for _ in range(c.varint())
+    ]
+    if c.at != len(blob):
+        raise ValueError("metadata has trailing bytes")
+    return meta
+
+
+def count_record_kinds(payload: bytes, record_count: int) -> dict:
+    """Tallies record kinds in one chunk payload (structural decode)."""
+    c = Cursor(payload)
+    kinds = {}
+    for _ in range(record_count):
+        kind = payload[c.at]
+        c.at += 1
+        name = RECORD_KINDS.get(kind)
+        if name is None:
+            raise ValueError(f"unknown record kind {kind}")
+        kinds[name] = kinds.get(name, 0) + 1
+        if name == "define_name":
+            c.varint()
+            c.string()
+        elif name == "iteration_begin" or name == "advance":
+            c.varint()
+        elif name == "region":
+            c.varint()  # name_id
+            num_threads = c.varint()
+            binding_kind = payload[c.at]
+            c.at += 1
+            if binding_kind == 1:
+                for _ in range(num_threads):
+                    c.varint()
+            elif binding_kind != 0:
+                raise ValueError(f"unknown binding kind {binding_kind}")
+            c.varint()  # max_access_lines
+            c.varint()  # max_line_begin
+            for _ in range(num_threads):
+                for _ in range(c.varint()):
+                    flags = payload[c.at]
+                    c.at += 1
+                    if flags & 0x1:  # access
+                        c.varint()  # page delta (zigzag)
+                        c.varint()  # lines
+                        c.varint()  # line_begin
+                    c.varint()  # compute
+    if c.at != len(payload):
+        raise ValueError("chunk payload has trailing bytes")
+    return kinds
+
+
+def fail(message: str) -> None:
+    print(f"trace_info: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("trace", help="RTRC trace file")
+    parser.add_argument("--verify", action="store_true",
+                        help="recompute and check every digest; exit "
+                             "nonzero on any mismatch")
+    args = parser.parse_args()
+
+    with open(args.trace, "rb") as f:
+        data = f.read()
+
+    if len(data) < FILE_HEADER.size + FOOTER.size:
+        fail(f"{args.trace}: too small to be an RTRC trace")
+    magic, version, meta_bytes, meta_digest, _ = FILE_HEADER.unpack_from(data)
+    if magic != FILE_MAGIC:
+        fail(f"{args.trace}: bad file magic {magic:#x}")
+    if version != FORMAT_VERSION:
+        fail(f"{args.trace}: unsupported version {version}")
+    meta_blob = data[FILE_HEADER.size:FILE_HEADER.size + meta_bytes]
+    if len(meta_blob) != meta_bytes:
+        fail(f"{args.trace}: truncated metadata")
+    try:
+        meta = decode_meta(meta_blob)
+    except ValueError as e:
+        fail(f"{args.trace}: {e}")
+
+    (f_magic, f_version, chunk_count, table_off, names_off,
+     total_records, total_ops) = FOOTER.unpack_from(
+         data, len(data) - FOOTER.size)
+    if f_magic != FOOTER_MAGIC:
+        fail(f"{args.trace}: bad footer magic {f_magic:#x}")
+    if f_version != FORMAT_VERSION:
+        fail(f"{args.trace}: footer version {f_version} != {FORMAT_VERSION}")
+
+    (t_magic,) = struct.unpack_from("<I", data, table_off)
+    if t_magic != TABLE_MAGIC:
+        fail(f"{args.trace}: bad chunk-table magic {t_magic:#x}")
+    table = Cursor(data[:names_off], table_off + 4)
+    chunks = []
+    for _ in range(chunk_count):
+        chunks.append({
+            "offset": table.varint(),
+            "payload_bytes": table.varint(),
+            "record_count": table.varint(),
+            "op_count": table.varint(),
+            "payload_digest": table.u64(),
+        })
+
+    names_cursor = Cursor(data[:len(data) - FOOTER.size], names_off)
+    names = [names_cursor.string() for _ in range(names_cursor.varint())]
+
+    print(f"file:          {args.trace} ({len(data)} bytes)")
+    print(f"format:        RTRC version {version}")
+    print(f"benchmark:     {meta['benchmark']} ({meta['source_label']})")
+    print(f"machine:       {meta['num_procs']} procs, "
+          f"{meta['num_threads']} threads, page size {meta['page_size']}")
+    print(f"iterations:    {meta['iterations']}")
+    print(f"allocations:   " + (", ".join(
+        f"{a['name']}[{a['pages']}p@{a['first_page']}]"
+        for a in meta["allocations"]) or "-"))
+    print(f"hot ranges:    " + (", ".join(
+        f"[{r['first_page']}, {r['first_page'] + r['pages']})"
+        for r in meta["hot_ranges"]) or "-"))
+    print(f"totals:        {total_records} records, {total_ops} ops, "
+          f"{chunk_count} chunk(s)")
+    print(f"region names:  {', '.join(names) or '-'}")
+    print()
+    print("chunk  offset      payload  records  ops      digest")
+    for i, c in enumerate(chunks):
+        print(f"{i:<6} {c['offset']:<11} {c['payload_bytes']:<8} "
+              f"{c['record_count']:<8} {c['op_count']:<8} "
+              f"{c['payload_digest']:016x}")
+
+    # Structural cross-checks (always on).
+    sum_records = sum(c["record_count"] for c in chunks)
+    sum_ops = sum(c["op_count"] for c in chunks)
+    if sum_records != total_records:
+        fail(f"chunk table records {sum_records} != footer {total_records}")
+    if sum_ops != total_ops:
+        fail(f"chunk table ops {sum_ops} != footer {total_ops}")
+
+    if not args.verify:
+        return
+
+    failures = 0
+    if fnv1a(meta_blob) != meta_digest:
+        print("VERIFY: metadata digest mismatch", file=sys.stderr)
+        failures += 1
+    record_kinds = {}
+    for i, c in enumerate(chunks):
+        (h_magic, _, h_payload, h_records, h_ops, h_digest) = \
+            CHUNK_HEADER.unpack_from(data, c["offset"])
+        if h_magic != CHUNK_MAGIC:
+            print(f"VERIFY: chunk {i}: bad magic {h_magic:#x}",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        if (h_payload, h_records, h_ops, h_digest) != (
+                c["payload_bytes"], c["record_count"], c["op_count"],
+                c["payload_digest"]):
+            print(f"VERIFY: chunk {i}: header disagrees with chunk table",
+                  file=sys.stderr)
+            failures += 1
+        payload = data[c["offset"] + CHUNK_HEADER.size:
+                       c["offset"] + CHUNK_HEADER.size + h_payload]
+        if fnv1a(payload) != h_digest:
+            print(f"VERIFY: chunk {i}: payload digest mismatch",
+                  file=sys.stderr)
+            failures += 1
+            continue
+        try:
+            for kind, n in count_record_kinds(payload, h_records).items():
+                record_kinds[kind] = record_kinds.get(kind, 0) + n
+        except ValueError as e:
+            print(f"VERIFY: chunk {i}: {e}", file=sys.stderr)
+            failures += 1
+    print()
+    print("records:       " + (", ".join(
+        f"{n} {kind}" for kind, n in sorted(record_kinds.items())) or "-"))
+    if failures:
+        fail(f"{failures} verification failure(s)")
+    print(f"verify:        OK ({len(chunks)} chunk digest(s) + metadata)")
+
+
+if __name__ == "__main__":
+    main()
