@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
       configs.push_back(std::move(config));
     }
     const std::vector<RunResult> results =
-        run_experiments(configs, options.jobs);
+        run_experiments(configs, options.sweep());
     TextTable table({"thr", "time (s)", "migrations", "remote frac"});
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
       configs.push_back(std::move(config));
     }
     const std::vector<RunResult> results =
-        run_experiments(configs, options.jobs);
+        run_experiments(configs, options.sweep());
     TextTable table({"n", "time (s)", "z_solve (s)", "recrep cost (s)"});
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
@@ -108,7 +108,7 @@ int main(int argc, char** argv) {
       configs.push_back(std::move(config));
     }
     const std::vector<RunResult> results =
-        run_experiments(configs, options.jobs);
+        run_experiments(configs, options.sweep());
     TextTable table({"freeze", "time (s)", "migrations", "frozen pages"});
     for (std::size_t i = 0; i < results.size(); ++i) {
       const RunResult& r = results[i];
@@ -202,7 +202,7 @@ int main(int argc, char** argv) {
       configs.push_back(std::move(upm));
     }
     const std::vector<RunResult> results =
-        run_experiments(configs, options.jobs);
+        run_experiments(configs, options.sweep());
     TextTable table({"iterations", "rr-base (s)", "rr-upmlib (s)",
                      "upmlib vs plain"});
     for (std::size_t i = 0; i < iteration_counts.size(); ++i) {

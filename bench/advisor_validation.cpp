@@ -284,11 +284,16 @@ void append_json_escaped(std::ostream& os, const std::string& s) {
 
 int main(int argc, char** argv) {
   std::size_t jobs = 0;
+  std::uint32_t cell_timeout_ms = 0;
   double fail_under = 0.8;
   std::string json_dir;
   std::string golden_path;
   Cli cli("advisor_validation");
   cli.add_uint("jobs", &jobs, "worker threads for the simulation grid",
+               /*min=*/1);
+  cli.add_uint("cell-timeout-ms", &cell_timeout_ms,
+               "abort any cell exceeding this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
                /*min=*/1);
   cli.add_double("fail-under", &fail_under,
                  "fail when a gated metric drops below this (default 0.8)");
@@ -312,7 +317,11 @@ int main(int argc, char** argv) {
                "golden-trace grid\n\n";
 
   const std::vector<RunConfig> configs = grid_configs();
-  const std::vector<RunResult> results = run_experiments(configs, jobs);
+  SweepOptions sweep_options;
+  sweep_options.jobs = jobs;
+  sweep_options.cell_timeout_ms = cell_timeout_ms;
+  const std::vector<RunResult> results =
+      run_experiments(configs, sweep_options);
 
   // One capture + verdict per benchmark (the advisor is placement-
   // blind, all six cells come from the same dataflow).

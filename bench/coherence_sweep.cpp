@@ -162,10 +162,15 @@ int main(int argc, char** argv) {
   std::string json_dir;
   std::uint64_t iterations = 6;
   std::uint64_t jobs = 0;
+  std::uint32_t cell_timeout_ms = 0;
 
   Cli cli("coherence_sweep");
   cli.add_uint("iterations", &iterations, "timed iterations per cell", 1);
   cli.add_uint("jobs", &jobs, "host worker threads (0 = auto)");
+  cli.add_uint("cell-timeout-ms", &cell_timeout_ms,
+               "abort any cell exceeding this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
+               /*min=*/1);
   cli.add_string("json", &json_dir,
                  "directory for BENCH_coherence_sweep.json "
                  "(google-benchmark shape plus coherence counters)");
@@ -217,14 +222,22 @@ int main(int argc, char** argv) {
 
   const std::size_t run_jobs =
       effective_jobs(std::max<std::uint64_t>(1, jobs == 0 ? 0 : jobs));
-  const std::vector<RunResult> results = run_experiments(configs, run_jobs);
+  const auto sweep_with = [cell_timeout_ms](std::size_t sweep_jobs) {
+    SweepOptions sweep_options;
+    sweep_options.jobs = sweep_jobs;
+    sweep_options.cell_timeout_ms = cell_timeout_ms;
+    return sweep_options;
+  };
+  const std::vector<RunResult> results =
+      run_experiments(configs, sweep_with(run_jobs));
 
   if (trace) {
     const std::size_t check_jobs = smoke ? 4 : run_jobs;
-    const std::vector<RunResult> serial = run_experiments(configs, 1);
+    const std::vector<RunResult> serial =
+        run_experiments(configs, sweep_with(1));
     const std::vector<RunResult> parallel =
         check_jobs == run_jobs ? results
-                               : run_experiments(configs, check_jobs);
+                               : run_experiments(configs, sweep_with(check_jobs));
     std::size_t mismatches = compare_digests(cells, results, serial, "jobs");
     mismatches += compare_digests(cells, results, parallel, "rerun");
     if (mismatches != 0) {

@@ -18,8 +18,9 @@
 //
 // Usage: fault_sweep [--fast] [--iterations=N] [--benchmark=NAME]
 //                    [--rates=0,0.01,0.05] [--fault-seed=S] [--jobs=N]
-//                    [--json=DIR] [--trace=DIR] [--cell-timeout=MS]
+//                    [--json=DIR] [--trace=DIR] [--cell-timeout-ms=MS]
 //                    [--cell-retries=N] [--checkpoint-dir=DIR]
+#include <algorithm>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -81,8 +82,9 @@ int main(int argc, char** argv) {
   cli.add_string("json", &json_path, "write BENCH_*.json files here");
   cli.add_string("trace", &options.trace_dir,
                  "record event traces and export them here");
-  cli.add_uint("cell-timeout", &options.cell_timeout_ms,
-               "abort any cell exceeding this wall-clock budget (ms)",
+  cli.add_uint("cell-timeout-ms", &options.cell_timeout_ms,
+               "abort any cell exceeding this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
                /*min=*/1);
   cli.add_uint("cell-retries", &options.cell_retries,
                "extra attempts per failed cell");
@@ -114,7 +116,10 @@ int main(int argc, char** argv) {
   std::cout << "Fault sweep: UPMlib degradation under injected faults "
                "(simulated 16-proc Origin2000)\n\n";
 
-  bool failed = false;
+  // Worst failure class across every benchmark's sweep decides the
+  // process exit code (fault=3 < timeout=4 < retry-exhausted=5 <
+  // crash=6; see failure_exit_code).
+  int exit_code = 0;
   for (const std::string& bench : benchmarks) {
     std::vector<RunConfig> configs;
     for (const double rate : rates) {
@@ -139,8 +144,8 @@ int main(int argc, char** argv) {
     const SweepOutcome outcome = run_sweep(configs, options.sweep());
     for (const CellFailure& f : outcome.failures) {
       std::cerr << "FAILED " << f.describe() << '\n';
-      failed = true;
     }
+    exit_code = std::max(exit_code, outcome.exit_code());
 
     // One row per cell; slowdowns are vs. this benchmark's fault-free
     // ft-base cell (the paper's usual baseline).
@@ -185,5 +190,5 @@ int main(int argc, char** argv) {
                          "fault_sweep/" + bench, results);
     }
   }
-  return failed ? 1 : 0;
+  return exit_code;
 }

@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
   cli.add_string("benchmark", &benchmark, "run a single benchmark");
   cli.add_uint("jobs", &options.jobs, "worker threads for the run matrix",
                /*min=*/1);
+  cli.add_uint("cell-timeout-ms", &options.cell_timeout_ms,
+               "abort any cell exceeding this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
+               /*min=*/1);
   cli.add_string("csv", &csv_path, "append results to this CSV file");
   cli.add_string("json", &json_path, "write BENCH_*.json files here");
   cli.add_string("trace", &options.trace_dir,

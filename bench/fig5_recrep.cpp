@@ -37,6 +37,10 @@ int main(int argc, char** argv) {
                "override the per-benchmark iteration count", /*min=*/1);
   cli.add_uint("jobs", &options.jobs, "worker threads for the run matrix",
                /*min=*/1);
+  cli.add_uint("cell-timeout-ms", &options.cell_timeout_ms,
+               "abort any cell exceeding this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
+               /*min=*/1);
   cli.add_string("trace", &options.trace_dir,
                  "record event traces and export them here");
   switch (cli.parse(argc, argv)) {
@@ -69,7 +73,7 @@ int main(int argc, char** argv) {
       }
       configs.push_back(std::move(config));
     }
-    std::vector<RunResult> results = run_experiments(configs, options.jobs);
+    std::vector<RunResult> results = run_experiments(configs, options.sweep());
     print_figure(std::cout,
                  "NAS " + bench + ", Class A (scaled), 16 processors",
                  results);

@@ -36,6 +36,10 @@ int main(int argc, char** argv) {
   cli.add_uint("scale", &scale, "solver-body repetition factor", /*min=*/1);
   cli.add_uint("jobs", &options.jobs, "worker threads for the run matrix",
                /*min=*/1);
+  cli.add_uint("cell-timeout-ms", &options.cell_timeout_ms,
+               "abort any cell exceeding this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
+               /*min=*/1);
   cli.add_string("trace", &options.trace_dir,
                  "record event traces and export them here");
   switch (cli.parse(argc, argv)) {
@@ -68,7 +72,7 @@ int main(int argc, char** argv) {
     }
     configs.push_back(std::move(config));
   }
-  std::vector<RunResult> results = run_experiments(configs, options.jobs);
+  std::vector<RunResult> results = run_experiments(configs, options.sweep());
   print_figure(std::cout, "NAS BT (scaled x" + std::to_string(scale) +
                               "), 16 processors",
                results);

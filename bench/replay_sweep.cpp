@@ -41,6 +41,7 @@
 #include "repro/common/table.hpp"
 #include "repro/harness/cli.hpp"
 #include "repro/harness/run.hpp"
+#include "repro/harness/scheduler.hpp"
 #include "repro/sim/trace_replayer.hpp"
 #include "repro/trace/metrics.hpp"
 
@@ -73,9 +74,14 @@ double now_ms() {
       .count();
 }
 
+/// --cell-timeout-ms (0 = env REPRO_CELL_TIMEOUT_MS, else off); applied
+/// to every cell this binary runs, direct or replayed.
+std::uint32_t g_cell_timeout_ms = 0;
+
 RunConfig cell_config(const std::string& benchmark, const Cell& cell,
                       std::uint32_t iterations, double scale, bool trace) {
   RunConfig config;
+  config.cell_timeout_ms = effective_cell_timeout_ms(g_cell_timeout_ms);
   config.benchmark = benchmark;
   config.placement = cell.placement;
   config.iterations = iterations;
@@ -258,6 +264,10 @@ int main(int argc, char** argv) {
                  "BT | SP | CG | MG | FT: the workload to dump and replay "
                  "(default CG)");
   cli.add_uint("iterations", &iterations, "timed iterations per cell", 1);
+  cli.add_uint("cell-timeout-ms", &g_cell_timeout_ms,
+               "abort any cell exceeding this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
+               /*min=*/1);
   cli.add_double("scale", &scale, "problem-size multiplier");
   cli.add_string("json", &json_dir,
                  "directory for BENCH_replay_sweep.json (google-benchmark "

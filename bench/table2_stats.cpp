@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       configs.push_back(std::move(config));
     }
     const std::vector<RunResult> results =
-        run_experiments(configs, options.jobs);
+        run_experiments(configs, options.sweep());
     const double ft_late =
         static_cast<double>(results[0].mean_iteration_last(0.75));
 

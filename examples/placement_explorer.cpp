@@ -21,6 +21,7 @@
 #include "repro/common/table.hpp"
 #include "repro/harness/advise.hpp"
 #include "repro/harness/cli.hpp"
+#include "repro/harness/scheduler.hpp"
 #include "repro/harness/run.hpp"
 #include "repro/topology/topology.hpp"
 
@@ -81,6 +82,10 @@ int main(int argc, char** argv) {
   cli.add_flag("no-fast-forward", &config.no_fast_forward,
                "simulate every iteration in full (disable the "
                "steady-state fast-forward)");
+  cli.add_uint("cell-timeout-ms", &config.cell_timeout_ms,
+               "abort the run past this wall-clock budget (ms; env "
+               "REPRO_CELL_TIMEOUT_MS)",
+               /*min=*/1);
   replay_cli.register_with(cli);
   const double default_scale = config.workload.size_scale;
   switch (cli.parse(argc, argv)) {
@@ -169,6 +174,7 @@ int main(int argc, char** argv) {
                            report.diagnostics.end());
   }
 
+  config.cell_timeout_ms = effective_cell_timeout_ms(config.cell_timeout_ms);
   const RunResult result = run_benchmark(config);
 
   std::cout << "NAS " << result.benchmark << ", " << result.label << ", "

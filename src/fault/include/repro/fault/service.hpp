@@ -1,0 +1,75 @@
+// Service-class fault injection: perturbations of the sweep *service*
+// (src/service) rather than of the simulated machine.
+//
+// The in-simulation classes (plan.hpp) stress UPMlib's convergence;
+// these stress the daemon's robustness machinery -- worker-crash
+// detection, deadline escalation, garbled-frame recovery, bounded
+// re-dispatch. Like the simulation classes they are deterministic:
+// whether a fault fires is a pure function of (seed, class, the
+// cell's config-identity hash, the dispatch attempt number), never of
+// host state, so a chaos run is reproducible and a retried dispatch
+// sees an independent draw (a cell is not doomed by its identity).
+//
+// Classes:
+//  * worker abort  -- the worker process _exit()s mid-cell; the daemon
+//    sees pipe EOF + waitpid and must re-dispatch;
+//  * worker hang   -- the worker stops responding; only the per-cell
+//    deadline's SIGKILL escalation can reclaim the slot;
+//  * garbled frame -- the worker's reply frame fails its digest fence;
+//    the daemon must treat the worker as poisoned (the stream has lost
+//    sync), kill it and re-dispatch.
+#pragma once
+
+#include <cstdint>
+
+namespace repro::fault {
+
+/// Service fault classes, in draw order. Values salt the decision
+/// hash; append only.
+enum class ServiceFaultClass : std::uint8_t {
+  kWorkerAbort = 0,
+  kWorkerHang = 1,
+  kGarbledFrame = 2,
+};
+
+inline constexpr std::size_t kNumServiceFaultClasses = 3;
+
+/// Stable lowercase identifier ("worker_abort", ...).
+[[nodiscard]] const char* service_fault_class_name(ServiceFaultClass cls);
+
+struct ServiceFaultPlan {
+  /// Root of every decision; two plans with different seeds produce
+  /// independent fault patterns at the same rates.
+  std::uint64_t seed = 0x5e141ce5ull;
+
+  /// Bernoulli rate per (cell, dispatch attempt) consultation.
+  double abort_rate = 0.0;
+  double hang_rate = 0.0;
+  double garble_rate = 0.0;
+
+  /// True when every rate is zero: workers never consult the plan.
+  [[nodiscard]] bool empty() const;
+
+  /// Sets all three class rates to `rate`.
+  void set_rate(double rate);
+
+  /// Reads REPRO_SERVICE_FAULT_SEED / REPRO_SERVICE_FAULT_RATE plus
+  /// the per-class REPRO_SERVICE_FAULT_{ABORT,HANG,GARBLE}_RATE
+  /// overrides on top of `defaults`.
+  [[nodiscard]] static ServiceFaultPlan from_env();
+  [[nodiscard]] static ServiceFaultPlan from_env(ServiceFaultPlan defaults);
+
+  /// Rates in [0, 1]. Throws ContractViolation.
+  void validate() const;
+};
+
+/// The deterministic decision: does `cls` fire for dispatch attempt
+/// `attempt` of the cell whose config-identity hash is `identity`?
+/// Pure function of its arguments and plan.seed -- no draw counters,
+/// so daemon and tests can evaluate it independently and agree.
+[[nodiscard]] bool service_fault_fires(const ServiceFaultPlan& plan,
+                                       ServiceFaultClass cls,
+                                       std::uint64_t identity,
+                                       std::uint32_t attempt);
+
+}  // namespace repro::fault

@@ -1,0 +1,82 @@
+#include "repro/fault/service.hpp"
+
+#include "repro/common/assert.hpp"
+#include "repro/common/env.hpp"
+#include "repro/common/hash.hpp"
+
+namespace repro::fault {
+
+const char* service_fault_class_name(ServiceFaultClass cls) {
+  switch (cls) {
+    case ServiceFaultClass::kWorkerAbort:
+      return "worker_abort";
+    case ServiceFaultClass::kWorkerHang:
+      return "worker_hang";
+    case ServiceFaultClass::kGarbledFrame:
+      return "garbled_frame";
+  }
+  return "?";
+}
+
+bool ServiceFaultPlan::empty() const {
+  return abort_rate == 0.0 && hang_rate == 0.0 && garble_rate == 0.0;
+}
+
+void ServiceFaultPlan::set_rate(double rate) {
+  abort_rate = rate;
+  hang_rate = rate;
+  garble_rate = rate;
+}
+
+ServiceFaultPlan ServiceFaultPlan::from_env() {
+  return from_env(ServiceFaultPlan{});
+}
+
+ServiceFaultPlan ServiceFaultPlan::from_env(ServiceFaultPlan defaults) {
+  const Env& env = Env::global();
+  defaults.seed = static_cast<std::uint64_t>(env.get_int(
+      "REPRO_SERVICE_FAULT_SEED", static_cast<std::int64_t>(defaults.seed)));
+  const double rate = env.get_double("REPRO_SERVICE_FAULT_RATE", -1.0);
+  if (rate >= 0.0) {
+    defaults.set_rate(rate);
+  }
+  defaults.abort_rate =
+      env.get_double("REPRO_SERVICE_FAULT_ABORT_RATE", defaults.abort_rate);
+  defaults.hang_rate =
+      env.get_double("REPRO_SERVICE_FAULT_HANG_RATE", defaults.hang_rate);
+  defaults.garble_rate =
+      env.get_double("REPRO_SERVICE_FAULT_GARBLE_RATE", defaults.garble_rate);
+  return defaults;
+}
+
+void ServiceFaultPlan::validate() const {
+  const auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
+  REPRO_REQUIRE_MSG(valid_rate(abort_rate) && valid_rate(hang_rate) &&
+                        valid_rate(garble_rate),
+                    "service fault rates must be probabilities in [0, 1]");
+}
+
+bool service_fault_fires(const ServiceFaultPlan& plan, ServiceFaultClass cls,
+                         std::uint64_t identity, std::uint32_t attempt) {
+  const double rate = cls == ServiceFaultClass::kWorkerAbort ? plan.abort_rate
+                      : cls == ServiceFaultClass::kWorkerHang
+                          ? plan.hang_rate
+                          : plan.garble_rate;
+  if (rate <= 0.0) {
+    return false;
+  }
+  if (rate >= 1.0) {
+    return true;
+  }
+  StateHash h(plan.seed);
+  h.mix(static_cast<std::uint64_t>(cls) + 1);
+  h.mix(identity);
+  h.mix(attempt);
+  const std::uint64_t draw = avalanche64(h.value());
+  // Top 53 bits -> uniform double in [0, 1).
+  const double u =
+      static_cast<double>(draw >> 11U) * 0x1.0p-53;
+  return u < rate;
+}
+
+}  // namespace repro::fault

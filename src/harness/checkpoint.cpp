@@ -1,7 +1,9 @@
 #include "repro/harness/checkpoint.hpp"
 
 #include <fstream>
+#include <iomanip>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
 
 #include "repro/common/hash.hpp"
@@ -18,13 +20,27 @@ void mix_string(StateHash& h, const std::string& s) {
   }
 }
 
-constexpr std::uint64_t kFormatVersion = 3;
+constexpr std::uint64_t kFormatVersion = 4;
 
 std::string join(const std::vector<Ns>& values) {
   std::ostringstream os;
   for (std::size_t i = 0; i < values.size(); ++i) {
     os << (i == 0 ? "" : " ") << values[i];
   }
+  return os.str();
+}
+
+/// "fence=<16-hex FNV-1a of body>\n" -- fixed width, so the reader can
+/// split it off the end of the file without scanning.
+std::string fence_line(std::string_view body) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : body) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x00000100000001b3ull;
+  }
+  std::ostringstream os;
+  os << "fence=" << std::hex << std::setw(16) << std::setfill('0') << h
+     << "\n";
   return os.str();
 }
 
@@ -128,6 +144,16 @@ std::uint64_t config_identity(const RunConfig& config) {
   return h.value();
 }
 
+std::uint64_t sweep_identity(const std::vector<RunConfig>& configs) {
+  StateHash h(0x5feeb1de + kFormatVersion);
+  h.mix(configs.size());
+  for (const RunConfig& config : configs) {
+    h.mix(config_identity(config));
+  }
+  // 0 is the "no sweep identity" sentinel of load_checkpoint.
+  return h.value() == 0 ? 1 : h.value();
+}
+
 std::string checkpoint_path(const std::string& dir, const RunConfig& config) {
   std::ostringstream os;
   os << dir << "/CELL_" << config.benchmark << "_" << config.label() << "_"
@@ -135,12 +161,11 @@ std::string checkpoint_path(const std::string& dir, const RunConfig& config) {
   return os.str();
 }
 
-void save_checkpoint(const std::string& dir, const RunConfig& config,
-                     const RunResult& result) {
+std::string encode_result(std::uint64_t identity, const RunResult& result) {
   std::ostringstream os;
   os.precision(17);
   os << "version=" << kFormatVersion << "\n";
-  os << "identity=" << config_identity(config) << "\n";
+  os << "identity=" << identity << "\n";
   os << "label=" << result.label << "\n";
   os << "benchmark=" << result.benchmark << "\n";
   os << "total=" << result.total << "\n";
@@ -197,15 +222,12 @@ void save_checkpoint(const std::string& dir, const RunConfig& config,
     os << (i == 0 ? "" : " ") << result.iteration_metrics[i].faults_injected;
   }
   os << "\n";
-  atomic_write_file(checkpoint_path(dir, config), os.str());
+  return os.str();
 }
 
-bool load_checkpoint(const std::string& dir, const RunConfig& config,
-                     RunResult* out) {
-  std::ifstream in(checkpoint_path(dir, config));
-  if (!in.good()) {
-    return false;
-  }
+bool decode_result(const std::string& text, std::uint64_t expected_identity,
+                   RunResult* out, std::uint64_t* sweep_out) {
+  std::istringstream in(text);
   std::unordered_map<std::string, std::string> kv;
   std::string line;
   while (std::getline(in, line)) {
@@ -223,8 +245,19 @@ bool load_checkpoint(const std::string& dir, const RunConfig& config,
   const std::string* identity = get("identity");
   if (version == nullptr || identity == nullptr ||
       *version != std::to_string(kFormatVersion) ||
-      *identity != std::to_string(config_identity(config))) {
+      *identity != std::to_string(expected_identity)) {
     return false;
+  }
+  if (sweep_out != nullptr) {
+    *sweep_out = 0;
+    std::vector<std::uint64_t> sv;
+    const std::string* sweep = get("sweep");
+    if (sweep != nullptr) {
+      if (!split_u64(*sweep, &sv) || sv.size() != 1) {
+        return false;
+      }
+      *sweep_out = sv[0];
+    }
   }
 
   RunResult r;
@@ -261,7 +294,11 @@ bool load_checkpoint(const std::string& dir, const RunConfig& config,
   if ((s = get("fault_rate")) == nullptr) {
     return false;
   }
-  r.fault_rate = std::stod(*s);
+  try {
+    r.fault_rate = std::stod(*s);
+  } catch (const std::exception&) {
+    return false;
+  }
   if ((s = get("trace_digest")) == nullptr) {
     return false;
   }
@@ -325,6 +362,59 @@ bool load_checkpoint(const std::string& dir, const RunConfig& config,
     r.iteration_metrics[i].faults_injected = faults[i];
   }
 
+  *out = std::move(r);
+  return true;
+}
+
+void save_checkpoint(const std::string& dir, const RunConfig& config,
+                     const RunResult& result, std::uint64_t sweep) {
+  std::string body = encode_result(config_identity(config), result);
+  body += "sweep=" + std::to_string(sweep) + "\n";
+  // Fence line last: atomic_write_file already prevents torn files on
+  // this host, but checkpoints also travel (scp, shared filesystems,
+  // object stores) where truncation is possible again. The key=value
+  // body alone cannot detect every tear -- dropping just the final
+  // newline, or a digit of the sweep id, still parses -- so the digest
+  // fence makes "truncated anywhere" equal "rejected".
+  body += fence_line(body);
+  atomic_write_file(checkpoint_path(dir, config), body);
+}
+
+bool load_checkpoint(const std::string& dir, const RunConfig& config,
+                     RunResult* out, std::uint64_t expected_sweep) {
+  const std::string path = checkpoint_path(dir, config);
+  std::ifstream in(path);
+  if (!in.good()) {
+    return false;
+  }
+  std::ostringstream content;
+  content << in.rdbuf();
+  std::string body = content.str();
+  // Split off and verify the trailing fence line; a file without an
+  // intact fence over everything before it is torn, not a checkpoint.
+  const std::string fence = fence_line("");
+  const std::size_t fence_bytes = fence.size();  // fixed-width digest
+  if (body.size() < fence_bytes) {
+    return false;
+  }
+  const std::string tail = body.substr(body.size() - fence_bytes);
+  body.resize(body.size() - fence_bytes);
+  if (tail != fence_line(body)) {
+    return false;
+  }
+  RunResult r;
+  std::uint64_t file_sweep = 0;
+  if (!decode_result(body, config_identity(config), &r, &file_sweep)) {
+    return false;
+  }
+  if (expected_sweep != 0 && file_sweep != expected_sweep) {
+    throw CheckpointMismatchError(
+        "checkpoint " + path + " was written by a different sweep (identity " +
+        std::to_string(file_sweep) + ", this sweep is " +
+        std::to_string(expected_sweep) +
+        "): refusing to mix cells across sweeps -- delete the checkpoint "
+        "directory or point --checkpoint-dir at a fresh one");
+  }
   *out = std::move(r);
   return true;
 }

@@ -34,6 +34,41 @@ namespace repro::harness {
 /// concurrency. Always at least 1.
 [[nodiscard]] std::size_t effective_jobs(std::size_t requested);
 
+/// Resolves a cell watchdog budget: a nonzero `requested` wins;
+/// otherwise the strictly parsed REPRO_CELL_TIMEOUT_MS environment
+/// variable (garbage or out-of-range values throw ContractViolation --
+/// a silently ignored watchdog is worse than a crash); 0 = no
+/// watchdog. Consulted by run_sweep, so the watchdog is reachable on
+/// every sweep-driving binary even without the --cell-timeout-ms flag.
+[[nodiscard]] std::uint32_t effective_cell_timeout_ms(
+    std::uint32_t requested);
+
+/// Why a cell ultimately failed. The numeric order is the severity
+/// order exit_code() reports (higher = reported when classes mix);
+/// each class maps to its own process exit code so callers and CI can
+/// tell a deterministic simulation fault from a blown deadline from a
+/// dead worker without parsing stderr.
+enum class FailureClass : std::uint8_t {
+  /// The simulation itself threw (contract violation, bad config, ...).
+  kFault = 0,
+  /// The wall-clock watchdog fired (CellTimeoutError); never retried.
+  kTimeout = 1,
+  /// A nonzero retry budget was exhausted without a success.
+  kRetryExhausted = 2,
+  /// The process computing the cell died (service worker pool; an
+  /// in-process sweep never produces this class).
+  kCrash = 3,
+};
+
+/// Stable lowercase identifier ("fault", "timeout", "retry-exhausted",
+/// "crash").
+[[nodiscard]] const char* failure_class_name(FailureClass cls);
+
+/// Process exit code for a failure class: fault=3, timeout=4,
+/// retry-exhausted=5, crash=6 (0 = success, 1 = generic, 2 = usage
+/// error by convention).
+[[nodiscard]] int failure_exit_code(FailureClass cls);
+
 /// One failed cell of a sweep, after its retry budget was exhausted.
 struct CellFailure {
   /// Index into the sweep's config vector.
@@ -45,8 +80,12 @@ struct CellFailure {
   std::string message;
   /// The failure was a CellTimeoutError (watchdog); never retried.
   bool timeout = false;
+  /// Failure classification (see FailureClass); `timeout` above is
+  /// kept in sync for existing callers.
+  FailureClass cls = FailureClass::kFault;
 
-  /// "BT ft-upmlib: <message>" -- the line SweepError::format joins.
+  /// "BT ft-upmlib [timeout]: <message>" -- the line
+  /// SweepError::format joins.
   [[nodiscard]] std::string describe() const;
 };
 
@@ -90,6 +129,11 @@ struct SweepOutcome {
   SweepStats stats;
 
   [[nodiscard]] bool ok() const { return failures.empty(); }
+
+  /// 0 on full success; otherwise failure_exit_code() of the
+  /// most-severe failure class present (crash > retry-exhausted >
+  /// timeout > fault), so a bench's exit status names what went wrong.
+  [[nodiscard]] int exit_code() const;
 };
 
 /// Aggregated sweep failure: lists every failed cell, not just the

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <thread>
 
+#include "repro/common/assert.hpp"
 #include "repro/common/env.hpp"
 #include "repro/common/log.hpp"
 #include "repro/harness/checkpoint.hpp"
@@ -18,6 +19,7 @@ struct CellVerdict {
   bool ok = false;
   bool resumed = false;
   bool timeout = false;
+  FailureClass cls = FailureClass::kFault;
   std::uint32_t retries = 0;
   std::string message;
 };
@@ -26,30 +28,43 @@ struct CellVerdict {
 /// to options.cell_retries extra attempts. Never throws on simulation
 /// failure -- every exception becomes part of the verdict so the
 /// remaining cells always run.
-CellVerdict run_cell(const RunConfig& input, const SweepOptions& options) {
+CellVerdict run_cell(const RunConfig& input, const SweepOptions& options,
+                     std::uint64_t sweep_id) {
   CellVerdict v;
   RunConfig config = input;
   if (config.cell_timeout_ms == 0) {
     config.cell_timeout_ms = options.cell_timeout_ms;
   }
-  if (!options.checkpoint_dir.empty() &&
-      load_checkpoint(options.checkpoint_dir, config, &v.result)) {
-    v.ok = true;
-    v.resumed = true;
-    return v;
+  if (!options.checkpoint_dir.empty()) {
+    try {
+      if (load_checkpoint(options.checkpoint_dir, config, &v.result,
+                          sweep_id)) {
+        v.ok = true;
+        v.resumed = true;
+        return v;
+      }
+    } catch (const CheckpointMismatchError& e) {
+      // A readable cell from a *different* sweep: refuse loudly, never
+      // recompute over it -- the operator pointed two sweeps at one
+      // checkpoint directory and must untangle that first.
+      v.cls = FailureClass::kFault;
+      v.message = e.what();
+      return v;
+    }
   }
   for (std::uint32_t attempt = 0;; ++attempt) {
     try {
       v.result = run_benchmark(config);
       v.ok = true;
       if (!options.checkpoint_dir.empty()) {
-        save_checkpoint(options.checkpoint_dir, config, v.result);
+        save_checkpoint(options.checkpoint_dir, config, v.result, sweep_id);
       }
       return v;
     } catch (const CellTimeoutError& e) {
       // Deterministic simulation: a cell that blew its deadline once
       // will blow it again, so a retry only doubles the damage.
       v.timeout = true;
+      v.cls = FailureClass::kTimeout;
       v.message = e.what();
       return v;
     } catch (const std::exception& e) {
@@ -58,6 +73,8 @@ CellVerdict run_cell(const RunConfig& input, const SweepOptions& options) {
       v.message = "unknown exception";
     }
     if (attempt >= options.cell_retries) {
+      v.cls = options.cell_retries > 0 ? FailureClass::kRetryExhausted
+                                       : FailureClass::kFault;
       return v;
     }
     ++v.retries;
@@ -81,8 +98,53 @@ std::size_t effective_jobs(std::size_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+std::uint32_t effective_cell_timeout_ms(std::uint32_t requested) {
+  if (requested != 0) {
+    return requested;
+  }
+  // get_int throws ContractViolation on malformed values (the strict
+  // parse); range errors get the same treatment here.
+  const std::int64_t from_env =
+      Env::global().get_int("REPRO_CELL_TIMEOUT_MS", 0);
+  REPRO_REQUIRE_MSG(from_env >= 0 && from_env <= INT64_C(0xffffffff),
+                    "REPRO_CELL_TIMEOUT_MS out of range [0, 2^32)");
+  return static_cast<std::uint32_t>(from_env);
+}
+
+const char* failure_class_name(FailureClass cls) {
+  switch (cls) {
+    case FailureClass::kFault:
+      return "fault";
+    case FailureClass::kTimeout:
+      return "timeout";
+    case FailureClass::kRetryExhausted:
+      return "retry-exhausted";
+    case FailureClass::kCrash:
+      return "crash";
+  }
+  REPRO_UNREACHABLE("unknown FailureClass");
+}
+
+int failure_exit_code(FailureClass cls) {
+  return 3 + static_cast<int>(cls);
+}
+
+int SweepOutcome::exit_code() const {
+  if (failures.empty()) {
+    return 0;
+  }
+  FailureClass worst = FailureClass::kFault;
+  for (const CellFailure& f : failures) {
+    if (static_cast<int>(f.cls) > static_cast<int>(worst)) {
+      worst = f.cls;
+    }
+  }
+  return failure_exit_code(worst);
+}
+
 std::string CellFailure::describe() const {
-  return benchmark + " " + label + ": " + message;
+  return benchmark + " " + label + " [" + failure_class_name(cls) +
+         "]: " + message;
 }
 
 std::string SweepError::format(const std::vector<CellFailure>& failures) {
@@ -103,13 +165,17 @@ SweepOutcome run_sweep(const std::vector<RunConfig>& configs,
   if (configs.empty()) {
     return out;
   }
+  SweepOptions effective = options;
+  effective.cell_timeout_ms =
+      effective_cell_timeout_ms(options.cell_timeout_ms);
   const std::size_t workers =
-      std::min(effective_jobs(options.jobs), configs.size());
+      std::min(effective_jobs(effective.jobs), configs.size());
+  const std::uint64_t sweep_id = sweep_identity(configs);
 
   std::vector<CellVerdict> verdicts(configs.size());
   if (workers == 1) {
     for (std::size_t i = 0; i < configs.size(); ++i) {
-      verdicts[i] = run_cell(configs[i], options);
+      verdicts[i] = run_cell(configs[i], effective, sweep_id);
     }
   } else {
     // Work-stealing by atomic counter: cells vary widely in cost (BT
@@ -128,7 +194,7 @@ SweepOutcome run_sweep(const std::vector<RunConfig>& configs,
           if (i >= configs.size()) {
             return;
           }
-          verdicts[i] = run_cell(configs[i], options);
+          verdicts[i] = run_cell(configs[i], effective, sweep_id);
         }
       });
     }
@@ -157,6 +223,7 @@ SweepOutcome run_sweep(const std::vector<RunConfig>& configs,
       f.label = configs[i].label();
       f.message = v.message;
       f.timeout = v.timeout;
+      f.cls = v.cls;
       out.failures.push_back(std::move(f));
     }
   }

@@ -1,0 +1,209 @@
+#include "repro/service/cellspec.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <sstream>
+
+#include "repro/common/assert.hpp"
+#include "repro/harness/checkpoint.hpp"
+
+namespace repro::service {
+
+namespace {
+
+/// Doubles survive the round trip through %.17g exactly.
+std::string format_double(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+bool parse_u32(const std::string& s, std::uint32_t* out) {
+  const auto* end = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc{} && p == end;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  const auto* end = s.data() + s.size();
+  const auto [p, ec] = std::from_chars(s.data(), end, *out);
+  return ec == std::errc{} && p == end;
+}
+
+bool parse_f64(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  try {
+    std::size_t pos = 0;
+    *out = std::stod(s, &pos);
+    return pos == s.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_bool(const std::string& s, bool* out) {
+  if (s == "0" || s == "1") {
+    *out = s == "1";
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string CellSpec::format() const {
+  std::ostringstream os;
+  os << "benchmark=" << benchmark << " placement=" << placement;
+  if (kernel_migration) {
+    os << " kernel_migration=1";
+  }
+  if (upm != "off") {
+    os << " upm=" << upm;
+  }
+  if (iterations != 0) {
+    os << " iterations=" << iterations;
+  }
+  if (compute_scale != 1) {
+    os << " compute_scale=" << compute_scale;
+  }
+  if (size_scale != 1.0) {
+    os << " size_scale=" << format_double(size_scale);
+  }
+  if (seed != 12345) {
+    os << " seed=" << seed;
+  }
+  if (fault_rate != 0.0) {
+    os << " fault_rate=" << format_double(fault_rate);
+  }
+  if (fault_seed != 0) {
+    os << " fault_seed=" << fault_seed;
+  }
+  return os.str();
+}
+
+bool CellSpec::parse(const std::string& line, CellSpec* out,
+                     std::string* error) {
+  CellSpec spec;
+  std::istringstream is(line);
+  std::string token;
+  bool saw_benchmark = false;
+  while (is >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      *error = "cell spec token is not key=value: '" + token + "'";
+      return false;
+    }
+    const std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+    bool ok = true;
+    if (key == "benchmark") {
+      spec.benchmark = value;
+      saw_benchmark = !value.empty();
+    } else if (key == "placement") {
+      spec.placement = value;
+      ok = value == "ft" || value == "rr" || value == "rand" || value == "wc";
+    } else if (key == "kernel_migration") {
+      ok = parse_bool(value, &spec.kernel_migration);
+    } else if (key == "upm") {
+      spec.upm = value;
+      ok = value == "off" || value == "dist" || value == "recrep";
+    } else if (key == "iterations") {
+      ok = parse_u32(value, &spec.iterations);
+    } else if (key == "compute_scale") {
+      ok = parse_u32(value, &spec.compute_scale) && spec.compute_scale >= 1;
+    } else if (key == "size_scale") {
+      ok = parse_f64(value, &spec.size_scale) && spec.size_scale > 0.0;
+    } else if (key == "seed") {
+      ok = parse_u64(value, &spec.seed);
+    } else if (key == "fault_rate") {
+      ok = parse_f64(value, &spec.fault_rate) && spec.fault_rate >= 0.0 &&
+           spec.fault_rate <= 1.0;
+    } else if (key == "fault_seed") {
+      ok = parse_u64(value, &spec.fault_seed);
+    } else {
+      *error = "unknown cell spec key '" + key + "'";
+      return false;
+    }
+    if (!ok) {
+      *error = "bad value for cell spec key '" + key + "': '" + value + "'";
+      return false;
+    }
+  }
+  if (!saw_benchmark) {
+    *error = "cell spec has no benchmark= field";
+    return false;
+  }
+  *out = spec;
+  return true;
+}
+
+harness::RunConfig CellSpec::to_config() const {
+  harness::RunConfig config;
+  config.benchmark = benchmark;
+  config.placement = placement;
+  config.kernel_migration = kernel_migration;
+  if (upm == "off") {
+    config.upm_mode = nas::UpmMode::kOff;
+  } else if (upm == "dist") {
+    config.upm_mode = nas::UpmMode::kDistribution;
+  } else if (upm == "recrep") {
+    config.upm_mode = nas::UpmMode::kRecordReplay;
+  } else {
+    REPRO_REQUIRE_MSG(false, "CellSpec.upm must be off|dist|recrep");
+  }
+  config.iterations = iterations;
+  config.compute_scale = compute_scale;
+  config.workload.size_scale = size_scale;
+  config.seed = seed;
+  if (fault_rate > 0.0) {
+    config.fault.set_rate(fault_rate);
+    if (fault_seed != 0) {
+      config.fault.seed = fault_seed;
+    }
+  }
+  // The digest is the service's correctness currency: every cell is
+  // traced so cached results can be proven byte-identical to a
+  // recomputation.
+  config.trace = true;
+  return config;
+}
+
+std::uint64_t CellSpec::identity() const {
+  return harness::config_identity(to_config());
+}
+
+std::string SweepRequest::encode() const {
+  std::string text;
+  for (const CellSpec& cell : cells) {
+    text += cell.format();
+    text += '\n';
+  }
+  return text;
+}
+
+bool SweepRequest::decode(const std::string& text, SweepRequest* out,
+                          std::string* error) {
+  SweepRequest request;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) {
+      continue;
+    }
+    CellSpec spec;
+    if (!CellSpec::parse(line, &spec, error)) {
+      return false;
+    }
+    request.cells.push_back(std::move(spec));
+  }
+  if (request.cells.empty()) {
+    *error = "sweep request contains no cells";
+    return false;
+  }
+  *out = std::move(request);
+  return true;
+}
+
+}  // namespace repro::service

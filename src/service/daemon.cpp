@@ -1,0 +1,904 @@
+#include "repro/service/daemon.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#include "repro/common/assert.hpp"
+#include "repro/common/log.hpp"
+#include "repro/harness/scheduler.hpp"
+#include "repro/service/cellspec.hpp"
+#include "repro/service/protocol.hpp"
+#include "repro/service/worker.hpp"
+
+namespace repro::service {
+
+namespace {
+
+std::int64_t now_ms() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 + ts.tv_nsec / 1000000;
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  REPRO_REQUIRE_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                    "cannot make descriptor non-blocking");
+}
+
+}  // namespace
+
+struct SweepDaemon::Impl {
+  /// A client that asked for a cell: reply goes to request index
+  /// `index` on connection `client` (an id, not an fd -- fds are
+  /// reused by the kernel, ids never are).
+  struct Waiter {
+    std::uint64_t client = 0;
+    std::size_t index = 0;
+  };
+
+  /// One pool slot: a forked worker and what it is doing.
+  struct Slot {
+    WorkerHandle worker;
+    bool alive = false;
+    bool busy = false;
+    std::uint64_t identity = 0;
+    bool is_dup = false;
+    /// The cell was already answered by the other racer; this slot's
+    /// eventual reply is only checked against the winner's digest.
+    bool confirm_only = false;
+    std::uint64_t expect_digest = 0;
+    std::int64_t deadline_at = 0;  // 0 = no deadline armed
+  };
+
+  /// One deduplicated unit of work, keyed by config identity.
+  struct Cell {
+    std::string spec_line;
+    std::uint32_t attempts = 0;       // dispatches so far
+    std::int64_t not_before = 0;      // backoff gate
+    std::int64_t dispatched_at = 0;
+    int primary = -1;
+    int dup = -1;
+    bool duplicated = false;          // at most one straggler duplicate
+    std::vector<Waiter> waiters;
+  };
+
+  struct Conn {
+    int fd = -1;
+    std::string inbuf;
+    bool admitted = false;
+    std::size_t total = 0;
+    std::size_t outstanding = 0;
+    std::size_t failed = 0;
+    std::size_t cached = 0;
+  };
+
+  explicit Impl(SweepDaemon& daemon) : d(daemon) {}
+
+  SweepDaemon& d;
+  int listen_fd = -1;
+  bool draining = false;
+  std::uint64_t next_client = 1;
+  std::size_t admitted_active = 0;
+  std::map<std::uint64_t, Conn> conns;
+  std::unordered_map<std::uint64_t, Cell> cells;
+  std::deque<std::uint64_t> queue;  // identities awaiting a slot
+  std::vector<Slot> slots;
+
+  // ---- lifecycle ---------------------------------------------------
+
+  void run() {
+    bind_and_listen();
+    slots.resize(std::max<std::size_t>(1, d.config_.workers));
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      spawn_slot(i);
+    }
+    REPRO_LOG_INFO("sweepd: serving on ", d.config_.socket_path, " with ",
+                   slots.size(), " workers");
+    while (true) {
+      dispatch_ready();
+      maybe_duplicate_straggler();
+      if (draining && cells.empty() && conns.empty()) {
+        break;
+      }
+      poll_once();
+      check_deadlines();
+    }
+    cleanup();
+  }
+
+  void bind_and_listen() {
+    listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    REPRO_REQUIRE_MSG(listen_fd >= 0, "cannot create service socket");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    REPRO_REQUIRE_MSG(
+        d.config_.socket_path.size() < sizeof(addr.sun_path),
+        "service socket path too long for sockaddr_un");
+    std::strncpy(addr.sun_path, d.config_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(d.config_.socket_path.c_str());
+    REPRO_REQUIRE_MSG(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                             sizeof(addr)) == 0,
+                      "cannot bind service socket");
+    REPRO_REQUIRE_MSG(::listen(listen_fd, 16) == 0,
+                      "cannot listen on service socket");
+    set_nonblocking(listen_fd);
+  }
+
+  void cleanup() {
+    // Workers still alive here are either idle (EOF on their socket
+    // ends them) or wedged by the hang fault (only SIGKILL does).
+    // Every cell is already answered, so SIGKILL is safe and prompt.
+    for (Slot& slot : slots) {
+      if (!slot.alive) {
+        continue;
+      }
+      ::close(slot.worker.fd);
+      ::kill(slot.worker.pid, SIGKILL);
+      int status = 0;
+      ::waitpid(slot.worker.pid, &status, 0);
+      slot.alive = false;
+    }
+    d.cache_.flush_snapshot();
+    ::close(listen_fd);
+    ::unlink(d.config_.socket_path.c_str());
+    for (auto& [id, conn] : conns) {
+      ::close(conn.fd);
+    }
+    conns.clear();
+  }
+
+  // ---- worker pool -------------------------------------------------
+
+  void spawn_slot(std::size_t i) {
+    // The child must not keep inherited descriptors open: a worker
+    // holding a copy of a client fd would mask the EOF the client
+    // relies on, and a copy of a sibling's socket would mask a crash.
+    std::vector<int> to_close;
+    to_close.push_back(listen_fd);
+    to_close.push_back(d.wake_read_);
+    to_close.push_back(d.wake_write_);
+    for (const auto& [id, conn] : conns) {
+      to_close.push_back(conn.fd);
+    }
+    for (const Slot& other : slots) {
+      if (other.alive) {
+        to_close.push_back(other.worker.fd);
+      }
+    }
+    slots[i].worker = spawn_worker(d.config_.faults, [to_close] {
+      for (const int fd : to_close) {
+        if (fd >= 0) {
+          ::close(fd);
+        }
+      }
+    });
+    slots[i].alive = true;
+    slots[i].busy = false;
+    slots[i].is_dup = false;
+    slots[i].confirm_only = false;
+    slots[i].deadline_at = 0;
+    ++d.stats_.workers_spawned;
+  }
+
+  [[nodiscard]] int find_idle_slot() const {
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].alive && !slots[i].busy) {
+        return static_cast<int>(i);
+      }
+    }
+    return -1;
+  }
+
+  /// Sends a kCellTask; returns false when the worker turned out to be
+  /// dead (the slot is torn down and respawned, the cell untouched).
+  bool dispatch_to(std::size_t slot_idx, std::uint64_t identity, Cell& cell,
+                   bool as_dup) {
+    Slot& slot = slots[slot_idx];
+    const std::uint32_t attempt = cell.attempts;
+    std::ostringstream task;
+    task << "attempt=" << attempt << '\n' << cell.spec_line << '\n';
+    try {
+      write_frame(slot.worker.fd, FrameType::kCellTask, task.str());
+    } catch (const ProtocolError&) {
+      // Died while idle; reclaim quietly -- the cell was never charged
+      // an attempt.
+      reap_slot(slot_idx);
+      if (!(draining && cells.empty())) {
+        spawn_slot(slot_idx);
+      }
+      return false;
+    }
+    ++cell.attempts;
+    slot.busy = true;
+    slot.identity = identity;
+    slot.is_dup = as_dup;
+    slot.confirm_only = false;
+    slot.deadline_at = d.config_.cell_deadline_ms == 0
+                           ? 0
+                           : now_ms() + d.config_.cell_deadline_ms;
+    cell.dispatched_at = now_ms();
+    if (as_dup) {
+      cell.dup = static_cast<int>(slot_idx);
+    } else {
+      cell.primary = static_cast<int>(slot_idx);
+      if (attempt == 0) {
+        ++d.stats_.dispatches;
+      } else {
+        ++d.stats_.redispatches;
+      }
+    }
+    return true;
+  }
+
+  void dispatch_ready() {
+    while (true) {
+      const int idle = find_idle_slot();
+      if (idle < 0) {
+        return;
+      }
+      const std::int64_t now = now_ms();
+      bool dispatched = false;
+      for (auto it = queue.begin(); it != queue.end(); ++it) {
+        const auto cell_it = cells.find(*it);
+        if (cell_it == cells.end()) {
+          it = queue.erase(it);
+          // erase invalidates; restart the scan (queue is short).
+          dispatched = true;
+          break;
+        }
+        if (cell_it->second.not_before > now) {
+          continue;  // backing off; maybe a later cell is ready
+        }
+        const std::uint64_t identity = *it;
+        queue.erase(it);
+        dispatch_to(static_cast<std::size_t>(idle), identity,
+                    cells.at(identity), /*as_dup=*/false);
+        dispatched = true;
+        break;
+      }
+      if (!dispatched) {
+        return;
+      }
+    }
+  }
+
+  void maybe_duplicate_straggler() {
+    if (!d.config_.straggler_duplication) {
+      return;
+    }
+    const int idle = find_idle_slot();
+    if (idle < 0 || !queue.empty()) {
+      return;
+    }
+    // Pool idles while cells are in flight: re-issue the one that has
+    // been running longest (and was not already duplicated). First
+    // byte-identical reply wins.
+    std::uint64_t oldest_identity = 0;
+    Cell* oldest = nullptr;
+    for (auto& [identity, cell] : cells) {
+      if (cell.primary < 0 || cell.duplicated) {
+        continue;
+      }
+      if (oldest == nullptr || cell.dispatched_at < oldest->dispatched_at) {
+        oldest = &cell;
+        oldest_identity = identity;
+      }
+    }
+    if (oldest == nullptr) {
+      return;
+    }
+    oldest->duplicated = true;
+    if (dispatch_to(static_cast<std::size_t>(idle), oldest_identity, *oldest,
+                    /*as_dup=*/true)) {
+      ++d.stats_.straggler_duplicates;
+      REPRO_LOG_DEBUG("sweepd: duplicated straggler cell ", oldest_identity);
+    }
+  }
+
+  /// Closes + SIGKILLs + waitpid()s a slot. Does not touch its cell.
+  void reap_slot(std::size_t slot_idx) {
+    Slot& slot = slots[slot_idx];
+    ::close(slot.worker.fd);
+    ::kill(slot.worker.pid, SIGKILL);  // ESRCH for already-dead: fine
+    int status = 0;
+    ::waitpid(slot.worker.pid, &status, 0);
+    slot.alive = false;
+    slot.busy = false;
+  }
+
+  /// A busy worker is gone (crash, garble-kill or deadline-kill):
+  /// reclaim the slot, then either re-dispatch its cell with backoff
+  /// or fail it typed once the attempt budget is spent.
+  void on_slot_death(std::size_t slot_idx, harness::FailureClass cls,
+                     const std::string& message) {
+    Slot& slot = slots[slot_idx];
+    const bool had_cell = slot.busy && !slot.confirm_only;
+    const std::uint64_t identity = slot.identity;
+    const bool was_dup = slot.is_dup;
+    reap_slot(slot_idx);
+    if (!draining || !cells.empty()) {
+      spawn_slot(slot_idx);
+    }
+    if (!had_cell) {
+      return;
+    }
+    const auto it = cells.find(identity);
+    if (it == cells.end()) {
+      return;
+    }
+    Cell& cell = it->second;
+    if (was_dup) {
+      cell.dup = -1;
+    } else {
+      cell.primary = -1;
+    }
+    if (cell.primary >= 0 || cell.dup >= 0) {
+      return;  // the other racer is still computing this cell
+    }
+    if (cell.attempts >= d.config_.max_attempts) {
+      fail_cell(identity, cls,
+                message + " (after " + std::to_string(cell.attempts) +
+                    " dispatch attempts)");
+      return;
+    }
+    // Exponential backoff before the re-dispatch: a crashing cell gets
+    // attempts, not a tight respawn loop.
+    const std::int64_t backoff =
+        static_cast<std::int64_t>(d.config_.backoff_base_ms)
+        << (cell.attempts - 1);
+    cell.not_before = now_ms() + backoff;
+    queue.push_back(identity);
+    REPRO_LOG_WARN("sweepd: cell ", identity, " attempt ", cell.attempts,
+                   " failed (", failure_class_name(cls), "); re-dispatch in ",
+                   backoff, "ms");
+  }
+
+  void check_deadlines() {
+    const std::int64_t now = now_ms();
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      Slot& slot = slots[i];
+      if (!slot.alive || !slot.busy || slot.deadline_at == 0 ||
+          now < slot.deadline_at) {
+        continue;
+      }
+      ++d.stats_.worker_deadline_kills;
+      if (slot.confirm_only) {
+        // Racing loser blew the deadline after the winner answered:
+        // reclaim the slot, nothing to re-dispatch.
+        reap_slot(i);
+        if (!draining || !cells.empty()) {
+          spawn_slot(i);
+        }
+        continue;
+      }
+      on_slot_death(i, harness::FailureClass::kTimeout,
+                    "worker exceeded the " +
+                        std::to_string(d.config_.cell_deadline_ms) +
+                        "ms cell deadline and was killed");
+    }
+  }
+
+  // ---- event loop --------------------------------------------------
+
+  void poll_once() {
+    enum class Kind : std::uint8_t { kListen, kWake, kConn, kSlot };
+    struct Entry {
+      Kind kind;
+      std::uint64_t id;  // conn id or slot index
+    };
+    std::vector<pollfd> fds;
+    std::vector<Entry> entries;
+    if (!draining) {
+      fds.push_back({listen_fd, POLLIN, 0});
+      entries.push_back({Kind::kListen, 0});
+    }
+    fds.push_back({d.wake_read_, POLLIN, 0});
+    entries.push_back({Kind::kWake, 0});
+    for (const auto& [id, conn] : conns) {
+      fds.push_back({conn.fd, POLLIN, 0});
+      entries.push_back({Kind::kConn, id});
+    }
+    for (std::size_t i = 0; i < slots.size(); ++i) {
+      if (slots[i].alive) {
+        fds.push_back({slots[i].worker.fd, POLLIN, 0});
+        entries.push_back({Kind::kSlot, i});
+      }
+    }
+    const int timeout = poll_timeout_ms();
+    const int n = ::poll(fds.data(), fds.size(), timeout);
+    if (n < 0) {
+      REPRO_REQUIRE_MSG(errno == EINTR, "poll failed in sweepd loop");
+      return;
+    }
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) {
+        continue;
+      }
+      switch (entries[i].kind) {
+        case Kind::kListen:
+          accept_clients();
+          break;
+        case Kind::kWake:
+          drain_wake_pipe();
+          break;
+        case Kind::kConn:
+          on_conn_readable(entries[i].id);
+          break;
+        case Kind::kSlot:
+          on_slot_readable(static_cast<std::size_t>(entries[i].id));
+          break;
+      }
+    }
+  }
+
+  [[nodiscard]] int poll_timeout_ms() const {
+    const std::int64_t now = now_ms();
+    std::int64_t next = now + 500;  // idle tick ceiling
+    for (const Slot& slot : slots) {
+      if (slot.alive && slot.busy && slot.deadline_at != 0) {
+        next = std::min(next, slot.deadline_at);
+      }
+    }
+    for (const std::uint64_t identity : queue) {
+      const auto it = cells.find(identity);
+      if (it != cells.end() && it->second.not_before > now) {
+        next = std::min(next, it->second.not_before);
+      }
+    }
+    return static_cast<int>(std::max<std::int64_t>(0, next - now));
+  }
+
+  void drain_wake_pipe() {
+    char buf[64];
+    while (::read(d.wake_read_, buf, sizeof(buf)) > 0) {
+    }
+    begin_drain();
+  }
+
+  void begin_drain() {
+    if (draining) {
+      return;
+    }
+    draining = true;
+    REPRO_LOG_INFO("sweepd: draining (", cells.size(), " cells in flight)");
+    // Connections that never sent a request get no service now.
+    std::vector<std::uint64_t> idle_conns;
+    for (const auto& [id, conn] : conns) {
+      if (!conn.admitted) {
+        idle_conns.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : idle_conns) {
+      close_conn(id);
+    }
+  }
+
+  void accept_clients() {
+    while (true) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        return;  // EAGAIN or a transient error; poll will re-arm
+      }
+      set_nonblocking(fd);
+      const std::uint64_t id = next_client++;
+      Conn conn;
+      conn.fd = fd;
+      conns.emplace(id, std::move(conn));
+    }
+  }
+
+  void close_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return;
+    }
+    if (it->second.admitted) {
+      --admitted_active;
+    }
+    ::close(it->second.fd);
+    conns.erase(it);
+  }
+
+  /// Best-effort frame to a client; a write failure closes the
+  /// connection (its cells keep running -- other waiters or the cache
+  /// still want them).
+  bool send_to_conn(std::uint64_t id, FrameType type,
+                    const std::string& payload) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return false;
+    }
+    try {
+      write_frame(it->second.fd, type, payload);
+      return true;
+    } catch (const ProtocolError&) {
+      close_conn(id);
+      return false;
+    }
+  }
+
+  void on_conn_readable(std::uint64_t id) {
+    auto it = conns.find(id);
+    if (it == conns.end()) {
+      return;
+    }
+    Conn& conn = it->second;
+    char buf[4096];
+    bool saw_eof = false;
+    while (true) {
+      const ssize_t n = ::read(conn.fd, buf, sizeof(buf));
+      if (n > 0) {
+        conn.inbuf.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      // EOF or hard error: the client is gone -- but frames it finished
+      // writing before closing (a fire-and-forget kShutdown) are already
+      // in inbuf and still count. Parse them, then close.
+      saw_eof = true;
+      break;
+    }
+    while (true) {
+      Frame frame;
+      bool got = false;
+      try {
+        got = try_extract_frame(&conn.inbuf, &frame);
+      } catch (const ProtocolError& e) {
+        ++d.stats_.protocol_errors;
+        send_to_conn(id, FrameType::kError,
+                     std::string("garbled request: ") + e.what());
+        close_conn(id);
+        return;
+      }
+      if (!got) {
+        break;
+      }
+      if (frame.type == FrameType::kShutdown) {
+        begin_drain();
+        close_conn(id);
+        return;
+      }
+      if (frame.type == FrameType::kSweepRequest) {
+        if (!handle_request(id, frame.payload)) {
+          return;  // connection was closed
+        }
+        continue;
+      }
+      ++d.stats_.protocol_errors;
+      send_to_conn(id, FrameType::kError, "unexpected frame type");
+      close_conn(id);
+      return;
+    }
+    if (saw_eof) {
+      // Cells the departed client was waiting for keep running into
+      // the cache.
+      close_conn(id);
+    }
+  }
+
+  /// Plans one admitted request. Returns false when the connection no
+  /// longer exists afterwards.
+  bool handle_request(std::uint64_t id, const std::string& payload) {
+    {
+      const auto it = conns.find(id);
+      if (it == conns.end()) {
+        return false;
+      }
+      if (it->second.admitted) {
+        send_to_conn(id, FrameType::kError,
+                     "one sweep request per connection");
+        close_conn(id);
+        return false;
+      }
+    }
+    if (draining || admitted_active >= d.config_.max_pending_requests) {
+      // Load shedding: an explicit BUSY beats an unbounded queue --
+      // the client can back off or go elsewhere, and the daemon's
+      // memory stays bounded.
+      ++d.stats_.requests_shed_busy;
+      send_to_conn(id, FrameType::kBusy, "");
+      close_conn(id);
+      return false;
+    }
+    SweepRequest request;
+    std::string error;
+    if (!SweepRequest::decode(payload, &request, &error)) {
+      ++d.stats_.protocol_errors;
+      send_to_conn(id, FrameType::kError, "bad sweep request: " + error);
+      close_conn(id);
+      return false;
+    }
+    ++d.stats_.requests_admitted;
+    ++admitted_active;
+    {
+      Conn& conn = conns.at(id);
+      conn.admitted = true;
+      conn.total = request.cells.size();
+    }
+    for (std::size_t i = 0; i < request.cells.size(); ++i) {
+      const CellSpec& spec = request.cells[i];
+      const std::uint64_t identity = spec.identity();
+      if (const auto hit = d.cache_.lookup(identity)) {
+        ++d.stats_.cache_hits;
+        if (!send_to_conn(id, FrameType::kCellResult,
+                          "index=" + std::to_string(i) + "\ncached=1\n" +
+                              *hit)) {
+          return false;
+        }
+        conns.at(id).cached += 1;
+        continue;
+      }
+      const auto cell_it = cells.find(identity);
+      if (cell_it != cells.end()) {
+        // Identical cell already queued or in flight (possibly for
+        // another client): join its waiter list, compute once.
+        ++d.stats_.dedup_joins;
+        cell_it->second.waiters.push_back(Waiter{id, i});
+      } else {
+        ++d.stats_.cells_planned;
+        Cell cell;
+        cell.spec_line = spec.format();
+        cell.waiters.push_back(Waiter{id, i});
+        cells.emplace(identity, std::move(cell));
+        queue.push_back(identity);
+      }
+      conns.at(id).outstanding += 1;
+    }
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return false;
+    }
+    if (it->second.outstanding == 0) {
+      finish_conn(id);
+      return false;
+    }
+    return true;
+  }
+
+  void finish_conn(std::uint64_t id) {
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return;
+    }
+    const Conn& conn = it->second;
+    std::ostringstream os;
+    os << "cells=" << conn.total << "\nfailed=" << conn.failed
+       << "\ncached=" << conn.cached << '\n';
+    send_to_conn(id, FrameType::kSweepDone, os.str());
+    close_conn(id);
+  }
+
+  // ---- cell completion ---------------------------------------------
+
+  void deliver_result(std::uint64_t id, std::size_t index,
+                      const std::string& payload) {
+    if (!send_to_conn(id, FrameType::kCellResult,
+                      "index=" + std::to_string(index) + "\ncached=0\n" +
+                          payload)) {
+      return;
+    }
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return;
+    }
+    if (--it->second.outstanding == 0) {
+      finish_conn(id);
+    }
+  }
+
+  void deliver_failure(std::uint64_t id, std::size_t index,
+                       harness::FailureClass cls, const std::string& message) {
+    if (!send_to_conn(id, FrameType::kCellFailed,
+                      "index=" + std::to_string(index) +
+                          "\nclass=" + failure_class_name(cls) +
+                          "\nmessage=" + message)) {
+      return;
+    }
+    const auto it = conns.find(id);
+    if (it == conns.end()) {
+      return;
+    }
+    it->second.failed += 1;
+    if (--it->second.outstanding == 0) {
+      finish_conn(id);
+    }
+  }
+
+  void complete_cell(std::size_t slot_idx, const std::string& payload) {
+    Slot& slot = slots[slot_idx];
+    const std::uint64_t identity = slot.identity;
+    slot.busy = false;
+    const auto it = cells.find(identity);
+    if (it == cells.end()) {
+      return;  // late reply for an already-answered cell
+    }
+    Cell& cell = it->second;
+    // If the other racer is still running, demote it to a pure
+    // validation run: its reply (if it ever comes) is checked against
+    // this digest, and its death is a non-event.
+    const int other_idx =
+        slot.is_dup ? cell.primary : (cell.duplicated ? cell.dup : -1);
+    if (other_idx >= 0) {
+      const auto other = static_cast<std::size_t>(other_idx);
+      if (other != slot_idx && slots[other].alive && slots[other].busy) {
+        slots[other].confirm_only = true;
+        slots[other].expect_digest = frame_digest(payload);
+      }
+    }
+    d.cache_.insert(identity, payload);
+    ++d.stats_.cells_completed;
+    const std::vector<Waiter> waiters = std::move(cell.waiters);
+    cells.erase(it);
+    for (const Waiter& w : waiters) {
+      deliver_result(w.client, w.index, payload);
+    }
+  }
+
+  void fail_cell(std::uint64_t identity, harness::FailureClass cls,
+                 const std::string& message) {
+    const auto it = cells.find(identity);
+    if (it == cells.end()) {
+      return;
+    }
+    ++d.stats_.cells_failed;
+    const std::vector<Waiter> waiters = std::move(it->second.waiters);
+    cells.erase(it);
+    REPRO_LOG_WARN("sweepd: cell ", identity, " failed [",
+                   failure_class_name(cls), "]: ", message);
+    for (const Waiter& w : waiters) {
+      deliver_failure(w.client, w.index, cls, message);
+    }
+  }
+
+  void on_slot_readable(std::size_t slot_idx) {
+    Slot& slot = slots[slot_idx];
+    if (!slot.alive) {
+      return;
+    }
+    Frame frame;
+    try {
+      if (read_frame(slot.worker.fd, &frame) == ReadResult::kEof) {
+        if (!slot.busy) {
+          // An idle worker died (e.g. killed from outside): respawn.
+          reap_slot(slot_idx);
+          if (!draining || !cells.empty()) {
+            spawn_slot(slot_idx);
+          }
+          return;
+        }
+        ++d.stats_.worker_crashes;
+        on_slot_death(slot_idx, harness::FailureClass::kCrash,
+                      "worker process exited mid-cell");
+        return;
+      }
+    } catch (const ProtocolError& e) {
+      // The stream lost sync (torn or garbled frame): nothing this
+      // worker says can be trusted any more. Kill it, re-dispatch.
+      ++d.stats_.garbled_frames;
+      on_slot_death(slot_idx, harness::FailureClass::kCrash,
+                    std::string("worker reply failed its frame fence: ") +
+                        e.what());
+      return;
+    }
+    if (slot.confirm_only) {
+      if (frame.type == FrameType::kCellReply) {
+        if (frame_digest(frame.payload) == slot.expect_digest) {
+          ++d.stats_.straggler_confirmations;
+        } else {
+          ++d.stats_.straggler_mismatches;
+          REPRO_LOG_WARN("sweepd: straggler duplicate disagreed with the "
+                         "winning reply -- determinism violation");
+        }
+      }
+      slot.busy = false;
+      slot.confirm_only = false;
+      return;
+    }
+    if (frame.type == FrameType::kCellReply) {
+      complete_cell(slot_idx, frame.payload);
+      return;
+    }
+    if (frame.type == FrameType::kCellError) {
+      // The cell itself is broken (deterministic simulation failure):
+      // retrying is pointless, fail it typed right away.
+      const std::uint64_t identity = slot.identity;
+      slot.busy = false;
+      std::string message = frame.payload;
+      const std::size_t at = message.find("message=");
+      if (at != std::string::npos) {
+        message = message.substr(at + 8);
+      }
+      const auto it = cells.find(identity);
+      if (it != cells.end()) {
+        Cell& cell = it->second;
+        if (slot.is_dup) {
+          cell.dup = -1;
+        } else {
+          cell.primary = -1;
+        }
+      }
+      fail_cell(identity, harness::FailureClass::kFault, message);
+      return;
+    }
+    ++d.stats_.protocol_errors;
+  }
+};
+
+SweepDaemon::SweepDaemon(DaemonConfig config)
+    : config_(std::move(config)), cache_(config_.cache) {
+  config_.faults.validate();
+  REPRO_REQUIRE_MSG(!config_.socket_path.empty(),
+                    "sweepd needs a socket path");
+  REPRO_REQUIRE_MSG(config_.max_attempts >= 1,
+                    "sweepd max_attempts must be >= 1");
+  int fds[2];
+  REPRO_REQUIRE_MSG(::pipe2(fds, O_CLOEXEC | O_NONBLOCK) == 0,
+                    "cannot create sweepd wake pipe");
+  wake_read_ = fds[0];
+  wake_write_ = fds[1];
+}
+
+SweepDaemon::~SweepDaemon() {
+  if (wake_read_ >= 0) {
+    ::close(wake_read_);
+  }
+  if (wake_write_ >= 0) {
+    ::close(wake_write_);
+  }
+}
+
+void SweepDaemon::run() {
+  Impl impl(*this);
+  impl.run();
+}
+
+void SweepDaemon::request_shutdown() {
+  const char byte = 'q';
+  // A full pipe already guarantees a pending wake-up.
+  [[maybe_unused]] const ssize_t n = ::write(wake_write_, &byte, 1);
+}
+
+namespace {
+SweepDaemon* g_signal_daemon = nullptr;
+
+extern "C" void sweepd_signal_handler(int /*signo*/) {
+  if (g_signal_daemon != nullptr) {
+    // request_shutdown only write()s to a pipe: async-signal-safe.
+    g_signal_daemon->request_shutdown();
+  }
+}
+}  // namespace
+
+void install_signal_handlers(SweepDaemon* daemon) {
+  g_signal_daemon = daemon;
+  struct sigaction sa{};
+  sa.sa_handler = sweepd_signal_handler;
+  ::sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // no SA_RESTART: poll must wake
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+}
+
+}  // namespace repro::service

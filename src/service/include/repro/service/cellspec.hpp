@@ -1,0 +1,65 @@
+// The wire form of one sweep cell: a single key=value line that both
+// endpoints expand to the same harness::RunConfig -- and therefore the
+// same config_identity hash -- independently. The spec deliberately
+// exposes only the behaviour-relevant knobs (benchmark, placement,
+// engines, iterations, scaling, seeds, fault rate); host-side
+// supervision (deadlines, retries, caching) belongs to the daemon's
+// configuration, not to the cell.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repro/harness/run.hpp"
+
+namespace repro::service {
+
+struct CellSpec {
+  std::string benchmark = "CG";
+  std::string placement = "ft";      // ft | rr | rand | wc
+  bool kernel_migration = false;
+  std::string upm = "off";           // off | dist | recrep
+  std::uint32_t iterations = 0;      // 0 = benchmark default
+  std::uint32_t compute_scale = 1;
+  double size_scale = 1.0;
+  std::uint64_t seed = 12345;
+  /// In-simulation fault injection (repro::fault), all classes at this
+  /// rate; 0 = no injector attached.
+  double fault_rate = 0.0;
+  std::uint64_t fault_seed = 0;      // 0 = the fault plan's default
+
+  /// One line of space-separated key=value pairs, e.g.
+  /// "benchmark=CG placement=ft upm=dist iterations=3 size_scale=0.25".
+  /// Only non-default fields are emitted; format() and parse() are
+  /// inverse on the round trip.
+  [[nodiscard]] std::string format() const;
+
+  /// Strict parse of one format() line: unknown keys, malformed
+  /// numbers and out-of-range values all fail with a diagnostic in
+  /// *error rather than defaulting.
+  [[nodiscard]] static bool parse(const std::string& line, CellSpec* out,
+                                  std::string* error);
+
+  /// Expands to the RunConfig both endpoints agree on. Tracing is
+  /// always on (config.trace = true): the trace digest is how cached
+  /// and recomputed results are proven identical. Throws
+  /// ContractViolation on an invalid upm mode.
+  [[nodiscard]] harness::RunConfig to_config() const;
+
+  /// config_identity(to_config()): the cache / dedup / fault-draw key.
+  [[nodiscard]] std::uint64_t identity() const;
+};
+
+struct SweepRequest {
+  std::vector<CellSpec> cells;
+
+  /// One format() line per cell, newline-terminated.
+  [[nodiscard]] std::string encode() const;
+
+  /// Strict decode; empty lines are ignored, any bad line fails.
+  [[nodiscard]] static bool decode(const std::string& text, SweepRequest* out,
+                                   std::string* error);
+};
+
+}  // namespace repro::service

@@ -1,0 +1,65 @@
+// Client side of the sweep service: one connection per submitted
+// request, framed over the daemon's Unix-domain socket, replies
+// collected until kSweepDone (or kBusy / kError) and decoded back into
+// harness::RunResults through the same decode_result() a checkpoint
+// resume uses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "repro/harness/run.hpp"
+#include "repro/harness/scheduler.hpp"
+#include "repro/service/cellspec.hpp"
+
+namespace repro::service {
+
+/// Outcome of one requested cell, index-aligned with the request.
+struct CellOutcome {
+  bool answered = false;  ///< daemon sent a result or a typed failure
+  bool ok = false;
+  bool cached = false;    ///< served from the daemon's result cache
+  harness::FailureClass cls = harness::FailureClass::kFault;
+  std::string message;
+  harness::RunResult result;  ///< valid when ok
+};
+
+struct SweepReply {
+  /// Load-shed: the daemon refused admission; nothing was computed.
+  bool busy = false;
+  /// Request-level failure (protocol error, rejected spec, lost
+  /// connection); empty otherwise.
+  std::string error;
+  std::vector<CellOutcome> cells;
+  std::size_t cache_hits = 0;
+
+  [[nodiscard]] bool ok() const;
+  /// 0 on success, 2 on busy/request-level error, else the
+  /// failure_exit_code of the most severe failed cell.
+  [[nodiscard]] int exit_code() const;
+};
+
+class SweepClient {
+ public:
+  /// `connect_wait_ms` bounds how long submit()/shutdown_daemon() keep
+  /// retrying the initial connect while the daemon is still binding its
+  /// socket (ENOENT / ECONNREFUSED). 0 = fail on the first refusal.
+  explicit SweepClient(std::string socket_path,
+                       std::uint32_t connect_wait_ms = 2000);
+
+  /// Submits `request` and blocks until the daemon has answered every
+  /// cell. Never throws: connection and protocol failures come back in
+  /// SweepReply::error.
+  [[nodiscard]] SweepReply submit(const SweepRequest& request);
+
+  /// Asks the daemon to drain and exit. Returns false when the daemon
+  /// is unreachable.
+  bool shutdown_daemon();
+
+ private:
+  std::string socket_path_;
+  std::uint32_t connect_wait_ms_;
+};
+
+}  // namespace repro::service

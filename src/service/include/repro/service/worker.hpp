@@ -1,0 +1,44 @@
+// The sweep daemon's unit of blast containment: one forked process per
+// pool slot, speaking RSVC frames over a socketpair. A worker that
+// aborts, hangs or garbles its stream costs the daemon one SIGKILL and
+// one respawn -- never the daemon itself, never the other cells.
+//
+// Child protocol: read kCellTask ("attempt=N\n" + one cellspec line),
+// simulate, reply kCellReply (encode_result text) or kCellError
+// ("class=fault\nmessage=..." for deterministic simulation failures,
+// which the daemon must NOT re-dispatch). EOF or kShutdown on the
+// socket ends the child via _exit -- a forked gtest/daemon child must
+// never unwind back into its parent's stack.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+
+#include "repro/fault/service.hpp"
+
+namespace repro::service {
+
+struct WorkerHandle {
+  pid_t pid = -1;
+  /// Parent's end of the socketpair; -1 after the slot is torn down.
+  int fd = -1;
+};
+
+/// Forks one worker. `in_child` runs first in the child (the daemon
+/// uses it to close inherited listener/client/sibling fds so a held-
+/// open descriptor cannot mask an EOF); the child then serves
+/// worker_loop() on its socket end and _exit()s. Throws
+/// ContractViolation when fork or socketpair fails.
+[[nodiscard]] WorkerHandle spawn_worker(
+    const fault::ServiceFaultPlan& faults,
+    const std::function<void()>& in_child = {});
+
+/// The child's serve loop (exposed for in-process protocol tests).
+/// Consults `faults` once per task, after the spec is parsed: abort
+/// _exit()s mid-cell, hang blocks forever (only SIGKILL reclaims the
+/// slot), garble sends the reply through write_garbled_frame so the
+/// parent's digest fence trips. Returns on EOF/kShutdown.
+void worker_loop(int fd, const fault::ServiceFaultPlan& faults);
+
+}  // namespace repro::service

@@ -1,0 +1,152 @@
+#include "repro/service/worker.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <cstdlib>
+#include <string>
+
+#include "repro/common/assert.hpp"
+#include "repro/harness/checkpoint.hpp"
+#include "repro/harness/run.hpp"
+#include "repro/service/cellspec.hpp"
+#include "repro/service/protocol.hpp"
+
+namespace repro::service {
+
+namespace {
+
+/// Exit status of a worker the abort fault fired in (distinguishable
+/// from a real crash only in the logs; the daemon treats both as
+/// kCrash, which is the point of the chaos suite).
+constexpr int kAbortExitStatus = 17;
+
+/// Splits a kCellTask payload into the attempt counter and the spec
+/// line. Returns false on anything malformed.
+bool parse_task(const std::string& payload, std::uint32_t* attempt,
+                std::string* spec_line) {
+  constexpr std::string_view kPrefix = "attempt=";
+  if (payload.compare(0, kPrefix.size(), kPrefix) != 0) {
+    return false;
+  }
+  const std::size_t eol = payload.find('\n');
+  if (eol == std::string::npos) {
+    return false;
+  }
+  const char* begin = payload.data() + kPrefix.size();
+  const char* end = payload.data() + eol;
+  const auto [p, ec] = std::from_chars(begin, end, *attempt);
+  if (ec != std::errc{} || p != end) {
+    return false;
+  }
+  *spec_line = payload.substr(eol + 1);
+  while (!spec_line->empty() && spec_line->back() == '\n') {
+    spec_line->pop_back();
+  }
+  return true;
+}
+
+void serve_task(int fd, const std::string& payload,
+                const fault::ServiceFaultPlan& faults) {
+  std::uint32_t attempt = 0;
+  std::string spec_line;
+  std::string error;
+  CellSpec spec;
+  if (!parse_task(payload, &attempt, &spec_line) ||
+      !CellSpec::parse(spec_line, &spec, &error)) {
+    write_frame(fd, FrameType::kCellError,
+                "class=fault\nmessage=worker cannot parse cell task: " +
+                    (error.empty() ? payload : error));
+    return;
+  }
+  const std::uint64_t identity = spec.identity();
+  // One consultation per (cell, attempt), in class order; at most one
+  // class fires. The draw is a pure function of (seed, class,
+  // identity, attempt), so the chaos tests can predict every fault.
+  if (service_fault_fires(faults, fault::ServiceFaultClass::kWorkerAbort,
+                          identity, attempt)) {
+    _exit(kAbortExitStatus);
+  }
+  if (service_fault_fires(faults, fault::ServiceFaultClass::kWorkerHang,
+                          identity, attempt)) {
+    // Hang, don't exit: only the daemon's deadline SIGKILL reclaims
+    // this slot. pause() returns on any handled signal; loop so a
+    // stray SIGCHLD in the child cannot un-hang it.
+    while (true) {
+      ::pause();
+    }
+  }
+  const bool garble = service_fault_fires(
+      faults, fault::ServiceFaultClass::kGarbledFrame, identity, attempt);
+  try {
+    const harness::RunResult result = harness::run_benchmark(spec.to_config());
+    const std::string reply = harness::encode_result(identity, result);
+    if (garble) {
+      write_garbled_frame(fd, FrameType::kCellReply, reply);
+    } else {
+      write_frame(fd, FrameType::kCellReply, reply);
+    }
+  } catch (const std::exception& e) {
+    // Deterministic simulation: this cell fails the same way every
+    // time, so the daemon must type it, not re-dispatch it.
+    write_frame(fd, FrameType::kCellError,
+                std::string("class=fault\nmessage=") + e.what());
+  }
+}
+
+}  // namespace
+
+void worker_loop(int fd, const fault::ServiceFaultPlan& faults) {
+  while (true) {
+    Frame frame;
+    try {
+      if (read_frame(fd, &frame) == ReadResult::kEof) {
+        return;
+      }
+    } catch (const ProtocolError&) {
+      // Torn/garbled task stream: the daemon side is gone or insane
+      // either way.
+      return;
+    }
+    if (frame.type == FrameType::kShutdown) {
+      return;
+    }
+    if (frame.type != FrameType::kCellTask) {
+      continue;
+    }
+    serve_task(fd, frame.payload, faults);
+  }
+}
+
+WorkerHandle spawn_worker(const fault::ServiceFaultPlan& faults,
+                          const std::function<void()>& in_child) {
+  int fds[2];
+  REPRO_REQUIRE_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+                    "socketpair for worker failed");
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    REPRO_REQUIRE_MSG(false, "fork for worker failed");
+  }
+  if (pid == 0) {
+    // Child. Close the parent's end and whatever else the daemon says
+    // we inherited, serve, and _exit -- never unwind into the
+    // parent's stack (this process may have been forked from a gtest
+    // binary).
+    ::close(fds[0]);
+    if (in_child) {
+      in_child();
+    }
+    worker_loop(fds[1], faults);
+    _exit(0);
+  }
+  ::close(fds[1]);
+  WorkerHandle handle;
+  handle.pid = pid;
+  handle.fd = fds[0];
+  return handle;
+}
+
+}  // namespace repro::service

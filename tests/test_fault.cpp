@@ -448,6 +448,143 @@ TEST(Checkpoint, SweepResumesCompletedCells) {
   EXPECT_EQ(results_to_json(first.results), results_to_json(second.results));
 }
 
+TEST(FailureClasses, NamesAndExitCodesAreStable) {
+  EXPECT_STREQ(failure_class_name(FailureClass::kFault), "fault");
+  EXPECT_STREQ(failure_class_name(FailureClass::kTimeout), "timeout");
+  EXPECT_STREQ(failure_class_name(FailureClass::kRetryExhausted),
+               "retry-exhausted");
+  EXPECT_STREQ(failure_class_name(FailureClass::kCrash), "crash");
+  EXPECT_EQ(failure_exit_code(FailureClass::kFault), 3);
+  EXPECT_EQ(failure_exit_code(FailureClass::kTimeout), 4);
+  EXPECT_EQ(failure_exit_code(FailureClass::kRetryExhausted), 5);
+  EXPECT_EQ(failure_exit_code(FailureClass::kCrash), 6);
+}
+
+TEST(FailureClasses, TimeoutFailureIsClassifiedAndNamedInExitCode) {
+  SweepOptions options;
+  options.jobs = 1;
+  const SweepOutcome outcome = run_sweep({endless_config()}, options);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].cls, FailureClass::kTimeout);
+  EXPECT_TRUE(outcome.failures[0].timeout);  // kept in sync
+  EXPECT_EQ(outcome.exit_code(), failure_exit_code(FailureClass::kTimeout));
+}
+
+TEST(FailureClasses, RetryBudgetDistinguishesFaultFromExhaustion) {
+  // kernel_migration + upmlib is rejected deterministically by
+  // run_benchmark: with no retry budget that is a plain kFault, with
+  // one it becomes kRetryExhausted (the budget was spent).
+  RunConfig broken = small_config("ft", /*upmlib=*/true);
+  broken.kernel_migration = true;
+  SweepOptions options;
+  options.jobs = 1;
+  SweepOutcome outcome = run_sweep({broken}, options);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].cls, FailureClass::kFault);
+  EXPECT_EQ(outcome.exit_code(), failure_exit_code(FailureClass::kFault));
+
+  options.cell_retries = 1;
+  outcome = run_sweep({broken}, options);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].cls, FailureClass::kRetryExhausted);
+  EXPECT_EQ(outcome.exit_code(),
+            failure_exit_code(FailureClass::kRetryExhausted));
+  EXPECT_EQ(outcome.stats.cells_retried, 1u);
+}
+
+TEST(FailureClasses, ExitCodeReportsTheMostSevereClass) {
+  SweepOutcome outcome;
+  EXPECT_EQ(outcome.exit_code(), 0);
+  CellFailure fault;
+  fault.cls = FailureClass::kFault;
+  CellFailure timeout;
+  timeout.cls = FailureClass::kTimeout;
+  outcome.failures = {fault, timeout};
+  EXPECT_EQ(outcome.exit_code(), failure_exit_code(FailureClass::kTimeout));
+}
+
+TEST(Watchdog, EnvTimeoutIsStrictlyParsed) {
+  Env::global().set("REPRO_CELL_TIMEOUT_MS", "250");
+  EXPECT_EQ(effective_cell_timeout_ms(0), 250u);
+  // An explicit request wins over the environment.
+  EXPECT_EQ(effective_cell_timeout_ms(7), 7u);
+  // Malformed or out-of-range values fail loudly -- a silently ignored
+  // watchdog is worse than a crash.
+  Env::global().set("REPRO_CELL_TIMEOUT_MS", "soon");
+  EXPECT_THROW((void)effective_cell_timeout_ms(0), ContractViolation);
+  Env::global().set("REPRO_CELL_TIMEOUT_MS", "-5");
+  EXPECT_THROW((void)effective_cell_timeout_ms(0), ContractViolation);
+  Env::global().unset("REPRO_CELL_TIMEOUT_MS");
+  EXPECT_EQ(effective_cell_timeout_ms(0), 0u);
+}
+
+TEST(Checkpoint, SweepIdentityGuardRefusesForeignCells) {
+  const std::string dir = temp_dir("sweep_guard");
+  RunConfig config = small_config("ft", false);
+  const std::vector<RunConfig> sweep_a = {config, small_config("rr", false)};
+  const std::vector<RunConfig> sweep_b = {config};
+  const std::uint64_t id_a = sweep_identity(sweep_a);
+  const std::uint64_t id_b = sweep_identity(sweep_b);
+  ASSERT_NE(id_a, id_b);
+  ASSERT_NE(id_a, 0u);
+
+  const RunResult result = run_benchmark(config);
+  save_checkpoint(dir, config, result, id_a);
+  RunResult loaded;
+  // Same sweep: resumes. No expectation (0): resumes.
+  EXPECT_TRUE(load_checkpoint(dir, config, &loaded, id_a));
+  EXPECT_TRUE(load_checkpoint(dir, config, &loaded));
+  // A *different* sweep must refuse loudly, not silently recompute or
+  // silently resume a stale cell.
+  EXPECT_THROW((void)load_checkpoint(dir, config, &loaded, id_b),
+               CheckpointMismatchError);
+}
+
+TEST(Checkpoint, SweepRefusesCheckpointDirOfDifferentSweep) {
+  const std::string dir = temp_dir("sweep_refuse");
+  std::vector<RunConfig> sweep_a = {small_config("ft", false),
+                                    small_config("rr", false)};
+  SweepOptions options;
+  options.jobs = 1;
+  options.checkpoint_dir = dir;
+  ASSERT_TRUE(run_sweep(sweep_a, options).ok());
+  // Same first cell, different sweep: its saved checkpoint belongs to
+  // sweep A and must not resume under sweep B.
+  const std::vector<RunConfig> sweep_b = {sweep_a[0],
+                                          small_config("wc", false)};
+  const SweepOutcome outcome = run_sweep(sweep_b, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.failures[0].index, 0u);
+  EXPECT_NE(outcome.failures[0].message.find("sweep"), std::string::npos);
+}
+
+TEST(Checkpoint, TruncationAtEveryByteIsRejectedNeverMisread) {
+  const std::string dir = temp_dir("torn_checkpoint");
+  RunConfig config = small_config("ft", false);
+  config.trace = true;
+  const RunResult result = run_benchmark(config);
+  save_checkpoint(dir, config, result);
+  const std::string path = checkpoint_path(dir, config);
+  std::string content;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    content = os.str();
+  }
+  ASSERT_FALSE(content.empty());
+  RunResult loaded;
+  ASSERT_TRUE(load_checkpoint(dir, config, &loaded));
+  for (std::size_t cut = 0; cut < content.size(); ++cut) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out << content.substr(0, cut);
+    }
+    EXPECT_FALSE(load_checkpoint(dir, config, &loaded))
+        << "checkpoint truncated at byte " << cut << " was accepted";
+  }
+}
+
 TEST(Checkpoint, TruncatedFileIsRejected) {
   const std::string dir = temp_dir("truncated");
   RunConfig config = small_config("ft", false);

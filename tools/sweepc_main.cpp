@@ -1,0 +1,125 @@
+// repro_sweepc: client for the sweep service daemon (repro_sweepd).
+//
+//   repro_sweepc --socket=/tmp/repro.sock --benchmark=CG
+//                --placements=ft,rr,wc --upm=off,dist --iterations=3
+//                --scale=0.25
+//
+// Builds the cross product of placements x upm modes as one framed
+// request, prints one line per cell:
+//
+//   CELL <benchmark> <label> <digest> cached=<0|1>
+//   FAIL <benchmark> <label> <class>: <message>
+//
+// which is what CI's service-smoke step diffs against the golden
+// digests. Exit code: 0 all cells ok, 2 usage/busy/protocol error,
+// else the failure_exit_code of the most severe failed cell.
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "repro/harness/cli.hpp"
+#include "repro/service/client.hpp"
+
+namespace {
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::istringstream is(csv);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) {
+      out.push_back(item);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using repro::harness::Cli;
+  std::string socket_path = "/tmp/repro_sweepd.sock";
+  std::string benchmark = "CG";
+  std::string placements = "ft";
+  std::string upm_modes = "off";
+  std::uint32_t iterations = 0;
+  double scale = 1.0;
+  std::uint64_t seed = 12345;
+  bool shutdown = false;
+
+  Cli cli("repro_sweepc");
+  cli.add_string("socket", &socket_path, "daemon socket path");
+  cli.add_string("benchmark", &benchmark, "benchmark name (BT, SP, CG, ...)");
+  cli.add_string("placements", &placements,
+                 "comma-separated placements (ft,rr,rand,wc)");
+  cli.add_string("upm", &upm_modes,
+                 "comma-separated UPMlib modes (off,dist,recrep)");
+  cli.add_uint("iterations", &iterations, "timed iterations (0 = default)");
+  cli.add_double("scale", &scale, "problem size multiplier");
+  cli.add_uint("seed", &seed, "simulation seed");
+  cli.add_flag("shutdown", &shutdown,
+               "ask the daemon to drain and exit instead of sweeping");
+
+  switch (cli.parse(argc, argv)) {
+    case Cli::Status::kHelp:
+      std::cout << cli.usage();
+      return 0;
+    case Cli::Status::kError:
+      std::cerr << "error: " << cli.error() << "\n\n" << cli.usage();
+      return 2;
+    case Cli::Status::kOk:
+      break;
+  }
+
+  repro::service::SweepClient client(socket_path);
+  if (shutdown) {
+    if (!client.shutdown_daemon()) {
+      std::cerr << "repro_sweepc: no daemon at " << socket_path << "\n";
+      return 2;
+    }
+    return 0;
+  }
+
+  repro::service::SweepRequest request;
+  for (const std::string& placement : split_csv(placements)) {
+    for (const std::string& upm : split_csv(upm_modes)) {
+      repro::service::CellSpec spec;
+      spec.benchmark = benchmark;
+      spec.placement = placement;
+      spec.upm = upm;
+      spec.iterations = iterations;
+      spec.size_scale = scale;
+      spec.seed = seed;
+      request.cells.push_back(std::move(spec));
+    }
+  }
+  if (request.cells.empty()) {
+    std::cerr << "repro_sweepc: empty placement/upm cross product\n";
+    return 2;
+  }
+
+  const repro::service::SweepReply reply = client.submit(request);
+  if (reply.busy) {
+    std::cerr << "repro_sweepc: daemon is busy (admission queue full)\n";
+    return 2;
+  }
+  if (!reply.error.empty()) {
+    std::cerr << "repro_sweepc: " << reply.error << "\n";
+    return 2;
+  }
+  for (std::size_t i = 0; i < reply.cells.size(); ++i) {
+    const repro::service::CellOutcome& cell = reply.cells[i];
+    const std::string label = request.cells[i].to_config().label();
+    if (cell.ok) {
+      std::cout << "CELL " << benchmark << ' ' << label << ' '
+                << cell.result.trace_digest << " cached=" << (cell.cached ? 1 : 0)
+                << "\n";
+    } else {
+      std::cout << "FAIL " << benchmark << ' ' << label << ' '
+                << repro::harness::failure_class_name(cell.cls) << ": "
+                << cell.message << "\n";
+    }
+  }
+  return reply.exit_code();
+}

@@ -1,0 +1,86 @@
+// repro_sweepd: the long-running sweep service daemon (DESIGN.md §17).
+//
+//   repro_sweepd --socket=/tmp/repro.sock --workers=4
+//                --cache-dir=/var/tmp/repro-cache --deadline-ms=60000
+//
+// Serves framed sweep requests (see repro_sweepc) until SIGTERM/SIGINT,
+// then drains gracefully: admitted cells finish, the result cache is
+// snapshotted, every worker is reaped.
+#include <iostream>
+
+#include "repro/harness/cli.hpp"
+#include "repro/service/daemon.hpp"
+
+int main(int argc, char** argv) {
+  using repro::harness::Cli;
+  repro::service::DaemonConfig config;
+  config.socket_path = "/tmp/repro_sweepd.sock";
+  double fault_rate = 0.0;
+
+  Cli cli("repro_sweepd");
+  cli.add_string("socket", &config.socket_path,
+                 "Unix-domain socket path to serve on");
+  cli.add_uint("workers", &config.workers, "worker processes", /*min=*/1,
+               /*max=*/256);
+  cli.add_uint("max-pending", &config.max_pending_requests,
+               "admitted-but-unfinished requests before shedding BUSY",
+               /*min=*/1);
+  cli.add_uint("deadline-ms", &config.cell_deadline_ms,
+               "per-cell wall-clock budget before SIGKILL (0 = none)");
+  cli.add_uint("max-attempts", &config.max_attempts,
+               "dispatch attempts per cell before a typed failure",
+               /*min=*/1, /*max=*/100);
+  cli.add_uint("backoff-ms", &config.backoff_base_ms,
+               "re-dispatch backoff base (doubles per attempt)");
+  cli.add_string("cache-dir", &config.cache.dir,
+                 "result cache directory (empty = memory-only)");
+  cli.add_uint("cache-capacity", &config.cache.capacity,
+               "resident result cache entries", /*min=*/1);
+  cli.add_uint("cache-snapshot-every", &config.cache.snapshot_every,
+               "journal appends between cache snapshots (0 = drain only)");
+  bool no_straggler = false;
+  cli.add_flag("no-straggler-duplication", &no_straggler,
+               "disable re-issuing the slowest in-flight cell to idle slots");
+  cli.add_double("service-fault-rate", &fault_rate,
+                 "chaos: worker abort/hang/garble rate per dispatch",
+                 /*gt=*/-1.0);
+  cli.add_uint("service-fault-seed", &config.faults.seed,
+               "chaos: deterministic fault seed");
+
+  switch (cli.parse(argc, argv)) {
+    case Cli::Status::kHelp:
+      std::cout << cli.usage();
+      return 0;
+    case Cli::Status::kError:
+      std::cerr << "error: " << cli.error() << "\n\n" << cli.usage();
+      return 2;
+    case Cli::Status::kOk:
+      break;
+  }
+  config.straggler_duplication = !no_straggler;
+  if (fault_rate > 0.0) {
+    config.faults.set_rate(fault_rate);
+  }
+  // Environment overrides compose under the flags, as everywhere else.
+  config.faults = repro::fault::ServiceFaultPlan::from_env(config.faults);
+
+  try {
+    repro::service::SweepDaemon daemon(config);
+    repro::service::install_signal_handlers(&daemon);
+    daemon.run();
+    const repro::service::ServiceStats& s = daemon.stats();
+    std::cout << "sweepd: drained. requests=" << s.requests_admitted
+              << " busy=" << s.requests_shed_busy
+              << " cells=" << s.cells_completed << "/"
+              << s.cells_completed + s.cells_failed
+              << " cache_hits=" << s.cache_hits
+              << " redispatches=" << s.redispatches
+              << " crashes=" << s.worker_crashes
+              << " deadline_kills=" << s.worker_deadline_kills
+              << " garbled=" << s.garbled_frames << "\n";
+  } catch (const std::exception& e) {
+    std::cerr << "repro_sweepd: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
