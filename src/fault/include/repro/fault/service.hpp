@@ -17,7 +17,11 @@
 //    deadline's SIGKILL escalation can reclaim the slot;
 //  * garbled frame -- the worker's reply frame fails its digest fence;
 //    the daemon must treat the worker as poisoned (the stream has lost
-//    sync), kill it and re-dispatch.
+//    sync), kill it and re-dispatch;
+//  * torn frame    -- the worker writes only a prefix of its reply and
+//    then stops responding; the daemon must keep serving everyone else
+//    with the partial frame buffered (never block on a worker socket)
+//    until the deadline SIGKILL reclaims the slot.
 #pragma once
 
 #include <cstdint>
@@ -30,9 +34,10 @@ enum class ServiceFaultClass : std::uint8_t {
   kWorkerAbort = 0,
   kWorkerHang = 1,
   kGarbledFrame = 2,
+  kTornFrame = 3,
 };
 
-inline constexpr std::size_t kNumServiceFaultClasses = 3;
+inline constexpr std::size_t kNumServiceFaultClasses = 4;
 
 /// Stable lowercase identifier ("worker_abort", ...).
 [[nodiscard]] const char* service_fault_class_name(ServiceFaultClass cls);
@@ -46,15 +51,16 @@ struct ServiceFaultPlan {
   double abort_rate = 0.0;
   double hang_rate = 0.0;
   double garble_rate = 0.0;
+  double torn_rate = 0.0;
 
   /// True when every rate is zero: workers never consult the plan.
   [[nodiscard]] bool empty() const;
 
-  /// Sets all three class rates to `rate`.
+  /// Sets every class rate to `rate`.
   void set_rate(double rate);
 
   /// Reads REPRO_SERVICE_FAULT_SEED / REPRO_SERVICE_FAULT_RATE plus
-  /// the per-class REPRO_SERVICE_FAULT_{ABORT,HANG,GARBLE}_RATE
+  /// the per-class REPRO_SERVICE_FAULT_{ABORT,HANG,GARBLE,TORN}_RATE
   /// overrides on top of `defaults`.
   [[nodiscard]] static ServiceFaultPlan from_env();
   [[nodiscard]] static ServiceFaultPlan from_env(ServiceFaultPlan defaults);

@@ -14,18 +14,22 @@ const char* service_fault_class_name(ServiceFaultClass cls) {
       return "worker_hang";
     case ServiceFaultClass::kGarbledFrame:
       return "garbled_frame";
+    case ServiceFaultClass::kTornFrame:
+      return "torn_frame";
   }
   return "?";
 }
 
 bool ServiceFaultPlan::empty() const {
-  return abort_rate == 0.0 && hang_rate == 0.0 && garble_rate == 0.0;
+  return abort_rate == 0.0 && hang_rate == 0.0 && garble_rate == 0.0 &&
+         torn_rate == 0.0;
 }
 
 void ServiceFaultPlan::set_rate(double rate) {
   abort_rate = rate;
   hang_rate = rate;
   garble_rate = rate;
+  torn_rate = rate;
 }
 
 ServiceFaultPlan ServiceFaultPlan::from_env() {
@@ -46,22 +50,25 @@ ServiceFaultPlan ServiceFaultPlan::from_env(ServiceFaultPlan defaults) {
       env.get_double("REPRO_SERVICE_FAULT_HANG_RATE", defaults.hang_rate);
   defaults.garble_rate =
       env.get_double("REPRO_SERVICE_FAULT_GARBLE_RATE", defaults.garble_rate);
+  defaults.torn_rate =
+      env.get_double("REPRO_SERVICE_FAULT_TORN_RATE", defaults.torn_rate);
   return defaults;
 }
 
 void ServiceFaultPlan::validate() const {
   const auto valid_rate = [](double r) { return r >= 0.0 && r <= 1.0; };
   REPRO_REQUIRE_MSG(valid_rate(abort_rate) && valid_rate(hang_rate) &&
-                        valid_rate(garble_rate),
+                        valid_rate(garble_rate) && valid_rate(torn_rate),
                     "service fault rates must be probabilities in [0, 1]");
 }
 
 bool service_fault_fires(const ServiceFaultPlan& plan, ServiceFaultClass cls,
                          std::uint64_t identity, std::uint32_t attempt) {
   const double rate = cls == ServiceFaultClass::kWorkerAbort ? plan.abort_rate
-                      : cls == ServiceFaultClass::kWorkerHang
-                          ? plan.hang_rate
-                          : plan.garble_rate;
+                      : cls == ServiceFaultClass::kWorkerHang ? plan.hang_rate
+                      : cls == ServiceFaultClass::kGarbledFrame
+                          ? plan.garble_rate
+                          : plan.torn_rate;
   if (rate <= 0.0) {
     return false;
   }

@@ -64,6 +64,14 @@ struct SweepDaemon::Impl {
     bool confirm_only = false;
     std::uint64_t expect_digest = 0;
     std::int64_t deadline_at = 0;  // 0 = no deadline armed
+    /// Bytes read off the (non-blocking) worker socket but not yet
+    /// assembled into a frame. A worker that dribbles a large reply
+    /// must not stall the poll loop.
+    std::string inbuf;
+    /// Bumped on every respawn: frame handling can tear down and
+    /// respawn this very slot, after which buffered bytes and EOF
+    /// belong to the dead worker, not the new one.
+    std::uint64_t gen = 0;
   };
 
   /// One deduplicated unit of work, keyed by config identity.
@@ -189,11 +197,14 @@ struct SweepDaemon::Impl {
         }
       }
     });
+    set_nonblocking(slots[i].worker.fd);
     slots[i].alive = true;
     slots[i].busy = false;
     slots[i].is_dup = false;
     slots[i].confirm_only = false;
     slots[i].deadline_at = 0;
+    slots[i].inbuf.clear();
+    ++slots[i].gen;
     ++d.stats_.workers_spawned;
   }
 
@@ -268,8 +279,14 @@ struct SweepDaemon::Impl {
         }
         const std::uint64_t identity = *it;
         queue.erase(it);
-        dispatch_to(static_cast<std::size_t>(idle), identity,
-                    cells.at(identity), /*as_dup=*/false);
+        if (!dispatch_to(static_cast<std::size_t>(idle), identity,
+                         cells.at(identity), /*as_dup=*/false)) {
+          // The idle worker was dead; dispatch_to respawned the slot
+          // but the cell must go back in line or it is orphaned --
+          // primary stays -1, so neither straggler duplication nor
+          // deadline checks would ever touch it again.
+          queue.push_front(identity);
+        }
         dispatched = true;
         break;
       }
@@ -309,6 +326,10 @@ struct SweepDaemon::Impl {
                     /*as_dup=*/true)) {
       ++d.stats_.straggler_duplicates;
       REPRO_LOG_DEBUG("sweepd: duplicated straggler cell ", oldest_identity);
+    } else {
+      // The would-be duplicate never launched; leave the cell eligible
+      // for duplication on a later idle tick.
+      oldest->duplicated = false;
     }
   }
 
@@ -321,6 +342,8 @@ struct SweepDaemon::Impl {
     ::waitpid(slot.worker.pid, &status, 0);
     slot.alive = false;
     slot.busy = false;
+    slot.inbuf.clear();
+    ++slot.gen;
   }
 
   /// A busy worker is gone (crash, garble-kill or deadline-kill):
@@ -777,31 +800,79 @@ struct SweepDaemon::Impl {
     if (!slot.alive) {
       return;
     }
-    Frame frame;
-    try {
-      if (read_frame(slot.worker.fd, &frame) == ReadResult::kEof) {
-        if (!slot.busy) {
-          // An idle worker died (e.g. killed from outside): respawn.
-          reap_slot(slot_idx);
-          if (!draining || !cells.empty()) {
-            spawn_slot(slot_idx);
-          }
-          return;
-        }
-        ++d.stats_.worker_crashes;
+    const std::uint64_t gen = slot.gen;
+    // Drain whatever the kernel has for us and return to the loop:
+    // poll() only promises *some* bytes, and a worker that stalls mid
+    // frame (or dribbles a large reply) must not block the daemon --
+    // that would freeze every client and, worse, check_deadlines(),
+    // the very thing that reclaims a wedged worker.
+    char buf[4096];
+    bool saw_eof = false;
+    while (true) {
+      const ssize_t n = ::read(slot.worker.fd, buf, sizeof(buf));
+      if (n > 0) {
+        slot.inbuf.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      saw_eof = true;
+      break;
+    }
+    // Frames first, EOF second: a worker that wrote its reply and then
+    // exited still gets that reply honored.
+    while (true) {
+      Frame frame;
+      bool got = false;
+      try {
+        got = try_extract_frame(&slot.inbuf, &frame);
+      } catch (const ProtocolError& e) {
+        // The stream lost sync (torn or garbled frame): nothing this
+        // worker says can be trusted any more. Kill it, re-dispatch.
+        ++d.stats_.garbled_frames;
         on_slot_death(slot_idx, harness::FailureClass::kCrash,
-                      "worker process exited mid-cell");
+                      std::string("worker reply failed its frame fence: ") +
+                          e.what());
         return;
       }
-    } catch (const ProtocolError& e) {
-      // The stream lost sync (torn or garbled frame): nothing this
-      // worker says can be trusted any more. Kill it, re-dispatch.
-      ++d.stats_.garbled_frames;
-      on_slot_death(slot_idx, harness::FailureClass::kCrash,
-                    std::string("worker reply failed its frame fence: ") +
-                        e.what());
+      if (!got) {
+        break;
+      }
+      handle_slot_frame(slot_idx, frame);
+      if (slot.gen != gen) {
+        return;  // the frame killed the slot; a fresh worker owns it now
+      }
+    }
+    if (!saw_eof) {
       return;
     }
+    if (!slot.inbuf.empty()) {
+      // EOF with a partial frame buffered: torn reply.
+      ++d.stats_.garbled_frames;
+      on_slot_death(slot_idx, harness::FailureClass::kCrash,
+                    "worker died leaving a torn frame");
+      return;
+    }
+    if (!slot.busy) {
+      // An idle worker died (e.g. killed from outside): respawn.
+      reap_slot(slot_idx);
+      if (!draining || !cells.empty()) {
+        spawn_slot(slot_idx);
+      }
+      return;
+    }
+    ++d.stats_.worker_crashes;
+    on_slot_death(slot_idx, harness::FailureClass::kCrash,
+                  "worker process exited mid-cell");
+  }
+
+  /// One complete, digest-fenced frame from a worker.
+  void handle_slot_frame(std::size_t slot_idx, const Frame& frame) {
+    Slot& slot = slots[slot_idx];
     if (slot.confirm_only) {
       if (frame.type == FrameType::kCellReply) {
         if (frame_digest(frame.payload) == slot.expect_digest) {
@@ -814,6 +885,14 @@ struct SweepDaemon::Impl {
       }
       slot.busy = false;
       slot.confirm_only = false;
+      return;
+    }
+    if (!slot.busy) {
+      // A frame from a worker that was never given a task: protocol
+      // violation, same treatment as a garbled stream.
+      ++d.stats_.protocol_errors;
+      on_slot_death(slot_idx, harness::FailureClass::kCrash,
+                    "unsolicited frame from an idle worker");
       return;
     }
     if (frame.type == FrameType::kCellReply) {
@@ -842,7 +921,14 @@ struct SweepDaemon::Impl {
       fail_cell(identity, harness::FailureClass::kFault, message);
       return;
     }
+    // A well-formed frame of a type no worker should send: the worker
+    // is off-protocol and the cell it holds would otherwise hang until
+    // a deadline that may never be armed (cell_deadline_ms=0 default).
     ++d.stats_.protocol_errors;
+    on_slot_death(slot_idx, harness::FailureClass::kCrash,
+                  "unexpected frame type " +
+                      std::to_string(static_cast<std::uint32_t>(frame.type)) +
+                      " from worker");
   }
 };
 

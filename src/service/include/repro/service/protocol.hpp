@@ -81,6 +81,14 @@ void write_frame(int fd, FrameType type, std::string_view payload);
 /// Empty payloads corrupt the announced length instead.
 void write_garbled_frame(int fd, FrameType type, std::string_view payload);
 
+/// Chaos hook: writes only a strict prefix of the frame (the header
+/// plus half the payload; half the header when the payload is empty)
+/// and returns, modelling a worker that dies or wedges mid-write (the
+/// torn-frame fault class). The receiver must never block waiting for
+/// the rest.
+void write_torn_frame_prefix(int fd, FrameType type,
+                             std::string_view payload);
+
 enum class ReadResult : std::uint8_t {
   kFrame,  ///< one complete, verified frame in *out
   kEof,    ///< orderly EOF at a frame boundary

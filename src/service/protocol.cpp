@@ -1,5 +1,6 @@
 #include "repro/service/protocol.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -15,9 +16,16 @@ namespace {
 constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
 constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
 
+/// How long a single frame write may wait for the peer to drain its
+/// socket buffer before the peer is declared dead. Local peers that
+/// are alive drain in microseconds; only a wedged or abandoned one
+/// stays full this long.
+constexpr int kWriteStallTimeoutMs = 2000;
+
 /// send() the whole buffer; EINTR-safe, SIGPIPE-free. Falls back to
 /// write() for plain descriptors (pipes in tests) where send() yields
-/// ENOTSOCK.
+/// ENOTSOCK. On a non-blocking descriptor a full socket buffer is not
+/// a dead peer: wait (bounded) for writability rather than throwing.
 void send_all(int fd, const char* data, std::size_t size) {
   std::size_t off = 0;
   while (off < size) {
@@ -28,6 +36,17 @@ void send_all(int fd, const char* data, std::size_t size) {
     if (n < 0) {
       if (errno == EINTR) {
         continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        pollfd pfd{fd, POLLOUT, 0};
+        const int ready = ::poll(&pfd, 1, kWriteStallTimeoutMs);
+        if (ready > 0) {
+          continue;
+        }
+        if (ready < 0 && errno == EINTR) {
+          continue;
+        }
+        throw ProtocolError("frame write stalled: peer is not draining");
       }
       throw ProtocolError(std::string("frame write failed: ") +
                           std::strerror(errno));
@@ -129,6 +148,24 @@ void write_garbled_frame(int fd, FrameType type, std::string_view payload) {
     buf[sizeof(header) + payload.size() / 2] ^= 0x5a;
   }
   send_all(fd, buf.data(), buf.size());
+}
+
+void write_torn_frame_prefix(int fd, FrameType type,
+                             std::string_view payload) {
+  FrameHeader header;
+  header.type = static_cast<std::uint32_t>(type);
+  header.payload_bytes = payload.size();
+  header.payload_digest = frame_digest(payload);
+  std::string buf;
+  buf.reserve(sizeof(header) + payload.size());
+  buf.append(reinterpret_cast<const char*>(&header), sizeof(header));
+  buf.append(payload.data(), payload.size());
+  // Always strictly shorter than the full frame: the receiver is left
+  // holding bytes that can never complete.
+  const std::size_t cut = payload.empty()
+                              ? sizeof(header) / 2
+                              : sizeof(header) + payload.size() / 2;
+  send_all(fd, buf.data(), cut);
 }
 
 ReadResult read_frame(int fd, Frame* out) {

@@ -1,5 +1,6 @@
 #include "repro/service/worker.hpp"
 
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -79,11 +80,21 @@ void serve_task(int fd, const std::string& payload,
   }
   const bool garble = service_fault_fires(
       faults, fault::ServiceFaultClass::kGarbledFrame, identity, attempt);
+  const bool torn =
+      !garble && service_fault_fires(faults, fault::ServiceFaultClass::kTornFrame,
+                                     identity, attempt);
   try {
     const harness::RunResult result = harness::run_benchmark(spec.to_config());
     const std::string reply = harness::encode_result(identity, result);
     if (garble) {
       write_garbled_frame(fd, FrameType::kCellReply, reply);
+    } else if (torn) {
+      // Die mid-write: leave the daemon holding a frame prefix that can
+      // never complete, then wedge until the deadline SIGKILL.
+      write_torn_frame_prefix(fd, FrameType::kCellReply, reply);
+      while (true) {
+        ::pause();
+      }
     } else {
       write_frame(fd, FrameType::kCellReply, reply);
     }
@@ -124,17 +135,37 @@ WorkerHandle spawn_worker(const fault::ServiceFaultPlan& faults,
   int fds[2];
   REPRO_REQUIRE_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
                     "socketpair for worker failed");
+  // The fork inherits the daemon's SIGTERM/SIGINT handler, which
+  // write()s to a wake pipe the child is about to close; a signal to
+  // the process group would then hit a closed fd -- or a reused one,
+  // corrupting whatever the worker opened there. Block both signals
+  // across the fork so the child can restore the default disposition
+  // before either can be delivered; anything sent in the window stays
+  // pending and then takes the default action.
+  sigset_t block;
+  sigset_t saved;
+  ::sigemptyset(&block);
+  ::sigaddset(&block, SIGTERM);
+  ::sigaddset(&block, SIGINT);
+  ::sigprocmask(SIG_BLOCK, &block, &saved);
   const pid_t pid = ::fork();
   if (pid < 0) {
+    ::sigprocmask(SIG_SETMASK, &saved, nullptr);
     ::close(fds[0]);
     ::close(fds[1]);
     REPRO_REQUIRE_MSG(false, "fork for worker failed");
   }
   if (pid == 0) {
-    // Child. Close the parent's end and whatever else the daemon says
-    // we inherited, serve, and _exit -- never unwind into the
-    // parent's stack (this process may have been forked from a gtest
-    // binary).
+    // Child. Restore default signal dispositions, then close the
+    // parent's end and whatever else the daemon says we inherited,
+    // serve, and _exit -- never unwind into the parent's stack (this
+    // process may have been forked from a gtest binary).
+    struct sigaction dfl{};
+    dfl.sa_handler = SIG_DFL;
+    ::sigemptyset(&dfl.sa_mask);
+    ::sigaction(SIGTERM, &dfl, nullptr);
+    ::sigaction(SIGINT, &dfl, nullptr);
+    ::sigprocmask(SIG_SETMASK, &saved, nullptr);
     ::close(fds[0]);
     if (in_child) {
       in_child();
@@ -142,6 +173,7 @@ WorkerHandle spawn_worker(const fault::ServiceFaultPlan& faults,
     worker_loop(fds[1], faults);
     _exit(0);
   }
+  ::sigprocmask(SIG_SETMASK, &saved, nullptr);
   ::close(fds[1]);
   WorkerHandle handle;
   handle.pid = pid;

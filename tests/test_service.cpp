@@ -4,10 +4,13 @@
 // boundary), and end-to-end daemon runs over a real Unix-domain socket
 // -- cold/warm cache equivalence against a direct in-process run_sweep,
 // bounded admission (kBusy), in-request deduplication, restart
-// recovery, and a chaos suite that injects worker aborts, hangs and
-// garbled reply frames while asserting every cell still gets a typed
-// answer and every completed digest stays byte-identical.
+// recovery, worker signal hygiene across fork, a torn-frame worker
+// that must never block the poll loop, and a chaos suite that injects
+// worker aborts, hangs, garbled and torn reply frames while asserting
+// every cell still gets a typed answer and every completed digest
+// stays byte-identical.
 #include <gtest/gtest.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <sys/wait.h>
@@ -30,6 +33,7 @@
 #include "repro/service/daemon.hpp"
 #include "repro/service/protocol.hpp"
 #include "repro/service/result_cache.hpp"
+#include "repro/service/worker.hpp"
 
 namespace repro::service {
 namespace {
@@ -216,6 +220,38 @@ TEST(Protocol, TryExtractFrameNeedsCompleteBytes) {
   EXPECT_THROW(try_extract_frame(&buffer, &frame), ProtocolError);
 }
 
+TEST(Protocol, TornFramePrefixNeverCompletes) {
+  SocketPair pair;
+  const std::string payload = "torn frame payload bytes";
+  write_torn_frame_prefix(pair.a, FrameType::kCellReply, payload);
+  pair.close_a();
+  // The receiver sees a strict prefix: incremental extraction reports
+  // "need more bytes" (never a frame, never an exception) and the
+  // stream then ends inside the frame.
+  std::string buffer;
+  char buf[256];
+  ssize_t n = 0;
+  while ((n = ::read(pair.b, buf, sizeof(buf))) > 0) {
+    buffer.append(buf, static_cast<std::size_t>(n));
+  }
+  ASSERT_EQ(n, 0);
+  EXPECT_LT(buffer.size(), sizeof(FrameHeader) + payload.size());
+  Frame frame;
+  EXPECT_FALSE(try_extract_frame(&buffer, &frame));
+  EXPECT_FALSE(buffer.empty());
+
+  // An empty payload tears inside the header itself.
+  SocketPair empty_pair;
+  write_torn_frame_prefix(empty_pair.a, FrameType::kCellReply, "");
+  empty_pair.close_a();
+  buffer.clear();
+  while ((n = ::read(empty_pair.b, buf, sizeof(buf))) > 0) {
+    buffer.append(buf, static_cast<std::size_t>(n));
+  }
+  EXPECT_LT(buffer.size(), sizeof(FrameHeader));
+  EXPECT_FALSE(try_extract_frame(&buffer, &frame));
+}
+
 // --- cell specs ------------------------------------------------------------
 
 TEST(CellSpec, FormatParseRoundTrip) {
@@ -321,6 +357,41 @@ TEST(ServiceFaults, DecisionIsPureAndVariesAcrossAttempts) {
   fault::ServiceFaultPlan bad;
   bad.abort_rate = 1.5;
   EXPECT_THROW(bad.validate(), ContractViolation);
+
+  fault::ServiceFaultPlan bad_torn;
+  bad_torn.torn_rate = -0.5;
+  EXPECT_THROW(bad_torn.validate(), ContractViolation);
+}
+
+// --- worker processes ------------------------------------------------------
+
+TEST(Worker, ForkedWorkerDiesOnSigtermDespiteDaemonHandlers) {
+  // The daemon installs SIGTERM/SIGINT handlers that write() to its
+  // wake pipe. A forked worker inherits them but closes the pipe fds;
+  // unless the child resets the disposition, a signal to the process
+  // group hits a closed (or worse, reused) descriptor. The worker must
+  // instead die with the default action.
+  const std::string dir = temp_dir("worker_signals");
+  DaemonConfig config;
+  config.socket_path = dir + "/sweepd.sock";
+  SweepDaemon daemon(config);  // never run(): only the handlers matter
+  install_signal_handlers(&daemon);
+
+  const WorkerHandle handle = spawn_worker(fault::ServiceFaultPlan{}, nullptr);
+  ASSERT_EQ(::kill(handle.pid, SIGTERM), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(handle.pid, &status, 0), handle.pid);
+  EXPECT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGTERM);
+  ::close(handle.fd);
+
+  // Restore the default dispositions so later fixtures in this binary
+  // start from a clean slate.
+  struct sigaction dfl{};
+  dfl.sa_handler = SIG_DFL;
+  ::sigemptyset(&dfl.sa_mask);
+  ::sigaction(SIGTERM, &dfl, nullptr);
+  ::sigaction(SIGINT, &dfl, nullptr);
 }
 
 // --- result cache ----------------------------------------------------------
@@ -666,6 +737,58 @@ TEST(SweepService, CacheSurvivesDaemonRestart) {
   }
 }
 
+TEST(SweepService, TornFrameWorkerNeverBlocksTheDaemon) {
+  // Every dispatch tears its reply mid-frame and wedges. The daemon
+  // must (a) keep serving other connections while the partial frames
+  // sit buffered -- a blocking read on a worker socket would freeze the
+  // whole poll loop, including the deadline checks that reclaim the
+  // wedged workers -- and (b) eventually answer every cell with a typed
+  // timeout after the attempt budget is spent.
+  const std::string dir = temp_dir("torn");
+  DaemonConfig config;
+  config.socket_path = dir + "/sweepd.sock";
+  config.workers = 2;
+  config.cell_deadline_ms = 300;
+  config.max_attempts = 2;
+  config.backoff_base_ms = 1;
+  config.straggler_duplication = false;
+  config.faults.torn_rate = 1.0;
+  DaemonFixture fixture(std::move(config));
+
+  SweepRequest request;
+  for (const std::string placement : {"ft", "rr"}) {
+    CellSpec spec;
+    spec.benchmark = "CG";
+    spec.placement = placement;
+    spec.iterations = 2;
+    spec.size_scale = 0.25;
+    request.cells.push_back(std::move(spec));
+  }
+  SweepClient client(dir + "/sweepd.sock");
+  SweepReply torn_reply;
+  std::thread slow([&] { torn_reply = client.submit(request); });
+  // While both workers are wedged mid-frame, the daemon must still
+  // answer a new connection promptly (here: reject an empty request).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  SweepClient probe(dir + "/sweepd.sock");
+  const SweepReply probe_reply = probe.submit(SweepRequest{});
+  EXPECT_FALSE(probe_reply.error.empty());
+  slow.join();
+
+  ASSERT_EQ(torn_reply.cells.size(), request.cells.size());
+  for (const CellOutcome& cell : torn_reply.cells) {
+    EXPECT_TRUE(cell.answered);
+    EXPECT_FALSE(cell.ok);
+    EXPECT_EQ(cell.cls, harness::FailureClass::kTimeout);
+  }
+  fixture.stop();
+  const ServiceStats& stats = fixture.daemon().stats();
+  // Two cells x two attempts, each reclaimed only by the deadline kill.
+  EXPECT_GE(stats.worker_deadline_kills, 4u);
+  EXPECT_EQ(stats.cells_completed, 0u);
+  EXPECT_EQ(stats.cells_failed, request.cells.size());
+}
+
 TEST(SweepService, ChaosSuiteAnswersEveryCellAndPreservesDigests) {
   const SweepRequest request = six_cell_grid();
   const std::vector<harness::RunResult> direct = direct_results(request);
@@ -680,6 +803,7 @@ TEST(SweepService, ChaosSuiteAnswersEveryCellAndPreservesDigests) {
   config.faults.abort_rate = 0.3;
   config.faults.hang_rate = 0.2;
   config.faults.garble_rate = 0.3;
+  config.faults.torn_rate = 0.2;
   DaemonFixture fixture(std::move(config));
 
   SweepClient client(dir + "/sweepd.sock");

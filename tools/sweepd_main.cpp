@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
   cli.add_flag("no-straggler-duplication", &no_straggler,
                "disable re-issuing the slowest in-flight cell to idle slots");
   cli.add_double("service-fault-rate", &fault_rate,
-                 "chaos: worker abort/hang/garble rate per dispatch",
+                 "chaos: worker abort/hang/garble/torn rate per dispatch",
                  /*gt=*/-1.0);
   cli.add_uint("service-fault-seed", &config.faults.seed,
                "chaos: deterministic fault seed");
